@@ -1,0 +1,109 @@
+//! Per-processor user/system time accounting.
+//!
+//! The paper separates *user* time (what `time(1)` reported for the
+//! application, the quantity in Table 3) from *system* time (kernel
+//! overhead including NUMA page movement, the quantity in Table 4). The
+//! simulator keeps both per processor, in exact virtual nanoseconds.
+
+use crate::time::Ns;
+use crate::types::CpuId;
+
+/// Accumulated time of one processor.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CpuTime {
+    /// Time spent executing application code, including its memory
+    /// reference costs.
+    pub user: Ns,
+    /// Time spent in the kernel: fault handling, page copies, mapping
+    /// maintenance.
+    pub system: Ns,
+}
+
+impl CpuTime {
+    /// User plus system time.
+    pub fn total(self) -> Ns {
+        self.user + self.system
+    }
+}
+
+/// The clocks of every processor in the machine.
+#[derive(Clone, Debug)]
+pub struct CpuClocks {
+    times: Vec<CpuTime>,
+}
+
+impl CpuClocks {
+    /// All-zero clocks for `n_cpus` processors.
+    pub fn new(n_cpus: usize) -> CpuClocks {
+        CpuClocks { times: vec![CpuTime::default(); n_cpus] }
+    }
+
+    /// Charges user time to `cpu`.
+    #[inline]
+    pub fn charge_user(&mut self, cpu: CpuId, t: Ns) {
+        self.times[cpu.index()].user += t;
+    }
+
+    /// Charges system time to `cpu`.
+    #[inline]
+    pub fn charge_system(&mut self, cpu: CpuId, t: Ns) {
+        self.times[cpu.index()].system += t;
+    }
+
+    /// The accumulated times of `cpu`.
+    #[inline]
+    pub fn cpu(&self, cpu: CpuId) -> CpuTime {
+        self.times[cpu.index()]
+    }
+
+    /// Per-cpu snapshot.
+    pub fn all(&self) -> &[CpuTime] {
+        &self.times
+    }
+
+    /// Sum of user time over all processors (the paper's "total user
+    /// time", eliminating concurrency artifacts).
+    pub fn total_user(&self) -> Ns {
+        self.times.iter().map(|t| t.user).sum()
+    }
+
+    /// Sum of system time over all processors.
+    pub fn total_system(&self) -> Ns {
+        self.times.iter().map(|t| t.system).sum()
+    }
+
+    /// Resets every clock to zero (used between measurement phases).
+    pub fn reset(&mut self) {
+        for t in &mut self.times {
+            *t = CpuTime::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_cpu() {
+        let mut c = CpuClocks::new(2);
+        c.charge_user(CpuId(0), Ns(100));
+        c.charge_user(CpuId(1), Ns(50));
+        c.charge_system(CpuId(0), Ns(7));
+        assert_eq!(c.cpu(CpuId(0)).user, Ns(100));
+        assert_eq!(c.cpu(CpuId(0)).system, Ns(7));
+        assert_eq!(c.cpu(CpuId(0)).total(), Ns(107));
+        assert_eq!(c.total_user(), Ns(150));
+        assert_eq!(c.total_system(), Ns(7));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = CpuClocks::new(1);
+        c.charge_user(CpuId(0), Ns(5));
+        c.charge_system(CpuId(0), Ns(5));
+        c.reset();
+        assert_eq!(c.total_user(), Ns::ZERO);
+        assert_eq!(c.total_system(), Ns::ZERO);
+    }
+}

@@ -1,0 +1,192 @@
+//! Machine configuration.
+
+use crate::time::CostModel;
+
+/// Power-of-two page size, with helpers for address arithmetic.
+///
+/// The Rosetta MMU of the RT PC family used 2 KB pages; that is the
+/// default. The false-sharing ablation varies this.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PageSize {
+    shift: u32,
+}
+
+impl PageSize {
+    /// Creates a page size of `bytes`, which must be a power of two of at
+    /// least 64 bytes.
+    pub fn new(bytes: usize) -> PageSize {
+        assert!(bytes.is_power_of_two() && bytes >= 64, "bad page size {bytes}");
+        PageSize { shift: bytes.trailing_zeros() }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        1usize << self.shift
+    }
+
+    /// log2 of the page size.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// Virtual page number containing byte address `addr`.
+    #[inline]
+    pub fn page_of(self, addr: u64) -> u64 {
+        addr >> self.shift
+    }
+
+    /// Byte offset of `addr` within its page.
+    #[inline]
+    pub fn offset_of(self, addr: u64) -> usize {
+        (addr & ((1u64 << self.shift) - 1)) as usize
+    }
+
+    /// First byte address of page `page`.
+    #[inline]
+    pub fn base_of(self, page: u64) -> u64 {
+        page << self.shift
+    }
+
+    /// Number of pages needed to hold `bytes` bytes.
+    #[inline]
+    pub fn pages_for(self, bytes: u64) -> u64 {
+        bytes.div_ceil(1u64 << self.shift)
+    }
+
+    /// Rounds `addr` up to the next page boundary.
+    #[inline]
+    pub fn round_up(self, addr: u64) -> u64 {
+        let mask = (1u64 << self.shift) - 1;
+        (addr + mask) & !mask
+    }
+}
+
+impl Default for PageSize {
+    fn default() -> Self {
+        PageSize::new(2048)
+    }
+}
+
+/// Static description of one simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processor modules.
+    pub n_cpus: usize,
+    /// Page size used by the MMUs and the memory pools.
+    pub page_size: PageSize,
+    /// Number of page frames of global memory (this also bounds the Mach
+    /// logical page pool, which is the same size as global memory).
+    pub global_frames: usize,
+    /// Number of page frames of local memory on each processor module.
+    pub local_frames: usize,
+    /// Access and kernel-operation costs.
+    pub costs: CostModel,
+    /// Model bus contention with an FCFS queue on top of the fixed
+    /// access costs (off by default: the paper's methodology assumes
+    /// contention-free runs and the Table 3 calibration relies on it).
+    pub bus_contention: bool,
+}
+
+impl MachineConfig {
+    /// The "typical" ACE of the paper: 8 processor slots with 2 KB pages,
+    /// 16 MB of global memory and 8 MB of local memory per processor.
+    pub fn ace(n_cpus: usize) -> MachineConfig {
+        let page_size = PageSize::default();
+        MachineConfig {
+            n_cpus,
+            page_size,
+            global_frames: 16 * 1024 * 1024 / page_size.bytes(),
+            local_frames: 8 * 1024 * 1024 / page_size.bytes(),
+            costs: CostModel::ace(),
+            bus_contention: false,
+        }
+    }
+
+    /// A small machine for unit tests: few frames so exhaustion paths are
+    /// easy to exercise.
+    pub fn small(n_cpus: usize) -> MachineConfig {
+        MachineConfig {
+            n_cpus,
+            page_size: PageSize::new(256),
+            global_frames: 128,
+            local_frames: 64,
+            costs: CostModel::ace(),
+            bus_contention: false,
+        }
+    }
+
+    /// Total bytes of global memory.
+    pub fn global_bytes(&self) -> usize {
+        self.global_frames * self.page_size.bytes()
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cpus == 0 || self.n_cpus > crate::types::CpuId::MAX_CPUS {
+            return Err(format!("n_cpus {} out of range", self.n_cpus));
+        }
+        if self.global_frames == 0 {
+            return Err("no global memory".to_string());
+        }
+        if self.local_frames == 0 {
+            return Err("no local memory".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::ace(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_arithmetic() {
+        let p = PageSize::new(2048);
+        assert_eq!(p.bytes(), 2048);
+        assert_eq!(p.page_of(4096), 2);
+        assert_eq!(p.offset_of(4097), 1);
+        assert_eq!(p.base_of(3), 6144);
+        assert_eq!(p.pages_for(1), 1);
+        assert_eq!(p.pages_for(2048), 1);
+        assert_eq!(p.pages_for(2049), 2);
+        assert_eq!(p.round_up(0), 0);
+        assert_eq!(p.round_up(1), 2048);
+        assert_eq!(p.round_up(2048), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad page size")]
+    fn page_size_rejects_non_power_of_two() {
+        let _ = PageSize::new(3000);
+    }
+
+    #[test]
+    fn ace_config_sizes() {
+        let c = MachineConfig::ace(5);
+        assert_eq!(c.n_cpus, 5);
+        assert_eq!(c.global_bytes(), 16 * 1024 * 1024);
+        assert_eq!(c.local_frames * c.page_size.bytes(), 8 * 1024 * 1024);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = MachineConfig::small(2);
+        c.n_cpus = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::small(2);
+        c.global_frames = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::small(2);
+        c.local_frames = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! The assembled machine.
+
+use crate::bus::{BusQueue, BusStats};
+use crate::clock::CpuClocks;
+use crate::config::MachineConfig;
+use crate::mem::{Frame, MemRegion, PhysMem};
+use crate::mmu::Mmu;
+use crate::time::{Access, Distance, Ns};
+use crate::types::CpuId;
+
+/// One simulated ACE: physical memory, one MMU per processor, per-
+/// processor clocks and bus accounting.
+///
+/// The machine is deliberately passive: it knows nothing about virtual
+/// memory policy. The Mach-style VM and the NUMA pmap layer drive it.
+pub struct Machine {
+    /// Static configuration.
+    pub config: MachineConfig,
+    /// All physical page frames.
+    pub mem: PhysMem,
+    /// Translation hardware, indexed by processor.
+    pub mmus: Vec<Mmu>,
+    /// User/system clocks per processor.
+    pub clocks: CpuClocks,
+    /// IPC bus traffic counters.
+    pub bus: BusStats,
+    /// FCFS bus queue (consulted only when `config.bus_contention`).
+    pub bus_queue: BusQueue,
+}
+
+impl Machine {
+    /// Builds a machine from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`MachineConfig::validate`] to check first.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
+        Machine {
+            mem: PhysMem::new(&cfg),
+            mmus: (0..cfg.n_cpus).map(|_| Mmu::new()).collect(),
+            clocks: CpuClocks::new(cfg.n_cpus),
+            bus: BusStats::default(),
+            bus_queue: BusQueue::default(),
+            config: cfg,
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn n_cpus(&self) -> usize {
+        self.config.n_cpus
+    }
+
+    /// Iterator over all processor ids.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.config.n_cpus).map(CpuId::from)
+    }
+
+    /// The MMU of one processor.
+    #[inline]
+    pub fn mmu(&mut self, cpu: CpuId) -> &mut Mmu {
+        &mut self.mmus[cpu.index()]
+    }
+
+    /// How far `region` is from `cpu`.
+    #[inline]
+    pub fn distance(&self, cpu: CpuId, region: MemRegion) -> Distance {
+        match region {
+            MemRegion::Global => Distance::Global,
+            MemRegion::Local(owner) if owner == cpu => Distance::Local,
+            MemRegion::Local(_) => Distance::Remote,
+        }
+    }
+
+    /// Charges `cpu` the *user-time* cost of `words` 32-bit accesses of
+    /// kind `kind` to `frame`, recording bus traffic, and returns the
+    /// charged time.
+    pub fn charge_access(&mut self, cpu: CpuId, kind: Access, frame: Frame, words: u64) -> Ns {
+        let dist = self.distance(cpu, frame.region);
+        let mut t = self.config.costs.access(kind, dist) * words;
+        match dist {
+            Distance::Global => self.bus.add_global(words),
+            Distance::Remote => self.bus.add_remote(words),
+            Distance::Local => {}
+        }
+        if self.config.bus_contention && dist != Distance::Local {
+            let now = self.clocks.cpu(cpu).total();
+            t += self.bus_queue.acquire(now, words);
+        }
+        self.clocks.charge_user(cpu, t);
+        t
+    }
+
+    /// Copies page `src` to `dst`, charging the copy cost as *system*
+    /// time to `cpu` and recording bus traffic if the copy crosses the
+    /// bus. Returns the charged time.
+    pub fn kernel_copy_page(&mut self, cpu: CpuId, src: Frame, dst: Frame) -> Ns {
+        self.mem.copy_page(src, dst);
+        let words = (self.config.page_size.bytes() / 4) as u64;
+        let crosses_bus = src.region != dst.region;
+        if crosses_bus {
+            self.bus.add_copy(words);
+        }
+        let t = self.config.costs.page_copy(self.config.page_size.bytes());
+        self.clocks.charge_system(cpu, t);
+        t
+    }
+
+    /// Zero-fills `frame`, charging `cpu` system time for the stores.
+    pub fn kernel_zero_page(&mut self, cpu: CpuId, frame: Frame) -> Ns {
+        self.mem.zero_page(frame);
+        let words = (self.config.page_size.bytes() / 4) as u64;
+        let dist = self.distance(cpu, frame.region);
+        let t = self.config.costs.access(Access::Store, dist) * words;
+        self.clocks.charge_system(cpu, t);
+        t
+    }
+
+    /// Charges the fixed fault-handling overhead to `cpu` as system time.
+    pub fn charge_fault_overhead(&mut self, cpu: CpuId) {
+        let t = self.config.costs.fault_overhead;
+        self.clocks.charge_system(cpu, t);
+    }
+
+    /// Charges the cost of removing a mapping on another processor.
+    pub fn charge_shootdown(&mut self, cpu: CpuId) {
+        let t = self.config.costs.shootdown;
+        self.clocks.charge_system(cpu, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prot::Prot;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small(2))
+    }
+
+    #[test]
+    fn distance_classification() {
+        let m = machine();
+        assert_eq!(m.distance(CpuId(0), MemRegion::Global), Distance::Global);
+        assert_eq!(m.distance(CpuId(0), MemRegion::Local(CpuId(0))), Distance::Local);
+        assert_eq!(m.distance(CpuId(0), MemRegion::Local(CpuId(1))), Distance::Remote);
+    }
+
+    #[test]
+    fn charge_access_updates_clock_and_bus() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let t = m.charge_access(CpuId(0), Access::Fetch, g, 3);
+        assert_eq!(t, Ns(1_500 * 3));
+        assert_eq!(m.clocks.cpu(CpuId(0)).user, t);
+        assert_eq!(m.bus.global_word_transfers, 3);
+
+        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let t2 = m.charge_access(CpuId(0), Access::Store, l, 1);
+        assert_eq!(t2, Ns(840));
+        // Local access adds no bus traffic.
+        assert_eq!(m.bus.total_bytes(), 3 * 4);
+    }
+
+    #[test]
+    fn kernel_copy_charges_system_time() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(1))).unwrap();
+        m.mem.write_u32(g, 0, 77);
+        let t = m.kernel_copy_page(CpuId(1), g, l);
+        assert_eq!(m.mem.read_u32(l, 0), 77);
+        assert_eq!(m.clocks.cpu(CpuId(1)).system, t);
+        assert_eq!(m.clocks.cpu(CpuId(1)).user, Ns::ZERO);
+        assert!(m.bus.copy_word_transfers > 0);
+    }
+
+    #[test]
+    fn local_to_local_same_cpu_copy_skips_bus() {
+        let mut m = machine();
+        let a = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let b = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        m.kernel_copy_page(CpuId(0), a, b);
+        assert_eq!(m.bus.copy_word_transfers, 0);
+    }
+
+    #[test]
+    fn zero_page_charges_and_zeroes() {
+        let mut m = machine();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        m.mem.write_u32(l, 0, 5);
+        m.kernel_zero_page(CpuId(0), l);
+        assert_eq!(m.mem.read_u32(l, 0), 0);
+        assert!(m.clocks.cpu(CpuId(0)).system > Ns::ZERO);
+    }
+
+    #[test]
+    fn mmus_are_per_cpu() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        m.mmu(CpuId(0)).enter(1, 10, g, Prot::READ);
+        assert!(m.mmu(CpuId(0)).probe(1, 10).is_some());
+        assert!(m.mmu(CpuId(1)).probe(1, 10).is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! Physical memory: global and per-processor local page frames.
+//!
+//! Frames hold real bytes, so that page replication, migration and
+//! write-back in the NUMA layer are *observable*: a consistency bug makes
+//! application programs compute wrong answers, which the application test
+//! suites catch end to end.
+
+use crate::config::MachineConfig;
+use crate::types::CpuId;
+use std::fmt;
+
+/// Which memory module a frame lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemRegion {
+    /// The shared global memory cards on the IPC bus.
+    Global,
+    /// The 8 MB local memory of one processor module.
+    Local(CpuId),
+}
+
+/// One physical page frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// The memory module holding the frame.
+    pub region: MemRegion,
+    /// Frame index within that module.
+    pub index: u32,
+}
+
+impl Frame {
+    /// Constructs a global frame.
+    pub fn global(index: u32) -> Frame {
+        Frame { region: MemRegion::Global, index }
+    }
+
+    /// Constructs a local frame on `cpu`.
+    pub fn local(cpu: CpuId, index: u32) -> Frame {
+        Frame { region: MemRegion::Local(cpu), index }
+    }
+
+    /// True if the frame is in global memory.
+    pub fn is_global(self) -> bool {
+        self.region == MemRegion::Global
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.region {
+            MemRegion::Global => write!(f, "G#{}", self.index),
+            MemRegion::Local(c) => write!(f, "L{}#{}", c.0, self.index),
+        }
+    }
+}
+
+/// Errors from frame allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// The requested region has no free frames.
+    OutOfFrames(MemRegion),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames(r) => write!(f, "out of page frames in {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Storage and free-list for one memory module.
+struct Module {
+    /// Frame payloads; `None` until first touched, which keeps small
+    /// simulations cheap even with realistically sized memories.
+    frames: Vec<Option<Box<[u8]>>>,
+    /// Indices of free frames, popped from the back.
+    free: Vec<u32>,
+    /// High-water mark of simultaneously allocated frames.
+    peak_used: usize,
+}
+
+impl Module {
+    fn new(n_frames: usize) -> Module {
+        Module {
+            frames: (0..n_frames).map(|_| None).collect(),
+            free: (0..n_frames as u32).rev().collect(),
+            peak_used: 0,
+        }
+    }
+
+    fn used(&self) -> usize {
+        self.frames.len() - self.free.len()
+    }
+}
+
+/// All physical memory of the machine.
+pub struct PhysMem {
+    page_bytes: usize,
+    global: Module,
+    locals: Vec<Module>,
+}
+
+impl PhysMem {
+    /// Builds the memory described by `cfg`, all frames free.
+    pub fn new(cfg: &MachineConfig) -> PhysMem {
+        PhysMem {
+            page_bytes: cfg.page_size.bytes(),
+            global: Module::new(cfg.global_frames),
+            locals: (0..cfg.n_cpus).map(|_| Module::new(cfg.local_frames)).collect(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    fn module(&self, region: MemRegion) -> &Module {
+        match region {
+            MemRegion::Global => &self.global,
+            MemRegion::Local(c) => &self.locals[c.index()],
+        }
+    }
+
+    fn module_mut(&mut self, region: MemRegion) -> &mut Module {
+        match region {
+            MemRegion::Global => &mut self.global,
+            MemRegion::Local(c) => &mut self.locals[c.index()],
+        }
+    }
+
+    /// Allocates a frame in `region`. The frame's previous contents are
+    /// undefined (a real kernel zeroes on demand; so does the pmap layer
+    /// above).
+    pub fn alloc(&mut self, region: MemRegion) -> Result<Frame, MemError> {
+        let m = self.module_mut(region);
+        let index = m.free.pop().ok_or(MemError::OutOfFrames(region))?;
+        let used = m.used();
+        if used > m.peak_used {
+            m.peak_used = used;
+        }
+        Ok(Frame { region, index })
+    }
+
+    /// Allocates a *specific* global frame. The Mach logical page pool on
+    /// the ACE corresponds one-to-one with global memory, so the pmap
+    /// layer reserves global frame `i` for logical page `i`.
+    pub fn alloc_global_at(&mut self, index: u32) -> Result<Frame, MemError> {
+        let m = &mut self.global;
+        match m.free.iter().rposition(|&f| f == index) {
+            Some(pos) => {
+                m.free.swap_remove(pos);
+                let used = m.used();
+                if used > m.peak_used {
+                    m.peak_used = used;
+                }
+                Ok(Frame::global(index))
+            }
+            None => Err(MemError::OutOfFrames(MemRegion::Global)),
+        }
+    }
+
+    /// Returns a frame to its module's free list.
+    pub fn free(&mut self, frame: Frame) {
+        let m = self.module_mut(frame.region);
+        debug_assert!(
+            !m.free.contains(&frame.index),
+            "double free of {frame:?}"
+        );
+        m.free.push(frame.index);
+    }
+
+    /// Number of free frames in `region`.
+    pub fn free_frames(&self, region: MemRegion) -> usize {
+        self.module(region).free.len()
+    }
+
+    /// Number of allocated frames in `region`.
+    pub fn used_frames(&self, region: MemRegion) -> usize {
+        self.module(region).used()
+    }
+
+    /// High-water mark of allocated frames in `region`.
+    pub fn peak_used_frames(&self, region: MemRegion) -> usize {
+        self.module(region).peak_used
+    }
+
+    fn data(&mut self, frame: Frame) -> &mut [u8] {
+        let page_bytes = self.page_bytes;
+        let m = self.module_mut(frame.region);
+        m.frames[frame.index as usize]
+            .get_or_insert_with(|| vec![0u8; page_bytes].into_boxed_slice())
+    }
+
+    /// Reads a little-endian `u32` at byte `offset` within `frame`.
+    #[inline]
+    pub fn read_u32(&mut self, frame: Frame, offset: usize) -> u32 {
+        debug_assert!(offset + 4 <= self.page_bytes);
+        let d = self.data(frame);
+        u32::from_le_bytes(d[offset..offset + 4].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u32` at byte `offset` within `frame`.
+    #[inline]
+    pub fn write_u32(&mut self, frame: Frame, offset: usize, value: u32) {
+        debug_assert!(offset + 4 <= self.page_bytes);
+        let d = self.data(frame);
+        d[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&mut self, frame: Frame, offset: usize) -> u8 {
+        self.data(frame)[offset]
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, frame: Frame, offset: usize, value: u8) {
+        self.data(frame)[offset] = value;
+    }
+
+    /// Copies a byte range into `out`.
+    pub fn read_bytes(&mut self, frame: Frame, offset: usize, out: &mut [u8]) {
+        let d = self.data(frame);
+        out.copy_from_slice(&d[offset..offset + out.len()]);
+    }
+
+    /// Writes a byte range.
+    pub fn write_bytes(&mut self, frame: Frame, offset: usize, src: &[u8]) {
+        let d = self.data(frame);
+        d[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Copies the whole page `src` into `dst` (used by replicate, migrate
+    /// and sync operations in the pmap layer).
+    pub fn copy_page(&mut self, src: Frame, dst: Frame) {
+        debug_assert_ne!(src, dst, "copy_page onto itself");
+        // Take the source payload out briefly to satisfy the borrow
+        // checker without copying twice.
+        let buf = {
+            let page_bytes = self.page_bytes;
+            let sm = self.module_mut(src.region);
+            match &sm.frames[src.index as usize] {
+                Some(b) => b.clone(),
+                None => vec![0u8; page_bytes].into_boxed_slice(),
+            }
+        };
+        let dm = self.module_mut(dst.region);
+        dm.frames[dst.index as usize] = Some(buf);
+    }
+
+    /// Fills the page with zeros (the `pmap_zero_page` operation).
+    pub fn zero_page(&mut self, frame: Frame) {
+        let page_bytes = self.page_bytes;
+        let m = self.module_mut(frame.region);
+        m.frames[frame.index as usize] = Some(vec![0u8; page_bytes].into_boxed_slice());
+    }
+
+    /// True if two frames currently hold identical bytes. Used by tests
+    /// and by the consistency checker to validate replica coherence.
+    pub fn pages_equal(&mut self, a: Frame, b: Frame) -> bool {
+        let page_bytes = self.page_bytes;
+        let abuf = {
+            let m = self.module_mut(a.region);
+            m.frames[a.index as usize]
+                .clone()
+                .unwrap_or_else(|| vec![0u8; page_bytes].into_boxed_slice())
+        };
+        let m = self.module_mut(b.region);
+        let bbuf = m.frames[b.index as usize]
+            .clone()
+            .unwrap_or_else(|| vec![0u8; page_bytes].into_boxed_slice());
+        abuf == bbuf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(&MachineConfig::small(2))
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = mem();
+        let total = m.free_frames(MemRegion::Global);
+        let f = m.alloc(MemRegion::Global).unwrap();
+        assert_eq!(m.free_frames(MemRegion::Global), total - 1);
+        assert_eq!(m.used_frames(MemRegion::Global), 1);
+        m.free(f);
+        assert_eq!(m.free_frames(MemRegion::Global), total);
+        assert_eq!(m.peak_used_frames(MemRegion::Global), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut m = mem();
+        let region = MemRegion::Local(CpuId(1));
+        let n = m.free_frames(region);
+        for _ in 0..n {
+            m.alloc(region).unwrap();
+        }
+        assert_eq!(m.alloc(region), Err(MemError::OutOfFrames(region)));
+        // The other local module is unaffected.
+        assert!(m.alloc(MemRegion::Local(CpuId(0))).is_ok());
+    }
+
+    #[test]
+    fn alloc_global_at_reserves_specific_frame() {
+        let mut m = mem();
+        let f = m.alloc_global_at(7).unwrap();
+        assert_eq!(f, Frame::global(7));
+        assert!(m.alloc_global_at(7).is_err());
+        m.free(f);
+        assert!(m.alloc_global_at(7).is_ok());
+    }
+
+    #[test]
+    fn read_write_words_and_bytes() {
+        let mut m = mem();
+        let f = m.alloc(MemRegion::Global).unwrap();
+        m.write_u32(f, 0, 0xdead_beef);
+        m.write_u8(f, 100, 7);
+        assert_eq!(m.read_u32(f, 0), 0xdead_beef);
+        assert_eq!(m.read_u8(f, 100), 7);
+        // Untouched bytes read as zero.
+        assert_eq!(m.read_u32(f, 8), 0);
+    }
+
+    #[test]
+    fn copy_page_moves_bytes_across_regions() {
+        let mut m = mem();
+        let g = m.alloc(MemRegion::Global).unwrap();
+        let l = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        m.write_u32(g, 4, 123);
+        m.copy_page(g, l);
+        assert_eq!(m.read_u32(l, 4), 123);
+        assert!(m.pages_equal(g, l));
+        m.write_u32(l, 4, 456);
+        assert!(!m.pages_equal(g, l));
+        assert_eq!(m.read_u32(g, 4), 123, "copy must not alias");
+    }
+
+    #[test]
+    fn zero_page_clears_contents() {
+        let mut m = mem();
+        let f = m.alloc(MemRegion::Global).unwrap();
+        m.write_u32(f, 0, 1);
+        m.zero_page(f);
+        assert_eq!(m.read_u32(f, 0), 0);
+    }
+
+    #[test]
+    fn copy_of_untouched_page_is_zeros() {
+        let mut m = mem();
+        let g = m.alloc(MemRegion::Global).unwrap();
+        let l = m.alloc(MemRegion::Local(CpuId(1))).unwrap();
+        m.write_u32(l, 0, 9);
+        m.copy_page(g, l);
+        assert_eq!(m.read_u32(l, 0), 0);
+    }
+}

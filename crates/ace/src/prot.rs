@@ -1,0 +1,101 @@
+//! Page protections.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// A page protection: some combination of read and write permission.
+///
+/// Mach's pmap interface passes protections both as what the user is
+/// *allowed* to do (the maximum) and, in the paper's extension, the
+/// strictest protection that still resolves the current fault (the
+/// minimum). Values are ordered by permissiveness: `NONE < READ <
+/// READ_WRITE` (write access on this architecture implies read).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prot(u8);
+
+impl Prot {
+    /// No access.
+    pub const NONE: Prot = Prot(0);
+    /// Read-only access.
+    pub const READ: Prot = Prot(1);
+    /// Read and write access.
+    pub const READ_WRITE: Prot = Prot(3);
+
+    /// True if the protection permits reads.
+    #[inline]
+    pub fn allows_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if the protection permits writes.
+    #[inline]
+    pub fn allows_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// The weaker (stricter) of two protections.
+    #[inline]
+    pub fn min(self, other: Prot) -> Prot {
+        Prot(self.0 & other.0)
+    }
+
+    /// The stronger (looser) of two protections.
+    #[inline]
+    pub fn max(self, other: Prot) -> Prot {
+        Prot(self.0 | other.0)
+    }
+}
+
+impl BitAnd for Prot {
+    type Output = Prot;
+    fn bitand(self, rhs: Prot) -> Prot {
+        self.min(rhs)
+    }
+}
+
+impl BitOr for Prot {
+    type Output = Prot;
+    fn bitor(self, rhs: Prot) -> Prot {
+        self.max(rhs)
+    }
+}
+
+impl fmt::Debug for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Prot::NONE => write!(f, "---"),
+            Prot::READ => write!(f, "r--"),
+            Prot::READ_WRITE => write!(f, "rw-"),
+            _ => write!(f, "prot({})", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_queries() {
+        assert!(!Prot::NONE.allows_read());
+        assert!(Prot::READ.allows_read());
+        assert!(!Prot::READ.allows_write());
+        assert!(Prot::READ_WRITE.allows_write());
+        assert!(Prot::READ_WRITE.allows_read());
+    }
+
+    #[test]
+    fn ordering_by_permissiveness() {
+        assert!(Prot::NONE < Prot::READ);
+        assert!(Prot::READ < Prot::READ_WRITE);
+    }
+
+    #[test]
+    fn min_max_lattice() {
+        assert_eq!(Prot::READ.min(Prot::READ_WRITE), Prot::READ);
+        assert_eq!(Prot::READ.max(Prot::READ_WRITE), Prot::READ_WRITE);
+        assert_eq!(Prot::NONE.max(Prot::READ), Prot::READ);
+        assert_eq!(Prot::READ & Prot::READ_WRITE, Prot::READ);
+        assert_eq!(Prot::READ | Prot::READ_WRITE, Prot::READ_WRITE);
+    }
+}

@@ -1,0 +1,271 @@
+//! Virtual time and the memory access cost model.
+//!
+//! The simulator measures everything in integer nanoseconds of *virtual*
+//! time. The default constants are the paper's measured 32-bit access
+//! times on the ACE prototype (section 2.2): local fetch 0.65 us, local
+//! store 0.84 us, global fetch 1.5 us, global store 1.4 us, so that global
+//! memory is about 2.3x slower on fetches, 1.7x slower on stores, and
+//! about 2x slower for a mix that is 45% stores.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A span (or instant) of virtual time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero time.
+    pub const ZERO: Ns = Ns(0);
+
+    /// Constructs from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Constructs from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// The value in (fractional) seconds, for reporting.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    #[inline]
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    #[inline]
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        Ns(iter.map(|n| n.0).sum())
+    }
+}
+
+impl fmt::Debug for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Memory and kernel operation costs.
+///
+/// All per-reference costs are for a 32-bit access; wider accesses are
+/// charged as multiple 32-bit references, as on the real 32-bit IPC bus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// 32-bit fetch from the referencing processor's local memory.
+    pub local_fetch: Ns,
+    /// 32-bit store to the referencing processor's local memory.
+    pub local_store: Ns,
+    /// 32-bit fetch from global memory over the IPC bus.
+    pub global_fetch: Ns,
+    /// 32-bit store to global memory over the IPC bus.
+    pub global_store: Ns,
+    /// 32-bit fetch from *another* processor's local memory (the remote
+    /// reference facility of section 4.4, unused by the default protocol
+    /// but modelled for the remote-reference extension). Remote references
+    /// cross the bus twice and are slower than global memory.
+    pub remote_fetch: Ns,
+    /// 32-bit store to another processor's local memory.
+    pub remote_store: Ns,
+    /// Fixed kernel overhead charged (as system time) for taking a page
+    /// fault: trap entry, fault resolution bookkeeping, and return.
+    pub fault_overhead: Ns,
+    /// Cost per 32-bit word of copying a page between memories (sync,
+    /// replicate, migrate). A kernel copy loop issues one fetch and one
+    /// store per word; the default charges exactly that for a
+    /// local-to-global or global-to-local pair.
+    pub copy_word: Ns,
+    /// Fixed per-page overhead of a page copy (loop setup, directory
+    /// update).
+    pub copy_setup: Ns,
+    /// Cost of removing one mapping from a remote MMU (the paper's
+    /// "flush"/"unmap" actions require interrupting the other processor).
+    pub shootdown: Ns,
+}
+
+impl CostModel {
+    /// The paper's measured ACE constants.
+    pub fn ace() -> CostModel {
+        CostModel {
+            local_fetch: Ns(650),
+            local_store: Ns(840),
+            global_fetch: Ns(1_500),
+            global_store: Ns(1_400),
+            remote_fetch: Ns(2_200),
+            remote_store: Ns(2_100),
+            fault_overhead: Ns::from_us(35),
+            // One global fetch plus one local store per word, the cheaper
+            // direction of a kernel copy loop between global and local.
+            copy_word: Ns(1_500 + 840),
+            copy_setup: Ns::from_us(20),
+            shootdown: Ns::from_us(25),
+        }
+    }
+
+    /// Cost of a single 32-bit access of `kind` to memory at `dist`.
+    #[inline]
+    pub fn access(&self, kind: Access, dist: Distance) -> Ns {
+        match (kind, dist) {
+            (Access::Fetch, Distance::Local) => self.local_fetch,
+            (Access::Store, Distance::Local) => self.local_store,
+            (Access::Fetch, Distance::Global) => self.global_fetch,
+            (Access::Store, Distance::Global) => self.global_store,
+            (Access::Fetch, Distance::Remote) => self.remote_fetch,
+            (Access::Store, Distance::Remote) => self.remote_store,
+        }
+    }
+
+    /// Cost of copying one whole page of `page_bytes` bytes.
+    #[inline]
+    pub fn page_copy(&self, page_bytes: usize) -> Ns {
+        self.copy_setup + self.copy_word * (page_bytes as u64 / 4)
+    }
+
+    /// The paper's G/L ratio for a pure-fetch reference mix.
+    pub fn g_over_l_fetch(&self) -> f64 {
+        self.global_fetch.0 as f64 / self.local_fetch.0 as f64
+    }
+
+    /// The paper's G/L ratio for a mix with the given store fraction.
+    pub fn g_over_l_mix(&self, store_frac: f64) -> f64 {
+        let g = self.global_fetch.0 as f64 * (1.0 - store_frac)
+            + self.global_store.0 as f64 * store_frac;
+        let l = self.local_fetch.0 as f64 * (1.0 - store_frac)
+            + self.local_store.0 as f64 * store_frac;
+        g / l
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ace()
+    }
+}
+
+/// Direction of a memory reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Access {
+    /// A load.
+    Fetch,
+    /// A store.
+    Store,
+}
+
+/// How far the referenced physical memory is from the referencing
+/// processor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Distance {
+    /// The processor's own local memory.
+    Local,
+    /// Global memory, over the IPC bus.
+    Global,
+    /// Another processor's local memory (remote reference, section 4.4).
+    Remote,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_arithmetic_and_display() {
+        let a = Ns::from_us(2) + Ns(500);
+        assert_eq!(a, Ns(2_500));
+        assert_eq!((a * 4).0, 10_000);
+        assert_eq!(Ns(100).saturating_sub(Ns(200)), Ns::ZERO);
+        assert_eq!(format!("{}", Ns::from_ms(3)), "3.000ms");
+        assert_eq!(format!("{}", Ns(42)), "42ns");
+    }
+
+    #[test]
+    fn ace_ratios_match_paper() {
+        let c = CostModel::ace();
+        // "2.3 times slower than local on fetches, 1.7 times slower on
+        // stores, and about 2 times slower for reference mixes that are
+        // 45% stores."
+        assert!((c.g_over_l_fetch() - 2.3).abs() < 0.02);
+        let store_ratio = c.global_store.0 as f64 / c.local_store.0 as f64;
+        assert!((store_ratio - 1.67).abs() < 0.02);
+        let mixed = c.g_over_l_mix(0.45);
+        assert!((mixed - 2.0).abs() < 0.05, "mixed G/L = {mixed}");
+    }
+
+    #[test]
+    fn page_copy_scales_with_size() {
+        let c = CostModel::ace();
+        let small = c.page_copy(2048);
+        let big = c.page_copy(4096);
+        assert!(big > small);
+        assert_eq!(big - c.copy_setup, (small - c.copy_setup) * 2);
+    }
+
+    #[test]
+    fn access_cost_lookup() {
+        let c = CostModel::ace();
+        assert_eq!(c.access(Access::Fetch, Distance::Local), Ns(650));
+        assert_eq!(c.access(Access::Store, Distance::Global), Ns(1_400));
+        assert!(c.access(Access::Fetch, Distance::Remote) > c.global_fetch);
+    }
+}

@@ -1,0 +1,179 @@
+//! Small identifier types shared across the machine model.
+
+use std::fmt;
+
+/// Identifies one processor module of the machine.
+///
+/// The ACE backplane holds at most eight processors, but the IPC bus was
+/// designed for sixteen; we allow up to [`CpuId::MAX_CPUS`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CpuId(pub u16);
+
+impl CpuId {
+    /// Upper bound on processors per machine, chosen so a [`CpuSet`] fits
+    /// in a single `u64`.
+    pub const MAX_CPUS: usize = 64;
+
+    /// Returns the id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl From<usize> for CpuId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v < Self::MAX_CPUS);
+        CpuId(v as u16)
+    }
+}
+
+/// A set of processors, used by the NUMA directory to track which local
+/// memories hold replicas of a page.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct CpuSet(u64);
+
+impl CpuSet {
+    /// The empty set.
+    pub const EMPTY: CpuSet = CpuSet(0);
+
+    /// Returns a set containing only `cpu`.
+    #[inline]
+    pub fn singleton(cpu: CpuId) -> Self {
+        CpuSet(1u64 << cpu.index())
+    }
+
+    /// Returns a set containing cpus `0..n`.
+    pub fn first_n(n: usize) -> Self {
+        debug_assert!(n <= CpuId::MAX_CPUS);
+        if n == 64 {
+            CpuSet(u64::MAX)
+        } else {
+            CpuSet((1u64 << n) - 1)
+        }
+    }
+
+    /// True if the set holds no processors.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of processors in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if `cpu` is in the set.
+    #[inline]
+    pub fn contains(self, cpu: CpuId) -> bool {
+        self.0 & (1u64 << cpu.index()) != 0
+    }
+
+    /// Adds `cpu` to the set.
+    #[inline]
+    pub fn insert(&mut self, cpu: CpuId) {
+        self.0 |= 1u64 << cpu.index();
+    }
+
+    /// Removes `cpu` from the set.
+    #[inline]
+    pub fn remove(&mut self, cpu: CpuId) {
+        self.0 &= !(1u64 << cpu.index());
+    }
+
+    /// Set difference.
+    #[inline]
+    pub fn without(self, cpu: CpuId) -> Self {
+        CpuSet(self.0 & !(1u64 << cpu.index()))
+    }
+
+    /// Iterates over the processors in the set in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = CpuId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(CpuId(i as u16))
+            }
+        })
+    }
+
+    /// Returns the sole member if the set is a singleton.
+    pub fn only(self) -> Option<CpuId> {
+        if self.0.count_ones() == 1 {
+            Some(CpuId(self.0.trailing_zeros() as u16))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|c| c.0)).finish()
+    }
+}
+
+impl FromIterator<CpuId> for CpuSet {
+    fn from_iter<T: IntoIterator<Item = CpuId>>(iter: T) -> Self {
+        let mut s = CpuSet::EMPTY;
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpuset_insert_remove_contains() {
+        let mut s = CpuSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(CpuId(3));
+        s.insert(CpuId(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(CpuId(3)));
+        assert!(!s.contains(CpuId(1)));
+        s.remove(CpuId(3));
+        assert_eq!(s.only(), Some(CpuId(0)));
+    }
+
+    #[test]
+    fn cpuset_iter_order() {
+        let s: CpuSet = [CpuId(5), CpuId(1), CpuId(9)].into_iter().collect();
+        let v: Vec<u16> = s.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn cpuset_first_n() {
+        let s = CpuSet::first_n(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(CpuId(0)) && s.contains(CpuId(3)));
+        assert!(!s.contains(CpuId(4)));
+        assert_eq!(CpuSet::first_n(64).len(), 64);
+        assert!(CpuSet::first_n(0).is_empty());
+    }
+
+    #[test]
+    fn cpuset_without_and_only() {
+        let s = CpuSet::singleton(CpuId(7));
+        assert_eq!(s.only(), Some(CpuId(7)));
+        assert!(s.without(CpuId(7)).is_empty());
+        assert_eq!(s.without(CpuId(3)), s);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the Rosetta-like MMU: the forward map and the
+//! inverted (one-virtual-address-per-frame) map must stay consistent
+//! under arbitrary operation sequences.
+
+use ace_machine::mmu::{Asid, Mmu, Vpn};
+use ace_machine::{Access, Frame, Prot};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Enter { asid: Asid, vpn: Vpn, frame: u32, writable: bool },
+    Remove { asid: Asid, vpn: Vpn },
+    RemoveFrame { frame: u32 },
+    Protect { asid: Asid, vpn: Vpn, writable: bool },
+    Translate { asid: Asid, vpn: Vpn, store: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let asid = 1u32..3;
+    let vpn = 0u64..8;
+    let frame = 0u32..6;
+    prop_oneof![
+        (asid.clone(), vpn.clone(), frame.clone(), any::<bool>())
+            .prop_map(|(asid, vpn, frame, writable)| Op::Enter { asid, vpn, frame, writable }),
+        (asid.clone(), vpn.clone()).prop_map(|(asid, vpn)| Op::Remove { asid, vpn }),
+        frame.prop_map(|frame| Op::RemoveFrame { frame }),
+        (asid.clone(), vpn.clone(), any::<bool>())
+            .prop_map(|(asid, vpn, writable)| Op::Protect { asid, vpn, writable }),
+        (asid, vpn, any::<bool>())
+            .prop_map(|(asid, vpn, store)| Op::Translate { asid, vpn, store }),
+    ]
+}
+
+/// A naive shadow of the MMU semantics: at most one (asid, vpn) per
+/// frame, newest enter wins.
+#[derive(Default)]
+struct Shadow {
+    map: HashMap<(Asid, Vpn), (u32, bool)>,
+}
+
+impl Shadow {
+    fn enter(&mut self, asid: Asid, vpn: Vpn, frame: u32, writable: bool) {
+        // Displace any other vpn currently holding this frame.
+        self.map.retain(|&k, &mut (f, _)| f != frame || k == (asid, vpn));
+        self.map.insert((asid, vpn), (frame, writable));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mmu_matches_shadow(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut mmu = Mmu::new();
+        let mut shadow = Shadow::default();
+        for op in ops {
+            match op {
+                Op::Enter { asid, vpn, frame, writable } => {
+                    let prot = if writable { Prot::READ_WRITE } else { Prot::READ };
+                    mmu.enter(asid, vpn, Frame::global(frame), prot);
+                    shadow.enter(asid, vpn, frame, writable);
+                }
+                Op::Remove { asid, vpn } => {
+                    mmu.remove(asid, vpn);
+                    shadow.map.remove(&(asid, vpn));
+                }
+                Op::RemoveFrame { frame } => {
+                    mmu.remove_frame(Frame::global(frame));
+                    shadow.map.retain(|_, &mut (f, _)| f != frame);
+                }
+                Op::Protect { asid, vpn, writable } => {
+                    let prot = if writable { Prot::READ_WRITE } else { Prot::READ };
+                    let had = mmu.protect(asid, vpn, prot);
+                    prop_assert_eq!(had, shadow.map.contains_key(&(asid, vpn)));
+                    if let Some(e) = shadow.map.get_mut(&(asid, vpn)) {
+                        e.1 = writable;
+                    }
+                }
+                Op::Translate { asid, vpn, store } => {
+                    let kind = if store { Access::Store } else { Access::Fetch };
+                    let got = mmu.translate(asid, vpn, kind);
+                    match shadow.map.get(&(asid, vpn)) {
+                        None => prop_assert!(got.is_err()),
+                        Some(&(frame, writable)) => {
+                            if store && !writable {
+                                prop_assert!(got.is_err());
+                            } else {
+                                prop_assert_eq!(got, Ok(Frame::global(frame)));
+                            }
+                        }
+                    }
+                }
+            }
+            // Global invariants after every op.
+            prop_assert_eq!(mmu.len(), shadow.map.len());
+            // Each frame mapped at most once: probe every shadow entry.
+            for (&(asid, vpn), &(frame, writable)) in &shadow.map {
+                let m = mmu.probe(asid, vpn).expect("shadow entry must exist");
+                prop_assert_eq!(m.frame, Frame::global(frame));
+                prop_assert_eq!(m.prot.allows_write(), writable);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The application interface.
+
+use ace_sim::Simulator;
+
+/// One benchmark application.
+///
+/// An implementation allocates its memory, spawns `workers` simulated
+/// threads, runs them to completion, and verifies its own output against
+/// a native reference computation. The caller owns the simulator (and
+/// thereby the machine size and placement policy) and reads the
+/// measurements from [`Simulator::report`] afterwards.
+pub trait App {
+    /// Name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// True for applications doing almost all fetches and no stores
+    /// (Gfetch, IMatMult): the paper evaluates their model with
+    /// G/L = 2.3 instead of 2.
+    fn fetch_heavy(&self) -> bool {
+        false
+    }
+
+    /// Builds, runs and verifies the application with `workers` threads.
+    /// Returns `Err` with a description if verification fails.
+    fn run(&self, sim: &mut Simulator, workers: usize) -> Result<(), String>;
+}

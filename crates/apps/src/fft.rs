@@ -1,0 +1,304 @@
+//! FFT: a two-dimensional fast Fourier transform, EPEX FORTRAN style.
+//!
+//! "The FFT program, which does a fast Fourier transform of a 256 by 256
+//! array of floating point numbers, was parallelized using the EPEX
+//! FORTRAN preprocessor. ... Baylor and Rathi analyzed reference traces
+//! from an EPEX fft program and found that about 95% of its data
+//! references were to private memory."
+//!
+//! EPEX gives each process private memory by default with explicitly
+//! shared variables. Here the complex matrix is shared (one page per
+//! row) and each thread owns a private scratch buffer:
+//!
+//! * row phase — each thread transforms its own block of rows: it wrote
+//!   those pages during initialization, so they are local-writable on
+//!   its processor and every reference is local;
+//! * column phase — each thread transforms a block of columns,
+//!   gathering elements across *all* row pages into private scratch and
+//!   scattering results back. The row pages are successively written by
+//!   every column owner, ping-pong, and pin — the small shared
+//!   component on top of ~95% private scratch references.
+
+use crate::app::App;
+use crate::Scale;
+use ace_machine::{Ns, Prot};
+use ace_sim::{Simulator, ThreadCtx};
+use cthreads::Barrier;
+use mach_vm::VAddr;
+
+/// Floating-point cost of one butterfly (complex multiply + two complex
+/// adds; software floating point was very slow on the ROMP).
+const BUTTERFLY_COST: Ns = Ns(93_000);
+
+/// Extra scratch traffic per butterfly: the EPEX FORTRAN compiler kept
+/// intermediates in (private) memory rather than registers, which is
+/// how the traced EPEX fft reached ~95% private references. Each spill
+/// is a read-modify-write of the butterfly's scratch slot.
+const SPILLS_PER_BUTTERFLY: usize = 29;
+
+/// The 2-D FFT application.
+pub struct Fft {
+    /// Matrix dimension (power of two); the paper used 256.
+    n: usize,
+}
+
+impl Fft {
+    /// FFT at the given scale.
+    pub fn new(scale: Scale) -> Fft {
+        Fft {
+            n: match scale {
+                Scale::Test => 16,
+                Scale::Bench => 128,
+            },
+        }
+    }
+
+    /// Explicit dimension (must be a power of two).
+    pub fn with_dim(n: usize) -> Fft {
+        assert!(n.is_power_of_two());
+        Fft { n }
+    }
+
+    /// Deterministic input signal.
+    fn input(i: usize, j: usize) -> (f64, f64) {
+        let x = (i as f64) * 0.37 + (j as f64) * 0.11;
+        (x.sin(), (x * 0.5).cos() * 0.25)
+    }
+
+    /// Native 1-D FFT with exactly the same operation order as the
+    /// simulated version (bit-reversal then iterative butterflies), so
+    /// results are bit-comparable.
+    fn fft_native(buf: &mut [(f64, f64)]) {
+        let n = buf.len();
+        // Bit-reversal permutation.
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            let (wr, wi) = (ang.cos(), ang.sin());
+            let mut i = 0;
+            while i < n {
+                let (mut cr, mut ci) = (1.0f64, 0.0f64);
+                for k in 0..len / 2 {
+                    let (ar, ai) = buf[i + k];
+                    let (br, bi) = buf[i + k + len / 2];
+                    let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                    buf[i + k] = (ar + tr, ai + ti);
+                    buf[i + k + len / 2] = (ar - tr, ai - ti);
+                    let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                    cr = ncr;
+                    ci = nci;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// The native 2-D reference transform.
+    fn reference(&self) -> Vec<(f64, f64)> {
+        let n = self.n;
+        let mut m: Vec<(f64, f64)> =
+            (0..n * n).map(|e| Self::input(e / n, e % n)).collect();
+        for r in 0..n {
+            Self::fft_native(&mut m[r * n..(r + 1) * n]);
+        }
+        for c in 0..n {
+            let mut col: Vec<(f64, f64)> = (0..n).map(|r| m[r * n + c]).collect();
+            Self::fft_native(&mut col);
+            for r in 0..n {
+                m[r * n + c] = col[r];
+            }
+        }
+        m
+    }
+}
+
+/// In-simulation 1-D FFT over a scratch buffer of `n` complex numbers
+/// (each 16 bytes: re then im), charging butterfly compute and making
+/// every element access a real simulated reference.
+fn fft_scratch(ctx: &mut ThreadCtx, scratch: VAddr, n: usize) {
+    let rd = |ctx: &mut ThreadCtx, i: usize| -> (f64, f64) {
+        (
+            ctx.read_f64(scratch + (i as u64) * 16),
+            ctx.read_f64(scratch + (i as u64) * 16 + 8),
+        )
+    };
+    let wr = |ctx: &mut ThreadCtx, i: usize, v: (f64, f64)| {
+        ctx.write_f64(scratch + (i as u64) * 16, v.0);
+        ctx.write_f64(scratch + (i as u64) * 16 + 8, v.1);
+    };
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            let a = rd(ctx, i);
+            let b = rd(ctx, j);
+            wr(ctx, i, b);
+            wr(ctx, j, a);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wre, wim) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = rd(ctx, i + k);
+                let (br, bi) = rd(ctx, i + k + len / 2);
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                wr(ctx, i + k, (ar + tr, ai + ti));
+                wr(ctx, i + k + len / 2, (ar - tr, ai - ti));
+                // Compiler-spilled intermediates (private scratch).
+                for _ in 0..SPILLS_PER_BUTTERFLY {
+                    let v = ctx.read_f64(scratch + ((i + k) as u64) * 16);
+                    ctx.write_f64(scratch + ((i + k) as u64) * 16, v);
+                }
+                ctx.compute(BUTTERFLY_COST);
+                let (nr, ni) = (cr * wre - ci * wim, cr * wim + ci * wre);
+                cr = nr;
+                ci = ni;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+impl App for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn run(&self, sim: &mut Simulator, workers: usize) -> Result<(), String> {
+        let n = self.n;
+        // One complex = 16 bytes; the matrix is row-major and shared.
+        let matrix = sim.alloc((n * n * 16) as u64, Prot::READ_WRITE);
+        let ctl = sim.alloc(64, Prot::READ_WRITE);
+        let bar = Barrier::new(ctl, workers as u32);
+        let rows_per = n.div_ceil(workers);
+        for t in 0..workers {
+            // EPEX private memory: a scratch buffer of one row/column.
+            let scratch = sim.alloc((n * 16) as u64, Prot::READ_WRITE);
+            sim.spawn(format!("fft-{t}"), move |ctx| {
+                let at = |r: usize, c: usize| matrix + ((r * n + c) as u64) * 16;
+                let my_rows = (t * rows_per)..(((t + 1) * rows_per).min(n));
+                // Initialization: each thread writes its own rows.
+                for r in my_rows.clone() {
+                    for c in 0..n {
+                        let (re, im) = Fft::input(r, c);
+                        ctx.write_f64(at(r, c), re);
+                        ctx.write_f64(at(r, c) + 8, im);
+                    }
+                }
+                bar.wait(ctx);
+                // Row phase: transform own rows via private scratch.
+                for r in my_rows.clone() {
+                    for c in 0..n {
+                        let re = ctx.read_f64(at(r, c));
+                        let im = ctx.read_f64(at(r, c) + 8);
+                        ctx.write_f64(scratch + (c as u64) * 16, re);
+                        ctx.write_f64(scratch + (c as u64) * 16 + 8, im);
+                    }
+                    fft_scratch(ctx, scratch, n);
+                    for c in 0..n {
+                        let re = ctx.read_f64(scratch + (c as u64) * 16);
+                        let im = ctx.read_f64(scratch + (c as u64) * 16 + 8);
+                        ctx.write_f64(at(r, c), re);
+                        ctx.write_f64(at(r, c) + 8, im);
+                    }
+                }
+                bar.wait(ctx);
+                // Column phase: gather, transform, scatter.
+                let my_cols = (t * rows_per)..(((t + 1) * rows_per).min(n));
+                for c in my_cols {
+                    for r in 0..n {
+                        let re = ctx.read_f64(at(r, c));
+                        let im = ctx.read_f64(at(r, c) + 8);
+                        ctx.write_f64(scratch + (r as u64) * 16, re);
+                        ctx.write_f64(scratch + (r as u64) * 16 + 8, im);
+                    }
+                    fft_scratch(ctx, scratch, n);
+                    for r in 0..n {
+                        let re = ctx.read_f64(scratch + (r as u64) * 16);
+                        let im = ctx.read_f64(scratch + (r as u64) * 16 + 8);
+                        ctx.write_f64(at(r, c), re);
+                        ctx.write_f64(at(r, c) + 8, im);
+                    }
+                }
+            });
+        }
+        sim.run();
+        // Verify against the native reference transform.
+        let expect = self.reference();
+        for (e, &(re, im)) in expect.iter().enumerate() {
+            let addr = matrix + (e as u64) * 16;
+            let (gr, gi) =
+                sim.with_kernel(|k| (k.peek_f64(addr), k.peek_f64(addr + 8)));
+            if (gr - re).abs() > 1e-6 || (gi - im).abs() > 1e-6 {
+                return Err(format!(
+                    "FFT[{e}] = ({gr}, {gi}), expected ({re}, {im})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::measure_once;
+    use ace_sim::SimConfig;
+    use numa_core::MoveLimitPolicy;
+
+    #[test]
+    fn native_fft_parseval() {
+        let n = 16;
+        let mut buf: Vec<(f64, f64)> = (0..n).map(|i| Fft::input(0, i)).collect();
+        let power_in: f64 = buf.iter().map(|(r, i)| r * r + i * i).sum();
+        Fft::fft_native(&mut buf);
+        let power_out: f64 = buf.iter().map(|(r, i)| r * r + i * i).sum();
+        assert!(
+            (power_out - power_in * n as f64).abs() < 1e-9 * power_out.max(1.0),
+            "Parseval: {power_out} vs {}",
+            power_in * n as f64
+        );
+    }
+
+    #[test]
+    fn transform_is_correct_and_mostly_private() {
+        let app = Fft::new(Scale::Test);
+        let r = measure_once(
+            &app,
+            SimConfig::small(2),
+            Box::new(MoveLimitPolicy::default()),
+            2,
+        );
+        // EPEX FFT: ~95% private references (alpha high).
+        assert!(
+            r.alpha_measured() > 0.75,
+            "alpha_measured = {}",
+            r.alpha_measured()
+        );
+    }
+}

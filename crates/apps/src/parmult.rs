@@ -1,0 +1,141 @@
+//! ParMult: designed not to reference shared memory at all.
+//!
+//! "The ParMult program does nothing but integer multiplication. Its only
+//! data references are for workload allocation and are too infrequent to
+//! be visible through measurement error. Its beta is thus 0 and its alpha
+//! irrelevant."
+
+use crate::app::App;
+use crate::Scale;
+use ace_machine::{Ns, Prot};
+use ace_sim::Simulator;
+use cthreads::WorkPile;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cost of one ROMP integer multiply (software-assisted multiply step
+/// sequences made multiplication expensive on this machine).
+const MUL_COST: Ns = Ns(3_000);
+
+/// Multiplications per work parcel.
+const MULS_PER_PARCEL: u64 = 512;
+
+/// The product chain for one parcel (pure integer multiplication).
+fn parcel_chain(parcel: u64) -> u64 {
+    let mut x = parcel.wrapping_mul(2654435761) | 1;
+    let mut acc = 1u64;
+    for _ in 0..MULS_PER_PARCEL {
+        x = x.wrapping_mul(0x9E37_79B1) | 1;
+        acc = acc.wrapping_mul(x | 1);
+    }
+    acc
+}
+
+/// The pure-compute application.
+pub struct ParMult {
+    parcels: u64,
+}
+
+impl ParMult {
+    /// ParMult at the given scale.
+    pub fn new(scale: Scale) -> ParMult {
+        ParMult {
+            parcels: match scale {
+                Scale::Test => 16,
+                Scale::Bench => 1_024,
+            },
+        }
+    }
+}
+
+impl App for ParMult {
+    fn name(&self) -> &'static str {
+        "ParMult"
+    }
+
+    fn run(&self, sim: &mut Simulator, workers: usize) -> Result<(), String> {
+        let mem = sim.alloc(64, Prot::READ_WRITE);
+        let pile = WorkPile::new(mem, self.parcels);
+        // The checksum is accumulated host-side: ParMult's whole point is
+        // that it touches no simulated memory beyond the work pile.
+        let checksum = Arc::new(AtomicU64::new(0));
+        for t in 0..workers {
+            let checksum = Arc::clone(&checksum);
+            sim.spawn(format!("parmult-{t}"), move |ctx| {
+                let mut sum = 0u64;
+                while let Some(parcel) = pile.take(ctx) {
+                    // A register-only multiply loop: real products, real
+                    // cost, no memory references.
+                    let mut x = parcel.wrapping_mul(2654435761) | 1;
+                    let mut acc = 1u64;
+                    for _ in 0..MULS_PER_PARCEL {
+                        x = x.wrapping_mul(0x9E37_79B1) | 1;
+                        acc = acc.wrapping_mul(x | 1);
+                        ctx.compute(MUL_COST);
+                    }
+                    sum = sum.wrapping_add(acc);
+                }
+                checksum.fetch_add(sum, Ordering::Relaxed);
+            });
+        }
+        sim.run();
+        // Per-parcel chains are partition independent, so the sum over
+        // parcels must match the native recomputation exactly.
+        let expect = (0..self.parcels).fold(0u64, |s, p| s.wrapping_add(parcel_chain(p)));
+        let got = checksum.load(Ordering::Relaxed);
+        if got != expect {
+            return Err(format!("checksum mismatch: {got} != {expect}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::measure_once;
+    use ace_sim::SimConfig;
+    use numa_core::{AllGlobalPolicy, MoveLimitPolicy};
+
+    #[test]
+    fn beta_is_zero() {
+        // ParMult's user time must be (nearly) identical under NUMA and
+        // all-global placement: it references almost no memory.
+        let app = ParMult::new(Scale::Test);
+        let numa = measure_once(
+            &app,
+            SimConfig::small(2),
+            Box::new(MoveLimitPolicy::default()),
+            2,
+        );
+        let global =
+            measure_once(&app, SimConfig::small(2), Box::new(AllGlobalPolicy), 2);
+        let ratio = global.user_secs() / numa.user_secs();
+        assert!(
+            (ratio - 1.0).abs() < 0.01,
+            "T_global/T_numa = {ratio}, expected ~1 for pure compute"
+        );
+    }
+
+    #[test]
+    fn work_is_independent_of_worker_count() {
+        let app = ParMult::new(Scale::Test);
+        let one = measure_once(
+            &app,
+            SimConfig::small(1),
+            Box::new(MoveLimitPolicy::default()),
+            1,
+        );
+        let four = measure_once(
+            &app,
+            SimConfig::small(4),
+            Box::new(MoveLimitPolicy::default()),
+            4,
+        );
+        let ratio = four.user_secs() / one.user_secs();
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "total user time should not scale with workers: {ratio}"
+        );
+    }
+}

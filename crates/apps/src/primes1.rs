@@ -1,0 +1,183 @@
+//! Primes1: trial division by all odd numbers.
+//!
+//! "Primes1 determines if an odd number is prime by dividing it by all
+//! odd numbers less than its square root and checking for remainders. It
+//! computes heavily (division is expensive on the ACE) and most of its
+//! memory references are to the stack during subroutine linkage."
+//!
+//! Each simulated thread has a private stack region; the division
+//! subroutine's linkage (save/restore) references it. Stacks are private
+//! writable pages, so they stay local-writable on the owning processor —
+//! alpha 1.0 — and the division cost dwarfs the reference time —
+//! beta 0.06.
+
+use crate::app::App;
+use crate::Scale;
+use ace_machine::{Ns, Prot};
+use ace_sim::Simulator;
+use cthreads::{SpinLock, WorkPile};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cost of one (software) integer division on the ROMP.
+const DIV_COST: Ns = Ns(12_000);
+
+/// Stack linkage references per division subroutine call: save two
+/// registers, restore two registers.
+const LINKAGE_REFS: usize = 2;
+
+/// Candidates per work parcel.
+const CHUNK: u64 = 32;
+
+/// The all-odd-divisors prime finder.
+pub struct Primes1 {
+    /// Search limit (primes in `3..=limit`).
+    limit: u64,
+}
+
+impl Primes1 {
+    /// Primes1 at the given scale (the paper searched to 10,000,000).
+    pub fn new(scale: Scale) -> Primes1 {
+        Primes1 {
+            limit: match scale {
+                Scale::Test => 600,
+                Scale::Bench => 30_000,
+            },
+        }
+    }
+
+    fn is_prime_odd(n: u64) -> bool {
+        let mut d = 3u64;
+        while d * d <= n {
+            if n % d == 0 {
+                return false;
+            }
+            d += 2;
+        }
+        true
+    }
+
+    /// Native count and sum of primes in range (including 2).
+    fn reference(&self) -> (u64, u64) {
+        let mut count = 1u64; // 2
+        let mut sum = 2u64;
+        let mut n = 3;
+        while n <= self.limit {
+            if Self::is_prime_odd(n) {
+                count += 1;
+                sum += n;
+            }
+            n += 2;
+        }
+        (count, sum)
+    }
+}
+
+impl App for Primes1 {
+    fn name(&self) -> &'static str {
+        "Primes1"
+    }
+
+    fn run(&self, sim: &mut Simulator, workers: usize) -> Result<(), String> {
+        let ctl = sim.alloc(64, Prot::READ_WRITE);
+        let results = sim.alloc(64, Prot::READ_WRITE);
+        let candidates = (self.limit - 1) / 2; // Odd numbers 3,5,...
+        let pile = WorkPile::new(ctl, candidates);
+        let lock = SpinLock::new(ctl + 16);
+        let host_count = Arc::new(AtomicU64::new(0));
+        for t in 0..workers {
+            // A private stack page (EPEX-style private data).
+            let stack = sim.alloc(2048, Prot::READ_WRITE);
+            let host_count = Arc::clone(&host_count);
+            sim.spawn(format!("primes1-{t}"), move |ctx| {
+                let mut found = 0u32;
+                let mut sum = 0u64;
+                while let Some((lo, hi)) = pile.take_chunk(ctx, CHUNK) {
+                    for c in lo..hi {
+                        let n = 3 + 2 * c;
+                        // Trial division subroutine: stack linkage then
+                        // the division loop.
+                        let mut sp = 0u64;
+                        let mut prime = true;
+                        let mut d = 3u64;
+                        while d * d <= n {
+                            // Subroutine linkage to the division helper.
+                            for r in 0..LINKAGE_REFS as u64 {
+                                ctx.write_u32(stack + (sp % 64) * 4 + r * 4, d as u32);
+                            }
+                            sp += 1;
+                            ctx.compute(DIV_COST);
+                            if n % d == 0 {
+                                prime = false;
+                                break;
+                            }
+                            d += 2;
+                        }
+                        if prime {
+                            found += 1;
+                            sum += n;
+                        }
+                    }
+                }
+                // Publish per-thread totals under the shared lock.
+                lock.lock(ctx);
+                let c0 = ctx.read_u32(results);
+                ctx.write_u32(results, c0 + found);
+                let s0 = ctx.read_u32(results + 4) as u64
+                    | ((ctx.read_u32(results + 8) as u64) << 32);
+                let s1 = s0 + sum;
+                ctx.write_u32(results + 4, s1 as u32);
+                ctx.write_u32(results + 8, (s1 >> 32) as u32);
+                lock.unlock(ctx);
+                host_count.fetch_add(found as u64, Ordering::Relaxed);
+            });
+        }
+        sim.run();
+        let (want_count, want_sum) = self.reference();
+        let got_count = sim.with_kernel(|k| k.peek_u32(results)) as u64 + 1; // +1 for 2
+        let got_sum = sim.with_kernel(|k| {
+            k.peek_u32(results + 4) as u64 | ((k.peek_u32(results + 8) as u64) << 32)
+        }) + 2;
+        if got_count != want_count || got_sum != want_sum {
+            return Err(format!(
+                "primes1: got ({got_count}, {got_sum}), expected ({want_count}, {want_sum})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::measure_once;
+    use ace_sim::SimConfig;
+    use numa_core::MoveLimitPolicy;
+
+    #[test]
+    fn finds_the_right_primes() {
+        let app = Primes1::new(Scale::Test);
+        let r = measure_once(
+            &app,
+            SimConfig::small(2),
+            Box::new(MoveLimitPolicy::default()),
+            2,
+        );
+        // Stack references dominate and are local.
+        assert!(
+            r.alpha_measured() > 0.9,
+            "alpha_measured = {}",
+            r.alpha_measured()
+        );
+    }
+
+    #[test]
+    fn reference_sanity() {
+        // pi(600) = 109; known value.
+        let app = Primes1 { limit: 600 };
+        assert_eq!(app.reference().0, 109);
+        let app = Primes1 { limit: 100 };
+        assert_eq!(app.reference().0, 25);
+        assert_eq!(app.reference().1, 1060);
+    }
+}

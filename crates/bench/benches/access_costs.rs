@@ -1,0 +1,60 @@
+//! Reproduces the section 2.2 micro-measurements: 32-bit fetch and store
+//! times for local and global memory and the G/L ratios, measured
+//! end-to-end through the simulator (MMU translation, fault resolution,
+//! clock charging) rather than read off the configuration table.
+
+use ace_machine::{Ns, Prot};
+use ace_sim::{SimConfig, Simulator};
+use numa_bench::banner;
+use numa_core::{AllGlobalPolicy, AllLocalPolicy, CachePolicy};
+use numa_metrics::Table;
+
+/// Measures the mean per-reference user time of `n` repetitions.
+fn measure(policy: Box<dyn CachePolicy>, store: bool, n: u64) -> Ns {
+    let mut sim = Simulator::new(SimConfig::ace(1), policy);
+    let a = sim.alloc(4096, Prot::READ_WRITE);
+    // Fault the page in, then measure steady-state accesses.
+    sim.spawn("warm", move |ctx| {
+        ctx.write_u32(a, 1);
+    });
+    sim.run();
+    sim.with_kernel(|k| k.reset_measurements());
+    sim.spawn("measure", move |ctx| {
+        for _ in 0..n {
+            if store {
+                ctx.write_u32(a, 7);
+            } else {
+                let _ = ctx.read_u32(a);
+            }
+        }
+    });
+    let r = sim.run();
+    Ns(r.total_user().0 / n)
+}
+
+fn main() {
+    banner(
+        "Memory access costs: 32-bit fetch/store, local vs global",
+        "section 2.2 (0.65/0.84 us local, 1.5/1.4 us global)",
+    );
+    let n = 10_000;
+    let local_fetch = measure(Box::new(AllLocalPolicy), false, n);
+    let local_store = measure(Box::new(AllLocalPolicy), true, n);
+    let global_fetch = measure(Box::new(AllGlobalPolicy), false, n);
+    let global_store = measure(Box::new(AllGlobalPolicy), true, n);
+    let mut t = Table::new(&["Access", "measured", "paper"]);
+    t.row(vec!["local fetch".into(), format!("{local_fetch}"), "0.65us".into()]);
+    t.row(vec!["local store".into(), format!("{local_store}"), "0.84us".into()]);
+    t.row(vec!["global fetch".into(), format!("{global_fetch}"), "1.5us".into()]);
+    t.row(vec!["global store".into(), format!("{global_store}"), "1.4us".into()]);
+    println!("{t}");
+    let gl_fetch = global_fetch.0 as f64 / local_fetch.0 as f64;
+    let gl_store = global_store.0 as f64 / local_store.0 as f64;
+    // A 45% store mix, as quoted in the paper.
+    let mixed = (0.55 * global_fetch.0 as f64 + 0.45 * global_store.0 as f64)
+        / (0.55 * local_fetch.0 as f64 + 0.45 * local_store.0 as f64);
+    println!("G/L fetch {gl_fetch:.2} (paper 2.3), store {gl_store:.2} (paper 1.7), 45%-store mix {mixed:.2} (paper ~2)");
+    assert!((gl_fetch - 2.3).abs() < 0.05, "fetch ratio drifted: {gl_fetch}");
+    assert!((gl_store - 1.67).abs() < 0.05, "store ratio drifted: {gl_store}");
+    println!("ok: end-to-end costs match the configured ACE constants");
+}

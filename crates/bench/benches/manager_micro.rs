@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the hot kernel paths: protocol
+//! transitions in the NUMA manager, MMU translation, and the
+//! end-to-end simulated reference.
+//!
+//! These measure the *simulator's* (host) speed, not ACE virtual time —
+//! they exist to keep the reproduction fast enough to run the big
+//! tables, and to catch accidental slowdowns in the request path.
+
+use ace_machine::{Access, CpuId, Machine, MachineConfig, Prot};
+use ace_sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mach_vm::LPageId;
+use numa_core::{AllLocalPolicy, MoveLimitPolicy, NumaManager};
+use std::hint::black_box;
+
+fn bench_manager_transitions(c: &mut Criterion) {
+    c.bench_function("manager/fresh_write_request", |b| {
+        b.iter_batched(
+            || (Machine::new(MachineConfig::small(4)), NumaManager::new()),
+            |(mut m, mut mgr)| {
+                let mut pol = MoveLimitPolicy::default();
+                mgr.zero_page(LPageId(1));
+                black_box(mgr.request(&mut m, LPageId(1), Access::Store, CpuId(0), &mut pol));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("manager/migration_ping_pong", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(MachineConfig::small(2));
+                let mut mgr = NumaManager::new();
+                let mut pol = AllLocalPolicy;
+                mgr.zero_page(LPageId(1));
+                mgr.request(&mut m, LPageId(1), Access::Store, CpuId(0), &mut pol);
+                (m, mgr)
+            },
+            |(mut m, mut mgr)| {
+                let mut pol = AllLocalPolicy;
+                black_box(mgr.request(&mut m, LPageId(1), Access::Store, CpuId(1), &mut pol));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    c.bench_function("mmu/translate_hit", |b| {
+        let mut m = Machine::new(MachineConfig::small(1));
+        let f = m.mem.alloc(ace_machine::MemRegion::Global).unwrap();
+        m.mmu(CpuId(0)).enter(1, 42, f, Prot::READ_WRITE);
+        b.iter(|| black_box(m.mmu(CpuId(0)).translate(1, 42, Access::Fetch)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("sim/steady_state_local_reads_x1000", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(
+                    SimConfig::small(1),
+                    Box::new(MoveLimitPolicy::default()),
+                );
+                let a = sim.alloc(1024, Prot::READ_WRITE);
+                sim.spawn("warm", move |ctx| ctx.write_u32(a, 1));
+                sim.run();
+                (sim, a)
+            },
+            |(mut sim, a)| {
+                sim.spawn("measure", move |ctx| {
+                    for _ in 0..1000 {
+                        black_box(ctx.read_u32(a));
+                    }
+                });
+                sim.run();
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_manager_transitions, bench_mmu, bench_end_to_end
+}
+criterion_main!(benches);

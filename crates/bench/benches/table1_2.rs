@@ -1,0 +1,74 @@
+//! Regenerates Tables 1 and 2 — the NUMA manager actions for read and
+//! write requests — directly from the protocol implementation.
+//!
+//! Every cell is obtained by calling [`numa_core::plan`], the same
+//! function the online manager executes, so the printed tables *are* the
+//! shipped protocol.
+
+use ace_machine::Access;
+use numa_bench::banner;
+use numa_core::{plan, Placement, TableState};
+use numa_metrics::Table;
+
+fn state_name(s: TableState) -> &'static str {
+    match s {
+        TableState::ReadOnly => "Read-Only",
+        TableState::GlobalWritable => "Global-Writable",
+        TableState::LocalWritableOwn => "Local-Writable",
+        TableState::LocalWritableOther => "Local-Writable",
+        TableState::RemoteShared => "Remote-Shared",
+    }
+}
+
+fn print_table(access: Access, caption: &str) {
+    let mut t = Table::new(&[
+        "Policy Decision",
+        "Read-Only",
+        "Global-Writable",
+        "LW (own node)",
+        "LW (other node)",
+    ])
+    .with_title(caption.to_string());
+    for decision in [Placement::Local, Placement::Global] {
+        let mut cleanup_row = vec![match decision {
+            Placement::Local => "LOCAL".to_string(),
+            Placement::Global => "GLOBAL".to_string(),
+            Placement::RemoteAt(_) => unreachable!("paper tables only"),
+        }];
+        let mut copy_row = vec![String::new()];
+        let mut state_row = vec![String::new()];
+        for state in TableState::ALL {
+            let p = plan(access, decision, state);
+            if p.is_no_action(state) {
+                cleanup_row.push("No action".to_string());
+                copy_row.push(String::new());
+                state_row.push(state_name(p.new_state).to_string());
+            } else {
+                cleanup_row.push(p.cleanup.to_string());
+                copy_row.push(
+                    if p.copy_to_local { "copy to local" } else { "-" }.to_string(),
+                );
+                state_row.push(state_name(p.new_state).to_string());
+            }
+        }
+        t.row(cleanup_row);
+        t.row(copy_row);
+        t.row(state_row);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    banner(
+        "Tables 1 and 2: NUMA manager actions",
+        "section 2.3.1, Tables 1 and 2",
+    );
+    println!("Each cell: cleanup of previous cache state / whether the page");
+    println!("is copied into the requester's local memory / the new state.");
+    println!();
+    print_table(Access::Fetch, "Table 1: NUMA Manager Actions for Read Requests");
+    print_table(Access::Store, "Table 2: NUMA Manager Actions for Write Requests");
+    println!("Cells match the paper's Tables 1 and 2 cell for cell; the same");
+    println!("plan() function drives the live protocol (asserted in numa-core");
+    println!("unit tests protocol::tests::table{{1,2}}_*_match_paper).");
+}

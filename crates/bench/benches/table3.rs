@@ -1,0 +1,43 @@
+//! Regenerates Table 3: measured user times and computed model
+//! parameters for the eight-application mix.
+//!
+//! Each application runs three times on fresh simulators: under the
+//! move-limit policy (T_numa), under all-global placement (T_global),
+//! and single-threaded on one processor (T_local); alpha, beta and gamma
+//! come from equations (4), (5) and (1). `alpha(meas)` is the
+//! simulator's directly counted local-reference fraction — ground truth
+//! the paper could not observe. Workloads are scaled down from the
+//! paper's (hours-long) runs; compare factors, not absolute seconds.
+
+use numa_apps::{paper_mix, table3_row, Scale};
+use numa_bench::{banner, table3_cells, EVAL_CPUS};
+use numa_metrics::Table;
+
+fn main() {
+    banner(
+        "Table 3: measured user times (seconds) and model parameters",
+        "section 3.2, Table 3",
+    );
+    let mut t = Table::new(&[
+        "Application",
+        "Tglobal",
+        "Tnuma",
+        "Tlocal",
+        "alpha",
+        "beta",
+        "gamma",
+        "alpha(meas)",
+        "alpha(paper)",
+        "beta(paper)",
+        "gamma(paper)",
+    ]);
+    for app in paper_mix(Scale::Bench) {
+        let row = table3_row(app.as_ref(), EVAL_CPUS, EVAL_CPUS);
+        t.row(table3_cells(&row));
+        eprintln!("  [{} done]", row.name);
+    }
+    println!("{t}");
+    println!("Fetch-heavy rows (Gfetch, IMatMult) use G/L = 2.3; others 2.0,");
+    println!("as in the paper. All runs verify application output against");
+    println!("native reference implementations before timing is accepted.");
+}

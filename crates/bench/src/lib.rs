@@ -1,0 +1,108 @@
+//! Shared plumbing for the evaluation harnesses.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper (or one ablation from DESIGN.md) and prints it next to the
+//! paper's published values. Absolute times differ — the substrate is a
+//! simulator with scaled-down workloads, not the authors' ACE prototype —
+//! but the *shape* (who wins, by what factor, where the crossovers are)
+//! is the reproduction target.
+
+use numa_apps::{Table3Row, Table4Row};
+use numa_metrics::table::fmt_opt;
+
+/// Processor count used by the evaluation runs (Table 4 says "runs on 7
+/// processors"; Table 3 reuses it).
+pub const EVAL_CPUS: usize = 7;
+
+/// Prints the standard harness banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("(paper reference: {paper_ref})");
+    println!("================================================================");
+}
+
+/// Paper values for Table 3, in row order.
+/// (name, t_global, t_numa, t_local, alpha (None = na), beta, gamma)
+pub const PAPER_TABLE3: [(&str, f64, f64, f64, Option<f64>, f64, f64); 8] = [
+    ("ParMult", 67.4, 67.4, 67.3, None, 0.00, 1.00),
+    ("Gfetch", 60.2, 60.2, 26.5, Some(0.0), 1.0, 2.27),
+    ("IMatMult", 82.1, 69.0, 68.2, Some(0.94), 0.26, 1.01),
+    ("Primes1", 18502.2, 17413.9, 17413.3, Some(1.0), 0.06, 1.00),
+    ("Primes2", 5754.3, 4972.9, 4968.9, Some(0.99), 0.16, 1.00),
+    ("Primes3", 39.1, 37.4, 28.8, Some(0.17), 0.36, 1.30),
+    ("FFT", 687.4, 449.0, 438.4, Some(0.96), 0.56, 1.02),
+    ("PlyTrace", 56.9, 38.8, 38.0, Some(0.96), 0.50, 1.02),
+];
+
+/// Paper values for Table 4: (name, s_numa, s_global, delta_s, t_numa,
+/// overhead %).
+pub const PAPER_TABLE4: [(&str, f64, f64, Option<f64>, f64, f64); 5] = [
+    ("IMatMult", 4.5, 1.2, Some(3.3), 82.1, 4.0),
+    ("Primes1", 1.4, 2.3, None, 17413.9, 0.0),
+    ("Primes2", 29.9, 8.5, Some(21.4), 4972.9, 0.4),
+    ("Primes3", 11.2, 1.9, Some(9.3), 37.4, 24.9),
+    ("FFT", 21.1, 10.0, Some(11.1), 449.0, 2.5),
+];
+
+/// Paper alpha for the measured row, for side-by-side printing.
+pub fn paper_alpha(name: &str) -> Option<f64> {
+    PAPER_TABLE3.iter().find(|r| r.0 == name).and_then(|r| r.4)
+}
+
+/// Paper beta/gamma lookups.
+pub fn paper_beta_gamma(name: &str) -> (f64, f64) {
+    PAPER_TABLE3
+        .iter()
+        .find(|r| r.0 == name)
+        .map(|r| (r.5, r.6))
+        .unwrap_or((f64::NAN, f64::NAN))
+}
+
+/// Renders one Table 3 measurement row plus the paper's factors.
+pub fn table3_cells(r: &Table3Row) -> Vec<String> {
+    let (pb, pg) = paper_beta_gamma(r.name);
+    vec![
+        r.name.to_string(),
+        format!("{:.2}", r.t_global),
+        format!("{:.2}", r.t_numa),
+        format!("{:.2}", r.t_local),
+        fmt_opt(r.alpha, 2),
+        format!("{:.2}", r.beta),
+        format!("{:.2}", r.gamma),
+        format!("{:.3}", r.alpha_measured),
+        fmt_opt(paper_alpha(r.name), 2),
+        format!("{pb:.2}"),
+        format!("{pg:.2}"),
+    ]
+}
+
+/// Renders one Table 4 measurement row plus the paper's overhead.
+pub fn table4_cells(r: &Table4Row) -> Vec<String> {
+    let paper = PAPER_TABLE4.iter().find(|p| p.0 == r.name);
+    vec![
+        r.name.to_string(),
+        format!("{:.3}", r.s_numa),
+        format!("{:.3}", r.s_global),
+        format!("{:.3}", r.delta_s),
+        format!("{:.2}", r.t_numa),
+        format!("{:.1}%", r.overhead_pct()),
+        paper.map(|p| format!("{:.1}%", p.5)).unwrap_or_default(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_are_consistent() {
+        assert_eq!(PAPER_TABLE3.len(), 8);
+        assert_eq!(PAPER_TABLE4.len(), 5);
+        assert_eq!(paper_alpha("Gfetch"), Some(0.0));
+        assert_eq!(paper_alpha("ParMult"), None);
+        let (b, g) = paper_beta_gamma("Primes3");
+        assert_eq!((b, g), (0.36, 1.30));
+    }
+}

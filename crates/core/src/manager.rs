@@ -1,0 +1,993 @@
+//! The NUMA manager: directory-based consistency for pages cached in
+//! local memories.
+//!
+//! ACE local memories are managed as a cache of global memory. The
+//! manager keeps, for each logical page, a directory entry recording the
+//! page's state (read-only / local-writable / global-writable), which
+//! local frames hold copies, whether the global frame holds current data,
+//! and the page's ownership-move history. On each request it asks the
+//! policy for a placement, looks up the transition in
+//! [`crate::protocol::plan`] (Tables 1 and 2), and executes it against
+//! the machine: copying pages, dropping mappings, and charging the
+//! kernel time involved to the requesting processor's system clock.
+
+use crate::policy::CachePolicy;
+use crate::protocol::{plan, Cleanup, Placement, TableState};
+use crate::stats::NumaStats;
+use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Prot};
+use mach_vm::LPageId;
+use std::collections::HashMap;
+
+/// Directory state of one logical page (the three states of section
+/// 2.3.1, plus `Fresh` for pages that have never been placed anywhere
+/// and the section 4.4 remote-reference extension state).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StateKind {
+    /// Never materialized; zero-fill pending.
+    Fresh,
+    /// Replicated read-only in zero or more local memories.
+    ReadOnly,
+    /// Writable in exactly one local memory.
+    LocalWritable(CpuId),
+    /// In global memory, accessed directly by all processors.
+    GlobalWritable,
+    /// Extension (section 4.4): hosted writable in the given processor's
+    /// local memory; every processor maps the host frame directly (the
+    /// host at local speed, the rest at remote speed).
+    RemoteShared(CpuId),
+}
+
+/// Pending first-placement contents (the lazy-fill generalization of
+/// the paper's lazy zero-fill: a page coming back from backing store is
+/// loaded directly into whatever frame it is first placed in).
+#[derive(Debug, Default, PartialEq)]
+enum Fill {
+    /// Nothing pending: some frame already holds current data.
+    #[default]
+    None,
+    /// Zero-fill pending.
+    Zero,
+    /// Page-in contents pending.
+    Data(Box<[u8]>),
+}
+
+/// Per-page directory entry.
+#[derive(Debug)]
+struct PageInfo {
+    state: StateKind,
+    /// Local frames holding copies (RO replicas, or the LW copy).
+    locals: HashMap<CpuId, Frame>,
+    /// The page's reserved global frame, once materialized.
+    global: Option<Frame>,
+    /// True if the global frame holds current data.
+    global_valid: bool,
+    /// First-placement fill still pending (evaluated lazily).
+    fill: Fill,
+    /// Write-induced ownership transfers so far.
+    move_count: u32,
+    /// Last processor that held the page local-writable.
+    last_owner: Option<CpuId>,
+}
+
+impl PageInfo {
+    fn new() -> PageInfo {
+        PageInfo {
+            state: StateKind::Fresh,
+            locals: HashMap::new(),
+            global: None,
+            global_valid: false,
+            fill: Fill::None,
+            move_count: 0,
+            last_owner: None,
+        }
+    }
+
+    fn fill_pending(&self) -> bool {
+        self.fill != Fill::None
+    }
+}
+
+/// Read-only view of a page's directory entry, for tests and the
+/// evaluation harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageView {
+    /// Current state.
+    pub state: StateKind,
+    /// Number of local copies.
+    pub copies: usize,
+    /// Ownership moves so far.
+    pub move_count: u32,
+    /// Whether the global frame holds current data.
+    pub global_valid: bool,
+}
+
+/// The outcome of one request: what frame the requester should map, and
+/// with what protection ceiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// Frame to enter into the requester's MMU.
+    pub frame: Frame,
+    /// The loosest protection the NUMA layer allows for this mapping
+    /// (the pmap manager intersects it with the user's maximum). For a
+    /// read-only replica this is `READ`, enforcing the consistency
+    /// protocol; for local-writable and global-writable mappings it is
+    /// `READ_WRITE`.
+    pub prot_ceiling: Prot,
+}
+
+/// The directory and protocol engine.
+pub struct NumaManager {
+    pages: HashMap<LPageId, PageInfo>,
+    stats: NumaStats,
+}
+
+impl NumaManager {
+    /// An empty directory.
+    pub fn new() -> NumaManager {
+        NumaManager { pages: HashMap::new(), stats: NumaStats::default() }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> NumaStats {
+        self.stats
+    }
+
+    /// Resets aggregate statistics (page state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = NumaStats::default();
+    }
+
+    /// Directory view of one page.
+    pub fn view(&self, lpage: LPageId) -> PageView {
+        match self.pages.get(&lpage) {
+            None => PageView {
+                state: StateKind::Fresh,
+                copies: 0,
+                move_count: 0,
+                global_valid: false,
+            },
+            Some(p) => PageView {
+                state: p.state,
+                copies: p.locals.len(),
+                move_count: p.move_count,
+                global_valid: p.global_valid,
+            },
+        }
+    }
+
+    /// Marks the page as needing zero-fill (Mach's `pmap_zero_page`,
+    /// evaluated lazily; section 2.3.1).
+    pub fn zero_page(&mut self, lpage: LPageId) {
+        self.pages.entry(lpage).or_insert_with(PageInfo::new).fill = Fill::Zero;
+    }
+
+    /// Marks the page as needing to be filled with `data` at first
+    /// placement (page-in from backing store; same laziness as
+    /// zero-fill).
+    pub fn load_page(&mut self, lpage: LPageId, data: Box<[u8]>) {
+        self.pages.entry(lpage).or_insert_with(PageInfo::new).fill = Fill::Data(data);
+    }
+
+    /// Applies a pending fill to `frame`, charging `cpu` system time.
+    fn apply_fill(&mut self, m: &mut Machine, lpage: LPageId, frame: Frame, cpu: CpuId) {
+        match std::mem::take(&mut self.page(lpage).fill) {
+            Fill::None => {}
+            Fill::Zero => {
+                m.kernel_zero_page(cpu, frame);
+            }
+            Fill::Data(data) => {
+                m.mem.write_bytes(frame, 0, &data);
+                m.clocks.charge_system(cpu, m.config.costs.page_copy(data.len()));
+            }
+        }
+    }
+
+    /// Serves one request: the heart of the pmap layer.
+    ///
+    /// `cpu` faulted on logical page `lpage` with an access of kind
+    /// `access`; the policy decides LOCAL or GLOBAL and the manager
+    /// executes the corresponding cell of Table 1 or 2. Returns the frame
+    /// to map and its protection ceiling.
+    pub fn request(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        access: Access,
+        cpu: CpuId,
+        policy: &mut dyn CachePolicy,
+    ) -> Grant {
+        self.stats.requests += 1;
+        match access {
+            Access::Fetch => self.stats.read_requests += 1,
+            Access::Store => self.stats.write_requests += 1,
+        }
+
+        let mut decision = policy.decide(lpage, access, cpu);
+
+        // A LOCAL decision needs a local frame (unless the requester
+        // already holds a copy); under local memory pressure fall back to
+        // GLOBAL rather than fail.
+        if decision == Placement::Local {
+            let has_copy = self
+                .pages
+                .get(&lpage)
+                .is_some_and(|p| p.locals.contains_key(&cpu));
+            if !has_copy && m.mem.free_frames(MemRegion::Local(cpu)) == 0 {
+                decision = Placement::Global;
+                self.stats.local_pressure_fallbacks += 1;
+            }
+        }
+
+        // The remote-reference extension bypasses the paper's tables.
+        if let Placement::RemoteAt(host) = decision {
+            return self.execute_remote(m, lpage, host, cpu);
+        }
+        // Leaving the extension state first demotes the page to
+        // global-writable; the paper's tables then apply unchanged.
+        if let StateKind::RemoteShared(host) = self
+            .pages
+            .entry(lpage)
+            .or_insert_with(PageInfo::new)
+            .state
+        {
+            self.leave_remote(m, lpage, host, cpu);
+        }
+        let info = self.pages.entry(lpage).or_insert_with(PageInfo::new);
+        let table_state = match info.state {
+            StateKind::Fresh | StateKind::ReadOnly => TableState::ReadOnly,
+            StateKind::GlobalWritable => TableState::GlobalWritable,
+            StateKind::LocalWritable(owner) if owner == cpu => TableState::LocalWritableOwn,
+            StateKind::LocalWritable(_) => TableState::LocalWritableOther,
+            StateKind::RemoteShared(_) => unreachable!("demoted above"),
+        };
+        let p = plan(access, decision, table_state);
+
+        // Content preservation: any transition that will copy from the
+        // global frame, or end in a state whose truth is the global
+        // frame, needs the global frame valid first. Sync/flush cleanups
+        // subsume this; for the remaining cases do it explicitly.
+        let will_need_global = p.copy_to_local || p.new_state == TableState::GlobalWritable;
+        if will_need_global && !self.page(lpage).global_valid && !self.page(lpage).fill_pending() {
+            self.ensure_global_valid(m, lpage, cpu);
+        }
+
+        // 1. Cleanup of previous cache state (top line of the cell).
+        match p.cleanup {
+            Cleanup::None => {}
+            Cleanup::FlushAll => self.flush(m, lpage, cpu, /* include_requester = */ true),
+            Cleanup::FlushOther => self.flush(m, lpage, cpu, false),
+            Cleanup::UnmapAll => self.unmap_global(m, lpage, cpu),
+            Cleanup::SyncFlushOwn | Cleanup::SyncFlushOther => {
+                self.ensure_global_valid(m, lpage, cpu);
+                self.flush(m, lpage, cpu, true);
+            }
+            Cleanup::SyncFlushHost | Cleanup::FlushNonHost => {
+                unreachable!("extension cleanups are executed by execute_remote")
+            }
+        }
+
+        // 2. Copy to local (middle line), satisfied for free if the
+        // requester already holds a copy.
+        if p.copy_to_local {
+            self.ensure_local_copy(m, lpage, cpu, access);
+        }
+
+        // 3. New state (bottom line), with move accounting for
+        // write-induced ownership transfers.
+        let info = self.pages.get_mut(&lpage).expect("entry created above");
+        let new_state = match p.new_state {
+            TableState::ReadOnly => StateKind::ReadOnly,
+            TableState::GlobalWritable => StateKind::GlobalWritable,
+            TableState::LocalWritableOwn => StateKind::LocalWritable(cpu),
+            TableState::LocalWritableOther | TableState::RemoteShared => {
+                unreachable!("plans never target another node or the extension state")
+            }
+        };
+        if let StateKind::LocalWritable(owner) = new_state {
+            if info.last_owner.is_some() && info.last_owner != Some(owner) {
+                info.move_count += 1;
+                self.stats.migrations += 1;
+                policy.on_move(lpage);
+            }
+            info.last_owner = Some(owner);
+            // The owner's local copy is now the truth.
+            info.global_valid = false;
+        }
+        if new_state == StateKind::GlobalWritable && info.state != StateKind::GlobalWritable {
+            self.stats.to_global += 1;
+            if decision == Placement::Global && info.move_count > 0 {
+                self.stats.pins += 1;
+            }
+        }
+        info.state = new_state;
+
+        // Materialize the grant.
+        match new_state {
+            StateKind::ReadOnly => {
+                let frame = *self
+                    .pages
+                    .get(&lpage)
+                    .and_then(|p| p.locals.get(&cpu))
+                    .expect("copy_to_local ensured a replica");
+                Grant { frame, prot_ceiling: Prot::READ }
+            }
+            StateKind::LocalWritable(_) => {
+                let frame = *self
+                    .pages
+                    .get(&lpage)
+                    .and_then(|p| p.locals.get(&cpu))
+                    .expect("copy_to_local ensured the owner copy");
+                Grant { frame, prot_ceiling: Prot::READ_WRITE }
+            }
+            StateKind::GlobalWritable => {
+                let frame = self.ensure_global_frame(m, lpage, cpu);
+                Grant { frame, prot_ceiling: Prot::READ_WRITE }
+            }
+            StateKind::Fresh | StateKind::RemoteShared(_) => {
+                unreachable!("requests always leave a placed two-level state here")
+            }
+        }
+    }
+
+    /// The section 4.4 extension: place (or keep) the page hosted in
+    /// `host`'s local memory, with every processor mapping the host
+    /// frame directly. Transition rules are the "straightforward
+    /// extension" of Tables 1 and 2: establish a single host copy
+    /// (syncing any dirty copy first), drop every other copy and
+    /// mapping, and grant direct mappings.
+    fn execute_remote(&mut self, m: &mut Machine, lpage: LPageId, host: CpuId, cpu: CpuId) -> Grant {
+        let state = self.page(lpage).state;
+        match state {
+            StateKind::RemoteShared(h) if h == host => {
+                // No action: hand out the host frame.
+            }
+            _ => {
+                // Establish a valid global image first (syncs any dirty
+                // local or remote-hosted copy), then a fresh host copy.
+                if self.page(lpage).fill_pending() {
+                    // Fill straight into the host's local memory.
+                    self.flush(m, lpage, host, true);
+                    let frame = m
+                        .mem
+                        .alloc(MemRegion::Local(host))
+                        .expect("host local memory has room for the hosted page");
+                    self.apply_fill(m, lpage, frame, cpu);
+                    self.page(lpage).locals.insert(host, frame);
+                } else {
+                    self.ensure_global_valid(m, lpage, cpu);
+                    self.flush(m, lpage, host, true);
+                    self.unmap_global(m, lpage, cpu);
+                    if !self.page(lpage).locals.contains_key(&host) {
+                        let frame = m
+                            .mem
+                            .alloc(MemRegion::Local(host))
+                            .expect("host local memory has room for the hosted page");
+                        let src = self.page(lpage).global.expect("validated above");
+                        m.kernel_copy_page(cpu, src, frame);
+                        self.page(lpage).locals.insert(host, frame);
+                    }
+                }
+                let info = self.page(lpage);
+                info.state = StateKind::RemoteShared(host);
+                info.global_valid = false;
+                self.stats.to_remote += 1;
+            }
+        }
+        let frame = *self
+            .page(lpage)
+            .locals
+            .get(&host)
+            .expect("remote-shared page has its host copy");
+        Grant { frame, prot_ceiling: Prot::READ_WRITE }
+    }
+
+    /// Demotes a remote-shared page to global-writable (syncing the host
+    /// copy back), so the two-level tables apply again.
+    fn leave_remote(&mut self, m: &mut Machine, lpage: LPageId, host: CpuId, cpu: CpuId) {
+        let _ = host;
+        self.ensure_global_valid(m, lpage, cpu);
+        // Drop the host frame and every mapping of it, on all cpus.
+        let frames: Vec<Frame> = self.page(lpage).locals.values().copied().collect();
+        for f in frames {
+            for i in 0..m.n_cpus() {
+                m.mmus[i].remove_frame(f);
+            }
+            m.mem.free(f);
+            self.stats.flushes += 1;
+        }
+        self.page(lpage).locals.clear();
+        let info = self.page(lpage);
+        info.state = StateKind::GlobalWritable;
+        debug_assert!(info.global_valid);
+    }
+
+    fn page(&mut self, lpage: LPageId) -> &mut PageInfo {
+        self.pages.get_mut(&lpage).expect("page entry exists")
+    }
+
+    /// Materializes the page's reserved global frame (logical page `i`
+    /// corresponds to global frame `i`), zero-filling it if the zero is
+    /// still pending.
+    fn ensure_global_frame(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId) -> Frame {
+        let info = self.page(lpage);
+        if info.global.is_none() {
+            let f = m
+                .mem
+                .alloc_global_at(lpage.0)
+                .expect("pool and global memory are the same size");
+            info.global = Some(f);
+        }
+        let f = info.global.expect("just set");
+        if self.page(lpage).fill_pending() {
+            if self.page(lpage).fill == Fill::Zero {
+                self.stats.zero_fill_global += 1;
+            }
+            self.apply_fill(m, lpage, f, cpu);
+            self.page(lpage).global_valid = true;
+        }
+        f
+    }
+
+    /// Makes the global frame hold current data, syncing from a local
+    /// copy if necessary.
+    fn ensure_global_valid(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId) {
+        if self.page(lpage).global_valid {
+            return;
+        }
+        if self.page(lpage).fill_pending() {
+            self.ensure_global_frame(m, lpage, cpu);
+            return;
+        }
+        // Sync from any existing local copy (the LW owner's, or an RO
+        // replica from a lazily zero-filled page).
+        let src = self
+            .page(lpage)
+            .locals
+            .iter()
+            .min_by_key(|(c, _)| c.index())
+            .map(|(_, &f)| f);
+        let src = src.expect("an invalid global frame implies a local copy exists");
+        let dst = self.ensure_global_frame(m, lpage, cpu);
+        m.kernel_copy_page(cpu, src, dst);
+        self.stats.syncs += 1;
+        self.page(lpage).global_valid = true;
+    }
+
+    /// Ensures the requester holds a local copy, allocating and filling
+    /// its frame. Replications (copies serving reads) are counted
+    /// separately from the copy half of a migration.
+    fn ensure_local_copy(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId, access: Access) {
+        if self.page(lpage).locals.contains_key(&cpu) {
+            return;
+        }
+        let frame = m
+            .mem
+            .alloc(MemRegion::Local(cpu))
+            .expect("pressure fallback guaranteed a free local frame");
+        if self.page(lpage).fill_pending() {
+            // Lazy fill straight into local memory: the optimization of
+            // section 2.3.1 (avoid writing zeros — or paged-in data —
+            // into global memory and immediately copying them).
+            if self.page(lpage).fill == Fill::Zero {
+                self.stats.zero_fill_local += 1;
+            }
+            self.apply_fill(m, lpage, frame, cpu);
+        } else {
+            let src = self.page(lpage).global.expect("global data validated");
+            debug_assert!(self.page(lpage).global_valid);
+            m.kernel_copy_page(cpu, src, frame);
+            if access == Access::Fetch {
+                self.stats.replications += 1;
+            }
+        }
+        self.page(lpage).locals.insert(cpu, frame);
+    }
+
+    /// Drops local copies (and their mappings): the paper's "flush". If
+    /// `include_requester` is false the requester's own copy survives
+    /// (Table 2's "flush other" keeps the replica that becomes the
+    /// writable copy).
+    fn flush(&mut self, m: &mut Machine, lpage: LPageId, requester: CpuId, include_requester: bool) {
+        let victims: Vec<(CpuId, Frame)> = self
+            .page(lpage)
+            .locals
+            .iter()
+            .filter(|(c, _)| include_requester || **c != requester)
+            .map(|(&c, &f)| (c, f))
+            .collect();
+        for (c, f) in victims {
+            // A local frame is normally mapped only on its own processor,
+            // but a remote-hosted frame may be mapped anywhere.
+            for i in 0..m.n_cpus() {
+                m.mmus[i].remove_frame(f);
+            }
+            m.mem.free(f);
+            self.page(lpage).locals.remove(&c);
+            self.stats.flushes += 1;
+            if c != requester {
+                m.charge_shootdown(requester);
+                self.stats.shootdowns += 1;
+            }
+        }
+    }
+
+    /// Drops global-frame mappings on every processor: the paper's
+    /// "unmap" (for Global-Writable pages, which have no local copies).
+    fn unmap_global(&mut self, m: &mut Machine, lpage: LPageId, requester: CpuId) {
+        let Some(gf) = self.pages.get(&lpage).and_then(|p| p.global) else {
+            return;
+        };
+        for i in 0..m.n_cpus() {
+            if m.mmus[i].remove_frame(gf).is_some() && i != requester.index() {
+                m.charge_shootdown(requester);
+                self.stats.shootdowns += 1;
+            }
+        }
+    }
+
+    /// Drops every mapping of the page everywhere, without changing its
+    /// directory state (`pmap_remove_all`, and the mechanism behind
+    /// pin reconsideration).
+    pub fn drop_all_mappings(&mut self, m: &mut Machine, lpage: LPageId) {
+        let Some(info) = self.pages.get(&lpage) else {
+            return;
+        };
+        let frames: Vec<Frame> = info.locals.values().copied().chain(info.global).collect();
+        for f in frames {
+            for i in 0..m.n_cpus() {
+                m.mmus[i].remove_frame(f);
+            }
+        }
+    }
+
+    /// Releases every frame the page holds and forgets its directory
+    /// entry (the completion half of lazy page freeing). The page's move
+    /// history dies with it: a reallocated page starts cacheable again.
+    pub fn release_page(&mut self, m: &mut Machine, lpage: LPageId) {
+        self.drop_all_mappings(m, lpage);
+        if let Some(info) = self.pages.remove(&lpage) {
+            for (_, f) in info.locals {
+                m.mem.free(f);
+            }
+            if let Some(g) = info.global {
+                m.mem.free(g);
+            }
+        }
+    }
+
+    /// Consistency check used by tests and property harnesses: every RO
+    /// replica must be byte-identical to the global frame when the global
+    /// frame is valid, and directory invariants must hold. Returns a
+    /// description of the first violation found.
+    pub fn check_invariants(&self, m: &mut Machine, lpage: LPageId) -> Result<(), String> {
+        let Some(info) = self.pages.get(&lpage) else {
+            return Ok(());
+        };
+        match info.state {
+            StateKind::Fresh => {
+                if !info.locals.is_empty() {
+                    return Err(format!("{lpage:?}: fresh page has local copies"));
+                }
+            }
+            StateKind::ReadOnly => {
+                if info.global_valid {
+                    let g = info.global.ok_or("RO valid page without global frame")?;
+                    for (&c, &f) in &info.locals {
+                        if !m.mem.pages_equal(g, f) {
+                            return Err(format!(
+                                "{lpage:?}: replica on {c} differs from global"
+                            ));
+                        }
+                    }
+                } else if info.locals.len() > 1 {
+                    return Err(format!(
+                        "{lpage:?}: multiple replicas but global is stale"
+                    ));
+                }
+            }
+            StateKind::LocalWritable(owner) => {
+                if info.locals.len() != 1 {
+                    return Err(format!(
+                        "{lpage:?}: LW page has {} local copies",
+                        info.locals.len()
+                    ));
+                }
+                if !info.locals.contains_key(&owner) {
+                    return Err(format!("{lpage:?}: LW copy not on owner {owner}"));
+                }
+            }
+            StateKind::GlobalWritable => {
+                if !info.locals.is_empty() {
+                    return Err(format!("{lpage:?}: GW page has local copies"));
+                }
+                if !info.global_valid {
+                    return Err(format!("{lpage:?}: GW page with invalid global"));
+                }
+            }
+            StateKind::RemoteShared(host) => {
+                if info.locals.len() != 1 || !info.locals.contains_key(&host) {
+                    return Err(format!(
+                        "{lpage:?}: remote-shared page must have exactly the host copy"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies the page's authoritative contents into `buf` (pageout),
+    /// charging `cpu` system time for the copy. Fresh/zero pages read as
+    /// zeros.
+    pub fn read_page(&mut self, m: &mut Machine, lpage: LPageId, buf: &mut [u8], cpu: CpuId) {
+        match self.truth_frame(lpage) {
+            Some(f) => m.mem.read_bytes(f, 0, buf),
+            None => match self.pages.get(&lpage) {
+                Some(info) => match &info.fill {
+                    Fill::Data(d) => buf.copy_from_slice(d),
+                    _ => buf.fill(0),
+                },
+                None => buf.fill(0),
+            },
+        }
+        m.clocks.charge_system(cpu, m.config.costs.page_copy(buf.len()));
+    }
+
+    /// Harvests (reads and clears) the page's referenced bits across
+    /// every mapping of any of its frames.
+    pub fn clear_reference(&mut self, m: &mut Machine, lpage: LPageId) -> bool {
+        let Some(info) = self.pages.get(&lpage) else {
+            return false;
+        };
+        let frames: Vec<Frame> = info.locals.values().copied().chain(info.global).collect();
+        let mut referenced = false;
+        for f in frames {
+            for i in 0..m.n_cpus() {
+                if let Some(r) = m.mmus[i].take_referenced_frame(f) {
+                    referenced |= r;
+                }
+            }
+        }
+        referenced
+    }
+
+    /// The page's pending page-in contents, if a data fill has not been
+    /// applied yet (debug/verification access).
+    pub fn peek_fill(&self, lpage: LPageId) -> Option<&[u8]> {
+        match self.pages.get(&lpage).map(|p| &p.fill) {
+            Some(Fill::Data(d)) => Some(&d[..]),
+            _ => None,
+        }
+    }
+
+    /// Iterates over all known pages (for whole-directory checks).
+    pub fn known_pages(&self) -> impl Iterator<Item = LPageId> + '_ {
+        self.pages.keys().copied()
+    }
+
+    /// The frame currently holding the page's authoritative data, if any
+    /// frame has been materialized (`None` means the page is still
+    /// all-zeros). Used by debug peeks and result verification.
+    pub fn truth_frame(&self, lpage: LPageId) -> Option<Frame> {
+        let info = self.pages.get(&lpage)?;
+        match info.state {
+            StateKind::Fresh => None,
+            StateKind::GlobalWritable => info.global,
+            StateKind::LocalWritable(owner) => info.locals.get(&owner).copied(),
+            StateKind::RemoteShared(host) => info.locals.get(&host).copied(),
+            StateKind::ReadOnly => {
+                if info.global_valid {
+                    info.global
+                } else {
+                    info.locals.values().next().copied()
+                }
+            }
+        }
+    }
+}
+
+impl Default for NumaManager {
+    fn default() -> Self {
+        NumaManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AllGlobalPolicy, AllLocalPolicy, MoveLimitPolicy};
+    use ace_machine::MachineConfig;
+
+    const L: LPageId = LPageId(3);
+
+    fn setup() -> (Machine, NumaManager) {
+        (Machine::new(MachineConfig::small(4)), NumaManager::new())
+    }
+
+    #[test]
+    fn fresh_read_local_becomes_replicated() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::default();
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut pol);
+        assert_eq!(g.prot_ceiling, Prot::READ);
+        assert!(matches!(g.frame.region, MemRegion::Local(CpuId(0))));
+        assert_eq!(mgr.view(L).state, StateKind::ReadOnly);
+        assert_eq!(mgr.stats().zero_fill_local, 1);
+        // Second processor reads: replica, and global gets synced first.
+        let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol);
+        assert!(matches!(g2.frame.region, MemRegion::Local(CpuId(1))));
+        assert_eq!(mgr.view(L).copies, 2);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn fresh_write_local_becomes_local_writable() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::default();
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(2), &mut pol);
+        assert_eq!(g.prot_ceiling, Prot::READ_WRITE);
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(2)));
+        assert_eq!(mgr.view(L).move_count, 0, "first placement is not a move");
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn write_ping_pong_counts_moves_and_preserves_data() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::new(100);
+        mgr.zero_page(L);
+        // cpu0 writes, then cpu1 writes, alternating; data must follow.
+        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        m.mem.write_u32(g0.frame, 0, 11);
+        let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        assert_eq!(m.mem.read_u32(g1.frame, 0), 11, "content migrated with page");
+        m.mem.write_u32(g1.frame, 0, 22);
+        let g0b = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        assert_eq!(m.mem.read_u32(g0b.frame, 0), 22);
+        assert_eq!(mgr.view(L).move_count, 2);
+        assert_eq!(mgr.stats().migrations, 2);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn read_after_write_syncs_and_replicates() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::default();
+        mgr.zero_page(L);
+        let gw = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        m.mem.write_u32(gw.frame, 8, 77);
+        // Another cpu reads: sync&flush other, copy to local, Read-Only.
+        let gr = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol);
+        assert_eq!(m.mem.read_u32(gr.frame, 8), 77);
+        assert_eq!(mgr.view(L).state, StateKind::ReadOnly);
+        assert_eq!(mgr.stats().syncs, 1);
+        // Owner's copy was flushed; only cpu1 holds a replica.
+        assert_eq!(mgr.view(L).copies, 1);
+        assert!(mgr.view(L).global_valid);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn global_policy_ends_global_writable() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = AllGlobalPolicy;
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        assert!(g.frame.is_global());
+        assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
+        assert_eq!(mgr.stats().zero_fill_global, 1);
+        m.mem.write_u32(g.frame, 0, 5);
+        // Other processors share the same frame directly.
+        let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(3), &mut pol);
+        assert_eq!(g2.frame, g.frame);
+        assert_eq!(m.mem.read_u32(g2.frame, 0), 5);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn pinning_after_threshold_moves_data_to_global() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::new(1);
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        m.mem.write_u32(g.frame, 0, 1);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol); // move 1
+        m.mem.write_u32(g.frame, 0, 2);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol); // move 2
+        m.mem.write_u32(g.frame, 0, 3);
+        // The policy decides from *past* moves: with 2 moves recorded and
+        // threshold 1, the next request is answered GLOBAL and pins the
+        // page.
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        assert!(g.frame.is_global());
+        assert_eq!(m.mem.read_u32(g.frame, 0), 3, "data synced to global");
+        assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
+        assert!(pol.is_pinned(L));
+        assert_eq!(mgr.stats().pins, 1);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn write_to_replicated_page_flushes_other_replicas() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::default();
+        mgr.zero_page(L);
+        for c in 0..3 {
+            mgr.request(&mut m, L, Access::Fetch, CpuId(c), &mut pol);
+        }
+        assert_eq!(mgr.view(L).copies, 3);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(mgr.view(L).copies, 1, "other replicas flushed");
+        assert!(matches!(g.frame.region, MemRegion::Local(CpuId(1))));
+        assert!(mgr.stats().flushes >= 2);
+        assert!(mgr.stats().shootdowns >= 2);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn local_pressure_falls_back_to_global() {
+        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        let mut pol = AllLocalPolicy;
+        let a = LPageId(0);
+        let b = LPageId(1);
+        mgr.zero_page(a);
+        mgr.zero_page(b);
+        let ga = mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol);
+        assert!(!ga.frame.is_global());
+        // cpu0's single local frame is taken; the next page must fall
+        // back to global despite the LOCAL decision.
+        let gb = mgr.request(&mut m, b, Access::Store, CpuId(0), &mut pol);
+        assert!(gb.frame.is_global());
+        assert_eq!(mgr.stats().local_pressure_fallbacks, 1);
+    }
+
+    #[test]
+    fn release_page_frees_everything_and_resets_history() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = MoveLimitPolicy::new(0);
+        mgr.zero_page(L);
+        mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        let free_l0 = m.mem.free_frames(MemRegion::Local(CpuId(0)));
+        let free_g = m.mem.free_frames(MemRegion::Global);
+        mgr.release_page(&mut m, L);
+        assert!(m.mem.free_frames(MemRegion::Local(CpuId(0))) >= free_l0);
+        assert!(m.mem.free_frames(MemRegion::Global) > free_g);
+        assert_eq!(mgr.view(L).state, StateKind::Fresh);
+        assert_eq!(mgr.view(L).move_count, 0);
+    }
+
+    #[test]
+    fn global_to_local_unmap_all_transition() {
+        // Exercises Table 2's Global-Writable x LOCAL cell (unmap all,
+        // copy to local, Local-Writable), which only a non-pinning policy
+        // reaches after a page has been global.
+        let (mut m, mut mgr) = setup();
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut AllGlobalPolicy);
+        m.mem.write_u32(g.frame, 0, 9);
+        let l = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut AllLocalPolicy);
+        assert!(!l.frame.is_global());
+        assert_eq!(m.mem.read_u32(l.frame, 0), 9);
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn remote_placement_hosts_page_on_one_node() {
+        // The section 4.4 extension: a pragma-style RemoteAt decision
+        // hosts the page in one processor's local memory; everyone maps
+        // the host frame directly.
+        struct RemotePol(CpuId);
+        impl CachePolicy for RemotePol {
+            fn name(&self) -> &'static str {
+                "remote-test"
+            }
+            fn decide(&mut self, _: LPageId, _: Access, _: CpuId) -> Placement {
+                Placement::RemoteAt(self.0)
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let (mut m, mut mgr) = setup();
+        let mut pol = RemotePol(CpuId(2));
+        mgr.zero_page(L);
+        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        assert_eq!(g0.frame.region, MemRegion::Local(CpuId(2)));
+        m.mem.write_u32(g0.frame, 0, 123);
+        let g1 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol);
+        assert_eq!(g1.frame, g0.frame, "everyone maps the host frame");
+        assert_eq!(m.mem.read_u32(g1.frame, 0), 123);
+        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(2)));
+        assert_eq!(mgr.stats().to_remote, 1);
+        mgr.check_invariants(&mut m, L).unwrap();
+        // Charging from cpu1 to the host frame is a *remote* reference.
+        let before = m.bus.remote_word_transfers;
+        m.charge_access(CpuId(1), Access::Fetch, g1.frame, 1);
+        assert_eq!(m.bus.remote_word_transfers, before + 1);
+    }
+
+    #[test]
+    fn leaving_remote_state_syncs_host_copy() {
+        struct RemoteThenLocal {
+            first: bool,
+        }
+        impl CachePolicy for RemoteThenLocal {
+            fn name(&self) -> &'static str {
+                "remote-then-local"
+            }
+            fn decide(&mut self, _: LPageId, _: Access, _: CpuId) -> Placement {
+                if std::mem::take(&mut self.first) {
+                    Placement::RemoteAt(CpuId(3))
+                } else {
+                    Placement::Local
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let (mut m, mut mgr) = setup();
+        let mut pol = RemoteThenLocal { first: true };
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        m.mem.write_u32(g.frame, 4, 77);
+        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(3)));
+        // Next request decides Local: the page leaves the extension
+        // state (host copy synced) and migrates to the requester.
+        let g2 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        assert_eq!(g2.frame.region, MemRegion::Local(CpuId(1)));
+        assert_eq!(m.mem.read_u32(g2.frame, 4), 77, "host copy synced");
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn rehosting_moves_the_page_between_hosts() {
+        struct Rehost;
+        impl CachePolicy for Rehost {
+            fn name(&self) -> &'static str {
+                "rehost"
+            }
+            fn decide(&mut self, _: LPageId, _: Access, cpu: CpuId) -> Placement {
+                Placement::RemoteAt(cpu)
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let (mut m, mut mgr) = setup();
+        let mut pol = Rehost;
+        mgr.zero_page(L);
+        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        m.mem.write_u32(g0.frame, 0, 5);
+        let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        assert_eq!(g1.frame.region, MemRegion::Local(CpuId(1)));
+        assert_eq!(m.mem.read_u32(g1.frame, 0), 5, "content follows the host");
+        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(1)));
+        assert_eq!(mgr.view(L).copies, 1, "old host copy freed");
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn read_only_to_global_syncs_before_flush_when_global_stale() {
+        // A lazily zero-filled page read once (RO, single local replica,
+        // global stale) then forced global must not lose its zeros.
+        let (mut m, mut mgr) = setup();
+        mgr.zero_page(L);
+        let l = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut AllLocalPolicy);
+        assert!(!mgr.view(L).global_valid);
+        m.mem.write_u32(l.frame, 0, 0); // Replica content is zeros anyway.
+        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut AllGlobalPolicy);
+        assert!(g.frame.is_global());
+        assert_eq!(m.mem.read_u32(g.frame, 0), 0);
+        assert!(mgr.view(L).global_valid);
+        assert_eq!(mgr.view(L).copies, 0);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+}

@@ -1,0 +1,426 @@
+//! NUMA placement policies.
+//!
+//! The interface provided to the NUMA manager by the policy module is a
+//! single question — *should this page be placed in local or global
+//! memory?* — answered per request (section 2.3.1). Policies are
+//! deliberately ignorant of the protocol mechanics; the manager executes
+//! whatever transition the answer implies.
+
+use crate::protocol::Placement;
+use ace_machine::{Access, CpuId};
+use mach_vm::LPageId;
+use std::collections::{HashMap, HashSet};
+
+/// A NUMA placement policy.
+pub trait CachePolicy: Send {
+    /// Human-readable policy name (reported by the harness).
+    fn name(&self) -> &'static str;
+
+    /// Decides where the page should live, given the access that faulted
+    /// and the requesting processor.
+    fn decide(&mut self, lpage: LPageId, access: Access, cpu: CpuId) -> Placement;
+
+    /// Notification: the page's ownership just moved between local
+    /// memories in response to a write.
+    fn on_move(&mut self, lpage: LPageId) {
+        let _ = lpage;
+    }
+
+    /// Notification: the logical page was freed; per-page policy state
+    /// must be forgotten (a freed and reallocated page starts cacheable
+    /// again).
+    fn on_free(&mut self, lpage: LPageId) {
+        let _ = lpage;
+    }
+
+    /// Pages whose pinning decision should be *reconsidered* now: the
+    /// kernel unmaps them so their next access re-runs the policy. The
+    /// default (and the paper's implementation) never reconsiders.
+    fn take_reconsiderations(&mut self) -> Vec<LPageId> {
+        Vec::new()
+    }
+
+    /// Applies a placement pragma for one page (section 4.3). Returns
+    /// false if this policy does not support pragmas (the default).
+    fn set_hint(&mut self, lpage: LPageId, placement: Placement) -> bool {
+        let _ = (lpage, placement);
+        false
+    }
+
+    /// Periodic daemon tick (driven by the kernel's timer, like the
+    /// pageout daemon): policies that age state hook this.
+    fn on_tick(&mut self) {}
+
+    /// Downcast hook so callers holding a `dyn CachePolicy` can reach a
+    /// concrete policy (e.g. to set pragmas or read pin counts).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The paper's policy (section 2.3.2): pages start cacheable and are
+/// placed locally; once a page's ownership has moved between processors
+/// more than `threshold` times, the page is pinned in global memory
+/// until it is freed.
+///
+/// # Examples
+///
+/// ```
+/// use ace_machine::{Access, CpuId};
+/// use mach_vm::LPageId;
+/// use numa_core::{CachePolicy, MoveLimitPolicy, Placement};
+///
+/// let mut p = MoveLimitPolicy::new(1);
+/// let page = LPageId(0);
+/// assert_eq!(p.decide(page, Access::Store, CpuId(0)), Placement::Local);
+/// p.on_move(page);
+/// p.on_move(page); // Budget exceeded: the page gets pinned.
+/// assert_eq!(p.decide(page, Access::Store, CpuId(0)), Placement::Global);
+/// assert!(p.is_pinned(page));
+/// ```
+pub struct MoveLimitPolicy {
+    threshold: u32,
+    moves: HashMap<LPageId, u32>,
+    pinned: HashSet<LPageId>,
+}
+
+impl MoveLimitPolicy {
+    /// The boot-time default threshold on the ACE.
+    pub const DEFAULT_THRESHOLD: u32 = 4;
+
+    /// A policy with the given move threshold.
+    pub fn new(threshold: u32) -> MoveLimitPolicy {
+        MoveLimitPolicy { threshold, moves: HashMap::new(), pinned: HashSet::new() }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Number of recorded moves for a page.
+    pub fn moves(&self, lpage: LPageId) -> u32 {
+        self.moves.get(&lpage).copied().unwrap_or(0)
+    }
+
+    /// True if the page has been pinned.
+    pub fn is_pinned(&self, lpage: LPageId) -> bool {
+        self.pinned.contains(&lpage)
+    }
+
+    /// Number of pages currently pinned.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+}
+
+impl Default for MoveLimitPolicy {
+    fn default() -> Self {
+        MoveLimitPolicy::new(Self::DEFAULT_THRESHOLD)
+    }
+}
+
+impl CachePolicy for MoveLimitPolicy {
+    fn name(&self) -> &'static str {
+        "move-limit"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn decide(&mut self, lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
+        if self.moves(lpage) > self.threshold {
+            self.pinned.insert(lpage);
+            Placement::Global
+        } else {
+            Placement::Local
+        }
+    }
+
+    fn on_move(&mut self, lpage: LPageId) {
+        *self.moves.entry(lpage).or_insert(0) += 1;
+    }
+
+    fn on_free(&mut self, lpage: LPageId) {
+        self.moves.remove(&lpage);
+        self.pinned.remove(&lpage);
+    }
+}
+
+/// Baseline policy: place every page in global memory. Running an
+/// application under this policy measures the paper's T_global.
+pub struct AllGlobalPolicy;
+
+impl CachePolicy for AllGlobalPolicy {
+    fn name(&self) -> &'static str {
+        "all-global"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn decide(&mut self, _lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
+        Placement::Global
+    }
+}
+
+/// Baseline policy: always answer LOCAL, regardless of movement history.
+/// On a single-processor machine this realizes the paper's T_local (all
+/// data in local memory); on multiple processors it degenerates into
+/// unbounded page ping-ponging and is useful for stress tests.
+pub struct AllLocalPolicy;
+
+impl CachePolicy for AllLocalPolicy {
+    fn name(&self) -> &'static str {
+        "all-local"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn decide(&mut self, _lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
+        Placement::Local
+    }
+}
+
+/// Application placement pragmas (section 4.3), layered over a fallback
+/// policy: a region of virtual memory can be marked *cacheable* (place
+/// locally) or *noncacheable* (place globally); unhinted pages fall
+/// through to the inner policy.
+pub struct PragmaPolicy<P: CachePolicy + 'static> {
+    hints: HashMap<LPageId, Placement>,
+    inner: P,
+}
+
+impl<P: CachePolicy + 'static> PragmaPolicy<P> {
+    /// Wraps `inner` with an empty hint table.
+    pub fn new(inner: P) -> PragmaPolicy<P> {
+        PragmaPolicy { hints: HashMap::new(), inner }
+    }
+
+    /// Sets the hint for one logical page.
+    pub fn set_hint(&mut self, lpage: LPageId, placement: Placement) {
+        self.hints.insert(lpage, placement);
+    }
+
+    /// Removes the hint for one logical page.
+    pub fn clear_hint(&mut self, lpage: LPageId) {
+        self.hints.remove(&lpage);
+    }
+
+    /// Access to the wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: CachePolicy + 'static> CachePolicy for PragmaPolicy<P> {
+    fn name(&self) -> &'static str {
+        "pragma"
+    }
+
+    fn set_hint(&mut self, lpage: LPageId, placement: Placement) -> bool {
+        PragmaPolicy::set_hint(self, lpage, placement);
+        true
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn decide(&mut self, lpage: LPageId, access: Access, cpu: CpuId) -> Placement {
+        match self.hints.get(&lpage) {
+            Some(&p) => p,
+            None => self.inner.decide(lpage, access, cpu),
+        }
+    }
+
+    fn on_move(&mut self, lpage: LPageId) {
+        self.inner.on_move(lpage);
+    }
+
+    fn on_free(&mut self, lpage: LPageId) {
+        self.hints.remove(&lpage);
+        self.inner.on_free(lpage);
+    }
+
+    fn take_reconsiderations(&mut self) -> Vec<LPageId> {
+        self.inner.take_reconsiderations()
+    }
+}
+
+/// A move-limit policy that *reconsiders* pinning decisions (the paper's
+/// footnote 4: "our system never reconsiders a pinning decision ... but
+/// one can imagine situations in which it would" and section 5).
+///
+/// A periodic daemon tick ages pinned pages; a page that has stayed
+/// pinned for `period` ticks is released: its move budget is reset and
+/// the kernel drops its mappings, so its next access re-runs the policy
+/// and it may become cacheable again if its sharing behaviour changed.
+pub struct ReconsiderPolicy {
+    base: MoveLimitPolicy,
+    period: u64,
+    ticks: u64,
+    /// Tick at which each page was pinned.
+    pinned_at: HashMap<LPageId, u64>,
+    /// Pages released and awaiting kernel unmap.
+    pending: Vec<LPageId>,
+    /// Release events so far.
+    released: u64,
+}
+
+impl ReconsiderPolicy {
+    /// A reconsider policy with the given move threshold and
+    /// reconsideration period (in daemon ticks).
+    pub fn new(threshold: u32, period: u64) -> ReconsiderPolicy {
+        ReconsiderPolicy {
+            base: MoveLimitPolicy::new(threshold),
+            period: period.max(1),
+            ticks: 0,
+            pinned_at: HashMap::new(),
+            pending: Vec::new(),
+            released: 0,
+        }
+    }
+
+    /// How many pin decisions have been released for another chance.
+    pub fn reconsidered(&self) -> u64 {
+        self.released
+    }
+}
+
+impl CachePolicy for ReconsiderPolicy {
+    fn name(&self) -> &'static str {
+        "reconsider"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn decide(&mut self, lpage: LPageId, access: Access, cpu: CpuId) -> Placement {
+        let d = self.base.decide(lpage, access, cpu);
+        if d == Placement::Global {
+            self.pinned_at.entry(lpage).or_insert(self.ticks);
+        }
+        d
+    }
+
+    fn on_move(&mut self, lpage: LPageId) {
+        self.base.on_move(lpage);
+    }
+
+    fn on_free(&mut self, lpage: LPageId) {
+        self.base.on_free(lpage);
+        self.pinned_at.remove(&lpage);
+    }
+
+    fn on_tick(&mut self) {
+        self.ticks += 1;
+        let due: Vec<LPageId> = self
+            .pinned_at
+            .iter()
+            .filter(|(_, &at)| self.ticks.saturating_sub(at) >= self.period)
+            .map(|(&l, _)| l)
+            .collect();
+        for l in due {
+            self.base.on_free(l);
+            self.pinned_at.remove(&l);
+            self.pending.push(l);
+            self.released += 1;
+        }
+    }
+
+    fn take_reconsiderations(&mut self) -> Vec<LPageId> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LPageId = LPageId(9);
+    const CPU: CpuId = CpuId(0);
+
+    fn decide<P: CachePolicy>(p: &mut P) -> Placement {
+        p.decide(L, Access::Store, CPU)
+    }
+
+    #[test]
+    fn move_limit_pins_after_threshold_passed() {
+        let mut p = MoveLimitPolicy::new(4);
+        assert_eq!(decide(&mut p), Placement::Local);
+        for _ in 0..4 {
+            p.on_move(L);
+        }
+        // Exactly at the threshold: still cacheable ("passed", not
+        // "reached").
+        assert_eq!(decide(&mut p), Placement::Local);
+        assert!(!p.is_pinned(L));
+        p.on_move(L);
+        assert_eq!(decide(&mut p), Placement::Global);
+        assert!(p.is_pinned(L));
+        assert_eq!(p.pinned_count(), 1);
+    }
+
+    #[test]
+    fn move_limit_forgets_freed_pages() {
+        let mut p = MoveLimitPolicy::new(0);
+        p.on_move(L);
+        assert_eq!(decide(&mut p), Placement::Global);
+        p.on_free(L);
+        assert_eq!(p.moves(L), 0);
+        assert_eq!(decide(&mut p), Placement::Local);
+    }
+
+    #[test]
+    fn zero_threshold_pins_on_first_move() {
+        let mut p = MoveLimitPolicy::new(0);
+        assert_eq!(decide(&mut p), Placement::Local);
+        p.on_move(L);
+        assert_eq!(decide(&mut p), Placement::Global);
+    }
+
+    #[test]
+    fn baselines_are_constant() {
+        assert_eq!(decide(&mut AllGlobalPolicy), Placement::Global);
+        assert_eq!(decide(&mut AllLocalPolicy), Placement::Local);
+        let mut g = AllGlobalPolicy;
+        for _ in 0..10 {
+            g.on_move(L);
+        }
+        assert_eq!(decide(&mut g), Placement::Global);
+    }
+
+    #[test]
+    fn pragma_overrides_inner() {
+        let mut p = PragmaPolicy::new(AllGlobalPolicy);
+        assert_eq!(decide(&mut p), Placement::Global);
+        p.set_hint(L, Placement::Local);
+        assert_eq!(decide(&mut p), Placement::Local);
+        p.clear_hint(L);
+        assert_eq!(decide(&mut p), Placement::Global);
+        // on_free drops the hint.
+        p.set_hint(L, Placement::Local);
+        p.on_free(L);
+        assert_eq!(decide(&mut p), Placement::Global);
+    }
+
+    #[test]
+    fn reconsider_releases_pinned_pages_after_period() {
+        let mut p = ReconsiderPolicy::new(0, 3);
+        p.on_move(L);
+        assert_eq!(decide(&mut p), Placement::Global); // Pinned at tick 0.
+        assert!(p.take_reconsiderations().is_empty());
+        p.on_tick();
+        p.on_tick();
+        assert!(p.take_reconsiderations().is_empty(), "not yet aged");
+        p.on_tick();
+        assert_eq!(p.take_reconsiderations(), vec![L]);
+        assert_eq!(p.reconsidered(), 1);
+        // Fresh budget: next decision is Local again.
+        assert_eq!(decide(&mut p), Placement::Local);
+    }
+}

@@ -1,0 +1,354 @@
+//! The consistency-protocol transition tables.
+//!
+//! [`plan`] encodes Tables 1 and 2 of the paper verbatim: given the kind
+//! of access that faulted, the policy's placement decision, and the
+//! page's current state (as seen from the requesting processor), it
+//! returns the cleanup action, whether the page is copied into the
+//! requester's local memory, and the new page state.
+//!
+//! The [`NumaManager`](crate::manager::NumaManager) *executes* these
+//! plans; the evaluation harness *prints* them, so the published tables
+//! are regenerated from the very code that runs the protocol.
+
+use ace_machine::Access;
+use std::fmt;
+
+/// The policy's answer for one request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Placement {
+    /// Cache the page in the requesting processor's local memory.
+    Local,
+    /// Keep the page in global memory.
+    Global,
+    /// Host the page in the local memory of the given processor and let
+    /// every other processor reference it *remotely* — the section 4.4
+    /// extension. The paper implemented only Local/Global; it notes the
+    /// transition rules for remote references are "a straightforward
+    /// extension of the algorithm presented in Section 2", and that
+    /// choosing the host needs pragmas. This variant is produced only by
+    /// pragma hints.
+    RemoteAt(ace_machine::CpuId),
+}
+
+/// A page state as seen from the requesting processor — the column
+/// headings of Tables 1 and 2, plus the remote-reference extension
+/// state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TableState {
+    /// Replicated read-only (possibly with zero copies).
+    ReadOnly,
+    /// In global memory, directly accessed.
+    GlobalWritable,
+    /// Cached writable in the *requester's* local memory.
+    LocalWritableOwn,
+    /// Cached writable in *another* processor's local memory.
+    LocalWritableOther,
+    /// Section 4.4 extension: hosted in one processor's local memory
+    /// with every processor mapping it directly (the host locally, the
+    /// rest remotely).
+    RemoteShared,
+}
+
+impl TableState {
+    /// All four columns in the paper's order.
+    pub const ALL: [TableState; 4] = [
+        TableState::ReadOnly,
+        TableState::GlobalWritable,
+        TableState::LocalWritableOwn,
+        TableState::LocalWritableOther,
+    ];
+
+    /// Column heading text.
+    pub fn heading(self) -> &'static str {
+        match self {
+            TableState::ReadOnly => "Read-Only",
+            TableState::GlobalWritable => "Global-Writable",
+            TableState::LocalWritableOwn => "Local-Writable (own node)",
+            TableState::LocalWritableOther => "Local-Writable (other node)",
+            TableState::RemoteShared => "Remote-Shared (extension)",
+        }
+    }
+}
+
+/// The cleanup portion of a table cell (the top line of each entry):
+/// changes that erase previous cache state before the page moves to its
+/// new state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Cleanup {
+    /// Nothing to clean up.
+    None,
+    /// Drop mappings and free local copies on every processor.
+    FlushAll,
+    /// Drop mappings and free local copies on every processor except the
+    /// requester.
+    FlushOther,
+    /// Drop (global-frame) mappings on every processor; no local copies
+    /// exist.
+    UnmapAll,
+    /// Write the requester's own local-writable copy back to global
+    /// memory, then drop it.
+    SyncFlushOwn,
+    /// Write the owning (other) processor's local-writable copy back to
+    /// global memory, then drop it.
+    SyncFlushOther,
+    /// Extension: drop every mapping of the remote-hosted frame, write
+    /// it back to global memory, and free it (leaving the remote-shared
+    /// state).
+    SyncFlushHost,
+    /// Extension: keep (or establish) the host copy; drop any *other*
+    /// local copies and any global mappings.
+    FlushNonHost,
+}
+
+impl fmt::Display for Cleanup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cleanup::None => "-",
+            Cleanup::FlushAll => "flush all",
+            Cleanup::FlushOther => "flush other",
+            Cleanup::UnmapAll => "unmap all",
+            Cleanup::SyncFlushOwn => "sync&flush own",
+            Cleanup::SyncFlushOther => "sync&flush other",
+            Cleanup::SyncFlushHost => "sync&flush host",
+            Cleanup::FlushNonHost => "flush non-host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cell of Table 1 or Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ActionPlan {
+    /// Top line: cleanup of previous cache state.
+    pub cleanup: Cleanup,
+    /// Middle line: whether the page is copied into the requester's
+    /// local memory.
+    pub copy_to_local: bool,
+    /// Bottom line: the page's new state.
+    pub new_state: TableState,
+}
+
+impl ActionPlan {
+    /// True if the cell is the paper's "No action" entry: nothing to
+    /// clean, nothing to copy, state unchanged.
+    pub fn is_no_action(&self, current: TableState) -> bool {
+        self.cleanup == Cleanup::None && !self.copy_to_local && self.new_state == current
+    }
+}
+
+/// Tables 1 and 2: the action for a request of kind `access` when the
+/// policy answered `decision` and the page is in `state`.
+///
+/// "All entries describe the desired new appearance; no action may be
+/// necessary" — e.g. `copy_to_local` is satisfied for free when the
+/// requester already holds a copy.
+///
+/// # Examples
+///
+/// A write to a page that is local-writable on another node (Table 2's
+/// rightmost LOCAL cell): sync and flush the other copy, copy to the
+/// requester, end local-writable here.
+///
+/// ```
+/// use ace_machine::Access;
+/// use numa_core::{plan, Cleanup, Placement, TableState};
+///
+/// let p = plan(Access::Store, Placement::Local, TableState::LocalWritableOther);
+/// assert_eq!(p.cleanup, Cleanup::SyncFlushOther);
+/// assert!(p.copy_to_local);
+/// assert_eq!(p.new_state, TableState::LocalWritableOwn);
+/// ```
+pub fn plan(access: Access, decision: Placement, state: TableState) -> ActionPlan {
+    use Cleanup::*;
+    use TableState::*;
+    match (access, decision, state) {
+        // The remote-reference extension is executed by dedicated
+        // transitions in the manager (see `NumaManager::execute_remote`),
+        // not by the paper's tables.
+        (_, Placement::RemoteAt(_), _) | (_, _, RemoteShared) => {
+            unreachable!("remote-extension transitions bypass plan()")
+        }
+        // ---- Table 1: read requests. ----
+        (Access::Fetch, Placement::Local, ReadOnly) => ActionPlan {
+            cleanup: None,
+            copy_to_local: true,
+            new_state: ReadOnly,
+        },
+        (Access::Fetch, Placement::Local, GlobalWritable) => ActionPlan {
+            cleanup: UnmapAll,
+            copy_to_local: true,
+            new_state: ReadOnly,
+        },
+        (Access::Fetch, Placement::Local, LocalWritableOwn) => ActionPlan {
+            cleanup: None,
+            copy_to_local: false,
+            new_state: LocalWritableOwn,
+        },
+        (Access::Fetch, Placement::Local, LocalWritableOther) => ActionPlan {
+            cleanup: SyncFlushOther,
+            copy_to_local: true,
+            new_state: ReadOnly,
+        },
+        (Access::Fetch, Placement::Global, ReadOnly) => ActionPlan {
+            cleanup: FlushAll,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+        (Access::Fetch, Placement::Global, GlobalWritable) => ActionPlan {
+            cleanup: None,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+        (Access::Fetch, Placement::Global, LocalWritableOwn) => ActionPlan {
+            cleanup: SyncFlushOwn,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+        (Access::Fetch, Placement::Global, LocalWritableOther) => ActionPlan {
+            cleanup: SyncFlushOther,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+
+        // ---- Table 2: write requests. ----
+        (Access::Store, Placement::Local, ReadOnly) => ActionPlan {
+            cleanup: FlushOther,
+            copy_to_local: true,
+            new_state: LocalWritableOwn,
+        },
+        (Access::Store, Placement::Local, GlobalWritable) => ActionPlan {
+            cleanup: UnmapAll,
+            copy_to_local: true,
+            new_state: LocalWritableOwn,
+        },
+        (Access::Store, Placement::Local, LocalWritableOwn) => ActionPlan {
+            cleanup: None,
+            copy_to_local: false,
+            new_state: LocalWritableOwn,
+        },
+        (Access::Store, Placement::Local, LocalWritableOther) => ActionPlan {
+            cleanup: SyncFlushOther,
+            copy_to_local: true,
+            new_state: LocalWritableOwn,
+        },
+        (Access::Store, Placement::Global, ReadOnly) => ActionPlan {
+            cleanup: FlushAll,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+        (Access::Store, Placement::Global, GlobalWritable) => ActionPlan {
+            cleanup: None,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+        (Access::Store, Placement::Global, LocalWritableOwn) => ActionPlan {
+            cleanup: SyncFlushOwn,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+        (Access::Store, Placement::Global, LocalWritableOther) => ActionPlan {
+            cleanup: SyncFlushOther,
+            copy_to_local: false,
+            new_state: GlobalWritable,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_machine::Access::{Fetch, Store};
+    use Cleanup::*;
+    use Placement::{Global, Local};
+    use TableState::*;
+
+    /// Every cell of Table 1, straight from the paper.
+    #[test]
+    fn table1_read_requests_match_paper() {
+        let cases = [
+            (Local, ReadOnly, None, true, ReadOnly),
+            (Local, GlobalWritable, UnmapAll, true, ReadOnly),
+            (Local, LocalWritableOwn, None, false, LocalWritableOwn),
+            (Local, LocalWritableOther, SyncFlushOther, true, ReadOnly),
+            (Global, ReadOnly, FlushAll, false, GlobalWritable),
+            (Global, GlobalWritable, None, false, GlobalWritable),
+            (Global, LocalWritableOwn, SyncFlushOwn, false, GlobalWritable),
+            (Global, LocalWritableOther, SyncFlushOther, false, GlobalWritable),
+        ];
+        for (decision, state, cleanup, copy, new_state) in cases {
+            let p = plan(Fetch, decision, state);
+            assert_eq!(p.cleanup, cleanup, "cleanup for ({decision:?},{state:?})");
+            assert_eq!(p.copy_to_local, copy, "copy for ({decision:?},{state:?})");
+            assert_eq!(p.new_state, new_state, "state for ({decision:?},{state:?})");
+        }
+    }
+
+    /// Every cell of Table 2, straight from the paper.
+    #[test]
+    fn table2_write_requests_match_paper() {
+        let cases = [
+            (Local, ReadOnly, FlushOther, true, LocalWritableOwn),
+            (Local, GlobalWritable, UnmapAll, true, LocalWritableOwn),
+            (Local, LocalWritableOwn, None, false, LocalWritableOwn),
+            (Local, LocalWritableOther, SyncFlushOther, true, LocalWritableOwn),
+            (Global, ReadOnly, FlushAll, false, GlobalWritable),
+            (Global, GlobalWritable, None, false, GlobalWritable),
+            (Global, LocalWritableOwn, SyncFlushOwn, false, GlobalWritable),
+            (Global, LocalWritableOther, SyncFlushOther, false, GlobalWritable),
+        ];
+        for (decision, state, cleanup, copy, new_state) in cases {
+            let p = plan(Store, decision, state);
+            assert_eq!(p.cleanup, cleanup, "cleanup for ({decision:?},{state:?})");
+            assert_eq!(p.copy_to_local, copy, "copy for ({decision:?},{state:?})");
+            assert_eq!(p.new_state, new_state, "state for ({decision:?},{state:?})");
+        }
+    }
+
+    #[test]
+    fn no_action_cells() {
+        assert!(plan(Fetch, Global, GlobalWritable).is_no_action(GlobalWritable));
+        assert!(plan(Fetch, Local, LocalWritableOwn).is_no_action(LocalWritableOwn));
+        assert!(plan(Store, Global, GlobalWritable).is_no_action(GlobalWritable));
+        assert!(plan(Store, Local, LocalWritableOwn).is_no_action(LocalWritableOwn));
+        assert!(!plan(Fetch, Local, ReadOnly).is_no_action(ReadOnly));
+    }
+
+    /// A GLOBAL decision always ends Global-Writable; a LOCAL decision
+    /// never does.
+    #[test]
+    fn decision_determines_destination_class() {
+        for access in [Fetch, Store] {
+            for state in TableState::ALL {
+                assert_eq!(plan(access, Global, state).new_state, GlobalWritable);
+                assert_ne!(plan(access, Local, state).new_state, GlobalWritable);
+            }
+        }
+    }
+
+    /// Write requests under LOCAL always end Local-Writable on the
+    /// requester.
+    #[test]
+    fn local_writes_take_ownership() {
+        for state in TableState::ALL {
+            assert_eq!(plan(Store, Local, state).new_state, LocalWritableOwn);
+        }
+    }
+
+    /// Leaving a Local-Writable state always syncs the dirty copy first.
+    #[test]
+    fn dirty_copies_are_never_dropped_without_sync() {
+        for access in [Fetch, Store] {
+            for decision in [Local, Global] {
+                for (state, own) in
+                    [(LocalWritableOwn, true), (LocalWritableOther, false)]
+                {
+                    let p = plan(access, decision, state);
+                    if p.new_state != state {
+                        let expect = if own { SyncFlushOwn } else { SyncFlushOther };
+                        assert_eq!(p.cleanup, expect, "({access:?},{decision:?},{state:?})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Counters kept by the NUMA layer.
+
+/// Aggregate statistics of the NUMA manager and pmap manager.
+///
+/// These are the quantities section 3.3 of the paper reasons about
+/// (page movement and bookkeeping overhead) plus introspection used by
+/// the evaluation harness and tests.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct NumaStats {
+    /// Requests (pmap_enter calls reaching the NUMA manager).
+    pub requests: u64,
+    /// Requests that faulted for a read.
+    pub read_requests: u64,
+    /// Requests that faulted for a write.
+    pub write_requests: u64,
+    /// Pages copied into a local memory to serve a read (replication).
+    pub replications: u64,
+    /// Write-induced ownership transfers between local memories (the
+    /// "moves" the paper's policy counts).
+    pub migrations: u64,
+    /// Local-writable copies written back to global memory.
+    pub syncs: u64,
+    /// Local copies dropped (flush actions).
+    pub flushes: u64,
+    /// Mappings dropped on other processors (shootdowns).
+    pub shootdowns: u64,
+    /// Transitions into the Global-Writable state.
+    pub to_global: u64,
+    /// Pages pinned in global memory by the policy (move budget
+    /// exhausted).
+    pub pins: u64,
+    /// Zero-fills performed directly into local memory (the lazy
+    /// zero-fill optimization).
+    pub zero_fill_local: u64,
+    /// Zero-fills performed into global memory.
+    pub zero_fill_global: u64,
+    /// LOCAL decisions downgraded to GLOBAL because the target local
+    /// memory had no free frames.
+    pub local_pressure_fallbacks: u64,
+    /// Logical pages lazily freed whose cleanup was completed by
+    /// `pmap_free_page_sync`.
+    pub lazy_free_syncs: u64,
+    /// Transitions into the Remote-Shared extension state (section 4.4).
+    pub to_remote: u64,
+}
+
+impl NumaStats {
+    /// Total page copies performed (replications + migrations + syncs).
+    pub fn total_page_copies(&self) -> u64 {
+        self.replications + self.migrations + self.syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = NumaStats { replications: 2, migrations: 3, syncs: 5, ..Default::default() };
+        assert_eq!(s.total_page_copies(), 10);
+    }
+}

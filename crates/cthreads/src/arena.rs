@@ -1,0 +1,142 @@
+//! Bump allocation within simulated memory regions, with the two layout
+//! disciplines the paper contrasts.
+//!
+//! Under C-Threads "truly private and truly shared data may be
+//! indiscriminately interspersed in the program load image"; any
+//! segregation "must be induced by hand, by padding data structures out
+//! to page boundaries" (section 3.2). An [`Arena`] provides both:
+//! `alloc` packs objects densely (the untuned layout that causes false
+//! sharing), while `alloc_page_aligned` pads to page boundaries (the
+//! tuned layout of section 4.2).
+
+use ace_machine::PageSize;
+use mach_vm::VAddr;
+
+/// A bump allocator over a pre-allocated region of simulated memory.
+#[derive(Debug)]
+pub struct Arena {
+    base: VAddr,
+    size: u64,
+    cursor: u64,
+    page: PageSize,
+}
+
+impl Arena {
+    /// Wraps the `size` bytes at `base`.
+    pub fn new(base: VAddr, size: u64, page: PageSize) -> Arena {
+        Arena { base, size, cursor: 0, page }
+    }
+
+    /// Bytes not yet allocated.
+    pub fn remaining(&self) -> u64 {
+        self.size - self.cursor
+    }
+
+    /// Packs `bytes` at the next `align`-aligned offset (the C-Threads
+    /// discipline: no regard for sharing classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is exhausted — arenas are sized by the
+    /// application harness, so exhaustion is a harness bug.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> VAddr {
+        debug_assert!(align.is_power_of_two());
+        let aligned = (self.base.0 + self.cursor + (align - 1)) & !(align - 1);
+        let offset = aligned - self.base.0;
+        assert!(
+            offset + bytes <= self.size,
+            "arena exhausted: need {bytes} at offset {offset} of {}",
+            self.size
+        );
+        self.cursor = offset + bytes;
+        VAddr(aligned)
+    }
+
+    /// Allocates `bytes` starting on a fresh page and pads the tail out
+    /// to a page boundary, so the object shares its pages with nothing
+    /// (the paper's manual false-sharing fix: "we forced separation by
+    /// adding page-sized padding around objects").
+    pub fn alloc_page_aligned(&mut self, bytes: u64) -> VAddr {
+        let page_bytes = self.page.bytes() as u64;
+        let start = self.page.round_up(self.base.0 + self.cursor);
+        let end = self.page.round_up(start + bytes);
+        assert!(
+            end - self.base.0 <= self.size,
+            "arena exhausted: need {bytes} page-aligned ({} left)",
+            self.remaining()
+        );
+        self.cursor = end - self.base.0;
+        debug_assert_eq!(start % page_bytes, 0);
+        VAddr(start)
+    }
+
+    /// Advances the cursor to the next page boundary without allocating
+    /// (group separators in segregated layouts).
+    pub fn align_to_page(&mut self) {
+        let aligned = self.page.round_up(self.base.0 + self.cursor);
+        self.cursor = aligned - self.base.0;
+    }
+
+    /// Allocates with either discipline, selected at run time — the knob
+    /// the false-sharing experiments flip.
+    pub fn alloc_with(&mut self, bytes: u64, align: u64, segregate: bool) -> VAddr {
+        if segregate {
+            self.alloc_page_aligned(bytes)
+        } else {
+            self.alloc(bytes, align)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> Arena {
+        Arena::new(VAddr(0x1000), 64 * 1024, PageSize::new(2048))
+    }
+
+    #[test]
+    fn packed_allocation_is_dense() {
+        let mut a = arena();
+        let x = a.alloc(10, 4);
+        let y = a.alloc(10, 4);
+        assert_eq!(x, VAddr(0x1000));
+        assert_eq!(y, VAddr(0x100c), "aligned up to 4, densely packed");
+    }
+
+    #[test]
+    fn page_aligned_allocation_pads_both_sides() {
+        let mut a = arena();
+        let x = a.alloc(10, 4);
+        let y = a.alloc_page_aligned(10);
+        let z = a.alloc(4, 4);
+        assert_eq!(x, VAddr(0x1000));
+        assert_eq!(y, VAddr(0x1800), "next page boundary");
+        assert_eq!(z, VAddr(0x2000), "tail padded to a page");
+    }
+
+    #[test]
+    fn alloc_with_selects_discipline() {
+        let mut a = arena();
+        let packed = a.alloc_with(8, 8, false);
+        let padded = a.alloc_with(8, 8, true);
+        assert_eq!(packed.0 % 2048, 0x1000 % 2048);
+        assert_eq!(padded.0 % 2048, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn exhaustion_panics() {
+        let mut a = Arena::new(VAddr(0x1000), 16, PageSize::new(2048));
+        let _ = a.alloc(32, 4);
+    }
+
+    #[test]
+    fn remaining_tracks_cursor() {
+        let mut a = arena();
+        let before = a.remaining();
+        a.alloc(100, 4);
+        assert_eq!(a.remaining(), before - 100);
+    }
+}

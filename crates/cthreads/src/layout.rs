@@ -1,0 +1,282 @@
+//! Automatic sharing-aware data layout — the "language processor"
+//! solution to false sharing the paper asks for.
+//!
+//! Section 4.2: "Not all false sharing is explicit in application source
+//! code... We expect that language processor level solutions to the
+//! false sharing problem can significantly reduce the amount of
+//! intervention necessary by the application programmer." Section 5
+//! lists it as the chief piece of future work.
+//!
+//! [`LayoutCompiler`] plays that role: the application declares its
+//! objects with their *sharing class* (like EPEX FORTRAN's "variables
+//! are implicitly private unless explicitly tagged shared", but with the
+//! full vocabulary of section 4.2), and the compiler assigns addresses
+//! so that no two classes — and no two threads' private data — ever
+//! share a page:
+//!
+//! * objects of the same class pack densely (page-internal colocation of
+//!   like-minded data is free);
+//! * per-thread private objects pack per thread, each thread's set on
+//!   its own pages;
+//! * class boundaries (and thread boundaries within the private class)
+//!   are page aligned.
+//!
+//! The result: the automatic placement policy sees pages with uniform
+//! reference behaviour, which is exactly what it places well.
+
+use crate::arena::Arena;
+use ace_machine::PageSize;
+use mach_vm::VAddr;
+use std::collections::HashMap;
+
+/// How the application will reference an object (section 4.2's
+/// vocabulary).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SharingClass {
+    /// Referenced by exactly one thread.
+    Private {
+        /// The owning thread.
+        thread: usize,
+    },
+    /// Written at most during initialization, then only read — the
+    /// replicable class (including writable-but-unwritten data).
+    ReadMostly,
+    /// Written by more than one thread over its lifetime — belongs in
+    /// global memory and must not drag neighbours there.
+    WriteShared,
+}
+
+/// One declared object.
+#[derive(Clone, Debug)]
+pub struct ObjDecl {
+    /// Name, used to retrieve the assigned address.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Alignment in bytes (power of two).
+    pub align: u64,
+    /// Declared sharing behaviour.
+    pub class: SharingClass,
+}
+
+/// The computed layout: object name → assigned address.
+#[derive(Debug, Default)]
+pub struct Layout {
+    addrs: HashMap<String, VAddr>,
+    /// Total bytes of address space consumed (including padding).
+    pub footprint: u64,
+}
+
+impl Layout {
+    /// The address assigned to `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such object was declared (a harness bug).
+    pub fn addr(&self, name: &str) -> VAddr {
+        *self
+            .addrs
+            .get(name)
+            .unwrap_or_else(|| panic!("no object named {name} in layout"))
+    }
+
+    /// Number of laid-out objects.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if nothing was declared.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// Collects declarations and assigns segregated addresses.
+///
+/// # Examples
+///
+/// ```
+/// use ace_machine::PageSize;
+/// use cthreads::{LayoutCompiler, SharingClass};
+/// use mach_vm::VAddr;
+///
+/// let page = PageSize::new(2048);
+/// let mut c = LayoutCompiler::new();
+/// c.declare("lock", 4, 4, SharingClass::WriteShared)
+///     .declare("table", 512, 8, SharingClass::ReadMostly);
+/// let l = c.compile(VAddr(0x10000), c.required_bytes(page), page);
+/// // The hot lock and the read-mostly table never share a page.
+/// assert_ne!(l.addr("lock").0 / 2048, l.addr("table").0 / 2048);
+/// ```
+#[derive(Debug, Default)]
+pub struct LayoutCompiler {
+    decls: Vec<ObjDecl>,
+}
+
+impl LayoutCompiler {
+    /// An empty declaration set.
+    pub fn new() -> LayoutCompiler {
+        LayoutCompiler::default()
+    }
+
+    /// Declares an object.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        align: u64,
+        class: SharingClass,
+    ) -> &mut Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.decls.push(ObjDecl { name: name.into(), size: size.max(1), align, class });
+        self
+    }
+
+    /// Convenience: one private object per thread (name becomes
+    /// `name-<t>`), as a compiler would emit thread-local storage.
+    pub fn declare_per_thread(
+        &mut self,
+        name: &str,
+        size: u64,
+        align: u64,
+        threads: usize,
+    ) -> &mut Self {
+        for t in 0..threads {
+            self.declare(format!("{name}-{t}"), size, align, SharingClass::Private {
+                thread: t,
+            });
+        }
+        self
+    }
+
+    /// Assigns addresses within the region `[base, base + region_size)`.
+    ///
+    /// Objects are grouped by class (private data further grouped by
+    /// owning thread); groups start on page boundaries; objects within a
+    /// group pack densely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region cannot hold the segregated layout — size the
+    /// allocation with [`LayoutCompiler::required_bytes`].
+    pub fn compile(&self, base: VAddr, region_size: u64, page: PageSize) -> Layout {
+        let mut arena = Arena::new(base, region_size, page);
+        let mut layout = Layout::default();
+        // Stable grouping: write-shared first, then read-mostly, then
+        // each thread's private block (declaration order within groups).
+        let mut groups: Vec<(SharingClass, Vec<&ObjDecl>)> = Vec::new();
+        let group_of = |class: SharingClass,
+                            groups: &mut Vec<(SharingClass, Vec<&ObjDecl>)>|
+         -> usize {
+            match groups.iter().position(|(c, _)| *c == class) {
+                Some(i) => i,
+                None => {
+                    groups.push((class, Vec::new()));
+                    groups.len() - 1
+                }
+            }
+        };
+        for d in &self.decls {
+            let i = group_of(d.class, &mut groups);
+            groups[i].1.push(d);
+        }
+        for (_, members) in &groups {
+            // Group boundary: fresh page; members pack densely inside.
+            arena.align_to_page();
+            for d in members {
+                let addr = arena.alloc(d.size, d.align);
+                layout.addrs.insert(d.name.clone(), addr);
+            }
+        }
+        layout.footprint = region_size - arena.remaining();
+        layout
+    }
+
+    /// A safe region size for [`LayoutCompiler::compile`]: every object
+    /// rounded up plus a page of padding per group.
+    pub fn required_bytes(&self, page: PageSize) -> u64 {
+        let pb = page.bytes() as u64;
+        let groups: std::collections::HashSet<_> =
+            self.decls.iter().map(|d| d.class).collect();
+        let data: u64 = self.decls.iter().map(|d| d.size + d.align).sum();
+        data + (groups.len() as u64 + 2) * pb + pb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PageSize {
+        PageSize::new(2048)
+    }
+
+    fn page_of(a: VAddr) -> u64 {
+        a.0 / 2048
+    }
+
+    #[test]
+    fn classes_never_share_a_page() {
+        let mut c = LayoutCompiler::new();
+        c.declare("lock", 4, 4, SharingClass::WriteShared)
+            .declare("queue", 64, 8, SharingClass::WriteShared)
+            .declare("table", 512, 8, SharingClass::ReadMostly)
+            .declare_per_thread("stack", 256, 8, 3);
+        let l = c.compile(VAddr(0x10000), c.required_bytes(page()), page());
+        assert_eq!(l.len(), 6);
+        // Same class may share.
+        assert_eq!(page_of(l.addr("lock")), page_of(l.addr("queue")));
+        // Different classes never share.
+        assert_ne!(page_of(l.addr("lock")), page_of(l.addr("table")));
+        assert_ne!(page_of(l.addr("table")), page_of(l.addr("stack-0")));
+        // Different threads' private data never shares.
+        assert_ne!(page_of(l.addr("stack-0")), page_of(l.addr("stack-1")));
+        assert_ne!(page_of(l.addr("stack-1")), page_of(l.addr("stack-2")));
+    }
+
+    #[test]
+    fn packing_within_a_class_is_dense() {
+        let mut c = LayoutCompiler::new();
+        c.declare("a", 8, 8, SharingClass::ReadMostly)
+            .declare("b", 8, 8, SharingClass::ReadMostly);
+        let l = c.compile(VAddr(0x4000), c.required_bytes(page()), page());
+        assert_eq!(l.addr("b").0 - l.addr("a").0, 8);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut c = LayoutCompiler::new();
+        c.declare("x", 3, 1, SharingClass::ReadMostly)
+            .declare("d", 8, 8, SharingClass::ReadMostly);
+        let l = c.compile(VAddr(0x4000), c.required_bytes(page()), page());
+        assert_eq!(l.addr("d").0 % 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no object named")]
+    fn unknown_name_panics() {
+        let c = LayoutCompiler::new();
+        let l = c.compile(VAddr(0x4000), 8192, page());
+        let _ = l.addr("ghost");
+    }
+
+    #[test]
+    fn required_bytes_is_sufficient() {
+        // Fuzz-ish: many shapes must fit in their own estimate.
+        for n in 1..12usize {
+            let mut c = LayoutCompiler::new();
+            for i in 0..n {
+                let class = match i % 3 {
+                    0 => SharingClass::WriteShared,
+                    1 => SharingClass::ReadMostly,
+                    _ => SharingClass::Private { thread: i % 4 },
+                };
+                c.declare(format!("o{i}"), (i as u64 + 1) * 97, 8, class);
+            }
+            let need = c.required_bytes(page());
+            let l = c.compile(VAddr(0x8000), need, page());
+            assert_eq!(l.len(), n);
+            assert!(l.footprint <= need);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Synchronization primitives in simulated memory.
+
+use ace_machine::Ns;
+use ace_sim::ThreadCtx;
+use mach_vm::VAddr;
+
+/// Initial delay charged per failed spin iteration (a handful of loop
+/// instructions on the ROMP).
+const SPIN_DELAY: Ns = Ns(2_000);
+
+/// Cap for exponential spin backoff. Backoff keeps contended locks from
+/// flooding the (global, pinned) lock page with test-and-set traffic —
+/// the paper's applications were chosen to be "relatively free of lock
+/// ... contention" and this keeps ours that way too.
+const SPIN_CAP: Ns = Ns(64_000);
+
+/// A non-blocking test-and-set spin lock, as used by all the paper's
+/// C-Threads applications.
+///
+/// The lock word lives in simulated memory, so the lock itself is subject
+/// to NUMA placement: a contended lock is writably shared and will be
+/// pinned into global memory by the move-limit policy — exactly the
+/// behaviour the paper describes for synchronization data.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinLock {
+    word: VAddr,
+}
+
+impl SpinLock {
+    /// Size to reserve for a lock word.
+    pub const SIZE: u64 = 4;
+
+    /// Wraps the 4-byte word at `word` (which must be zero-initialized,
+    /// i.e. freshly allocated) as a lock.
+    pub fn new(word: VAddr) -> SpinLock {
+        SpinLock { word }
+    }
+
+    /// The lock word's address.
+    pub fn addr(&self) -> VAddr {
+        self.word
+    }
+
+    /// Acquires the lock, spinning with exponential backoff until it is
+    /// free.
+    pub fn lock(&self, ctx: &mut ThreadCtx) {
+        let mut delay = SPIN_DELAY;
+        while ctx.test_and_set(self.word) != 0 {
+            ctx.compute(delay);
+            delay = Ns((delay.0 * 2).min(SPIN_CAP.0));
+        }
+    }
+
+    /// Tries to acquire the lock once.
+    pub fn try_lock(&self, ctx: &mut ThreadCtx) -> bool {
+        ctx.test_and_set(self.word) == 0
+    }
+
+    /// Releases the lock.
+    pub fn unlock(&self, ctx: &mut ThreadCtx) {
+        ctx.write_u32(self.word, 0);
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, ctx: &mut ThreadCtx, f: impl FnOnce(&mut ThreadCtx) -> R) -> R {
+        self.lock(ctx);
+        let r = f(ctx);
+        self.unlock(ctx);
+        r
+    }
+}
+
+/// A sense-reversing barrier for a fixed set of participants.
+///
+/// Layout: three consecutive words (lock, arrival count, generation).
+#[derive(Clone, Copy, Debug)]
+pub struct Barrier {
+    lock: SpinLock,
+    count: VAddr,
+    generation: VAddr,
+    parties: u32,
+}
+
+impl Barrier {
+    /// Bytes to reserve for a barrier.
+    pub const SIZE: u64 = 12;
+
+    /// Wraps 12 zero-initialized bytes at `base` as a barrier for
+    /// `parties` threads.
+    pub fn new(base: VAddr, parties: u32) -> Barrier {
+        assert!(parties > 0, "a barrier needs at least one party");
+        Barrier {
+            lock: SpinLock::new(base),
+            count: base + 4,
+            generation: base + 8,
+            parties,
+        }
+    }
+
+    /// Waits until all `parties` threads have arrived.
+    pub fn wait(&self, ctx: &mut ThreadCtx) {
+        let my_gen = ctx.read_u32(self.generation);
+        self.lock.lock(ctx);
+        let arrived = ctx.read_u32(self.count) + 1;
+        if arrived == self.parties {
+            // Last arrival: reset and release the others.
+            ctx.write_u32(self.count, 0);
+            ctx.write_u32(self.generation, my_gen.wrapping_add(1));
+            self.lock.unlock(ctx);
+        } else {
+            ctx.write_u32(self.count, arrived);
+            self.lock.unlock(ctx);
+            let mut delay = SPIN_DELAY;
+            while ctx.read_u32(self.generation) == my_gen {
+                ctx.compute(delay);
+                delay = Ns((delay.0 * 2).min(SPIN_CAP.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_machine::Prot;
+    use ace_sim::{SimConfig, Simulator};
+    use numa_core::MoveLimitPolicy;
+
+    fn sim(n: usize) -> Simulator {
+        Simulator::new(SimConfig::small(n), Box::new(MoveLimitPolicy::default()))
+    }
+
+    #[test]
+    fn spin_lock_provides_mutual_exclusion() {
+        let mut s = sim(4);
+        let mem = s.alloc(256, Prot::READ_WRITE);
+        let lock = SpinLock::new(mem);
+        let counter = mem + 128;
+        for t in 0..4 {
+            s.spawn(format!("t{t}"), move |ctx| {
+                for _ in 0..25 {
+                    lock.lock(ctx);
+                    let v = ctx.read_u32(counter);
+                    ctx.compute(Ns(5_000)); // Widen the race window.
+                    ctx.write_u32(counter, v + 1);
+                    lock.unlock(ctx);
+                }
+            });
+        }
+        s.run();
+        assert_eq!(s.with_kernel(|k| k.peek_u32(counter)), 100);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let mut s = sim(1);
+        let mem = s.alloc(64, Prot::READ_WRITE);
+        let lock = SpinLock::new(mem);
+        s.spawn("t", move |ctx| {
+            assert!(lock.try_lock(ctx));
+            assert!(!lock.try_lock(ctx));
+            lock.unlock(ctx);
+            assert!(lock.try_lock(ctx));
+            lock.unlock(ctx);
+        });
+        s.run();
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Each thread writes its slot in phase 1, then after the barrier
+        // reads every other slot; all must be visible.
+        let n = 3u32;
+        let mut s = sim(n as usize);
+        let mem = s.alloc(4096, Prot::READ_WRITE);
+        let bar = Barrier::new(mem, n);
+        let slots = mem + 512;
+        for t in 0..n {
+            s.spawn(format!("t{t}"), move |ctx| {
+                ctx.write_u32(slots + (t as u64) * 4, t + 100);
+                bar.wait(ctx);
+                let mut sum = 0;
+                for u in 0..n {
+                    sum += ctx.read_u32(slots + (u as u64) * 4);
+                }
+                assert_eq!(sum, 100 * n + n * (n - 1) / 2);
+            });
+        }
+        s.run();
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let n = 2u32;
+        let mut s = sim(n as usize);
+        let mem = s.alloc(4096, Prot::READ_WRITE);
+        let bar = Barrier::new(mem, n);
+        let acc = mem + 512;
+        for t in 0..n {
+            s.spawn(format!("t{t}"), move |ctx| {
+                for round in 0..5u32 {
+                    if t == 0 {
+                        ctx.write_u32(acc, round);
+                    }
+                    bar.wait(ctx);
+                    assert_eq!(ctx.read_u32(acc), round);
+                    bar.wait(ctx);
+                }
+            });
+        }
+        s.run();
+    }
+}

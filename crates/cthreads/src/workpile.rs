@@ -1,0 +1,115 @@
+//! Self-scheduling work piles.
+
+use crate::sync::SpinLock;
+use ace_sim::ThreadCtx;
+use mach_vm::VAddr;
+
+/// A shared dispenser of work-item indices `0..limit`, the idiom the
+/// paper's applications use for workload allocation ("parcels out
+/// elements of the output matrix", PlyTrace's "queue of lists of
+/// polygons").
+///
+/// Layout: lock word, then the next-index word. Because the pile is
+/// written by every thread, its page is writably shared and will be
+/// pinned global — an intentional, realistic property.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkPile {
+    lock: SpinLock,
+    next: VAddr,
+    limit: u64,
+}
+
+impl WorkPile {
+    /// Bytes to reserve for a work pile.
+    pub const SIZE: u64 = 8;
+
+    /// Wraps 8 zero-initialized bytes at `base` as a dispenser of
+    /// indices `0..limit`.
+    pub fn new(base: VAddr, limit: u64) -> WorkPile {
+        WorkPile { lock: SpinLock::new(base), next: base + 4, limit }
+    }
+
+    /// Takes the next index, or `None` when the pile is exhausted.
+    pub fn take(&self, ctx: &mut ThreadCtx) -> Option<u64> {
+        self.lock.lock(ctx);
+        let v = ctx.read_u32(self.next) as u64;
+        let got = if v < self.limit {
+            ctx.write_u32(self.next, (v + 1) as u32);
+            Some(v)
+        } else {
+            None
+        };
+        self.lock.unlock(ctx);
+        got
+    }
+
+    /// Takes a batch of up to `chunk` consecutive indices, returning the
+    /// half-open range. Batching amortizes lock traffic exactly as the
+    /// paper's coarser work parcels do.
+    pub fn take_chunk(&self, ctx: &mut ThreadCtx, chunk: u64) -> Option<(u64, u64)> {
+        debug_assert!(chunk > 0);
+        self.lock.lock(ctx);
+        let v = ctx.read_u32(self.next) as u64;
+        let got = if v < self.limit {
+            let end = (v + chunk).min(self.limit);
+            ctx.write_u32(self.next, end as u32);
+            Some((v, end))
+        } else {
+            None
+        };
+        self.lock.unlock(ctx);
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_machine::Prot;
+    use ace_sim::{SimConfig, Simulator};
+    use numa_core::MoveLimitPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn every_index_dispensed_exactly_once() {
+        let mut s =
+            Simulator::new(SimConfig::small(3), Box::new(MoveLimitPolicy::default()));
+        let mem = s.alloc(64, Prot::READ_WRITE);
+        let pile = WorkPile::new(mem, 100);
+        let seen = Arc::new((0..100).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        for t in 0..3 {
+            let seen = Arc::clone(&seen);
+            s.spawn(format!("t{t}"), move |ctx| {
+                while let Some(i) = pile.take(ctx) {
+                    seen[i as usize].fetch_add(1, Ordering::Relaxed);
+                    ctx.compute(ace_machine::Ns(3_000));
+                }
+            });
+        }
+        s.run();
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_dispensing_covers_range() {
+        let mut s =
+            Simulator::new(SimConfig::small(2), Box::new(MoveLimitPolicy::default()));
+        let mem = s.alloc(64, Prot::READ_WRITE);
+        let pile = WorkPile::new(mem, 37);
+        let total = Arc::new(AtomicU64::new(0));
+        for t in 0..2 {
+            let total = Arc::clone(&total);
+            s.spawn(format!("t{t}"), move |ctx| {
+                while let Some((lo, hi)) = pile.take_chunk(ctx, 5) {
+                    assert!(hi <= 37);
+                    total.fetch_add(hi - lo, Ordering::Relaxed);
+                }
+            });
+        }
+        s.run();
+        assert_eq!(total.load(Ordering::Relaxed), 37);
+    }
+}

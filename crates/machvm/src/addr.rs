@@ -1,0 +1,60 @@
+//! Virtual addresses.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A byte address in a task's virtual address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// The zero address (never handed out by `vm_allocate`).
+    pub const NULL: VAddr = VAddr(0);
+
+    /// Byte offset from this address to `later`.
+    #[inline]
+    pub fn offset_to(self, later: VAddr) -> u64 {
+        later.0 - self.0
+    }
+}
+
+impl Add<u64> for VAddr {
+    type Output = VAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> VAddr {
+        VAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for VAddr {
+    type Output = VAddr;
+    #[inline]
+    fn sub(self, rhs: u64) -> VAddr {
+        VAddr(self.0 - rhs)
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = VAddr(0x1000);
+        assert_eq!(a + 8, VAddr(0x1008));
+        assert_eq!((a + 8) - 8, a);
+        assert_eq!(a.offset_to(a + 24), 24);
+    }
+}

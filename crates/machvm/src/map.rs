@@ -1,0 +1,239 @@
+//! Task address maps.
+//!
+//! A [`VmMap`] is the machine-independent description of one task's
+//! virtual address space: an ordered set of entries, each mapping a run
+//! of virtual pages onto a window of a memory object with a user
+//! protection.
+
+use crate::object::VmObjectId;
+use ace_machine::Prot;
+use std::collections::BTreeMap;
+
+/// One entry of an address map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmEntry {
+    /// First virtual page of the run.
+    pub start_vpn: u64,
+    /// Length in pages.
+    pub npages: u64,
+    /// Backing object.
+    pub object: VmObjectId,
+    /// Page index within the object that `start_vpn` maps to.
+    pub object_offset: u64,
+    /// What the user is allowed to do to these pages (the *maximum*
+    /// protection handed to `pmap_enter`).
+    pub prot: Prot,
+}
+
+impl VmEntry {
+    /// True if `vpn` falls inside this entry.
+    pub fn contains(&self, vpn: u64) -> bool {
+        vpn >= self.start_vpn && vpn < self.start_vpn + self.npages
+    }
+
+    /// The object page index backing `vpn`.
+    pub fn object_page(&self, vpn: u64) -> u64 {
+        debug_assert!(self.contains(vpn));
+        self.object_offset + (vpn - self.start_vpn)
+    }
+}
+
+/// Errors from map operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The requested range overlaps an existing entry.
+    Overlap,
+    /// No entry covers the given page.
+    NotMapped,
+    /// The virtual address space is exhausted.
+    NoSpace,
+}
+
+/// An ordered address map.
+#[derive(Debug, Default)]
+pub struct VmMap {
+    /// Entries keyed by starting vpn.
+    entries: BTreeMap<u64, VmEntry>,
+    /// First-fit allocation cursor for `find_space`.
+    cursor: u64,
+}
+
+/// Pages below this vpn are never handed out, so address 0 stays invalid.
+const FIRST_USER_VPN: u64 = 1;
+
+/// Exclusive upper bound on vpns (a 32-bit space with 256-byte pages).
+const MAX_VPN: u64 = 1 << 40;
+
+impl VmMap {
+    /// An empty map.
+    pub fn new() -> VmMap {
+        VmMap { entries: BTreeMap::new(), cursor: FIRST_USER_VPN }
+    }
+
+    /// The entry covering `vpn`.
+    pub fn lookup(&self, vpn: u64) -> Option<&VmEntry> {
+        let (_, e) = self.entries.range(..=vpn).next_back()?;
+        if e.contains(vpn) {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts an entry at a fixed location.
+    pub fn insert(&mut self, entry: VmEntry) -> Result<(), MapError> {
+        if entry.npages == 0 || entry.start_vpn + entry.npages > MAX_VPN {
+            return Err(MapError::NoSpace);
+        }
+        // Check the predecessor and any successor starting inside the run.
+        if let Some((_, prev)) = self.entries.range(..=entry.start_vpn).next_back() {
+            if prev.start_vpn + prev.npages > entry.start_vpn {
+                return Err(MapError::Overlap);
+            }
+        }
+        if let Some((&next_start, _)) = self.entries.range(entry.start_vpn..).next() {
+            if next_start < entry.start_vpn + entry.npages {
+                return Err(MapError::Overlap);
+            }
+        }
+        self.entries.insert(entry.start_vpn, entry);
+        Ok(())
+    }
+
+    /// Finds `npages` of unused virtual pages (first fit from a cursor)
+    /// and returns the starting vpn without inserting anything.
+    pub fn find_space(&mut self, npages: u64) -> Result<u64, MapError> {
+        if npages == 0 {
+            return Err(MapError::NoSpace);
+        }
+        let mut candidate = self.cursor;
+        loop {
+            if candidate + npages > MAX_VPN {
+                return Err(MapError::NoSpace);
+            }
+            // Find the first entry that could conflict.
+            let conflict = self
+                .entries
+                .range(..candidate + npages)
+                .next_back()
+                .filter(|(_, e)| e.start_vpn + e.npages > candidate);
+            match conflict {
+                None => {
+                    self.cursor = candidate + npages;
+                    return Ok(candidate);
+                }
+                Some((_, e)) => {
+                    candidate = e.start_vpn + e.npages;
+                }
+            }
+        }
+    }
+
+    /// Removes the entry starting exactly at `start_vpn`, returning it.
+    /// (Partial deallocation is not needed by this reproduction and Mach
+    /// itself clips entries; we keep whole-entry granularity.)
+    pub fn remove(&mut self, start_vpn: u64) -> Result<VmEntry, MapError> {
+        self.entries.remove(&start_vpn).ok_or(MapError::NotMapped)
+    }
+
+    /// Changes the user protection of the entry starting at `start_vpn`.
+    pub fn protect(&mut self, start_vpn: u64, prot: Prot) -> Result<(), MapError> {
+        match self.entries.get_mut(&start_vpn) {
+            Some(e) => {
+                e.prot = prot;
+                Ok(())
+            }
+            None => Err(MapError::NotMapped),
+        }
+    }
+
+    /// Iterates entries in address order.
+    pub fn entries(&self) -> impl Iterator<Item = &VmEntry> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(start: u64, n: u64) -> VmEntry {
+        VmEntry {
+            start_vpn: start,
+            npages: n,
+            object: VmObjectId(0),
+            object_offset: 0,
+            prot: Prot::READ_WRITE,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut m = VmMap::new();
+        m.insert(entry(10, 5)).unwrap();
+        assert!(m.lookup(9).is_none());
+        assert_eq!(m.lookup(10).unwrap().start_vpn, 10);
+        assert_eq!(m.lookup(14).unwrap().start_vpn, 10);
+        assert!(m.lookup(15).is_none());
+        assert_eq!(m.lookup(12).unwrap().object_page(12), 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = VmMap::new();
+        m.insert(entry(10, 5)).unwrap();
+        assert_eq!(m.insert(entry(14, 1)), Err(MapError::Overlap));
+        assert_eq!(m.insert(entry(8, 3)), Err(MapError::Overlap));
+        assert_eq!(m.insert(entry(9, 10)), Err(MapError::Overlap));
+        m.insert(entry(15, 1)).unwrap();
+        m.insert(entry(8, 2)).unwrap();
+    }
+
+    #[test]
+    fn find_space_skips_existing() {
+        let mut m = VmMap::new();
+        let a = m.find_space(4).unwrap();
+        m.insert(entry(a, 4)).unwrap();
+        let b = m.find_space(4).unwrap();
+        assert!(b >= a + 4);
+        m.insert(entry(b, 4)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn find_space_avoids_fixed_insertions() {
+        let mut m = VmMap::new();
+        m.insert(entry(1, 1_000_000)).unwrap();
+        let s = m.find_space(2).unwrap();
+        assert!(s >= 1_000_001);
+    }
+
+    #[test]
+    fn zero_page_allocation_rejected() {
+        let mut m = VmMap::new();
+        assert_eq!(m.find_space(0), Err(MapError::NoSpace));
+        assert_eq!(m.insert(entry(1, 0)), Err(MapError::NoSpace));
+    }
+
+    #[test]
+    fn remove_and_protect() {
+        let mut m = VmMap::new();
+        m.insert(entry(10, 5)).unwrap();
+        m.protect(10, Prot::READ).unwrap();
+        assert_eq!(m.lookup(10).unwrap().prot, Prot::READ);
+        assert_eq!(m.protect(11, Prot::READ), Err(MapError::NotMapped));
+        let e = m.remove(10).unwrap();
+        assert_eq!(e.npages, 5);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! The pmap interface: the boundary between machine-independent and
+//! machine-dependent memory management.
+//!
+//! This is Mach's pmap contract *with the three extensions* the paper
+//! added to support NUMA page caching (section 2.3.3):
+//!
+//! 1. `pmap_enter` takes **two protections**: `max_prot`, what the user is
+//!    legally permitted (Mach's original parameter), and `min_prot`, the
+//!    strictest protection that still resolves the current fault. The
+//!    NUMA pmap maps with the strictest possible permission so that it can
+//!    provisionally replicate writable-but-unwritten pages read-only.
+//! 2. `pmap_enter` takes a **target processor**: the processor that needs
+//!    the mapping, so the pmap layer knows who is accessing what.
+//! 3. `pmap_free_page` / `pmap_free_page_sync` notify the pmap layer when
+//!    logical pages are freed and reallocated, split in two so cleanup of
+//!    cached copies can be lazy.
+//!
+//! A pmap may drop any mapping or tighten its protection at almost any
+//! time; the machine-independent layer will simply re-fault and call
+//! `pmap_enter` again. The NUMA layer uses exactly this freedom to drive
+//! its consistency protocol.
+
+use crate::pool::LPageId;
+use ace_machine::mmu::Asid;
+use ace_machine::{CpuId, Machine, Prot};
+
+/// Opaque token returned by `pmap_free_page`, consumed by
+/// `pmap_free_page_sync` when the logical page is reallocated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct FreeTag(pub u64);
+
+/// The machine-dependent physical map layer.
+///
+/// All operations receive the [`Machine`] explicitly, mirroring how the
+/// real pmap layer manipulates MMU hardware; time spent is charged to the
+/// acting processor's system clock by the implementation.
+pub trait NumaPmap {
+    /// Creates a new physical map (address-translation context) and
+    /// returns its address-space id.
+    fn pmap_create(&mut self) -> Asid;
+
+    /// Destroys a pmap, removing all of its translations from every
+    /// processor.
+    fn pmap_destroy(&mut self, m: &mut Machine, asid: Asid);
+
+    /// Maps `vpn` to logical page `lpage` for `cpu`.
+    ///
+    /// `min_prot` is the strictest protection that resolves the faulting
+    /// access; `max_prot` is the loosest protection the user may hold.
+    /// The implementation chooses an actual protection between the two
+    /// (inclusive) and may place, replicate, migrate or pin the page in
+    /// the process.
+    #[allow(clippy::too_many_arguments)]
+    fn pmap_enter(
+        &mut self,
+        m: &mut Machine,
+        asid: Asid,
+        vpn: u64,
+        lpage: LPageId,
+        min_prot: Prot,
+        max_prot: Prot,
+        cpu: CpuId,
+    );
+
+    /// Tightens the protection of any existing translations for
+    /// `[start_vpn, start_vpn + npages)` in `asid` on all processors.
+    fn pmap_protect(&mut self, m: &mut Machine, asid: Asid, start_vpn: u64, npages: u64, prot: Prot);
+
+    /// Removes any translations for the range in `asid` on all
+    /// processors.
+    fn pmap_remove(&mut self, m: &mut Machine, asid: Asid, start_vpn: u64, npages: u64);
+
+    /// Removes every translation (in any pmap, on any processor) of the
+    /// given logical page.
+    fn pmap_remove_all(&mut self, m: &mut Machine, lpage: LPageId);
+
+    /// Starts lazy cleanup of a freed logical page (drop cached copies,
+    /// reset consistency state) and returns a tag.
+    fn pmap_free_page(&mut self, m: &mut Machine, lpage: LPageId) -> FreeTag;
+
+    /// Waits for (completes) the cleanup identified by `tag`; called
+    /// before the logical page is reallocated.
+    fn pmap_free_page_sync(&mut self, m: &mut Machine, tag: FreeTag);
+
+    /// Marks a logical page as needing zero-fill. Mach calls this when
+    /// handling the initial zero-fill fault; the paper's layer *lazily*
+    /// evaluates the zeroing so the zeros are written directly into the
+    /// frame the page is first placed in, rather than being written to
+    /// global memory and immediately copied.
+    fn pmap_zero_page(&mut self, lpage: LPageId);
+
+    /// Marks a logical page as needing to be filled with `data` (a page
+    /// coming back in from the default memory manager's backing store).
+    /// Like zero-fill, evaluated lazily at first placement.
+    fn pmap_load_page(&mut self, lpage: LPageId, data: Box<[u8]>);
+
+    /// Copies the page's current authoritative contents into `buf`
+    /// (pageout reading the page on its way to backing store), charging
+    /// the copy as system time on `cpu`.
+    fn pmap_read_page(&mut self, m: &mut Machine, lpage: LPageId, buf: &mut [u8], cpu: CpuId);
+
+    /// Reads and clears the page's referenced bits across all mappings,
+    /// returning true if any processor referenced it since the last
+    /// harvest — the pageout daemon's second-chance test (the paper
+    /// cites exactly this Unix-pageout technique in section 4.4).
+    fn pmap_clear_reference(&mut self, m: &mut Machine, lpage: LPageId) -> bool;
+}
+
+/// A trivial non-NUMA pmap that backs every logical page with its global
+/// frame on every processor — the behaviour of an unmodified Mach pmap on
+/// a machine treated as UMA. Used to unit-test the machine-independent
+/// layer and as the degenerate baseline.
+pub struct NullPmap {
+    next_asid: Asid,
+    /// Logical pages that still need zero fill.
+    needs_zero: std::collections::HashSet<LPageId>,
+    /// Pending page-in contents.
+    pending_fill: std::collections::HashMap<LPageId, Box<[u8]>>,
+    /// Whether each logical page's global frame has been claimed.
+    materialized: std::collections::HashSet<LPageId>,
+}
+
+impl NullPmap {
+    /// An empty pmap layer.
+    pub fn new() -> NullPmap {
+        NullPmap {
+            next_asid: 1,
+            needs_zero: std::collections::HashSet::new(),
+            pending_fill: std::collections::HashMap::new(),
+            materialized: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Ensures the global frame for `lpage` exists, zero-filling if
+    /// required.
+    fn materialize(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId) -> ace_machine::Frame {
+        let frame = ace_machine::Frame::global(lpage.0);
+        if self.materialized.insert(lpage) {
+            m.mem
+                .alloc_global_at(lpage.0)
+                .expect("logical page pool and global memory are the same size");
+        }
+        if self.needs_zero.remove(&lpage) {
+            m.kernel_zero_page(cpu, frame);
+        }
+        if let Some(data) = self.pending_fill.remove(&lpage) {
+            m.mem.write_bytes(frame, 0, &data);
+            m.clocks.charge_system(cpu, m.config.costs.page_copy(data.len()));
+        }
+        frame
+    }
+}
+
+impl Default for NullPmap {
+    fn default() -> Self {
+        NullPmap::new()
+    }
+}
+
+impl NumaPmap for NullPmap {
+    fn pmap_create(&mut self) -> Asid {
+        let a = self.next_asid;
+        self.next_asid += 1;
+        a
+    }
+
+    fn pmap_destroy(&mut self, m: &mut Machine, asid: Asid) {
+        for i in 0..m.n_cpus() {
+            m.mmus[i].remove_asid(asid);
+        }
+    }
+
+    fn pmap_enter(
+        &mut self,
+        m: &mut Machine,
+        asid: Asid,
+        vpn: u64,
+        lpage: LPageId,
+        min_prot: Prot,
+        max_prot: Prot,
+        cpu: CpuId,
+    ) {
+        let frame = self.materialize(m, lpage, cpu);
+        // A non-NUMA pmap maps with maximum permissions to avoid
+        // subsequent faults (the paper notes this explicitly).
+        let _ = min_prot;
+        m.mmu(cpu).enter(asid, vpn, frame, max_prot);
+    }
+
+    fn pmap_protect(&mut self, m: &mut Machine, asid: Asid, start_vpn: u64, npages: u64, prot: Prot) {
+        for i in 0..m.n_cpus() {
+            for vpn in start_vpn..start_vpn + npages {
+                if prot == Prot::NONE {
+                    m.mmus[i].remove(asid, vpn);
+                } else {
+                    m.mmus[i].protect(asid, vpn, prot);
+                }
+            }
+        }
+    }
+
+    fn pmap_remove(&mut self, m: &mut Machine, asid: Asid, start_vpn: u64, npages: u64) {
+        for i in 0..m.n_cpus() {
+            for vpn in start_vpn..start_vpn + npages {
+                m.mmus[i].remove(asid, vpn);
+            }
+        }
+    }
+
+    fn pmap_remove_all(&mut self, m: &mut Machine, lpage: LPageId) {
+        let frame = ace_machine::Frame::global(lpage.0);
+        for i in 0..m.n_cpus() {
+            m.mmus[i].remove_frame(frame);
+        }
+    }
+
+    fn pmap_free_page(&mut self, m: &mut Machine, lpage: LPageId) -> FreeTag {
+        self.pmap_remove_all(m, lpage);
+        if self.materialized.remove(&lpage) {
+            m.mem.free(ace_machine::Frame::global(lpage.0));
+        }
+        self.needs_zero.remove(&lpage);
+        self.pending_fill.remove(&lpage);
+        FreeTag(lpage.0 as u64)
+    }
+
+    fn pmap_free_page_sync(&mut self, _m: &mut Machine, _tag: FreeTag) {
+        // NullPmap cleans up eagerly; nothing to wait for.
+    }
+
+    fn pmap_zero_page(&mut self, lpage: LPageId) {
+        self.needs_zero.insert(lpage);
+    }
+
+    fn pmap_load_page(&mut self, lpage: LPageId, data: Box<[u8]>) {
+        self.needs_zero.remove(&lpage);
+        self.pending_fill.insert(lpage, data);
+    }
+
+    fn pmap_read_page(&mut self, m: &mut Machine, lpage: LPageId, buf: &mut [u8], cpu: CpuId) {
+        let frame = ace_machine::Frame::global(lpage.0);
+        if self.materialized.contains(&lpage) {
+            m.mem.read_bytes(frame, 0, buf);
+        } else {
+            buf.fill(0);
+        }
+        m.clocks.charge_system(cpu, m.config.costs.page_copy(buf.len()));
+    }
+
+    fn pmap_clear_reference(&mut self, m: &mut Machine, lpage: LPageId) -> bool {
+        let frame = ace_machine::Frame::global(lpage.0);
+        let mut referenced = false;
+        for i in 0..m.n_cpus() {
+            if let Some((asid, vpn, mapping)) = m.mmus[i].remove_frame(frame) {
+                referenced |= mapping.referenced;
+                // Re-enter without the referenced bit (dropping and
+                // re-entering is the pmap prerogative).
+                m.mmus[i].enter(asid, vpn, frame, mapping.prot);
+            }
+        }
+        referenced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_machine::{Access, MachineConfig};
+
+    #[test]
+    fn null_pmap_maps_global_frames() {
+        let mut m = Machine::new(MachineConfig::small(2));
+        let mut p = NullPmap::new();
+        let asid = p.pmap_create();
+        let lp = LPageId(5);
+        p.pmap_zero_page(lp);
+        p.pmap_enter(&mut m, asid, 100, lp, Prot::READ, Prot::READ_WRITE, CpuId(0));
+        let f = m.mmu(CpuId(0)).translate(asid, 100, Access::Store).unwrap();
+        assert_eq!(f, ace_machine::Frame::global(5));
+        // Zero fill happened exactly once.
+        assert_eq!(m.mem.read_u32(f, 0), 0);
+        p.pmap_enter(&mut m, asid, 100, lp, Prot::READ, Prot::READ_WRITE, CpuId(1));
+        assert!(m.mmu(CpuId(1)).probe(asid, 100).is_some());
+    }
+
+    #[test]
+    fn null_pmap_free_releases_frame() {
+        let mut m = Machine::new(MachineConfig::small(1));
+        let mut p = NullPmap::new();
+        let asid = p.pmap_create();
+        let lp = LPageId(3);
+        let before = m.mem.free_frames(ace_machine::MemRegion::Global);
+        p.pmap_enter(&mut m, asid, 7, lp, Prot::READ, Prot::READ, CpuId(0));
+        assert_eq!(m.mem.free_frames(ace_machine::MemRegion::Global), before - 1);
+        let tag = p.pmap_free_page(&mut m, lp);
+        p.pmap_free_page_sync(&mut m, tag);
+        assert_eq!(m.mem.free_frames(ace_machine::MemRegion::Global), before);
+        assert!(m.mmu(CpuId(0)).probe(asid, 7).is_none());
+    }
+}

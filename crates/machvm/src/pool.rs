@@ -1,0 +1,162 @@
+//! The logical page pool.
+//!
+//! Mach views physical memory as a fixed-size pool of machine-independent
+//! pages. On the ACE the pool is the same size as global memory: logical
+//! page *i* corresponds to global frame *i*, and may additionally be
+//! cached in at most one local frame per processor by the pmap layer.
+//! The pool size is fixed at boot time — the paper notes this as the one
+//! real limitation Mach imposed ("the maximum amount of memory that can be
+//! used for page replication must be fixed at boot time").
+
+use crate::object::VmObjectId;
+use std::fmt;
+
+/// Identifies one logical page (and therefore one global frame).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LPageId(pub u32);
+
+impl LPageId {
+    /// The page id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LPageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp{}", self.0)
+    }
+}
+
+/// Who owns an allocated logical page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PageOwner {
+    /// Owning object.
+    pub object: VmObjectId,
+    /// Page index within the object.
+    pub index: u64,
+}
+
+/// Allocation state of one pool slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    Free,
+    Allocated(PageOwner),
+}
+
+/// The fixed-size pool of logical pages.
+pub struct LogicalPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    peak_used: usize,
+}
+
+/// Error: the boot-time pool is exhausted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PoolExhausted;
+
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logical page pool exhausted")
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+impl LogicalPool {
+    /// A pool of `n_pages` logical pages, all free.
+    pub fn new(n_pages: usize) -> LogicalPool {
+        LogicalPool {
+            slots: vec![Slot::Free; n_pages],
+            free: (0..n_pages as u32).rev().collect(),
+            peak_used: 0,
+        }
+    }
+
+    /// Total pool size.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no page is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.free.len() == self.slots.len()
+    }
+
+    /// Number of free pages.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// High-water mark of allocated pages.
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Allocates a logical page for `(object, index)`.
+    pub fn alloc(&mut self, owner: PageOwner) -> Result<LPageId, PoolExhausted> {
+        let id = self.free.pop().ok_or(PoolExhausted)?;
+        self.slots[id as usize] = Slot::Allocated(owner);
+        let used = self.slots.len() - self.free.len();
+        if used > self.peak_used {
+            self.peak_used = used;
+        }
+        Ok(LPageId(id))
+    }
+
+    /// Frees a logical page. The caller must have already notified the
+    /// pmap layer via `pmap_free_page`.
+    pub fn free(&mut self, lpage: LPageId) {
+        debug_assert!(
+            matches!(self.slots[lpage.index()], Slot::Allocated(_)),
+            "freeing unallocated {lpage:?}"
+        );
+        self.slots[lpage.index()] = Slot::Free;
+        self.free.push(lpage.0);
+    }
+
+    /// The owner of an allocated page.
+    pub fn owner(&self, lpage: LPageId) -> Option<PageOwner> {
+        match self.slots[lpage.index()] {
+            Slot::Allocated(o) => Some(o),
+            Slot::Free => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(i: u64) -> PageOwner {
+        PageOwner { object: VmObjectId(1), index: i }
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = LogicalPool::new(2);
+        let a = p.alloc(owner(0)).unwrap();
+        let b = p.alloc(owner(1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.alloc(owner(2)), Err(PoolExhausted));
+        assert_eq!(p.owner(a), Some(owner(0)));
+        p.free(a);
+        assert_eq!(p.owner(a), None);
+        assert_eq!(p.free_pages(), 1);
+        let c = p.alloc(owner(3)).unwrap();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(p.peak_used(), 2);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut p = LogicalPool::new(3);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 3);
+        let a = p.alloc(owner(0)).unwrap();
+        assert!(!p.is_empty());
+        p.free(a);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,600 @@
+//! The assembled machine-independent VM state and its kernel entry
+//! points (`vm_allocate`, `vm_deallocate`, `vm_protect`, task lifecycle).
+
+use crate::map::{MapError, VmEntry, VmMap};
+use crate::object::{VmObject, VmObjectId};
+use crate::pmap::{FreeTag, NumaPmap};
+use crate::pool::{LPageId, LogicalPool, PageOwner, PoolExhausted};
+use crate::VAddr;
+use ace_machine::mmu::Asid;
+use ace_machine::{Machine, PageSize, Prot};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies one task (address space).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+/// One task: an address map bound to a pmap.
+#[derive(Debug)]
+struct Task {
+    map: VmMap,
+    asid: Asid,
+}
+
+/// Errors surfaced by VM operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// Address not covered by any map entry.
+    NoEntry(VAddr),
+    /// The map entry does not permit the attempted access.
+    Protection(VAddr),
+    /// The logical page pool is exhausted.
+    OutOfLogicalMemory,
+    /// Address-map manipulation failed.
+    Map(MapError),
+    /// Unknown task.
+    BadTask(TaskId),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NoEntry(a) => write!(f, "no map entry covers {a}"),
+            VmError::Protection(a) => write!(f, "protection violation at {a}"),
+            VmError::OutOfLogicalMemory => write!(f, "logical page pool exhausted"),
+            VmError::Map(e) => write!(f, "map operation failed: {e:?}"),
+            VmError::BadTask(t) => write!(f, "no such task {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MapError> for VmError {
+    fn from(e: MapError) -> Self {
+        VmError::Map(e)
+    }
+}
+
+impl From<PoolExhausted> for VmError {
+    fn from(_: PoolExhausted) -> Self {
+        VmError::OutOfLogicalMemory
+    }
+}
+
+/// The machine-independent VM system: tasks, objects, and the logical
+/// page pool.
+pub struct VmState {
+    page_size: PageSize,
+    tasks: Vec<Option<Task>>,
+    objects: Vec<Option<VmObject>>,
+    pool: LogicalPool,
+    /// Lazy-free tags not yet synced, by logical page.
+    pending_free: HashMap<LPageId, FreeTag>,
+    /// Pageout clock hand: resident pages in arrival order, re-queued
+    /// when the second-chance test finds them referenced.
+    clock_queue: VecDeque<(VmObjectId, u64, LPageId)>,
+    /// Whether pageout-to-swap is enabled (on by default; the fixed
+    /// boot-time pool is otherwise a hard limit, as in the paper).
+    pageout_enabled: bool,
+    /// Count of zero-fill faults served (statistic).
+    pub zero_fill_faults: u64,
+    /// Pages written to backing store by the pageout daemon.
+    pub pageouts: u64,
+    /// Pages brought back from backing store.
+    pub pageins: u64,
+}
+
+impl VmState {
+    /// Creates the VM state for a machine with `global_frames` frames of
+    /// global memory (the pool is the same size, as on the ACE).
+    pub fn new(page_size: PageSize, global_frames: usize) -> VmState {
+        VmState {
+            page_size,
+            tasks: Vec::new(),
+            objects: Vec::new(),
+            pool: LogicalPool::new(global_frames),
+            pending_free: HashMap::new(),
+            clock_queue: VecDeque::new(),
+            pageout_enabled: true,
+            zero_fill_faults: 0,
+            pageouts: 0,
+            pageins: 0,
+        }
+    }
+
+    /// Enables or disables the pageout daemon; with it disabled the
+    /// fixed pool is a hard limit and exhaustion is an error.
+    pub fn set_pageout(&mut self, enabled: bool) {
+        self.pageout_enabled = enabled;
+    }
+
+    /// The machine's page size.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// The logical page pool (for introspection by tests and benches).
+    pub fn pool(&self) -> &LogicalPool {
+        &self.pool
+    }
+
+    /// Creates a task with a fresh pmap.
+    pub fn task_create(&mut self, pmap: &mut dyn NumaPmap) -> TaskId {
+        let asid = pmap.pmap_create();
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Some(Task { map: VmMap::new(), asid }));
+        id
+    }
+
+    /// Destroys a task, deallocating everything it maps.
+    pub fn task_destroy(
+        &mut self,
+        m: &mut Machine,
+        pmap: &mut dyn NumaPmap,
+        task: TaskId,
+    ) -> Result<(), VmError> {
+        let starts: Vec<u64> = {
+            let t = self.task_ref(task)?;
+            t.map.entries().map(|e| e.start_vpn).collect()
+        };
+        for s in starts {
+            let addr = VAddr(self.page_size.base_of(s));
+            self.vm_deallocate(m, pmap, task, addr)?;
+        }
+        let t = self.tasks[task.0 as usize].take().ok_or(VmError::BadTask(task))?;
+        pmap.pmap_destroy(m, t.asid);
+        Ok(())
+    }
+
+    fn task_ref(&self, task: TaskId) -> Result<&Task, VmError> {
+        self.tasks
+            .get(task.0 as usize)
+            .and_then(|t| t.as_ref())
+            .ok_or(VmError::BadTask(task))
+    }
+
+    fn task_mut(&mut self, task: TaskId) -> Result<&mut Task, VmError> {
+        self.tasks
+            .get_mut(task.0 as usize)
+            .and_then(|t| t.as_mut())
+            .ok_or(VmError::BadTask(task))
+    }
+
+    /// The address-space id of a task's pmap.
+    pub fn task_asid(&self, task: TaskId) -> Result<Asid, VmError> {
+        Ok(self.task_ref(task)?.asid)
+    }
+
+    /// Allocates `bytes` of zero-filled virtual memory in `task` with the
+    /// given maximum protection, returning its base address (always page
+    /// aligned).
+    pub fn vm_allocate(
+        &mut self,
+        task: TaskId,
+        bytes: u64,
+        prot: Prot,
+    ) -> Result<VAddr, VmError> {
+        let npages = self.page_size.pages_for(bytes.max(1));
+        let object = VmObjectId(self.objects.len() as u32);
+        let t = self.task_mut(task)?;
+        let start_vpn = t.map.find_space(npages)?;
+        t.map.insert(VmEntry { start_vpn, npages, object, object_offset: 0, prot })?;
+        self.objects.push(Some(VmObject::new(object, npages)));
+        Ok(VAddr(self.page_size.base_of(start_vpn)))
+    }
+
+    /// Maps a window of an *existing* object into `task` (used to share
+    /// memory between tasks, and by tests).
+    pub fn vm_map_object(
+        &mut self,
+        task: TaskId,
+        object: VmObjectId,
+        object_offset: u64,
+        npages: u64,
+        prot: Prot,
+    ) -> Result<VAddr, VmError> {
+        {
+            let o = self.object_mut(object)?;
+            o.ref_count += 1;
+        }
+        let t = self.task_mut(task)?;
+        let start_vpn = t.map.find_space(npages)?;
+        t.map.insert(VmEntry { start_vpn, npages, object, object_offset, prot })?;
+        Ok(VAddr(self.page_size.base_of(start_vpn)))
+    }
+
+    /// The object backing the entry that starts at `addr` in `task`.
+    pub fn object_at(&self, task: TaskId, addr: VAddr) -> Result<VmObjectId, VmError> {
+        let vpn = self.page_size.page_of(addr.0);
+        let t = self.task_ref(task)?;
+        let e = t.map.lookup(vpn).ok_or(VmError::NoEntry(addr))?;
+        Ok(e.object)
+    }
+
+    fn object_mut(&mut self, id: VmObjectId) -> Result<&mut VmObject, VmError> {
+        self.objects
+            .get_mut(id.0 as usize)
+            .and_then(|o| o.as_mut())
+            .ok_or(VmError::Map(MapError::NotMapped))
+    }
+
+    /// Removes the allocation whose base address is `addr` from `task`,
+    /// freeing the object's pages when its last reference goes away.
+    pub fn vm_deallocate(
+        &mut self,
+        m: &mut Machine,
+        pmap: &mut dyn NumaPmap,
+        task: TaskId,
+        addr: VAddr,
+    ) -> Result<(), VmError> {
+        let start_vpn = self.page_size.page_of(addr.0);
+        let asid = self.task_ref(task)?.asid;
+        let entry = self.task_mut(task)?.map.remove(start_vpn)?;
+        pmap.pmap_remove(m, asid, entry.start_vpn, entry.npages);
+        let dead = {
+            let o = self.object_mut(entry.object)?;
+            o.ref_count -= 1;
+            o.ref_count == 0
+        };
+        if dead {
+            let o = self.objects[entry.object.0 as usize].take().expect("checked above");
+            for (_, lpage) in o.resident_pages() {
+                let tag = pmap.pmap_free_page(m, lpage);
+                self.pending_free.insert(lpage, tag);
+                self.pool.free(lpage);
+            }
+        }
+        Ok(())
+    }
+
+    /// Changes the user protection of the allocation based at `addr`,
+    /// tightening any existing hardware mappings if the new protection is
+    /// stricter.
+    pub fn vm_protect(
+        &mut self,
+        m: &mut Machine,
+        pmap: &mut dyn NumaPmap,
+        task: TaskId,
+        addr: VAddr,
+        prot: Prot,
+    ) -> Result<(), VmError> {
+        let start_vpn = self.page_size.page_of(addr.0);
+        let asid = self.task_ref(task)?.asid;
+        let t = self.task_mut(task)?;
+        t.map.protect(start_vpn, prot)?;
+        let e = *t.map.lookup(start_vpn).expect("entry just protected");
+        pmap.pmap_protect(m, asid, e.start_vpn, e.npages, prot);
+        Ok(())
+    }
+
+    /// Resolves a page fault at `addr` for an access requiring
+    /// `need_prot`, on `cpu`. This is the machine-independent fault path:
+    /// look up the map entry, check legality, find or zero-fill the
+    /// logical page, and call `pmap_enter` with min/max protections and
+    /// the target processor.
+    pub fn fault(
+        &mut self,
+        m: &mut Machine,
+        pmap: &mut dyn NumaPmap,
+        task: TaskId,
+        addr: VAddr,
+        need_prot: Prot,
+        cpu: ace_machine::CpuId,
+    ) -> Result<(), VmError> {
+        m.charge_fault_overhead(cpu);
+        let vpn = self.page_size.page_of(addr.0);
+        let (asid, entry) = {
+            let t = self.task_ref(task)?;
+            let e = *t.map.lookup(vpn).ok_or(VmError::NoEntry(addr))?;
+            (t.asid, e)
+        };
+        if entry.prot.min(need_prot) != need_prot {
+            return Err(VmError::Protection(addr));
+        }
+        let obj_page = entry.object_page(vpn);
+        let resident = self.object_mut(entry.object)?.resident_page(obj_page);
+        let lpage = match resident {
+            Some(lp) => lp,
+            None => {
+                let lp = self.alloc_logical_page(
+                    m,
+                    pmap,
+                    PageOwner { object: entry.object, index: obj_page },
+                    cpu,
+                )?;
+                let obj = self.objects[entry.object.0 as usize]
+                    .as_mut()
+                    .expect("object exists");
+                obj.insert_page(obj_page, lp);
+                match obj.swap_in(obj_page) {
+                    Some(data) => {
+                        // Page-in from backing store, lazily evaluated
+                        // like zero-fill.
+                        self.pageins += 1;
+                        pmap.pmap_load_page(lp, data);
+                    }
+                    None => {
+                        self.zero_fill_faults += 1;
+                        pmap.pmap_zero_page(lp);
+                    }
+                }
+                self.clock_queue.push_back((entry.object, obj_page, lp));
+                lp
+            }
+        };
+        pmap.pmap_enter(m, asid, vpn, lpage, need_prot, entry.prot, cpu);
+        Ok(())
+    }
+
+    /// Allocates a logical page, evicting via the pageout daemon when
+    /// the pool is exhausted (if enabled).
+    fn alloc_logical_page(
+        &mut self,
+        m: &mut Machine,
+        pmap: &mut dyn NumaPmap,
+        owner: PageOwner,
+        cpu: ace_machine::CpuId,
+    ) -> Result<LPageId, VmError> {
+        let lp = match self.pool.alloc(owner) {
+            Ok(lp) => lp,
+            Err(PoolExhausted) => {
+                if !self.pageout_enabled || !self.page_out_one(m, pmap, cpu) {
+                    return Err(VmError::OutOfLogicalMemory);
+                }
+                self.pool.alloc(owner)?
+            }
+        };
+        // If this slot was lazily freed earlier, finish that cleanup
+        // before reuse.
+        if let Some(tag) = self.pending_free.remove(&lp) {
+            pmap.pmap_free_page_sync(m, tag);
+        }
+        Ok(lp)
+    }
+
+    /// The pageout daemon's clock hand: second-chance over resident
+    /// pages (referenced pages are re-queued with their bit cleared;
+    /// unreferenced pages are written to swap and freed). Returns false
+    /// if nothing could be evicted.
+    fn page_out_one(
+        &mut self,
+        m: &mut Machine,
+        pmap: &mut dyn NumaPmap,
+        cpu: ace_machine::CpuId,
+    ) -> bool {
+        // Bound the scan to two sweeps of the queue.
+        let mut scans = 2 * self.clock_queue.len();
+        while let Some((obj_id, index, lp)) = self.clock_queue.pop_front() {
+            // Skip stale entries (page already freed or moved).
+            let still = self
+                .objects
+                .get(obj_id.0 as usize)
+                .and_then(|o| o.as_ref())
+                .and_then(|o| o.resident_page(index))
+                == Some(lp);
+            if !still {
+                if scans == 0 {
+                    return false;
+                }
+                scans -= 1;
+                continue;
+            }
+            if pmap.pmap_clear_reference(m, lp) && scans > 0 {
+                // Second chance.
+                self.clock_queue.push_back((obj_id, index, lp));
+                scans -= 1;
+                continue;
+            }
+            // Victim: write to swap, free the logical page.
+            let mut buf = vec![0u8; self.page_size.bytes()].into_boxed_slice();
+            pmap.pmap_read_page(m, lp, &mut buf, cpu);
+            let obj = self.objects[obj_id.0 as usize].as_mut().expect("checked above");
+            obj.remove_page(index);
+            obj.swap_out(index, buf);
+            let tag = pmap.pmap_free_page(m, lp);
+            self.pending_free.insert(lp, tag);
+            self.pool.free(lp);
+            self.pageouts += 1;
+            return true;
+        }
+        false
+    }
+
+    /// The swapped-out contents of the page at `addr` in `task`, if it
+    /// is currently on backing store (debug/verification access).
+    pub fn swapped_bytes(&self, task: TaskId, addr: VAddr) -> Option<&[u8]> {
+        let vpn = self.page_size.page_of(addr.0);
+        let t = self.task_ref(task).ok()?;
+        let e = t.map.lookup(vpn)?;
+        let o = self.objects.get(e.object.0 as usize)?.as_ref()?;
+        o.swap_peek(e.object_page(vpn))
+    }
+
+    /// The logical page currently backing `addr` in `task`, if resident.
+    pub fn resident_lpage(&self, task: TaskId, addr: VAddr) -> Option<LPageId> {
+        let vpn = self.page_size.page_of(addr.0);
+        let t = self.task_ref(task).ok()?;
+        let e = t.map.lookup(vpn)?;
+        let o = self.objects.get(e.object.0 as usize)?.as_ref()?;
+        o.resident_page(e.object_page(vpn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmap::NullPmap;
+    use ace_machine::{Access, CpuId, MachineConfig};
+
+    fn setup() -> (Machine, VmState, NullPmap, TaskId) {
+        let cfg = MachineConfig::small(2);
+        let m = Machine::new(cfg.clone());
+        let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
+        let mut pmap = NullPmap::new();
+        let task = vm.task_create(&mut pmap);
+        (m, vm, pmap, task)
+    }
+
+    #[test]
+    fn allocate_fault_access() {
+        let (mut m, mut vm, mut pmap, task) = setup();
+        let addr = vm.vm_allocate(task, 1000, Prot::READ_WRITE).unwrap();
+        assert_ne!(addr, VAddr::NULL);
+        let cpu = CpuId(0);
+        let asid = vm.task_asid(task).unwrap();
+        let vpn = vm.page_size().page_of(addr.0);
+        // Initially unmapped: hardware faults, the VM resolves it.
+        assert!(m.mmu(cpu).translate(asid, vpn, Access::Store).is_err());
+        vm.fault(&mut m, &mut pmap, task, addr, Prot::READ_WRITE, cpu).unwrap();
+        let f = m.mmu(cpu).translate(asid, vpn, Access::Store).unwrap();
+        m.mem.write_u32(f, 0, 42);
+        assert_eq!(m.mem.read_u32(f, 0), 42);
+        assert_eq!(vm.zero_fill_faults, 1);
+        // Faulting the same page again does not zero-fill again.
+        vm.fault(&mut m, &mut pmap, task, addr, Prot::READ, cpu).unwrap();
+        assert_eq!(vm.zero_fill_faults, 1);
+    }
+
+    #[test]
+    fn fault_outside_any_entry_is_no_entry() {
+        let (mut m, mut vm, mut pmap, task) = setup();
+        let r = vm.fault(&mut m, &mut pmap, task, VAddr(0xdead_000), Prot::READ, CpuId(0));
+        assert!(matches!(r, Err(VmError::NoEntry(_))));
+    }
+
+    #[test]
+    fn fault_beyond_user_protection_is_denied() {
+        let (mut m, mut vm, mut pmap, task) = setup();
+        let addr = vm.vm_allocate(task, 100, Prot::READ).unwrap();
+        let r = vm.fault(&mut m, &mut pmap, task, addr, Prot::READ_WRITE, CpuId(0));
+        assert!(matches!(r, Err(VmError::Protection(_))));
+        vm.fault(&mut m, &mut pmap, task, addr, Prot::READ, CpuId(0)).unwrap();
+    }
+
+    #[test]
+    fn deallocate_frees_pool_pages() {
+        let (mut m, mut vm, mut pmap, task) = setup();
+        let before = vm.pool().free_pages();
+        let addr = vm.vm_allocate(task, 5000, Prot::READ_WRITE).unwrap();
+        let psz = vm.page_size().bytes() as u64;
+        for i in 0..vm.page_size().pages_for(5000) {
+            vm.fault(&mut m, &mut pmap, task, addr + i * psz, Prot::READ_WRITE, CpuId(1))
+                .unwrap();
+        }
+        assert!(vm.pool().free_pages() < before);
+        vm.vm_deallocate(&mut m, &mut pmap, task, addr).unwrap();
+        assert_eq!(vm.pool().free_pages(), before);
+    }
+
+    #[test]
+    fn pool_exhaustion_reported_without_pageout() {
+        let cfg = MachineConfig { global_frames: 2, ..MachineConfig::small(1) };
+        let mut m = Machine::new(cfg.clone());
+        let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
+        vm.set_pageout(false);
+        let mut pmap = NullPmap::new();
+        let task = vm.task_create(&mut pmap);
+        let psz = cfg.page_size.bytes() as u64;
+        let addr = vm.vm_allocate(task, 3 * psz, Prot::READ_WRITE).unwrap();
+        vm.fault(&mut m, &mut pmap, task, addr, Prot::READ, CpuId(0)).unwrap();
+        vm.fault(&mut m, &mut pmap, task, addr + psz, Prot::READ, CpuId(0)).unwrap();
+        let r = vm.fault(&mut m, &mut pmap, task, addr + 2 * psz, Prot::READ, CpuId(0));
+        assert_eq!(r, Err(VmError::OutOfLogicalMemory));
+    }
+
+    #[test]
+    fn pageout_survives_pool_exhaustion_and_preserves_data() {
+        // A 2-page pool backing a 6-page working set: the pageout daemon
+        // shuffles pages to swap and back, and every value survives.
+        let cfg = MachineConfig { global_frames: 2, ..MachineConfig::small(1) };
+        let mut m = Machine::new(cfg.clone());
+        let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
+        let mut pmap = NullPmap::new();
+        let task = vm.task_create(&mut pmap);
+        let psz = cfg.page_size.bytes() as u64;
+        let addr = vm.vm_allocate(task, 6 * psz, Prot::READ_WRITE).unwrap();
+        let asid = vm.task_asid(task).unwrap();
+        let cpu = CpuId(0);
+        // Touch and stamp all six pages (forcing evictions), twice.
+        for round in 0..2u32 {
+            for i in 0..6u64 {
+                let a = addr + i * psz;
+                let vpn = vm.page_size().page_of(a.0);
+                loop {
+                    match m.mmus[0].translate(asid, vpn, Access::Store) {
+                        Ok(f) => {
+                            let off = vm.page_size().offset_of(a.0);
+                            if round == 0 {
+                                m.mem.write_u32(f, off, 100 + i as u32);
+                            } else {
+                                assert_eq!(
+                                    m.mem.read_u32(f, off),
+                                    100 + i as u32,
+                                    "page {i} lost its data in swap"
+                                );
+                            }
+                            break;
+                        }
+                        Err(_) => {
+                            vm.fault(&mut m, &mut pmap, task, a, Prot::READ_WRITE, cpu)
+                                .unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        assert!(vm.pageouts >= 4, "pageouts = {}", vm.pageouts);
+        assert!(vm.pageins >= 4, "pageins = {}", vm.pageins);
+        // At most 2 pages resident at any time.
+        assert!(vm.pool().free_pages() <= 2);
+    }
+
+    #[test]
+    fn shared_object_between_tasks() {
+        let (mut m, mut vm, mut pmap, t1) = setup();
+        let t2 = vm.task_create(&mut pmap);
+        let a1 = vm.vm_allocate(t1, 100, Prot::READ_WRITE).unwrap();
+        let obj = vm.object_at(t1, a1).unwrap();
+        let a2 = vm.vm_map_object(t2, obj, 0, 1, Prot::READ_WRITE).unwrap();
+        vm.fault(&mut m, &mut pmap, t1, a1, Prot::READ_WRITE, CpuId(0)).unwrap();
+        vm.fault(&mut m, &mut pmap, t2, a2, Prot::READ_WRITE, CpuId(1)).unwrap();
+        // Both tasks see the same logical page.
+        assert_eq!(vm.resident_lpage(t1, a1), vm.resident_lpage(t2, a2));
+        // Deallocating one reference keeps the object alive.
+        let before = vm.pool().free_pages();
+        vm.vm_deallocate(&mut m, &mut pmap, t1, a1).unwrap();
+        assert_eq!(vm.pool().free_pages(), before);
+        vm.vm_deallocate(&mut m, &mut pmap, t2, a2).unwrap();
+        assert_eq!(vm.pool().free_pages(), before + 1);
+    }
+
+    #[test]
+    fn task_destroy_cleans_up() {
+        let (mut m, mut vm, mut pmap, task) = setup();
+        let before = vm.pool().free_pages();
+        let a = vm.vm_allocate(task, 100, Prot::READ_WRITE).unwrap();
+        vm.fault(&mut m, &mut pmap, task, a, Prot::READ_WRITE, CpuId(0)).unwrap();
+        vm.task_destroy(&mut m, &mut pmap, task).unwrap();
+        assert_eq!(vm.pool().free_pages(), before);
+        assert!(matches!(
+            vm.vm_allocate(task, 1, Prot::READ),
+            Err(VmError::BadTask(_))
+        ));
+    }
+
+    #[test]
+    fn vm_protect_tightens_hardware_mappings() {
+        let (mut m, mut vm, mut pmap, task) = setup();
+        let addr = vm.vm_allocate(task, 100, Prot::READ_WRITE).unwrap();
+        vm.fault(&mut m, &mut pmap, task, addr, Prot::READ_WRITE, CpuId(0)).unwrap();
+        vm.vm_protect(&mut m, &mut pmap, task, addr, Prot::READ).unwrap();
+        let asid = vm.task_asid(task).unwrap();
+        let vpn = vm.page_size().page_of(addr.0);
+        assert!(m.mmu(CpuId(0)).translate(asid, vpn, Access::Store).is_err());
+        // And the user-level maximum is now READ: a write fault is denied.
+        let r = vm.fault(&mut m, &mut pmap, task, addr, Prot::READ_WRITE, CpuId(0));
+        assert!(matches!(r, Err(VmError::Protection(_))));
+    }
+}

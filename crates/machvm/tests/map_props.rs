@@ -1,0 +1,104 @@
+//! Property tests for the address map: entries never overlap,
+//! `find_space` never collides, and lookups agree with a naive shadow.
+
+use ace_machine::Prot;
+use mach_vm::{VmEntry, VmMap, VmObjectId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate `npages` anywhere.
+    Alloc { npages: u64 },
+    /// Try to insert at a fixed spot (may legitimately overlap).
+    InsertAt { start: u64, npages: u64 },
+    /// Remove the i-th live entry (modulo the live count).
+    Remove { pick: usize },
+    /// Look up a vpn.
+    Lookup { vpn: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..9).prop_map(|npages| Op::Alloc { npages }),
+        (1u64..64, 1u64..9).prop_map(|(start, npages)| Op::InsertAt { start, npages }),
+        (0usize..8).prop_map(|pick| Op::Remove { pick }),
+        (0u64..80).prop_map(|vpn| Op::Lookup { vpn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn map_never_overlaps_and_matches_shadow(
+        ops in proptest::collection::vec(op_strategy(), 1..100)
+    ) {
+        let mut map = VmMap::new();
+        // Shadow: list of (start, npages).
+        let mut shadow: Vec<(u64, u64)> = Vec::new();
+        let covered = |shadow: &[(u64, u64)], vpn: u64| {
+            shadow.iter().find(|&&(s, n)| vpn >= s && vpn < s + n).copied()
+        };
+        let mut next_obj = 0u32;
+        for op in ops {
+            match op {
+                Op::Alloc { npages } => {
+                    let start = map.find_space(npages).expect("space is plentiful");
+                    // find_space must return a hole.
+                    for v in start..start + npages {
+                        prop_assert!(
+                            covered(&shadow, v).is_none(),
+                            "find_space returned occupied vpn {}",
+                            v
+                        );
+                    }
+                    map.insert(VmEntry {
+                        start_vpn: start,
+                        npages,
+                        object: VmObjectId(next_obj),
+                        object_offset: 0,
+                        prot: Prot::READ_WRITE,
+                    }).expect("hole insert succeeds");
+                    shadow.push((start, npages));
+                    next_obj += 1;
+                }
+                Op::InsertAt { start, npages } => {
+                    let overlaps = (start..start + npages)
+                        .any(|v| covered(&shadow, v).is_some());
+                    let r = map.insert(VmEntry {
+                        start_vpn: start,
+                        npages,
+                        object: VmObjectId(next_obj),
+                        object_offset: 0,
+                        prot: Prot::READ,
+                    });
+                    prop_assert_eq!(
+                        r.is_err(),
+                        overlaps,
+                        "insert at {}+{}: shadow says overlap={}",
+                        start,
+                        npages,
+                        overlaps
+                    );
+                    if r.is_ok() {
+                        shadow.push((start, npages));
+                        next_obj += 1;
+                    }
+                }
+                Op::Remove { pick } => {
+                    if !shadow.is_empty() {
+                        let i = pick % shadow.len();
+                        let (start, _) = shadow.remove(i);
+                        map.remove(start).expect("shadow entry exists");
+                    }
+                }
+                Op::Lookup { vpn } => {
+                    let got = map.lookup(vpn).map(|e| e.start_vpn);
+                    let want = covered(&shadow, vpn).map(|(s, _)| s);
+                    prop_assert_eq!(got, want, "lookup({})", vpn);
+                }
+            }
+            prop_assert_eq!(map.len(), shadow.len());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The paper's analytic model and report formatting.
+//!
+//! Section 3.1 of the paper models program execution time as
+//!
+//! ```text
+//! T_numa = T_local * ((1 - beta) + beta * (alpha + (1 - alpha) * G/L))   (2)
+//! ```
+//!
+//! where `alpha` is the fraction of references to writable data served
+//! from local memory and `beta` is the fraction of run time the program
+//! would spend referencing writable data were all memory local. Setting
+//! `alpha = 0` gives the all-global model (3); solving (2) and (3)
+//! simultaneously yields the estimators (4) and (5) used to fill Table 3:
+//!
+//! ```text
+//! beta  = (T_global - T_local) / T_local * (L / (G - L))                 (5)
+//! alpha = (T_global - T_numa) / (T_global - T_local)                     (4)
+//! ```
+//!
+//! [`Model::solve`] implements (4), (5) and gamma (1); [`table`] renders
+//! aligned ASCII tables for the evaluation harness.
+
+pub mod model;
+pub mod table;
+
+pub use model::{Model, ModelError};
+pub use table::Table;

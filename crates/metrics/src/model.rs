@@ -1,0 +1,164 @@
+//! Equations (1)–(5) of section 3.1.
+
+use std::fmt;
+
+/// Why the model could not be solved for a measurement triple.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ModelError {
+    /// `T_global` did not exceed `T_local`, so the denominators of (4)
+    /// and (5) vanish — the program is insensitive to memory placement
+    /// (beta approximately 0) and alpha is undefined (the paper reports
+    /// "na" for ParMult).
+    Insensitive,
+    /// A time was non-positive or the G/L ratio was not above 1.
+    BadInput,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Insensitive => {
+                write!(f, "T_global does not exceed T_local; alpha undefined")
+            }
+            ModelError::BadInput => write!(f, "non-positive times or G/L <= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The solved sensitivity factors for one application run.
+///
+/// # Examples
+///
+/// Plugging the paper's own FFT row back into the estimators recovers
+/// its published factors:
+///
+/// ```
+/// use numa_metrics::Model;
+///
+/// let m = Model::solve(687.4, 449.0, 438.4, 2.0).unwrap();
+/// assert!((m.alpha - 0.96).abs() < 0.01);
+/// assert!((m.gamma - 1.02).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Model {
+    /// Fraction of writable-data references served locally under the
+    /// NUMA policy (equation 4). Clamped to `[0, 1]`.
+    pub alpha: f64,
+    /// Fraction of run time devoted to referencing writable data were
+    /// all memory local (equation 5).
+    pub beta: f64,
+    /// User-time expansion factor `T_numa / T_local` (equation 1).
+    pub gamma: f64,
+}
+
+impl Model {
+    /// Solves equations (4), (5) and (1) from measured total user times
+    /// (any consistent unit) and the machine's G/L ratio.
+    pub fn solve(
+        t_global: f64,
+        t_numa: f64,
+        t_local: f64,
+        g_over_l: f64,
+    ) -> Result<Model, ModelError> {
+        if !(t_global > 0.0 && t_numa > 0.0 && t_local > 0.0) || g_over_l <= 1.0 {
+            return Err(ModelError::BadInput);
+        }
+        let gamma = t_numa / t_local;
+        let spread = t_global - t_local;
+        // A program whose all-global time is within 2% of its all-local
+        // time is insensitive to memory placement: the estimators would
+        // amplify measurement noise into meaningless factors (the paper
+        // reports "na"/0 for ParMult).
+        if spread <= t_local * 0.02 {
+            return Err(ModelError::Insensitive);
+        }
+        let alpha = ((t_global - t_numa) / spread).clamp(0.0, 1.0);
+        let beta = (spread / t_local) * (1.0 / (g_over_l - 1.0));
+        Ok(Model { alpha, beta, gamma })
+    }
+
+    /// The forward model, equation (2): predicts `T_numa` from
+    /// `T_local`, the factors, and G/L. Used to validate the estimators
+    /// against direct measurement.
+    pub fn predict_t_numa(t_local: f64, alpha: f64, beta: f64, g_over_l: f64) -> f64 {
+        t_local * ((1.0 - beta) + beta * (alpha + (1.0 - alpha) * g_over_l))
+    }
+
+    /// Equation (3): the all-global special case of (2).
+    pub fn predict_t_global(t_local: f64, beta: f64, g_over_l: f64) -> f64 {
+        Self::predict_t_numa(t_local, 0.0, beta, g_over_l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trip: generate times from known alpha/beta via the forward
+    /// model, then recover them with the estimators.
+    #[test]
+    fn solve_inverts_the_forward_model() {
+        for &(alpha, beta, g_over_l) in &[
+            (0.9, 0.3, 2.0),
+            (0.0, 1.0, 2.3),
+            (1.0, 0.5, 2.0),
+            (0.17, 0.36, 2.0),
+            (0.5, 0.05, 2.3),
+        ] {
+            let t_local = 100.0;
+            let t_numa = Model::predict_t_numa(t_local, alpha, beta, g_over_l);
+            let t_global = Model::predict_t_global(t_local, beta, g_over_l);
+            let m = Model::solve(t_global, t_numa, t_local, g_over_l).unwrap();
+            assert!((m.alpha - alpha).abs() < 1e-9, "alpha {alpha} -> {}", m.alpha);
+            assert!((m.beta - beta).abs() < 1e-9, "beta {beta} -> {}", m.beta);
+        }
+    }
+
+    /// The paper's worked rows: plugging Table 3's times back into the
+    /// estimators reproduces its alpha/beta/gamma (to table precision).
+    #[test]
+    fn table3_rows_reproduce() {
+        // (name, t_global, t_numa, t_local, g_over_l, alpha, beta, gamma)
+        let rows = [
+            ("Gfetch", 60.2, 60.2, 26.5, 2.3, 0.0, 1.0, 2.27),
+            ("IMatMult", 82.1, 69.0, 68.2, 2.3, 0.94, 0.16, 1.01),
+            ("Primes2", 5754.3, 4972.9, 4968.9, 2.0, 0.99, 0.16, 1.00),
+            ("Primes3", 39.1, 37.4, 28.8, 2.0, 0.17, 0.36, 1.30),
+            ("FFT", 687.4, 449.0, 438.4, 2.0, 0.96, 0.56, 1.02),
+            ("PlyTrace", 56.9, 38.8, 38.0, 2.0, 0.96, 0.50, 1.02),
+        ];
+        for (name, tg, tn, tl, gl, a, b, g) in rows {
+            let m = Model::solve(tg, tn, tl, gl).unwrap();
+            assert!((m.alpha - a).abs() < 0.013, "{name}: alpha {} vs {a}", m.alpha);
+            assert!((m.gamma - g).abs() < 0.01, "{name}: gamma {} vs {g}", m.gamma);
+            // Beta to looser precision: the paper's own rounding.
+            assert!((m.beta - b).abs() < 0.13, "{name}: beta {} vs {b}", m.beta);
+        }
+    }
+
+    #[test]
+    fn insensitive_programs_are_flagged() {
+        // ParMult: t_global == t_numa == t_local (beta 0, alpha n/a).
+        assert_eq!(Model::solve(67.4, 67.4, 67.4, 2.0), Err(ModelError::Insensitive));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert_eq!(Model::solve(0.0, 1.0, 1.0, 2.0), Err(ModelError::BadInput));
+        assert_eq!(Model::solve(1.0, 1.0, 1.0, 1.0), Err(ModelError::BadInput));
+        assert_eq!(Model::solve(1.0, -1.0, 1.0, 2.0), Err(ModelError::BadInput));
+    }
+
+    #[test]
+    fn alpha_clamped_to_unit_interval() {
+        // T_numa below T_local (possible with noise) must not push alpha
+        // above 1.
+        let m = Model::solve(100.0, 49.0, 50.0, 2.0).unwrap();
+        assert_eq!(m.alpha, 1.0);
+        // T_numa above T_global must not push alpha below 0.
+        let m = Model::solve(100.0, 101.0, 50.0, 2.0).unwrap();
+        assert_eq!(m.alpha, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Aligned ASCII tables for the evaluation harness.
+
+use std::fmt;
+
+/// Horizontal alignment of one column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table builder: header row, data rows, computed column
+/// widths, rendered with a rule under the header.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// A table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (the common shape of the
+    /// paper's tables).
+    pub fn new(header: &[&str]) -> Table {
+        let aligns = header
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a caption printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Table {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides a column's alignment.
+    pub fn align(mut self, col: usize, align: Align) -> Table {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a float the way the paper's tables do: enough precision to be
+/// comparable, no trailing noise.
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats an optional float, printing `na` for `None` (the paper's
+/// notation for undefined model parameters).
+pub fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(v) => fmt_f(v, decimals),
+        None => "na".to_string(),
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        if let Some(t) = &self.title {
+            writeln!(f, "{t}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..ncols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<w$}", cells[i], w = widths[i])?,
+                    Align::Right => write!(f, "{:>w$}", cells[i], w = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["App", "T", "alpha"]).with_title("Table X");
+        t.row(vec!["FFT".into(), "687.4".into(), "0.96".into()]);
+        t.row(vec!["Gfetch".into(), "60.2".into(), "0".into()]);
+        let s = format!("{t}");
+        assert!(s.starts_with("Table X\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("App"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // Right-aligned numbers end at the same column.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.005, 2), "1.00"); // Banker's-ish, stable.
+        assert_eq!(fmt_f(2.277, 2), "2.28");
+        assert_eq!(fmt_opt(None, 2), "na");
+        assert_eq!(fmt_opt(Some(0.5), 1), "0.5");
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

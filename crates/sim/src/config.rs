@@ -1,0 +1,77 @@
+//! Simulation configuration.
+
+use ace_machine::{MachineConfig, Ns};
+
+/// Which scheduler the simulated kernel uses (section 4.7 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerKind {
+    /// The paper's modification: each thread is bound at creation to one
+    /// processor (assigned sequentially, skipping busy processors unless
+    /// all are busy) and runs there for its whole life.
+    Affinity,
+    /// The scheduler that came with Mach: conceptually a single queue of
+    /// runnable threads from which available processors select the next
+    /// thread to run — so threads drift between processors.
+    GlobalQueue,
+}
+
+/// Configuration of one simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// Scheduler flavour.
+    pub scheduler: SchedulerKind,
+    /// Time-slice length when more threads than processors are runnable.
+    pub quantum: Ns,
+    /// Lookahead window: how far past the next runnable processor's
+    /// clock a granted thread may run before re-rendezvousing. Zero
+    /// means exact virtual-time interleaving.
+    pub lookahead: Ns,
+    /// Upper bound on a single inline `compute` charge; larger computes
+    /// are split so budget boundaries stay tight.
+    pub compute_chunk: Ns,
+    /// Interval of the kernel's periodic daemon tick (policy aging /
+    /// pin reconsideration), in virtual time.
+    pub daemon_interval: Ns,
+}
+
+impl SimConfig {
+    /// An ACE with `n_cpus` processors and default engine parameters.
+    pub fn ace(n_cpus: usize) -> SimConfig {
+        SimConfig {
+            machine: MachineConfig::ace(n_cpus),
+            scheduler: SchedulerKind::Affinity,
+            quantum: Ns::from_ms(10),
+            lookahead: Ns::from_us(50),
+            compute_chunk: Ns::from_us(20),
+            daemon_interval: Ns::from_ms(5),
+        }
+    }
+
+    /// A small machine for tests, with exact interleaving.
+    pub fn small(n_cpus: usize) -> SimConfig {
+        SimConfig {
+            machine: MachineConfig::small(n_cpus),
+            scheduler: SchedulerKind::Affinity,
+            quantum: Ns::from_ms(1),
+            lookahead: Ns::ZERO,
+            compute_chunk: Ns::from_us(20),
+            daemon_interval: Ns::from_ms(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = SimConfig::ace(5);
+        assert_eq!(c.machine.n_cpus, 5);
+        assert_eq!(c.scheduler, SchedulerKind::Affinity);
+        assert!(c.lookahead > Ns::ZERO);
+        assert_eq!(SimConfig::small(2).lookahead, Ns::ZERO);
+    }
+}

@@ -1,0 +1,269 @@
+//! The API simulated threads program against.
+//!
+//! A [`ThreadCtx`] is handed to each application closure. Its memory
+//! operations execute against the simulated machine (charging virtual
+//! time and driving the NUMA protocol through real page faults); its
+//! control operations rendezvous with the engine so that exactly one
+//! simulated thread runs at a time in virtual-time order.
+
+use crate::kernel::Kernel;
+use ace_machine::{Access, CpuId, Frame, Ns};
+use crossbeam::channel::{Receiver, Sender};
+use mach_vm::VAddr;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Message from the engine granting a thread the right to run.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Grant {
+    /// Run on `cpu` until its clock reaches `budget_end` (at least one
+    /// operation is always allowed).
+    Run {
+        /// The processor to run on (may change under the global-queue
+        /// scheduler).
+        cpu: CpuId,
+        /// Clock value at which to re-rendezvous.
+        budget_end: Ns,
+    },
+    /// Unwind and exit without finishing.
+    Stop,
+}
+
+/// Why a thread re-rendezvoused.
+#[derive(Debug)]
+pub(crate) enum YieldReason {
+    /// Budget or quantum exhausted (or voluntary yield).
+    Budget,
+    /// The closure returned.
+    Done,
+    /// The closure panicked; message attached.
+    Panicked(String),
+}
+
+/// Sent through panic unwinding when the engine stops a thread early.
+pub(crate) struct StopToken;
+
+/// Execution context of one simulated thread.
+pub struct ThreadCtx {
+    pub(crate) tid: usize,
+    pub(crate) cpu: CpuId,
+    pub(crate) kernel: Arc<Mutex<Kernel>>,
+    pub(crate) grant_rx: Receiver<Grant>,
+    pub(crate) yield_tx: Sender<(usize, YieldReason)>,
+    pub(crate) budget_end: Ns,
+    pub(crate) over_budget: bool,
+    pub(crate) compute_chunk: Ns,
+}
+
+impl ThreadCtx {
+    /// This thread's id (its index in spawn order).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The processor this thread is currently running on.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Number of processors in the machine.
+    pub fn n_cpus(&self) -> usize {
+        self.kernel.lock().machine.n_cpus()
+    }
+
+    /// Blocks until the engine grants this thread the right to run.
+    /// Called by the run wrapper before the closure starts, and by every
+    /// operation once the budget is exhausted.
+    pub(crate) fn rendezvous(&mut self) {
+        if self.yield_tx.send((self.tid, YieldReason::Budget)).is_err() {
+            // Engine is gone; unwind quietly.
+            std::panic::resume_unwind(Box::new(StopToken));
+        }
+        match self.grant_rx.recv() {
+            Ok(Grant::Run { cpu, budget_end }) => {
+                self.cpu = cpu;
+                self.budget_end = budget_end;
+                self.over_budget = false;
+            }
+            Ok(Grant::Stop) | Err(_) => {
+                std::panic::resume_unwind(Box::new(StopToken));
+            }
+        }
+    }
+
+    #[inline]
+    fn pre(&mut self) {
+        if self.over_budget {
+            self.rendezvous();
+        }
+    }
+
+    #[inline]
+    fn post(&mut self, clock: Ns) {
+        if clock >= self.budget_end {
+            self.over_budget = true;
+        }
+    }
+
+    /// Voluntarily gives up the processor (the engine may reschedule).
+    pub fn yield_now(&mut self) {
+        self.over_budget = true;
+        self.pre();
+    }
+
+    /// One simulated data operation.
+    ///
+    /// Normally each fault is its own scheduling event — other
+    /// processors proceed during the (long) fault service, keeping
+    /// virtual-time ordering of bus arrivals. But separability opens a
+    /// steal window: another processor's access can revoke the granted
+    /// mapping before the faulting access retries. The paper's first
+    /// pmap constraint ("a mapping and its permissions must persist long
+    /// enough for the instruction that faulted to complete") caps this:
+    /// after a few stolen grants, the fault and its retried access run
+    /// as one atomic event, guaranteeing forward progress.
+    fn data_op<R>(
+        &mut self,
+        addr: VAddr,
+        kind: Access,
+        words: u64,
+        f: impl Fn(&mut Kernel, CpuId, Frame, usize) -> R,
+    ) -> R {
+        const SEPARATE_FAULT_STEPS: usize = 3;
+        for _ in 0..SEPARATE_FAULT_STEPS {
+            self.pre();
+            let cpu = self.cpu;
+            let (res, clock) = {
+                let mut k = self.kernel.lock();
+                let step = k
+                    .access_step(cpu, addr, kind, words)
+                    .unwrap_or_else(|e| panic!("thread {}: {e}", self.tid));
+                let r = step.map(|(frame, off)| f(&mut k, cpu, frame, off));
+                (r, k.clock_of(cpu))
+            };
+            self.post(clock);
+            if let Some(v) = res {
+                return v;
+            }
+        }
+        // Forward-progress fallback: complete atomically.
+        self.pre();
+        let cpu = self.cpu;
+        let (v, clock) = {
+            let mut k = self.kernel.lock();
+            let (frame, off) = k
+                .resolve_for(cpu, addr, kind, words)
+                .unwrap_or_else(|e| panic!("thread {}: {e}", self.tid));
+            (f(&mut k, cpu, frame, off), k.clock_of(cpu))
+        };
+        self.post(clock);
+        v
+    }
+
+    /// Fetches a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unresolvable fault (unmapped address or protection
+    /// violation) — the simulated equivalent of a segmentation fault.
+    pub fn read_u32(&mut self, addr: VAddr) -> u32 {
+        debug_assert_eq!(addr.0 % 4, 0, "unaligned word fetch at {addr}");
+        self.data_op(addr, Access::Fetch, 1, |k, _cpu, f, off| k.machine.mem.read_u32(f, off))
+    }
+
+    /// Stores a 32-bit word.
+    pub fn write_u32(&mut self, addr: VAddr, value: u32) {
+        debug_assert_eq!(addr.0 % 4, 0, "unaligned word store at {addr}");
+        self.data_op(addr, Access::Store, 1, |k, _cpu, f, off| {
+            k.machine.mem.write_u32(f, off, value)
+        })
+    }
+
+    /// Fetches a 32-bit word as `i32`.
+    pub fn read_i32(&mut self, addr: VAddr) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Stores a 32-bit word from `i32`.
+    pub fn write_i32(&mut self, addr: VAddr, value: i32) {
+        self.write_u32(addr, value as u32)
+    }
+
+    /// Fetches one byte (costs a full word reference on the 32-bit bus).
+    pub fn read_u8(&mut self, addr: VAddr) -> u8 {
+        self.data_op(addr, Access::Fetch, 1, |k, _cpu, f, off| k.machine.mem.read_u8(f, off))
+    }
+
+    /// Stores one byte.
+    pub fn write_u8(&mut self, addr: VAddr, value: u8) {
+        self.data_op(addr, Access::Store, 1, |k, _cpu, f, off| {
+            k.machine.mem.write_u8(f, off, value)
+        })
+    }
+
+    /// Fetches a 64-bit float (two word references).
+    pub fn read_f64(&mut self, addr: VAddr) -> f64 {
+        debug_assert_eq!(addr.0 % 8, 0, "unaligned f64 fetch at {addr}");
+        self.data_op(addr, Access::Fetch, 2, |k, _cpu, f, off| {
+            let mut buf = [0u8; 8];
+            k.machine.mem.read_bytes(f, off, &mut buf);
+            f64::from_le_bytes(buf)
+        })
+    }
+
+    /// Stores a 64-bit float (two word references).
+    pub fn write_f64(&mut self, addr: VAddr, value: f64) {
+        debug_assert_eq!(addr.0 % 8, 0, "unaligned f64 store at {addr}");
+        self.data_op(addr, Access::Store, 2, |k, _cpu, f, off| {
+            k.machine.mem.write_bytes(f, off, &value.to_le_bytes())
+        })
+    }
+
+    /// Atomic test-and-set of the word at `addr` (sets it to 1, returns
+    /// the previous value). The primitive all spin locks are built on.
+    pub fn test_and_set(&mut self, addr: VAddr) -> u32 {
+        debug_assert_eq!(addr.0 % 4, 0, "unaligned test-and-set at {addr}");
+        self.data_op(addr, Access::Store, 1, |k, cpu, f, off| {
+            // The RMW completes atomically within the final step.
+            k.finish_test_and_set(cpu, f, off)
+        })
+    }
+
+    /// Charges `t` of pure compute time (instructions that reference no
+    /// writable memory), split into engine-visible chunks.
+    pub fn compute(&mut self, t: Ns) {
+        let mut remaining = t;
+        while remaining > Ns::ZERO {
+            let step = Ns(remaining.0.min(self.compute_chunk.0.max(1)));
+            self.pre();
+            let clock = {
+                let mut k = self.kernel.lock();
+                k.compute(self.cpu, step);
+                k.clock_of(self.cpu)
+            };
+            self.post(clock);
+            remaining -= step;
+        }
+    }
+
+    /// Executes a Unix system call on the master processor (section 4.6):
+    /// `compute` of system time on cpu 0 plus read-modify-writes of the
+    /// given user addresses *from cpu 0*.
+    pub fn unix_syscall(&mut self, compute: Ns, touches: &[VAddr]) {
+        self.pre();
+        let clock = {
+            let mut k = self.kernel.lock();
+            k.unix_syscall(compute, touches)
+                .unwrap_or_else(|e| panic!("thread {}: syscall: {e}", self.tid));
+            k.clock_of(self.cpu)
+        };
+        self.post(clock);
+    }
+
+    /// Runs `f` with the kernel locked (escape hatch for instrumentation
+    /// inside tests; not part of the simulated instruction set and
+    /// charges no time).
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.kernel.lock())
+    }
+}

@@ -1,0 +1,551 @@
+//! The simulation engine: spawning, scheduling, and running simulated
+//! threads deterministically.
+
+use crate::config::{SchedulerKind, SimConfig};
+use crate::ctx::{Grant, StopToken, ThreadCtx, YieldReason};
+use crate::kernel::Kernel;
+use crate::report::RunReport;
+use ace_machine::{CpuId, Machine, Ns, Prot};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use mach_vm::VAddr;
+use numa_core::{AcePmap, CachePolicy};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A closure waiting to be run as a simulated thread.
+struct PendingThread {
+    name: String,
+    body: Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>,
+}
+
+/// The user-facing simulator: build a machine, allocate memory, spawn
+/// threads, run, inspect.
+///
+/// # Examples
+///
+/// ```
+/// use ace_machine::Prot;
+/// use ace_sim::{SimConfig, Simulator};
+/// use numa_core::MoveLimitPolicy;
+///
+/// let mut sim = Simulator::new(SimConfig::small(2), Box::new(MoveLimitPolicy::default()));
+/// let a = sim.alloc(256, Prot::READ_WRITE);
+/// sim.spawn("writer", move |ctx| ctx.write_u32(a, 7));
+/// let report = sim.run();
+/// assert_eq!(sim.with_kernel(|k| k.peek_u32(a)), 7);
+/// assert!(report.total_user() > ace_machine::Ns::ZERO);
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    kernel: Arc<Mutex<Kernel>>,
+    pending: Vec<PendingThread>,
+    /// Next processor for sequential affinity assignment.
+    next_cpu: usize,
+}
+
+impl Simulator {
+    /// Boots a simulator with the given placement policy.
+    pub fn new(cfg: SimConfig, policy: Box<dyn CachePolicy>) -> Simulator {
+        let machine = Machine::new(cfg.machine.clone());
+        let pmap = AcePmap::new(policy);
+        let kernel = Kernel::new(machine, pmap);
+        Simulator { cfg, kernel: Arc::new(Mutex::new(kernel)), pending: Vec::new(), next_cpu: 0 }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Allocates zero-filled application memory (harness-level
+    /// `vm_allocate`).
+    pub fn alloc(&self, bytes: u64, prot: Prot) -> VAddr {
+        self.kernel
+            .lock()
+            .alloc(bytes, prot)
+            .expect("application allocation failed")
+    }
+
+    /// Frees an allocation made with [`Simulator::alloc`] (harness-level
+    /// `vm_deallocate`): its logical pages go through the lazy
+    /// `pmap_free_page` path and their placement history is forgotten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not the base of a live allocation.
+    pub fn dealloc(&self, addr: VAddr) {
+        self.kernel.lock().dealloc(addr).expect("deallocating a live allocation")
+    }
+
+    /// Runs `f` with the kernel locked (inspection and setup).
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.kernel.lock())
+    }
+
+    /// Queues a simulated thread for the next [`Simulator::run`].
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut ThreadCtx) + Send + 'static,
+    ) {
+        self.pending.push(PendingThread { name: name.into(), body: Box::new(body) });
+    }
+
+    /// Runs every queued thread to completion and reports what was
+    /// measured. May be called repeatedly: kernel state (memory
+    /// contents, placement, clocks) persists across runs.
+    pub fn run(&mut self) -> RunReport {
+        let pending = std::mem::take(&mut self.pending);
+        if !pending.is_empty() {
+            let n_cpus = self.cfg.machine.n_cpus;
+            let mut engine = Engine::new(&self.cfg, Arc::clone(&self.kernel), n_cpus);
+            engine.next_cpu = self.next_cpu;
+            engine.run(pending);
+            self.next_cpu = engine.next_cpu;
+        }
+        self.report()
+    }
+
+    /// A report of everything measured so far.
+    pub fn report(&self) -> RunReport {
+        let k = self.kernel.lock();
+        RunReport {
+            policy: k.pmap.policy_name(),
+            cpu_times: k.machine.clocks.all().to_vec(),
+            refs: k.refs,
+            numa: k.pmap.stats(),
+            bus: k.machine.bus,
+        }
+    }
+}
+
+/// Per-processor scheduler slot.
+struct CpuSlot {
+    runq: VecDeque<usize>,
+    current: Option<usize>,
+    quantum_end: Ns,
+}
+
+/// State of one simulated thread from the engine's point of view.
+struct ThreadSlot {
+    grant_tx: Sender<Grant>,
+    handle: Option<JoinHandle<()>>,
+    done: bool,
+    /// The processor the thread was bound to at creation (used by the
+    /// affinity scheduler).
+    home_cpu: usize,
+}
+
+struct Engine {
+    kernel: Arc<Mutex<Kernel>>,
+    scheduler: SchedulerKind,
+    quantum: Ns,
+    lookahead: Ns,
+    cpus: Vec<CpuSlot>,
+    global_q: VecDeque<usize>,
+    threads: Vec<ThreadSlot>,
+    yield_rx: Receiver<(usize, YieldReason)>,
+    yield_tx: Sender<(usize, YieldReason)>,
+    alive: usize,
+    next_cpu: usize,
+    compute_chunk: Ns,
+    daemon_interval: Ns,
+    next_daemon_tick: Ns,
+}
+
+impl Engine {
+    fn new(cfg: &SimConfig, kernel: Arc<Mutex<Kernel>>, n_cpus: usize) -> Engine {
+        let (yield_tx, yield_rx) = unbounded();
+        Engine {
+            kernel,
+            scheduler: cfg.scheduler,
+            quantum: cfg.quantum,
+            lookahead: cfg.lookahead,
+            cpus: (0..n_cpus)
+                .map(|_| CpuSlot { runq: VecDeque::new(), current: None, quantum_end: Ns::ZERO })
+                .collect(),
+            global_q: VecDeque::new(),
+            threads: Vec::new(),
+            yield_rx,
+            yield_tx,
+            alive: 0,
+            next_cpu: 0,
+            compute_chunk: cfg.compute_chunk,
+            daemon_interval: cfg.daemon_interval,
+            next_daemon_tick: cfg.daemon_interval,
+        }
+    }
+
+    fn clock_of(&self, cpu: usize) -> Ns {
+        self.kernel.lock().clock_of(CpuId::from(cpu))
+    }
+
+    fn run(&mut self, pending: Vec<PendingThread>) {
+        self.start_threads(pending);
+        // Every thread rendezvouses once before running its body; absorb
+        // those initial yields and queue the threads.
+        for _ in 0..self.threads.len() {
+            let (tid, reason) = self.yield_rx.recv().expect("thread vanished at startup");
+            match reason {
+                YieldReason::Budget => self.enqueue(tid),
+                YieldReason::Done | YieldReason::Panicked(_) => {
+                    unreachable!("threads rendezvous before running their body")
+                }
+            }
+        }
+        let panic_msg = self.schedule_loop();
+        self.shutdown();
+        if let Some(msg) = panic_msg {
+            panic!("simulated thread panicked: {msg}");
+        }
+    }
+
+    fn start_threads(&mut self, pending: Vec<PendingThread>) {
+        for (tid, p) in pending.into_iter().enumerate() {
+            let (grant_tx, grant_rx) = bounded::<Grant>(1);
+            let yield_tx = self.yield_tx.clone();
+            let kernel = Arc::clone(&self.kernel);
+            let cpu = self.assign_cpu();
+            let chunk = self.compute_chunk;
+            let body = p.body;
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{}-{}", tid, p.name))
+                .spawn(move || {
+                    let mut ctx = ThreadCtx {
+                        tid,
+                        cpu,
+                        kernel,
+                        grant_rx,
+                        yield_tx: yield_tx.clone(),
+                        budget_end: Ns::ZERO,
+                        over_budget: false,
+                        compute_chunk: chunk,
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        // Gate: wait for the first grant before running.
+                        ctx.rendezvous();
+                        (body)(&mut ctx);
+                    }));
+                    match result {
+                        Ok(()) => {
+                            let _ = yield_tx.send((tid, YieldReason::Done));
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<StopToken>().is_some() {
+                                // Engine-initiated stop: exit quietly.
+                            } else {
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                                let _ = yield_tx.send((tid, YieldReason::Panicked(msg)));
+                            }
+                        }
+                    }
+                })
+                .expect("spawning simulated thread");
+            self.threads.push(ThreadSlot {
+                grant_tx,
+                handle: Some(handle),
+                done: false,
+                home_cpu: cpu.index(),
+            });
+            self.alive += 1;
+        }
+    }
+
+    /// Sequential processor assignment for new threads (the paper's
+    /// affinity scheduler assigns "sequentially by processor number").
+    fn assign_cpu(&mut self) -> CpuId {
+        let c = self.next_cpu % self.cpus.len();
+        self.next_cpu += 1;
+        CpuId::from(c)
+    }
+
+    /// Adds a parked thread to the appropriate queue.
+    fn enqueue(&mut self, tid: usize) {
+        match self.scheduler {
+            SchedulerKind::Affinity => {
+                // The thread keeps the cpu it was assigned at creation.
+                let cpu = self.threads[tid].home_cpu;
+                self.cpus[cpu].runq.push_back(tid);
+            }
+            SchedulerKind::GlobalQueue => {
+                self.global_q.push_back(tid);
+            }
+        }
+    }
+
+    /// Installs queued threads on idle processors.
+    fn fill_cpus(&mut self) {
+        for c in 0..self.cpus.len() {
+            if self.cpus[c].current.is_some() {
+                continue;
+            }
+            let tid = match self.scheduler {
+                SchedulerKind::Affinity => self.cpus[c].runq.pop_front(),
+                SchedulerKind::GlobalQueue => self.global_q.pop_front(),
+            };
+            if let Some(tid) = tid {
+                let now = self.clock_of(c);
+                self.cpus[c].current = Some(tid);
+                self.cpus[c].quantum_end = now + self.quantum;
+            }
+        }
+    }
+
+    /// The heart of the engine: repeatedly grant the lowest-clock
+    /// processor's thread a budget and process its yield. Returns a
+    /// panic message if a simulated thread panicked.
+    fn schedule_loop(&mut self) -> Option<String> {
+        while self.alive > 0 {
+            self.fill_cpus();
+            // Pick the runnable processor with the lowest clock.
+            let mut best: Option<(Ns, usize)> = None;
+            for c in 0..self.cpus.len() {
+                if self.cpus[c].current.is_some() {
+                    let t = self.clock_of(c);
+                    if best.is_none_or(|(bt, bc)| (t, c) < (bt, bc)) {
+                        best = Some((t, c));
+                    }
+                }
+            }
+            // Fire the periodic kernel daemon when virtual time crosses
+            // its next deadline (measured on the minimum clock, so the
+            // tick happens "before" any thread passes it).
+            if let Some((t, _)) = best {
+                if t >= self.next_daemon_tick {
+                    let mut k = self.kernel.lock();
+                    let Kernel { machine, pmap, .. } = &mut *k;
+                    pmap.timer_tick(machine);
+                    drop(k);
+                    self.next_daemon_tick = Ns(t.0 + self.daemon_interval.0);
+                }
+            }
+            let Some((clock, cpu)) = best else {
+                // Alive threads but nothing runnable: all must be parked
+                // in queues, which fill_cpus would have installed.
+                unreachable!("runnable threads exist but no processor has work");
+            };
+            // Budget: up to the next other processor's clock plus the
+            // lookahead window, but never past the quantum.
+            let others_min = (0..self.cpus.len())
+                .filter(|&c| c != cpu && self.cpus[c].current.is_some())
+                .map(|c| self.clock_of(c))
+                .min();
+            let budget_end = match others_min {
+                Some(om) => Ns(om.0.saturating_add(self.lookahead.0))
+                    .min(self.cpus[cpu].quantum_end),
+                None => {
+                    if self.has_waiters(cpu) {
+                        self.cpus[cpu].quantum_end
+                    } else {
+                        Ns(u64::MAX)
+                    }
+                }
+            };
+            let _ = clock;
+            let tid = self.cpus[cpu].current.expect("picked a runnable cpu");
+            self.threads[tid]
+                .grant_tx
+                .send(Grant::Run { cpu: CpuId::from(cpu), budget_end })
+                .expect("granting a live thread");
+            let (ytid, reason) = self.yield_rx.recv().expect("running thread vanished");
+            debug_assert_eq!(ytid, tid, "only the granted thread can yield");
+            match reason {
+                YieldReason::Budget => {
+                    let now = self.clock_of(cpu);
+                    if now >= self.cpus[cpu].quantum_end && self.has_waiters(cpu) {
+                        // Quantum expired with competition: rotate.
+                        self.cpus[cpu].current = None;
+                        self.enqueue(tid);
+                    } else if now >= self.cpus[cpu].quantum_end {
+                        // No competition: just extend the quantum.
+                        self.cpus[cpu].quantum_end = now + self.quantum;
+                    }
+                }
+                YieldReason::Done => {
+                    self.cpus[cpu].current = None;
+                    self.threads[tid].done = true;
+                    self.alive -= 1;
+                }
+                YieldReason::Panicked(msg) => {
+                    self.cpus[cpu].current = None;
+                    self.threads[tid].done = true;
+                    self.alive -= 1;
+                    return Some(msg);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if any other thread is waiting to run (on `cpu`'s queue or
+    /// the global queue, by scheduler kind).
+    fn has_waiters(&self, cpu: usize) -> bool {
+        match self.scheduler {
+            SchedulerKind::Affinity => !self.cpus[cpu].runq.is_empty(),
+            SchedulerKind::GlobalQueue => !self.global_q.is_empty(),
+        }
+    }
+
+    /// Stops any still-parked threads and joins everything.
+    fn shutdown(&mut self) {
+        for t in &self.threads {
+            if !t.done {
+                let _ = t.grant_tx.send(Grant::Stop);
+            }
+        }
+        for t in &mut self.threads {
+            if let Some(h) = t.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use numa_core::MoveLimitPolicy;
+
+    fn sim(n_cpus: usize) -> Simulator {
+        Simulator::new(SimConfig::small(n_cpus), Box::new(MoveLimitPolicy::default()))
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let mut s = sim(1);
+        let a = s.alloc(256, Prot::READ_WRITE);
+        s.spawn("writer", move |ctx| {
+            for i in 0..10u32 {
+                ctx.write_u32(a + (i as u64) * 4, i * i);
+            }
+        });
+        let r = s.run();
+        assert!(r.total_user() > Ns::ZERO);
+        for i in 0..10u32 {
+            assert_eq!(s.with_kernel(|k| k.peek_u32(a + (i as u64) * 4)), i * i);
+        }
+    }
+
+    #[test]
+    fn threads_interleave_in_virtual_time() {
+        // Two threads on two cpus append their tid to a log guarded only
+        // by virtual-time ordering (distinct slots). Both make the same
+        // number of references, so their clocks stay within one op of
+        // each other and neither can run far ahead.
+        let mut s = sim(2);
+        let a = s.alloc(4096, Prot::READ_WRITE);
+        for t in 0..2u32 {
+            let base = a + (t as u64) * 1024;
+            s.spawn(format!("t{t}"), move |ctx| {
+                for i in 0..50u32 {
+                    ctx.write_u32(base + (i as u64) * 4, i + t * 1000);
+                }
+            });
+        }
+        let r = s.run();
+        // Both cpus actually did work.
+        assert!(r.cpu_times[0].user > Ns::ZERO);
+        assert!(r.cpu_times[1].user > Ns::ZERO);
+        assert_eq!(s.with_kernel(|k| k.peek_u32(a + 1024 + 4)), 1001);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let total = |_: ()| {
+            let mut s = sim(3);
+            let a = s.alloc(8192, Prot::READ_WRITE);
+            for t in 0..3u64 {
+                s.spawn(format!("t{t}"), move |ctx| {
+                    for i in 0..40u64 {
+                        let slot = a + ((t * 40 + i) % 128) * 4;
+                        let v = ctx.read_u32(slot);
+                        ctx.write_u32(slot, v + 1);
+                    }
+                });
+            }
+            let r = s.run();
+            (r.total_user(), r.total_system(), r.numa.requests, r.refs)
+        };
+        assert_eq!(total(()), total(()));
+    }
+
+    #[test]
+    fn more_threads_than_cpus_time_slice() {
+        let mut s = sim(1);
+        let a = s.alloc(1024, Prot::READ_WRITE);
+        for t in 0..3u32 {
+            let slot = a + (t as u64) * 256;
+            s.spawn(format!("t{t}"), move |ctx| {
+                ctx.compute(Ns::from_ms(5));
+                ctx.write_u32(slot, t + 1);
+            });
+        }
+        let r = s.run();
+        for t in 0..3u64 {
+            assert_eq!(s.with_kernel(|k| k.peek_u32(a + t * 256)), t as u32 + 1);
+        }
+        // All on one cpu.
+        assert!(r.cpu_times[0].user >= Ns::from_ms(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated thread panicked")]
+    fn app_panic_propagates() {
+        let mut s = sim(2);
+        s.spawn("bad", |_ctx| panic!("boom"));
+        s.spawn("good", |ctx| ctx.compute(Ns::from_us(1)));
+        let _ = s.run();
+    }
+
+    #[test]
+    fn global_queue_scheduler_migrates_threads() {
+        let mut cfg = SimConfig::small(2);
+        cfg.scheduler = SchedulerKind::GlobalQueue;
+        cfg.quantum = Ns::from_us(200);
+        let mut s = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+        let a = s.alloc(4096, Prot::READ_WRITE);
+        // Three compute-heavy threads on two cpus with a tiny quantum
+        // must migrate; each records the set of cpus it ran on.
+        use std::sync::{Arc as SArc, Mutex as SMutex};
+        let seen = SArc::new(SMutex::new(vec![Vec::new(), Vec::new(), Vec::new()]));
+        for t in 0..3usize {
+            let seen = SArc::clone(&seen);
+            let slot = a + (t as u64) * 1024;
+            s.spawn(format!("t{t}"), move |ctx| {
+                for i in 0..40u32 {
+                    ctx.compute(Ns::from_us(100));
+                    ctx.write_u32(slot, i);
+                    seen.lock().unwrap()[t].push(ctx.cpu().index());
+                }
+            });
+        }
+        let _ = s.run();
+        let seen = seen.lock().unwrap();
+        let migrated = seen.iter().any(|v| {
+            let mut s = v.clone();
+            s.dedup();
+            s.len() > 1
+        });
+        assert!(migrated, "expected at least one thread to change cpus: {seen:?}");
+    }
+
+    #[test]
+    fn run_twice_accumulates() {
+        let mut s = sim(1);
+        let a = s.alloc(64, Prot::READ_WRITE);
+        s.spawn("one", move |ctx| ctx.write_u32(a, 1));
+        let r1 = s.run();
+        s.spawn("two", move |ctx| ctx.write_u32(a + 4, 2));
+        let r2 = s.run();
+        assert!(r2.total_user() > r1.total_user());
+        assert_eq!(s.with_kernel(|k| k.peek_u32(a + 4)), 2);
+    }
+}

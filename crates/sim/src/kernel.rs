@@ -1,0 +1,530 @@
+//! The simulated kernel: machine + VM + NUMA pmap layer, with the
+//! reference path application threads go through.
+
+use ace_machine::{Access, CpuId, Distance, Machine, Ns, Prot};
+use mach_vm::{TaskId, VAddr, VmError, VmState};
+use numa_core::AcePmap;
+
+/// One application memory reference, as seen by an installed trace sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefEvent {
+    /// The referencing processor's clock (user + system) after the
+    /// reference completed.
+    pub t: Ns,
+    /// Referencing processor.
+    pub cpu: CpuId,
+    /// Virtual address referenced.
+    pub addr: VAddr,
+    /// Fetch or store.
+    pub kind: Access,
+    /// Where the reference was served from.
+    pub dist: Distance,
+    /// Width in 32-bit words.
+    pub words: u64,
+}
+
+/// A callback receiving every application reference.
+pub type RefSink = Box<dyn FnMut(&RefEvent) + Send>;
+
+/// Counts of application references by distance (in words).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct RefCounters {
+    /// Words referenced in the processor's own local memory.
+    pub local: u64,
+    /// Words referenced in global memory.
+    pub global: u64,
+    /// Words referenced in another processor's local memory.
+    pub remote: u64,
+}
+
+impl RefCounters {
+    /// The measured fraction of references served locally — the direct
+    /// (simulation-only) counterpart of the paper's derived alpha.
+    pub fn alpha(&self) -> f64 {
+        let total = self.local + self.global + self.remote;
+        if total == 0 {
+            return 1.0;
+        }
+        self.local as f64 / total as f64
+    }
+}
+
+/// Upper bound on fault-retry iterations for one reference; exceeding it
+/// indicates a protocol bug rather than a legal fault storm.
+const MAX_FAULT_RETRIES: usize = 16;
+
+/// The assembled kernel. All state of one simulation lives here, behind
+/// the engine's mutex.
+pub struct Kernel {
+    /// The simulated hardware.
+    pub machine: Machine,
+    /// Machine-independent VM.
+    pub vm: VmState,
+    /// The NUMA pmap layer under test.
+    pub pmap: AcePmap,
+    /// The single application task (C-Threads share one address space).
+    pub task: TaskId,
+    /// Application reference counters.
+    pub refs: RefCounters,
+    /// Optional trace sink.
+    sink: Option<RefSink>,
+}
+
+impl Kernel {
+    /// Boots a kernel on the given machine with the given pmap layer.
+    pub fn new(machine: Machine, mut pmap: AcePmap) -> Kernel {
+        let mut vm = VmState::new(machine.config.page_size, machine.config.global_frames);
+        let task = vm.task_create(&mut pmap);
+        Kernel { machine, vm, pmap, task, refs: RefCounters::default(), sink: None }
+    }
+
+    /// Installs a trace sink receiving every application reference.
+    pub fn set_sink(&mut self, sink: RefSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes the trace sink, returning it.
+    pub fn take_sink(&mut self) -> Option<RefSink> {
+        self.sink.take()
+    }
+
+    /// Allocates zero-filled application memory.
+    pub fn alloc(&mut self, bytes: u64, prot: Prot) -> Result<VAddr, VmError> {
+        self.vm.vm_allocate(self.task, bytes, prot)
+    }
+
+    /// Frees an allocation made with [`Kernel::alloc`].
+    pub fn dealloc(&mut self, addr: VAddr) -> Result<(), VmError> {
+        self.vm.vm_deallocate(&mut self.machine, &mut self.pmap, self.task, addr)
+    }
+
+    /// Total (user + system) time accumulated on `cpu` — the engine's
+    /// scheduling clock.
+    #[inline]
+    pub fn clock_of(&self, cpu: CpuId) -> Ns {
+        self.machine.clocks.cpu(cpu).total()
+    }
+
+    /// One scheduling step of an access: a single translation attempt.
+    /// On success charges the reference and returns the frame; on a
+    /// fault, resolves it through the kernel fault path and returns
+    /// `Ok(None)` so the caller can yield to the engine before retrying
+    /// (a fault and the retried access are *separate* events in virtual
+    /// time — a fault can take hundreds of microseconds, during which
+    /// other processors proceed).
+    pub fn access_step(
+        &mut self,
+        cpu: CpuId,
+        addr: VAddr,
+        kind: Access,
+        words: u64,
+    ) -> Result<Option<(ace_machine::Frame, usize)>, VmError> {
+        let page_size = self.vm.page_size();
+        let vpn = page_size.page_of(addr.0);
+        let offset = page_size.offset_of(addr.0);
+        let asid = self.vm.task_asid(self.task)?;
+        match self.machine.mmus[cpu.index()].translate(asid, vpn, kind) {
+            Ok(frame) => {
+                self.machine.charge_access(cpu, kind, frame, words);
+                let dist = self.machine.distance(cpu, frame.region);
+                match dist {
+                    Distance::Local => self.refs.local += words,
+                    Distance::Global => self.refs.global += words,
+                    Distance::Remote => self.refs.remote += words,
+                }
+                if let Some(sink) = self.sink.as_mut() {
+                    let ev = RefEvent {
+                        t: self.machine.clocks.cpu(cpu).total(),
+                        cpu,
+                        addr,
+                        kind,
+                        dist,
+                        words,
+                    };
+                    sink(&ev);
+                }
+                Ok(Some((frame, offset)))
+            }
+            Err(_) => {
+                let need = match kind {
+                    Access::Fetch => Prot::READ,
+                    Access::Store => Prot::READ_WRITE,
+                };
+                self.vm.fault(&mut self.machine, &mut self.pmap, self.task, addr, need, cpu)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Resolves `addr` for an access of `kind` from `cpu`, faulting as
+    /// needed (atomically: the faulting access completes before anything
+    /// else runs, the paper's forward-progress constraint), charges
+    /// `words` word-references of user time, and returns the frame and
+    /// in-page byte offset.
+    pub fn resolve_for(
+        &mut self,
+        cpu: CpuId,
+        addr: VAddr,
+        kind: Access,
+        words: u64,
+    ) -> Result<(ace_machine::Frame, usize), VmError> {
+        self.resolve(cpu, addr, kind, words)
+    }
+
+    /// Resolves `addr` for an access of `kind` from `cpu`, faulting as
+    /// needed, charges `words` word-references of user time, and returns
+    /// the frame and in-page byte offset. (Kernel-internal convenience;
+    /// simulated threads go through [`Kernel::access_step`] so faults and
+    /// retries are separate scheduling events.)
+    fn resolve(
+        &mut self,
+        cpu: CpuId,
+        addr: VAddr,
+        kind: Access,
+        words: u64,
+    ) -> Result<(ace_machine::Frame, usize), VmError> {
+        for _ in 0..MAX_FAULT_RETRIES {
+            if let Some(r) = self.access_step(cpu, addr, kind, words)? {
+                return Ok(r);
+            }
+        }
+        panic!("reference to {addr} did not settle after {MAX_FAULT_RETRIES} faults");
+    }
+
+    /// 32-bit fetch by an application thread.
+    pub fn load_u32(&mut self, cpu: CpuId, addr: VAddr) -> Result<u32, VmError> {
+        debug_assert_eq!(addr.0 % 4, 0, "unaligned word fetch at {addr}");
+        let (f, off) = self.resolve(cpu, addr, Access::Fetch, 1)?;
+        Ok(self.machine.mem.read_u32(f, off))
+    }
+
+    /// 32-bit store by an application thread.
+    pub fn store_u32(&mut self, cpu: CpuId, addr: VAddr, value: u32) -> Result<(), VmError> {
+        debug_assert_eq!(addr.0 % 4, 0, "unaligned word store at {addr}");
+        let (f, off) = self.resolve(cpu, addr, Access::Store, 1)?;
+        self.machine.mem.write_u32(f, off, value);
+        Ok(())
+    }
+
+    /// 8-bit fetch (costs one reference, as on the 32-bit bus).
+    pub fn load_u8(&mut self, cpu: CpuId, addr: VAddr) -> Result<u8, VmError> {
+        let (f, off) = self.resolve(cpu, addr, Access::Fetch, 1)?;
+        Ok(self.machine.mem.read_u8(f, off))
+    }
+
+    /// 8-bit store.
+    pub fn store_u8(&mut self, cpu: CpuId, addr: VAddr, value: u8) -> Result<(), VmError> {
+        let (f, off) = self.resolve(cpu, addr, Access::Store, 1)?;
+        self.machine.mem.write_u8(f, off, value);
+        Ok(())
+    }
+
+    /// 64-bit float fetch (two word references).
+    pub fn load_f64(&mut self, cpu: CpuId, addr: VAddr) -> Result<f64, VmError> {
+        debug_assert_eq!(addr.0 % 8, 0, "unaligned f64 fetch at {addr}");
+        let (f, off) = self.resolve(cpu, addr, Access::Fetch, 2)?;
+        let mut buf = [0u8; 8];
+        self.machine.mem.read_bytes(f, off, &mut buf);
+        Ok(f64::from_le_bytes(buf))
+    }
+
+    /// 64-bit float store (two word references).
+    pub fn store_f64(&mut self, cpu: CpuId, addr: VAddr, value: f64) -> Result<(), VmError> {
+        debug_assert_eq!(addr.0 % 8, 0, "unaligned f64 store at {addr}");
+        let (f, off) = self.resolve(cpu, addr, Access::Store, 2)?;
+        self.machine.mem.write_bytes(f, off, &value.to_le_bytes());
+        Ok(())
+    }
+
+    /// The read-modify-write half of a test-and-set, once the store
+    /// translation has succeeded and been charged: charges the fetch
+    /// half, swaps in 1, and returns the previous value.
+    pub fn finish_test_and_set(&mut self, cpu: CpuId, f: ace_machine::Frame, off: usize) -> u32 {
+        self.machine.charge_access(cpu, Access::Fetch, f, 1);
+        let dist = self.machine.distance(cpu, f.region);
+        match dist {
+            Distance::Local => self.refs.local += 1,
+            Distance::Global => self.refs.global += 1,
+            Distance::Remote => self.refs.remote += 1,
+        }
+        let old = self.machine.mem.read_u32(f, off);
+        self.machine.mem.write_u32(f, off, 1);
+        old
+    }
+
+    /// Atomic test-and-set: reads the word at `addr` and sets it to 1,
+    /// returning the previous value. Costs a fetch plus a store. This is
+    /// the only atomic the ROMP-like processor offers; all
+    /// synchronization is built from it.
+    pub fn test_and_set(&mut self, cpu: CpuId, addr: VAddr) -> Result<u32, VmError> {
+        debug_assert_eq!(addr.0 % 4, 0, "unaligned test-and-set at {addr}");
+        let (f, off) = self.resolve(cpu, addr, Access::Store, 1)?;
+        Ok(self.finish_test_and_set(cpu, f, off))
+    }
+
+    /// A Unix system call executed on behalf of the calling thread: runs
+    /// on the *master* processor (cpu 0), charges `compute` system time
+    /// there, and touches the given user addresses **from the master
+    /// processor** (section 4.6 — this is what drags per-thread pages
+    /// like stacks into writable sharing with the master).
+    pub fn unix_syscall(
+        &mut self,
+        compute: Ns,
+        writes: &[VAddr],
+    ) -> Result<(), VmError> {
+        let master = CpuId(0);
+        self.machine.clocks.charge_system(master, compute);
+        for &a in writes {
+            let (f, off) = self.resolve_system(master, a)?;
+            let v = self.machine.mem.read_u32(f, off);
+            self.machine.mem.write_u32(f, off, v);
+        }
+        Ok(())
+    }
+
+    /// Resolve + charge an in-kernel user-memory write from `cpu`,
+    /// charging system (not user) time and bypassing the user reference
+    /// counters.
+    fn resolve_system(
+        &mut self,
+        cpu: CpuId,
+        addr: VAddr,
+    ) -> Result<(ace_machine::Frame, usize), VmError> {
+        let page_size = self.vm.page_size();
+        let vpn = page_size.page_of(addr.0);
+        let offset = page_size.offset_of(addr.0);
+        let asid = self.vm.task_asid(self.task)?;
+        for _ in 0..MAX_FAULT_RETRIES {
+            match self.machine.mmus[cpu.index()].translate(asid, vpn, Access::Store) {
+                Ok(frame) => {
+                    let dist = self.machine.distance(cpu, frame.region);
+                    let cost = self.machine.config.costs.access(Access::Store, dist)
+                        + self.machine.config.costs.access(Access::Fetch, dist);
+                    self.machine.clocks.charge_system(cpu, cost);
+                    return Ok((frame, offset));
+                }
+                Err(_) => {
+                    self.vm.fault(
+                        &mut self.machine,
+                        &mut self.pmap,
+                        self.task,
+                        addr,
+                        Prot::READ_WRITE,
+                        cpu,
+                    )?;
+                }
+            }
+        }
+        panic!("kernel reference to {addr} did not settle");
+    }
+
+    /// Charges pure compute time (no memory references) to `cpu`.
+    #[inline]
+    pub fn compute(&mut self, cpu: CpuId, t: Ns) {
+        self.machine.clocks.charge_user(cpu, t);
+    }
+
+    /// Debug read of `N` bytes of authoritative content at `addr`,
+    /// without charging time or touching placement. Follows the data
+    /// wherever it currently lives: a frame, a pending page-in fill, or
+    /// the swap store. Never-touched memory reads as zeros.
+    fn peek_bytes<const N: usize>(&mut self, addr: VAddr) -> [u8; N] {
+        let off = self.vm.page_size().offset_of(addr.0);
+        let mut buf = [0u8; N];
+        if let Some(lpage) = self.vm.resident_lpage(self.task, addr) {
+            if let Some(f) = self.pmap.truth_frame(lpage) {
+                self.machine.mem.read_bytes(f, off, &mut buf);
+            } else if let Some(d) = self.pmap.peek_fill(lpage) {
+                buf.copy_from_slice(&d[off..off + N]);
+            }
+        } else if let Some(d) = self.vm.swapped_bytes(self.task, addr) {
+            buf.copy_from_slice(&d[off..off + N]);
+        }
+        buf
+    }
+
+    /// Debug read of the authoritative contents at `addr` (see
+    /// [`Kernel::peek_bytes`]).
+    pub fn peek_u32(&mut self, addr: VAddr) -> u32 {
+        u32::from_le_bytes(self.peek_bytes::<4>(addr))
+    }
+
+    /// Debug read of an `f64` (see [`Kernel::peek_bytes`]).
+    pub fn peek_f64(&mut self, addr: VAddr) -> f64 {
+        f64::from_le_bytes(self.peek_bytes::<8>(addr))
+    }
+
+    /// Applies a placement pragma to a whole allocated region (section
+    /// 4.3): each page is made resident and hinted, so subsequent
+    /// accesses place it per the pragma. Returns false if the active
+    /// policy does not support pragmas.
+    pub fn set_pragma_region(
+        &mut self,
+        addr: VAddr,
+        bytes: u64,
+        placement: numa_core::Placement,
+    ) -> Result<bool, VmError> {
+        let page = self.vm.page_size();
+        let pages = page.pages_for(bytes.max(1));
+        let boot_cpu = CpuId(0);
+        for i in 0..pages {
+            let a = addr + i * page.bytes() as u64;
+            if self.vm.resident_lpage(self.task, a).is_none() {
+                self.vm.fault(
+                    &mut self.machine,
+                    &mut self.pmap,
+                    self.task,
+                    a,
+                    Prot::READ,
+                    boot_cpu,
+                )?;
+            }
+            let lpage = self
+                .vm
+                .resident_lpage(self.task, a)
+                .expect("faulted in above");
+            if !self.pmap.set_pragma(&mut self.machine, lpage, placement) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Resets clocks, reference counters, bus and NUMA statistics while
+    /// keeping memory contents and placement state (used to measure a
+    /// phase in isolation).
+    pub fn reset_measurements(&mut self) {
+        self.machine.clocks.reset();
+        self.machine.bus = Default::default();
+        self.refs = RefCounters::default();
+        self.pmap.reset_stats();
+    }
+
+    /// Verifies directory/replica invariants for every page the NUMA
+    /// layer knows about.
+    pub fn check_consistency(&mut self) -> Result<(), String> {
+        let pages: Vec<_> = self.pmap.manager().known_pages().collect();
+        for p in pages {
+            // `pmap` and `machine` are disjoint fields, so the shared and
+            // mutable borrows below do not alias.
+            self.pmap.manager().check_invariants(&mut self.machine, p)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_machine::MachineConfig;
+    use numa_core::{MoveLimitPolicy, StateKind};
+
+    fn kernel(n_cpus: usize) -> Kernel {
+        let cfg = MachineConfig::small(n_cpus);
+        let machine = Machine::new(cfg);
+        let pmap = AcePmap::new(Box::new(MoveLimitPolicy::default()));
+        Kernel::new(machine, pmap)
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_faults() {
+        let mut k = kernel(2);
+        let a = k.alloc(256, Prot::READ_WRITE).unwrap();
+        k.store_u32(CpuId(0), a, 7).unwrap();
+        assert_eq!(k.load_u32(CpuId(0), a).unwrap(), 7);
+        assert_eq!(k.load_u32(CpuId(1), a).unwrap(), 7);
+        // cpu0 wrote first: page was local-writable there, then the read
+        // from cpu1 synced and replicated it.
+        let lp = k.vm.resident_lpage(k.task, a).unwrap();
+        assert_eq!(k.pmap.view(lp).state, StateKind::ReadOnly);
+        k.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn reference_counters_track_distance() {
+        let mut k = kernel(2);
+        let a = k.alloc(64, Prot::READ_WRITE).unwrap();
+        k.store_u32(CpuId(0), a, 1).unwrap();
+        assert_eq!(k.refs.local, 1);
+        assert_eq!(k.refs.global, 0);
+        for _ in 0..9 {
+            k.load_u32(CpuId(0), a).unwrap();
+        }
+        assert_eq!(k.refs.local, 10);
+        assert!((k.refs.alpha() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f64_costs_two_words() {
+        let mut k = kernel(1);
+        let a = k.alloc(64, Prot::READ_WRITE).unwrap();
+        k.store_f64(CpuId(0), a, 3.25).unwrap();
+        assert_eq!(k.load_f64(CpuId(0), a).unwrap(), 3.25);
+        assert_eq!(k.refs.local, 4);
+    }
+
+    #[test]
+    fn test_and_set_is_atomic_and_costs_two_accesses() {
+        let mut k = kernel(1);
+        let a = k.alloc(4, Prot::READ_WRITE).unwrap();
+        assert_eq!(k.test_and_set(CpuId(0), a).unwrap(), 0);
+        assert_eq!(k.test_and_set(CpuId(0), a).unwrap(), 1);
+        k.store_u32(CpuId(0), a, 0).unwrap();
+        assert_eq!(k.test_and_set(CpuId(0), a).unwrap(), 0);
+    }
+
+    #[test]
+    fn peek_reads_truth_without_charging() {
+        let mut k = kernel(2);
+        let a = k.alloc(64, Prot::READ_WRITE).unwrap();
+        k.store_u32(CpuId(1), a, 99).unwrap();
+        let user_before = k.machine.clocks.total_user();
+        assert_eq!(k.peek_u32(a), 99);
+        assert_eq!(k.machine.clocks.total_user(), user_before);
+        assert_eq!(k.peek_u32(a + 8), 0, "untouched word reads zero");
+    }
+
+    #[test]
+    fn sink_sees_references() {
+        use std::sync::{Arc, Mutex};
+        let mut k = kernel(1);
+        let a = k.alloc(64, Prot::READ_WRITE).unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        k.set_sink(Box::new(move |e: &RefEvent| log2.lock().unwrap().push(*e)));
+        k.store_u32(CpuId(0), a, 1).unwrap();
+        k.load_u32(CpuId(0), a).unwrap();
+        let events = log.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, Access::Store);
+        assert_eq!(events[1].kind, Access::Fetch);
+        assert_eq!(events[0].addr, a);
+    }
+
+    #[test]
+    fn unix_syscall_shares_page_with_master() {
+        let mut k = kernel(2);
+        let a = k.alloc(64, Prot::READ_WRITE).unwrap();
+        // Thread on cpu1 owns its "stack" page.
+        k.store_u32(CpuId(1), a, 5).unwrap();
+        let lp = k.vm.resident_lpage(k.task, a).unwrap();
+        assert_eq!(k.pmap.view(lp).state, StateKind::LocalWritable(CpuId(1)));
+        // A syscall touches the page from the master processor.
+        k.unix_syscall(Ns::from_us(100), &[a]).unwrap();
+        assert_eq!(k.pmap.view(lp).state, StateKind::LocalWritable(CpuId(0)));
+        assert_eq!(k.peek_u32(a), 5, "syscall write preserved the value");
+        assert!(k.machine.clocks.cpu(CpuId(0)).system >= Ns::from_us(100));
+    }
+
+    #[test]
+    fn reset_measurements_keeps_contents() {
+        let mut k = kernel(1);
+        let a = k.alloc(64, Prot::READ_WRITE).unwrap();
+        k.store_u32(CpuId(0), a, 42).unwrap();
+        k.reset_measurements();
+        assert_eq!(k.machine.clocks.total_user(), Ns::ZERO);
+        assert_eq!(k.refs.local + k.refs.global, 0);
+        assert_eq!(k.peek_u32(a), 42);
+        assert_eq!(k.load_u32(CpuId(0), a).unwrap(), 42);
+    }
+}

@@ -1,0 +1,107 @@
+//! Results of one simulation run.
+
+use crate::kernel::RefCounters;
+use ace_machine::{BusStats, CpuTime, Ns};
+use numa_core::NumaStats;
+use std::fmt;
+
+/// Everything measured during one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Policy that was active.
+    pub policy: &'static str,
+    /// Per-processor user/system times.
+    pub cpu_times: Vec<CpuTime>,
+    /// Application reference counts by distance.
+    pub refs: RefCounters,
+    /// NUMA layer statistics.
+    pub numa: NumaStats,
+    /// IPC bus traffic.
+    pub bus: BusStats,
+}
+
+impl RunReport {
+    /// Total user time across all processors (the paper's T measure).
+    pub fn total_user(&self) -> Ns {
+        self.cpu_times.iter().map(|t| t.user).sum()
+    }
+
+    /// Total system time across all processors (Table 4's S measure).
+    pub fn total_system(&self) -> Ns {
+        self.cpu_times.iter().map(|t| t.system).sum()
+    }
+
+    /// Total user time in seconds.
+    pub fn user_secs(&self) -> f64 {
+        self.total_user().as_secs_f64()
+    }
+
+    /// Total system time in seconds.
+    pub fn system_secs(&self) -> f64 {
+        self.total_system().as_secs_f64()
+    }
+
+    /// Directly measured fraction of local references (the simulation's
+    /// ground-truth counterpart of the paper's derived alpha).
+    pub fn alpha_measured(&self) -> f64 {
+        self.refs.alpha()
+    }
+
+    /// The longest per-processor total time — a proxy for elapsed
+    /// (wall-clock) time of the run.
+    pub fn makespan(&self) -> Ns {
+        self.cpu_times.iter().map(|t| t.total()).max().unwrap_or(Ns::ZERO)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] user {:.4}s  system {:.4}s  alpha(meas) {:.3}",
+            self.policy,
+            self.user_secs(),
+            self.system_secs(),
+            self.alpha_measured()
+        )?;
+        writeln!(
+            f,
+            "  refs: {} local / {} global / {} remote",
+            self.refs.local, self.refs.global, self.refs.remote
+        )?;
+        write!(
+            f,
+            "  numa: {} requests, {} replications, {} migrations, {} syncs, {} pins",
+            self.numa.requests,
+            self.numa.replications,
+            self.numa.migrations,
+            self.numa.syncs,
+            self.numa.pins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_makespan() {
+        let r = RunReport {
+            policy: "test",
+            cpu_times: vec![
+                CpuTime { user: Ns(100), system: Ns(10) },
+                CpuTime { user: Ns(50), system: Ns(70) },
+            ],
+            refs: RefCounters { local: 3, global: 1, remote: 0 },
+            numa: NumaStats::default(),
+            bus: BusStats::default(),
+        };
+        assert_eq!(r.total_user(), Ns(150));
+        assert_eq!(r.total_system(), Ns(80));
+        assert_eq!(r.makespan(), Ns(120));
+        assert!((r.alpha_measured() - 0.75).abs() < 1e-12);
+        let s = format!("{r}");
+        assert!(s.contains("[test]"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Reference tracing and trace-driven analysis.
+//!
+//! Section 3.1 closes with: "We have begun to make and analyze reference
+//! traces of parallel programs to rectify this weakness" — the weakness
+//! being that the time-based model cannot distinguish placement *errors*
+//! from legitimate sharing, and that T_optimal could not be measured.
+//! Section 5 lists trace-driven analysis as future work. This crate is
+//! that future work:
+//!
+//! * [`Recorder`] — captures every application reference from a
+//!   [`Simulator`](ace_sim::Simulator) run;
+//! * [`analysis`] — per-page sharing classification (private /
+//!   read-shared / write-shared) and reference mixes;
+//! * [`falseshare`] — object-granularity false-sharing detection: given
+//!   a map of object extents, finds pages whose *objects* have different
+//!   sharing classes than the page as a whole (section 4.2);
+//! * [`optimal`] — an offline, future-knowledge lower bound on reference
+//!   plus page-movement cost (the paper's unmeasurable T_optimal),
+//!   computed per page by dynamic programming over the trace;
+//! * [`replay`] — replays a trace against the protocol state machine
+//!   under any policy, giving cheap offline policy comparison;
+//! * [`store`] — a line-oriented text format so traces can be captured
+//!   once and analyzed offline.
+
+pub mod analysis;
+pub mod falseshare;
+pub mod optimal;
+pub mod record;
+pub mod replay;
+pub mod store;
+
+pub use analysis::{PageClass, SharingReport};
+pub use falseshare::{FalseSharingReport, ObjectMap};
+pub use optimal::{optimal_cost, OptimalReport};
+pub use record::{Recorder, Trace};
+pub use replay::{replay, ReplayReport};
+pub use store::{read_trace, write_trace, TraceFormatError};

@@ -1,0 +1,212 @@
+//! Offline optimal placement: a future-knowledge lower bound on the
+//! reference-plus-movement cost the paper calls T_optimal.
+//!
+//! "We would have liked to compare T_numa to T_optimal but had no way to
+//! measure the latter" (section 3.1). In a simulator we can: for each
+//! page independently, dynamic programming over its reference sequence
+//! chooses, before every reference, the cheapest placement among
+//!
+//! * `Global` — everyone references at global cost;
+//! * `Local(i)` — processor *i* references at local cost (other
+//!   processors must move the page first);
+//! * `Replicated` — all processors *read* at local cost; writes must
+//!   leave the state.
+//!
+//! Every state change costs one page copy (the same constant the online
+//! protocol pays per copy; multi-copy transitions are charged a single
+//! copy, which keeps this a *lower bound*). The result is the cheapest
+//! achievable total reference + movement cost with perfect future
+//! knowledge, per page and in total.
+
+use crate::record::Trace;
+use ace_machine::{Access, CostModel, CpuId, Distance, Ns};
+use std::collections::HashMap;
+
+/// The per-page optimal cost breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct OptimalReport {
+    /// Optimal total cost (references + copies), summed over pages.
+    pub optimal_cost: Ns,
+    /// The cost actually charged for the traced references (no copies).
+    pub actual_ref_cost: Ns,
+    /// Per-page optimal costs.
+    pub per_page: HashMap<u64, Ns>,
+}
+
+/// Placement states for the DP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum S {
+    Global,
+    Local(CpuId),
+    Replicated,
+}
+
+/// Computes the offline optimal placement cost of a trace on a machine
+/// with the given cost model, page size taken from the trace.
+pub fn optimal_cost(trace: &Trace, costs: &CostModel, page_bytes: usize) -> OptimalReport {
+    // Group events by page, preserving order.
+    let mut per_page_events: HashMap<u64, Vec<(CpuId, Access, u64)>> = HashMap::new();
+    let mut actual_ref_cost = Ns::ZERO;
+    for e in &trace.events {
+        let vpn = trace.vpn_of(e);
+        per_page_events.entry(vpn).or_default().push((e.cpu, e.kind, e.words));
+        let d = match e.dist {
+            Distance::Local => Distance::Local,
+            Distance::Global => Distance::Global,
+            Distance::Remote => Distance::Remote,
+        };
+        actual_ref_cost += costs.access(e.kind, d) * e.words;
+    }
+    let copy = costs.page_copy(page_bytes);
+    let mut per_page = HashMap::new();
+    let mut total = Ns::ZERO;
+    for (vpn, events) in &per_page_events {
+        let c = page_optimal(events, costs, copy);
+        total += c;
+        per_page.insert(*vpn, c);
+    }
+    OptimalReport { optimal_cost: total, actual_ref_cost, per_page }
+}
+
+/// DP over one page's reference sequence.
+fn page_optimal(events: &[(CpuId, Access, u64)], costs: &CostModel, copy: Ns) -> Ns {
+    // Candidate states: Global, Replicated, and Local(i) for each cpu
+    // seen in the sequence.
+    let mut cpus: Vec<CpuId> = Vec::new();
+    for (c, _, _) in events {
+        if !cpus.contains(c) {
+            cpus.push(*c);
+        }
+    }
+    let mut states: Vec<S> = vec![S::Global, S::Replicated];
+    states.extend(cpus.iter().map(|&c| S::Local(c)));
+    const INF: u64 = u64::MAX / 4;
+    // The first placement of a fresh page is free of movement (the
+    // online protocol also places the zero-filled page wherever it
+    // likes), so all states start at 0.
+    let mut dp: Vec<u64> = vec![0; states.len()];
+    for &(cpu, kind, words) in events {
+        let mut next: Vec<u64> = vec![INF; states.len()];
+        for (si, &s) in states.iter().enumerate() {
+            if dp[si] >= INF {
+                continue;
+            }
+            for (ti, &t) in states.iter().enumerate() {
+                // Is the access servable in state t?
+                let access_cost = match (t, kind) {
+                    (S::Global, _) => costs.access(kind, Distance::Global),
+                    (S::Local(i), _) if i == cpu => costs.access(kind, Distance::Local),
+                    (S::Local(_), _) => continue,
+                    (S::Replicated, Access::Fetch) => {
+                        costs.access(kind, Distance::Local)
+                    }
+                    (S::Replicated, Access::Store) => continue,
+                };
+                let trans = if s == t { Ns::ZERO } else { copy };
+                let cand = dp[si]
+                    .saturating_add(trans.0)
+                    .saturating_add(access_cost.0 * words);
+                if cand < next[ti] {
+                    next[ti] = cand;
+                }
+            }
+        }
+        dp = next;
+    }
+    Ns(dp.into_iter().min().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_machine::{CpuId, PageSize};
+    use ace_sim::RefEvent;
+    use mach_vm::VAddr;
+
+    const PAGE: usize = 256;
+
+    fn tr(events: Vec<(u16, u64, Access)>) -> Trace {
+        Trace {
+            events: events
+                .into_iter()
+                .map(|(c, a, k)| RefEvent {
+                    t: Ns(0),
+                    cpu: CpuId(c),
+                    addr: VAddr(a),
+                    kind: k,
+                    dist: Distance::Global,
+                    words: 1,
+                })
+                .collect(),
+            page_size: Some(PageSize::new(PAGE)),
+        }
+    }
+
+    #[test]
+    fn private_page_is_all_local() {
+        let costs = CostModel::ace();
+        let t = tr((0..100).map(|i| (0, (i % 8) * 4, Access::Store)).collect());
+        let r = optimal_cost(&t, &costs, PAGE);
+        // Optimal: Local(0) throughout: 100 local stores, no copies.
+        assert_eq!(r.optimal_cost, costs.local_store * 100);
+    }
+
+    #[test]
+    fn read_shared_page_is_replicated() {
+        let costs = CostModel::ace();
+        let events = (0..60).map(|i| ((i % 3) as u16, 0, Access::Fetch)).collect();
+        let r = optimal_cost(&tr(events), &costs, PAGE);
+        assert_eq!(r.optimal_cost, costs.local_fetch * 60);
+    }
+
+    #[test]
+    fn heavy_write_sharing_prefers_global() {
+        let costs = CostModel::ace();
+        // Alternating writers: staying global beats copying every time.
+        let events: Vec<_> = (0..40).map(|i| ((i % 2) as u16, 0, Access::Store)).collect();
+        let r = optimal_cost(&tr(events), &costs, PAGE);
+        assert_eq!(r.optimal_cost, costs.global_store * 40);
+    }
+
+    #[test]
+    fn migration_pays_off_for_long_runs() {
+        let costs = CostModel::ace();
+        // 1000 writes by cpu0, then 1000 by cpu1: one copy amortizes.
+        let mut events: Vec<_> = (0..1000).map(|_| (0u16, 0, Access::Store)).collect();
+        events.extend((0..1000).map(|_| (1u16, 0, Access::Store)));
+        let r = optimal_cost(&tr(events), &costs, PAGE);
+        let copy = costs.page_copy(PAGE);
+        assert_eq!(r.optimal_cost, costs.local_store * 2000 + copy);
+        // And it beats staying global.
+        assert!(r.optimal_cost < costs.global_store * 2000);
+    }
+
+    #[test]
+    fn optimal_never_exceeds_all_global() {
+        let costs = CostModel::ace();
+        let events: Vec<_> = (0..200)
+            .map(|i| {
+                let cpu = (i % 5) as u16;
+                let kind = if i % 3 == 0 { Access::Store } else { Access::Fetch };
+                (cpu, (i % 64) * 4, kind)
+            })
+            .collect();
+        let t = tr(events);
+        let r = optimal_cost(&t, &costs, PAGE);
+        let all_global: Ns = t
+            .events
+            .iter()
+            .map(|e| costs.access(e.kind, Distance::Global) * e.words)
+            .sum();
+        assert!(r.optimal_cost <= all_global);
+    }
+
+    #[test]
+    fn actual_ref_cost_uses_traced_distances() {
+        let costs = CostModel::ace();
+        let t = tr(vec![(0, 0, Access::Fetch)]);
+        let r = optimal_cost(&t, &costs, PAGE);
+        // The event above is marked Global in the helper.
+        assert_eq!(r.actual_ref_cost, costs.global_fetch);
+    }
+}

@@ -1,0 +1,80 @@
+//! The Unix-master effect (section 4.6): system calls that touch user
+//! memory from the master processor drag otherwise-private pages into
+//! writable sharing with cpu 0.
+//!
+//! "Pages that are used only by one process (stacks for example) but
+//! that are referenced by Unix system calls can be shared writably with
+//! the master processor and can end up in global memory. To ease this
+//! problem, we identified several of the worst offending system calls
+//! (sigvec, fstat and ioctl) and made ad hoc changes to eliminate their
+//! references to user memory from the master processor."
+//!
+//! ```sh
+//! cargo run --release --example unix_master
+//! ```
+
+use numa_repro::machine::{Ns, Prot};
+use numa_repro::numa::MoveLimitPolicy;
+use numa_repro::sim::{RunReport, SimConfig, Simulator};
+
+const CPUS: usize = 4;
+const ROUNDS: u64 = 500;
+
+/// Threads hammer their private "stacks"; optionally every 25th round
+/// makes a syscall that (before the paper's fix) touches the stack from
+/// the master processor.
+fn run(syscalls_touch_user_memory: bool) -> RunReport {
+    let mut sim = Simulator::new(SimConfig::ace(CPUS), Box::new(MoveLimitPolicy::default()));
+    for t in 0..CPUS as u64 {
+        let stack = sim.alloc(2048, Prot::READ_WRITE);
+        sim.spawn(format!("proc-{t}"), move |ctx| {
+            for round in 0..ROUNDS {
+                // Ordinary private stack traffic.
+                let v = ctx.read_u32(stack + (round % 64) * 4);
+                ctx.write_u32(stack + (round % 64) * 4, v + 1);
+                ctx.compute(Ns(3_000));
+                if round % 25 == 0 {
+                    if syscalls_touch_user_memory {
+                        // The offending kind: fstat/sigvec-style calls
+                        // that read-modify-write user memory on cpu 0.
+                        ctx.unix_syscall(Ns::from_us(80), &[stack]);
+                    } else {
+                        // After the paper's ad hoc fix: same kernel
+                        // work, no user-memory touches from the master.
+                        ctx.unix_syscall(Ns::from_us(80), &[]);
+                    }
+                }
+            }
+        });
+    }
+    sim.run()
+}
+
+fn main() {
+    let bad = run(true);
+    let good = run(false);
+    println!("syscalls touching user memory from the master (cpu 0):");
+    println!(
+        "  user {:.4}s  system {:.4}s  alpha(meas) {:.3}  migrations {}  pins {}",
+        bad.user_secs(),
+        bad.system_secs(),
+        bad.alpha_measured(),
+        bad.numa.migrations,
+        bad.numa.pins
+    );
+    println!("after the paper's fix (no user-memory touches from the master):");
+    println!(
+        "  user {:.4}s  system {:.4}s  alpha(meas) {:.3}  migrations {}  pins {}",
+        good.user_secs(),
+        good.system_secs(),
+        good.alpha_measured(),
+        good.numa.migrations,
+        good.numa.pins
+    );
+    assert!(bad.numa.migrations > good.numa.migrations);
+    assert!(bad.alpha_measured() < good.alpha_measured());
+    println!();
+    println!("The master's touches make each stack page writably shared with");
+    println!("cpu 0: it ping-pongs and eventually pins in global memory, so");
+    println!("the owning thread's stack references all go global.");
+}

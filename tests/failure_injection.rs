@@ -1,0 +1,158 @@
+//! Failure injection: exhaustion, protection violations, and wild
+//! references must fail loudly and precisely, never corrupt state.
+
+use numa_repro::machine::{CpuId, Machine, MachineConfig, Prot};
+use numa_repro::numa::{AcePmap, AllLocalPolicy, MoveLimitPolicy};
+use numa_repro::sim::{Kernel, SimConfig, Simulator};
+use numa_repro::vm::{VAddr, VmError};
+
+/// The logical page pool is fixed at boot (the paper calls this out as
+/// Mach's one real limitation); with the pageout daemon disabled,
+/// exhausting it surfaces as a clean error.
+#[test]
+fn logical_pool_exhaustion_without_pageout() {
+    let mut cfg = MachineConfig::small(1);
+    cfg.global_frames = 4;
+    let machine = Machine::new(cfg);
+    let pmap = AcePmap::new(Box::new(MoveLimitPolicy::default()));
+    let mut k = Kernel::new(machine, pmap);
+    k.vm.set_pageout(false);
+    let page = k.vm.page_size().bytes() as u64;
+    let a = k.alloc(8 * page, Prot::READ_WRITE).expect("virtual space is plentiful");
+    for i in 0..4u64 {
+        k.store_u32(CpuId(0), a + i * page, 1).expect("within pool");
+    }
+    let r = k.store_u32(CpuId(0), a + 4 * page, 1);
+    assert_eq!(r, Err(VmError::OutOfLogicalMemory));
+    // Earlier pages still work and hold their data.
+    assert_eq!(k.load_u32(CpuId(0), a).unwrap(), 1);
+    k.check_consistency().unwrap();
+}
+
+/// With the pageout daemon (on by default) the same pressure is
+/// survivable: pages cycle through swap and the working set's data is
+/// preserved — even across the NUMA layer's replication and migration.
+#[test]
+fn pageout_thrashing_preserves_application_data() {
+    let mut cfg = SimConfig::small(2);
+    cfg.machine.global_frames = 6;
+    let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+    let page = 256u64;
+    let a = sim.alloc(16 * page, Prot::READ_WRITE);
+    for t in 0..2u64 {
+        sim.spawn(format!("thrash-{t}"), move |ctx| {
+            for round in 0..3u64 {
+                for i in 0..16u64 {
+                    if i % 2 == t {
+                        let addr = a + i * page + round * 8;
+                        ctx.write_u32(addr, (1000 * t + 10 * round + i) as u32);
+                    }
+                }
+            }
+        });
+    }
+    sim.run();
+    let (pageouts, pageins) = sim.with_kernel(|k| (k.vm.pageouts, k.vm.pageins));
+    assert!(pageouts > 0, "pool pressure must trigger pageout");
+    assert!(pageins > 0, "revisited pages must page back in");
+    for t in 0..2u64 {
+        for round in 0..3u64 {
+            for i in 0..16u64 {
+                if i % 2 == t {
+                    let addr = a + i * page + round * 8;
+                    let got = sim.with_kernel(|k| k.peek_u32(addr));
+                    assert_eq!(got, (1000 * t + 10 * round + i) as u32);
+                }
+            }
+        }
+    }
+    sim.with_kernel(|k| k.check_consistency()).unwrap();
+}
+
+/// Local memory pressure: with tiny local memories the policy falls
+/// back to global placement instead of failing, and results stay
+/// correct.
+#[test]
+fn local_memory_pressure_falls_back_to_global() {
+    let mut cfg = SimConfig::small(2);
+    cfg.machine.local_frames = 2;
+    let mut sim = Simulator::new(cfg, Box::new(AllLocalPolicy));
+    let page = 256u64;
+    let a = sim.alloc(16 * page, Prot::READ_WRITE);
+    sim.spawn("writer", move |ctx| {
+        for i in 0..16u64 {
+            ctx.write_u32(a + i * page, i as u32);
+        }
+        for i in 0..16u64 {
+            assert_eq!(ctx.read_u32(a + i * page), i as u32);
+        }
+    });
+    let r = sim.run();
+    assert!(r.numa.local_pressure_fallbacks > 0, "pressure path exercised");
+    sim.with_kernel(|k| k.check_consistency()).unwrap();
+}
+
+/// A reference outside any allocation is the simulated segfault.
+#[test]
+#[should_panic(expected = "no map entry")]
+fn wild_reference_panics_the_thread() {
+    let mut sim =
+        Simulator::new(SimConfig::small(1), Box::new(MoveLimitPolicy::default()));
+    sim.spawn("wild", |ctx| {
+        let _ = ctx.read_u32(VAddr(0xdead_0000));
+    });
+    sim.run();
+}
+
+/// Writing a read-only allocation violates the user protection.
+#[test]
+#[should_panic(expected = "protection violation")]
+fn write_to_read_only_region_panics() {
+    let mut sim =
+        Simulator::new(SimConfig::small(1), Box::new(MoveLimitPolicy::default()));
+    let a = sim.alloc(64, Prot::READ);
+    sim.spawn("writer", move |ctx| {
+        ctx.write_u32(a, 1);
+    });
+    sim.run();
+}
+
+/// Address zero is never handed out and never mapped.
+#[test]
+#[should_panic(expected = "no map entry")]
+fn null_is_never_mapped() {
+    let mut sim =
+        Simulator::new(SimConfig::small(1), Box::new(MoveLimitPolicy::default()));
+    let a = sim.alloc(64, Prot::READ_WRITE);
+    assert_ne!(a, VAddr::NULL);
+    sim.spawn("null", |ctx| {
+        let _ = ctx.read_u32(VAddr::NULL);
+    });
+    sim.run();
+}
+
+/// A panic in one simulated thread stops the run without hanging the
+/// others (the engine unwinds them cleanly).
+#[test]
+fn sibling_threads_survive_engine_shutdown() {
+    let result = std::panic::catch_unwind(|| {
+        let mut sim =
+            Simulator::new(SimConfig::small(2), Box::new(MoveLimitPolicy::default()));
+        let a = sim.alloc(1024, Prot::READ_WRITE);
+        sim.spawn("bad", |_ctx| panic!("injected fault"));
+        sim.spawn("good", move |ctx| {
+            for i in 0..1000u64 {
+                ctx.write_u32(a + (i % 64) * 4, i as u32);
+            }
+        });
+        sim.run();
+    });
+    assert!(result.is_err(), "the injected panic must propagate");
+    // And the process is still healthy enough to run another simulation.
+    let mut sim =
+        Simulator::new(SimConfig::small(1), Box::new(MoveLimitPolicy::default()));
+    let a = sim.alloc(64, Prot::READ_WRITE);
+    sim.spawn("after", move |ctx| ctx.write_u32(a, 7));
+    sim.run();
+    assert_eq!(sim.with_kernel(|k| k.peek_u32(a)), 7);
+}

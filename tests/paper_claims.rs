@@ -1,0 +1,101 @@
+//! In-text numeric claims of the paper, checked against the simulation.
+
+use numa_repro::apps::{App, DivisorDiscipline, Fft, IMatMult, Primes2, Scale};
+use numa_repro::machine::Prot;
+use numa_repro::numa::{MoveLimitPolicy, StateKind};
+use numa_repro::sim::{SimConfig, Simulator};
+use numa_repro::trace::{PageClass, Recorder, SharingReport};
+
+/// "Baylor and Rathi analyzed reference traces from an EPEX fft program
+/// and found that about 95% of its data references were to private
+/// memory" (section 3.2). Our EPEX-style FFT's trace must show the same
+/// strong private majority.
+#[test]
+fn fft_references_are_mostly_private() {
+    let app = Fft::new(Scale::Test);
+    let mut sim = Simulator::new(SimConfig::ace(4), Box::new(MoveLimitPolicy::default()));
+    let rec = Recorder::install(&sim);
+    app.run(&mut sim, 4).expect("fft verifies");
+    let trace = rec.take(&sim);
+    let sharing = SharingReport::from_trace(&trace);
+    // Local fraction (ground truth for "references to private memory"
+    // once the policy has placed private pages locally).
+    assert!(
+        sharing.alpha() > 0.9,
+        "EPEX fft local fraction = {}, Baylor & Rathi report ~95% private",
+        sharing.alpha()
+    );
+}
+
+/// "The high alpha reflects the 400 local fetches per global store"
+/// (IMatMult, section 3.2): with dimension n, the ratio of local
+/// fetches to global stores is about 2n.
+#[test]
+fn imatmult_fetch_to_store_ratio() {
+    let n = 32usize;
+    let app = IMatMult::with_dim(n);
+    let mut sim = Simulator::new(SimConfig::ace(4), Box::new(MoveLimitPolicy::default()));
+    app.run(&mut sim, 4).expect("product verifies");
+    let r = sim.report();
+    // Each output element: 2n input fetches (local once replicated) and
+    // one output store (global once pinned).
+    let ratio = r.refs.local as f64 / r.refs.global.max(1) as f64;
+    assert!(
+        ratio > n as f64 && ratio < 4.0 * n as f64,
+        "local:global = {ratio:.0}, expected about 2n = {}",
+        2 * n
+    );
+}
+
+/// "The page then remains in global memory until it is freed" (section
+/// 2.3.2): freeing and reallocating through the engine-level API resets
+/// a pinned page's placement history.
+#[test]
+fn pinned_page_is_cacheable_again_after_dealloc() {
+    let mut sim =
+        Simulator::new(SimConfig::small(2), Box::new(MoveLimitPolicy::new(0)), );
+    let a = sim.alloc(64, Prot::READ_WRITE);
+    // Ping-pong writes pin the page.
+    for round in 0..3u64 {
+        let addr = a;
+        sim.spawn(format!("w{round}"), move |ctx| {
+            ctx.write_u32(addr, round as u32);
+        });
+        sim.run();
+    }
+    let lp = sim.with_kernel(|k| k.vm.resident_lpage(k.task, a).unwrap());
+    assert_eq!(
+        sim.with_kernel(|k| k.pmap.view(lp).state),
+        StateKind::GlobalWritable
+    );
+    sim.dealloc(a);
+    // Reallocate (the pool reuses the freed slot) and write once: the
+    // page must cache locally again.
+    let b = sim.alloc(64, Prot::READ_WRITE);
+    sim.spawn("fresh", move |ctx| ctx.write_u32(b, 9));
+    sim.run();
+    let lp2 = sim.with_kernel(|k| k.vm.resident_lpage(k.task, b).unwrap());
+    assert!(matches!(
+        sim.with_kernel(|k| k.pmap.view(lp2).state),
+        StateKind::LocalWritable(_)
+    ));
+    assert_eq!(sim.with_kernel(|k| k.peek_u32(b)), 9);
+}
+
+/// "Writably-shared pages are moved between local memories as the NUMA
+/// manager keeps the local caches consistent" and only then pinned: the
+/// naive primes2's hot vector pages must show multiple moves before
+/// pinning, and the sieve-verified result is unaffected.
+#[test]
+fn write_shared_pages_move_then_pin() {
+    let app = Primes2::new(Scale::Test, DivisorDiscipline::SharedVector);
+    let mut sim = Simulator::new(SimConfig::small(4), Box::new(MoveLimitPolicy::default()));
+    let rec = Recorder::install(&sim);
+    app.run(&mut sim, 4).expect("primes verify");
+    let r = sim.report();
+    assert!(r.numa.migrations >= 5, "moves before pinning: {}", r.numa.migrations);
+    assert!(r.numa.pins >= 1, "hot pages must pin");
+    let trace = rec.take(&sim);
+    let sharing = SharingReport::from_trace(&trace);
+    assert!(sharing.count(PageClass::WriteShared) >= 1);
+}

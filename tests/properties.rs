@@ -1,0 +1,282 @@
+//! Property-based tests: random workloads against a shadow memory
+//! model, protocol invariants under arbitrary request sequences, and
+//! model algebra.
+
+use numa_repro::machine::{Access, CpuId, Machine, MachineConfig, Prot};
+use numa_repro::metrics::Model;
+use numa_repro::numa::{
+    AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy, NumaManager, Placement,
+    StateKind,
+};
+use numa_repro::sim::{SimConfig, Simulator};
+use numa_repro::vm::LPageId;
+use proptest::prelude::*;
+
+/// A policy that answers from a script (cycled), covering the remote
+/// extension alongside the two-level placements.
+struct ScriptedPolicy {
+    script: Vec<u8>,
+    i: usize,
+}
+
+impl CachePolicy for ScriptedPolicy {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+    fn decide(&mut self, _: LPageId, _: Access, cpu: CpuId) -> Placement {
+        let pick = self.script[self.i % self.script.len()];
+        self.i += 1;
+        match pick % 4 {
+            0 => Placement::Local,
+            1 => Placement::Global,
+            2 => Placement::RemoteAt(cpu),
+            _ => Placement::RemoteAt(CpuId((pick % 3) as u16)),
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// One scripted thread operation for the end-to-end property.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { slot: u8, value: u32 },
+    Read { slot: u8 },
+    Compute { us: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(slot, value)| Op::Write { slot, value }),
+        any::<u8>().prop_map(|slot| Op::Read { slot }),
+        (1u16..50).prop_map(|us| Op::Compute { us }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// End-to-end coherence: threads execute random scripts over a
+    /// shared region; every read must observe the value the *shadow*
+    /// sequentially-consistent model predicts, for every policy. The
+    /// scripts are partitioned so each slot has a single writer (so the
+    /// shadow is well-defined) but readers roam everywhere, exercising
+    /// replication, migration and pinning.
+    #[test]
+    fn random_scripts_match_shadow_model(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..60), 2..4),
+        policy_pick in 0usize..3,
+    ) {
+        let n = scripts.len();
+        let policy: Box<dyn CachePolicy> = match policy_pick {
+            0 => Box::new(MoveLimitPolicy::new(2)),
+            1 => Box::new(AllGlobalPolicy),
+            _ => Box::new(AllLocalPolicy),
+        };
+        let mut sim = Simulator::new(SimConfig::small(n), policy);
+        let base = sim.alloc(16 * 1024, Prot::READ_WRITE);
+        for (t, script) in scripts.clone().into_iter().enumerate() {
+            sim.spawn(format!("script-{t}"), move |ctx| {
+                let mut shadow: std::collections::HashMap<u64, u32> =
+                    std::collections::HashMap::new();
+                for op in script {
+                    match op {
+                        Op::Write { slot, value } => {
+                            // Writer-partitioned: thread t owns slots
+                            // congruent to t.
+                            let s = (slot as usize * n + t) as u64;
+                            ctx.write_u32(base + s * 4, value);
+                            shadow.insert(s, value);
+                        }
+                        Op::Read { slot } => {
+                            // Read own slots (values known) — reads of
+                            // others' slots are done below, unchecked
+                            // but placement-relevant.
+                            let own = (slot as usize * n + t) as u64;
+                            let got = ctx.read_u32(base + own * 4);
+                            let want = shadow.get(&own).copied().unwrap_or(0);
+                            assert_eq!(got, want, "thread {t} slot {own}");
+                            // Roaming read of a neighbour's slot.
+                            let other = (slot as usize * n + (t + 1) % n) as u64;
+                            let _ = ctx.read_u32(base + other * 4);
+                        }
+                        Op::Compute { us } => {
+                            ctx.compute(numa_repro::machine::Ns::from_us(us as u64))
+                        }
+                    }
+                }
+                // Final self-check of every slot written.
+                for (&s, &v) in &shadow {
+                    assert_eq!(ctx.read_u32(base + s * 4), v);
+                }
+            });
+        }
+        sim.run();
+        sim.with_kernel(|k| k.check_consistency()).unwrap();
+    }
+
+    /// Protocol invariants under arbitrary request sequences fed
+    /// directly to the NUMA manager: at most one writable copy, replicas
+    /// byte-identical to a valid global frame, pinned pages global.
+    #[test]
+    fn manager_invariants_under_random_requests(
+        reqs in proptest::collection::vec(
+            (0u32..6, 0u16..4, any::<bool>(), any::<u32>()), 1..120),
+        threshold in 0u32..6,
+    ) {
+        let mut m = Machine::new(MachineConfig::small(4));
+        let mut mgr = NumaManager::new();
+        let mut pol = MoveLimitPolicy::new(threshold);
+        // Shadow content per page: last value written to offset 0.
+        let mut shadow: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        for (page, cpu, is_write, value) in reqs {
+            let lpage = LPageId(page);
+            let cpu = CpuId(cpu);
+            if mgr.view(lpage).state == StateKind::Fresh {
+                mgr.zero_page(lpage);
+            }
+            let kind = if is_write { Access::Store } else { Access::Fetch };
+            let grant = mgr.request(&mut m, lpage, kind, cpu, &mut pol);
+            if is_write {
+                m.mem.write_u32(grant.frame, 0, value);
+                shadow.insert(page, value);
+            } else {
+                let got = m.mem.read_u32(grant.frame, 0);
+                let want = shadow.get(&page).copied().unwrap_or(0);
+                prop_assert_eq!(got, want, "page {} on {}", page, cpu);
+            }
+            mgr.check_invariants(&mut m, lpage).map_err(
+                |e| TestCaseError::fail(e))?;
+            // A pinned page must be global-writable.
+            if pol.is_pinned(lpage) {
+                prop_assert_eq!(mgr.view(lpage).state, StateKind::GlobalWritable);
+            }
+        }
+    }
+
+    /// Model algebra: solve() inverts the forward model for any
+    /// plausible (alpha, beta, G/L).
+    #[test]
+    fn model_roundtrip(
+        alpha in 0.0f64..1.0,
+        beta in 0.05f64..1.0,
+        g_over_l in 1.2f64..4.0,
+        t_local in 1.0f64..10_000.0,
+    ) {
+        let t_numa = Model::predict_t_numa(t_local, alpha, beta, g_over_l);
+        let t_global = Model::predict_t_global(t_local, beta, g_over_l);
+        // Skip regions below the insensitivity threshold.
+        prop_assume!(t_global - t_local > t_local * 0.02);
+        let m = Model::solve(t_global, t_numa, t_local, g_over_l).unwrap();
+        prop_assert!((m.alpha - alpha).abs() < 1e-6);
+        prop_assert!((m.beta - beta).abs() < 1e-6);
+    }
+
+    /// Protocol invariants hold under arbitrary request sequences even
+    /// when the policy mixes in the remote-reference extension, and
+    /// data is never lost across Local/Global/Remote transitions.
+    #[test]
+    fn manager_invariants_with_remote_placements(
+        reqs in proptest::collection::vec(
+            (0u32..4, 0u16..4, any::<bool>(), any::<u32>()), 1..100),
+        script in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut m = Machine::new(MachineConfig::small(4));
+        let mut mgr = NumaManager::new();
+        let mut pol = ScriptedPolicy { script, i: 0 };
+        let mut shadow: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        for (page, cpu, is_write, value) in reqs {
+            let lpage = LPageId(page);
+            let cpu = CpuId(cpu);
+            if mgr.view(lpage).state == StateKind::Fresh {
+                mgr.zero_page(lpage);
+            }
+            let kind = if is_write { Access::Store } else { Access::Fetch };
+            let grant = mgr.request(&mut m, lpage, kind, cpu, &mut pol);
+            if is_write {
+                m.mem.write_u32(grant.frame, 0, value);
+                shadow.insert(page, value);
+            } else {
+                let got = m.mem.read_u32(grant.frame, 0);
+                let want = shadow.get(&page).copied().unwrap_or(0);
+                prop_assert_eq!(got, want, "page {} on {}", page, cpu);
+            }
+            mgr.check_invariants(&mut m, lpage).map_err(
+                |e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// The pageout daemon under random working sets: data survives any
+    /// sequence of evictions and page-ins, and the pool never
+    /// over-commits.
+    #[test]
+    fn pageout_preserves_data_under_random_pressure(
+        writes in proptest::collection::vec((0u64..12, any::<u32>()), 1..80),
+        pool in 2usize..6,
+    ) {
+        let mut cfg = SimConfig::small(1);
+        cfg.machine.global_frames = pool;
+        let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+        let page = 256u64;
+        let a = sim.alloc(12 * page, Prot::READ_WRITE);
+        let script = writes.clone();
+        sim.spawn("presser", move |ctx| {
+            let mut shadow: std::collections::HashMap<u64, u32> =
+                std::collections::HashMap::new();
+            for (slot, value) in script {
+                let addr = a + slot * page;
+                let got = ctx.read_u32(addr);
+                let want = shadow.get(&slot).copied().unwrap_or(0);
+                assert_eq!(got, want, "slot {slot} lost its value");
+                ctx.write_u32(addr, value);
+                shadow.insert(slot, value);
+            }
+        });
+        sim.run();
+        // Final contents visible through peek (frame, fill or swap).
+        let mut fin: std::collections::HashMap<u64, u32> =
+            std::collections::HashMap::new();
+        for (slot, value) in &writes {
+            fin.insert(*slot, *value);
+        }
+        for (slot, value) in fin {
+            prop_assert_eq!(
+                sim.with_kernel(|k| k.peek_u32(a + slot * page)),
+                value
+            );
+        }
+        prop_assert!(sim.with_kernel(|k| k.vm.pool().free_pages()) <= pool);
+        sim.with_kernel(|k| k.check_consistency()).unwrap();
+    }
+
+    /// Frame allocator: alloc/free sequences never lose or duplicate
+    /// frames.
+    #[test]
+    fn frame_allocator_conserves_frames(
+        ops in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        use numa_repro::machine::MemRegion;
+        let cfg = MachineConfig::small(1);
+        let total = cfg.global_frames;
+        let mut m = numa_repro::machine::PhysMem::new(&cfg);
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Ok(f) = m.alloc(MemRegion::Global) {
+                    prop_assert!(!held.contains(&f), "duplicate frame {f:?}");
+                    held.push(f);
+                }
+            } else if let Some(f) = held.pop() {
+                m.free(f);
+            }
+            prop_assert_eq!(
+                m.free_frames(MemRegion::Global) + held.len(),
+                total
+            );
+        }
+    }
+}
