@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use crate::fault::FaultConfig;
 use crate::time::CostModel;
 
 /// Power-of-two page size, with helpers for address arithmetic.
@@ -87,6 +88,9 @@ pub struct MachineConfig {
     /// access costs (off by default: the paper's methodology assumes
     /// contention-free runs and the Table 3 calibration relies on it).
     pub bus_contention: bool,
+    /// Fault-injection knobs (all rates zero by default, which disables
+    /// the fault layer entirely).
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
@@ -101,6 +105,7 @@ impl MachineConfig {
             local_frames: 8 * 1024 * 1024 / page_size.bytes(),
             costs: CostModel::ace(),
             bus_contention: false,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -114,6 +119,7 @@ impl MachineConfig {
             local_frames: 64,
             costs: CostModel::ace(),
             bus_contention: false,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -133,6 +139,7 @@ impl MachineConfig {
         if self.local_frames == 0 {
             return Err("no local memory".to_string());
         }
+        self.faults.validate()?;
         Ok(())
     }
 }

@@ -29,6 +29,7 @@
 pub mod bus;
 pub mod clock;
 pub mod config;
+pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod mmu;
@@ -39,6 +40,7 @@ pub mod types;
 pub use bus::{BusQueue, BusStats};
 pub use clock::{CpuClocks, CpuTime};
 pub use config::{MachineConfig, PageSize};
+pub use fault::{BusTimeout, CopyFault, FaultConfig, FaultInjector, FaultStats};
 pub use machine::Machine;
 pub use mem::{Frame, MemError, MemRegion, PhysMem};
 pub use mmu::{AccessKind, Mmu, MmuFault};

@@ -3,6 +3,7 @@
 use crate::bus::{BusQueue, BusStats};
 use crate::clock::CpuClocks;
 use crate::config::MachineConfig;
+use crate::fault::{BusTimeout, CopyFault, FaultInjector};
 use crate::mem::{Frame, MemRegion, PhysMem};
 use crate::mmu::Mmu;
 use crate::time::{Access, Distance, Ns};
@@ -26,6 +27,9 @@ pub struct Machine {
     pub bus: BusStats,
     /// FCFS bus queue (consulted only when `config.bus_contention`).
     pub bus_queue: BusQueue,
+    /// Deterministic fault source (inert unless `config.faults` enables
+    /// it or a test scripts faults directly).
+    pub fault: FaultInjector,
 }
 
 impl Machine {
@@ -45,6 +49,7 @@ impl Machine {
             clocks: CpuClocks::new(cfg.n_cpus),
             bus: BusStats::default(),
             bus_queue: BusQueue::default(),
+            fault: FaultInjector::new(cfg.faults.clone()),
             config: cfg,
         }
     }
@@ -108,6 +113,42 @@ impl Machine {
         let t = self.config.costs.page_copy(self.config.page_size.bytes());
         self.clocks.charge_system(cpu, t);
         t
+    }
+
+    /// Like [`kernel_copy_page`], but subject to fault injection.
+    ///
+    /// A bus-crossing copy may be aborted by an injected transient
+    /// timeout: the destination is untouched, only the transfer setup
+    /// cost is charged (no data moved, so no bus traffic is recorded),
+    /// and `Err(BusTimeout)` asks the caller to retry. The copy may also
+    /// complete but silently flip one byte of the destination — that
+    /// case still returns `Ok`; only a checksum over the destination can
+    /// reveal it. With fault injection inert this is byte- and
+    /// cost-identical to [`kernel_copy_page`].
+    ///
+    /// [`kernel_copy_page`]: Machine::kernel_copy_page
+    pub fn try_kernel_copy_page(
+        &mut self,
+        cpu: CpuId,
+        src: Frame,
+        dst: Frame,
+    ) -> Result<Ns, BusTimeout> {
+        let crosses_bus = src.region != dst.region;
+        match self.fault.copy_fault(crosses_bus) {
+            Some(CopyFault::BusTimeout) => {
+                let t = self.config.costs.copy_setup;
+                self.clocks.charge_system(cpu, t);
+                Err(BusTimeout)
+            }
+            Some(CopyFault::Corruption) => {
+                let t = self.kernel_copy_page(cpu, src, dst);
+                let (offset, mask) = self.fault.corruption_site(self.config.page_size.bytes());
+                let byte = self.mem.read_u8(dst, offset);
+                self.mem.write_u8(dst, offset, byte ^ mask);
+                Ok(t)
+            }
+            None => Ok(self.kernel_copy_page(cpu, src, dst)),
+        }
     }
 
     /// Zero-fills `frame`, charging `cpu` system time for the stores.
@@ -196,6 +237,56 @@ mod tests {
         m.kernel_zero_page(CpuId(0), l);
         assert_eq!(m.mem.read_u32(l, 0), 0);
         assert!(m.clocks.cpu(CpuId(0)).system > Ns::ZERO);
+    }
+
+    #[test]
+    fn try_copy_without_faults_matches_plain_copy() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        m.mem.write_u32(g, 0, 31);
+        let t = m.try_kernel_copy_page(CpuId(0), g, l).unwrap();
+        assert_eq!(t, m.config.costs.page_copy(m.config.page_size.bytes()));
+        assert_eq!(m.mem.read_u32(l, 0), 31);
+    }
+
+    #[test]
+    fn scripted_bus_timeout_leaves_destination_untouched() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        m.mem.write_u32(g, 0, 7);
+        m.mem.write_u32(l, 0, 99);
+        m.fault.script_copy_fault(crate::fault::CopyFault::BusTimeout);
+        assert_eq!(m.try_kernel_copy_page(CpuId(0), g, l), Err(BusTimeout));
+        // Destination unchanged, no data crossed the bus, but the
+        // aborted transaction's setup time was charged.
+        assert_eq!(m.mem.read_u32(l, 0), 99);
+        assert_eq!(m.bus.copy_word_transfers, 0);
+        assert_eq!(m.clocks.cpu(CpuId(0)).system, m.config.costs.copy_setup);
+        // The retry succeeds.
+        assert_eq!(m.mem.read_u32(l, 0), 99);
+        m.try_kernel_copy_page(CpuId(0), g, l).unwrap();
+        assert_eq!(m.mem.read_u32(l, 0), 7);
+    }
+
+    #[test]
+    fn scripted_corruption_flips_exactly_one_byte() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(1))).unwrap();
+        m.mem.write_u32(g, 0, 0x0101_0101);
+        m.fault.script_copy_fault(crate::fault::CopyFault::Corruption);
+        m.try_kernel_copy_page(CpuId(1), g, l).unwrap();
+        let page = m.config.page_size.bytes();
+        let mut diffs = 0;
+        for off in 0..page {
+            if m.mem.read_u8(g, off) != m.mem.read_u8(l, off) {
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 1, "silent corruption flips exactly one byte");
+        assert_ne!(m.mem.page_checksum(g), m.mem.page_checksum(l));
     }
 
     #[test]

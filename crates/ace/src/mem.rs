@@ -7,6 +7,7 @@
 
 use crate::config::MachineConfig;
 use crate::types::CpuId;
+use std::collections::HashSet;
 use std::fmt;
 
 /// Which memory module a frame lives in.
@@ -100,6 +101,9 @@ pub struct PhysMem {
     page_bytes: usize,
     global: Module,
     locals: Vec<Module>,
+    /// Frames retired after failing an ECC scrub. A quarantined frame is
+    /// never returned to a free list, so it can never be re-allocated.
+    quarantined: HashSet<Frame>,
 }
 
 impl PhysMem {
@@ -109,6 +113,7 @@ impl PhysMem {
             page_bytes: cfg.page_size.bytes(),
             global: Module::new(cfg.global_frames),
             locals: (0..cfg.n_cpus).map(|_| Module::new(cfg.local_frames)).collect(),
+            quarantined: HashSet::new(),
         }
     }
 
@@ -164,12 +169,38 @@ impl PhysMem {
 
     /// Returns a frame to its module's free list.
     pub fn free(&mut self, frame: Frame) {
+        debug_assert!(
+            !self.quarantined.contains(&frame),
+            "freeing quarantined frame {frame:?}"
+        );
         let m = self.module_mut(frame.region);
         debug_assert!(
             !m.free.contains(&frame.index),
             "double free of {frame:?}"
         );
         m.free.push(frame.index);
+    }
+
+    /// Permanently retires an *allocated* frame (a failed ECC scrub).
+    /// The frame is never returned to its free list, so it can never be
+    /// handed out again; the module's capacity shrinks by one page.
+    pub fn quarantine(&mut self, frame: Frame) {
+        let m = self.module(frame.region);
+        debug_assert!(
+            !m.free.contains(&frame.index),
+            "quarantining a free frame {frame:?}"
+        );
+        self.quarantined.insert(frame);
+    }
+
+    /// True if `frame` has been quarantined.
+    pub fn is_quarantined(&self, frame: Frame) -> bool {
+        self.quarantined.contains(&frame)
+    }
+
+    /// Number of quarantined frames in `region`.
+    pub fn quarantined_frames(&self, region: MemRegion) -> usize {
+        self.quarantined.iter().filter(|f| f.region == region).count()
     }
 
     /// Number of free frames in `region`.
@@ -257,6 +288,29 @@ impl PhysMem {
         let page_bytes = self.page_bytes;
         let m = self.module_mut(frame.region);
         m.frames[frame.index as usize] = Some(vec![0u8; page_bytes].into_boxed_slice());
+    }
+
+    /// FNV-1a checksum of the page's current contents. An untouched
+    /// (never-written) frame checksums as a page of zeros, matching what
+    /// a copy of it would contain.
+    pub fn page_checksum(&self, frame: Frame) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let m = self.module(frame.region);
+        let mut h = FNV_OFFSET;
+        match &m.frames[frame.index as usize] {
+            Some(b) => {
+                for &byte in b.iter() {
+                    h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            None => {
+                for _ in 0..self.page_bytes {
+                    h = h.wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        h
     }
 
     /// True if two frames currently hold identical bytes. Used by tests
@@ -354,6 +408,46 @@ mod tests {
         m.write_u32(f, 0, 1);
         m.zero_page(f);
         assert_eq!(m.read_u32(f, 0), 0);
+    }
+
+    #[test]
+    fn quarantined_frame_is_retired_for_good() {
+        let mut m = mem();
+        let region = MemRegion::Local(CpuId(0));
+        let total = m.free_frames(region);
+        let f = m.alloc(region).unwrap();
+        m.quarantine(f);
+        assert!(m.is_quarantined(f));
+        assert_eq!(m.quarantined_frames(region), 1);
+        assert_eq!(m.quarantined_frames(MemRegion::Global), 0);
+        // The frame never returns to the free list; capacity shrank.
+        assert_eq!(m.free_frames(region), total - 1);
+        let mut seen = Vec::new();
+        while let Ok(g) = m.alloc(region) {
+            assert_ne!(g, f, "quarantined frame re-allocated");
+            seen.push(g);
+        }
+        assert_eq!(seen.len(), total - 1);
+    }
+
+    #[test]
+    fn page_checksum_tracks_contents() {
+        let mut m = mem();
+        let a = m.alloc(MemRegion::Global).unwrap();
+        let b = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        // Untouched frames checksum like explicit zero pages.
+        let untouched = m.page_checksum(a);
+        m.zero_page(b);
+        assert_eq!(untouched, m.page_checksum(b));
+        m.write_u32(a, 12, 0xfeed);
+        assert_ne!(m.page_checksum(a), untouched);
+        m.copy_page(a, b);
+        assert_eq!(m.page_checksum(a), m.page_checksum(b));
+        // A single flipped byte is visible.
+        let before = m.page_checksum(b);
+        let byte = m.read_u8(b, 99);
+        m.write_u8(b, 99, byte ^ 0x40);
+        assert_ne!(m.page_checksum(b), before);
     }
 
     #[test]

@@ -205,6 +205,13 @@ impl Mmu {
         }
     }
 
+    /// Iterates over every live translation on this processor (used by
+    /// the kernel's consistency audit to cross-check the MMU against the
+    /// NUMA directory). Order is unspecified.
+    pub fn mappings(&self) -> impl Iterator<Item = ((Asid, Vpn), Mapping)> + '_ {
+        self.map.iter().map(|(&k, &m)| (k, m))
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> MmuStats {
         self.stats

@@ -49,7 +49,7 @@ impl Primes1 {
     fn is_prime_odd(n: u64) -> bool {
         let mut d = 3u64;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 2;
@@ -107,7 +107,7 @@ impl App for Primes1 {
                             }
                             sp += 1;
                             ctx.compute(DIV_COST);
-                            if n % d == 0 {
+                            if n.is_multiple_of(d) {
                                 prime = false;
                                 break;
                             }

@@ -143,7 +143,7 @@ impl App for Primes2 {
                                 break;
                             }
                             ctx.compute(DIV_COST);
-                            if n % d == 0 {
+                            if n.is_multiple_of(d) {
                                 prime = false;
                                 break;
                             }
@@ -216,7 +216,7 @@ impl App for Primes2 {
                             ctx.write_u32(stack + (i % 64) * 4, d as u32);
                             ctx.compute(DIV_COST);
                             let _ = ctx.read_u32(stack + (i % 64) * 4);
-                            if n % d == 0 {
+                            if n.is_multiple_of(d) {
                                 prime = false;
                                 break;
                             }

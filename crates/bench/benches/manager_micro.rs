@@ -20,7 +20,7 @@ fn bench_manager_transitions(c: &mut Criterion) {
             |(mut m, mut mgr)| {
                 let mut pol = MoveLimitPolicy::default();
                 mgr.zero_page(LPageId(1));
-                black_box(mgr.request(&mut m, LPageId(1), Access::Store, CpuId(0), &mut pol));
+                black_box(mgr.request(&mut m, LPageId(1), Access::Store, CpuId(0), &mut pol).unwrap());
             },
             criterion::BatchSize::SmallInput,
         )
@@ -32,12 +32,12 @@ fn bench_manager_transitions(c: &mut Criterion) {
                 let mut mgr = NumaManager::new();
                 let mut pol = AllLocalPolicy;
                 mgr.zero_page(LPageId(1));
-                mgr.request(&mut m, LPageId(1), Access::Store, CpuId(0), &mut pol);
+                mgr.request(&mut m, LPageId(1), Access::Store, CpuId(0), &mut pol).unwrap();
                 (m, mgr)
             },
             |(mut m, mut mgr)| {
                 let mut pol = AllLocalPolicy;
-                black_box(mgr.request(&mut m, LPageId(1), Access::Store, CpuId(1), &mut pol));
+                black_box(mgr.request(&mut m, LPageId(1), Access::Store, CpuId(1), &mut pol).unwrap());
             },
             criterion::BatchSize::SmallInput,
         )

@@ -23,9 +23,15 @@ pub fn banner(title: &str, paper_ref: &str) {
     println!("================================================================");
 }
 
+/// One Table 3 row: (name, t_global, t_numa, t_local, alpha (None = na),
+/// beta, gamma).
+pub type PaperTable3Row = (&'static str, f64, f64, f64, Option<f64>, f64, f64);
+
+/// One Table 4 row: (name, s_numa, s_global, delta_s, t_numa, overhead %).
+pub type PaperTable4Row = (&'static str, f64, f64, Option<f64>, f64, f64);
+
 /// Paper values for Table 3, in row order.
-/// (name, t_global, t_numa, t_local, alpha (None = na), beta, gamma)
-pub const PAPER_TABLE3: [(&str, f64, f64, f64, Option<f64>, f64, f64); 8] = [
+pub const PAPER_TABLE3: [PaperTable3Row; 8] = [
     ("ParMult", 67.4, 67.4, 67.3, None, 0.00, 1.00),
     ("Gfetch", 60.2, 60.2, 26.5, Some(0.0), 1.0, 2.27),
     ("IMatMult", 82.1, 69.0, 68.2, Some(0.94), 0.26, 1.01),
@@ -36,9 +42,8 @@ pub const PAPER_TABLE3: [(&str, f64, f64, f64, Option<f64>, f64, f64); 8] = [
     ("PlyTrace", 56.9, 38.8, 38.0, Some(0.96), 0.50, 1.02),
 ];
 
-/// Paper values for Table 4: (name, s_numa, s_global, delta_s, t_numa,
-/// overhead %).
-pub const PAPER_TABLE4: [(&str, f64, f64, Option<f64>, f64, f64); 5] = [
+/// Paper values for Table 4, in row order.
+pub const PAPER_TABLE4: [PaperTable4Row; 5] = [
     ("IMatMult", 4.5, 1.2, Some(3.3), 82.1, 4.0),
     ("Primes1", 1.4, 2.3, None, 17413.9, 0.0),
     ("Primes2", 29.9, 8.5, Some(21.4), 4972.9, 0.4),

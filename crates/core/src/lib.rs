@@ -54,4 +54,4 @@ pub use policy::{
     ReconsiderPolicy,
 };
 pub use protocol::{plan, ActionPlan, Cleanup, Placement, TableState};
-pub use stats::NumaStats;
+pub use stats::{FaultEvent, NumaStats};

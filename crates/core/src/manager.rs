@@ -13,9 +13,9 @@
 
 use crate::policy::CachePolicy;
 use crate::protocol::{plan, Cleanup, Placement, TableState};
-use crate::stats::NumaStats;
-use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Prot};
-use mach_vm::LPageId;
+use crate::stats::{FaultEvent, NumaStats};
+use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Ns, Prot};
+use mach_vm::{LPageId, NumaError};
 use std::collections::HashMap;
 
 /// Directory state of one logical page (the three states of section
@@ -115,16 +115,33 @@ pub struct Grant {
     pub prot_ceiling: Prot,
 }
 
+/// Outcome of a fault-aware local frame allocation.
+enum LocalAlloc {
+    /// A frame that passed its ECC scrub.
+    Frame(Frame),
+    /// The free list ran dry (possibly after quarantining stragglers).
+    NoFrames,
+    /// The quarantine threshold of consecutive bad frames was hit; the
+    /// memory is considered failing and placement should degrade.
+    BadMemory,
+}
+
 /// The directory and protocol engine.
 pub struct NumaManager {
     pages: HashMap<LPageId, PageInfo>,
     stats: NumaStats,
+    /// Ordered log of recovery actions (empty in a fault-free run).
+    events: Vec<FaultEvent>,
 }
 
 impl NumaManager {
     /// An empty directory.
     pub fn new() -> NumaManager {
-        NumaManager { pages: HashMap::new(), stats: NumaStats::default() }
+        NumaManager {
+            pages: HashMap::new(),
+            stats: NumaStats::default(),
+            events: Vec::new(),
+        }
     }
 
     /// Aggregate statistics.
@@ -132,9 +149,16 @@ impl NumaManager {
         self.stats
     }
 
-    /// Resets aggregate statistics (page state is preserved).
+    /// Resets aggregate statistics and the recovery log (page state is
+    /// preserved).
     pub fn reset_stats(&mut self) {
         self.stats = NumaStats::default();
+        self.events.clear();
+    }
+
+    /// The ordered log of recovery actions taken so far.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.events
     }
 
     /// Directory view of one page.
@@ -188,6 +212,11 @@ impl NumaManager {
     /// `access`; the policy decides LOCAL or GLOBAL and the manager
     /// executes the corresponding cell of Table 1 or 2. Returns the frame
     /// to map and its protection ceiling.
+    ///
+    /// Transient hardware faults (bus timeouts, corrupted copies, bad
+    /// frames) are recovered internally; an error means placement was
+    /// genuinely impossible (retry budget exhausted or no usable frame
+    /// anywhere).
     pub fn request(
         &mut self,
         m: &mut Machine,
@@ -195,7 +224,7 @@ impl NumaManager {
         access: Access,
         cpu: CpuId,
         policy: &mut dyn CachePolicy,
-    ) -> Grant {
+    ) -> Result<Grant, NumaError> {
         self.stats.requests += 1;
         match access {
             Access::Fetch => self.stats.read_requests += 1,
@@ -204,17 +233,32 @@ impl NumaManager {
 
         let mut decision = policy.decide(lpage, access, cpu);
 
-        // A LOCAL decision needs a local frame (unless the requester
-        // already holds a copy); under local memory pressure fall back to
-        // GLOBAL rather than fail.
+        // A LOCAL decision needs a scrubbed local frame (unless the
+        // requester already holds a copy); the frame is reserved up front
+        // so that memory pressure — or failing local memory — can degrade
+        // the decision to GLOBAL rather than fail mid-transition. The
+        // cleanup below never frees frames in the requester's local
+        // region when the requester holds no copy, so reserving early
+        // allocates the same frame a late allocation would.
+        let mut prealloc: Option<Frame> = None;
         if decision == Placement::Local {
             let has_copy = self
                 .pages
                 .get(&lpage)
                 .is_some_and(|p| p.locals.contains_key(&cpu));
-            if !has_copy && m.mem.free_frames(MemRegion::Local(cpu)) == 0 {
-                decision = Placement::Global;
-                self.stats.local_pressure_fallbacks += 1;
+            if !has_copy {
+                match self.alloc_local_scrubbed(m, cpu) {
+                    LocalAlloc::Frame(f) => prealloc = Some(f),
+                    LocalAlloc::NoFrames => {
+                        decision = Placement::Global;
+                        self.stats.local_pressure_fallbacks += 1;
+                    }
+                    LocalAlloc::BadMemory => {
+                        decision = Placement::Global;
+                        self.stats.fault_global_fallbacks += 1;
+                        self.events.push(FaultEvent::DegradedToGlobal { lpage, cpu });
+                    }
+                }
             }
         }
 
@@ -230,7 +274,7 @@ impl NumaManager {
             .or_insert_with(PageInfo::new)
             .state
         {
-            self.leave_remote(m, lpage, host, cpu);
+            self.leave_remote(m, lpage, host, cpu)?;
         }
         let info = self.pages.entry(lpage).or_insert_with(PageInfo::new);
         let table_state = match info.state {
@@ -248,7 +292,7 @@ impl NumaManager {
         // subsume this; for the remaining cases do it explicitly.
         let will_need_global = p.copy_to_local || p.new_state == TableState::GlobalWritable;
         if will_need_global && !self.page(lpage).global_valid && !self.page(lpage).fill_pending() {
-            self.ensure_global_valid(m, lpage, cpu);
+            self.ensure_global_valid(m, lpage, cpu)?;
         }
 
         // 1. Cleanup of previous cache state (top line of the cell).
@@ -258,7 +302,7 @@ impl NumaManager {
             Cleanup::FlushOther => self.flush(m, lpage, cpu, false),
             Cleanup::UnmapAll => self.unmap_global(m, lpage, cpu),
             Cleanup::SyncFlushOwn | Cleanup::SyncFlushOther => {
-                self.ensure_global_valid(m, lpage, cpu);
+                self.ensure_global_valid(m, lpage, cpu)?;
                 self.flush(m, lpage, cpu, true);
             }
             Cleanup::SyncFlushHost | Cleanup::FlushNonHost => {
@@ -269,7 +313,13 @@ impl NumaManager {
         // 2. Copy to local (middle line), satisfied for free if the
         // requester already holds a copy.
         if p.copy_to_local {
-            self.ensure_local_copy(m, lpage, cpu, access);
+            self.ensure_local_copy(m, lpage, cpu, access, &mut prealloc)?;
+        }
+        // Safety net: a reserved frame the transition did not need goes
+        // straight back (does not happen for the current tables, which
+        // always copy-to-local when the requester lacks a copy).
+        if let Some(f) = prealloc.take() {
+            m.mem.free(f);
         }
 
         // 3. New state (bottom line), with move accounting for
@@ -309,7 +359,7 @@ impl NumaManager {
                     .get(&lpage)
                     .and_then(|p| p.locals.get(&cpu))
                     .expect("copy_to_local ensured a replica");
-                Grant { frame, prot_ceiling: Prot::READ }
+                Ok(Grant { frame, prot_ceiling: Prot::READ })
             }
             StateKind::LocalWritable(_) => {
                 let frame = *self
@@ -317,16 +367,111 @@ impl NumaManager {
                     .get(&lpage)
                     .and_then(|p| p.locals.get(&cpu))
                     .expect("copy_to_local ensured the owner copy");
-                Grant { frame, prot_ceiling: Prot::READ_WRITE }
+                Ok(Grant { frame, prot_ceiling: Prot::READ_WRITE })
             }
             StateKind::GlobalWritable => {
-                let frame = self.ensure_global_frame(m, lpage, cpu);
-                Grant { frame, prot_ceiling: Prot::READ_WRITE }
+                let frame = self.ensure_global_frame(m, lpage, cpu)?;
+                Ok(Grant { frame, prot_ceiling: Prot::READ_WRITE })
             }
             StateKind::Fresh | StateKind::RemoteShared(_) => {
                 unreachable!("requests always leave a placed two-level state here")
             }
         }
+    }
+
+    /// Allocates a frame in `cpu`'s local memory, scrubbing it (the ECC
+    /// check-at-allocation model) and quarantining frames that fail.
+    /// Stops after the configured threshold of consecutive bad frames:
+    /// at that point the memory itself is suspect, not the frame.
+    fn alloc_local_scrubbed(&mut self, m: &mut Machine, cpu: CpuId) -> LocalAlloc {
+        let threshold = m.fault.config().quarantine_threshold.max(1);
+        let mut consecutive_bad = 0u32;
+        loop {
+            let Ok(f) = m.mem.alloc(MemRegion::Local(cpu)) else {
+                return LocalAlloc::NoFrames;
+            };
+            if !m.fault.scrub_frame(f) {
+                return LocalAlloc::Frame(f);
+            }
+            // The frame failed its scrub: retire it for good.
+            m.mem.quarantine(f);
+            self.stats.frame_quarantines += 1;
+            self.events.push(FaultEvent::FrameQuarantined { frame: f, cpu });
+            consecutive_bad += 1;
+            if consecutive_bad >= threshold {
+                return LocalAlloc::BadMemory;
+            }
+        }
+    }
+
+    /// Copies `src` to `dst` for `lpage`, riding out transient bus
+    /// timeouts (bounded retries, each charged a linearly growing
+    /// backoff) and silent corruption (detected by comparing the
+    /// destination's checksum against the source's, re-fetching on
+    /// mismatch). In a fault-free run this is exactly one plain copy —
+    /// no checksums, no RNG draws.
+    fn checked_copy(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        cpu: CpuId,
+        src: Frame,
+        dst: Frame,
+    ) -> Result<(), NumaError> {
+        if !m.fault.active() {
+            m.kernel_copy_page(cpu, src, dst);
+            return Ok(());
+        }
+        let expected = m.mem.page_checksum(src);
+        let max_retries = m.fault.config().max_copy_retries;
+        let backoff = m.fault.config().retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match m.try_kernel_copy_page(cpu, src, dst) {
+                Ok(_) => {
+                    if m.mem.page_checksum(dst) == expected {
+                        return Ok(());
+                    }
+                    // Silent corruption caught by the per-page checksum:
+                    // the replica is re-fetched from the authoritative
+                    // copy on the next loop iteration.
+                    self.stats.corruptions_detected += 1;
+                    self.stats.replica_refetches += 1;
+                    self.events.push(FaultEvent::CorruptionDetected { lpage, cpu });
+                }
+                Err(_) => {
+                    self.stats.bus_retries += 1;
+                    self.events.push(FaultEvent::BusTimeoutRetried { lpage, cpu, attempt });
+                    m.clocks.charge_system(cpu, Ns(backoff.0 * attempt as u64));
+                }
+            }
+            if attempt > max_retries {
+                return Err(NumaError::CopyUnrecoverable { lpage, attempts: attempt });
+            }
+        }
+    }
+
+    /// The directory's frame ownership map, for whole-machine audits:
+    /// every frame any page holds, with the page it belongs to and — for
+    /// a local copy private to one processor — the only processor that
+    /// may map it. `None` means any processor may map the frame (global
+    /// frames, and a remote-shared page's host frame).
+    pub fn frame_owners(&self) -> HashMap<Frame, (LPageId, Option<CpuId>)> {
+        let mut owners = HashMap::new();
+        for (&lp, info) in &self.pages {
+            for (&c, &f) in &info.locals {
+                let private = match info.state {
+                    StateKind::RemoteShared(_) => None,
+                    _ => Some(c),
+                };
+                owners.insert(f, (lp, private));
+            }
+            if let Some(g) = info.global {
+                owners.insert(g, (lp, None));
+            }
+        }
+        owners
     }
 
     /// The section 4.4 extension: place (or keep) the page hosted in
@@ -335,7 +480,13 @@ impl NumaManager {
     /// extension" of Tables 1 and 2: establish a single host copy
     /// (syncing any dirty copy first), drop every other copy and
     /// mapping, and grant direct mappings.
-    fn execute_remote(&mut self, m: &mut Machine, lpage: LPageId, host: CpuId, cpu: CpuId) -> Grant {
+    fn execute_remote(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        host: CpuId,
+        cpu: CpuId,
+    ) -> Result<Grant, NumaError> {
         let state = self.page(lpage).state;
         match state {
             StateKind::RemoteShared(h) if h == host => {
@@ -347,23 +498,20 @@ impl NumaManager {
                 if self.page(lpage).fill_pending() {
                     // Fill straight into the host's local memory.
                     self.flush(m, lpage, host, true);
-                    let frame = m
-                        .mem
-                        .alloc(MemRegion::Local(host))
-                        .expect("host local memory has room for the hosted page");
+                    let frame = self.alloc_host_frame(m, host)?;
                     self.apply_fill(m, lpage, frame, cpu);
                     self.page(lpage).locals.insert(host, frame);
                 } else {
-                    self.ensure_global_valid(m, lpage, cpu);
+                    self.ensure_global_valid(m, lpage, cpu)?;
                     self.flush(m, lpage, host, true);
                     self.unmap_global(m, lpage, cpu);
                     if !self.page(lpage).locals.contains_key(&host) {
-                        let frame = m
-                            .mem
-                            .alloc(MemRegion::Local(host))
-                            .expect("host local memory has room for the hosted page");
+                        let frame = self.alloc_host_frame(m, host)?;
                         let src = self.page(lpage).global.expect("validated above");
-                        m.kernel_copy_page(cpu, src, frame);
+                        if let Err(e) = self.checked_copy(m, lpage, cpu, src, frame) {
+                            m.mem.free(frame);
+                            return Err(e);
+                        }
                         self.page(lpage).locals.insert(host, frame);
                     }
                 }
@@ -378,14 +526,31 @@ impl NumaManager {
             .locals
             .get(&host)
             .expect("remote-shared page has its host copy");
-        Grant { frame, prot_ceiling: Prot::READ_WRITE }
+        Ok(Grant { frame, prot_ceiling: Prot::READ_WRITE })
+    }
+
+    /// Allocates a scrubbed frame in `host`'s local memory for a hosted
+    /// page. Unlike a LOCAL placement there is no graceful degradation:
+    /// the caller asked for this specific memory.
+    fn alloc_host_frame(&mut self, m: &mut Machine, host: CpuId) -> Result<Frame, NumaError> {
+        match self.alloc_local_scrubbed(m, host) {
+            LocalAlloc::Frame(f) => Ok(f),
+            LocalAlloc::NoFrames => Err(NumaError::OutOfFrames(MemRegion::Local(host))),
+            LocalAlloc::BadMemory => Err(NumaError::LocalMemoryFailing { cpu: host }),
+        }
     }
 
     /// Demotes a remote-shared page to global-writable (syncing the host
     /// copy back), so the two-level tables apply again.
-    fn leave_remote(&mut self, m: &mut Machine, lpage: LPageId, host: CpuId, cpu: CpuId) {
+    fn leave_remote(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        host: CpuId,
+        cpu: CpuId,
+    ) -> Result<(), NumaError> {
         let _ = host;
-        self.ensure_global_valid(m, lpage, cpu);
+        self.ensure_global_valid(m, lpage, cpu)?;
         // Drop the host frame and every mapping of it, on all cpus.
         let frames: Vec<Frame> = self.page(lpage).locals.values().copied().collect();
         for f in frames {
@@ -399,6 +564,7 @@ impl NumaManager {
         let info = self.page(lpage);
         info.state = StateKind::GlobalWritable;
         debug_assert!(info.global_valid);
+        Ok(())
     }
 
     fn page(&mut self, lpage: LPageId) -> &mut PageInfo {
@@ -408,13 +574,21 @@ impl NumaManager {
     /// Materializes the page's reserved global frame (logical page `i`
     /// corresponds to global frame `i`), zero-filling it if the zero is
     /// still pending.
-    fn ensure_global_frame(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId) -> Frame {
+    fn ensure_global_frame(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        cpu: CpuId,
+    ) -> Result<Frame, NumaError> {
         let info = self.page(lpage);
         if info.global.is_none() {
+            // The pool and global memory are the same size, so the
+            // reserved slot can only be missing if something else claimed
+            // it — surface that as a typed error rather than panicking.
             let f = m
                 .mem
                 .alloc_global_at(lpage.0)
-                .expect("pool and global memory are the same size");
+                .map_err(|_| NumaError::GlobalFrameUnavailable { lpage })?;
             info.global = Some(f);
         }
         let f = info.global.expect("just set");
@@ -425,18 +599,23 @@ impl NumaManager {
             self.apply_fill(m, lpage, f, cpu);
             self.page(lpage).global_valid = true;
         }
-        f
+        Ok(f)
     }
 
     /// Makes the global frame hold current data, syncing from a local
     /// copy if necessary.
-    fn ensure_global_valid(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId) {
+    fn ensure_global_valid(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        cpu: CpuId,
+    ) -> Result<(), NumaError> {
         if self.page(lpage).global_valid {
-            return;
+            return Ok(());
         }
         if self.page(lpage).fill_pending() {
-            self.ensure_global_frame(m, lpage, cpu);
-            return;
+            self.ensure_global_frame(m, lpage, cpu)?;
+            return Ok(());
         }
         // Sync from any existing local copy (the LW owner's, or an RO
         // replica from a lazily zero-filled page).
@@ -447,23 +626,32 @@ impl NumaManager {
             .min_by_key(|(c, _)| c.index())
             .map(|(_, &f)| f);
         let src = src.expect("an invalid global frame implies a local copy exists");
-        let dst = self.ensure_global_frame(m, lpage, cpu);
-        m.kernel_copy_page(cpu, src, dst);
+        let dst = self.ensure_global_frame(m, lpage, cpu)?;
+        self.checked_copy(m, lpage, cpu, src, dst)?;
         self.stats.syncs += 1;
         self.page(lpage).global_valid = true;
+        Ok(())
     }
 
     /// Ensures the requester holds a local copy, allocating and filling
-    /// its frame. Replications (copies serving reads) are counted
-    /// separately from the copy half of a migration.
-    fn ensure_local_copy(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId, access: Access) {
+    /// its frame (or consuming the frame `request` reserved up front).
+    /// Replications (copies serving reads) are counted separately from
+    /// the copy half of a migration.
+    fn ensure_local_copy(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        cpu: CpuId,
+        access: Access,
+        prealloc: &mut Option<Frame>,
+    ) -> Result<(), NumaError> {
         if self.page(lpage).locals.contains_key(&cpu) {
-            return;
+            return Ok(());
         }
-        let frame = m
-            .mem
-            .alloc(MemRegion::Local(cpu))
-            .expect("pressure fallback guaranteed a free local frame");
+        let frame = match prealloc.take() {
+            Some(f) => f,
+            None => self.alloc_host_frame(m, cpu)?,
+        };
         if self.page(lpage).fill_pending() {
             // Lazy fill straight into local memory: the optimization of
             // section 2.3.1 (avoid writing zeros — or paged-in data —
@@ -475,12 +663,16 @@ impl NumaManager {
         } else {
             let src = self.page(lpage).global.expect("global data validated");
             debug_assert!(self.page(lpage).global_valid);
-            m.kernel_copy_page(cpu, src, frame);
+            if let Err(e) = self.checked_copy(m, lpage, cpu, src, frame) {
+                m.mem.free(frame);
+                return Err(e);
+            }
             if access == Access::Fetch {
                 self.stats.replications += 1;
             }
         }
         self.page(lpage).locals.insert(cpu, frame);
+        Ok(())
     }
 
     /// Drops local copies (and their mappings): the paper's "flush". If
@@ -708,13 +900,13 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = MoveLimitPolicy::default();
         mgr.zero_page(L);
-        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut pol).unwrap();
         assert_eq!(g.prot_ceiling, Prot::READ);
         assert!(matches!(g.frame.region, MemRegion::Local(CpuId(0))));
         assert_eq!(mgr.view(L).state, StateKind::ReadOnly);
         assert_eq!(mgr.stats().zero_fill_local, 1);
         // Second processor reads: replica, and global gets synced first.
-        let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol);
+        let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
         assert!(matches!(g2.frame.region, MemRegion::Local(CpuId(1))));
         assert_eq!(mgr.view(L).copies, 2);
         mgr.check_invariants(&mut m, L).unwrap();
@@ -725,7 +917,7 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = MoveLimitPolicy::default();
         mgr.zero_page(L);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(2), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(2), &mut pol).unwrap();
         assert_eq!(g.prot_ceiling, Prot::READ_WRITE);
         assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(2)));
         assert_eq!(mgr.view(L).move_count, 0, "first placement is not a move");
@@ -738,12 +930,12 @@ mod tests {
         let mut pol = MoveLimitPolicy::new(100);
         mgr.zero_page(L);
         // cpu0 writes, then cpu1 writes, alternating; data must follow.
-        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(g0.frame, 0, 11);
-        let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
         assert_eq!(m.mem.read_u32(g1.frame, 0), 11, "content migrated with page");
         m.mem.write_u32(g1.frame, 0, 22);
-        let g0b = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g0b = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         assert_eq!(m.mem.read_u32(g0b.frame, 0), 22);
         assert_eq!(mgr.view(L).move_count, 2);
         assert_eq!(mgr.stats().migrations, 2);
@@ -755,10 +947,10 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = MoveLimitPolicy::default();
         mgr.zero_page(L);
-        let gw = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let gw = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(gw.frame, 8, 77);
         // Another cpu reads: sync&flush other, copy to local, Read-Only.
-        let gr = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol);
+        let gr = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
         assert_eq!(m.mem.read_u32(gr.frame, 8), 77);
         assert_eq!(mgr.view(L).state, StateKind::ReadOnly);
         assert_eq!(mgr.stats().syncs, 1);
@@ -773,13 +965,13 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = AllGlobalPolicy;
         mgr.zero_page(L);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         assert!(g.frame.is_global());
         assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
         assert_eq!(mgr.stats().zero_fill_global, 1);
         m.mem.write_u32(g.frame, 0, 5);
         // Other processors share the same frame directly.
-        let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(3), &mut pol);
+        let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(3), &mut pol).unwrap();
         assert_eq!(g2.frame, g.frame);
         assert_eq!(m.mem.read_u32(g2.frame, 0), 5);
         mgr.check_invariants(&mut m, L).unwrap();
@@ -790,16 +982,16 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = MoveLimitPolicy::new(1);
         mgr.zero_page(L);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(g.frame, 0, 1);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol); // move 1
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap(); // move 1
         m.mem.write_u32(g.frame, 0, 2);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol); // move 2
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap(); // move 2
         m.mem.write_u32(g.frame, 0, 3);
         // The policy decides from *past* moves: with 2 moves recorded and
         // threshold 1, the next request is answered GLOBAL and pins the
         // page.
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
         assert!(g.frame.is_global());
         assert_eq!(m.mem.read_u32(g.frame, 0), 3, "data synced to global");
         assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
@@ -814,10 +1006,10 @@ mod tests {
         let mut pol = MoveLimitPolicy::default();
         mgr.zero_page(L);
         for c in 0..3 {
-            mgr.request(&mut m, L, Access::Fetch, CpuId(c), &mut pol);
+            mgr.request(&mut m, L, Access::Fetch, CpuId(c), &mut pol).unwrap();
         }
         assert_eq!(mgr.view(L).copies, 3);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
         assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
         assert_eq!(mgr.view(L).copies, 1, "other replicas flushed");
         assert!(matches!(g.frame.region, MemRegion::Local(CpuId(1))));
@@ -836,11 +1028,11 @@ mod tests {
         let b = LPageId(1);
         mgr.zero_page(a);
         mgr.zero_page(b);
-        let ga = mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol);
+        let ga = mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol).unwrap();
         assert!(!ga.frame.is_global());
         // cpu0's single local frame is taken; the next page must fall
         // back to global despite the LOCAL decision.
-        let gb = mgr.request(&mut m, b, Access::Store, CpuId(0), &mut pol);
+        let gb = mgr.request(&mut m, b, Access::Store, CpuId(0), &mut pol).unwrap();
         assert!(gb.frame.is_global());
         assert_eq!(mgr.stats().local_pressure_fallbacks, 1);
     }
@@ -850,8 +1042,8 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = MoveLimitPolicy::new(0);
         mgr.zero_page(L);
-        mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
-        mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
         let free_l0 = m.mem.free_frames(MemRegion::Local(CpuId(0)));
         let free_g = m.mem.free_frames(MemRegion::Global);
         mgr.release_page(&mut m, L);
@@ -868,9 +1060,9 @@ mod tests {
         // reaches after a page has been global.
         let (mut m, mut mgr) = setup();
         mgr.zero_page(L);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut AllGlobalPolicy);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut AllGlobalPolicy).unwrap();
         m.mem.write_u32(g.frame, 0, 9);
-        let l = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut AllLocalPolicy);
+        let l = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut AllLocalPolicy).unwrap();
         assert!(!l.frame.is_global());
         assert_eq!(m.mem.read_u32(l.frame, 0), 9);
         assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
@@ -897,10 +1089,10 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = RemotePol(CpuId(2));
         mgr.zero_page(L);
-        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         assert_eq!(g0.frame.region, MemRegion::Local(CpuId(2)));
         m.mem.write_u32(g0.frame, 0, 123);
-        let g1 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol);
+        let g1 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
         assert_eq!(g1.frame, g0.frame, "everyone maps the host frame");
         assert_eq!(m.mem.read_u32(g1.frame, 0), 123);
         assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(2)));
@@ -935,12 +1127,12 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = RemoteThenLocal { first: true };
         mgr.zero_page(L);
-        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(g.frame, 4, 77);
         assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(3)));
         // Next request decides Local: the page leaves the extension
         // state (host copy synced) and migrates to the requester.
-        let g2 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        let g2 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
         assert_eq!(g2.frame.region, MemRegion::Local(CpuId(1)));
         assert_eq!(m.mem.read_u32(g2.frame, 4), 77, "host copy synced");
         assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
@@ -964,9 +1156,9 @@ mod tests {
         let (mut m, mut mgr) = setup();
         let mut pol = Rehost;
         mgr.zero_page(L);
-        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol);
+        let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(g0.frame, 0, 5);
-        let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol);
+        let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
         assert_eq!(g1.frame.region, MemRegion::Local(CpuId(1)));
         assert_eq!(m.mem.read_u32(g1.frame, 0), 5, "content follows the host");
         assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(1)));
@@ -980,10 +1172,10 @@ mod tests {
         // global stale) then forced global must not lose its zeros.
         let (mut m, mut mgr) = setup();
         mgr.zero_page(L);
-        let l = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut AllLocalPolicy);
+        let l = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut AllLocalPolicy).unwrap();
         assert!(!mgr.view(L).global_valid);
         m.mem.write_u32(l.frame, 0, 0); // Replica content is zeros anyway.
-        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut AllGlobalPolicy);
+        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut AllGlobalPolicy).unwrap();
         assert!(g.frame.is_global());
         assert_eq!(m.mem.read_u32(g.frame, 0), 0);
         assert!(mgr.view(L).global_valid);

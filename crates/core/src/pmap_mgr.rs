@@ -15,10 +15,10 @@
 
 use crate::manager::{NumaManager, PageView};
 use crate::policy::CachePolicy;
-use crate::stats::NumaStats;
+use crate::stats::{FaultEvent, NumaStats};
 use ace_machine::mmu::Asid;
 use ace_machine::{Access, CpuId, Machine, Prot};
-use mach_vm::{FreeTag, LPageId, NumaPmap};
+use mach_vm::{FreeTag, LPageId, NumaError, NumaPmap};
 use std::collections::HashMap;
 
 /// The ACE pmap layer: pmap manager + NUMA manager + NUMA policy.
@@ -89,6 +89,12 @@ impl AcePmap {
         self.manager.view(lpage)
     }
 
+    /// The ordered log of recovery actions taken so far (empty in a
+    /// fault-free run).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.manager.fault_events()
+    }
+
     /// The NUMA manager (read access for invariant checks).
     pub fn manager(&self) -> &NumaManager {
         &self.manager
@@ -153,16 +159,17 @@ impl NumaPmap for AcePmap {
         min_prot: Prot,
         max_prot: Prot,
         cpu: CpuId,
-    ) {
+    ) -> Result<(), NumaError> {
         debug_assert!(min_prot != Prot::NONE && min_prot.min(max_prot) == min_prot);
         let access = if min_prot.allows_write() { Access::Store } else { Access::Fetch };
-        let grant = self.manager.request(m, lpage, access, cpu, self.policy.as_mut());
+        let grant = self.manager.request(m, lpage, access, cpu, self.policy.as_mut())?;
         // Strictest permissions that resolve the fault: the protocol's
         // ceiling intersected with what the user may legally hold.
         let prot = grant.prot_ceiling.min(max_prot);
         debug_assert!(prot.min(min_prot) == min_prot, "grant must satisfy the fault");
         m.mmu(cpu).enter(asid, vpn, grant.frame, prot);
         self.apply_reconsiderations(m);
+        Ok(())
     }
 
     fn pmap_protect(

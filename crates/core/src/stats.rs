@@ -1,5 +1,8 @@
 //! Counters kept by the NUMA layer.
 
+use ace_machine::{CpuId, Frame};
+use mach_vm::LPageId;
+
 /// Aggregate statistics of the NUMA manager and pmap manager.
 ///
 /// These are the quantities section 3.3 of the paper reasons about
@@ -42,6 +45,18 @@ pub struct NumaStats {
     pub lazy_free_syncs: u64,
     /// Transitions into the Remote-Shared extension state (section 4.4).
     pub to_remote: u64,
+    /// Page copies retried after a transient bus timeout.
+    pub bus_retries: u64,
+    /// Local frames retired for good after failing their ECC scrub.
+    pub frame_quarantines: u64,
+    /// Page copies whose checksum did not match the source.
+    pub corruptions_detected: u64,
+    /// Replicas re-fetched from the authoritative copy after a checksum
+    /// mismatch.
+    pub replica_refetches: u64,
+    /// LOCAL decisions degraded to GLOBAL because the target local
+    /// memory kept producing bad frames.
+    pub fault_global_fallbacks: u64,
 }
 
 impl NumaStats {
@@ -49,6 +64,54 @@ impl NumaStats {
     pub fn total_page_copies(&self) -> u64 {
         self.replications + self.migrations + self.syncs
     }
+
+    /// Total recovery actions taken in response to injected hardware
+    /// faults. Zero in a fault-free run.
+    pub fn recovery_actions(&self) -> u64 {
+        self.bus_retries
+            + self.frame_quarantines
+            + self.replica_refetches
+            + self.fault_global_fallbacks
+    }
+}
+
+/// One recovery action taken by the NUMA manager, in the order it
+/// happened. The log complements the aggregate counters: tests assert on
+/// exact sequences, the report prints totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A bus-crossing copy timed out and was retried with backoff.
+    BusTimeoutRetried {
+        /// The page being copied.
+        lpage: LPageId,
+        /// The processor charged for the retry.
+        cpu: CpuId,
+        /// Which attempt (1-based) timed out.
+        attempt: u32,
+    },
+    /// A local frame failed its ECC scrub and was retired for good.
+    FrameQuarantined {
+        /// The retired frame.
+        frame: Frame,
+        /// The processor whose local memory lost the frame.
+        cpu: CpuId,
+    },
+    /// A copied replica failed its checksum and was re-fetched from the
+    /// authoritative copy.
+    CorruptionDetected {
+        /// The page whose replica was corrupted.
+        lpage: LPageId,
+        /// The processor the replica was for.
+        cpu: CpuId,
+    },
+    /// A LOCAL placement was degraded to GLOBAL because the target
+    /// local memory kept producing bad frames.
+    DegradedToGlobal {
+        /// The page placed globally instead.
+        lpage: LPageId,
+        /// The processor whose local memory is failing.
+        cpu: CpuId,
+    },
 }
 
 #[cfg(test)]

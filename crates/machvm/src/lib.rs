@@ -32,6 +32,6 @@ pub mod state;
 pub use addr::VAddr;
 pub use map::{VmEntry, VmMap};
 pub use object::{VmObject, VmObjectId};
-pub use pmap::{FreeTag, NullPmap, NumaPmap};
+pub use pmap::{FreeTag, NullPmap, NumaError, NumaPmap};
 pub use pool::{LPageId, LogicalPool};
 pub use state::{TaskId, VmError, VmState};

@@ -22,12 +22,63 @@
 
 use crate::pool::LPageId;
 use ace_machine::mmu::Asid;
-use ace_machine::{CpuId, Machine, Prot};
+use ace_machine::{CpuId, Machine, MemRegion, Prot};
+use std::fmt;
 
 /// Opaque token returned by `pmap_free_page`, consumed by
 /// `pmap_free_page_sync` when the logical page is reallocated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct FreeTag(pub u64);
+
+/// Unrecoverable failures of the machine-dependent placement layer.
+///
+/// These are the cases the NUMA pmap's recovery machinery could not hide:
+/// retries exhausted, every candidate frame bad, or an allocation
+/// invariant broken. They surface through `pmap_enter` so the
+/// machine-independent fault path can fail the faulting access cleanly
+/// instead of panicking inside the protocol engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NumaError {
+    /// The region has no allocatable (non-quarantined) frames left.
+    OutOfFrames(MemRegion),
+    /// A page copy kept failing past the retry budget.
+    CopyUnrecoverable {
+        /// The page whose copy failed.
+        lpage: LPageId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A processor's local memory produced bad frames past the
+    /// quarantine threshold and no fallback placement was possible.
+    LocalMemoryFailing {
+        /// The processor whose local memory is failing.
+        cpu: CpuId,
+    },
+    /// The page's reserved global frame could not be materialized.
+    GlobalFrameUnavailable {
+        /// The page whose global frame is missing.
+        lpage: LPageId,
+    },
+}
+
+impl fmt::Display for NumaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumaError::OutOfFrames(r) => write!(f, "no allocatable frames in {r:?}"),
+            NumaError::CopyUnrecoverable { lpage, attempts } => {
+                write!(f, "copy of {lpage:?} failed after {attempts} attempts")
+            }
+            NumaError::LocalMemoryFailing { cpu } => {
+                write!(f, "{cpu}'s local memory keeps failing ECC scrub")
+            }
+            NumaError::GlobalFrameUnavailable { lpage } => {
+                write!(f, "global frame for {lpage:?} unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumaError {}
 
 /// The machine-dependent physical map layer.
 ///
@@ -49,7 +100,9 @@ pub trait NumaPmap {
     /// access; `max_prot` is the loosest protection the user may hold.
     /// The implementation chooses an actual protection between the two
     /// (inclusive) and may place, replicate, migrate or pin the page in
-    /// the process.
+    /// the process. Fails only when placement is genuinely impossible
+    /// (see [`NumaError`]); transient hardware faults are recovered
+    /// internally.
     #[allow(clippy::too_many_arguments)]
     fn pmap_enter(
         &mut self,
@@ -60,7 +113,7 @@ pub trait NumaPmap {
         min_prot: Prot,
         max_prot: Prot,
         cpu: CpuId,
-    );
+    ) -> Result<(), NumaError>;
 
     /// Tightens the protection of any existing translations for
     /// `[start_vpn, start_vpn + npages)` in `asid` on all processors.
@@ -133,12 +186,18 @@ impl NullPmap {
 
     /// Ensures the global frame for `lpage` exists, zero-filling if
     /// required.
-    fn materialize(&mut self, m: &mut Machine, lpage: LPageId, cpu: CpuId) -> ace_machine::Frame {
+    fn materialize(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        cpu: CpuId,
+    ) -> Result<ace_machine::Frame, NumaError> {
         let frame = ace_machine::Frame::global(lpage.0);
-        if self.materialized.insert(lpage) {
-            m.mem
-                .alloc_global_at(lpage.0)
-                .expect("logical page pool and global memory are the same size");
+        if self.materialized.insert(lpage) && m.mem.alloc_global_at(lpage.0).is_err() {
+            // The pool and global memory are the same size, so this
+            // only happens if the frame is unexpectedly occupied.
+            self.materialized.remove(&lpage);
+            return Err(NumaError::GlobalFrameUnavailable { lpage });
         }
         if self.needs_zero.remove(&lpage) {
             m.kernel_zero_page(cpu, frame);
@@ -147,7 +206,7 @@ impl NullPmap {
             m.mem.write_bytes(frame, 0, &data);
             m.clocks.charge_system(cpu, m.config.costs.page_copy(data.len()));
         }
-        frame
+        Ok(frame)
     }
 }
 
@@ -179,12 +238,13 @@ impl NumaPmap for NullPmap {
         min_prot: Prot,
         max_prot: Prot,
         cpu: CpuId,
-    ) {
-        let frame = self.materialize(m, lpage, cpu);
+    ) -> Result<(), NumaError> {
+        let frame = self.materialize(m, lpage, cpu)?;
         // A non-NUMA pmap maps with maximum permissions to avoid
         // subsequent faults (the paper notes this explicitly).
         let _ = min_prot;
         m.mmu(cpu).enter(asid, vpn, frame, max_prot);
+        Ok(())
     }
 
     fn pmap_protect(&mut self, m: &mut Machine, asid: Asid, start_vpn: u64, npages: u64, prot: Prot) {
@@ -274,12 +334,12 @@ mod tests {
         let asid = p.pmap_create();
         let lp = LPageId(5);
         p.pmap_zero_page(lp);
-        p.pmap_enter(&mut m, asid, 100, lp, Prot::READ, Prot::READ_WRITE, CpuId(0));
+        p.pmap_enter(&mut m, asid, 100, lp, Prot::READ, Prot::READ_WRITE, CpuId(0)).unwrap();
         let f = m.mmu(CpuId(0)).translate(asid, 100, Access::Store).unwrap();
         assert_eq!(f, ace_machine::Frame::global(5));
         // Zero fill happened exactly once.
         assert_eq!(m.mem.read_u32(f, 0), 0);
-        p.pmap_enter(&mut m, asid, 100, lp, Prot::READ, Prot::READ_WRITE, CpuId(1));
+        p.pmap_enter(&mut m, asid, 100, lp, Prot::READ, Prot::READ_WRITE, CpuId(1)).unwrap();
         assert!(m.mmu(CpuId(1)).probe(asid, 100).is_some());
     }
 
@@ -290,7 +350,7 @@ mod tests {
         let asid = p.pmap_create();
         let lp = LPageId(3);
         let before = m.mem.free_frames(ace_machine::MemRegion::Global);
-        p.pmap_enter(&mut m, asid, 7, lp, Prot::READ, Prot::READ, CpuId(0));
+        p.pmap_enter(&mut m, asid, 7, lp, Prot::READ, Prot::READ, CpuId(0)).unwrap();
         assert_eq!(m.mem.free_frames(ace_machine::MemRegion::Global), before - 1);
         let tag = p.pmap_free_page(&mut m, lp);
         p.pmap_free_page_sync(&mut m, tag);

@@ -3,7 +3,7 @@
 
 use crate::map::{MapError, VmEntry, VmMap};
 use crate::object::{VmObject, VmObjectId};
-use crate::pmap::{FreeTag, NumaPmap};
+use crate::pmap::{FreeTag, NumaError, NumaPmap};
 use crate::pool::{LPageId, LogicalPool, PageOwner, PoolExhausted};
 use crate::VAddr;
 use ace_machine::mmu::Asid;
@@ -35,6 +35,8 @@ pub enum VmError {
     Map(MapError),
     /// Unknown task.
     BadTask(TaskId),
+    /// The NUMA placement layer failed unrecoverably.
+    Numa(NumaError),
 }
 
 impl fmt::Display for VmError {
@@ -45,6 +47,7 @@ impl fmt::Display for VmError {
             VmError::OutOfLogicalMemory => write!(f, "logical page pool exhausted"),
             VmError::Map(e) => write!(f, "map operation failed: {e:?}"),
             VmError::BadTask(t) => write!(f, "no such task {t:?}"),
+            VmError::Numa(e) => write!(f, "NUMA placement failed: {e}"),
         }
     }
 }
@@ -60,6 +63,12 @@ impl From<MapError> for VmError {
 impl From<PoolExhausted> for VmError {
     fn from(_: PoolExhausted) -> Self {
         VmError::OutOfLogicalMemory
+    }
+}
+
+impl From<NumaError> for VmError {
+    fn from(e: NumaError) -> Self {
+        VmError::Numa(e)
     }
 }
 
@@ -324,7 +333,7 @@ impl VmState {
                 lp
             }
         };
-        pmap.pmap_enter(m, asid, vpn, lpage, need_prot, entry.prot, cpu);
+        pmap.pmap_enter(m, asid, vpn, lpage, need_prot, entry.prot, cpu)?;
         Ok(())
     }
 
@@ -460,7 +469,7 @@ mod tests {
     #[test]
     fn fault_outside_any_entry_is_no_entry() {
         let (mut m, mut vm, mut pmap, task) = setup();
-        let r = vm.fault(&mut m, &mut pmap, task, VAddr(0xdead_000), Prot::READ, CpuId(0));
+        let r = vm.fault(&mut m, &mut pmap, task, VAddr(0x0dea_d000), Prot::READ, CpuId(0));
         assert!(matches!(r, Err(VmError::NoEntry(_))));
     }
 

@@ -118,6 +118,7 @@ impl Simulator {
             refs: k.refs,
             numa: k.pmap.stats(),
             bus: k.machine.bus,
+            faults: k.machine.fault.stats(),
         }
     }
 }

@@ -401,13 +401,42 @@ impl Kernel {
     }
 
     /// Verifies directory/replica invariants for every page the NUMA
-    /// layer knows about.
+    /// layer knows about, then cross-checks the manager's directory
+    /// against every MMU's live mappings: no processor may map a frame
+    /// the directory does not account for, a quarantined frame, or
+    /// another processor's private local copy.
     pub fn check_consistency(&mut self) -> Result<(), String> {
         let pages: Vec<_> = self.pmap.manager().known_pages().collect();
         for p in pages {
             // `pmap` and `machine` are disjoint fields, so the shared and
             // mutable borrows below do not alias.
             self.pmap.manager().check_invariants(&mut self.machine, p)?;
+        }
+        // Directory <-> MMU audit.
+        let owners = self.pmap.manager().frame_owners();
+        for i in 0..self.machine.n_cpus() {
+            for ((asid, vpn), mapping) in self.machine.mmus[i].mappings() {
+                let f = mapping.frame;
+                if self.machine.mem.is_quarantined(f) {
+                    return Err(format!(
+                        "cpu{i} maps quarantined frame {f:?} (asid {asid}, vpn {vpn})"
+                    ));
+                }
+                match owners.get(&f) {
+                    None => {
+                        return Err(format!(
+                            "cpu{i} maps frame {f:?} (asid {asid}, vpn {vpn}) \
+                             unknown to the NUMA directory"
+                        ));
+                    }
+                    Some(&(lpage, Some(owner))) if owner.index() != i => {
+                        return Err(format!(
+                            "cpu{i} maps {lpage:?}'s private copy {f:?} owned by {owner}"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
         }
         Ok(())
     }

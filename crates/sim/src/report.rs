@@ -1,7 +1,7 @@
 //! Results of one simulation run.
 
 use crate::kernel::RefCounters;
-use ace_machine::{BusStats, CpuTime, Ns};
+use ace_machine::{BusStats, CpuTime, FaultStats, Ns};
 use numa_core::NumaStats;
 use std::fmt;
 
@@ -18,6 +18,8 @@ pub struct RunReport {
     pub numa: NumaStats,
     /// IPC bus traffic.
     pub bus: BusStats,
+    /// Hardware faults injected by the machine's fault injector.
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -77,7 +79,25 @@ impl fmt::Display for RunReport {
             self.numa.migrations,
             self.numa.syncs,
             self.numa.pins
-        )
+        )?;
+        // The recovery line only appears when something actually went
+        // wrong: fault-free runs print exactly as before.
+        if self.faults.any() || self.numa.recovery_actions() > 0 {
+            write!(
+                f,
+                "\n  faults: {} bus timeouts / {} bad frames / {} corruptions; \
+                 recovered with {} retries, {} quarantines, {} refetches, \
+                 {} global fallbacks",
+                self.faults.bus_timeouts,
+                self.faults.bad_frames,
+                self.faults.corruptions,
+                self.numa.bus_retries,
+                self.numa.frame_quarantines,
+                self.numa.replica_refetches,
+                self.numa.fault_global_fallbacks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -96,6 +116,7 @@ mod tests {
             refs: RefCounters { local: 3, global: 1, remote: 0 },
             numa: NumaStats::default(),
             bus: BusStats::default(),
+            faults: FaultStats::default(),
         };
         assert_eq!(r.total_user(), Ns(150));
         assert_eq!(r.total_system(), Ns(80));
@@ -103,5 +124,6 @@ mod tests {
         assert!((r.alpha_measured() - 0.75).abs() < 1e-12);
         let s = format!("{r}");
         assert!(s.contains("[test]"));
+        assert!(!s.contains("faults:"), "fault-free reports omit the recovery line");
     }
 }

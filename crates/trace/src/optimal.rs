@@ -50,12 +50,7 @@ pub fn optimal_cost(trace: &Trace, costs: &CostModel, page_bytes: usize) -> Opti
     for e in &trace.events {
         let vpn = trace.vpn_of(e);
         per_page_events.entry(vpn).or_default().push((e.cpu, e.kind, e.words));
-        let d = match e.dist {
-            Distance::Local => Distance::Local,
-            Distance::Global => Distance::Global,
-            Distance::Remote => Distance::Remote,
-        };
-        actual_ref_cost += costs.access(e.kind, d) * e.words;
+        actual_ref_cost += costs.access(e.kind, e.dist) * e.words;
     }
     let copy = costs.page_copy(page_bytes);
     let mut per_page = HashMap::new();

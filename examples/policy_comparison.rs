@@ -13,8 +13,10 @@ use numa_repro::sim::{SimConfig, Simulator};
 
 const CPUS: usize = 4;
 
+type PolicyCtor = Box<dyn FnOnce() -> Box<dyn CachePolicy>>;
+
 fn main() {
-    let policies: Vec<(&str, Box<dyn FnOnce() -> Box<dyn CachePolicy>>)> = vec![
+    let policies: Vec<(&str, PolicyCtor)> = vec![
         ("move-limit(4)", Box::new(|| Box::new(MoveLimitPolicy::default()))),
         ("move-limit(0)", Box::new(|| Box::new(MoveLimitPolicy::new(0)))),
         ("all-global", Box::new(|| Box::new(AllGlobalPolicy))),

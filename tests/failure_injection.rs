@@ -156,3 +156,197 @@ fn sibling_threads_survive_engine_shutdown() {
     sim.run();
     assert_eq!(sim.with_kernel(|k| k.peek_u32(a)), 7);
 }
+
+// ---------------------------------------------------------------------------
+// Injected hardware faults: the deterministic fault injector drives bus
+// timeouts, bad frames and silent corruption through the NUMA manager's
+// recovery paths. All schedules are seeded, so every run is identical.
+// ---------------------------------------------------------------------------
+
+use numa_repro::machine::{Access, CopyFault, FaultConfig, MemRegion};
+use numa_repro::numa::{FaultEvent, NumaManager};
+use numa_repro::vm::LPageId;
+
+/// Transient bus timeouts are retried (with backoff charged as system
+/// time) and never change application-visible data.
+#[test]
+fn bus_timeouts_are_transparent_to_applications() {
+    let mut cfg = SimConfig::small(2);
+    cfg.machine.faults = FaultConfig {
+        seed: 42,
+        bus_timeout_rate: 0.2,
+        ..FaultConfig::disabled()
+    };
+    let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+    let page = 256u64;
+    let a = sim.alloc(8 * page, Prot::READ_WRITE);
+    for t in 0..2u64 {
+        sim.spawn(format!("worker-{t}"), move |ctx| {
+            for round in 0..4u64 {
+                for i in 0..8u64 {
+                    let addr = a + i * page + t * 8;
+                    ctx.write_u32(addr, (100 * t + 10 * round + i) as u32);
+                    assert_eq!(ctx.read_u32(addr), (100 * t + 10 * round + i) as u32);
+                }
+            }
+        });
+    }
+    let r = sim.run();
+    assert!(r.faults.bus_timeouts > 0, "the 20% timeout rate must fire");
+    assert!(r.numa.bus_retries > 0, "every timeout is retried");
+    // The final data is exactly what the last round wrote.
+    for t in 0..2u64 {
+        for i in 0..8u64 {
+            let got = sim.with_kernel(|k| k.peek_u32(a + i * page + t * 8));
+            assert_eq!(got, (100 * t + 30 + i) as u32);
+        }
+    }
+    sim.with_kernel(|k| k.check_consistency()).unwrap();
+}
+
+/// A frame that fails its ECC scrub is quarantined and never handed out
+/// again, no matter how much allocation pressure follows.
+#[test]
+fn quarantined_frame_is_never_reallocated() {
+    let mut m = Machine::new(MachineConfig::small(2));
+    let mut mgr = NumaManager::new();
+    let mut pol = numa_repro::numa::AllLocalPolicy;
+    // Find the frame the first local allocation would return, and
+    // declare it bad.
+    let bad = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+    m.mem.free(bad);
+    m.fault.script_bad_frame(bad);
+    let lp = LPageId(3);
+    mgr.zero_page(lp);
+    let g = mgr.request(&mut m, lp, Access::Store, CpuId(0), &mut pol).unwrap();
+    assert_ne!(g.frame, bad, "the bad frame must not serve the request");
+    assert!(m.mem.is_quarantined(bad));
+    assert_eq!(mgr.stats().frame_quarantines, 1);
+    assert!(mgr
+        .fault_events()
+        .contains(&FaultEvent::FrameQuarantined { frame: bad, cpu: CpuId(0) }));
+    // Drain the entire free list: the quarantined frame never reappears.
+    let mut drained = Vec::new();
+    while let Ok(f) = m.mem.alloc(MemRegion::Local(CpuId(0))) {
+        drained.push(f);
+    }
+    assert!(!drained.contains(&bad), "quarantined frame was re-allocated");
+    // And the NUMA-granted frame is accounted for (not in the free list).
+    assert!(!drained.contains(&g.frame));
+}
+
+/// The same seed produces byte-for-byte the same run: identical NUMA
+/// statistics, identical injected-fault counts, identical data.
+#[test]
+fn same_seed_gives_identical_stats() {
+    let run = || {
+        let mut cfg = SimConfig::small(2);
+        cfg.machine.faults = FaultConfig {
+            seed: 7,
+            bus_timeout_rate: 0.15,
+            corruption_rate: 0.1,
+            bad_frame_rate: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+        let page = 256u64;
+        let a = sim.alloc(8 * page, Prot::READ_WRITE);
+        for t in 0..2u64 {
+            sim.spawn(format!("worker-{t}"), move |ctx| {
+                for i in 0..8u64 {
+                    ctx.write_u32(a + i * page + t * 8, (t * 1000 + i) as u32);
+                    let _ = ctx.read_u32(a + ((i + 3) % 8) * page + t * 8);
+                }
+            });
+        }
+        let r = sim.run();
+        let data: Vec<u32> =
+            (0..8u64).map(|i| sim.with_kernel(|k| k.peek_u32(a + i * page))).collect();
+        sim.with_kernel(|k| k.check_consistency()).unwrap();
+        (r.numa, r.faults, r.refs, data)
+    };
+    let (numa1, faults1, refs1, data1) = run();
+    let (numa2, faults2, refs2, data2) = run();
+    assert_eq!(numa1, numa2, "NUMA stats must be deterministic");
+    assert_eq!(faults1, faults2, "injected faults must be deterministic");
+    assert_eq!(refs1, refs2);
+    assert_eq!(data1, data2);
+    assert!(faults1.any(), "the chosen rates must actually inject faults");
+}
+
+/// With every fault rate zero the injector is inert: a run is identical
+/// to one with the fault subsystem left at its default, seed included.
+#[test]
+fn zero_rates_change_nothing() {
+    let run = |faults: FaultConfig| {
+        let mut cfg = SimConfig::small(2);
+        cfg.machine.faults = faults;
+        let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+        let page = 256u64;
+        let a = sim.alloc(4 * page, Prot::READ_WRITE);
+        sim.spawn("w", move |ctx| {
+            for i in 0..4u64 {
+                ctx.write_u32(a + i * page, i as u32);
+                assert_eq!(ctx.read_u32(a + i * page), i as u32);
+            }
+        });
+        let r = sim.run();
+        let data: Vec<u32> =
+            (0..4u64).map(|i| sim.with_kernel(|k| k.peek_u32(a + i * page))).collect();
+        (r.numa, r.refs, r.cpu_times, data)
+    };
+    let baseline = run(FaultConfig::disabled());
+    let zeroed = run(FaultConfig { seed: 0xdead_beef, ..FaultConfig::disabled() });
+    assert_eq!(baseline.0, zeroed.0, "stats must match with all rates zero");
+    assert_eq!(baseline.1, zeroed.1);
+    assert_eq!(baseline.2, zeroed.2, "virtual time must match exactly");
+    assert_eq!(baseline.3, zeroed.3);
+}
+
+/// End-to-end recovery: a scripted schedule of bus timeouts, one bad
+/// frame and one corrupted copy, all hit during normal paging activity.
+/// The application's data survives, the recovery counters record each
+/// action, and the full directory/MMU consistency audit passes.
+#[test]
+fn scripted_fault_storm_recovers_end_to_end() {
+    let mut sim =
+        Simulator::new(SimConfig::small(2), Box::new(MoveLimitPolicy::default()));
+    let page = 256u64;
+    let a = sim.alloc(2 * page, Prot::READ_WRITE);
+    // Phase 1 (fault-free): a writer dirties both pages on one cpu.
+    sim.spawn("writer", move |ctx| {
+        ctx.write_u32(a, 0x1111);
+        ctx.write_u32(a + page, 0x2222);
+    });
+    sim.run();
+    // Inject the storm: the next bus-crossing copy times out, the retry
+    // is silently corrupted (caught by checksum, refetched), and the
+    // reader cpu's first local frame fails its scrub.
+    sim.with_kernel(|k| {
+        k.machine.fault.script_copy_fault(CopyFault::BusTimeout);
+        k.machine.fault.script_copy_fault(CopyFault::Corruption);
+        let c1 = CpuId(1);
+        let bad = k.machine.mem.alloc(MemRegion::Local(c1)).unwrap();
+        k.machine.mem.free(bad);
+        k.machine.fault.script_bad_frame(bad);
+    });
+    // Phase 2: a reader on the other cpu pulls both pages over, forcing
+    // sync + replication copies through the scripted faults.
+    sim.spawn("reader", move |ctx| {
+        assert_eq!(ctx.read_u32(a), 0x1111);
+        assert_eq!(ctx.read_u32(a + page), 0x2222);
+    });
+    let r = sim.run();
+    assert!(r.faults.bus_timeouts >= 1);
+    assert!(r.faults.corruptions >= 1);
+    assert!(r.faults.bad_frames >= 1);
+    assert!(r.numa.bus_retries >= 1, "timeout was retried");
+    assert!(r.numa.corruptions_detected >= 1, "checksum caught the corruption");
+    assert!(r.numa.replica_refetches >= 1, "corrupted copy was refetched");
+    assert!(r.numa.frame_quarantines >= 1, "bad frame was quarantined");
+    // The data is still exactly what the writer stored.
+    assert_eq!(sim.with_kernel(|k| k.peek_u32(a)), 0x1111);
+    assert_eq!(sim.with_kernel(|k| k.peek_u32(a + page)), 0x2222);
+    // Directory invariants AND the directory/MMU cross-check hold.
+    sim.with_kernel(|k| k.check_consistency()).unwrap();
+}

@@ -7,7 +7,9 @@ use numa_repro::apps::{
 use numa_repro::numa::{AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy};
 use numa_repro::sim::{SimConfig, Simulator};
 
-fn policies() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn CachePolicy>>)> {
+type PolicyCtor = Box<dyn Fn() -> Box<dyn CachePolicy>>;
+
+fn policies() -> Vec<(&'static str, PolicyCtor)> {
     vec![
         ("move-limit", Box::new(|| Box::new(MoveLimitPolicy::default()))),
         ("all-global", Box::new(|| Box::new(AllGlobalPolicy))),

@@ -139,7 +139,7 @@ proptest! {
                 mgr.zero_page(lpage);
             }
             let kind = if is_write { Access::Store } else { Access::Fetch };
-            let grant = mgr.request(&mut m, lpage, kind, cpu, &mut pol);
+            let grant = mgr.request(&mut m, lpage, kind, cpu, &mut pol).unwrap();
             if is_write {
                 m.mem.write_u32(grant.frame, 0, value);
                 shadow.insert(page, value);
@@ -149,7 +149,7 @@ proptest! {
                 prop_assert_eq!(got, want, "page {} on {}", page, cpu);
             }
             mgr.check_invariants(&mut m, lpage).map_err(
-                |e| TestCaseError::fail(e))?;
+                TestCaseError::fail)?;
             // A pinned page must be global-writable.
             if pol.is_pinned(lpage) {
                 prop_assert_eq!(mgr.view(lpage).state, StateKind::GlobalWritable);
@@ -196,7 +196,7 @@ proptest! {
                 mgr.zero_page(lpage);
             }
             let kind = if is_write { Access::Store } else { Access::Fetch };
-            let grant = mgr.request(&mut m, lpage, kind, cpu, &mut pol);
+            let grant = mgr.request(&mut m, lpage, kind, cpu, &mut pol).unwrap();
             if is_write {
                 m.mem.write_u32(grant.frame, 0, value);
                 shadow.insert(page, value);
@@ -206,7 +206,7 @@ proptest! {
                 prop_assert_eq!(got, want, "page {} on {}", page, cpu);
             }
             mgr.check_invariants(&mut m, lpage).map_err(
-                |e| TestCaseError::fail(e))?;
+                TestCaseError::fail)?;
         }
     }
 

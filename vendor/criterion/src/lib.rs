@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/builder surface this workspace's benches use.
+//! There is no statistical analysis: each benchmark closure runs a
+//! small fixed number of iterations and one mean wall-clock time is
+//! printed. That keeps `cargo bench` working (and fast) without any
+//! network dependency; treat the numbers as smoke-test indications,
+//! not measurements.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// How per-iteration setup output is batched. Ignored here: every
+/// iteration runs its own setup, outside the timed section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values, many per batch upstream.
+    SmallInput,
+    /// Large setup values, one per batch upstream.
+    LargeInput,
+    /// One setup value per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stub always runs exactly
+    /// `sample_size` iterations regardless of how long they take.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; there is no warm-up phase.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO, timed: 0 };
+        f(&mut b);
+        let mean = if b.timed > 0 { b.elapsed / b.timed as u32 } else { Duration::ZERO };
+        println!("bench {name:<50} {mean:>12.3?}/iter ({} iters)", b.timed);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; drives the iteration loop.
+pub struct Bencher {
+    iters: usize,
+    elapsed: Duration,
+    timed: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.timed += 1;
+        }
+    }
+
+    /// Times `routine` with a fresh untimed `setup` value per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.timed += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions; supports both the plain
+/// and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_configured_iterations() {
+        let mut c = Criterion::default().sample_size(4);
+        let runs = std::cell::Cell::new(0);
+        c.bench_function("stub/self_test", |b| {
+            b.iter(|| runs.set(runs.get() + 1));
+        });
+        assert_eq!(runs.get(), 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default().sample_size(3);
+        let setups = std::cell::Cell::new(0);
+        let routines = std::cell::Cell::new(0);
+        c.bench_function("stub/batched", |b| {
+            b.iter_batched(
+                || setups.set(setups.get() + 1),
+                |_| routines.set(routines.get() + 1),
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!((setups.get(), routines.get()), (3, 3));
+    }
+}
