@@ -41,7 +41,7 @@ pub use bus::{BusQueue, BusStats};
 pub use clock::{CpuClocks, CpuTime};
 pub use config::{MachineConfig, PageSize};
 pub use fault::{BusTimeout, CopyFault, FaultConfig, FaultInjector, FaultStats};
-pub use machine::Machine;
+pub use machine::{Machine, MachineEvent, MachineTap};
 pub use mem::{Frame, MemError, MemRegion, PhysMem};
 pub use mmu::{AccessKind, Mmu, MmuFault};
 pub use prot::Prot;

@@ -9,6 +9,80 @@ use crate::mmu::Mmu;
 use crate::time::{Access, Distance, Ns};
 use crate::types::CpuId;
 
+/// A hardware-level occurrence, reported through the machine's tap (see
+/// [`Machine::set_tap`]). The machine speaks in frames and regions — it
+/// knows nothing about logical pages or policies; the layers above
+/// translate these into their own vocabulary.
+///
+/// Every variant carries the acting processor and that processor's
+/// virtual clock *after* the cost was charged, so a tap sees a
+/// monotonically non-decreasing clock per processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// A memory access was charged.
+    Access {
+        /// The referencing processor.
+        cpu: CpuId,
+        /// Fetch or store.
+        kind: Access,
+        /// Where the reference was served from.
+        dist: Distance,
+        /// Width in 32-bit words.
+        words: u64,
+        /// The processor's clock after the charge.
+        t: Ns,
+    },
+    /// A whole page was copied.
+    PageCopy {
+        /// The processor charged for the copy.
+        cpu: CpuId,
+        /// Source region.
+        from: MemRegion,
+        /// Destination region.
+        to: MemRegion,
+        /// The processor's clock after the charge.
+        t: Ns,
+    },
+    /// A page copy was aborted by an injected bus timeout.
+    CopyTimeout {
+        /// The processor charged for the aborted transfer.
+        cpu: CpuId,
+        /// Source region.
+        from: MemRegion,
+        /// Destination region.
+        to: MemRegion,
+        /// The processor's clock after the charge.
+        t: Ns,
+    },
+    /// A frame was zero-filled.
+    PageZero {
+        /// The processor charged for the stores.
+        cpu: CpuId,
+        /// The zeroed frame's region.
+        region: MemRegion,
+        /// The processor's clock after the charge.
+        t: Ns,
+    },
+    /// The fixed fault overhead was charged.
+    FaultOverhead {
+        /// The faulting processor.
+        cpu: CpuId,
+        /// The processor's clock after the charge.
+        t: Ns,
+    },
+    /// A shootdown was charged.
+    Shootdown {
+        /// The processor charged (the requester, not the victim).
+        cpu: CpuId,
+        /// The processor's clock after the charge.
+        t: Ns,
+    },
+}
+
+/// The machine's event tap: a closure invoked synchronously at each
+/// charge site. `None` (the default) costs one branch per site.
+pub type MachineTap = Box<dyn FnMut(MachineEvent) + Send>;
+
 /// One simulated ACE: physical memory, one MMU per processor, per-
 /// processor clocks and bus accounting.
 ///
@@ -30,6 +104,8 @@ pub struct Machine {
     /// Deterministic fault source (inert unless `config.faults` enables
     /// it or a test scripts faults directly).
     pub fault: FaultInjector,
+    /// Optional event tap; see [`Machine::set_tap`].
+    tap: Option<MachineTap>,
 }
 
 impl Machine {
@@ -50,7 +126,28 @@ impl Machine {
             bus: BusStats::default(),
             bus_queue: BusQueue::default(),
             fault: FaultInjector::new(cfg.faults.clone()),
+            tap: None,
             config: cfg,
+        }
+    }
+
+    /// Installs an event tap. The tap is called synchronously at every
+    /// charge site, *after* the cost has been charged; it observes the
+    /// machine but never affects timing, so a run with a tap installed
+    /// is cost-identical to one without.
+    pub fn set_tap(&mut self, tap: MachineTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes and returns the event tap, if any.
+    pub fn take_tap(&mut self) -> Option<MachineTap> {
+        self.tap.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: MachineEvent) {
+        if let Some(tap) = self.tap.as_mut() {
+            tap(event);
         }
     }
 
@@ -97,6 +194,10 @@ impl Machine {
             t += self.bus_queue.acquire(now, words);
         }
         self.clocks.charge_user(cpu, t);
+        if self.tap.is_some() {
+            let now = self.clocks.cpu(cpu).total();
+            self.emit(MachineEvent::Access { cpu, kind, dist, words, t: now });
+        }
         t
     }
 
@@ -112,6 +213,10 @@ impl Machine {
         }
         let t = self.config.costs.page_copy(self.config.page_size.bytes());
         self.clocks.charge_system(cpu, t);
+        if self.tap.is_some() {
+            let now = self.clocks.cpu(cpu).total();
+            self.emit(MachineEvent::PageCopy { cpu, from: src.region, to: dst.region, t: now });
+        }
         t
     }
 
@@ -138,6 +243,15 @@ impl Machine {
             Some(CopyFault::BusTimeout) => {
                 let t = self.config.costs.copy_setup;
                 self.clocks.charge_system(cpu, t);
+                if self.tap.is_some() {
+                    let now = self.clocks.cpu(cpu).total();
+                    self.emit(MachineEvent::CopyTimeout {
+                        cpu,
+                        from: src.region,
+                        to: dst.region,
+                        t: now,
+                    });
+                }
                 Err(BusTimeout)
             }
             Some(CopyFault::Corruption) => {
@@ -158,6 +272,10 @@ impl Machine {
         let dist = self.distance(cpu, frame.region);
         let t = self.config.costs.access(Access::Store, dist) * words;
         self.clocks.charge_system(cpu, t);
+        if self.tap.is_some() {
+            let now = self.clocks.cpu(cpu).total();
+            self.emit(MachineEvent::PageZero { cpu, region: frame.region, t: now });
+        }
         t
     }
 
@@ -165,12 +283,20 @@ impl Machine {
     pub fn charge_fault_overhead(&mut self, cpu: CpuId) {
         let t = self.config.costs.fault_overhead;
         self.clocks.charge_system(cpu, t);
+        if self.tap.is_some() {
+            let now = self.clocks.cpu(cpu).total();
+            self.emit(MachineEvent::FaultOverhead { cpu, t: now });
+        }
     }
 
     /// Charges the cost of removing a mapping on another processor.
     pub fn charge_shootdown(&mut self, cpu: CpuId) {
         let t = self.config.costs.shootdown;
         self.clocks.charge_system(cpu, t);
+        if self.tap.is_some() {
+            let now = self.clocks.cpu(cpu).total();
+            self.emit(MachineEvent::Shootdown { cpu, t: now });
+        }
     }
 }
 
@@ -287,6 +413,53 @@ mod tests {
         }
         assert_eq!(diffs, 1, "silent corruption flips exactly one byte");
         assert_ne!(m.mem.page_checksum(g), m.mem.page_checksum(l));
+    }
+
+    #[test]
+    fn tap_observes_charges_without_changing_costs() {
+        use std::sync::{Arc, Mutex};
+        let mut plain = machine();
+        let mut tapped = machine();
+        let log: Arc<Mutex<Vec<MachineEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let events = log.clone();
+        tapped.set_tap(Box::new(move |e| events.lock().unwrap().push(e)));
+        for m in [&mut plain, &mut tapped] {
+            let g = m.mem.alloc(MemRegion::Global).unwrap();
+            let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+            m.charge_access(CpuId(0), Access::Fetch, g, 2);
+            m.kernel_copy_page(CpuId(0), g, l);
+            m.kernel_zero_page(CpuId(0), l);
+            m.charge_fault_overhead(CpuId(0));
+            m.charge_shootdown(CpuId(0));
+        }
+        // The tap observes but never charges.
+        assert_eq!(plain.clocks.cpu(CpuId(0)).total(), tapped.clocks.cpu(CpuId(0)).total());
+        assert_eq!(plain.bus.total_bytes(), tapped.bus.total_bytes());
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 5);
+        assert!(matches!(
+            log[0],
+            MachineEvent::Access { kind: Access::Fetch, dist: Distance::Global, words: 2, .. }
+        ));
+        assert!(matches!(log[1], MachineEvent::PageCopy { .. }));
+        assert!(matches!(log[4], MachineEvent::Shootdown { .. }));
+    }
+
+    #[test]
+    fn tap_sees_copy_timeouts() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let events = log.clone();
+        m.set_tap(Box::new(move |e| events.lock().unwrap().push(e)));
+        m.fault.script_copy_fault(crate::fault::CopyFault::BusTimeout);
+        assert_eq!(m.try_kernel_copy_page(CpuId(0), g, l), Err(BusTimeout));
+        m.try_kernel_copy_page(CpuId(0), g, l).unwrap();
+        let log = log.lock().unwrap();
+        assert!(matches!(log[0], MachineEvent::CopyTimeout { .. }));
+        assert!(matches!(log[1], MachineEvent::PageCopy { .. }));
+        assert!(m.take_tap().is_some());
     }
 
     #[test]

@@ -16,7 +16,28 @@ use crate::protocol::{plan, Cleanup, Placement, TableState};
 use crate::stats::{FaultEvent, NumaStats};
 use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Ns, Prot};
 use mach_vm::{LPageId, NumaError};
+use numa_metrics::events::{self, Event, EventKind, RecoveryAction, SharedSink};
 use std::collections::HashMap;
+
+/// Translates a directory state into the event schema's mirror enum.
+fn ev_state(s: StateKind) -> events::PageState {
+    match s {
+        StateKind::Fresh => events::PageState::Fresh,
+        StateKind::ReadOnly => events::PageState::ReadOnly,
+        StateKind::LocalWritable(c) => events::PageState::LocalWritable(c),
+        StateKind::GlobalWritable => events::PageState::GlobalWritable,
+        StateKind::RemoteShared(c) => events::PageState::RemoteShared(c),
+    }
+}
+
+/// Translates a policy placement into the event schema's mirror enum.
+fn ev_decision(p: Placement) -> events::Decision {
+    match p {
+        Placement::Local => events::Decision::Local,
+        Placement::Global => events::Decision::Global,
+        Placement::RemoteAt(c) => events::Decision::RemoteAt(c),
+    }
+}
 
 /// Directory state of one logical page (the three states of section
 /// 2.3.1, plus `Fresh` for pages that have never been placed anywhere
@@ -132,6 +153,8 @@ pub struct NumaManager {
     stats: NumaStats,
     /// Ordered log of recovery actions (empty in a fault-free run).
     events: Vec<FaultEvent>,
+    /// Optional structured event sink; see [`NumaManager::set_event_sink`].
+    sink: Option<SharedSink>,
 }
 
 impl NumaManager {
@@ -141,6 +164,31 @@ impl NumaManager {
             pages: HashMap::new(),
             stats: NumaStats::default(),
             events: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Installs a structured event sink. Every protocol action — policy
+    /// decisions, state transitions, moves, replications, pins, fault
+    /// recovery — is reported to it, stamped with the acting processor's
+    /// virtual clock. The sink observes but never charges time, so a run
+    /// with a sink installed is cost-identical to one without.
+    pub fn set_event_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes the structured event sink, if any.
+    pub fn clear_event_sink(&mut self) -> Option<SharedSink> {
+        self.sink.take()
+    }
+
+    /// Reports one event to the sink, stamped with `cpu`'s current
+    /// virtual clock. Must be called with no outstanding borrow of page
+    /// state (compute inside the borrow, emit after).
+    pub(crate) fn emit(&self, m: &Machine, cpu: CpuId, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            let t = m.clocks.cpu(cpu).total();
+            sink.lock().expect("event sink poisoned").record(&Event { t, cpu, kind });
         }
     }
 
@@ -232,6 +280,11 @@ impl NumaManager {
         }
 
         let mut decision = policy.decide(lpage, access, cpu);
+        self.emit(
+            m,
+            cpu,
+            EventKind::PolicyDecision { lpage, access, decision: ev_decision(decision) },
+        );
 
         // A LOCAL decision needs a scrubbed local frame (unless the
         // requester already holds a copy); the frame is reserved up front
@@ -257,6 +310,14 @@ impl NumaManager {
                         decision = Placement::Global;
                         self.stats.fault_global_fallbacks += 1;
                         self.events.push(FaultEvent::DegradedToGlobal { lpage, cpu });
+                        self.emit(
+                            m,
+                            cpu,
+                            EventKind::Recovery {
+                                lpage: Some(lpage),
+                                action: RecoveryAction::DegradedToGlobal,
+                            },
+                        );
                     }
                 }
             }
@@ -323,7 +384,8 @@ impl NumaManager {
         }
 
         // 3. New state (bottom line), with move accounting for
-        // write-induced ownership transfers.
+        // write-induced ownership transfers. Events are computed inside
+        // the directory borrow and reported after it ends.
         let info = self.pages.get_mut(&lpage).expect("entry created above");
         let new_state = match p.new_state {
             TableState::ReadOnly => StateKind::ReadOnly,
@@ -333,11 +395,15 @@ impl NumaManager {
                 unreachable!("plans never target another node or the extension state")
             }
         };
+        let prev_state = info.state;
+        let mut moved: Option<(CpuId, u32)> = None;
+        let mut pinned_moves: Option<u32> = None;
         if let StateKind::LocalWritable(owner) = new_state {
             if info.last_owner.is_some() && info.last_owner != Some(owner) {
                 info.move_count += 1;
                 self.stats.migrations += 1;
                 policy.on_move(lpage);
+                moved = Some((owner, info.move_count));
             }
             info.last_owner = Some(owner);
             // The owner's local copy is now the truth.
@@ -347,9 +413,27 @@ impl NumaManager {
             self.stats.to_global += 1;
             if decision == Placement::Global && info.move_count > 0 {
                 self.stats.pins += 1;
+                pinned_moves = Some(info.move_count);
             }
         }
         info.state = new_state;
+        if let Some((to, moves)) = moved {
+            self.emit(m, cpu, EventKind::Moved { lpage, to, moves });
+        }
+        if let Some(moves) = pinned_moves {
+            self.emit(m, cpu, EventKind::Pinned { lpage, moves });
+        }
+        if prev_state != new_state {
+            self.emit(
+                m,
+                cpu,
+                EventKind::StateChanged {
+                    lpage,
+                    from: ev_state(prev_state),
+                    to: ev_state(new_state),
+                },
+            );
+        }
 
         // Materialize the grant.
         match new_state {
@@ -397,6 +481,14 @@ impl NumaManager {
             m.mem.quarantine(f);
             self.stats.frame_quarantines += 1;
             self.events.push(FaultEvent::FrameQuarantined { frame: f, cpu });
+            self.emit(
+                m,
+                cpu,
+                EventKind::Recovery {
+                    lpage: None,
+                    action: RecoveryAction::FrameQuarantined { frame: f },
+                },
+            );
             consecutive_bad += 1;
             if consecutive_bad >= threshold {
                 return LocalAlloc::BadMemory;
@@ -439,11 +531,27 @@ impl NumaManager {
                     self.stats.corruptions_detected += 1;
                     self.stats.replica_refetches += 1;
                     self.events.push(FaultEvent::CorruptionDetected { lpage, cpu });
+                    self.emit(
+                        m,
+                        cpu,
+                        EventKind::Recovery {
+                            lpage: Some(lpage),
+                            action: RecoveryAction::CorruptionRefetched,
+                        },
+                    );
                 }
                 Err(_) => {
                     self.stats.bus_retries += 1;
                     self.events.push(FaultEvent::BusTimeoutRetried { lpage, cpu, attempt });
                     m.clocks.charge_system(cpu, Ns(backoff.0 * attempt as u64));
+                    self.emit(
+                        m,
+                        cpu,
+                        EventKind::Recovery {
+                            lpage: Some(lpage),
+                            action: RecoveryAction::BusRetry { attempt },
+                        },
+                    );
                 }
             }
             if attempt > max_retries {
@@ -519,6 +627,15 @@ impl NumaManager {
                 info.state = StateKind::RemoteShared(host);
                 info.global_valid = false;
                 self.stats.to_remote += 1;
+                self.emit(
+                    m,
+                    cpu,
+                    EventKind::StateChanged {
+                        lpage,
+                        from: ev_state(state),
+                        to: ev_state(StateKind::RemoteShared(host)),
+                    },
+                );
             }
         }
         let frame = *self
@@ -562,8 +679,18 @@ impl NumaManager {
         }
         self.page(lpage).locals.clear();
         let info = self.page(lpage);
+        let prev = info.state;
         info.state = StateKind::GlobalWritable;
         debug_assert!(info.global_valid);
+        self.emit(
+            m,
+            cpu,
+            EventKind::StateChanged {
+                lpage,
+                from: ev_state(prev),
+                to: ev_state(StateKind::GlobalWritable),
+            },
+        );
         Ok(())
     }
 
@@ -669,6 +796,7 @@ impl NumaManager {
             }
             if access == Access::Fetch {
                 self.stats.replications += 1;
+                self.emit(m, cpu, EventKind::Replicated { lpage, at: cpu });
             }
         }
         self.page(lpage).locals.insert(cpu, frame);
@@ -744,6 +872,9 @@ impl NumaManager {
             if let Some(g) = info.global {
                 m.mem.free(g);
             }
+            // Frees happen in kernel context with no requesting
+            // processor; stamp them with the master processor.
+            self.emit(m, CpuId(0), EventKind::Freed { lpage });
         }
     }
 
@@ -1082,9 +1213,6 @@ mod tests {
             fn decide(&mut self, _: LPageId, _: Access, _: CpuId) -> Placement {
                 Placement::RemoteAt(self.0)
             }
-            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-                self
-            }
         }
         let (mut m, mut mgr) = setup();
         let mut pol = RemotePol(CpuId(2));
@@ -1120,9 +1248,6 @@ mod tests {
                     Placement::Local
                 }
             }
-            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-                self
-            }
         }
         let (mut m, mut mgr) = setup();
         let mut pol = RemoteThenLocal { first: true };
@@ -1148,9 +1273,6 @@ mod tests {
             }
             fn decide(&mut self, _: LPageId, _: Access, cpu: CpuId) -> Placement {
                 Placement::RemoteAt(cpu)
-            }
-            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-                self
             }
         }
         let (mut m, mut mgr) = setup();

@@ -19,6 +19,7 @@ use crate::stats::{FaultEvent, NumaStats};
 use ace_machine::mmu::Asid;
 use ace_machine::{Access, CpuId, Machine, Prot};
 use mach_vm::{FreeTag, LPageId, NumaError, NumaPmap};
+use numa_metrics::events::EventKind;
 use std::collections::HashMap;
 
 /// The ACE pmap layer: pmap manager + NUMA manager + NUMA policy.
@@ -50,9 +51,18 @@ impl AcePmap {
         self.policy.name()
     }
 
-    /// Mutable access to the concrete policy, if it has type `P`.
-    pub fn policy_as<P: 'static>(&mut self) -> Option<&mut P> {
-        self.policy.as_any_mut().downcast_mut::<P>()
+    /// Number of pages the policy currently holds pinned, or `None` for
+    /// policies that never pin.
+    pub fn pinned_count(&self) -> Option<usize> {
+        self.policy.pinned_count()
+    }
+
+    /// Installs a structured event sink on the NUMA manager (see
+    /// [`NumaManager::set_event_sink`]); pmap-level actions (daemon
+    /// ticks, reconsiderations, map entries) are reported through the
+    /// same sink.
+    pub fn set_event_sink(&mut self, sink: numa_metrics::events::SharedSink) {
+        self.manager.set_event_sink(sink);
     }
 
     /// Applies a placement pragma for one logical page, dropping the
@@ -115,6 +125,9 @@ impl AcePmap {
     /// Periodic daemon tick: lets the policy age its state and applies
     /// any pin reconsiderations it queues.
     pub fn timer_tick(&mut self, m: &mut Machine) {
+        // Daemon work runs in kernel context with no requesting
+        // processor; its events are stamped with the master processor.
+        self.manager.emit(m, CpuId(0), EventKind::DaemonTick);
         self.policy.on_tick();
         self.apply_reconsiderations(m);
     }
@@ -133,6 +146,7 @@ impl AcePmap {
     fn apply_reconsiderations(&mut self, m: &mut Machine) {
         for lpage in self.policy.take_reconsiderations() {
             self.manager.drop_all_mappings(m, lpage);
+            self.manager.emit(m, CpuId(0), EventKind::Reconsidered { lpage });
         }
     }
 }
@@ -168,6 +182,7 @@ impl NumaPmap for AcePmap {
         let prot = grant.prot_ceiling.min(max_prot);
         debug_assert!(prot.min(min_prot) == min_prot, "grant must satisfy the fault");
         m.mmu(cpu).enter(asid, vpn, grant.frame, prot);
+        self.manager.emit(m, cpu, EventKind::MapEntered { lpage });
         self.apply_reconsiderations(m);
         Ok(())
     }
@@ -373,15 +388,14 @@ mod tests {
             2,
         );
         let addr = r.vm.vm_allocate(r.task, 64, Prot::READ_WRITE).unwrap();
-        // Touch once so the logical page exists, then hint it.
+        // Touch once so the logical page exists, then hint it through
+        // the typed pragma entry point (no downcasting).
         r.fault(addr, Prot::READ, CpuId(0));
         let lp = r.lpage(addr);
-        r.pmap
-            .policy_as::<PragmaPolicy<MoveLimitPolicy>>()
-            .unwrap()
-            .set_hint(lp, Placement::Global);
+        assert!(r.pmap.set_pragma(&mut r.m, lp, Placement::Global));
         r.fault(addr, Prot::READ_WRITE, CpuId(1));
         assert_eq!(r.pmap.view(lp).state, StateKind::GlobalWritable);
+        assert_eq!(r.pmap.pinned_count(), Some(0), "pragma placement is not a pin");
     }
 
     #[test]

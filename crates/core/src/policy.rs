@@ -51,9 +51,12 @@ pub trait CachePolicy: Send {
     /// pageout daemon): policies that age state hook this.
     fn on_tick(&mut self) {}
 
-    /// Downcast hook so callers holding a `dyn CachePolicy` can reach a
-    /// concrete policy (e.g. to set pragmas or read pin counts).
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+    /// Number of pages this policy currently holds pinned in global
+    /// memory, or `None` if the policy does not pin (the default).
+    /// Wrapper policies forward to their inner policy.
+    fn pinned_count(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The paper's policy (section 2.3.2): pages start cacheable and are
@@ -123,8 +126,8 @@ impl CachePolicy for MoveLimitPolicy {
         "move-limit"
     }
 
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
+    fn pinned_count(&self) -> Option<usize> {
+        Some(self.pinned.len())
     }
 
     fn decide(&mut self, lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
@@ -155,10 +158,6 @@ impl CachePolicy for AllGlobalPolicy {
         "all-global"
     }
 
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
     fn decide(&mut self, _lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
         Placement::Global
     }
@@ -173,10 +172,6 @@ pub struct AllLocalPolicy;
 impl CachePolicy for AllLocalPolicy {
     fn name(&self) -> &'static str {
         "all-local"
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 
     fn decide(&mut self, _lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
@@ -199,11 +194,6 @@ impl<P: CachePolicy + 'static> PragmaPolicy<P> {
         PragmaPolicy { hints: HashMap::new(), inner }
     }
 
-    /// Sets the hint for one logical page.
-    pub fn set_hint(&mut self, lpage: LPageId, placement: Placement) {
-        self.hints.insert(lpage, placement);
-    }
-
     /// Removes the hint for one logical page.
     pub fn clear_hint(&mut self, lpage: LPageId) {
         self.hints.remove(&lpage);
@@ -221,12 +211,8 @@ impl<P: CachePolicy + 'static> CachePolicy for PragmaPolicy<P> {
     }
 
     fn set_hint(&mut self, lpage: LPageId, placement: Placement) -> bool {
-        PragmaPolicy::set_hint(self, lpage, placement);
+        self.hints.insert(lpage, placement);
         true
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 
     fn decide(&mut self, lpage: LPageId, access: Access, cpu: CpuId) -> Placement {
@@ -247,6 +233,16 @@ impl<P: CachePolicy + 'static> CachePolicy for PragmaPolicy<P> {
 
     fn take_reconsiderations(&mut self) -> Vec<LPageId> {
         self.inner.take_reconsiderations()
+    }
+
+    fn on_tick(&mut self) {
+        // Forwarding the tick is what lets an aging inner policy (e.g.
+        // ReconsiderPolicy) keep aging underneath a pragma layer.
+        self.inner.on_tick();
+    }
+
+    fn pinned_count(&self) -> Option<usize> {
+        self.inner.pinned_count()
     }
 }
 
@@ -295,8 +291,8 @@ impl CachePolicy for ReconsiderPolicy {
         "reconsider"
     }
 
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
+    fn pinned_count(&self) -> Option<usize> {
+        Some(self.base.pinned_count())
     }
 
     fn decide(&mut self, lpage: LPageId, access: Access, cpu: CpuId) -> Placement {
@@ -406,6 +402,33 @@ mod tests {
         p.set_hint(L, Placement::Local);
         p.on_free(L);
         assert_eq!(decide(&mut p), Placement::Global);
+    }
+
+    #[test]
+    fn pragma_over_reconsider_composes() {
+        // Regression: PragmaPolicy used to swallow daemon ticks, so a
+        // wrapped ReconsiderPolicy never aged its pins and pinned pages
+        // stayed pinned forever.
+        let mut p = PragmaPolicy::new(ReconsiderPolicy::new(0, 2));
+        p.on_move(L);
+        assert_eq!(decide(&mut p), Placement::Global); // Pinned via inner.
+        assert_eq!(p.pinned_count(), Some(1));
+        assert!(p.set_hint(LPageId(5), Placement::Global), "pragma accepts hints");
+        p.on_tick();
+        p.on_tick();
+        assert_eq!(p.take_reconsiderations(), vec![L], "ticks reach the inner policy");
+        assert_eq!(p.pinned_count(), Some(0));
+        assert_eq!(decide(&mut p), Placement::Local, "released page is cacheable again");
+        // The hint set through the trait still overrides.
+        assert_eq!(p.decide(LPageId(5), Access::Store, CPU), Placement::Global);
+    }
+
+    #[test]
+    fn pinned_count_is_none_for_non_pinning_policies() {
+        assert_eq!(CachePolicy::pinned_count(&AllGlobalPolicy), None);
+        assert_eq!(CachePolicy::pinned_count(&AllLocalPolicy), None);
+        let ml = MoveLimitPolicy::new(0);
+        assert_eq!(CachePolicy::pinned_count(&ml), Some(0));
     }
 
     #[test]

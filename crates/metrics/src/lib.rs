@@ -19,9 +19,25 @@
 //!
 //! [`Model::solve`] implements (4), (5) and gamma (1); [`table`] renders
 //! aligned ASCII tables for the evaluation harness.
+//!
+//! This crate is also the home of the observability pipeline:
+//!
+//! * [`events`] — the unified structured [`Event`] stream and the
+//!   [`EventSink`] trait every layer of the simulator emits into;
+//! * [`telemetry`] — [`Telemetry`], an aggregating sink producing
+//!   per-page lifecycles, histograms, and per-CPU reference timelines;
+//! * [`json`] — the dependency-free [`Json`] serializer (and
+//!   [`validate`] checker) behind every machine-readable report.
 
+pub mod events;
+pub mod json;
 pub mod model;
 pub mod table;
+pub mod telemetry;
 
+pub use events::{Decision, Event, EventKind, EventSink, PageState, RecoveryAction, SharedSink,
+                 VecSink, shared};
+pub use json::{Json, validate};
 pub use model::{Model, ModelError};
 pub use table::Table;
+pub use telemetry::{Histogram, PageLifecycle, Telemetry};

@@ -1,0 +1,501 @@
+//! Aggregation over the event stream: per-page lifecycle histories,
+//! move-count and fault-recovery-latency histograms, and per-CPU
+//! reference timelines.
+//!
+//! [`Telemetry`] is an [`EventSink`]; install one (via
+//! [`crate::events::shared`]) and every aggregate here is maintained
+//! incrementally as the simulation runs. All output is deterministic:
+//! pages serialize sorted by id, processors by index, and nothing
+//! depends on wall-clock time or hash iteration order.
+
+use crate::events::{Event, EventKind, EventSink, RecoveryAction};
+use crate::json::Json;
+use ace_machine::{Distance, Ns};
+use std::collections::HashMap;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts exact zeros; bucket `i ≥ 1` counts samples in
+/// `[2^(i-1), 2^i)`. This keeps the histogram tiny (≤ 65 buckets)
+/// while spanning the ten orders of magnitude between a one-word
+/// access and a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.samples += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Serializes as `{samples, mean, max, buckets: [{lo, hi, n}]}`,
+    /// omitting empty buckets.
+    pub fn to_json(&self) -> Json {
+        let mut buckets = Vec::new();
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = if i == 0 { (0u64, 0u64) } else { (1u64 << (i - 1), (1u64 << i) - 1) };
+            buckets.push(Json::obj().field("lo", lo).field("hi", hi).field("n", n));
+        }
+        Json::obj()
+            .field("samples", self.samples)
+            .field("mean", self.mean())
+            .field("max", self.max)
+            .field("buckets", buckets)
+    }
+}
+
+/// The life of one logical page, reconstructed from its events:
+/// allocation (first sight), replications, moves, pinning,
+/// reconsideration, and release.
+#[derive(Clone, Debug, Default)]
+pub struct PageLifecycle {
+    /// Virtual time of the first event mentioning this page.
+    pub born: Ns,
+    /// Read-only replicas created.
+    pub replications: u32,
+    /// Ownership moves between local memories.
+    pub moves: u32,
+    /// Virtual time the page was pinned global, if it was.
+    pub pinned_at: Option<Ns>,
+    /// Times a pin was released for reconsideration.
+    pub reconsidered: u32,
+    /// Virtual time the page was freed, if it was.
+    pub freed_at: Option<Ns>,
+    /// The full ordered trace: (virtual time, what happened).
+    pub history: Vec<(Ns, &'static str)>,
+}
+
+impl PageLifecycle {
+    fn note(&mut self, t: Ns, what: &'static str) {
+        if self.history.is_empty() {
+            self.born = t;
+        }
+        self.history.push((t, what));
+    }
+
+    /// Serializes one lifecycle (history as a compact string trace).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("born_ns", self.born.0)
+            .field("replications", u64::from(self.replications))
+            .field("moves", u64::from(self.moves))
+            .field("pinned_at_ns", self.pinned_at.map(|t| t.0))
+            .field("reconsidered", u64::from(self.reconsidered))
+            .field("freed_at_ns", self.freed_at.map(|t| t.0))
+            .field(
+                "history",
+                self.history
+                    .iter()
+                    .map(|(t, what)| Json::obj().field("t_ns", t.0).field("what", *what))
+                    .collect::<Vec<_>>(),
+            )
+    }
+}
+
+/// One processor's reference timeline: words served local / global /
+/// remote per fixed-width virtual-time bucket.
+#[derive(Clone, Debug, Default)]
+struct CpuTimeline {
+    /// `buckets[i]` covers `[i*width, (i+1)*width)`: [local, global,
+    /// remote] words.
+    buckets: Vec<[u64; 3]>,
+}
+
+impl CpuTimeline {
+    fn record(&mut self, bucket: usize, dist: Distance, words: u64) {
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, [0; 3]);
+        }
+        let slot = match dist {
+            Distance::Local => 0,
+            Distance::Global => 1,
+            Distance::Remote => 2,
+        };
+        self.buckets[bucket][slot] += words;
+    }
+}
+
+/// The full aggregation layer. Feed it the event stream (it is an
+/// [`EventSink`]) and read the aggregates out at the end of the run.
+pub struct Telemetry {
+    /// Per-page lifecycles, keyed by logical page id.
+    pages: HashMap<u32, PageLifecycle>,
+    /// Latency from a recovery action to the processor's next
+    /// successful page copy or state change, in virtual nanoseconds.
+    recovery_latency: Histogram,
+    /// Open recovery windows: processor index → window start.
+    pending_recovery: HashMap<u16, Ns>,
+    /// Reference timelines, indexed by processor.
+    timelines: Vec<CpuTimeline>,
+    /// Timeline bucket width.
+    bucket_width: Ns,
+    /// Total events seen.
+    events_seen: u64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Default timeline bucket width: 1 ms of virtual time.
+    pub const DEFAULT_BUCKET: Ns = Ns(1_000_000);
+
+    /// A telemetry aggregator with the default timeline resolution.
+    pub fn new() -> Telemetry {
+        Telemetry::with_bucket(Self::DEFAULT_BUCKET)
+    }
+
+    /// A telemetry aggregator with `bucket_width` timeline resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn with_bucket(bucket_width: Ns) -> Telemetry {
+        assert!(bucket_width.0 > 0, "timeline bucket width must be positive");
+        Telemetry {
+            pages: HashMap::new(),
+            recovery_latency: Histogram::new(),
+            pending_recovery: HashMap::new(),
+            timelines: Vec::new(),
+            bucket_width,
+            events_seen: 0,
+        }
+    }
+
+    /// Total events consumed.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// The lifecycle of one page, if any of its events were seen.
+    pub fn page(&self, lpage: u32) -> Option<&PageLifecycle> {
+        self.pages.get(&lpage)
+    }
+
+    /// Number of pages with any recorded history.
+    pub fn pages_tracked(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Histogram of per-page move counts (one sample per tracked page).
+    pub fn move_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        let mut ids: Vec<&u32> = self.pages.keys().collect();
+        ids.sort_unstable();
+        for id in ids {
+            h.record(u64::from(self.pages[id].moves));
+        }
+        h
+    }
+
+    /// Histogram of fault-recovery latencies (virtual ns from a
+    /// recovery action to the processor's next completed copy or state
+    /// change).
+    pub fn recovery_latency(&self) -> &Histogram {
+        &self.recovery_latency
+    }
+
+    fn lifecycle(&mut self, lpage: u32) -> &mut PageLifecycle {
+        self.pages.entry(lpage).or_default()
+    }
+
+    fn close_recovery(&mut self, cpu: u16, t: Ns) {
+        if let Some(start) = self.pending_recovery.remove(&cpu) {
+            self.recovery_latency.record(t.0.saturating_sub(start.0));
+        }
+    }
+
+    /// Serializes every aggregate as one deterministic JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut ids: Vec<&u32> = self.pages.keys().collect();
+        ids.sort_unstable();
+        let pages: Vec<Json> = ids
+            .iter()
+            .map(|&&id| {
+                let Json::Obj(members) = self.pages[&id].to_json() else { unreachable!() };
+                let mut j = Json::obj().field("lpage", u64::from(id));
+                for (k, v) in members {
+                    j = j.field(&k, v);
+                }
+                j
+            })
+            .collect();
+        let timelines: Vec<Json> = self
+            .timelines
+            .iter()
+            .enumerate()
+            .map(|(cpu, tl)| {
+                let buckets: Vec<Json> = tl
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.iter().any(|&w| w > 0))
+                    .map(|(i, b)| {
+                        Json::obj()
+                            .field("t_ns", (i as u64) * self.bucket_width.0)
+                            .field("local", b[0])
+                            .field("global", b[1])
+                            .field("remote", b[2])
+                    })
+                    .collect();
+                Json::obj().field("cpu", cpu).field("buckets", buckets)
+            })
+            .collect();
+        Json::obj()
+            .field("events", self.events_seen)
+            .field("pages_tracked", self.pages.len())
+            .field("move_histogram", self.move_histogram().to_json())
+            .field("recovery_latency_ns", self.recovery_latency.to_json())
+            .field("timeline_bucket_ns", self.bucket_width.0)
+            .field("cpu_timelines", timelines)
+            .field("pages", pages)
+    }
+}
+
+impl EventSink for Telemetry {
+    fn record(&mut self, event: &Event) {
+        self.events_seen += 1;
+        let t = event.t;
+        let cpu = event.cpu.index() as u16;
+        match event.kind {
+            EventKind::Reference { dist, words, .. } => {
+                let bucket = (t.0 / self.bucket_width.0) as usize;
+                let idx = cpu as usize;
+                if self.timelines.len() <= idx {
+                    self.timelines.resize_with(idx + 1, CpuTimeline::default);
+                }
+                self.timelines[idx].record(bucket, dist, words);
+            }
+            EventKind::PageCopied { .. } => self.close_recovery(cpu, t),
+            EventKind::StateChanged { lpage, .. } => {
+                self.close_recovery(cpu, t);
+                self.lifecycle(lpage.0).note(t, "state-changed");
+            }
+            EventKind::PolicyDecision { lpage, .. } => {
+                self.lifecycle(lpage.0).note(t, "decision");
+            }
+            EventKind::Moved { lpage, .. } => {
+                let lc = self.lifecycle(lpage.0);
+                lc.moves += 1;
+                lc.note(t, "moved");
+            }
+            EventKind::Replicated { lpage, .. } => {
+                let lc = self.lifecycle(lpage.0);
+                lc.replications += 1;
+                lc.note(t, "replicated");
+            }
+            EventKind::Pinned { lpage, .. } => {
+                let lc = self.lifecycle(lpage.0);
+                if lc.pinned_at.is_none() {
+                    lc.pinned_at = Some(t);
+                }
+                lc.note(t, "pinned");
+            }
+            EventKind::Reconsidered { lpage } => {
+                let lc = self.lifecycle(lpage.0);
+                lc.reconsidered += 1;
+                lc.pinned_at = None;
+                lc.note(t, "reconsidered");
+            }
+            EventKind::Freed { lpage } => {
+                let lc = self.lifecycle(lpage.0);
+                lc.freed_at = Some(t);
+                lc.note(t, "freed");
+            }
+            EventKind::Recovery { lpage, action } => {
+                self.pending_recovery.entry(cpu).or_insert(t);
+                if let Some(lpage) = lpage {
+                    let what = match action {
+                        RecoveryAction::BusRetry { .. } => "recovery:bus-retry",
+                        RecoveryAction::FrameQuarantined { .. } => "recovery:quarantine",
+                        RecoveryAction::CorruptionRefetched => "recovery:refetch",
+                        RecoveryAction::DegradedToGlobal => "recovery:degrade",
+                    };
+                    self.lifecycle(lpage.0).note(t, what);
+                }
+            }
+            EventKind::CopyAborted { .. }
+            | EventKind::PageZeroed { .. }
+            | EventKind::FaultOverhead
+            | EventKind::Shootdown
+            | EventKind::MapEntered { .. }
+            | EventKind::DaemonTick => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Decision, PageState};
+    use crate::json::validate;
+    use ace_machine::{Access, CpuId};
+    use mach_vm::LPageId;
+
+    fn ev(t: u64, cpu: u16, kind: EventKind) -> Event {
+        Event { t: Ns(t), cpu: CpuId(cpu), kind }
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 7);
+        assert_eq!(h.max(), 1000);
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3;
+        // 1000 → bucket 10.
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[10], 1);
+        validate(&h.to_json().to_string_flat()).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_tracks_the_paper_sequence() {
+        // alloc → replicate → move ×2 → pin → free, as one page would
+        // live under the move-limit policy.
+        let mut t = Telemetry::new();
+        let p = LPageId(3);
+        t.record(&ev(10, 0, EventKind::PolicyDecision {
+            lpage: p,
+            access: Access::Fetch,
+            decision: Decision::Local,
+        }));
+        t.record(&ev(20, 0, EventKind::Replicated { lpage: p, at: CpuId(0) }));
+        t.record(&ev(30, 1, EventKind::Moved { lpage: p, to: CpuId(1), moves: 1 }));
+        t.record(&ev(40, 0, EventKind::Moved { lpage: p, to: CpuId(0), moves: 2 }));
+        t.record(&ev(50, 0, EventKind::Pinned { lpage: p, moves: 2 }));
+        t.record(&ev(60, 0, EventKind::Freed { lpage: p }));
+        let lc = t.page(3).unwrap();
+        assert_eq!(lc.born, Ns(10));
+        assert_eq!(lc.replications, 1);
+        assert_eq!(lc.moves, 2);
+        assert_eq!(lc.pinned_at, Some(Ns(50)));
+        assert_eq!(lc.freed_at, Some(Ns(60)));
+        assert_eq!(lc.history.len(), 6);
+        assert_eq!(t.move_histogram().samples(), 1);
+        validate(&t.to_json().to_string_flat()).unwrap();
+    }
+
+    #[test]
+    fn recovery_latency_spans_to_next_progress() {
+        let mut t = Telemetry::new();
+        t.record(&ev(100, 2, EventKind::Recovery {
+            lpage: Some(LPageId(1)),
+            action: RecoveryAction::BusRetry { attempt: 1 },
+        }));
+        // Second fault on the same cpu keeps the original window open.
+        t.record(&ev(150, 2, EventKind::Recovery {
+            lpage: Some(LPageId(1)),
+            action: RecoveryAction::BusRetry { attempt: 2 },
+        }));
+        t.record(&ev(400, 2, EventKind::PageCopied {
+            from: ace_machine::MemRegion::Global,
+            to: ace_machine::MemRegion::Local(CpuId(2)),
+        }));
+        assert_eq!(t.recovery_latency().samples(), 1);
+        assert_eq!(t.recovery_latency().max(), 300);
+    }
+
+    #[test]
+    fn timelines_bucket_references_per_cpu() {
+        let mut t = Telemetry::with_bucket(Ns(100));
+        t.record(&ev(10, 0, EventKind::Reference {
+            access: Access::Fetch,
+            dist: Distance::Local,
+            words: 5,
+        }));
+        t.record(&ev(250, 0, EventKind::Reference {
+            access: Access::Store,
+            dist: Distance::Global,
+            words: 2,
+        }));
+        t.record(&ev(50, 1, EventKind::Reference {
+            access: Access::Fetch,
+            dist: Distance::Remote,
+            words: 1,
+        }));
+        assert_eq!(t.timelines[0].buckets[0], [5, 0, 0]);
+        assert_eq!(t.timelines[0].buckets[2], [0, 2, 0]);
+        assert_eq!(t.timelines[1].buckets[0], [0, 0, 1]);
+        let s = t.to_json().to_string_flat();
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn reconsideration_reopens_a_pin() {
+        let mut t = Telemetry::new();
+        let p = LPageId(9);
+        t.record(&ev(5, 0, EventKind::Pinned { lpage: p, moves: 4 }));
+        assert!(t.page(9).unwrap().pinned_at.is_some());
+        t.record(&ev(9, 0, EventKind::Reconsidered { lpage: p }));
+        let lc = t.page(9).unwrap();
+        assert!(lc.pinned_at.is_none());
+        assert_eq!(lc.reconsidered, 1);
+    }
+
+    #[test]
+    fn state_changed_feeds_history() {
+        let mut t = Telemetry::new();
+        t.record(&ev(1, 0, EventKind::StateChanged {
+            lpage: LPageId(4),
+            from: PageState::Fresh,
+            to: PageState::ReadOnly,
+        }));
+        assert_eq!(t.page(4).unwrap().history, vec![(Ns(1), "state-changed")]);
+    }
+}

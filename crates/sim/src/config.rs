@@ -1,6 +1,8 @@
 //! Simulation configuration.
 
-use ace_machine::{MachineConfig, Ns};
+use ace_machine::{FaultConfig, MachineConfig, Ns};
+use numa_metrics::events::SharedSink;
+use std::fmt;
 
 /// Which scheduler the simulated kernel uses (section 4.7 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -16,7 +18,22 @@ pub enum SchedulerKind {
 }
 
 /// Configuration of one simulation.
-#[derive(Clone, Debug)]
+///
+/// Built fluently from a preset; every knob has a chainable setter so
+/// new options stop forcing struct-literal churn at call sites:
+///
+/// ```
+/// use ace_machine::Ns;
+/// use ace_sim::{SchedulerKind, SimConfig};
+///
+/// let cfg = SimConfig::ace(8)
+///     .quantum(Ns::from_ms(5))
+///     .lookahead(Ns::from_us(20))
+///     .scheduler(SchedulerKind::GlobalQueue);
+/// assert_eq!(cfg.machine.n_cpus, 8);
+/// assert_eq!(cfg.quantum, Ns::from_ms(5));
+/// ```
+#[derive(Clone)]
 pub struct SimConfig {
     /// The machine to simulate.
     pub machine: MachineConfig,
@@ -34,6 +51,9 @@ pub struct SimConfig {
     /// Interval of the kernel's periodic daemon tick (policy aging /
     /// pin reconsideration), in virtual time.
     pub daemon_interval: Ns,
+    /// Structured event sink to install on the simulator (machine tap
+    /// plus NUMA-manager sink). `None` — the default — costs nothing.
+    pub events: Option<SharedSink>,
 }
 
 impl SimConfig {
@@ -46,6 +66,7 @@ impl SimConfig {
             lookahead: Ns::from_us(50),
             compute_chunk: Ns::from_us(20),
             daemon_interval: Ns::from_ms(5),
+            events: None,
         }
     }
 
@@ -58,7 +79,65 @@ impl SimConfig {
             lookahead: Ns::ZERO,
             compute_chunk: Ns::from_us(20),
             daemon_interval: Ns::from_ms(1),
+            events: None,
         }
+    }
+
+    /// Sets the scheduler flavour.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> SimConfig {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the time-slice length.
+    pub fn quantum(mut self, quantum: Ns) -> SimConfig {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the lookahead window (zero = exact interleaving).
+    pub fn lookahead(mut self, lookahead: Ns) -> SimConfig {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Sets the inline compute chunk bound.
+    pub fn compute_chunk(mut self, chunk: Ns) -> SimConfig {
+        self.compute_chunk = chunk;
+        self
+    }
+
+    /// Sets the daemon tick interval.
+    pub fn daemon_interval(mut self, interval: Ns) -> SimConfig {
+        self.daemon_interval = interval;
+        self
+    }
+
+    /// Enables hardware fault injection on the simulated machine.
+    pub fn faults(mut self, faults: FaultConfig) -> SimConfig {
+        self.machine.faults = faults;
+        self
+    }
+
+    /// Installs a structured event sink: the simulator will report
+    /// machine-level traffic and every NUMA protocol action to it.
+    pub fn events(mut self, sink: SharedSink) -> SimConfig {
+        self.events = Some(sink);
+        self
+    }
+}
+
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("machine", &self.machine)
+            .field("scheduler", &self.scheduler)
+            .field("quantum", &self.quantum)
+            .field("lookahead", &self.lookahead)
+            .field("compute_chunk", &self.compute_chunk)
+            .field("daemon_interval", &self.daemon_interval)
+            .field("events", &self.events.as_ref().map(|_| "<sink>"))
+            .finish()
     }
 }
 
@@ -73,5 +152,34 @@ mod tests {
         assert_eq!(c.scheduler, SchedulerKind::Affinity);
         assert!(c.lookahead > Ns::ZERO);
         assert_eq!(SimConfig::small(2).lookahead, Ns::ZERO);
+    }
+
+    #[test]
+    fn builder_chains_over_presets() {
+        let cfg = SimConfig::small(3)
+            .scheduler(SchedulerKind::GlobalQueue)
+            .quantum(Ns::from_ms(2))
+            .lookahead(Ns::from_us(5))
+            .compute_chunk(Ns::from_us(10))
+            .daemon_interval(Ns::from_ms(7))
+            .faults(FaultConfig { seed: 42, ..FaultConfig::default() });
+        assert_eq!(cfg.scheduler, SchedulerKind::GlobalQueue);
+        assert_eq!(cfg.quantum, Ns::from_ms(2));
+        assert_eq!(cfg.lookahead, Ns::from_us(5));
+        assert_eq!(cfg.compute_chunk, Ns::from_us(10));
+        assert_eq!(cfg.daemon_interval, Ns::from_ms(7));
+        assert_eq!(cfg.machine.faults.seed, 42);
+        assert!(cfg.events.is_none());
+        // Debug must not require the sink to be Debug.
+        let dbg = format!("{cfg:?}");
+        assert!(dbg.contains("SimConfig"));
+    }
+
+    #[test]
+    fn events_knob_installs_a_sink() {
+        let sink = numa_metrics::events::shared(numa_metrics::VecSink::new());
+        let cfg = SimConfig::small(1).events(sink);
+        assert!(cfg.events.is_some());
+        assert!(format!("{cfg:?}").contains("<sink>"));
     }
 }

@@ -47,10 +47,22 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Boots a simulator with the given placement policy.
+    /// Boots a simulator with the given placement policy. If the config
+    /// carries an event sink, the machine's tap and the NUMA manager's
+    /// sink are both wired to it, so the sink sees the full stream —
+    /// bus traffic and protocol actions alike — in virtual-time order
+    /// per processor.
     pub fn new(cfg: SimConfig, policy: Box<dyn CachePolicy>) -> Simulator {
-        let machine = Machine::new(cfg.machine.clone());
-        let pmap = AcePmap::new(policy);
+        let mut machine = Machine::new(cfg.machine.clone());
+        let mut pmap = AcePmap::new(policy);
+        if let Some(sink) = &cfg.events {
+            let tap_sink = Arc::clone(sink);
+            machine.set_tap(Box::new(move |me| {
+                let ev = numa_metrics::Event::from(me);
+                tap_sink.lock().expect("event sink poisoned").record(&ev);
+            }));
+            pmap.set_event_sink(Arc::clone(sink));
+        }
         let kernel = Kernel::new(machine, pmap);
         Simulator { cfg, kernel: Arc::new(Mutex::new(kernel)), pending: Vec::new(), next_cpu: 0 }
     }

@@ -3,6 +3,7 @@
 use crate::kernel::RefCounters;
 use ace_machine::{BusStats, CpuTime, FaultStats, Ns};
 use numa_core::NumaStats;
+use numa_metrics::Json;
 use std::fmt;
 
 /// Everything measured during one run.
@@ -53,6 +54,70 @@ impl RunReport {
     /// (wall-clock) time of the run.
     pub fn makespan(&self) -> Ns {
         self.cpu_times.iter().map(|t| t.total()).max().unwrap_or(Ns::ZERO)
+    }
+
+    /// The full report as a machine-readable JSON value. Field order is
+    /// fixed, so identical runs serialize to identical strings.
+    pub fn to_json(&self) -> Json {
+        let cpus: Vec<Json> = self
+            .cpu_times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Json::obj()
+                    .field("cpu", i)
+                    .field("user_ns", t.user.0)
+                    .field("system_ns", t.system.0)
+            })
+            .collect();
+        Json::obj()
+            .field("policy", self.policy)
+            .field("user_s", self.user_secs())
+            .field("system_s", self.system_secs())
+            .field("makespan_ns", self.makespan().0)
+            .field("alpha_measured", self.alpha_measured())
+            .field("cpu_times", Json::Arr(cpus))
+            .field(
+                "refs",
+                Json::obj()
+                    .field("local", self.refs.local)
+                    .field("global", self.refs.global)
+                    .field("remote", self.refs.remote),
+            )
+            .field(
+                "numa",
+                Json::obj()
+                    .field("requests", self.numa.requests)
+                    .field("read_requests", self.numa.read_requests)
+                    .field("write_requests", self.numa.write_requests)
+                    .field("replications", self.numa.replications)
+                    .field("migrations", self.numa.migrations)
+                    .field("syncs", self.numa.syncs)
+                    .field("flushes", self.numa.flushes)
+                    .field("shootdowns", self.numa.shootdowns)
+                    .field("to_global", self.numa.to_global)
+                    .field("to_remote", self.numa.to_remote)
+                    .field("pins", self.numa.pins)
+                    .field("zero_fill_local", self.numa.zero_fill_local)
+                    .field("zero_fill_global", self.numa.zero_fill_global)
+                    .field("local_pressure_fallbacks", self.numa.local_pressure_fallbacks)
+                    .field("recovery_actions", self.numa.recovery_actions()),
+            )
+            .field(
+                "bus",
+                Json::obj()
+                    .field("global_word_transfers", self.bus.global_word_transfers)
+                    .field("copy_word_transfers", self.bus.copy_word_transfers)
+                    .field("remote_word_transfers", self.bus.remote_word_transfers)
+                    .field("total_bytes", self.bus.total_bytes()),
+            )
+            .field(
+                "faults",
+                Json::obj()
+                    .field("bus_timeouts", self.faults.bus_timeouts)
+                    .field("bad_frames", self.faults.bad_frames)
+                    .field("corruptions", self.faults.corruptions),
+            )
     }
 }
 
@@ -125,5 +190,24 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("[test]"));
         assert!(!s.contains("faults:"), "fault-free reports omit the recovery line");
+    }
+
+    #[test]
+    fn json_is_valid_and_deterministic() {
+        let r = RunReport {
+            policy: "test",
+            cpu_times: vec![CpuTime { user: Ns(100), system: Ns(10) }],
+            refs: RefCounters { local: 3, global: 1, remote: 0 },
+            numa: NumaStats::default(),
+            bus: BusStats::default(),
+            faults: FaultStats::default(),
+        };
+        let a = r.to_json().to_string_flat();
+        let b = r.to_json().to_string_flat();
+        assert_eq!(a, b);
+        numa_metrics::validate(&a).expect("report JSON must parse");
+        assert!(a.starts_with("{\"policy\":\"test\","));
+        assert!(a.contains("\"alpha_measured\":0.75"));
+        assert!(a.contains("\"user_ns\":100"));
     }
 }

@@ -33,9 +33,6 @@ impl CachePolicy for ScriptedPolicy {
             _ => Placement::RemoteAt(CpuId((pick % 3) as u16)),
         }
     }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 /// One scripted thread operation for the end-to-end property.
