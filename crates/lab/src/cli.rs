@@ -1,0 +1,406 @@
+//! The `numa-lab` command-line interface.
+//!
+//! Argument parsing is hand-rolled (the workspace builds offline, with
+//! no clap): every flag is `--name value` or a boolean `--name`, and
+//! anything unrecognized is a usage error. Four subcommands:
+//!
+//! * `run`  — expand a grid, farm it out, print the result tables and
+//!   write the sweep document (default `BENCH_sweep.json`);
+//! * `list` — show the built-in grids, or every job of one grid;
+//! * `diff` — compare a fresh run (or `--current` file) against a
+//!   committed baseline and print every drifted leaf;
+//! * `gate` — like `diff`, but exit 1 when any drift exceeds its
+//!   tolerance: the CI perf-regression gate.
+//!
+//! Everything on **stdout is deterministic** (tables and summaries of
+//! deterministic simulations); progress and wall-clock timing go to
+//! stderr, where nondeterminism belongs.
+
+use crate::farm::LabError;
+use crate::gate::{diff_documents, GateTolerances};
+use crate::grid::Grid;
+use crate::sweep::Sweep;
+use numa_metrics::baseline::BaselineDiff;
+use numa_metrics::{shared, validate, Event, EventKind, EventSink, SharedSink, Table};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const DEFAULT_FILE: &str = "BENCH_sweep.json";
+
+const USAGE: &str = "\
+numa-lab — parallel experiment orchestration for the NUMA reproduction
+
+USAGE:
+    numa-lab <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run     run a sweep grid and write its report
+    list    list built-in grids, or the jobs of one grid
+    diff    compare a run against a baseline, print drifted metrics
+    gate    diff with an exit status: nonzero on regression
+    help    print this text
+
+OPTIONS:
+    --grid NAME        grid preset (default: paper); see `numa-lab list`
+    --jobs N           worker threads (default: available parallelism)
+    --out FILE         run: where to write the report (default: BENCH_sweep.json)
+    --baseline FILE    diff/gate: committed baseline (default: BENCH_sweep.json)
+    --current FILE     diff/gate: compare this file instead of running the grid
+    --quiet            no progress output on stderr
+    --strict           zero tolerance on every metric
+    --tol-time X       relative tolerance on times (default 0.02)
+    --tol-model X      absolute tolerance on alpha/beta/gamma (default 0.02)
+    --tol-count X      relative tolerance on protocol counters (default 0.10)
+    --tol-count-abs X  absolute floor on counter drift (default 2)
+    --tol-bytes X      relative tolerance on bus bytes (default 0.02)
+
+EXIT STATUS:
+    0  success / gate passed
+    1  gate found a regression beyond tolerance
+    2  usage, I/O, or simulation error
+";
+
+struct Opts {
+    grid: String,
+    grid_given: bool,
+    jobs: usize,
+    out: String,
+    baseline: String,
+    current: Option<String>,
+    quiet: bool,
+    tol: GateTolerances,
+    strict: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            grid: "paper".to_string(),
+            grid_given: false,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            out: DEFAULT_FILE.to_string(),
+            baseline: DEFAULT_FILE.to_string(),
+            current: None,
+            quiet: false,
+            tol: GateTolerances::default(),
+            strict: false,
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("numa-lab: {msg}");
+    eprintln!("run `numa-lab help` for usage");
+    ExitCode::from(2)
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => {
+                opts.grid = value(&mut it, "--grid")?;
+                opts.grid_given = true;
+            }
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs wants a positive integer, got `{v}`"))?;
+            }
+            "--out" => opts.out = value(&mut it, "--out")?,
+            "--baseline" => opts.baseline = value(&mut it, "--baseline")?,
+            "--current" => opts.current = Some(value(&mut it, "--current")?),
+            "--quiet" => opts.quiet = true,
+            "--strict" => opts.strict = true,
+            "--tol-time" | "--tol-model" | "--tol-count" | "--tol-count-abs" | "--tol-bytes" => {
+                let v = value(&mut it, arg)?;
+                let x = v.parse::<f64>().ok().filter(|x| *x >= 0.0).ok_or(format!(
+                    "{arg} wants a non-negative number, got `{v}`"
+                ))?;
+                match arg.as_str() {
+                    "--tol-time" => opts.tol.time_rel = x,
+                    "--tol-model" => opts.tol.model_abs = x,
+                    "--tol-count" => opts.tol.count_rel = x,
+                    "--tol-count-abs" => opts.tol.count_abs = x,
+                    _ => opts.tol.bytes_rel = x,
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.strict {
+        opts.tol = GateTolerances::strict();
+    }
+    Ok(opts)
+}
+
+/// Per-job progress line printer, fed by the farm through the
+/// structured event sink.
+struct StderrProgress {
+    done: u32,
+    started: Instant,
+}
+
+impl EventSink for StderrProgress {
+    fn record(&mut self, event: &Event) {
+        if let EventKind::JobCompleted { job, of } = event.kind {
+            self.done += 1;
+            eprintln!(
+                "  [{:>3}/{of}] job #{job} done ({}ms elapsed)",
+                self.done,
+                self.started.elapsed().as_millis()
+            );
+        }
+    }
+}
+
+fn lookup_grid(opts: &Opts) -> Result<Grid, String> {
+    Grid::named(&opts.grid).ok_or_else(|| {
+        format!(
+            "unknown grid `{}` (built-in grids: {})",
+            opts.grid,
+            Grid::preset_names().join(", ")
+        )
+    })
+}
+
+fn run_sweep(grid: Grid, opts: &Opts) -> Result<(Sweep, f64), LabError> {
+    let progress: Option<SharedSink> = (!opts.quiet)
+        .then(|| shared(StderrProgress { done: 0, started: Instant::now() }) as SharedSink);
+    let started = Instant::now();
+    let sweep = Sweep::run(grid, opts.jobs, progress.as_ref())?;
+    Ok((sweep, started.elapsed().as_secs_f64()))
+}
+
+fn print_sweep_tables(sweep: &Sweep) {
+    let mut t = Table::new(&[
+        "id", "job", "Tuser(s)", "Tsys(s)", "alpha(meas)", "repl", "migr", "pins", "bus(MB)",
+    ])
+    .with_title(format!(
+        "grid `{}`: {} jobs",
+        sweep.grid.name,
+        sweep.results.len()
+    ));
+    for r in &sweep.results {
+        t.row(vec![
+            r.spec.id.to_string(),
+            r.spec.label(),
+            format!("{:.4}", r.report.user_secs()),
+            format!("{:.4}", r.report.system_secs()),
+            format!("{:.3}", r.report.alpha_measured()),
+            r.report.numa.replications.to_string(),
+            r.report.numa.migrations.to_string(),
+            r.report.numa.pins.to_string(),
+            format!("{:.2}", r.report.bus.total_bytes() as f64 / 1e6),
+        ]);
+    }
+    println!("{t}");
+
+    let rows = sweep.model_rows();
+    if !rows.is_empty() {
+        let mut m = Table::new(&[
+            "app", "Tglobal", "Tnuma", "Tlocal", "alpha", "beta", "gamma", "alpha(meas)",
+            "alpha(paper)",
+        ])
+        .with_title("analytic model (equations 4 and 5), paper values alongside");
+        for row in rows {
+            m.row(vec![
+                row.spec.app.name().to_string(),
+                format!("{:.4}", row.t_global),
+                format!("{:.4}", row.t_numa),
+                format!("{:.4}", row.t_local),
+                row.alpha.map_or("na".to_string(), |a| format!("{a:.3}")),
+                format!("{:.3}", row.beta),
+                format!("{:.3}", row.gamma),
+                format!("{:.3}", row.alpha_measured),
+                numa_metrics::paper::paper_alpha(row.spec.app.name())
+                    .map_or("na".to_string(), |a| format!("{a:.2}")),
+            ]);
+        }
+        println!("{m}");
+    }
+}
+
+fn write_report(sweep: &Sweep, path: &str) -> Result<usize, String> {
+    let text = sweep.to_json().to_string_flat();
+    validate(&text).map_err(|e| format!("generated report is not valid JSON: {e}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(text.len())
+}
+
+fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
+    let grid = lookup_grid(opts)?;
+    let (sweep, elapsed) = run_sweep(grid, opts).map_err(|e| e.to_string())?;
+    print_sweep_tables(&sweep);
+    let bytes = write_report(&sweep, &opts.out)?;
+    println!("Wrote {} ({bytes} bytes).", opts.out);
+    eprintln!(
+        "ran {} jobs on {} workers in {elapsed:.2}s wall-clock",
+        sweep.results.len(),
+        opts.jobs
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_list(opts: &Opts) -> Result<ExitCode, String> {
+    if !opts.grid_given {
+        let mut t = Table::new(&["grid", "scale", "jobs", "axes"]);
+        for name in Grid::preset_names() {
+            let g = Grid::named(name).expect("preset exists");
+            t.row(vec![
+                g.name.clone(),
+                format!("{:?}", g.scale).to_lowercase(),
+                g.jobs().len().to_string(),
+                format!(
+                    "{} apps x {} placements x {} cpus x {} thresholds x {} faults x {} pages",
+                    g.apps.len(),
+                    g.placements.len(),
+                    g.cpus.len(),
+                    g.thresholds.len(),
+                    g.fault_rates.len(),
+                    g.page_sizes.len()
+                ),
+            ]);
+        }
+        println!("{t}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let grid = lookup_grid(opts)?;
+    let jobs = grid.jobs();
+    let mut t = Table::new(&["id", "app", "placement", "cpus", "threshold", "fault", "page"])
+        .with_title(format!("grid `{}`: {} jobs, grid order", grid.name, jobs.len()));
+    for j in &jobs {
+        t.row(vec![
+            j.id.to_string(),
+            j.app.name().to_string(),
+            j.placement.label(),
+            j.cpus.to_string(),
+            j.threshold.map_or("-".to_string(), |x| x.to_string()),
+            format!("{}", j.fault_rate),
+            j.page_size.to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn current_document(opts: &Opts) -> Result<String, String> {
+    match &opts.current {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        None => {
+            let grid = lookup_grid(opts)?;
+            let (sweep, _) = run_sweep(grid, opts).map_err(|e| e.to_string())?;
+            Ok(sweep.to_json().to_string_flat())
+        }
+    }
+}
+
+fn print_diff(diff: &BaselineDiff) {
+    if diff.deltas.is_empty() {
+        println!("no drift: current run matches the baseline on every leaf");
+    } else {
+        let mut t = Table::new(&["leaf", "baseline", "current", "verdict"]);
+        for d in &diff.deltas {
+            t.row(vec![
+                d.path.clone(),
+                d.baseline.clone(),
+                d.current.clone(),
+                if d.within { "within tolerance".to_string() } else { "VIOLATION".to_string() },
+            ]);
+        }
+        println!("{t}");
+    }
+    println!("{}", diff.summary());
+}
+
+fn cmd_diff(opts: &Opts, gating: bool) -> Result<ExitCode, String> {
+    let baseline = std::fs::read_to_string(&opts.baseline)
+        .map_err(|e| format!("cannot read baseline {}: {e}", opts.baseline))?;
+    let current = current_document(opts)?;
+    let diff = diff_documents(&baseline, &current, &opts.tol)?;
+    print_diff(&diff);
+    if gating && !diff.passes() {
+        eprintln!(
+            "gate FAILED: {} metric(s) drifted beyond tolerance vs {}",
+            diff.violations().count(),
+            opts.baseline
+        );
+        return Ok(ExitCode::from(1));
+    }
+    if gating {
+        println!("gate passed vs {}", opts.baseline);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// CLI entry point: `args` excludes the binary name.
+pub fn run(args: Vec<String>) -> ExitCode {
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("help", &[][..]),
+    };
+    if matches!(command, "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let result = match command {
+        "run" => cmd_run(&opts),
+        "list" => cmd_list(&opts),
+        "diff" => cmd_diff(&opts, false),
+        "gate" => cmd_diff(&opts, true),
+        other => return usage_error(&format!("unknown command `{other}`")),
+    };
+    result.unwrap_or_else(|e| usage_error(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse() {
+        let o = parse_opts(&args(&[
+            "--grid", "smoke", "--jobs", "8", "--out", "x.json", "--baseline", "b.json",
+            "--quiet", "--tol-time", "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(o.grid, "smoke");
+        assert_eq!(o.jobs, 8);
+        assert_eq!(o.out, "x.json");
+        assert_eq!(o.baseline, "b.json");
+        assert!(o.quiet);
+        assert_eq!(o.tol.time_rel, 0.5);
+    }
+
+    #[test]
+    fn bad_options_are_errors() {
+        assert!(parse_opts(&args(&["--jobs", "0"])).is_err());
+        assert!(parse_opts(&args(&["--jobs"])).is_err());
+        assert!(parse_opts(&args(&["--tol-time", "-1"])).is_err());
+        assert!(parse_opts(&args(&["--wat"])).is_err());
+    }
+
+    #[test]
+    fn strict_overrides_tolerances() {
+        let o = parse_opts(&args(&["--tol-time", "0.5", "--strict"])).unwrap();
+        assert_eq!(o.tol.time_rel, 0.0);
+        assert_eq!(o.tol.count_abs, 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The perf-regression gate: sweep-document diffing with per-metric
+//! tolerances.
+//!
+//! The generic tree walk lives in [`numa_metrics::baseline`]; this
+//! module contributes the *policy* — which tolerance applies to which
+//! leaf of a sweep document. Identity leaves (ids, names, grid axes)
+//! are exact: a changed grid is a different experiment, not a drifted
+//! one. Time-like metrics get relative slack, model factors get a small
+//! absolute window (α is meaningful near zero), protocol counters get
+//! a relative band with an absolute floor of a few events.
+
+use numa_metrics::baseline::{compare, BaselineDiff, Tolerance};
+use numa_metrics::{parse, Json};
+
+/// Per-metric-class tolerances; the CLI can widen or tighten each.
+#[derive(Clone, Copy, Debug)]
+pub struct GateTolerances {
+    /// Relative slack on virtual times (user/system/makespan and the
+    /// model's T columns).
+    pub time_rel: f64,
+    /// Absolute slack on model factors (α, β, γ, measured α).
+    pub model_abs: f64,
+    /// Relative slack on protocol counters (replications, pins, ...).
+    pub count_rel: f64,
+    /// Absolute floor on protocol counters, so tiny counts may wobble
+    /// by a few events without tripping the gate.
+    pub count_abs: f64,
+    /// Relative slack on bus traffic bytes.
+    pub bytes_rel: f64,
+}
+
+impl Default for GateTolerances {
+    fn default() -> GateTolerances {
+        GateTolerances {
+            time_rel: 0.02,
+            model_abs: 0.02,
+            count_rel: 0.10,
+            count_abs: 2.0,
+            bytes_rel: 0.02,
+        }
+    }
+}
+
+impl GateTolerances {
+    /// Everything exact — any drift at all is a violation. (This is
+    /// what CI's byte-identity check means, expressed structurally.)
+    pub fn strict() -> GateTolerances {
+        GateTolerances { time_rel: 0.0, model_abs: 0.0, count_rel: 0.0, count_abs: 0.0, bytes_rel: 0.0 }
+    }
+
+    /// The tolerance applied to the leaf at `path`.
+    pub fn for_path(&self, path: &str) -> Tolerance {
+        let leaf = path.rsplit('.').next().unwrap_or(path);
+        match leaf {
+            "user_s" | "system_s" | "makespan_ns" | "t_local_s" | "t_global_s" | "t_numa_s" => {
+                Tolerance::rel(self.time_rel)
+            }
+            "alpha" | "beta" | "gamma" | "alpha_measured" => Tolerance::abs(self.model_abs),
+            "replications" | "migrations" | "pins" | "syncs" | "shootdowns"
+            | "recovery_actions" => Tolerance { rel: self.count_rel, abs: self.count_abs },
+            "bus_bytes" => Tolerance::rel(self.bytes_rel),
+            // Identity: ids, axes, names, schema, paper constants.
+            _ => Tolerance::EXACT,
+        }
+    }
+}
+
+/// Parses two sweep documents and compares `current` against
+/// `baseline` under the gate's tolerances. Errors are parse failures,
+/// not drift — drift is in the returned [`BaselineDiff`].
+pub fn diff_documents(
+    baseline: &str,
+    current: &str,
+    tol: &GateTolerances,
+) -> Result<BaselineDiff, String> {
+    let b = parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let c = parse(current).map_err(|e| format!("current report is not valid JSON: {e}"))?;
+    check_schema(&b, "baseline")?;
+    check_schema(&c, "current report")?;
+    Ok(compare(&b, &c, &|path| tol.for_path(path)))
+}
+
+fn check_schema(doc: &Json, what: &str) -> Result<(), String> {
+    let Json::Obj(members) = doc else {
+        return Err(format!("{what} is not a JSON object"));
+    };
+    match members.iter().find(|(k, _)| k == "schema") {
+        Some((_, Json::Str(s))) if s == crate::sweep::SCHEMA => Ok(()),
+        Some((_, other)) => Err(format!(
+            "{what} has schema {other}, expected \"{}\"",
+            crate::sweep::SCHEMA
+        )),
+        None => Err(format!("{what} has no schema field")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::sweep::Sweep;
+
+    fn sweep_text() -> String {
+        Sweep::run(Grid::smoke(), 2, None).unwrap().to_json().to_string_flat()
+    }
+
+    #[test]
+    fn identical_sweeps_pass_the_gate() {
+        let text = sweep_text();
+        let diff = diff_documents(&text, &text, &GateTolerances::default()).unwrap();
+        assert!(diff.passes());
+        assert!(diff.deltas.is_empty());
+        assert!(diff.compared > 50, "compared only {} leaves", diff.compared);
+    }
+
+    #[test]
+    fn a_perturbed_metric_beyond_tolerance_fails_the_gate() {
+        let text = sweep_text();
+        // Perturb the first user_s value by 10x its 2% tolerance.
+        let needle = "\"user_s\":";
+        let at = text.find(needle).unwrap() + needle.len();
+        let end = at + text[at..].find(',').unwrap();
+        let v: f64 = text[at..end].parse().unwrap();
+        let perturbed = format!("{}{}{}", &text[..at], v * 1.2, &text[end..]);
+        let diff = diff_documents(&text, &perturbed, &GateTolerances::default()).unwrap();
+        assert!(!diff.passes());
+        let v = diff.violations().next().unwrap();
+        assert!(v.path.ends_with("user_s"), "unexpected violation path {}", v.path);
+    }
+
+    #[test]
+    fn a_perturbation_within_tolerance_passes_but_is_reported() {
+        let text = sweep_text();
+        let needle = "\"user_s\":";
+        let at = text.find(needle).unwrap() + needle.len();
+        let end = at + text[at..].find(',').unwrap();
+        let v: f64 = text[at..end].parse().unwrap();
+        let perturbed = format!("{}{}{}", &text[..at], v * 1.001, &text[end..]);
+        let diff = diff_documents(&text, &perturbed, &GateTolerances::default()).unwrap();
+        assert!(diff.passes());
+        assert_eq!(diff.deltas.len(), 1);
+        // Strict mode turns the same drift into a violation.
+        let strict = diff_documents(&text, &perturbed, &GateTolerances::strict()).unwrap();
+        assert!(!strict.passes());
+    }
+
+    #[test]
+    fn identity_leaves_are_always_exact() {
+        let text = sweep_text();
+        let perturbed = text.replace("\"cpus\":4", "\"cpus\":5");
+        let diff = diff_documents(&text, &perturbed, &GateTolerances::default()).unwrap();
+        assert!(!diff.passes());
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error_not_a_diff() {
+        let text = sweep_text();
+        let other = text.replace(crate::sweep::SCHEMA, "something/else/v9");
+        assert!(diff_documents(&other, &text, &GateTolerances::default()).is_err());
+        assert!(diff_documents("not json", &text, &GateTolerances::default()).is_err());
+    }
+}

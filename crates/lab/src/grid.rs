@@ -1,0 +1,535 @@
+//! Declarative sweep grids.
+//!
+//! A [`Grid`] names one value set per experiment axis — application,
+//! placement, processor count, move-limit threshold, fault rate, page
+//! size — and [`Grid::jobs`] expands the cross product into independent
+//! [`JobSpec`]s in a fixed *grid order* (nested loops, axes in the
+//! order above). Axes that do not apply to a cell (a threshold under
+//! the all-global placement, the processor axis under the
+//! single-processor `local` baseline) are collapsed during expansion,
+//! so the job list contains no duplicate work.
+//!
+//! Every job is a complete, self-contained description of one
+//! deterministic simulation: the worker farm can run the list in any
+//! order, on any number of OS threads, and the merged results are the
+//! same.
+
+use ace_machine::{FaultConfig, PageSize};
+use ace_sim::{RunReport, SimConfig};
+use numa_apps::{
+    App, DivisorDiscipline, Fft, Gfetch, IMatMult, ParMult, PlyTrace, Primes1, Primes2, Primes3,
+    Scale,
+};
+use numa_core::{AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy, ReconsiderPolicy};
+use numa_metrics::paper::EVAL_CPUS;
+use numa_metrics::Json;
+use std::collections::HashSet;
+
+/// Deterministic seed for fault-injecting sweep cells: every cell with
+/// the same fault rate sees the same fault schedule on every run and
+/// under every `--jobs` setting.
+const FAULT_SEED: u64 = 0x0ACE_5EED;
+
+/// The eight applications of the paper's evaluation, as grid values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppId {
+    /// Pure integer multiplication, no data references.
+    ParMult,
+    /// Nothing but fetches from shared memory.
+    Gfetch,
+    /// Integer matrix product.
+    IMatMult,
+    /// Trial division by all odd numbers.
+    Primes1,
+    /// Trial division by previously found primes (tuned variant).
+    Primes2,
+    /// Sieve in writably shared memory.
+    Primes3,
+    /// EPEX-style 2-D FFT.
+    Fft,
+    /// Polygon rendering from a work pile.
+    PlyTrace,
+}
+
+impl AppId {
+    /// All applications, in the paper's Table 3 order.
+    pub const ALL: [AppId; 8] = [
+        AppId::ParMult,
+        AppId::Gfetch,
+        AppId::IMatMult,
+        AppId::Primes1,
+        AppId::Primes2,
+        AppId::Primes3,
+        AppId::Fft,
+        AppId::PlyTrace,
+    ];
+
+    /// Name as it appears in the paper's tables (matches
+    /// [`App::name`] of the instantiated application).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::ParMult => "ParMult",
+            AppId::Gfetch => "Gfetch",
+            AppId::IMatMult => "IMatMult",
+            AppId::Primes1 => "Primes1",
+            AppId::Primes2 => "Primes2",
+            AppId::Primes3 => "Primes3",
+            AppId::Fft => "FFT",
+            AppId::PlyTrace => "PlyTrace",
+        }
+    }
+
+    /// Case-insensitive lookup, for CLI arguments.
+    pub fn from_name(s: &str) -> Option<AppId> {
+        AppId::ALL.iter().copied().find(|a| a.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Instantiates the application at the given workload scale.
+    pub fn make(self, scale: Scale) -> Box<dyn App> {
+        match self {
+            AppId::ParMult => Box::new(ParMult::new(scale)),
+            AppId::Gfetch => Box::new(Gfetch::new(scale)),
+            AppId::IMatMult => Box::new(IMatMult::new(scale)),
+            AppId::Primes1 => Box::new(Primes1::new(scale)),
+            AppId::Primes2 => Box::new(Primes2::new(scale, DivisorDiscipline::PrivateCopy)),
+            AppId::Primes3 => Box::new(Primes3::new(scale)),
+            AppId::Fft => Box::new(Fft::new(scale)),
+            AppId::PlyTrace => Box::new(PlyTrace::new(scale)),
+        }
+    }
+
+    /// The paper evaluates fetch-dominated programs with G/L = 2.3
+    /// instead of 2 (mirrors [`App::fetch_heavy`]).
+    pub fn g_over_l(self) -> f64 {
+        match self {
+            AppId::Gfetch | AppId::IMatMult => 2.3,
+            _ => 2.0,
+        }
+    }
+}
+
+/// One value of the placement axis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Placement {
+    /// The T_local baseline: one thread on one processor under the
+    /// move-limit policy. Definitionally single-processor (section 3.1),
+    /// so this placement ignores the grid's processor and threshold axes.
+    Local,
+    /// The T_global baseline: all writable data in global memory.
+    Global,
+    /// The paper's NUMA policy: move-limit with the grid's threshold.
+    Numa,
+    /// Never give up on caching (the all-local policy).
+    NeverPin,
+    /// Move-limit whose pins are reconsidered every `period` daemon
+    /// ticks (the paper's section 5 future-work item).
+    Reconsider {
+        /// Reconsideration period in daemon ticks.
+        period: u64,
+    },
+}
+
+impl Placement {
+    /// Stable label used in job listings and serialized reports.
+    pub fn label(self) -> String {
+        match self {
+            Placement::Local => "local".to_string(),
+            Placement::Global => "global".to_string(),
+            Placement::Numa => "numa".to_string(),
+            Placement::NeverPin => "never-pin".to_string(),
+            Placement::Reconsider { period } => format!("reconsider-{period}"),
+        }
+    }
+
+    /// Whether the move-limit threshold axis applies to this placement.
+    fn uses_threshold(self) -> bool {
+        matches!(self, Placement::Numa | Placement::Reconsider { .. })
+    }
+}
+
+/// Workload-scale label for serialized reports.
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Bench => "bench",
+    }
+}
+
+/// One declarative sweep: a value set per axis.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Preset name (or a caller-chosen label for ad-hoc grids).
+    pub name: String,
+    /// Workload scale every cell runs at.
+    pub scale: Scale,
+    /// Application axis.
+    pub apps: Vec<AppId>,
+    /// Placement axis.
+    pub placements: Vec<Placement>,
+    /// Processor-count axis.
+    pub cpus: Vec<usize>,
+    /// Move-limit threshold axis (applies to threshold-bearing
+    /// placements only).
+    pub thresholds: Vec<u32>,
+    /// Fault-rate axis (applied to bus-timeout, bad-frame and
+    /// corruption channels alike, with a fixed seed).
+    pub fault_rates: Vec<f64>,
+    /// Page-size axis, in bytes.
+    pub page_sizes: Vec<usize>,
+}
+
+impl Grid {
+    /// The paper's evaluation grid: all eight applications under the
+    /// three placements of section 3.1, on the evaluation machine.
+    /// This is the grid behind the committed `BENCH_sweep.json`.
+    pub fn paper() -> Grid {
+        Grid {
+            name: "paper".to_string(),
+            scale: Scale::Test,
+            apps: AppId::ALL.to_vec(),
+            placements: vec![Placement::Local, Placement::Global, Placement::Numa],
+            cpus: vec![EVAL_CPUS],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0],
+            page_sizes: vec![2048],
+        }
+    }
+
+    /// The paper grid at evaluation workload sizes (slow; for manual
+    /// runs and speedup measurements, not CI).
+    pub fn paper_bench() -> Grid {
+        Grid { name: "paper-bench".to_string(), scale: Scale::Bench, ..Grid::paper() }
+    }
+
+    /// A small grid for CI gating: two placement-sensitive apps under
+    /// the three placements on four processors.
+    pub fn smoke() -> Grid {
+        Grid {
+            name: "smoke".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::IMatMult, AppId::Gfetch],
+            placements: vec![Placement::Local, Placement::Global, Placement::Numa],
+            cpus: vec![4],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0],
+            page_sizes: vec![2048],
+        }
+    }
+
+    /// Move-limit threshold ablation on the two most
+    /// threshold-sensitive applications.
+    pub fn threshold() -> Grid {
+        Grid {
+            name: "threshold".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::IMatMult, AppId::Primes3],
+            placements: vec![Placement::Numa],
+            cpus: vec![EVAL_CPUS],
+            thresholds: vec![0, 1, 2, 4, 8, 16],
+            fault_rates: vec![0.0],
+            page_sizes: vec![2048],
+        }
+    }
+
+    /// Page-size ablation (false-sharing sensitivity).
+    pub fn page_size() -> Grid {
+        Grid {
+            name: "page-size".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::Primes3],
+            placements: vec![Placement::Numa],
+            cpus: vec![EVAL_CPUS],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0],
+            page_sizes: vec![256, 512, 2048, 8192],
+        }
+    }
+
+    /// Fault-injection sweep: how placement quality degrades as the
+    /// hardware gets worse.
+    pub fn faults() -> Grid {
+        Grid {
+            name: "faults".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::IMatMult],
+            placements: vec![Placement::Numa],
+            cpus: vec![EVAL_CPUS],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0, 0.001, 0.01],
+            page_sizes: vec![2048],
+        }
+    }
+
+    /// Names of all built-in presets.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["paper", "paper-bench", "smoke", "threshold", "page-size", "faults"]
+    }
+
+    /// Looks up a preset by name.
+    pub fn named(name: &str) -> Option<Grid> {
+        match name {
+            "paper" => Some(Grid::paper()),
+            "paper-bench" => Some(Grid::paper_bench()),
+            "smoke" => Some(Grid::smoke()),
+            "threshold" => Some(Grid::threshold()),
+            "page-size" => Some(Grid::page_size()),
+            "faults" => Some(Grid::faults()),
+            _ => None,
+        }
+    }
+
+    /// Expands the grid into jobs, in grid order, with inapplicable
+    /// axes collapsed (no duplicate cells).
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for &app in &self.apps {
+            for &placement in &self.placements {
+                for &cpus in &self.cpus {
+                    for &threshold in &self.thresholds {
+                        for &fault_rate in &self.fault_rates {
+                            for &page_size in &self.page_sizes {
+                                let (cpus, workers) = match placement {
+                                    Placement::Local => (1, 1),
+                                    _ => (cpus, cpus),
+                                };
+                                let threshold = placement.uses_threshold().then_some(threshold);
+                                let key = (
+                                    app,
+                                    placement,
+                                    cpus,
+                                    threshold,
+                                    fault_rate.to_bits(),
+                                    page_size,
+                                );
+                                if !seen.insert(key) {
+                                    continue;
+                                }
+                                out.push(JobSpec {
+                                    id: out.len(),
+                                    app,
+                                    placement,
+                                    cpus,
+                                    workers,
+                                    threshold,
+                                    fault_rate,
+                                    page_size,
+                                    scale: self.scale,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The grid's axes as one deterministic JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("scale", scale_label(self.scale))
+            .field(
+                "apps",
+                Json::Arr(self.apps.iter().map(|a| Json::Str(a.name().to_string())).collect()),
+            )
+            .field(
+                "placements",
+                Json::Arr(self.placements.iter().map(|p| Json::Str(p.label())).collect()),
+            )
+            .field("cpus", Json::Arr(self.cpus.iter().map(|&c| Json::from(c)).collect()))
+            .field(
+                "thresholds",
+                Json::Arr(self.thresholds.iter().map(|&t| Json::from(u64::from(t))).collect()),
+            )
+            .field(
+                "fault_rates",
+                Json::Arr(self.fault_rates.iter().map(|&r| Json::Num(r)).collect()),
+            )
+            .field(
+                "page_sizes",
+                Json::Arr(self.page_sizes.iter().map(|&p| Json::from(p)).collect()),
+            )
+            .field("jobs", self.jobs().len())
+    }
+}
+
+/// One fully specified sweep cell: everything needed to run one
+/// deterministic simulation, independent of every other cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Grid-order index (also the merge position for results).
+    pub id: usize,
+    /// Application to run.
+    pub app: AppId,
+    /// Placement under test.
+    pub placement: Placement,
+    /// Processor count of the simulated machine.
+    pub cpus: usize,
+    /// Worker-thread count the application spawns.
+    pub workers: usize,
+    /// Move-limit threshold, when the placement takes one.
+    pub threshold: Option<u32>,
+    /// Injected fault rate on all three fault channels.
+    pub fault_rate: f64,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl JobSpec {
+    /// Short human label, e.g. `IMatMult/numa t=4 p=7`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}/{}", self.app.name(), self.placement.label());
+        if let Some(t) = self.threshold {
+            s.push_str(&format!(" t={t}"));
+        }
+        s.push_str(&format!(" p={}", self.cpus));
+        if self.fault_rate > 0.0 {
+            s.push_str(&format!(" f={}", self.fault_rate));
+        }
+        if self.page_size != 2048 {
+            s.push_str(&format!(" pg={}", self.page_size));
+        }
+        s
+    }
+
+    /// The placement policy this cell runs under.
+    pub fn policy(&self) -> Box<dyn CachePolicy> {
+        let threshold = self.threshold.unwrap_or(MoveLimitPolicy::DEFAULT_THRESHOLD);
+        match self.placement {
+            Placement::Local => Box::new(MoveLimitPolicy::default()),
+            Placement::Global => Box::new(AllGlobalPolicy),
+            Placement::Numa => Box::new(MoveLimitPolicy::new(threshold)),
+            Placement::NeverPin => Box::new(AllLocalPolicy),
+            Placement::Reconsider { period } => Box::new(ReconsiderPolicy::new(threshold, period)),
+        }
+    }
+
+    /// The simulator configuration this cell runs on: the evaluation
+    /// ACE, resized for the cell's page size (keeping 16 MB global /
+    /// 8 MB local memory) and fault rate.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::ace(self.cpus);
+        if self.page_size != cfg.machine.page_size.bytes() {
+            cfg.machine.page_size = PageSize::new(self.page_size);
+            cfg.machine.global_frames = 16 * 1024 * 1024 / self.page_size;
+            cfg.machine.local_frames = 8 * 1024 * 1024 / self.page_size;
+        }
+        if self.fault_rate > 0.0 {
+            cfg = cfg.faults(FaultConfig {
+                seed: FAULT_SEED,
+                bus_timeout_rate: self.fault_rate,
+                bad_frame_rate: self.fault_rate,
+                corruption_rate: self.fault_rate,
+                ..FaultConfig::default()
+            });
+        }
+        cfg
+    }
+
+    /// Runs this cell to completion on the current thread and returns
+    /// the report; the application's self-verification failure (or an
+    /// invalid machine configuration) comes back as `Err`.
+    pub fn run(&self) -> Result<RunReport, String> {
+        self.sim_config()
+            .machine
+            .validate()
+            .map_err(|e| format!("{}: bad machine config: {e}", self.label()))?;
+        let app = self.app.make(self.scale);
+        ace_sim::run_one(self.sim_config(), self.policy(), |sim| app.run(sim, self.workers))
+            .map_err(|e| format!("{}: {e}", self.label()))
+    }
+
+    /// The cell's coordinates as one deterministic JSON object (the
+    /// metrics of a finished run are appended by the sweep layer).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("id", self.id)
+            .field("app", self.app.name())
+            .field("placement", self.placement.label())
+            .field("cpus", self.cpus)
+            .field("workers", self.workers)
+            .field("threshold", self.threshold.map(u64::from))
+            .field("fault_rate", Json::Num(self.fault_rate))
+            .field("page_size", self.page_size)
+            .field("scale", scale_label(self.scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_is_eight_apps_by_three_placements() {
+        let jobs = Grid::paper().jobs();
+        assert_eq!(jobs.len(), 24);
+        // Grid order: apps outermost, placements inner.
+        assert_eq!(jobs[0].app, AppId::ParMult);
+        assert_eq!(jobs[0].placement, Placement::Local);
+        assert_eq!((jobs[0].cpus, jobs[0].workers), (1, 1));
+        assert_eq!(jobs[1].placement, Placement::Global);
+        assert_eq!(jobs[1].cpus, EVAL_CPUS);
+        assert_eq!(jobs[2].placement, Placement::Numa);
+        assert_eq!(jobs[2].threshold, Some(4));
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.id == i));
+    }
+
+    #[test]
+    fn inapplicable_axes_collapse_without_duplicates() {
+        let mut g = Grid::smoke();
+        g.thresholds = vec![0, 4, 8];
+        g.cpus = vec![2, 4];
+        let jobs = g.jobs();
+        // Per app: local collapses both axes (1 job), global collapses
+        // thresholds (2 cpus), numa is 2 cpus x 3 thresholds.
+        assert_eq!(jobs.len(), 2 * (1 + 2 + 6));
+        let locals: Vec<_> = jobs.iter().filter(|j| j.placement == Placement::Local).collect();
+        assert_eq!(locals.len(), 2);
+        assert!(locals.iter().all(|j| j.cpus == 1 && j.threshold.is_none()));
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in Grid::preset_names() {
+            let g = Grid::named(name).expect("preset exists");
+            assert_eq!(&g.name, name);
+            assert!(!g.jobs().is_empty());
+        }
+        assert!(Grid::named("nope").is_none());
+    }
+
+    #[test]
+    fn app_ids_round_trip_and_match_table_order() {
+        for (id, paper) in AppId::ALL.iter().zip(numa_metrics::paper::PAPER_TABLE3.iter()) {
+            assert_eq!(id.name(), paper.0);
+            assert_eq!(AppId::from_name(id.name()), Some(*id));
+            assert_eq!(AppId::from_name(&id.name().to_lowercase()), Some(*id));
+        }
+    }
+
+    #[test]
+    fn job_spec_builds_policy_and_config() {
+        let mut g = Grid::page_size();
+        g.fault_rates = vec![0.01];
+        let jobs = g.jobs();
+        let j = &jobs[0];
+        assert_eq!(j.page_size, 256);
+        let cfg = j.sim_config();
+        assert_eq!(cfg.machine.page_size.bytes(), 256);
+        assert_eq!(cfg.machine.global_frames * 256, 16 * 1024 * 1024);
+        assert!(cfg.machine.faults.bus_timeout_rate > 0.0);
+        assert_eq!(j.policy().name(), "move-limit");
+        cfg.machine.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let jobs = Grid::paper().jobs();
+        assert_eq!(jobs[2].label(), "ParMult/numa t=4 p=7");
+        assert!(jobs[0].label().contains("local"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Aggregation: a finished grid rendered as one deterministic report.
+//!
+//! The sweep document is the lab's unit of trajectory: `numa-lab run`
+//! writes it as `BENCH_sweep.json`, CI regenerates it and requires the
+//! bytes to match, and the regression gate diffs a fresh run against
+//! the committed copy with per-metric tolerances.
+//!
+//! Besides the raw per-cell measurements, the report solves the
+//! paper's analytic model (equations 4 and 5) for every `numa` cell
+//! whose `local` and `global` companions are in the same grid, and
+//! embeds the paper's published α/β/γ next to each solved row — the
+//! same side-by-side the bench harnesses print, but machine-readable.
+
+use crate::farm::{self, JobResult, LabError};
+use crate::grid::{Grid, JobSpec, Placement};
+use numa_metrics::paper::{paper_alpha, paper_beta_gamma};
+use numa_metrics::{Json, Model, SharedSink};
+
+/// Schema tag of the sweep document.
+pub const SCHEMA: &str = "numa-repro/lab-sweep/v1";
+
+/// A grid together with its results, in grid order.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// The grid that ran.
+    pub grid: Grid,
+    /// One result per job, in grid order.
+    pub results: Vec<JobResult>,
+}
+
+/// One solved model row (the sweep-level analogue of a Table 3 row).
+#[derive(Clone, Debug)]
+pub struct ModelRow {
+    /// The `numa` cell the row was solved for.
+    pub spec: JobSpec,
+    /// T_local of the matching `local` cell (seconds).
+    pub t_local: f64,
+    /// T_global of the matching `global` cell (seconds).
+    pub t_global: f64,
+    /// T_numa of the cell itself (seconds).
+    pub t_numa: f64,
+    /// Model alpha; `None` when the app is placement-insensitive.
+    pub alpha: Option<f64>,
+    /// Model beta.
+    pub beta: f64,
+    /// Gamma.
+    pub gamma: f64,
+    /// Ground-truth local-reference fraction of the `numa` run.
+    pub alpha_measured: f64,
+}
+
+impl Sweep {
+    /// Runs `grid` on `n_workers` farm threads.
+    pub fn run(
+        grid: Grid,
+        n_workers: usize,
+        progress: Option<&SharedSink>,
+    ) -> Result<Sweep, LabError> {
+        let results = farm::run_jobs(&grid.jobs(), n_workers, progress)?;
+        Ok(Sweep { grid, results })
+    }
+
+    /// Solves the analytic model for every `numa` cell with `local` and
+    /// `global` companions at the same fault rate and page size (the
+    /// `global` companion additionally on the same processor count).
+    pub fn model_rows(&self) -> Vec<ModelRow> {
+        let find = |placement: Placement, spec: &JobSpec, same_cpus: bool| {
+            self.results.iter().find(|r| {
+                r.spec.placement == placement
+                    && r.spec.app == spec.app
+                    && r.spec.fault_rate.to_bits() == spec.fault_rate.to_bits()
+                    && r.spec.page_size == spec.page_size
+                    && (!same_cpus || r.spec.cpus == spec.cpus)
+            })
+        };
+        let mut rows = Vec::new();
+        for result in &self.results {
+            if result.spec.placement != Placement::Numa {
+                continue;
+            }
+            let (Some(local), Some(global)) = (
+                find(Placement::Local, &result.spec, false),
+                find(Placement::Global, &result.spec, true),
+            ) else {
+                continue;
+            };
+            let (t_local, t_global, t_numa) = (
+                local.report.user_secs(),
+                global.report.user_secs(),
+                result.report.user_secs(),
+            );
+            let (alpha, beta, gamma) =
+                match Model::solve(t_global, t_numa, t_local, result.spec.app.g_over_l()) {
+                    Ok(m) => (Some(m.alpha), m.beta, m.gamma),
+                    Err(_) => (None, 0.0, if t_local > 0.0 { t_numa / t_local } else { 1.0 }),
+                };
+            rows.push(ModelRow {
+                spec: result.spec.clone(),
+                t_local,
+                t_global,
+                t_numa,
+                alpha,
+                beta,
+                gamma,
+                alpha_measured: result.report.alpha_measured(),
+            });
+        }
+        rows
+    }
+
+    /// The whole sweep as one deterministic JSON document.
+    pub fn to_json(&self) -> Json {
+        let jobs: Vec<Json> = self
+            .results
+            .iter()
+            .map(|r| {
+                r.spec
+                    .to_json()
+                    .field("user_s", r.report.user_secs())
+                    .field("system_s", r.report.system_secs())
+                    .field("makespan_ns", r.report.makespan().0)
+                    .field("alpha_measured", r.report.alpha_measured())
+                    .field("replications", r.report.numa.replications)
+                    .field("migrations", r.report.numa.migrations)
+                    .field("pins", r.report.numa.pins)
+                    .field("syncs", r.report.numa.syncs)
+                    .field("shootdowns", r.report.numa.shootdowns)
+                    .field("recovery_actions", r.report.numa.recovery_actions())
+                    .field("bus_bytes", r.report.bus.total_bytes())
+            })
+            .collect();
+        let model: Vec<Json> = self
+            .model_rows()
+            .iter()
+            .map(|m| {
+                let (paper_beta, paper_gamma) = paper_beta_gamma(m.spec.app.name());
+                Json::obj()
+                    .field("app", m.spec.app.name())
+                    .field("cpus", m.spec.cpus)
+                    .field("threshold", m.spec.threshold.map(u64::from))
+                    .field("fault_rate", Json::Num(m.spec.fault_rate))
+                    .field("page_size", m.spec.page_size)
+                    .field("t_local_s", m.t_local)
+                    .field("t_global_s", m.t_global)
+                    .field("t_numa_s", m.t_numa)
+                    .field("alpha", m.alpha)
+                    .field("beta", m.beta)
+                    .field("gamma", m.gamma)
+                    .field("alpha_measured", m.alpha_measured)
+                    .field("paper_alpha", paper_alpha(m.spec.app.name()))
+                    .field("paper_beta", paper_beta)
+                    .field("paper_gamma", paper_gamma)
+            })
+            .collect();
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("grid", self.grid.to_json())
+            .field("jobs", Json::Arr(jobs))
+            .field("model", Json::Arr(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_metrics::validate;
+
+    #[test]
+    fn smoke_sweep_solves_the_model_and_serializes() {
+        let sweep = Sweep::run(Grid::smoke(), 2, None).unwrap();
+        assert_eq!(sweep.results.len(), 6);
+        let rows = sweep.model_rows();
+        assert_eq!(rows.len(), 2, "one model row per app");
+        for row in &rows {
+            assert!(row.t_local > 0.0 && row.t_global > 0.0 && row.t_numa > 0.0);
+            assert!(row.gamma > 0.0);
+        }
+        let text = sweep.to_json().to_string_flat();
+        validate(&text).unwrap();
+        assert!(text.contains("\"schema\":\"numa-repro/lab-sweep/v1\""));
+        assert!(text.contains("\"model\":[{"));
+        assert!(text.contains("\"paper_alpha\""));
+    }
+
+    #[test]
+    fn grids_without_baselines_have_no_model_rows() {
+        let sweep = Sweep::run(Grid::threshold(), 2, None).unwrap();
+        assert!(sweep.model_rows().is_empty());
+        validate(&sweep.to_json().to_string_flat()).unwrap();
+    }
+}

@@ -1,0 +1,267 @@
+//! Tolerance-based structural diffing of two report documents.
+//!
+//! The bench trajectory (`BENCH_*.json`) is only useful if something
+//! *fails* when a metric drifts: this module compares a freshly
+//! generated report against a committed baseline, leaf by leaf, and
+//! classifies every difference as inside or outside a per-metric
+//! tolerance. `numa-lab diff` prints the result; `numa-lab gate` turns
+//! violations into a nonzero exit status.
+//!
+//! The comparison is structural, not textual: both documents are
+//! [`parse`](crate::json::parse)d and walked together, so formatting
+//! differences cannot hide a regression and a reordered key is reported
+//! as structure drift instead of producing a wall of false numeric
+//! deltas.
+
+use crate::json::Json;
+
+/// How far a numeric leaf may drift from its baseline value.
+///
+/// A delta `|a - b|` is allowed when it is `<= abs` **or**
+/// `<= rel * max(|a|, |b|)` — so `abs` gives small absolute metrics
+/// (α, β near zero) headroom and `rel` scales with big counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// Relative slack, as a fraction (0.02 = ±2%).
+    pub rel: f64,
+    /// Absolute slack, in the leaf's own unit.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// No slack at all: any difference is a violation.
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0.0 };
+
+    /// Purely relative tolerance.
+    pub fn rel(rel: f64) -> Tolerance {
+        Tolerance { rel, abs: 0.0 }
+    }
+
+    /// Purely absolute tolerance.
+    pub fn abs(abs: f64) -> Tolerance {
+        Tolerance { abs, rel: 0.0 }
+    }
+
+    /// Whether a baseline/current pair is within this tolerance.
+    pub fn allows(&self, baseline: f64, current: f64) -> bool {
+        let d = (baseline - current).abs();
+        d <= self.abs || d <= self.rel * baseline.abs().max(current.abs())
+    }
+}
+
+/// One observed difference between baseline and current.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Dotted path of the differing leaf, e.g. `jobs[3].user_s`.
+    pub path: String,
+    /// Baseline side, rendered (`<missing>` when absent).
+    pub baseline: String,
+    /// Current side, rendered (`<missing>` when absent).
+    pub current: String,
+    /// True when the difference is numeric and inside tolerance.
+    pub within: bool,
+}
+
+/// The full result of one comparison.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineDiff {
+    /// Every differing leaf, in baseline document order.
+    pub deltas: Vec<Delta>,
+    /// Numeric leaves compared (equal or not) — a sanity signal that
+    /// the two documents actually overlapped.
+    pub compared: usize,
+}
+
+impl BaselineDiff {
+    /// Differences outside tolerance.
+    pub fn violations(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas.iter().filter(|d| !d.within)
+    }
+
+    /// True when nothing drifted beyond tolerance.
+    pub fn passes(&self) -> bool {
+        self.deltas.iter().all(|d| d.within)
+    }
+
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        let violations = self.violations().count();
+        format!(
+            "{} leaves compared, {} drifted ({} within tolerance, {} violations)",
+            self.compared,
+            self.deltas.len(),
+            self.deltas.len() - violations,
+            violations
+        )
+    }
+}
+
+/// Compares `current` against `baseline`. `tolerance_for` maps a leaf's
+/// dotted path to the tolerance applied at that leaf; non-numeric
+/// leaves, type changes, and missing/extra members are always
+/// violations.
+pub fn compare(
+    baseline: &Json,
+    current: &Json,
+    tolerance_for: &dyn Fn(&str) -> Tolerance,
+) -> BaselineDiff {
+    let mut diff = BaselineDiff::default();
+    walk(baseline, current, "", &mut diff, tolerance_for);
+    diff
+}
+
+fn render(v: &Json) -> String {
+    v.to_string_flat()
+}
+
+fn as_num(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::Num(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn walk(
+    baseline: &Json,
+    current: &Json,
+    path: &str,
+    diff: &mut BaselineDiff,
+    tolerance_for: &dyn Fn(&str) -> Tolerance,
+) {
+    // Numbers first: Int-vs-Num is a representation detail, not drift.
+    if let (Some(b), Some(c)) = (as_num(baseline), as_num(current)) {
+        diff.compared += 1;
+        if b != c {
+            diff.deltas.push(Delta {
+                path: path.to_string(),
+                baseline: render(baseline),
+                current: render(current),
+                within: tolerance_for(path).allows(b, c),
+            });
+        }
+        return;
+    }
+    match (baseline, current) {
+        (Json::Obj(bm), Json::Obj(cm)) => {
+            for (k, bv) in bm {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                match cm.iter().find(|(ck, _)| ck == k) {
+                    Some((_, cv)) => walk(bv, cv, &sub, diff, tolerance_for),
+                    None => diff.deltas.push(Delta {
+                        path: sub,
+                        baseline: render(bv),
+                        current: "<missing>".to_string(),
+                        within: false,
+                    }),
+                }
+            }
+            for (k, cv) in cm {
+                if !bm.iter().any(|(bk, _)| bk == k) {
+                    let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    diff.deltas.push(Delta {
+                        path: sub,
+                        baseline: "<missing>".to_string(),
+                        current: render(cv),
+                        within: false,
+                    });
+                }
+            }
+        }
+        (Json::Arr(ba), Json::Arr(ca)) => {
+            if ba.len() != ca.len() {
+                diff.deltas.push(Delta {
+                    path: format!("{path}.len"),
+                    baseline: ba.len().to_string(),
+                    current: ca.len().to_string(),
+                    within: false,
+                });
+            }
+            for (i, (bv, cv)) in ba.iter().zip(ca.iter()).enumerate() {
+                walk(bv, cv, &format!("{path}[{i}]"), diff, tolerance_for);
+            }
+        }
+        _ => {
+            if baseline != current {
+                diff.deltas.push(Delta {
+                    path: path.to_string(),
+                    baseline: render(baseline),
+                    current: render(current),
+                    within: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn tol_user_s(path: &str) -> Tolerance {
+        if path.ends_with("user_s") {
+            Tolerance::rel(0.05)
+        } else {
+            Tolerance::EXACT
+        }
+    }
+
+    #[test]
+    fn identical_documents_pass_clean() {
+        let j = parse(r#"{"a":1,"b":[1,2.5],"c":{"d":"x"}}"#).unwrap();
+        let d = compare(&j, &j, &|_| Tolerance::EXACT);
+        assert!(d.passes());
+        assert!(d.deltas.is_empty());
+        assert_eq!(d.compared, 3);
+    }
+
+    #[test]
+    fn drift_within_tolerance_is_recorded_but_passes() {
+        let b = parse(r#"{"user_s":10.0}"#).unwrap();
+        let c = parse(r#"{"user_s":10.2}"#).unwrap();
+        let d = compare(&b, &c, &tol_user_s);
+        assert!(d.passes());
+        assert_eq!(d.deltas.len(), 1);
+        assert!(d.deltas[0].within);
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_a_violation() {
+        let b = parse(r#"{"user_s":10.0,"pins":3}"#).unwrap();
+        let c = parse(r#"{"user_s":12.0,"pins":4}"#).unwrap();
+        let d = compare(&b, &c, &tol_user_s);
+        assert!(!d.passes());
+        assert_eq!(d.violations().count(), 2);
+        assert!(d.summary().contains("2 violations"));
+    }
+
+    #[test]
+    fn int_vs_float_representation_is_not_drift() {
+        let b = parse(r#"{"x":2}"#).unwrap();
+        let c = parse(r#"{"x":2.0}"#).unwrap();
+        assert!(compare(&b, &c, &|_| Tolerance::EXACT).deltas.is_empty());
+    }
+
+    #[test]
+    fn structure_drift_is_always_a_violation() {
+        let b = parse(r#"{"a":1,"gone":2,"arr":[1,2],"s":"x"}"#).unwrap();
+        let c = parse(r#"{"a":1,"new":3,"arr":[1],"s":"y"}"#).unwrap();
+        let d = compare(&b, &c, &|_| Tolerance::rel(1.0));
+        let paths: Vec<&str> = d.deltas.iter().map(|x| x.path.as_str()).collect();
+        assert!(paths.contains(&"gone"));
+        assert!(paths.contains(&"new"));
+        assert!(paths.contains(&"arr.len"));
+        assert!(paths.contains(&"s"));
+        assert!(d.violations().count() >= 4);
+    }
+
+    #[test]
+    fn tolerance_abs_floor_covers_near_zero_metrics() {
+        let t = Tolerance { rel: 0.01, abs: 0.02 };
+        assert!(t.allows(0.0, 0.015));
+        assert!(!t.allows(0.0, 0.5));
+        assert!(t.allows(100.0, 100.9));
+        assert!(!t.allows(100.0, 102.0));
+    }
+}

@@ -205,6 +205,18 @@ pub enum EventKind {
     /// The kernel's periodic daemon ticked (policy aging / pin
     /// reconsideration).
     DaemonTick,
+
+    /// One experiment-orchestration job finished. Emitted by the
+    /// `numa-lab` worker farm (not the simulator): `cpu` is the worker
+    /// slot that ran the job and `t` the job's virtual makespan, so a
+    /// progress sink can show live sweep status through the same
+    /// pipeline as every other event.
+    JobCompleted {
+        /// Grid-order index of the finished job.
+        job: u32,
+        /// Total number of jobs in the sweep.
+        of: u32,
+    },
 }
 
 /// One event: what happened, where, and when (in virtual time).
@@ -349,6 +361,10 @@ impl Event {
                 ("map-entered", Json::obj().field("lpage", lpage.0 as u64))
             }
             EventKind::DaemonTick => ("daemon-tick", Json::obj()),
+            EventKind::JobCompleted { job, of } => (
+                "job-completed",
+                Json::obj().field("job", u64::from(job)).field("of", u64::from(of)),
+            ),
         }
     }
 }
@@ -471,6 +487,7 @@ mod tests {
             EventKind::Recovery { lpage: None, action: RecoveryAction::BusRetry { attempt: 1 } },
             EventKind::MapEntered { lpage: LPageId(1) },
             EventKind::DaemonTick,
+            EventKind::JobCompleted { job: 3, of: 24 },
         ];
         for kind in kinds {
             let e = Event { t: Ns(1), cpu: CpuId(0), kind };

@@ -192,6 +192,137 @@ pub fn validate(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses one JSON document into a [`Json`] value — the read side of
+/// the serializer, used by the baseline-diff layer to load committed
+/// `BENCH_*.json` files back into comparable structure.
+///
+/// Numbers with no fraction or exponent that fit an `i64` come back as
+/// [`Json::Int`]; everything else numeric comes back as [`Json::Num`].
+/// Object member order is preserved, so `parse(x).to_string_flat()`
+/// round-trips documents this crate produced.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = build_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn build_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => build_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut items = Vec::new();
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(build_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut members = Vec::new();
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = build_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = build_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("non-UTF-8 number at offset {start}"))?;
+            let is_integral = !text.contains(['.', 'e', 'E']);
+            if is_integral {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            }
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}` at offset {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte `{}` at offset {pos}", *c as char)),
+    }
+}
+
+fn build_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?;
+    // Contents between the quotes, unescaped.
+    let inner = std::str::from_utf8(&b[start + 1..*pos - 1])
+        .map_err(|_| format!("non-UTF-8 string at offset {start}"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in string at offset {start}"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("unpaired surrogate in string at offset {start}"))?,
+                );
+            }
+            _ => return Err(format!("bad escape in string at offset {start}")),
+        }
+    }
+    Ok(out)
+}
+
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -387,5 +518,45 @@ mod tests {
     fn escapes_round_trip_through_the_validator() {
         let j = Json::Str("\u{1}\u{7}control".to_string());
         validate(&format!("{j}")).unwrap();
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_documents() {
+        let j = Json::obj()
+            .field("i", 42i64)
+            .field("f", 2.5)
+            .field("whole", Json::Num(3.0))
+            .field("s", "a\"b\\c\nd\u{1}")
+            .field("arr", vec![Json::Null, Json::Bool(true), Json::Int(-7)])
+            .field("nested", Json::obj().field("k", Json::Arr(vec![])));
+        let text = j.to_string_flat();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(back.to_string_flat(), text);
+    }
+
+    #[test]
+    fn parse_number_classification() {
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("-3").unwrap(), Json::Int(-3));
+        assert_eq!(parse("2.0").unwrap(), Json::Num(2.0));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        // Integral but too big for i64: falls back to a float.
+        assert!(matches!(parse("99999999999999999999").unwrap(), Json::Num(_)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("\"\\ud800\"").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn parse_unescapes_u_sequences() {
+        assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap(), Json::Str("Aé".to_string()));
     }
 }

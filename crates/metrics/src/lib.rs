@@ -26,18 +26,25 @@
 //!   [`EventSink`] trait every layer of the simulator emits into;
 //! * [`telemetry`] — [`Telemetry`], an aggregating sink producing
 //!   per-page lifecycles, histograms, and per-CPU reference timelines;
-//! * [`json`] — the dependency-free [`Json`] serializer (and
-//!   [`validate`] checker) behind every machine-readable report.
+//! * [`json`] — the dependency-free [`Json`] serializer, [`validate`]
+//!   checker and [`parse`] reader behind every machine-readable report;
+//! * [`baseline`] — tolerance-based structural diffing of two report
+//!   documents, the engine of `numa-lab diff`/`gate`;
+//! * [`paper`] — the paper's published Table 3/4 values, the single
+//!   source of truth shared by benches, lab, and examples.
 
+pub mod baseline;
 pub mod events;
 pub mod json;
 pub mod model;
+pub mod paper;
 pub mod table;
 pub mod telemetry;
 
+pub use baseline::{compare, BaselineDiff, Delta, Tolerance};
 pub use events::{Decision, Event, EventKind, EventSink, PageState, RecoveryAction, SharedSink,
                  VecSink, shared};
-pub use json::{Json, validate};
+pub use json::{Json, parse, validate};
 pub use model::{Model, ModelError};
 pub use table::Table;
 pub use telemetry::{Histogram, PageLifecycle, Telemetry};

@@ -369,7 +369,8 @@ impl EventSink for Telemetry {
             | EventKind::FaultOverhead
             | EventKind::Shootdown
             | EventKind::MapEntered { .. }
-            | EventKind::DaemonTick => {}
+            | EventKind::DaemonTick
+            | EventKind::JobCompleted { .. } => {}
         }
     }
 }

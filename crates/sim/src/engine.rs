@@ -21,6 +21,26 @@ struct PendingThread {
     body: Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>,
 }
 
+/// Runs one complete simulation from one configuration: boots a
+/// simulator for `cfg` and `policy`, hands it to `body` (which
+/// allocates, spawns and drives an application to completion), and
+/// returns the run's report.
+///
+/// This is the single-config entry point the `numa-lab` worker farm
+/// calls once per sweep cell; unlike the panicking harness helpers it
+/// propagates the application's verification failure as a typed `Err`,
+/// so a wrong answer in one grid cell surfaces as that cell's error
+/// instead of tearing down the whole sweep.
+pub fn run_one(
+    cfg: SimConfig,
+    policy: Box<dyn CachePolicy>,
+    body: impl FnOnce(&mut Simulator) -> Result<(), String>,
+) -> Result<RunReport, String> {
+    let mut sim = Simulator::new(cfg, policy);
+    body(&mut sim)?;
+    Ok(sim.report())
+}
+
 /// The user-facing simulator: build a machine, allocate memory, spawn
 /// threads, run, inspect.
 ///

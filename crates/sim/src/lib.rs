@@ -29,6 +29,6 @@ pub mod report;
 
 pub use config::{SchedulerKind, SimConfig};
 pub use ctx::ThreadCtx;
-pub use engine::Simulator;
+pub use engine::{run_one, Simulator};
 pub use kernel::{Kernel, RefEvent, RefSink};
 pub use report::RunReport;

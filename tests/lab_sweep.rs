@@ -1,0 +1,59 @@
+//! Workspace-level integration tests for the `numa-lab` experiment
+//! orchestrator: the sweep grid, the worker farm, the aggregation
+//! document, and the regression gate, exercised together.
+
+use numa_lab::{diff_documents, GateTolerances, Grid, Placement, Sweep};
+use numa_repro::metrics::{parse, validate, Json};
+
+/// The paper grid (the one behind the committed `BENCH_sweep.json`) is
+/// 8 apps x 3 placements, expands in grid order, and carries a model
+/// row for every application.
+#[test]
+fn paper_grid_shape_matches_the_evaluation() {
+    let grid = Grid::paper();
+    let jobs = grid.jobs();
+    assert_eq!(jobs.len(), 24);
+    assert_eq!(jobs.iter().filter(|j| j.placement == Placement::Numa).count(), 8);
+    assert_eq!(jobs.iter().filter(|j| j.placement == Placement::Local).count(), 8);
+    assert!(jobs.iter().enumerate().all(|(i, j)| j.id == i));
+}
+
+/// Parallel and serial farms must emit byte-identical documents, and
+/// the document must satisfy its own validator and schema.
+#[test]
+fn parallel_sweep_is_deterministic_and_valid() {
+    let mut grid = Grid::smoke();
+    grid.apps.truncate(1);
+    let serial = Sweep::run(grid.clone(), 1, None).unwrap().to_json().to_string_flat();
+    let parallel = Sweep::run(grid, 8, None).unwrap().to_json().to_string_flat();
+    assert_eq!(serial, parallel);
+    validate(&serial).unwrap();
+    let doc = parse(&serial).unwrap();
+    let Json::Obj(members) = &doc else { panic!("sweep document is an object") };
+    assert_eq!(members[0].0, "schema");
+    assert!(members.iter().any(|(k, _)| k == "jobs"));
+    assert!(members.iter().any(|(k, _)| k == "model"));
+}
+
+/// The gate accepts an identical rerun and rejects a perturbed metric.
+#[test]
+fn gate_passes_identity_and_catches_perturbation() {
+    let mut grid = Grid::smoke();
+    grid.apps.truncate(1);
+    let baseline = Sweep::run(grid, 2, None).unwrap().to_json().to_string_flat();
+
+    let clean = diff_documents(&baseline, &baseline, &GateTolerances::default()).unwrap();
+    assert!(clean.passes());
+    assert!(clean.deltas.is_empty());
+
+    // Quadruple the first pins counter: far outside the count band.
+    let needle = "\"pins\":";
+    let at = baseline.find(needle).unwrap() + needle.len();
+    let end = at + baseline[at..].find(',').unwrap();
+    let pins: i64 = baseline[at..end].parse().unwrap();
+    let perturbed =
+        format!("{}{}{}", &baseline[..at], pins * 4 + 20, &baseline[end..]);
+    let diff = diff_documents(&baseline, &perturbed, &GateTolerances::default()).unwrap();
+    assert!(!diff.passes(), "a perturbed counter must fail the gate");
+    assert!(diff.violations().next().unwrap().path.ends_with("pins"));
+}
