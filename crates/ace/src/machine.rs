@@ -201,6 +201,44 @@ impl Machine {
         t
     }
 
+    /// True when `n` identical accesses at `dist` are indistinguishable
+    /// from one batched arithmetic charge: no event tap listening (taps
+    /// see per-access timestamps) and no bus queue advancing per access.
+    pub fn batchable(&self, dist: Distance) -> bool {
+        self.tap.is_none() && !(self.config.bus_contention && dist != Distance::Local)
+    }
+
+    /// The queueing-free cost of one `words`-word access of `kind` at
+    /// `dist` — the per-element step [`Machine::charge_access`] charges
+    /// when no bus queue applies.
+    pub fn access_cost(&self, kind: Access, dist: Distance, words: u64) -> Ns {
+        self.config.costs.access(kind, dist) * words
+    }
+
+    /// Charges `n` identical accesses in one arithmetic step. Requires
+    /// [`Machine::batchable`] for the frame's distance; bus counters and
+    /// the processor clock end up exactly where `n` calls of
+    /// [`Machine::charge_access`] would leave them.
+    pub fn charge_access_n(
+        &mut self,
+        cpu: CpuId,
+        kind: Access,
+        frame: Frame,
+        words: u64,
+        n: u64,
+    ) -> Ns {
+        let dist = self.distance(cpu, frame.region);
+        debug_assert!(self.batchable(dist), "batched charge with an observer attached");
+        match dist {
+            Distance::Global => self.bus.add_global(words * n),
+            Distance::Remote => self.bus.add_remote(words * n),
+            Distance::Local => {}
+        }
+        let t = self.access_cost(kind, dist, words) * n;
+        self.clocks.charge_user(cpu, t);
+        t
+    }
+
     /// Copies page `src` to `dst`, charging the copy cost as *system*
     /// time to `cpu` and recording bus traffic if the copy crosses the
     /// bus. Returns the charged time.

@@ -72,12 +72,32 @@ pub struct Mmu {
     /// frame -> the single (asid, vpn) mapped to it on this processor.
     by_frame: HashMap<Frame, (Asid, Vpn)>,
     stats: MmuStats,
+    /// Invalidation epoch: bumped on every mutation of the translation
+    /// table (enter, remove, protect, reference/modified-bit clearing).
+    /// Software caches of translations — the simulator's per-thread TLB
+    /// — record the epoch they were filled at and treat any bump as a
+    /// wholesale invalidation, so an unmap, protection change or
+    /// shootdown on this processor can never be served from a stale
+    /// cached translation.
+    epoch: u64,
 }
 
 impl Mmu {
     /// An MMU with no translations.
     pub fn new() -> Mmu {
-        Mmu { map: HashMap::new(), by_frame: HashMap::new(), stats: MmuStats::default() }
+        Mmu {
+            map: HashMap::new(),
+            by_frame: HashMap::new(),
+            stats: MmuStats::default(),
+            epoch: 0,
+        }
+    }
+
+    /// The current invalidation epoch. A cached translation is valid
+    /// only while the epoch it was captured at is still current.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Translates `(asid, vpn)` for an access of kind `kind`, updating
@@ -127,6 +147,7 @@ impl Mmu {
         prot: Prot,
     ) -> Option<(Asid, Vpn)> {
         debug_assert!(prot != Prot::NONE, "entering a useless mapping");
+        self.epoch += 1;
         let mut displaced = None;
         if let Some(&(old_as, old_vpn)) = self.by_frame.get(&frame) {
             if (old_as, old_vpn) != (asid, vpn) {
@@ -154,6 +175,7 @@ impl Mmu {
     pub fn remove(&mut self, asid: Asid, vpn: Vpn) -> Option<Mapping> {
         let m = self.map.remove(&(asid, vpn))?;
         self.by_frame.remove(&m.frame);
+        self.epoch += 1;
         Some(m)
     }
 
@@ -162,6 +184,7 @@ impl Mmu {
     pub fn remove_frame(&mut self, frame: Frame) -> Option<(Asid, Vpn, Mapping)> {
         let (asid, vpn) = self.by_frame.remove(&frame)?;
         let m = self.map.remove(&(asid, vpn))?;
+        self.epoch += 1;
         Some((asid, vpn, m))
     }
 
@@ -171,6 +194,7 @@ impl Mmu {
         match self.map.get_mut(&(asid, vpn)) {
             Some(m) => {
                 m.prot = prot;
+                self.epoch += 1;
                 true
             }
             None => false,
@@ -184,6 +208,7 @@ impl Mmu {
         for key in victims {
             if let Some(m) = self.map.remove(&key) {
                 self.by_frame.remove(&m.frame);
+                self.epoch += 1;
             }
         }
     }
@@ -194,13 +219,20 @@ impl Mmu {
     pub fn take_referenced_frame(&mut self, frame: Frame) -> Option<bool> {
         let &(asid, vpn) = self.by_frame.get(&frame)?;
         let m = self.map.get_mut(&(asid, vpn))?;
+        // Clearing the referenced bit must invalidate cached
+        // translations: a fast path reusing one would otherwise skip the
+        // re-translation that sets the bit again.
+        self.epoch += 1;
         Some(std::mem::replace(&mut m.referenced, false))
     }
 
     /// Reads and clears the modified bit of a mapping.
     pub fn take_modified(&mut self, asid: Asid, vpn: Vpn) -> bool {
         match self.map.get_mut(&(asid, vpn)) {
-            Some(m) => std::mem::replace(&mut m.modified, false),
+            Some(m) => {
+                self.epoch += 1;
+                std::mem::replace(&mut m.modified, false)
+            }
             None => false,
         }
     }
@@ -340,6 +372,59 @@ mod tests {
         mmu.remove_asid(1);
         assert!(mmu.probe(1, 1).is_none());
         assert!(mmu.probe(2, 1).is_some());
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation_and_only_on_mutation() {
+        let mut mmu = Mmu::new();
+        let e0 = mmu.epoch();
+        // Probes and translations (even faulting ones) leave the epoch
+        // alone: they never change the table.
+        assert!(mmu.probe(AS, 1).is_none());
+        assert_eq!(mmu.translate(AS, 1, Access::Fetch), Err(MmuFault::NotMapped));
+        assert_eq!(mmu.epoch(), e0);
+
+        let f = Frame::global(1);
+        mmu.enter(AS, 1, f, Prot::READ_WRITE);
+        let e1 = mmu.epoch();
+        assert!(e1 > e0, "enter bumps");
+        mmu.translate(AS, 1, Access::Store).unwrap();
+        assert_eq!(mmu.epoch(), e1, "successful translate does not bump");
+
+        assert!(mmu.protect(AS, 1, Prot::READ));
+        let e2 = mmu.epoch();
+        assert!(e2 > e1, "protect on a live mapping bumps");
+        assert!(!mmu.protect(AS, 99, Prot::READ));
+        assert_eq!(mmu.epoch(), e2, "protect miss does not bump");
+
+        assert_eq!(mmu.take_referenced_frame(f), Some(true));
+        let e3 = mmu.epoch();
+        assert!(e3 > e2, "clearing the referenced bit bumps");
+        assert!(mmu.take_referenced_frame(Frame::global(9)).is_none());
+        assert_eq!(mmu.epoch(), e3, "bit clear on an unmapped frame does not bump");
+
+        mmu.take_modified(AS, 1);
+        let e4 = mmu.epoch();
+        assert!(e4 > e3, "clearing the modified bit bumps");
+        assert!(!mmu.take_modified(AS, 99));
+        assert_eq!(mmu.epoch(), e4);
+
+        assert!(mmu.remove(AS, 1).is_some());
+        let e5 = mmu.epoch();
+        assert!(e5 > e4, "remove bumps");
+        assert!(mmu.remove(AS, 1).is_none());
+        assert_eq!(mmu.epoch(), e5, "remove miss does not bump");
+
+        mmu.enter(AS, 2, f, Prot::READ);
+        mmu.enter(2, 3, Frame::global(2), Prot::READ);
+        let e6 = mmu.epoch();
+        assert!(mmu.remove_frame(f).is_some());
+        assert!(mmu.epoch() > e6, "remove_frame bumps");
+        let e7 = mmu.epoch();
+        mmu.remove_asid(99);
+        assert_eq!(mmu.epoch(), e7, "remove_asid of an empty space does not bump");
+        mmu.remove_asid(2);
+        assert!(mmu.epoch() > e7, "remove_asid bumps per removed mapping");
     }
 
     #[test]

@@ -130,14 +130,11 @@ impl Fft {
 /// every element access a real simulated reference.
 fn fft_scratch(ctx: &mut ThreadCtx, scratch: VAddr, n: usize) {
     let rd = |ctx: &mut ThreadCtx, i: usize| -> (f64, f64) {
-        (
-            ctx.read_f64(scratch + (i as u64) * 16),
-            ctx.read_f64(scratch + (i as u64) * 16 + 8),
-        )
+        let v = ctx.read_run_f64(scratch + (i as u64) * 16, 8, 2);
+        (v[0], v[1])
     };
     let wr = |ctx: &mut ThreadCtx, i: usize, v: (f64, f64)| {
-        ctx.write_f64(scratch + (i as u64) * 16, v.0);
-        ctx.write_f64(scratch + (i as u64) * 16 + 8, v.1);
+        ctx.write_run_f64(scratch + (i as u64) * 16, 8, &[v.0, v.1]);
     };
     // Bit-reversal permutation.
     let mut j = 0usize;
@@ -159,25 +156,35 @@ fn fft_scratch(ctx: &mut ThreadCtx, scratch: VAddr, n: usize) {
     while len <= n {
         let ang = -2.0 * std::f64::consts::PI / len as f64;
         let (wre, wim) = (ang.cos(), ang.sin());
+        let half = len / 2;
         let mut i = 0;
         while i < n {
+            // Gather the block's lower and upper halves, each one
+            // contiguous run of `len` floats (half complexes).
+            let lo = ctx.read_run_f64(scratch + (i as u64) * 16, 8, len);
+            let hi = ctx.read_run_f64(scratch + ((i + half) as u64) * 16, 8, len);
+            let (mut lo_out, mut hi_out) = (vec![0.0f64; len], vec![0.0f64; len]);
             let (mut cr, mut ci) = (1.0f64, 0.0f64);
-            for k in 0..len / 2 {
-                let (ar, ai) = rd(ctx, i + k);
-                let (br, bi) = rd(ctx, i + k + len / 2);
+            for k in 0..half {
+                let (ar, ai) = (lo[2 * k], lo[2 * k + 1]);
+                let (br, bi) = (hi[2 * k], hi[2 * k + 1]);
                 let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
-                wr(ctx, i + k, (ar + tr, ai + ti));
-                wr(ctx, i + k + len / 2, (ar - tr, ai - ti));
-                // Compiler-spilled intermediates (private scratch).
-                for _ in 0..SPILLS_PER_BUTTERFLY {
-                    let v = ctx.read_f64(scratch + ((i + k) as u64) * 16);
-                    ctx.write_f64(scratch + ((i + k) as u64) * 16, v);
-                }
+                (lo_out[2 * k], lo_out[2 * k + 1]) = (ar + tr, ai + ti);
+                (hi_out[2 * k], hi_out[2 * k + 1]) = (ar - tr, ai - ti);
+                // Compiler-spilled intermediates (private scratch):
+                // read-modify-writes of one slot, batched as two
+                // stride-zero runs.
+                let spill = scratch + ((i + k) as u64) * 16;
+                let v = ctx.read_run_f64(spill, 0, SPILLS_PER_BUTTERFLY);
+                ctx.write_run_f64(spill, 0, &v);
                 ctx.compute(BUTTERFLY_COST);
                 let (nr, ni) = (cr * wre - ci * wim, cr * wim + ci * wre);
                 cr = nr;
                 ci = ni;
             }
+            // Scatter both halves back as runs.
+            ctx.write_run_f64(scratch + (i as u64) * 16, 8, &lo_out);
+            ctx.write_run_f64(scratch + ((i + half) as u64) * 16, 8, &hi_out);
             i += len;
         }
         len <<= 1;
@@ -202,48 +209,46 @@ impl App for Fft {
             sim.spawn(format!("fft-{t}"), move |ctx| {
                 let at = |r: usize, c: usize| matrix + ((r * n + c) as u64) * 16;
                 let my_rows = (t * rows_per)..(((t + 1) * rows_per).min(n));
-                // Initialization: each thread writes its own rows.
+                // Initialization: each thread writes its own rows, one
+                // contiguous run of 2n floats (re/im interleaved) per row.
                 for r in my_rows.clone() {
-                    for c in 0..n {
-                        let (re, im) = Fft::input(r, c);
-                        ctx.write_f64(at(r, c), re);
-                        ctx.write_f64(at(r, c) + 8, im);
-                    }
+                    let row: Vec<f64> = (0..n)
+                        .flat_map(|c| {
+                            let (re, im) = Fft::input(r, c);
+                            [re, im]
+                        })
+                        .collect();
+                    ctx.write_run_f64(at(r, 0), 8, &row);
                 }
                 bar.wait(ctx);
                 // Row phase: transform own rows via private scratch.
+                // Rows are contiguous, so gather and scatter are single
+                // 2n-float runs.
                 for r in my_rows.clone() {
-                    for c in 0..n {
-                        let re = ctx.read_f64(at(r, c));
-                        let im = ctx.read_f64(at(r, c) + 8);
-                        ctx.write_f64(scratch + (c as u64) * 16, re);
-                        ctx.write_f64(scratch + (c as u64) * 16 + 8, im);
-                    }
+                    let row = ctx.read_run_f64(at(r, 0), 8, 2 * n);
+                    ctx.write_run_f64(scratch, 8, &row);
                     fft_scratch(ctx, scratch, n);
-                    for c in 0..n {
-                        let re = ctx.read_f64(scratch + (c as u64) * 16);
-                        let im = ctx.read_f64(scratch + (c as u64) * 16 + 8);
-                        ctx.write_f64(at(r, c), re);
-                        ctx.write_f64(at(r, c) + 8, im);
-                    }
+                    let out = ctx.read_run_f64(scratch, 8, 2 * n);
+                    ctx.write_run_f64(at(r, 0), 8, &out);
                 }
                 bar.wait(ctx);
-                // Column phase: gather, transform, scatter.
+                // Column phase: gather, transform, scatter. Column
+                // elements sit one row apart, so the real and imaginary
+                // halves are runs at a row stride.
+                let row_stride = (n as u64) * 16;
                 let my_cols = (t * rows_per)..(((t + 1) * rows_per).min(n));
                 for c in my_cols {
-                    for r in 0..n {
-                        let re = ctx.read_f64(at(r, c));
-                        let im = ctx.read_f64(at(r, c) + 8);
-                        ctx.write_f64(scratch + (r as u64) * 16, re);
-                        ctx.write_f64(scratch + (r as u64) * 16 + 8, im);
-                    }
+                    let re = ctx.read_run_f64(at(0, c), row_stride, n);
+                    let im = ctx.read_run_f64(at(0, c) + 8, row_stride, n);
+                    let col: Vec<f64> =
+                        (0..n).flat_map(|r| [re[r], im[r]]).collect();
+                    ctx.write_run_f64(scratch, 8, &col);
                     fft_scratch(ctx, scratch, n);
-                    for r in 0..n {
-                        let re = ctx.read_f64(scratch + (r as u64) * 16);
-                        let im = ctx.read_f64(scratch + (r as u64) * 16 + 8);
-                        ctx.write_f64(at(r, c), re);
-                        ctx.write_f64(at(r, c) + 8, im);
-                    }
+                    let out = ctx.read_run_f64(scratch, 8, 2 * n);
+                    let (re_out, im_out): (Vec<f64>, Vec<f64>) =
+                        (0..n).map(|r| (out[2 * r], out[2 * r + 1])).unzip();
+                    ctx.write_run_f64(at(0, c), row_stride, &re_out);
+                    ctx.write_run_f64(at(0, c) + 8, row_stride, &im_out);
                 }
             });
         }

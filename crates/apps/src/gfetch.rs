@@ -71,26 +71,25 @@ impl App for Gfetch {
             let sums = std::sync::Arc::clone(&sums);
             sim.spawn(format!("gfetch-{t}"), move |ctx| {
                 let t = t as u64;
+                // Length of the residue class {first, first + stripes, …}
+                // below `words`.
+                let class_len = |first: u64| ((words - first).div_ceil(stripes)) as usize;
                 // Rotating-stripe initialization: round r, this thread
-                // writes stripe (t + r) mod stripes.
+                // writes stripe (t + r) mod stripes as one strided run.
                 for r in 0..ROUNDS as u64 {
                     let stripe = (t + r) % stripes;
-                    let mut i = stripe;
-                    while i < words {
-                        ctx.write_u32(array + i * 4, Gfetch::word_value(i));
-                        i += stripes;
-                    }
+                    let vals: Vec<u32> = (0..class_len(stripe) as u64)
+                        .map(|k| Gfetch::word_value(stripe + k * stripes))
+                        .collect();
+                    ctx.write_run(array + stripe * 4, stripes * 4, &vals);
                     bar.wait(ctx);
                 }
                 // The measured loop: nothing but fetches of the shared
-                // array.
+                // array, one strided run per sweep.
                 let mut sum = 0u64;
                 for _ in 0..sweeps {
-                    let mut i = t;
-                    while i < words {
-                        sum = sum.wrapping_add(ctx.read_u32(array + i * 4) as u64);
-                        i += stripes;
-                    }
+                    let run = ctx.read_run(array + t * 4, stripes * 4, class_len(t));
+                    sum = run.iter().fold(sum, |s, &v| s.wrapping_add(v as u64));
                 }
                 sums[t as usize].store(sum, std::sync::atomic::Ordering::Relaxed);
             });

@@ -97,28 +97,34 @@ impl App for IMatMult {
         for t in 0..workers {
             sim.spawn(format!("imatmult-{t}"), move |ctx| {
                 // Thread 0 initializes both inputs (they become its
-                // local-writable pages, later demoted to replicas).
+                // local-writable pages, later demoted to replicas),
+                // one row-sized extent at a time.
                 if t == 0 {
                     for i in 0..n {
-                        for j in 0..n {
-                            let idx = (i * n + j) as u64;
-                            ctx.write_i32(a + idx * 4, IMatMult::a_val(i, j));
-                            ctx.write_i32(b + idx * 4, IMatMult::b_val(i, j));
-                        }
+                        let row_a: Vec<u32> =
+                            (0..n).map(|j| IMatMult::a_val(i, j) as u32).collect();
+                        let row_b: Vec<u32> =
+                            (0..n).map(|j| IMatMult::b_val(i, j) as u32).collect();
+                        ctx.write_run(a + ((i * n) as u64) * 4, 4, &row_a);
+                        ctx.write_run(b + ((i * n) as u64) * 4, 4, &row_b);
                     }
                 }
                 bar.wait(ctx);
-                // Output elements parceled out in small batches.
+                // Output elements parceled out in small batches. Each dot
+                // product reads one A row sequentially and one B column
+                // at a row stride, then charges the n multiply-accumulate
+                // steps.
                 while let Some((lo, hi)) = pile.take_chunk(ctx, 8) {
                     for e in lo..hi {
                         let (i, j) = ((e as usize) / n, (e as usize) % n);
+                        let row = ctx.read_run(a + ((i * n) as u64) * 4, 4, n);
+                        let col = ctx.read_run(b + (j as u64) * 4, (n as u64) * 4, n);
                         let mut acc = 0i32;
                         for k in 0..n {
-                            let av = ctx.read_i32(a + ((i * n + k) as u64) * 4);
-                            let bv = ctx.read_i32(b + ((k * n + j) as u64) * 4);
-                            acc = acc.wrapping_add(av.wrapping_mul(bv));
-                            ctx.compute(MAC_COST);
+                            acc = acc
+                                .wrapping_add((row[k] as i32).wrapping_mul(col[k] as i32));
                         }
+                        ctx.compute(Ns(MAC_COST.0 * n as u64));
                         ctx.write_i32(c + e * 4, acc);
                     }
                 }

@@ -65,15 +65,11 @@ impl App for ParMult {
                 let mut sum = 0u64;
                 while let Some(parcel) = pile.take(ctx) {
                     // A register-only multiply loop: real products, real
-                    // cost, no memory references.
-                    let mut x = parcel.wrapping_mul(2654435761) | 1;
-                    let mut acc = 1u64;
-                    for _ in 0..MULS_PER_PARCEL {
-                        x = x.wrapping_mul(0x9E37_79B1) | 1;
-                        acc = acc.wrapping_mul(x | 1);
-                        ctx.compute(MUL_COST);
-                    }
-                    sum = sum.wrapping_add(acc);
+                    // cost, no memory references. The whole parcel's cost
+                    // is charged in one call (the engine still splits it
+                    // into budget-sized chunks internally).
+                    sum = sum.wrapping_add(parcel_chain(parcel));
+                    ctx.compute(Ns(MUL_COST.0 * MULS_PER_PARCEL));
                 }
                 checksum.fetch_add(sum, Ordering::Relaxed);
             });

@@ -190,11 +190,11 @@ impl App for PlyTrace {
                 for (i, tri) in scene.iter().enumerate() {
                     if i / per == t {
                         let a = tri_addr(i);
-                        for v in 0..3 {
-                            ctx.write_f64(a + (v as u64) * 24, tri.v[v].0);
-                            ctx.write_f64(a + (v as u64) * 24 + 8, tri.v[v].1);
-                            ctx.write_f64(a + (v as u64) * 24 + 16, tri.z[v]);
-                        }
+                        // The record's nine floats are contiguous: one run.
+                        let rec: Vec<f64> = (0..3)
+                            .flat_map(|v| [tri.v[v].0, tri.v[v].1, tri.z[v]])
+                            .collect();
+                        ctx.write_run_f64(a, 8, &rec);
                         ctx.write_u32(a + 72, tri.color);
                     }
                 }
@@ -209,30 +209,30 @@ impl App for PlyTrace {
                         let a = tri_addr(i);
                         let mut tri =
                             Tri { v: [(0.0, 0.0); 3], z: [0.0; 3], color: 0 };
+                        let rec = ctx.read_run_f64(a, 8, 9);
                         for v in 0..3 {
-                            tri.v[v].0 = ctx.read_f64(a + (v as u64) * 24);
-                            tri.v[v].1 = ctx.read_f64(a + (v as u64) * 24 + 8);
-                            tri.z[v] = ctx.read_f64(a + (v as u64) * 24 + 16);
+                            tri.v[v].0 = rec[3 * v];
+                            tri.v[v].1 = rec[3 * v + 1];
+                            tri.z[v] = rec[3 * v + 2];
                         }
                         tri.color = ctx.read_u32(a + 72);
                         // Per-triangle transform/clip/lighting set-up on
-                        // the private stack.
+                        // the private stack: the even slots are written,
+                        // the odd ones read back, each half one
+                        // stride-two-words run.
                         ctx.compute(SETUP_COST);
-                        for r in 0..SETUP_REFS {
-                            if r % 2 == 0 {
-                                ctx.write_u32(stack + (r % 128) * 4, r as u32);
-                            } else {
-                                let _ = ctx.read_u32(stack + (r % 128) * 4);
-                            }
-                        }
+                        let evens: Vec<u32> =
+                            (0..SETUP_REFS).step_by(2).map(|r| r as u32).collect();
+                        ctx.write_run(stack, 8, &evens);
+                        let _ = ctx.read_run(stack + 4, 8, SETUP_REFS as usize / 2);
                         let this = PlyTrace { size, objects: 0, seed: 0 };
                         let (x0, y0, x1, y1) = this.bbox(&tri);
                         for py in y0..=y1 {
                             // Per-scanline set-up re-reads the vertex
-                            // data (replicated, hence local).
+                            // data (replicated, hence local), one
+                            // two-float run per vertex.
                             for v in 0..3 {
-                                let _ = ctx.read_f64(a + (v as u64) * 24);
-                                let _ = ctx.read_f64(a + (v as u64) * 24 + 8);
+                                let _ = ctx.read_run_f64(a + (v as u64) * 24, 8, 2);
                             }
                             ctx.compute(SCANLINE_COST);
                             for px in x0..=x1 {

@@ -101,10 +101,10 @@ impl App for Primes1 {
                         let mut prime = true;
                         let mut d = 3u64;
                         while d * d <= n {
-                            // Subroutine linkage to the division helper.
-                            for r in 0..LINKAGE_REFS as u64 {
-                                ctx.write_u32(stack + (sp % 64) * 4 + r * 4, d as u32);
-                            }
+                            // Subroutine linkage to the division helper,
+                            // one consecutive-word run per call frame.
+                            let frame = [d as u32; LINKAGE_REFS];
+                            ctx.write_run(stack + (sp % 64) * 4, 4, &frame);
                             sp += 1;
                             ctx.compute(DIV_COST);
                             if n.is_multiple_of(d) {

@@ -161,18 +161,22 @@ impl App for Primes2 {
                 // The tuned discipline copies the divisors it needs (the
                 // seed prefix: every prime <= sqrt(limit)) into private
                 // memory once, and never reads the shared vector again
-                // while testing.
-                let mut priv_n = 0u64;
+                // while testing. The copy keeps a host-side mirror so a
+                // candidate's divisor scan can be decided natively and
+                // then charged as whole runs — the same references the
+                // scalar loop below makes, extent-shaped.
+                let mut divs: Vec<u64> = Vec::new();
                 if discipline == DivisorDiscipline::PrivateCopy {
-                    let seeds = ctx.read_u32(out) as u64;
-                    for i in 0..seeds {
-                        let p = ctx.read_u32(out + (1 + i) * 4);
-                        if (p as u64) > sqrt_bound {
-                            break;
-                        }
-                        ctx.write_u32(private + (1 + priv_n) * 4, p);
-                        priv_n += 1;
+                    let seeds = ctx.read_u32(out) as usize;
+                    let vals = ctx.read_run(out + 4, 4, seeds);
+                    let keep: Vec<u32> = vals
+                        .into_iter()
+                        .take_while(|&p| (p as u64) <= sqrt_bound)
+                        .collect();
+                    if !keep.is_empty() {
+                        ctx.write_run(private + 4, 4, &keep);
                     }
+                    divs = keep.into_iter().map(u64::from).collect();
                 }
                 while let Some((lo, hi)) = pile.take_chunk(ctx, CHUNK) {
                     for c in lo..hi {
@@ -180,48 +184,108 @@ impl App for Primes2 {
                         if n > limit {
                             break;
                         }
-                        let published = match discipline {
+                        let prime = match discipline {
                             // The naive version re-reads the (write-hot)
-                            // count word for every candidate.
-                            DivisorDiscipline::SharedVector => ctx.read_u32(out) as u64,
-                            DivisorDiscipline::PrivateCopy => priv_n,
+                            // count word for every candidate and fetches
+                            // each divisor from the shared vector.
+                            DivisorDiscipline::SharedVector => {
+                                let published = ctx.read_u32(out) as u64;
+                                // Only the seed prefix (primes <=
+                                // sqrt_bound <= sqrt(n)) can divide n;
+                                // everything appended later is larger
+                                // than sqrt(limit), so the break below
+                                // fires before order matters.
+                                let mut prime = true;
+                                let mut i = 0u64;
+                                while i < published {
+                                    let d = ctx.read_u32(out + (1 + i) * 4) as u64;
+                                    if d < 2 {
+                                        // Reserved but not yet filled
+                                        // (only ever frontier primes,
+                                        // all > sqrt(limit)).
+                                        i += 1;
+                                        continue;
+                                    }
+                                    if d * d > n {
+                                        break;
+                                    }
+                                    // Division subroutine linkage:
+                                    // save/restore on the private stack
+                                    // (the bulk of the paper's local
+                                    // references).
+                                    ctx.write_u32(stack + (i % 64) * 4, d as u32);
+                                    ctx.compute(DIV_COST);
+                                    let _ = ctx.read_u32(stack + (i % 64) * 4);
+                                    if n.is_multiple_of(d) {
+                                        prime = false;
+                                        break;
+                                    }
+                                    i += 1;
+                                }
+                                prime
+                            }
+                            // The tuned version replays the same scan
+                            // against the host mirror, then charges the
+                            // divisor reads as one run and the stack
+                            // linkage as consecutive-slot runs with one
+                            // batched divide charge.
+                            DivisorDiscipline::PrivateCopy => {
+                                let mut prime = true;
+                                let mut reads = 0usize;
+                                let mut tried: Vec<(u64, u32)> = Vec::new();
+                                for (i, &d) in divs.iter().enumerate() {
+                                    reads += 1;
+                                    if d < 2 {
+                                        continue;
+                                    }
+                                    if d * d > n {
+                                        break;
+                                    }
+                                    tried.push((i as u64, d as u32));
+                                    if n.is_multiple_of(d) {
+                                        prime = false;
+                                        break;
+                                    }
+                                }
+                                if reads > 0 {
+                                    let _ = ctx.read_run(private + 4, 4, reads);
+                                }
+                                let runs = |t: &[(u64, u32)]| {
+                                    // Split where the stack slot (i % 64)
+                                    // wraps or the scan skipped an index.
+                                    let mut segs = Vec::new();
+                                    let mut s = 0;
+                                    while s < t.len() {
+                                        let mut e = s + 1;
+                                        while e < t.len()
+                                            && t[e].0 == t[e - 1].0 + 1
+                                            && !t[e].0.is_multiple_of(64)
+                                        {
+                                            e += 1;
+                                        }
+                                        segs.push((s, e));
+                                        s = e;
+                                    }
+                                    segs
+                                };
+                                for (s, e) in runs(&tried) {
+                                    let vals: Vec<u32> =
+                                        tried[s..e].iter().map(|t| t.1).collect();
+                                    ctx.write_run(stack + (tried[s].0 % 64) * 4, 4, &vals);
+                                }
+                                if !tried.is_empty() {
+                                    ctx.compute(Ns(DIV_COST.0 * tried.len() as u64));
+                                }
+                                for (s, e) in runs(&tried) {
+                                    let _ = ctx.read_run(
+                                        stack + (tried[s].0 % 64) * 4,
+                                        4,
+                                        e - s,
+                                    );
+                                }
+                                prime
+                            }
                         };
-                        // Only the seed prefix (primes <= sqrt_bound <=
-                        // sqrt(n)) can divide n; everything appended
-                        // later is larger than sqrt(limit), so the break
-                        // below fires before order matters.
-                        let mut prime = true;
-                        let mut i = 0u64;
-                        while i < published {
-                            let d = match discipline {
-                                DivisorDiscipline::SharedVector => {
-                                    ctx.read_u32(out + (1 + i) * 4) as u64
-                                }
-                                DivisorDiscipline::PrivateCopy => {
-                                    ctx.read_u32(private + (1 + i) * 4) as u64
-                                }
-                            };
-                            if d < 2 {
-                                // Reserved but not yet filled (only ever
-                                // frontier primes, all > sqrt(limit)).
-                                i += 1;
-                                continue;
-                            }
-                            if d * d > n {
-                                break;
-                            }
-                            // Division subroutine linkage: save/restore
-                            // on the private stack (the bulk of the
-                            // paper's local references).
-                            ctx.write_u32(stack + (i % 64) * 4, d as u32);
-                            ctx.compute(DIV_COST);
-                            let _ = ctx.read_u32(stack + (i % 64) * 4);
-                            if n.is_multiple_of(d) {
-                                prime = false;
-                                break;
-                            }
-                            i += 1;
-                        }
                         if prime {
                             // Reserve the slot under the lock; fill it
                             // outside, so a page fault on the (still

@@ -44,6 +44,9 @@ OPTIONS:
     --grid NAME        grid preset (default: paper); see `numa-lab list`
     --jobs N           worker threads (default: available parallelism)
     --out FILE         run: where to write the report (default: BENCH_sweep.json)
+    --path fast|slow   run/diff/gate: simulator access path (default: fast);
+                       both produce byte-identical reports, slow is for
+                       equivalence checks and timing comparisons
     --baseline FILE    diff/gate: committed baseline (default: BENCH_sweep.json)
     --current FILE     diff/gate: compare this file instead of running the grid
     --quiet            no progress output on stderr
@@ -70,6 +73,7 @@ struct Opts {
     quiet: bool,
     tol: GateTolerances,
     strict: bool,
+    fastpath: bool,
 }
 
 impl Default for Opts {
@@ -84,6 +88,7 @@ impl Default for Opts {
             quiet: false,
             tol: GateTolerances::default(),
             strict: false,
+            fastpath: true,
         }
     }
 }
@@ -119,6 +124,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--current" => opts.current = Some(value(&mut it, "--current")?),
             "--quiet" => opts.quiet = true,
             "--strict" => opts.strict = true,
+            "--path" => {
+                let v = value(&mut it, "--path")?;
+                opts.fastpath = match v.as_str() {
+                    "fast" => true,
+                    "slow" => false,
+                    _ => return Err(format!("--path wants `fast` or `slow`, got `{v}`")),
+                };
+            }
             "--tol-time" | "--tol-model" | "--tol-count" | "--tol-count-abs" | "--tol-bytes" => {
                 let v = value(&mut it, arg)?;
                 let x = v.parse::<f64>().ok().filter(|x| *x >= 0.0).ok_or(format!(
@@ -162,13 +175,15 @@ impl EventSink for StderrProgress {
 }
 
 fn lookup_grid(opts: &Opts) -> Result<Grid, String> {
-    Grid::named(&opts.grid).ok_or_else(|| {
+    let mut grid = Grid::named(&opts.grid).ok_or_else(|| {
         format!(
             "unknown grid `{}` (built-in grids: {})",
             opts.grid,
             Grid::preset_names().join(", ")
         )
-    })
+    })?;
+    grid.fastpath = opts.fastpath;
+    Ok(grid)
 }
 
 fn run_sweep(grid: Grid, opts: &Opts) -> Result<(Sweep, f64), LabError> {
@@ -395,6 +410,15 @@ mod tests {
         assert!(parse_opts(&args(&["--jobs"])).is_err());
         assert!(parse_opts(&args(&["--tol-time", "-1"])).is_err());
         assert!(parse_opts(&args(&["--wat"])).is_err());
+        assert!(parse_opts(&args(&["--path", "sideways"])).is_err());
+    }
+
+    #[test]
+    fn path_flag_selects_the_access_path() {
+        assert!(parse_opts(&args(&[])).unwrap().fastpath, "fast by default");
+        assert!(parse_opts(&args(&["--path", "fast"])).unwrap().fastpath);
+        let o = parse_opts(&args(&["--path", "slow"])).unwrap();
+        assert!(!o.fastpath);
     }
 
     #[test]

@@ -152,6 +152,98 @@ mod tests {
         assert!(!diff.passes());
     }
 
+    /// Builds two one-leaf documents and gates `cur` against `base`.
+    /// The leaf name selects the tolerance class under test.
+    fn gate_leaf(
+        leaf: &str,
+        base: impl Into<Json>,
+        cur: impl Into<Json>,
+        tol: &GateTolerances,
+    ) -> BaselineDiff {
+        let mk = |v: Json| {
+            Json::obj()
+                .field("schema", crate::sweep::SCHEMA)
+                .field(leaf, v)
+                .to_string_flat()
+        };
+        diff_documents(&mk(base.into()), &mk(cur.into()), tol).unwrap()
+    }
+
+    // One boundary test per tolerance class: a drift just inside the
+    // band passes, a drift just outside trips. The "just over" margins
+    // account for `Tolerance::allows` using max(|baseline|, |current|)
+    // as the relative base.
+
+    #[test]
+    fn time_class_has_two_percent_relative_slack() {
+        let tol = GateTolerances::default();
+        for leaf in ["user_s", "system_s", "makespan_ns", "t_local_s", "t_global_s", "t_numa_s"] {
+            assert!(gate_leaf(leaf, 100.0, 101.5, &tol).passes(), "{leaf}: 1.5% tripped");
+            assert!(!gate_leaf(leaf, 100.0, 103.0, &tol).passes(), "{leaf}: 3% passed");
+        }
+    }
+
+    #[test]
+    fn model_class_has_an_absolute_window() {
+        let tol = GateTolerances::default();
+        for leaf in ["alpha", "beta", "gamma", "alpha_measured"] {
+            assert!(gate_leaf(leaf, 0.5, 0.515, &tol).passes(), "{leaf}: +0.015 tripped");
+            assert!(!gate_leaf(leaf, 0.5, 0.525, &tol).passes(), "{leaf}: +0.025 passed");
+            // The window is absolute precisely so factors near zero get
+            // headroom a relative band would deny them.
+            assert!(gate_leaf(leaf, 0.0, 0.015, &tol).passes(), "{leaf}: near-zero tripped");
+            assert!(!gate_leaf(leaf, 0.0, 0.025, &tol).passes(), "{leaf}: near-zero passed");
+        }
+    }
+
+    #[test]
+    fn counter_class_has_ten_percent_relative_slack() {
+        let tol = GateTolerances::default();
+        for leaf in ["replications", "migrations", "pins", "syncs", "shootdowns"] {
+            assert!(gate_leaf(leaf, 1000u64, 1080u64, &tol).passes(), "{leaf}: 8% tripped");
+            assert!(!gate_leaf(leaf, 1000u64, 1130u64, &tol).passes(), "{leaf}: 13% passed");
+        }
+    }
+
+    #[test]
+    fn counter_class_has_an_absolute_floor_for_tiny_counts() {
+        // 3 -> 5 is a 67% relative jump but only two events: the floor
+        // absorbs it. One more event is out.
+        let tol = GateTolerances::default();
+        assert!(gate_leaf("pins", 3u64, 5u64, &tol).passes(), "floor did not absorb 2 events");
+        assert!(!gate_leaf("pins", 3u64, 6u64, &tol).passes(), "3 events slipped under the floor");
+    }
+
+    #[test]
+    fn bus_bytes_class_has_two_percent_relative_slack() {
+        let tol = GateTolerances::default();
+        assert!(gate_leaf("bus_bytes", 1_000_000u64, 1_015_000u64, &tol).passes());
+        assert!(!gate_leaf("bus_bytes", 1_000_000u64, 1_030_000u64, &tol).passes());
+    }
+
+    #[test]
+    fn strict_mode_trips_on_drift_every_class_would_absorb() {
+        let strict = GateTolerances::strict();
+        let cases: &[(&str, Json, Json)] = &[
+            ("user_s", Json::Num(100.0), Json::Num(100.5)),
+            ("alpha", Json::Num(0.5), Json::Num(0.51)),
+            ("pins", Json::Int(10), Json::Int(11)),
+            ("bus_bytes", Json::Int(1_000_000), Json::Int(1_000_100)),
+        ];
+        for (leaf, base, cur) in cases {
+            assert!(
+                gate_leaf(leaf, base.clone(), cur.clone(), &GateTolerances::default()).passes(),
+                "{leaf}: default tolerance should absorb this drift"
+            );
+            assert!(
+                !gate_leaf(leaf, base.clone(), cur.clone(), &strict).passes(),
+                "{leaf}: strict mode let drift through"
+            );
+            // Strict still passes bit-identical documents.
+            assert!(gate_leaf(leaf, base.clone(), base.clone(), &strict).passes());
+        }
+    }
+
     #[test]
     fn schema_mismatch_is_an_error_not_a_diff() {
         let text = sweep_text();

@@ -176,6 +176,12 @@ pub struct Grid {
     pub fault_rates: Vec<f64>,
     /// Page-size axis, in bytes.
     pub page_sizes: Vec<usize>,
+    /// Whether cells run with the simulator's batched-access fast path.
+    /// Not an axis and not serialized: the two settings are
+    /// observationally equivalent, so sweep documents from either must
+    /// be byte-identical (CI regenerates the committed baseline with the
+    /// fast path and `cmp`s).
+    pub fastpath: bool,
 }
 
 impl Grid {
@@ -192,6 +198,7 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
+            fastpath: true,
         }
     }
 
@@ -213,6 +220,7 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
+            fastpath: true,
         }
     }
 
@@ -228,6 +236,7 @@ impl Grid {
             thresholds: vec![0, 1, 2, 4, 8, 16],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
+            fastpath: true,
         }
     }
 
@@ -242,6 +251,7 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0],
             page_sizes: vec![256, 512, 2048, 8192],
+            fastpath: true,
         }
     }
 
@@ -257,6 +267,7 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0, 0.001, 0.01],
             page_sizes: vec![2048],
+            fastpath: true,
         }
     }
 
@@ -315,6 +326,7 @@ impl Grid {
                                     fault_rate,
                                     page_size,
                                     scale: self.scale,
+                                    fastpath: self.fastpath,
                                 });
                             }
                         }
@@ -377,6 +389,10 @@ pub struct JobSpec {
     pub page_size: usize,
     /// Workload scale.
     pub scale: Scale,
+    /// Whether the cell runs with the batched-access fast path (not a
+    /// grid axis; carried so `sim_config` can set the knob, and excluded
+    /// from `to_json` because the paths are observationally equivalent).
+    pub fastpath: bool,
 }
 
 impl JobSpec {
@@ -412,7 +428,7 @@ impl JobSpec {
     /// ACE, resized for the cell's page size (keeping 16 MB global /
     /// 8 MB local memory) and fault rate.
     pub fn sim_config(&self) -> SimConfig {
-        let mut cfg = SimConfig::ace(self.cpus);
+        let mut cfg = SimConfig::ace(self.cpus).fastpath(self.fastpath);
         if self.page_size != cfg.machine.page_size.bytes() {
             cfg.machine.page_size = PageSize::new(self.page_size);
             cfg.machine.global_frames = 16 * 1024 * 1024 / self.page_size;

@@ -85,6 +85,18 @@ impl std::error::Error for NumaError {}
 /// All operations receive the [`Machine`] explicitly, mirroring how the
 /// real pmap layer manipulates MMU hardware; time spent is charged to the
 /// acting processor's system clock by the implementation.
+///
+/// # Translation-cache invalidation
+///
+/// Implementations must route every MMU mutation — entering, removing
+/// or re-protecting translations, shooting down mappings on other
+/// processors, and clearing referenced/modified bits — through the
+/// mutating [`ace_machine::mmu::Mmu`] methods, never by rebuilding MMU
+/// state out of band. Those methods bump the per-processor invalidation
+/// epoch ([`ace_machine::mmu::Mmu::epoch`]); software caches of
+/// translations (the simulator's per-thread fast-path TLB) validate
+/// against that epoch, so any pmap operation that could make a cached
+/// translation stale invalidates it automatically.
 pub trait NumaPmap {
     /// Creates a new physical map (address-translation context) and
     /// returns its address-space id.

@@ -43,7 +43,12 @@ pub struct SimConfig {
     pub quantum: Ns,
     /// Lookahead window: how far past the next runnable processor's
     /// clock a granted thread may run before re-rendezvousing. Zero
-    /// means exact virtual-time interleaving.
+    /// means exact virtual-time interleaving; larger windows amortize
+    /// the (host-side) grant rendezvous over more simulated work but
+    /// let spin-waiters run ahead of the thread they wait on, inflating
+    /// synchronization time. The `ace` preset's 500 us sits well under
+    /// the apps' lock and barrier hold times, where the paper-model
+    /// numbers are indistinguishable from exact interleaving.
     pub lookahead: Ns,
     /// Upper bound on a single inline `compute` charge; larger computes
     /// are split so budget boundaries stay tight.
@@ -54,6 +59,12 @@ pub struct SimConfig {
     /// Structured event sink to install on the simulator (machine tap
     /// plus NUMA-manager sink). `None` — the default — costs nothing.
     pub events: Option<SharedSink>,
+    /// Whether application threads may use the batched-access fast path
+    /// (a per-thread software TLB that charges whole same-page runs in
+    /// one critical section). Observationally equivalent to the slow
+    /// per-reference path; `false` forces every reference through the
+    /// per-reference path (differential testing, debugging).
+    pub fastpath: bool,
 }
 
 impl SimConfig {
@@ -63,10 +74,11 @@ impl SimConfig {
             machine: MachineConfig::ace(n_cpus),
             scheduler: SchedulerKind::Affinity,
             quantum: Ns::from_ms(10),
-            lookahead: Ns::from_us(50),
+            lookahead: Ns::from_us(500),
             compute_chunk: Ns::from_us(20),
             daemon_interval: Ns::from_ms(5),
             events: None,
+            fastpath: true,
         }
     }
 
@@ -80,6 +92,7 @@ impl SimConfig {
             compute_chunk: Ns::from_us(20),
             daemon_interval: Ns::from_ms(1),
             events: None,
+            fastpath: true,
         }
     }
 
@@ -125,6 +138,12 @@ impl SimConfig {
         self.events = Some(sink);
         self
     }
+
+    /// Enables or disables the batched-access fast path.
+    pub fn fastpath(mut self, on: bool) -> SimConfig {
+        self.fastpath = on;
+        self
+    }
 }
 
 impl fmt::Debug for SimConfig {
@@ -137,6 +156,7 @@ impl fmt::Debug for SimConfig {
             .field("compute_chunk", &self.compute_chunk)
             .field("daemon_interval", &self.daemon_interval)
             .field("events", &self.events.as_ref().map(|_| "<sink>"))
+            .field("fastpath", &self.fastpath)
             .finish()
     }
 }
@@ -170,6 +190,8 @@ mod tests {
         assert_eq!(cfg.daemon_interval, Ns::from_ms(7));
         assert_eq!(cfg.machine.faults.seed, 42);
         assert!(cfg.events.is_none());
+        assert!(cfg.fastpath, "fast path is on by default");
+        assert!(!cfg.clone().fastpath(false).fastpath);
         // Debug must not require the sink to be Debug.
         let dbg = format!("{cfg:?}");
         assert!(dbg.contains("SimConfig"));

@@ -7,7 +7,7 @@
 //! simulated thread runs at a time in virtual-time order.
 
 use crate::kernel::Kernel;
-use ace_machine::{Access, CpuId, Frame, Ns};
+use ace_machine::{Access, CpuId, Frame, Ns, PageSize};
 use crossbeam::channel::{Receiver, Sender};
 use mach_vm::VAddr;
 use parking_lot::Mutex;
@@ -43,6 +43,37 @@ pub(crate) enum YieldReason {
 /// Sent through panic unwinding when the engine stops a thread early.
 pub(crate) struct StopToken;
 
+/// One cached translation: the thread's single-entry software TLB.
+///
+/// Filled from the final (successful) critical section of a slow-path
+/// reference, so the recorded epoch is the MMU's epoch *after* any
+/// `pmap_enter` the fault path performed. The entry is usable only
+/// while all of the following hold, the first two checked lock-free and
+/// the epoch re-checked under the kernel lock:
+///
+/// * the thread still runs on the processor the entry was filled on
+///   (translations are per-processor);
+/// * the referenced page is the cached page, and for a store the cached
+///   translation came from a store (so write permission was proven and
+///   the modified bit is already set);
+/// * the processor's MMU epoch is unchanged — any unmap, protection
+///   change, shootdown or reference/modified-bit clearing on that MMU
+///   bumps the epoch and thereby invalidates the entry.
+#[derive(Clone, Copy)]
+pub(crate) struct TlbEntry {
+    /// Processor the translation belongs to.
+    cpu: CpuId,
+    /// Virtual page number the entry translates.
+    vpn: u64,
+    /// Physical frame the page maps to.
+    frame: Frame,
+    /// MMU epoch the entry was captured at.
+    epoch: u64,
+    /// True when captured from a store translation (write permission
+    /// proven, modified bit set).
+    wrote: bool,
+}
+
 /// Execution context of one simulated thread.
 pub struct ThreadCtx {
     pub(crate) tid: usize,
@@ -53,7 +84,21 @@ pub struct ThreadCtx {
     pub(crate) budget_end: Ns,
     pub(crate) over_budget: bool,
     pub(crate) compute_chunk: Ns,
+    /// Page geometry of the simulated machine (for run splitting).
+    pub(crate) page: PageSize,
+    /// Whether the batched fast path is enabled for this run.
+    pub(crate) fastpath: bool,
+    /// The thread's software TLB. A handful of entries suffices: loops
+    /// alternating between a data page and a (private) stack page are
+    /// the common pattern, and anything larger is covered by the run
+    /// helpers' extent batching.
+    pub(crate) tlb: [Option<TlbEntry>; TLB_ENTRIES],
+    /// Round-robin replacement cursor for [`ThreadCtx::tlb`].
+    pub(crate) tlb_next: usize,
 }
+
+/// Software-TLB capacity per thread.
+pub(crate) const TLB_ENTRIES: usize = 4;
 
 impl ThreadCtx {
     /// This thread's id (its index in spawn order).
@@ -103,6 +148,40 @@ impl ThreadCtx {
         if clock >= self.budget_end {
             self.over_budget = true;
         }
+    }
+
+    /// Looks up a usable TLB entry for `vpn` under access `kind` on the
+    /// current processor (lock-free part of the validity check; the
+    /// caller re-checks the epoch under the kernel lock).
+    #[inline]
+    fn tlb_lookup(&self, vpn: u64, kind: Access) -> Option<TlbEntry> {
+        self.tlb.iter().flatten().copied().find(|e| {
+            e.cpu == self.cpu && e.vpn == vpn && (kind == Access::Fetch || e.wrote)
+        })
+    }
+
+    /// Installs `entry`, replacing any entry for the same page on the
+    /// same processor, else evicting round-robin.
+    #[inline]
+    fn tlb_fill(&mut self, entry: TlbEntry) {
+        if let Some(slot) = self
+            .tlb
+            .iter_mut()
+            .find(|s| s.is_some_and(|e| e.cpu == entry.cpu && e.vpn == entry.vpn))
+        {
+            *slot = Some(entry);
+            return;
+        }
+        self.tlb[self.tlb_next] = Some(entry);
+        self.tlb_next = (self.tlb_next + 1) % TLB_ENTRIES;
+    }
+
+    /// Drops every cached translation (a stale epoch was observed; all
+    /// entries for this MMU share its fate, and entries for other
+    /// processors are already unusable here).
+    #[inline]
+    fn tlb_clear(&mut self) {
+        self.tlb = [None; TLB_ENTRIES];
     }
 
     /// Voluntarily gives up the processor (the engine may reschedule).
@@ -160,6 +239,203 @@ impl ThreadCtx {
         v
     }
 
+    /// A single reference served through the software TLB when possible:
+    /// the scalar counterpart of [`ThreadCtx::run_op`]. A hit charges
+    /// through [`Kernel::charge_run`] (identical per-element charges,
+    /// counters, and sink events to a slow-path success step, minus the
+    /// redundant hardware translation); a miss takes [`ThreadCtx::data_op`]
+    /// verbatim and refills the TLB from its final successful
+    /// translation.
+    fn scalar_op<R>(
+        &mut self,
+        addr: VAddr,
+        kind: Access,
+        words: u64,
+        f: impl Fn(&mut Kernel, CpuId, Frame, usize) -> R,
+    ) -> R {
+        if !self.fastpath {
+            return self.data_op(addr, kind, words, f);
+        }
+        self.pre();
+        let vpn = self.page.page_of(addr.0);
+        if let Some(entry) = self.tlb_lookup(vpn, kind) {
+            let cpu = self.cpu;
+            let mut k = self.kernel.lock();
+            if k.machine.mmus[cpu.index()].epoch() == entry.epoch {
+                k.charge_run(cpu, kind, entry.frame, addr, 0, words, 1, self.budget_end);
+                let v = f(&mut k, cpu, entry.frame, self.page.offset_of(addr.0));
+                let clock = k.clock_of(cpu);
+                drop(k);
+                self.post(clock);
+                return v;
+            }
+            drop(k);
+            self.tlb_clear();
+        }
+        let (v, entry) = self.data_op(addr, kind, words, |k, cpu, frame, off| {
+            let epoch = k.machine.mmus[cpu.index()].epoch();
+            let entry =
+                TlbEntry { cpu, vpn, frame, epoch, wrote: kind == Access::Store };
+            (f(k, cpu, frame, off), entry)
+        });
+        self.tlb_fill(entry);
+        v
+    }
+
+    /// A run of `n` equal-width references starting at `base`, element
+    /// `i` at `base + i * stride` (stride in bytes; zero repeats one
+    /// address). `mem` performs the memory side of element `i` given its
+    /// frame and in-page byte offset.
+    ///
+    /// With the fast path enabled, maximal same-page extents whose
+    /// translation is cached in the thread's TLB are charged through
+    /// [`Kernel::charge_run`] in one critical section; the first element
+    /// on each page — and every element when the TLB misses, the epoch
+    /// moved, the access kind outruns the cached permission, or the fast
+    /// path is off — goes through [`ThreadCtx::data_op`], taking the
+    /// ordinary fault path and refilling the TLB from its final
+    /// successful translation. Budget boundaries are preserved exactly:
+    /// a batched extent stops charging at the element where the slow
+    /// path would have rendezvoused.
+    #[allow(clippy::too_many_arguments)]
+    fn run_op<T>(
+        &mut self,
+        base: VAddr,
+        stride: u64,
+        elem_bytes: u64,
+        kind: Access,
+        words: u64,
+        n: usize,
+        mem: impl Fn(&mut Kernel, Frame, usize, usize) -> T,
+    ) -> Vec<T>
+    where
+        T: Copy,
+    {
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0usize;
+        while i < n {
+            let addr = base + i as u64 * stride;
+            if self.fastpath {
+                self.pre();
+                if let Some(entry) = self.tlb_lookup(self.page.page_of(addr.0), kind) {
+                    let cpu = self.cpu;
+                    let mut k = self.kernel.lock();
+                    if k.machine.mmus[cpu.index()].epoch() == entry.epoch {
+                        // Maximal extent of elements on the cached page.
+                        let mut m = 1usize;
+                        while i + m < n {
+                            let a = base.0 + (i + m) as u64 * stride;
+                            if self.page.page_of(a) == entry.vpn
+                                && self.page.page_of(a + elem_bytes - 1) == entry.vpn
+                            {
+                                m += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        let charged = k.charge_run(
+                            cpu,
+                            kind,
+                            entry.frame,
+                            addr,
+                            stride,
+                            words,
+                            m,
+                            self.budget_end,
+                        );
+                        if stride == 0 && charged > 1 {
+                            // Every element aliases one location, and no
+                            // other thread can run between the elements
+                            // of one charged extent (budget boundaries
+                            // are the only interleaving points, on both
+                            // paths) — so the extent's memory effect is
+                            // one read, replicated, or its last write.
+                            let off = self.page.offset_of(addr.0);
+                            let last = i + charged - 1;
+                            let idx = if kind == Access::Fetch { i } else { last };
+                            let v = mem(&mut k, entry.frame, off, idx);
+                            out.extend(std::iter::repeat_n(v, charged));
+                        } else {
+                            for j in 0..charged {
+                                let off =
+                                    self.page.offset_of(addr.0 + j as u64 * stride);
+                                out.push(mem(&mut k, entry.frame, off, i + j));
+                            }
+                        }
+                        let clock = k.clock_of(cpu);
+                        drop(k);
+                        self.post(clock);
+                        i += charged;
+                        continue;
+                    }
+                    drop(k);
+                    self.tlb_clear();
+                }
+            }
+            let vpn = self.page.page_of(addr.0);
+            let (v, entry) = self.data_op(addr, kind, words, |k, cpu, f, off| {
+                let epoch = k.machine.mmus[cpu.index()].epoch();
+                let entry =
+                    TlbEntry { cpu, vpn, frame: f, epoch, wrote: kind == Access::Store };
+                (mem(k, f, off, i), entry)
+            });
+            if self.fastpath {
+                self.tlb_fill(entry);
+            }
+            out.push(v);
+            i += 1;
+        }
+        out
+    }
+
+    /// Fetches a run of `n` 32-bit words, element `i` at
+    /// `base + i * stride` (stride in bytes; elements must not cross
+    /// page boundaries, which 4-byte-aligned words never do).
+    ///
+    /// Semantically identical to `n` [`ThreadCtx::read_u32`] calls —
+    /// same charges, same events, same faults — but same-page extents
+    /// are served through the batched fast path when it is enabled.
+    pub fn read_run(&mut self, base: VAddr, stride: u64, n: usize) -> Vec<u32> {
+        debug_assert_eq!(base.0 % 4, 0, "unaligned word run at {base}");
+        debug_assert_eq!(stride % 4, 0, "word run stride {stride} not word-aligned");
+        self.run_op(base, stride, 4, Access::Fetch, 1, n, |k, f, off, _| {
+            k.machine.mem.read_u32(f, off)
+        })
+    }
+
+    /// Stores `values` as a run of 32-bit words, element `i` at
+    /// `base + i * stride` (the batched counterpart of
+    /// [`ThreadCtx::write_u32`] in a loop).
+    pub fn write_run(&mut self, base: VAddr, stride: u64, values: &[u32]) {
+        debug_assert_eq!(base.0 % 4, 0, "unaligned word run at {base}");
+        debug_assert_eq!(stride % 4, 0, "word run stride {stride} not word-aligned");
+        self.run_op(base, stride, 4, Access::Store, 1, values.len(), |k, f, off, i| {
+            k.machine.mem.write_u32(f, off, values[i])
+        });
+    }
+
+    /// Fetches a run of `n` 64-bit floats (two word references each),
+    /// element `i` at `base + i * stride`.
+    pub fn read_run_f64(&mut self, base: VAddr, stride: u64, n: usize) -> Vec<f64> {
+        debug_assert_eq!(base.0 % 8, 0, "unaligned f64 run at {base}");
+        debug_assert_eq!(stride % 8, 0, "f64 run stride {stride} not f64-aligned");
+        self.run_op(base, stride, 8, Access::Fetch, 2, n, |k, f, off, _| {
+            let mut buf = [0u8; 8];
+            k.machine.mem.read_bytes(f, off, &mut buf);
+            f64::from_le_bytes(buf)
+        })
+    }
+
+    /// Stores `values` as a run of 64-bit floats (two word references
+    /// each), element `i` at `base + i * stride`.
+    pub fn write_run_f64(&mut self, base: VAddr, stride: u64, values: &[f64]) {
+        debug_assert_eq!(base.0 % 8, 0, "unaligned f64 run at {base}");
+        debug_assert_eq!(stride % 8, 0, "f64 run stride {stride} not f64-aligned");
+        self.run_op(base, stride, 8, Access::Store, 2, values.len(), |k, f, off, i| {
+            k.machine.mem.write_bytes(f, off, &values[i].to_le_bytes())
+        });
+    }
+
     /// Fetches a 32-bit word.
     ///
     /// # Panics
@@ -168,13 +444,13 @@ impl ThreadCtx {
     /// violation) — the simulated equivalent of a segmentation fault.
     pub fn read_u32(&mut self, addr: VAddr) -> u32 {
         debug_assert_eq!(addr.0 % 4, 0, "unaligned word fetch at {addr}");
-        self.data_op(addr, Access::Fetch, 1, |k, _cpu, f, off| k.machine.mem.read_u32(f, off))
+        self.scalar_op(addr, Access::Fetch, 1, |k, _cpu, f, off| k.machine.mem.read_u32(f, off))
     }
 
     /// Stores a 32-bit word.
     pub fn write_u32(&mut self, addr: VAddr, value: u32) {
         debug_assert_eq!(addr.0 % 4, 0, "unaligned word store at {addr}");
-        self.data_op(addr, Access::Store, 1, |k, _cpu, f, off| {
+        self.scalar_op(addr, Access::Store, 1, |k, _cpu, f, off| {
             k.machine.mem.write_u32(f, off, value)
         })
     }
@@ -191,12 +467,12 @@ impl ThreadCtx {
 
     /// Fetches one byte (costs a full word reference on the 32-bit bus).
     pub fn read_u8(&mut self, addr: VAddr) -> u8 {
-        self.data_op(addr, Access::Fetch, 1, |k, _cpu, f, off| k.machine.mem.read_u8(f, off))
+        self.scalar_op(addr, Access::Fetch, 1, |k, _cpu, f, off| k.machine.mem.read_u8(f, off))
     }
 
     /// Stores one byte.
     pub fn write_u8(&mut self, addr: VAddr, value: u8) {
-        self.data_op(addr, Access::Store, 1, |k, _cpu, f, off| {
+        self.scalar_op(addr, Access::Store, 1, |k, _cpu, f, off| {
             k.machine.mem.write_u8(f, off, value)
         })
     }
@@ -204,7 +480,7 @@ impl ThreadCtx {
     /// Fetches a 64-bit float (two word references).
     pub fn read_f64(&mut self, addr: VAddr) -> f64 {
         debug_assert_eq!(addr.0 % 8, 0, "unaligned f64 fetch at {addr}");
-        self.data_op(addr, Access::Fetch, 2, |k, _cpu, f, off| {
+        self.scalar_op(addr, Access::Fetch, 2, |k, _cpu, f, off| {
             let mut buf = [0u8; 8];
             k.machine.mem.read_bytes(f, off, &mut buf);
             f64::from_le_bytes(buf)
@@ -214,7 +490,7 @@ impl ThreadCtx {
     /// Stores a 64-bit float (two word references).
     pub fn write_f64(&mut self, addr: VAddr, value: f64) {
         debug_assert_eq!(addr.0 % 8, 0, "unaligned f64 store at {addr}");
-        self.data_op(addr, Access::Store, 2, |k, _cpu, f, off| {
+        self.scalar_op(addr, Access::Store, 2, |k, _cpu, f, off| {
             k.machine.mem.write_bytes(f, off, &value.to_le_bytes())
         })
     }
@@ -223,7 +499,7 @@ impl ThreadCtx {
     /// the previous value). The primitive all spin locks are built on.
     pub fn test_and_set(&mut self, addr: VAddr) -> u32 {
         debug_assert_eq!(addr.0 % 4, 0, "unaligned test-and-set at {addr}");
-        self.data_op(addr, Access::Store, 1, |k, cpu, f, off| {
+        self.scalar_op(addr, Access::Store, 1, |k, cpu, f, off| {
             // The RMW completes atomically within the final step.
             k.finish_test_and_set(cpu, f, off)
         })
@@ -231,18 +507,31 @@ impl ThreadCtx {
 
     /// Charges `t` of pure compute time (instructions that reference no
     /// writable memory), split into engine-visible chunks.
+    ///
+    /// The chunk sequence and the clock at every rendezvous are the same
+    /// on both paths; the fast path merely charges consecutive chunks
+    /// that fit within the current budget inside one critical section,
+    /// where the slow path takes the kernel lock once per chunk.
     pub fn compute(&mut self, t: Ns) {
         let mut remaining = t;
         while remaining > Ns::ZERO {
-            let step = Ns(remaining.0.min(self.compute_chunk.0.max(1)));
             self.pre();
             let clock = {
                 let mut k = self.kernel.lock();
-                k.compute(self.cpu, step);
-                k.clock_of(self.cpu)
+                loop {
+                    let step = Ns(remaining.0.min(self.compute_chunk.0.max(1)));
+                    k.compute(self.cpu, step);
+                    remaining -= step;
+                    let clock = k.clock_of(self.cpu);
+                    if remaining == Ns::ZERO
+                        || clock >= self.budget_end
+                        || !self.fastpath
+                    {
+                        break clock;
+                    }
+                }
             };
             self.post(clock);
-            remaining -= step;
         }
     }
 

@@ -187,6 +187,8 @@ struct Engine {
     compute_chunk: Ns,
     daemon_interval: Ns,
     next_daemon_tick: Ns,
+    page: ace_machine::PageSize,
+    fastpath: bool,
 }
 
 impl Engine {
@@ -209,6 +211,8 @@ impl Engine {
             compute_chunk: cfg.compute_chunk,
             daemon_interval: cfg.daemon_interval,
             next_daemon_tick: cfg.daemon_interval,
+            page: cfg.machine.page_size,
+            fastpath: cfg.fastpath,
         }
     }
 
@@ -243,6 +247,8 @@ impl Engine {
             let kernel = Arc::clone(&self.kernel);
             let cpu = self.assign_cpu();
             let chunk = self.compute_chunk;
+            let page = self.page;
+            let fastpath = self.fastpath;
             let body = p.body;
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{}-{}", tid, p.name))
@@ -256,6 +262,10 @@ impl Engine {
                         budget_end: Ns::ZERO,
                         over_budget: false,
                         compute_chunk: chunk,
+                        page,
+                        fastpath,
+                        tlb: [None; crate::ctx::TLB_ENTRIES],
+                        tlb_next: 0,
                     };
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         // Gate: wait for the first grant before running.
@@ -568,6 +578,52 @@ mod tests {
             s.len() > 1
         });
         assert!(migrated, "expected at least one thread to change cpus: {seen:?}");
+    }
+
+    #[test]
+    fn run_helpers_round_trip_values() {
+        let mut s = sim(1);
+        let a = s.alloc(4096, Prot::READ_WRITE);
+        s.spawn("runner", move |ctx| {
+            let vals: Vec<u32> = (0..256u32).map(|i| i * 3 + 1).collect();
+            ctx.write_run(a, 4, &vals);
+            assert_eq!(ctx.read_run(a, 4, 256), vals);
+            // Strided f64 runs (one element per 16 bytes).
+            let fv: Vec<f64> = (0..32).map(|i| i as f64 * 0.5 - 3.0).collect();
+            ctx.write_run_f64(a + 2048, 16, &fv);
+            assert_eq!(ctx.read_run_f64(a + 2048, 16, 32), fv);
+            // Stride zero: repeated references to one address.
+            assert_eq!(ctx.read_run(a, 0, 5), vec![vals[0]; 5]);
+        });
+        let r = s.run();
+        assert!(r.total_user() > Ns::ZERO);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_measure_identically() {
+        // Two threads doing batched runs over shared and private pages,
+        // under tight budgets (small preset: zero lookahead), must
+        // produce identical clocks and reference counters on both paths.
+        let run = |fast: bool| {
+            let cfg = SimConfig::small(2).fastpath(fast);
+            let mut s = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+            let a = s.alloc(8192, Prot::READ_WRITE);
+            for t in 0..2u64 {
+                let base = a + t * 4096;
+                s.spawn(format!("t{t}"), move |ctx| {
+                    let vals: Vec<u32> = (0..512u32).map(|i| i ^ (t as u32)).collect();
+                    ctx.write_run(base, 4, &vals);
+                    for _ in 0..3 {
+                        assert_eq!(ctx.read_run(base, 4, 512), vals);
+                    }
+                    // A shared word both threads re-read.
+                    let _ = ctx.read_run(a, 0, 16);
+                });
+            }
+            let r = s.run();
+            (r.cpu_times.clone(), r.refs, r.numa.requests, r.bus)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -156,6 +156,88 @@ impl Kernel {
         }
     }
 
+    /// Charges up to `max_n` same-page references of `words` words each
+    /// against an already-translated `frame`, all inside the caller's
+    /// single critical section — the batched fast path's charging core.
+    ///
+    /// Each element is charged exactly as [`Kernel::access_step`]'s
+    /// success branch would charge it (machine access cost, bus traffic,
+    /// distance counters, trace-sink event with the post-charge clock),
+    /// so the observable streams are identical to `max_n` slow-path
+    /// references; only the per-element lock round-trip and MMU walk are
+    /// elided. The caller must hold a translation validated at the
+    /// current MMU epoch for the element addresses (element `i` lives at
+    /// `first + i * stride`, entirely within the translated page).
+    ///
+    /// Stops charging after the first element that drives the
+    /// processor's clock to `budget_end` or beyond — the same point at
+    /// which the slow path would rendezvous with the engine — and
+    /// returns how many elements were charged (at least 1 when
+    /// `max_n > 0`, matching the slow path's one-op-per-grant minimum).
+    #[allow(clippy::too_many_arguments)]
+    pub fn charge_run(
+        &mut self,
+        cpu: CpuId,
+        kind: Access,
+        frame: ace_machine::Frame,
+        first: VAddr,
+        stride: u64,
+        words: u64,
+        max_n: usize,
+        budget_end: Ns,
+    ) -> usize {
+        let dist = self.machine.distance(cpu, frame.region);
+        // With nobody observing per-element effects — no reference sink,
+        // no machine tap, no bus queue at this distance — the loop below
+        // is pure arithmetic over a constant per-element cost, so charge
+        // the whole extent in closed form: exactly as many elements as
+        // the budget admits, counters and clock landing where the loop
+        // would leave them.
+        if self.sink.is_none() && self.machine.batchable(dist) && max_n > 0 {
+            let clock0 = self.clock_of(cpu);
+            let t = self.machine.access_cost(kind, dist, words).0;
+            let fit = if t == 0 || budget_end.0 <= clock0.0 {
+                if t == 0 { max_n } else { 1 }
+            } else {
+                (budget_end.0 - clock0.0).div_ceil(t) as usize
+            };
+            let charged = fit.clamp(1, max_n);
+            self.machine.charge_access_n(cpu, kind, frame, words, charged as u64);
+            let w = words * charged as u64;
+            match dist {
+                Distance::Local => self.refs.local += w,
+                Distance::Global => self.refs.global += w,
+                Distance::Remote => self.refs.remote += w,
+            }
+            return charged;
+        }
+        let mut charged = 0;
+        while charged < max_n {
+            self.machine.charge_access(cpu, kind, frame, words);
+            match dist {
+                Distance::Local => self.refs.local += words,
+                Distance::Global => self.refs.global += words,
+                Distance::Remote => self.refs.remote += words,
+            }
+            if let Some(sink) = self.sink.as_mut() {
+                let ev = RefEvent {
+                    t: self.machine.clocks.cpu(cpu).total(),
+                    cpu,
+                    addr: first + charged as u64 * stride,
+                    kind,
+                    dist,
+                    words,
+                };
+                sink(&ev);
+            }
+            charged += 1;
+            if self.clock_of(cpu) >= budget_end {
+                break;
+            }
+        }
+        charged
+    }
+
     /// Resolves `addr` for an access of `kind` from `cpu`, faulting as
     /// needed (atomically: the faulting access completes before anything
     /// else runs, the paper's forward-progress constraint), charges

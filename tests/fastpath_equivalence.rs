@@ -1,0 +1,160 @@
+//! Differential suite: the batched fast path must be observationally
+//! equivalent to the per-reference slow path.
+//!
+//! Every application in the paper mix runs twice — once with the
+//! software-TLB fast path (the default), once with it disabled — under
+//! the heaviest observability the harness offers: an event sink tapping
+//! the machine and the NUMA manager, a per-reference sink on the
+//! kernel, and (in the second test) deterministic fault injection with
+//! recovery. Equivalence is judged on everything a user can see:
+//!
+//! * the `RunReport`, compared as byte-identical JSON *and* as the
+//!   human rendering;
+//! * the full event stream (bus traffic + protocol actions, in
+//!   virtual-time order);
+//! * the raw per-reference log — every address, access kind, distance,
+//!   and virtual timestamp.
+//!
+//! The fast path is allowed to differ in exactly one place: MMU
+//! hit-rate bookkeeping (it skips redundant hardware translations).
+//! Nothing reported, streamed, or gated may move.
+
+use numa_repro::apps::{paper_mix, App, Scale};
+use numa_repro::machine::FaultConfig;
+use numa_repro::metrics::{Event, VecSink};
+use numa_repro::numa::MoveLimitPolicy;
+use numa_repro::sim::{RefEvent, SimConfig, Simulator};
+use std::sync::{Arc, Mutex};
+
+const CPUS: usize = 3;
+
+/// Everything observable about one run.
+struct Observation {
+    /// `RunReport` as flat JSON (the form the lab serializes).
+    report_json: String,
+    /// The report's human rendering.
+    report_text: String,
+    /// The structured event stream.
+    events: Vec<Event>,
+    /// The raw per-reference log.
+    refs: Vec<RefEvent>,
+}
+
+/// Runs `app` under the given path and fault setting, capturing every
+/// observable output.
+fn observe(app: &dyn App, fastpath: bool, faults: bool) -> Observation {
+    let sink = Arc::new(Mutex::new(VecSink::new()));
+    let mut cfg = SimConfig::small(CPUS).events(sink.clone()).fastpath(fastpath);
+    if faults {
+        // The lab's `faults` grid rates, at its committed seed: bus
+        // timeouts, ECC-bad frames, and copy corruption all fire, and
+        // all are recovered from.
+        cfg = cfg.faults(FaultConfig {
+            seed: 0x0ACE_5EED,
+            bus_timeout_rate: 0.01,
+            bad_frame_rate: 0.01,
+            corruption_rate: 0.01,
+            ..FaultConfig::default()
+        });
+    }
+    let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+    let refs = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&refs);
+    sim.with_kernel(|k| {
+        k.set_sink(Box::new(move |e: &RefEvent| tap.lock().unwrap().push(*e)))
+    });
+    app.run(&mut sim, CPUS)
+        .unwrap_or_else(|e| panic!("{} failed verification: {e}", app.name()));
+    let report = sim.report();
+    let events = sink.lock().unwrap().events.clone();
+    let refs = refs.lock().unwrap().clone();
+    Observation {
+        report_json: report.to_json().to_string_flat(),
+        report_text: format!("{report}"),
+        events,
+        refs,
+    }
+}
+
+/// Asserts that two observations are indistinguishable, with failure
+/// messages that point at the first diverging element.
+fn assert_equivalent(app: &str, slow: &Observation, fast: &Observation) {
+    assert_eq!(
+        slow.report_json, fast.report_json,
+        "{app}: RunReport JSON diverged between paths"
+    );
+    assert_eq!(
+        slow.report_text, fast.report_text,
+        "{app}: report rendering diverged between paths"
+    );
+    assert_eq!(
+        slow.events.len(),
+        fast.events.len(),
+        "{app}: event stream length diverged"
+    );
+    if let Some(i) = (0..slow.events.len()).find(|&i| slow.events[i] != fast.events[i]) {
+        panic!(
+            "{app}: event {i} diverged:\n  slow: {:?}\n  fast: {:?}",
+            slow.events[i], fast.events[i]
+        );
+    }
+    assert_eq!(
+        slow.refs.len(),
+        fast.refs.len(),
+        "{app}: reference log length diverged"
+    );
+    if let Some(i) = (0..slow.refs.len()).find(|&i| slow.refs[i] != fast.refs[i]) {
+        panic!(
+            "{app}: reference {i} diverged:\n  slow: {:?}\n  fast: {:?}",
+            slow.refs[i], fast.refs[i]
+        );
+    }
+}
+
+#[test]
+#[ignore = "multi-second sweep of the full app mix; CI runs it via --ignored"]
+fn every_app_is_equivalent_under_full_observability() {
+    for app in paper_mix(Scale::Test) {
+        let slow = observe(app.as_ref(), false, false);
+        let fast = observe(app.as_ref(), true, false);
+        assert!(
+            !slow.refs.is_empty() || app.name() == "ParMult",
+            "{}: instrumentation captured no references",
+            app.name()
+        );
+        assert_equivalent(app.name(), &slow, &fast);
+    }
+}
+
+#[test]
+#[ignore = "multi-second sweep of the full app mix; CI runs it via --ignored"]
+fn every_app_is_equivalent_under_fault_injection() {
+    for app in paper_mix(Scale::Test) {
+        let slow = observe(app.as_ref(), false, true);
+        let fast = observe(app.as_ref(), true, true);
+        assert_equivalent(app.name(), &slow, &fast);
+    }
+}
+
+/// The fast path must actually engage: on a run-shaped workload the MMU
+/// translates far fewer times than the slow path, which is the whole
+/// point — and the only permitted difference.
+#[test]
+fn fast_path_skips_translations_but_nothing_else() {
+    let translations = |fastpath: bool| {
+        let cfg = SimConfig::small(2).fastpath(fastpath);
+        let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+        numa_repro::apps::Gfetch::new(Scale::Test)
+            .run(&mut sim, 2)
+            .expect("verified");
+        sim.with_kernel(|k| {
+            k.machine.mmus.iter().map(|m| m.stats().hits).sum::<u64>()
+        })
+    };
+    let slow = translations(false);
+    let fast = translations(true);
+    assert!(
+        fast * 10 < slow,
+        "fast path should eliminate most translations: {fast} vs {slow}"
+    );
+}

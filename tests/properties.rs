@@ -3,7 +3,7 @@
 //! model algebra.
 
 use numa_repro::machine::{Access, CpuId, Machine, MachineConfig, Prot};
-use numa_repro::metrics::Model;
+use numa_repro::metrics::{parse, validate, Json, Model};
 use numa_repro::numa::{
     AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy, NumaManager, Placement,
     StateKind,
@@ -276,4 +276,119 @@ proptest! {
             );
         }
     }
+}
+
+/// Any value the report writer can emit losslessly: finite floats only
+/// (JSON has no NaN/Inf), with integral-valued floats kept below 1e15
+/// so they retain their `.0` marker when rendered — above that
+/// threshold the serializer prints plain digits and the parser
+/// (correctly) reads them back as integers.
+struct JsonStrategy {
+    depth: u32,
+}
+
+/// Characters chosen to stress every serializer path: plain ASCII,
+/// everything `write_escaped` special-cases, raw controls that become
+/// `\u` escapes, structural bytes that must stay quoted, multi-byte
+/// and non-BMP code points.
+const STRESS_CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}', '\u{1f}',
+    '\u{7f}', '{', '}', '[', ']', ':', ',', 'é', 'λ', '中', '😀',
+];
+
+fn stress_string(rng: &mut TestRng) -> String {
+    let len = rng.next_u64() % 9;
+    (0..len)
+        .map(|_| STRESS_CHARS[(rng.next_u64() % STRESS_CHARS.len() as u64) as usize])
+        .collect()
+}
+
+fn stress_float(rng: &mut TestRng) -> f64 {
+    match rng.next_u64() % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::MAX,
+        3 => f64::MIN_POSITIVE,
+        4 => 1e-300,
+        // Integral-valued but under the `.0`-marker threshold.
+        5 => (rng.next_u64() % 1_000_000) as f64,
+        _ => (rng.next_f64() - 0.5) * 2e15,
+    }
+}
+
+fn gen_json(rng: &mut TestRng, depth: u32) -> Json {
+    let arms = if depth == 0 { 5 } else { 7 };
+    match rng.next_u64() % arms {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 1),
+        2 => Json::Int(rng.next_u64() as i64),
+        3 => Json::Num(stress_float(rng)),
+        4 => Json::Str(stress_string(rng)),
+        5 => Json::Arr((0..rng.next_u64() % 5).map(|_| gen_json(rng, depth - 1)).collect()),
+        _ => Json::Obj(
+            (0..rng.next_u64() % 5)
+                .map(|_| (stress_string(rng), gen_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+impl Strategy for JsonStrategy {
+    type Value = Json;
+    fn gen_value(&self, rng: &mut TestRng) -> Json {
+        gen_json(rng, self.depth)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `parse` inverts serialization on everything the writer can
+    /// produce — including escaped strings, nested containers, and
+    /// insertion-ordered object members — and serializing the parse
+    /// result is a fixed point (so committed baselines re-render
+    /// byte-identically after a load/store cycle).
+    #[test]
+    fn json_parse_inverts_serialization(v in JsonStrategy { depth: 3 }) {
+        let text = v.to_string_flat();
+        prop_assert!(validate(&text).is_ok(), "emitted invalid JSON: {text}");
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "parse failed on {}: {:?}", text, back);
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &v, "round trip changed the value of {}", text);
+        prop_assert_eq!(back.to_string_flat(), text);
+    }
+
+    /// One document per file: anything after a complete value is an
+    /// error, never silently ignored.
+    #[test]
+    fn json_parse_rejects_trailing_garbage(
+        v in JsonStrategy { depth: 2 },
+        junk in 0u64..u64::MAX,
+    ) {
+        let junk = ["x", "]", "}", ",", "null", "\"s\"", "1"][(junk % 7) as usize];
+        let text = format!("{} {junk}", v.to_string_flat());
+        prop_assert!(parse(&text).is_err());
+        prop_assert!(validate(&text).is_err());
+    }
+}
+
+#[test]
+fn json_parse_rejects_what_json_cannot_say() {
+    // NaN and infinities are unrepresentable: the writer demotes them
+    // to null, and the reader refuses every spelling of them.
+    assert_eq!(Json::Num(f64::NAN).to_string_flat(), "null");
+    assert_eq!(Json::Num(f64::INFINITY).to_string_flat(), "null");
+    for bad in [
+        "NaN", "nan", "Infinity", "-Infinity", "inf", // non-finite spellings
+        "\"\\q\"", "\"\\u12zz\"", "\"\\u123\"", // bad escapes
+        "tru", "-", "1.", "1e", "01x", // truncated tokens
+    ] {
+        assert!(parse(bad).is_err(), "parse accepted {bad:?}");
+        assert!(validate(bad).is_err(), "validate accepted {bad:?}");
+    }
+    // Lexically valid escape, semantically impossible code point: the
+    // grammar checker passes it, materialization refuses it.
+    assert!(validate("\"\\ud800\"").is_ok());
+    assert!(parse("\"\\ud800\"").is_err(), "unpaired surrogate materialized");
 }

@@ -1,0 +1,328 @@
+//! Property-based state-machine test for the coherence protocol.
+//!
+//! Drives `NumaManager::request` directly (no engine, no threads — the
+//! manager itself serializes every transition, so this *is* the flat
+//! sequentially-consistent setting the protocol promises) with long
+//! seeded streams of random reads, writes, migrations, and pins across
+//! processors and pages, and checks three properties after every step:
+//!
+//! 1. **Sequential consistency** — a flat oracle holds the byte
+//!    contents each page must have; every granted frame must agree with
+//!    it before the access and after it.
+//! 2. **Legal states** (Tables 1 and 2 of the paper) — the directory
+//!    state the manager lands in must equal the `new_state` of the
+//!    [`numa_core::plan`] cell selected by (access, decision, prior
+//!    state), whenever the decision was executed as made (memory
+//!    pressure and hardware faults may legitimately degrade LOCAL to
+//!    GLOBAL; those steps skip the table check but not the others).
+//! 3. **Structural invariants** — `NumaManager::check_invariants`
+//!    (replica freshness, exactly-one-copy for local-writable, no local
+//!    copies for global-writable, ...) must hold for every page.
+//!
+//! The generator is a hand-rolled SplitMix64 so failures reproduce from
+//! the printed seed alone.
+
+use numa_repro::machine::{Access, CpuId, FaultConfig, Machine, MachineConfig};
+use numa_repro::numa::{
+    plan, CachePolicy, MoveLimitPolicy, NumaManager, Placement, StateKind, TableState,
+};
+use numa_repro::vm::LPageId;
+use std::collections::HashMap;
+
+const PAGES: u32 = 6;
+const CPUS: u16 = 4;
+const OPS: usize = 300;
+
+/// SplitMix64: tiny, seedable, and good enough to shuffle op streams.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Wraps any policy and records the decision it just made, so the test
+/// can look up the Table 1/2 cell the manager was asked to execute.
+struct Recording<P: CachePolicy> {
+    inner: P,
+    last: Option<Placement>,
+}
+
+impl<P: CachePolicy> Recording<P> {
+    fn new(inner: P) -> Recording<P> {
+        Recording { inner, last: None }
+    }
+}
+
+impl<P: CachePolicy> CachePolicy for Recording<P> {
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+
+    fn decide(&mut self, lpage: LPageId, access: Access, cpu: CpuId) -> Placement {
+        let d = self.inner.decide(lpage, access, cpu);
+        self.last = Some(d);
+        d
+    }
+
+    fn on_move(&mut self, lpage: LPageId) {
+        self.inner.on_move(lpage);
+    }
+
+    fn on_free(&mut self, lpage: LPageId) {
+        self.inner.on_free(lpage);
+    }
+
+    fn take_reconsiderations(&mut self) -> Vec<LPageId> {
+        self.inner.take_reconsiderations()
+    }
+}
+
+/// A policy that flips a seeded coin between LOCAL and GLOBAL, which
+/// wanders the protocol through every cell of Tables 1 and 2.
+struct CoinPolicy(Rng);
+
+impl CachePolicy for CoinPolicy {
+    fn name(&self) -> &'static str {
+        "coin"
+    }
+
+    fn decide(&mut self, _lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
+        if self.0.below(2) == 0 {
+            Placement::Local
+        } else {
+            Placement::Global
+        }
+    }
+}
+
+/// Maps the directory state to the Table 1/2 row seen by `cpu`, or
+/// `None` where the tables don't apply (first touch of a fresh page;
+/// the remote-reference extension bypasses the tables entirely).
+fn table_row(state: StateKind, cpu: CpuId) -> Option<TableState> {
+    match state {
+        StateKind::Fresh => None,
+        StateKind::ReadOnly => Some(TableState::ReadOnly),
+        StateKind::GlobalWritable => Some(TableState::GlobalWritable),
+        StateKind::LocalWritable(owner) if owner == cpu => Some(TableState::LocalWritableOwn),
+        StateKind::LocalWritable(_) => Some(TableState::LocalWritableOther),
+        StateKind::RemoteShared(_) => None,
+    }
+}
+
+/// Maps a Table 1/2 `new_state` back to the directory state it implies
+/// for the requesting processor.
+fn expected_state(new_state: TableState, cpu: CpuId) -> StateKind {
+    match new_state {
+        TableState::ReadOnly => StateKind::ReadOnly,
+        TableState::GlobalWritable => StateKind::GlobalWritable,
+        TableState::LocalWritableOwn => StateKind::LocalWritable(cpu),
+        other => panic!("plan() produced impossible new_state {other:?}"),
+    }
+}
+
+/// Runs one seeded op stream against the given policy and checks the
+/// three properties after every step. Returns the manager for extra,
+/// policy-specific assertions.
+fn run_stream<P: CachePolicy>(
+    seed: u64,
+    faults: FaultConfig,
+    mut policy: Recording<P>,
+) -> (Machine, NumaManager, Recording<P>) {
+    let mut cfg = MachineConfig::small(CPUS as usize);
+    cfg.faults = faults;
+    let psize = cfg.page_size.bytes();
+    let mut m = Machine::new(cfg);
+    let mut mgr = NumaManager::new();
+
+    // Flat sequentially-consistent oracle: the byte contents every page
+    // must expose, updated on each granted store.
+    let mut oracle: HashMap<u32, Vec<u8>> = HashMap::new();
+    for p in 0..PAGES {
+        mgr.zero_page(LPageId(p));
+        oracle.insert(p, vec![0u8; psize]);
+    }
+
+    let mut rng = Rng(seed);
+    let mut buf = vec![0u8; psize];
+    for step in 0..OPS {
+        let page = LPageId(rng.below(u64::from(PAGES)) as u32);
+        let cpu = CpuId(rng.below(u64::from(CPUS)) as u16);
+        let access = if rng.below(2) == 0 { Access::Fetch } else { Access::Store };
+        let tag = format!("seed {seed:#x} step {step}: {access:?} page {page:?} on {cpu:?}");
+
+        let prior = mgr.view(page).state;
+        let stats0 = mgr.stats();
+        let g = mgr
+            .request(&mut m, page, access, cpu, &mut policy)
+            .unwrap_or_else(|e| panic!("{tag}: request failed: {e:?}"));
+        let decision = policy.last.take().expect("policy was consulted");
+
+        // Property 1a: the granted frame holds exactly what the oracle
+        // says the page holds — migrations and replications lose
+        // nothing, and stale replicas are never handed out.
+        let want = &oracle[&page.0];
+        m.mem.read_bytes(g.frame, 0, &mut buf);
+        assert_eq!(&buf, want, "{tag}: granted frame disagrees with the oracle");
+
+        // Property 1b: the grant's protection ceiling admits the access.
+        match access {
+            Access::Fetch => assert!(g.prot_ceiling.allows_read(), "{tag}: unreadable grant"),
+            Access::Store => assert!(g.prot_ceiling.allows_write(), "{tag}: unwritable grant"),
+        }
+        if access == Access::Store {
+            let off = rng.below((psize / 4) as u64) as usize * 4;
+            let val = rng.next() as u32;
+            m.mem.write_u32(g.frame, off, val);
+            oracle.get_mut(&page.0).unwrap()[off..off + 4].copy_from_slice(&val.to_le_bytes());
+        }
+
+        // Property 2: the state the manager landed in is the new_state
+        // of the Table 1/2 cell for (access, decision, prior state) —
+        // unless pressure or a hardware fault legitimately degraded the
+        // decision mid-flight, which the fallback counters reveal.
+        let stats1 = mgr.stats();
+        let degraded = stats1.local_pressure_fallbacks != stats0.local_pressure_fallbacks
+            || stats1.fault_global_fallbacks != stats0.fault_global_fallbacks;
+        if let Some(row) = table_row(prior, cpu) {
+            if !degraded {
+                let cell = plan(access, decision, row);
+                assert_eq!(
+                    mgr.view(page).state,
+                    expected_state(cell.new_state, cpu),
+                    "{tag}: landed outside the Table 1/2 cell (prior {row:?}, {decision:?})"
+                );
+            }
+        }
+
+        // Property 3: structural invariants for every page, every step.
+        for p in 0..PAGES {
+            mgr.check_invariants(&mut m, LPageId(p))
+                .unwrap_or_else(|e| panic!("{tag}: invariant broken on page {p}: {e}"));
+        }
+    }
+
+    // Final read-back through the authoritative path must match the
+    // oracle for every page.
+    for p in 0..PAGES {
+        let mut got = vec![0u8; psize];
+        mgr.read_page(&mut m, LPageId(p), &mut got, CpuId(0));
+        assert_eq!(&got, &oracle[&p], "seed {seed:#x}: final contents of page {p} diverged");
+    }
+    (m, mgr, policy)
+}
+
+#[test]
+fn random_ops_stay_coherent_and_inside_the_tables() {
+    for seed in [0x0ACE_5EED, 1, 2, 3] {
+        let coin = CoinPolicy(Rng(seed ^ 0xC01D_C0FF_EE00_0000));
+        let (_, mgr, _) = run_stream(seed, FaultConfig::disabled(), Recording::new(coin));
+        let s = mgr.stats();
+        assert_eq!(s.requests, OPS as u64, "every op goes through the manager");
+        // The coin policy must actually have wandered the tables:
+        // replications (read sharing), migrations (write stealing), and
+        // global placements all occur in 300 mixed ops.
+        assert!(s.replications > 0, "stream never replicated: {s:?}");
+        assert!(s.migrations > 0, "stream never migrated: {s:?}");
+        assert!(s.to_global > 0, "stream never went global: {s:?}");
+        assert_eq!(s.local_pressure_fallbacks, 0, "small(4) has frames to spare");
+    }
+}
+
+#[test]
+fn random_ops_stay_coherent_under_fault_injection() {
+    // Same properties with the fault clock running: recovery (retries,
+    // refetches, quarantines, degradations) may reroute placements but
+    // can never surface stale or corrupt data, leave an illegal state,
+    // or break an invariant.
+    for seed in [0x0ACE_5EED, 7] {
+        let faults = FaultConfig {
+            seed,
+            bus_timeout_rate: 0.05,
+            bad_frame_rate: 0.05,
+            corruption_rate: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let coin = CoinPolicy(Rng(seed ^ 0xFA17_0000_0000_0000));
+        let (_, mgr, _) = run_stream(seed, faults, Recording::new(coin));
+        let s = mgr.stats();
+        assert!(
+            s.bus_retries + s.corruptions_detected + s.frame_quarantines > 0,
+            "fault rates of 5% must actually fire in 300 ops: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn random_ops_with_the_paper_policy_pin_hot_pages() {
+    // MoveLimitPolicy under the same harness: the protocol properties
+    // hold, and pages whose ownership ping-pongs end up pinned global.
+    let (_, _, policy) = run_stream(
+        0x0ACE_5EED,
+        FaultConfig::disabled(),
+        Recording::new(MoveLimitPolicy::new(2)),
+    );
+    assert!(
+        policy.inner.pinned_count() > 0,
+        "random cross-CPU writes must trip the move limit"
+    );
+}
+
+#[test]
+fn move_limit_migrates_then_pins() {
+    // Deterministic migrate-then-pin: two processors alternate stores
+    // to one page. Each store steals ownership (a migration) until the
+    // move budget is spent; after that the page is pinned global and
+    // never moves again.
+    let mut m = Machine::new(MachineConfig::small(2));
+    let mut mgr = NumaManager::new();
+    let mut pol = MoveLimitPolicy::new(2);
+    const L: LPageId = LPageId(0);
+    mgr.zero_page(L);
+
+    let mut last_val = 0u32;
+    for i in 0..10u32 {
+        let cpu = CpuId((i % 2) as u16);
+        let g = mgr.request(&mut m, L, Access::Store, cpu, &mut pol).unwrap();
+        assert_eq!(m.mem.read_u32(g.frame, 0), last_val, "store {i} saw a stale page");
+        last_val = i + 1;
+        m.mem.write_u32(g.frame, 0, last_val);
+        mgr.check_invariants(&mut m, L).unwrap();
+
+        if pol.is_pinned(L) {
+            assert_eq!(
+                mgr.view(L).state,
+                StateKind::GlobalWritable,
+                "a pinned page must sit in global memory"
+            );
+        } else {
+            assert_eq!(
+                mgr.view(L).state,
+                StateKind::LocalWritable(cpu),
+                "before pinning, each store steals ownership"
+            );
+        }
+    }
+
+    assert!(pol.is_pinned(L), "2 tolerated moves < 9 steals: page must pin");
+    let moves_at_pin = mgr.view(L).move_count;
+    assert!(moves_at_pin > pol.threshold(), "pin requires exceeding the budget");
+
+    // Once pinned, further stores from either processor change nothing.
+    for i in 0..4u32 {
+        let cpu = CpuId((i % 2) as u16);
+        mgr.request(&mut m, L, Access::Store, cpu, &mut pol).unwrap();
+        assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
+        assert_eq!(mgr.view(L).move_count, moves_at_pin, "pinned pages stop migrating");
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+}
