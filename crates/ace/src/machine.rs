@@ -194,6 +194,7 @@ impl Machine {
             t += self.bus_queue.acquire(now, words);
         }
         self.clocks.charge_user(cpu, t);
+        self.mem.touch(frame, self.clocks.cpu(cpu).total());
         if self.tap.is_some() {
             let now = self.clocks.cpu(cpu).total();
             self.emit(MachineEvent::Access { cpu, kind, dist, words, t: now });
@@ -236,6 +237,7 @@ impl Machine {
         }
         let t = self.access_cost(kind, dist, words) * n;
         self.clocks.charge_user(cpu, t);
+        self.mem.touch(frame, self.clocks.cpu(cpu).total());
         t
     }
 
@@ -251,6 +253,7 @@ impl Machine {
         }
         let t = self.config.costs.page_copy(self.config.page_size.bytes());
         self.clocks.charge_system(cpu, t);
+        self.mem.touch(dst, self.clocks.cpu(cpu).total());
         if self.tap.is_some() {
             let now = self.clocks.cpu(cpu).total();
             self.emit(MachineEvent::PageCopy { cpu, from: src.region, to: dst.region, t: now });
@@ -310,6 +313,7 @@ impl Machine {
         let dist = self.distance(cpu, frame.region);
         let t = self.config.costs.access(Access::Store, dist) * words;
         self.clocks.charge_system(cpu, t);
+        self.mem.touch(frame, self.clocks.cpu(cpu).total());
         if self.tap.is_some() {
             let now = self.clocks.cpu(cpu).total();
             self.emit(MachineEvent::PageZero { cpu, region: frame.region, t: now });
@@ -345,6 +349,25 @@ mod tests {
 
     fn machine() -> Machine {
         Machine::new(MachineConfig::small(2))
+    }
+
+    #[test]
+    fn charge_paths_stamp_last_touch() {
+        let mut m = machine();
+        let g = m.mem.alloc(MemRegion::Global).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        assert_eq!(m.mem.last_touch(g), Ns::ZERO);
+        m.charge_access(CpuId(0), Access::Fetch, g, 1);
+        let after_access = m.mem.last_touch(g);
+        assert!(after_access > Ns::ZERO, "charge_access stamps the frame");
+        assert_eq!(after_access, m.clocks.cpu(CpuId(0)).total());
+        m.charge_access_n(CpuId(0), Access::Fetch, l, 1, 8);
+        assert_eq!(m.mem.last_touch(l), m.clocks.cpu(CpuId(0)).total());
+        // Kernel copies and zero-fills stamp the destination frame too.
+        m.kernel_copy_page(CpuId(0), g, l);
+        assert_eq!(m.mem.last_touch(l), m.clocks.cpu(CpuId(0)).total());
+        m.kernel_zero_page(CpuId(0), g);
+        assert_eq!(m.mem.last_touch(g), m.clocks.cpu(CpuId(0)).total());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! suites catch end to end.
 
 use crate::config::MachineConfig;
+use crate::time::Ns;
 use crate::types::CpuId;
 use std::collections::HashSet;
 use std::fmt;
@@ -80,6 +81,10 @@ struct Module {
     free: Vec<u32>,
     /// High-water mark of simultaneously allocated frames.
     peak_used: usize,
+    /// Per-frame last-touch stamp in virtual time, kept by the machine's
+    /// charge paths. Read by the reclaim layer to approximate LRU; never
+    /// charges time itself.
+    last_touch: Vec<Ns>,
 }
 
 impl Module {
@@ -88,6 +93,7 @@ impl Module {
             frames: (0..n_frames).map(|_| None).collect(),
             free: (0..n_frames as u32).rev().collect(),
             peak_used: 0,
+            last_touch: vec![Ns::ZERO; n_frames],
         }
     }
 
@@ -146,6 +152,7 @@ impl PhysMem {
         if used > m.peak_used {
             m.peak_used = used;
         }
+        m.last_touch[index as usize] = Ns::ZERO;
         Ok(Frame { region, index })
     }
 
@@ -161,6 +168,7 @@ impl PhysMem {
                 if used > m.peak_used {
                     m.peak_used = used;
                 }
+                m.last_touch[index as usize] = Ns::ZERO;
                 Ok(Frame::global(index))
             }
             None => Err(MemError::OutOfFrames(MemRegion::Global)),
@@ -218,6 +226,19 @@ impl PhysMem {
         self.module(region).peak_used
     }
 
+    /// Records that `frame` was referenced at virtual time `t`. Called by
+    /// the machine's charge paths; charges nothing itself.
+    #[inline]
+    pub fn touch(&mut self, frame: Frame, t: Ns) {
+        self.module_mut(frame.region).last_touch[frame.index as usize] = t;
+    }
+
+    /// Virtual time of the last recorded reference to `frame`
+    /// ([`Ns::ZERO`] if never touched since allocation).
+    pub fn last_touch(&self, frame: Frame) -> Ns {
+        self.module(frame.region).last_touch[frame.index as usize]
+    }
+
     fn data(&mut self, frame: Frame) -> &mut [u8] {
         let page_bytes = self.page_bytes;
         let m = self.module_mut(frame.region);
@@ -226,11 +247,17 @@ impl PhysMem {
     }
 
     /// Reads a little-endian `u32` at byte `offset` within `frame`.
+    ///
+    /// The offset must leave room for four bytes within the page; an
+    /// out-of-range offset is a caller bug (all callers derive offsets
+    /// from page-masked virtual addresses) and panics via the slice
+    /// bounds check rather than a decode `unwrap`.
     #[inline]
     pub fn read_u32(&mut self, frame: Frame, offset: usize) -> u32 {
         debug_assert!(offset + 4 <= self.page_bytes);
         let d = self.data(frame);
-        u32::from_le_bytes(d[offset..offset + 4].try_into().unwrap())
+        let w = &d[offset..offset + 4];
+        u32::from_le_bytes([w[0], w[1], w[2], w[3]])
     }
 
     /// Writes a little-endian `u32` at byte `offset` within `frame`.
@@ -448,6 +475,25 @@ mod tests {
         let byte = m.read_u8(b, 99);
         m.write_u8(b, 99, byte ^ 0x40);
         assert_ne!(m.page_checksum(b), before);
+    }
+
+    #[test]
+    fn last_touch_stamps_track_references_and_reset_on_alloc() {
+        let mut m = mem();
+        let f = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        assert_eq!(m.last_touch(f), Ns::ZERO);
+        m.touch(f, Ns(42));
+        assert_eq!(m.last_touch(f), Ns(42));
+        m.touch(f, Ns(99));
+        assert_eq!(m.last_touch(f), Ns(99));
+        // Freeing and re-allocating the frame clears the stale stamp.
+        m.free(f);
+        let g = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        assert_eq!(g, f, "LIFO free list hands the same frame back");
+        assert_eq!(m.last_touch(g), Ns::ZERO);
+        // alloc_global_at resets too.
+        let h = m.alloc_global_at(3).unwrap();
+        assert_eq!(m.last_touch(h), Ns::ZERO);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod manager;
 pub mod pmap_mgr;
 pub mod policy;
 pub mod protocol;
+pub mod reclaim;
 pub mod stats;
 
 pub use manager::{NumaManager, PageView, StateKind};
@@ -54,4 +55,5 @@ pub use policy::{
     ReconsiderPolicy,
 };
 pub use protocol::{plan, ActionPlan, Cleanup, Placement, TableState};
+pub use reclaim::{LruReclaim, ReclaimCandidate, ReclaimPolicy, DEFAULT_MAX_RECLAIM_ATTEMPTS};
 pub use stats::{FaultEvent, NumaStats};

@@ -13,6 +13,7 @@
 
 use crate::policy::CachePolicy;
 use crate::protocol::{plan, Cleanup, Placement, TableState};
+use crate::reclaim::{LruReclaim, ReclaimCandidate, ReclaimPolicy, DEFAULT_MAX_RECLAIM_ATTEMPTS};
 use crate::stats::{FaultEvent, NumaStats};
 use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Ns, Prot};
 use mach_vm::{LPageId, NumaError};
@@ -151,10 +152,16 @@ enum LocalAlloc {
 pub struct NumaManager {
     pages: HashMap<LPageId, PageInfo>,
     stats: NumaStats,
-    /// Ordered log of recovery actions (empty in a fault-free run).
+    /// Ordered log of recovery and degradation actions (empty in a
+    /// fault-free run with ample local frames).
     events: Vec<FaultEvent>,
     /// Optional structured event sink; see [`NumaManager::set_event_sink`].
     sink: Option<SharedSink>,
+    /// Victim-selection policy for reclaim under local-frame exhaustion.
+    reclaim: Box<dyn ReclaimPolicy>,
+    /// Victim evictions allowed per request before it degrades to a
+    /// global-writable mapping (0 disables reclaim entirely).
+    max_reclaim_attempts: u32,
 }
 
 impl NumaManager {
@@ -165,7 +172,26 @@ impl NumaManager {
             stats: NumaStats::default(),
             events: Vec::new(),
             sink: None,
+            reclaim: Box::new(LruReclaim),
+            max_reclaim_attempts: DEFAULT_MAX_RECLAIM_ATTEMPTS,
         }
+    }
+
+    /// Installs a victim-selection policy for reclaim (the default is
+    /// approximate-LRU over last-touch virtual time).
+    pub fn set_reclaim_policy(&mut self, policy: Box<dyn ReclaimPolicy>) {
+        self.reclaim = policy;
+    }
+
+    /// Sets the per-request reclaim budget (0 disables reclaim: every
+    /// exhausted LOCAL placement degrades to global immediately).
+    pub fn set_max_reclaim_attempts(&mut self, attempts: u32) {
+        self.max_reclaim_attempts = attempts;
+    }
+
+    /// The current per-request reclaim budget.
+    pub fn max_reclaim_attempts(&self) -> u32 {
+        self.max_reclaim_attempts
     }
 
     /// Installs a structured event sink. Every protocol action — policy
@@ -303,8 +329,20 @@ impl NumaManager {
                 match self.alloc_local_scrubbed(m, cpu) {
                     LocalAlloc::Frame(f) => prealloc = Some(f),
                     LocalAlloc::NoFrames => {
-                        decision = Placement::Global;
-                        self.stats.local_pressure_fallbacks += 1;
+                        // Exhaustion is not failure: evict a victim page
+                        // (a legal Table-1/2 downgrade) and retry. Only
+                        // when the reclaim budget runs out does the
+                        // request degrade to a global-writable mapping.
+                        match self.try_reclaim_local_frame(m, cpu, lpage) {
+                            Some(f) => prealloc = Some(f),
+                            None => {
+                                decision = Placement::Global;
+                                self.stats.local_pressure_fallbacks += 1;
+                                self.stats.degradations += 1;
+                                self.events.push(FaultEvent::DegradedToGlobal { lpage, cpu });
+                                self.emit(m, cpu, EventKind::DegradedToGlobal { lpage });
+                            }
+                        }
                     }
                     LocalAlloc::BadMemory => {
                         decision = Placement::Global;
@@ -475,6 +513,10 @@ impl NumaManager {
                 return LocalAlloc::NoFrames;
             };
             if !m.fault.scrub_frame(f) {
+                let used = m.mem.used_frames(MemRegion::Local(cpu)) as u64;
+                if used > self.stats.local_peak_frames {
+                    self.stats.local_peak_frames = used;
+                }
                 return LocalAlloc::Frame(f);
             }
             // The frame failed its scrub: retire it for good.
@@ -606,7 +648,7 @@ impl NumaManager {
                 if self.page(lpage).fill_pending() {
                     // Fill straight into the host's local memory.
                     self.flush(m, lpage, host, true);
-                    let frame = self.alloc_host_frame(m, host)?;
+                    let frame = self.alloc_host_frame(m, lpage, host)?;
                     self.apply_fill(m, lpage, frame, cpu);
                     self.page(lpage).locals.insert(host, frame);
                 } else {
@@ -614,7 +656,7 @@ impl NumaManager {
                     self.flush(m, lpage, host, true);
                     self.unmap_global(m, lpage, cpu);
                     if !self.page(lpage).locals.contains_key(&host) {
-                        let frame = self.alloc_host_frame(m, host)?;
+                        let frame = self.alloc_host_frame(m, lpage, host)?;
                         let src = self.page(lpage).global.expect("validated above");
                         if let Err(e) = self.checked_copy(m, lpage, cpu, src, frame) {
                             m.mem.free(frame);
@@ -647,13 +689,175 @@ impl NumaManager {
     }
 
     /// Allocates a scrubbed frame in `host`'s local memory for a hosted
-    /// page. Unlike a LOCAL placement there is no graceful degradation:
+    /// page, reclaiming a victim if the free list is empty. Unlike a
+    /// LOCAL placement there is no graceful degradation past reclaim:
     /// the caller asked for this specific memory.
-    fn alloc_host_frame(&mut self, m: &mut Machine, host: CpuId) -> Result<Frame, NumaError> {
+    fn alloc_host_frame(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        host: CpuId,
+    ) -> Result<Frame, NumaError> {
         match self.alloc_local_scrubbed(m, host) {
             LocalAlloc::Frame(f) => Ok(f),
-            LocalAlloc::NoFrames => Err(NumaError::OutOfFrames(MemRegion::Local(host))),
+            LocalAlloc::NoFrames => self
+                .try_reclaim_local_frame(m, host, lpage)
+                .ok_or(NumaError::OutOfFrames(MemRegion::Local(host))),
             LocalAlloc::BadMemory => Err(NumaError::LocalMemoryFailing { cpu: host }),
+        }
+    }
+
+    /// Pages that could legally lose their copy in `cpu`'s local memory:
+    /// every page holding a frame there except the faulting page itself,
+    /// a remote-shared host copy (it is the page's only data, mapped by
+    /// every processor), and — defensively — quarantined frames. Sorted
+    /// by page id so the policy sees a deterministic slice regardless of
+    /// directory hash order.
+    fn reclaim_candidates(
+        &self,
+        m: &Machine,
+        cpu: CpuId,
+        exclude: LPageId,
+    ) -> Vec<ReclaimCandidate> {
+        let mut out: Vec<ReclaimCandidate> = self
+            .pages
+            .iter()
+            .filter(|(&lp, info)| {
+                lp != exclude && !matches!(info.state, StateKind::RemoteShared(_))
+            })
+            .filter_map(|(&lp, info)| {
+                let &frame = info.locals.get(&cpu)?;
+                if m.mem.is_quarantined(frame) {
+                    return None;
+                }
+                Some(ReclaimCandidate {
+                    lpage: lp,
+                    frame,
+                    last_touch: m.mem.last_touch(frame),
+                    writable: info.state == StateKind::LocalWritable(cpu),
+                })
+            })
+            .collect();
+        out.sort_by_key(|c| c.lpage.0);
+        out
+    }
+
+    /// Evicts the victim's copy from `cpu`'s local memory via the legal
+    /// Table-1/2 downgrade: a writable copy is synced back to global
+    /// first (the page becomes Global-Writable), a read-only replica is
+    /// simply dropped (zero replicas is a legal RO state). On error the
+    /// sync failed and the victim is left intact.
+    fn evict_local_copy(
+        &mut self,
+        m: &mut Machine,
+        victim: LPageId,
+        cpu: CpuId,
+    ) -> Result<(), NumaError> {
+        if !self.page(victim).global_valid {
+            self.ensure_global_valid(m, victim, cpu)?;
+        }
+        let frame = *self
+            .page(victim)
+            .locals
+            .get(&cpu)
+            .expect("candidate holds a copy on the pressured cpu");
+        for i in 0..m.n_cpus() {
+            m.mmus[i].remove_frame(frame);
+        }
+        m.mem.free(frame);
+        self.page(victim).locals.remove(&cpu);
+        self.stats.flushes += 1;
+        let prev = self.page(victim).state;
+        if prev == StateKind::LocalWritable(cpu) {
+            self.page(victim).state = StateKind::GlobalWritable;
+            self.stats.to_global += 1;
+            self.emit(
+                m,
+                cpu,
+                EventKind::StateChanged {
+                    lpage: victim,
+                    from: ev_state(prev),
+                    to: ev_state(StateKind::GlobalWritable),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// The synchronous reclaim path: `cpu`'s free list is empty while
+    /// placing `exclude`, so evict victims (picked by the reclaim
+    /// policy) until an allocation succeeds or the per-request budget
+    /// runs out. `None` means the caller should degrade: no victim was
+    /// available, evictions kept failing, or the memory itself is bad.
+    fn try_reclaim_local_frame(
+        &mut self,
+        m: &mut Machine,
+        cpu: CpuId,
+        exclude: LPageId,
+    ) -> Option<Frame> {
+        if self.max_reclaim_attempts == 0 {
+            return None;
+        }
+        self.emit(m, cpu, EventKind::ReclaimStarted { lpage: exclude });
+        for _ in 0..self.max_reclaim_attempts {
+            let candidates = self.reclaim_candidates(m, cpu, exclude);
+            let victim = self.reclaim.pick_victim(&candidates)?;
+            if self.evict_local_copy(m, victim, cpu).is_err() {
+                // The victim's sync failed under injected faults; it is
+                // intact, and the failed eviction consumed one attempt.
+                continue;
+            }
+            self.stats.reclaims += 1;
+            self.emit(m, cpu, EventKind::VictimFlushed { lpage: victim, at: cpu });
+            match self.alloc_local_scrubbed(m, cpu) {
+                LocalAlloc::Frame(f) => return Some(f),
+                LocalAlloc::NoFrames => continue,
+                LocalAlloc::BadMemory => return None,
+            }
+        }
+        None
+    }
+
+    /// One scan of the background pressure daemon: for every processor
+    /// whose local free list is below the `low` watermark, drop cold
+    /// read-only replicas (cheapest legal eviction — the global frame is
+    /// already valid, so the drop is pure bookkeeping) until the free
+    /// list reaches the `high` watermark or no droppable replica is
+    /// left. Runs in kernel context: events are stamped with the master
+    /// processor, and no virtual time is charged, so a machine above its
+    /// watermarks is completely unaffected.
+    pub fn pressure_tick(&mut self, m: &mut Machine, low: usize, high: usize) {
+        if low == 0 {
+            return;
+        }
+        let high = high.max(low);
+        for i in 0..m.n_cpus() {
+            let c = CpuId(i as u16);
+            if m.mem.free_frames(MemRegion::Local(c)) >= low {
+                continue;
+            }
+            self.stats.pressure_ticks += 1;
+            let free = m.mem.free_frames(MemRegion::Local(c)) as u64;
+            self.emit(m, CpuId(0), EventKind::PressureTick { at: c, free });
+            while m.mem.free_frames(MemRegion::Local(c)) < high {
+                let victim = self
+                    .pages
+                    .iter()
+                    .filter(|(_, info)| info.state == StateKind::ReadOnly && info.global_valid)
+                    .filter_map(|(&lp, info)| {
+                        let &f = info.locals.get(&c)?;
+                        Some((m.mem.last_touch(f), lp.0))
+                    })
+                    .min()
+                    .map(|(_, lp)| LPageId(lp));
+                let Some(victim) = victim else {
+                    break;
+                };
+                self.evict_local_copy(m, victim, c)
+                    .expect("dropping a valid-global RO replica cannot fail");
+                self.stats.reclaims += 1;
+                self.emit(m, CpuId(0), EventKind::VictimFlushed { lpage: victim, at: c });
+            }
         }
     }
 
@@ -777,7 +981,7 @@ impl NumaManager {
         }
         let frame = match prealloc.take() {
             Some(f) => f,
-            None => self.alloc_host_frame(m, cpu)?,
+            None => self.alloc_host_frame(m, lpage, cpu)?,
         };
         if self.page(lpage).fill_pending() {
             // Lazy fill straight into local memory: the optimization of
@@ -1150,7 +1354,7 @@ mod tests {
     }
 
     #[test]
-    fn local_pressure_falls_back_to_global() {
+    fn local_pressure_reclaims_a_victim_instead_of_degrading() {
         let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
@@ -1161,11 +1365,130 @@ mod tests {
         mgr.zero_page(b);
         let ga = mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol).unwrap();
         assert!(!ga.frame.is_global());
-        // cpu0's single local frame is taken; the next page must fall
-        // back to global despite the LOCAL decision.
+        m.mem.write_u32(ga.frame, 0, 41);
+        // cpu0's single local frame is taken; the next page evicts `a`
+        // (synced back to global — the legal downgrade) and still gets a
+        // local frame.
+        let gb = mgr.request(&mut m, b, Access::Store, CpuId(0), &mut pol).unwrap();
+        assert!(!gb.frame.is_global(), "reclaim served the request locally");
+        assert_eq!(mgr.view(a).state, StateKind::GlobalWritable);
+        assert!(mgr.view(a).global_valid);
+        assert_eq!(mgr.stats().reclaims, 1);
+        assert_eq!(mgr.stats().syncs, 1, "writable victim flushed with a sync");
+        assert_eq!(mgr.stats().degradations, 0);
+        assert_eq!(mgr.stats().local_pressure_fallbacks, 0);
+        mgr.check_invariants(&mut m, a).unwrap();
+        mgr.check_invariants(&mut m, b).unwrap();
+        // The victim's data survived the eviction, and refetching it
+        // reads back the same bytes.
+        let ga2 = mgr.request(&mut m, a, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        assert_eq!(m.mem.read_u32(ga2.frame, 0), 41);
+    }
+
+    #[test]
+    fn exhausted_reclaim_budget_degrades_to_global() {
+        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        mgr.set_max_reclaim_attempts(0);
+        let mut pol = AllLocalPolicy;
+        let a = LPageId(0);
+        let b = LPageId(1);
+        mgr.zero_page(a);
+        mgr.zero_page(b);
+        mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol).unwrap();
+        // Reclaim disabled: the old behavior, as a typed outcome.
         let gb = mgr.request(&mut m, b, Access::Store, CpuId(0), &mut pol).unwrap();
         assert!(gb.frame.is_global());
+        assert_eq!(mgr.view(b).state, StateKind::GlobalWritable);
+        assert_eq!(mgr.stats().reclaims, 0);
+        assert_eq!(mgr.stats().degradations, 1);
         assert_eq!(mgr.stats().local_pressure_fallbacks, 1);
+        assert_eq!(
+            mgr.fault_events(),
+            &[FaultEvent::DegradedToGlobal { lpage: b, cpu: CpuId(0) }]
+        );
+        // The victim kept its frame untouched.
+        assert_eq!(mgr.view(a).state, StateKind::LocalWritable(CpuId(0)));
+        mgr.check_invariants(&mut m, a).unwrap();
+        mgr.check_invariants(&mut m, b).unwrap();
+    }
+
+    #[test]
+    fn reclaim_prefers_the_coldest_replica() {
+        let cfg = MachineConfig { local_frames: 2, ..MachineConfig::small(2) };
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        let mut pol = AllLocalPolicy;
+        let a = LPageId(0);
+        let b = LPageId(1);
+        let c = LPageId(2);
+        mgr.zero_page(a);
+        mgr.zero_page(b);
+        mgr.zero_page(c);
+        let ga = mgr.request(&mut m, a, Access::Fetch, CpuId(0), &mut pol).unwrap();
+        let gb = mgr.request(&mut m, b, Access::Fetch, CpuId(0), &mut pol).unwrap();
+        // Touch `a` after `b` was placed: `b` is now the colder frame.
+        m.charge_access(CpuId(0), Access::Fetch, ga.frame, 1);
+        assert!(m.mem.last_touch(ga.frame) > m.mem.last_touch(gb.frame));
+        mgr.request(&mut m, c, Access::Fetch, CpuId(0), &mut pol).unwrap();
+        assert_eq!(mgr.view(b).copies, 0, "cold page b was evicted");
+        assert_eq!(mgr.view(a).copies, 1, "hot page a survived");
+        assert_eq!(mgr.stats().reclaims, 1);
+        for p in [a, b, c] {
+            mgr.check_invariants(&mut m, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn pressure_tick_flushes_cold_replicas_down_to_the_watermark() {
+        let cfg = MachineConfig { local_frames: 4, ..MachineConfig::small(2) };
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        let mut pol = AllLocalPolicy;
+        // Fill all four frames with RO replicas; sync each so the global
+        // copy is valid (read twice from different cpus forces the sync).
+        for p in 0..4 {
+            mgr.zero_page(LPageId(p));
+            mgr.request(&mut m, LPageId(p), Access::Fetch, CpuId(0), &mut pol).unwrap();
+            mgr.request(&mut m, LPageId(p), Access::Fetch, CpuId(1), &mut pol).unwrap();
+        }
+        assert_eq!(m.mem.free_frames(MemRegion::Local(CpuId(0))), 0);
+        // Watermarks low=1, high=3: the daemon frees until 3 frames are
+        // free on each pressured cpu, evicting the coldest replicas
+        // first (the lowest page ids — they were placed earliest).
+        mgr.pressure_tick(&mut m, 1, 3);
+        assert_eq!(m.mem.free_frames(MemRegion::Local(CpuId(0))), 3);
+        assert_eq!(m.mem.free_frames(MemRegion::Local(CpuId(1))), 3);
+        assert_eq!(mgr.stats().pressure_ticks, 2);
+        assert_eq!(mgr.stats().reclaims, 6);
+        assert_eq!(mgr.view(LPageId(3)).copies, 2, "hottest page kept both replicas");
+        for p in 0..4 {
+            mgr.check_invariants(&mut m, LPageId(p)).unwrap();
+        }
+        // Above the watermark now: another tick is a no-op.
+        let before = mgr.stats();
+        mgr.pressure_tick(&mut m, 1, 3);
+        assert_eq!(mgr.stats(), before);
+    }
+
+    #[test]
+    fn pressure_tick_never_drops_the_only_copy_of_dirty_data() {
+        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        let mut pol = AllLocalPolicy;
+        let a = LPageId(0);
+        mgr.zero_page(a);
+        let ga = mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol).unwrap();
+        m.mem.write_u32(ga.frame, 0, 7);
+        // cpu0 is below the low watermark, but its only resident page is
+        // local-writable (global stale): the daemon must leave it alone.
+        mgr.pressure_tick(&mut m, 1, 1);
+        assert_eq!(mgr.stats().pressure_ticks, 1);
+        assert_eq!(mgr.stats().reclaims, 0);
+        assert_eq!(mgr.view(a).state, StateKind::LocalWritable(CpuId(0)));
+        assert_eq!(m.mem.read_u32(ga.frame, 0), 7);
     }
 
     #[test]

@@ -122,6 +122,24 @@ impl AcePmap {
         self.manager.peek_fill(lpage)
     }
 
+    /// Installs a victim-selection policy for reclaim under local-frame
+    /// exhaustion (see [`NumaManager::set_reclaim_policy`]).
+    pub fn set_reclaim_policy(&mut self, policy: Box<dyn crate::reclaim::ReclaimPolicy>) {
+        self.manager.set_reclaim_policy(policy);
+    }
+
+    /// Sets the per-request reclaim budget (see
+    /// [`NumaManager::set_max_reclaim_attempts`]).
+    pub fn set_max_reclaim_attempts(&mut self, attempts: u32) {
+        self.manager.set_max_reclaim_attempts(attempts);
+    }
+
+    /// One scan of the background pressure daemon (see
+    /// [`NumaManager::pressure_tick`]).
+    pub fn pressure_tick(&mut self, m: &mut Machine, low: usize, high: usize) {
+        self.manager.pressure_tick(m, low, high);
+    }
+
     /// Periodic daemon tick: lets the policy age its state and applies
     /// any pin reconsiderations it queues.
     pub fn timer_tick(&mut self, m: &mut Machine) {

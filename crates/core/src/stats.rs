@@ -57,6 +57,20 @@ pub struct NumaStats {
     /// LOCAL decisions degraded to GLOBAL because the target local
     /// memory kept producing bad frames.
     pub fault_global_fallbacks: u64,
+    /// Victim pages evicted from a local memory to free a frame
+    /// (synchronous reclaim on exhaustion, plus pressure-daemon
+    /// flushes of cold replicas).
+    pub reclaims: u64,
+    /// Requests degraded to a global-writable mapping after the reclaim
+    /// budget was exhausted (a typed outcome, not an error).
+    pub degradations: u64,
+    /// Pressure-daemon scans that found a processor below its free-frame
+    /// low watermark.
+    pub pressure_ticks: u64,
+    /// High-water mark of simultaneously allocated frames in any single
+    /// local memory (observability for pressure experiments; not
+    /// serialized into reports).
+    pub local_peak_frames: u64,
 }
 
 impl NumaStats {
@@ -75,9 +89,11 @@ impl NumaStats {
     }
 }
 
-/// One recovery action taken by the NUMA manager, in the order it
-/// happened. The log complements the aggregate counters: tests assert on
-/// exact sequences, the report prints totals.
+/// One recovery or degradation action taken by the NUMA manager, in the
+/// order it happened. The log complements the aggregate counters: tests
+/// assert on exact sequences, the report prints totals. Empty in a
+/// fault-free run with ample local frames; memory pressure can add
+/// `DegradedToGlobal` entries without any injected fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultEvent {
     /// A bus-crossing copy timed out and was retried with backoff.

@@ -1,0 +1,399 @@
+//! Resumable sweeps: a sidecar checkpoint of completed cells.
+//!
+//! `numa-lab run --resume` must survive being killed mid-sweep and,
+//! on the next invocation, produce a final document **byte-identical**
+//! to an uninterrupted run. Determinism makes that cheap: every cell
+//! is an independent deterministic simulation, so a completed cell's
+//! measurements can simply be persisted and replayed. The checkpoint
+//! lives next to the output file (`<out>.partial`), is rewritten
+//! atomically (temp file + rename) after every finished job, and is
+//! deleted once the sweep completes.
+//!
+//! Two properties carry the byte-identity guarantee:
+//!
+//! * Reports are stored as **exact integers** — the raw nanosecond and
+//!   counter fields, not the derived floating-point seconds the sweep
+//!   document shows. Every float in the final document is recomputed
+//!   from integers by the same code on both paths.
+//! * A checkpoint is only trusted for the grid that wrote it: the
+//!   grid's serialized axes are embedded and byte-compared on load.
+//!   A mismatch is an error, not a silent restart — a different grid
+//!   is a different experiment.
+
+use crate::farm::JobResult;
+use crate::grid::{Grid, JobSpec};
+use ace_machine::{BusStats, CpuTime, FaultStats, Ns};
+use ace_sim::{RefCounters, RunReport};
+use numa_core::NumaStats;
+use numa_metrics::{parse, Json};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the checkpoint document.
+pub const SCHEMA: &str = "numa-repro/lab-checkpoint/v1";
+
+/// The sidecar checkpoint of one in-flight sweep.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    /// The owning grid's serialized axes (the identity the checkpoint
+    /// is valid for).
+    grid_text: String,
+    /// Completed cells, keyed by grid-order id.
+    done: BTreeMap<usize, RunReport>,
+}
+
+impl Checkpoint {
+    /// Where the checkpoint for an output file lives.
+    pub fn path_for(out: &str) -> PathBuf {
+        PathBuf::from(format!("{out}.partial"))
+    }
+
+    /// Opens the checkpoint at `path` for `grid`, loading completed
+    /// cells when the file exists. Errors mean an unusable checkpoint
+    /// (unreadable, unparsable, or written by a different grid) — the
+    /// caller decides whether to delete and start over.
+    pub fn load_or_create(path: &Path, grid: &Grid) -> Result<Checkpoint, String> {
+        let grid_text = grid.to_json().to_string_flat();
+        let mut cp = Checkpoint { path: path.to_path_buf(), grid_text, done: BTreeMap::new() };
+        if !path.exists() {
+            return Ok(cp);
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        let doc = parse(&text)
+            .map_err(|e| format!("checkpoint {} is not valid JSON: {e}", path.display()))?;
+        let members = as_obj(&doc, "checkpoint")?;
+        match get(members, "schema") {
+            Some(Json::Str(s)) if s == SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "checkpoint {} has schema {other:?}, expected \"{SCHEMA}\"",
+                    path.display()
+                ))
+            }
+        }
+        let stored_grid = get(members, "grid")
+            .ok_or_else(|| format!("checkpoint {} has no grid", path.display()))?;
+        if stored_grid.to_string_flat() != cp.grid_text {
+            return Err(format!(
+                "checkpoint {} was written by a different grid; \
+                 delete it to start this sweep from scratch",
+                path.display()
+            ));
+        }
+        let specs: BTreeMap<usize, JobSpec> =
+            grid.jobs().into_iter().map(|j| (j.id, j)).collect();
+        let Some(Json::Arr(entries)) = get(members, "done") else {
+            return Err(format!("checkpoint {} has no done array", path.display()));
+        };
+        for entry in entries {
+            let entry = as_obj(entry, "done entry")?;
+            let id = get_u64(entry, "id")? as usize;
+            let spec = specs
+                .get(&id)
+                .ok_or_else(|| format!("checkpoint records job #{id}, not in this grid"))?;
+            let report = report_from_json(entry, spec)?;
+            cp.done.insert(id, report);
+        }
+        Ok(cp)
+    }
+
+    /// Ids of the cells already completed.
+    pub fn completed_ids(&self) -> Vec<usize> {
+        self.done.keys().copied().collect()
+    }
+
+    /// The completed cells as grid-ordered [`JobResult`]s (specs taken
+    /// from `jobs`, which must be the owning grid's job list).
+    pub fn completed_results(&self, jobs: &[JobSpec]) -> Vec<JobResult> {
+        jobs.iter()
+            .filter_map(|j| {
+                self.done.get(&j.id).map(|r| JobResult { spec: j.clone(), report: r.clone() })
+            })
+            .collect()
+    }
+
+    /// Records one finished cell and rewrites the checkpoint file
+    /// atomically, so a kill at any moment leaves either the previous
+    /// or the new checkpoint — never a torn file.
+    pub fn record(&mut self, spec: &JobSpec, report: &RunReport) -> Result<(), String> {
+        self.done.insert(spec.id, report.clone());
+        let entries: Vec<Json> = self
+            .done
+            .iter()
+            .map(|(&id, report)| report_to_json(id, report))
+            .collect();
+        let grid = parse(&self.grid_text).expect("grid text round-trips");
+        let doc = Json::obj()
+            .field("schema", SCHEMA)
+            .field("grid", grid)
+            .field("done", Json::Arr(entries))
+            .to_string_flat();
+        let tmp = self.path.with_extension("partial.tmp");
+        std::fs::write(&tmp, &doc)
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| format!("cannot commit checkpoint {}: {e}", self.path.display()))?;
+        Ok(())
+    }
+
+    /// Removes the checkpoint file (the sweep completed; the sidecar
+    /// has served its purpose). Missing file is fine.
+    pub fn remove(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One completed cell as exact integers.
+fn report_to_json(id: usize, r: &RunReport) -> Json {
+    let cpus: Vec<Json> = r
+        .cpu_times
+        .iter()
+        .map(|t| Json::obj().field("user_ns", t.user.0).field("system_ns", t.system.0))
+        .collect();
+    let n = &r.numa;
+    Json::obj()
+        .field("id", id)
+        .field("policy", r.policy)
+        .field("cpu_times", Json::Arr(cpus))
+        .field(
+            "refs",
+            Json::obj()
+                .field("local", r.refs.local)
+                .field("global", r.refs.global)
+                .field("remote", r.refs.remote),
+        )
+        .field(
+            "numa",
+            Json::obj()
+                .field("requests", n.requests)
+                .field("read_requests", n.read_requests)
+                .field("write_requests", n.write_requests)
+                .field("replications", n.replications)
+                .field("migrations", n.migrations)
+                .field("syncs", n.syncs)
+                .field("flushes", n.flushes)
+                .field("shootdowns", n.shootdowns)
+                .field("to_global", n.to_global)
+                .field("pins", n.pins)
+                .field("zero_fill_local", n.zero_fill_local)
+                .field("zero_fill_global", n.zero_fill_global)
+                .field("local_pressure_fallbacks", n.local_pressure_fallbacks)
+                .field("lazy_free_syncs", n.lazy_free_syncs)
+                .field("to_remote", n.to_remote)
+                .field("bus_retries", n.bus_retries)
+                .field("frame_quarantines", n.frame_quarantines)
+                .field("corruptions_detected", n.corruptions_detected)
+                .field("replica_refetches", n.replica_refetches)
+                .field("fault_global_fallbacks", n.fault_global_fallbacks)
+                .field("reclaims", n.reclaims)
+                .field("degradations", n.degradations)
+                .field("pressure_ticks", n.pressure_ticks)
+                .field("local_peak_frames", n.local_peak_frames),
+        )
+        .field(
+            "bus",
+            Json::obj()
+                .field("global_word_transfers", r.bus.global_word_transfers)
+                .field("copy_word_transfers", r.bus.copy_word_transfers)
+                .field("remote_word_transfers", r.bus.remote_word_transfers),
+        )
+        .field(
+            "faults",
+            Json::obj()
+                .field("bus_timeouts", r.faults.bus_timeouts)
+                .field("bad_frames", r.faults.bad_frames)
+                .field("corruptions", r.faults.corruptions),
+        )
+}
+
+/// Rebuilds a [`RunReport`] from a checkpoint entry. The policy string
+/// is cross-checked against the spec (the report's `&'static str` is
+/// re-derived from the spec's policy, so a stale or hand-edited entry
+/// cannot smuggle in a mismatched label).
+fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunReport, String> {
+    let policy = spec.policy().name();
+    match get(entry, "policy") {
+        Some(Json::Str(s)) if *s == policy => {}
+        other => {
+            return Err(format!(
+                "job #{}: checkpoint policy {other:?} does not match the grid's `{policy}`",
+                spec.id
+            ))
+        }
+    }
+    let Some(Json::Arr(cpu_entries)) = get(entry, "cpu_times") else {
+        return Err(format!("job #{}: checkpoint entry has no cpu_times", spec.id));
+    };
+    let mut cpu_times = Vec::with_capacity(cpu_entries.len());
+    for t in cpu_entries {
+        let t = as_obj(t, "cpu_times entry")?;
+        cpu_times.push(CpuTime {
+            user: Ns(get_u64(t, "user_ns")?),
+            system: Ns(get_u64(t, "system_ns")?),
+        });
+    }
+    let refs = as_obj(
+        get(entry, "refs").ok_or_else(|| format!("job #{}: no refs", spec.id))?,
+        "refs",
+    )?;
+    let n = as_obj(
+        get(entry, "numa").ok_or_else(|| format!("job #{}: no numa", spec.id))?,
+        "numa",
+    )?;
+    let bus = as_obj(
+        get(entry, "bus").ok_or_else(|| format!("job #{}: no bus", spec.id))?,
+        "bus",
+    )?;
+    let faults = as_obj(
+        get(entry, "faults").ok_or_else(|| format!("job #{}: no faults", spec.id))?,
+        "faults",
+    )?;
+    Ok(RunReport {
+        policy,
+        cpu_times,
+        refs: RefCounters {
+            local: get_u64(refs, "local")?,
+            global: get_u64(refs, "global")?,
+            remote: get_u64(refs, "remote")?,
+        },
+        numa: NumaStats {
+            requests: get_u64(n, "requests")?,
+            read_requests: get_u64(n, "read_requests")?,
+            write_requests: get_u64(n, "write_requests")?,
+            replications: get_u64(n, "replications")?,
+            migrations: get_u64(n, "migrations")?,
+            syncs: get_u64(n, "syncs")?,
+            flushes: get_u64(n, "flushes")?,
+            shootdowns: get_u64(n, "shootdowns")?,
+            to_global: get_u64(n, "to_global")?,
+            pins: get_u64(n, "pins")?,
+            zero_fill_local: get_u64(n, "zero_fill_local")?,
+            zero_fill_global: get_u64(n, "zero_fill_global")?,
+            local_pressure_fallbacks: get_u64(n, "local_pressure_fallbacks")?,
+            lazy_free_syncs: get_u64(n, "lazy_free_syncs")?,
+            to_remote: get_u64(n, "to_remote")?,
+            bus_retries: get_u64(n, "bus_retries")?,
+            frame_quarantines: get_u64(n, "frame_quarantines")?,
+            corruptions_detected: get_u64(n, "corruptions_detected")?,
+            replica_refetches: get_u64(n, "replica_refetches")?,
+            fault_global_fallbacks: get_u64(n, "fault_global_fallbacks")?,
+            reclaims: get_u64(n, "reclaims")?,
+            degradations: get_u64(n, "degradations")?,
+            pressure_ticks: get_u64(n, "pressure_ticks")?,
+            local_peak_frames: get_u64(n, "local_peak_frames")?,
+        },
+        bus: BusStats {
+            global_word_transfers: get_u64(bus, "global_word_transfers")?,
+            copy_word_transfers: get_u64(bus, "copy_word_transfers")?,
+            remote_word_transfers: get_u64(bus, "remote_word_transfers")?,
+        },
+        faults: FaultStats {
+            bus_timeouts: get_u64(faults, "bus_timeouts")?,
+            bad_frames: get_u64(faults, "bad_frames")?,
+            corruptions: get_u64(faults, "corruptions")?,
+        },
+    })
+}
+
+fn get<'a>(members: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_obj<'a>(j: &'a Json, what: &str) -> Result<&'a [(String, Json)], String> {
+    match j {
+        Json::Obj(members) => Ok(members),
+        _ => Err(format!("checkpoint {what} is not a JSON object")),
+    }
+}
+
+fn get_u64(members: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(members, key) {
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!("checkpoint field `{key}` is not a non-negative integer: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique temp path per test (no external tempfile crate).
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "numa-lab-checkpoint-{tag}-{}.json.partial",
+            std::process::id()
+        ))
+    }
+
+    fn small_grid() -> Grid {
+        let mut g = Grid::pressure();
+        g.apps.truncate(1);
+        g.placements.truncate(1);
+        g.fault_rates.truncate(1);
+        g.local_frames = vec![8];
+        g
+    }
+
+    #[test]
+    fn reports_round_trip_exactly() {
+        let grid = small_grid();
+        let jobs = grid.jobs();
+        let report = jobs[0].run().unwrap();
+        let path = temp_path("roundtrip");
+        let mut cp = Checkpoint::load_or_create(&path, &grid).unwrap();
+        cp.record(&jobs[0], &report).unwrap();
+        let reloaded = Checkpoint::load_or_create(&path, &grid).unwrap();
+        let results = reloaded.completed_results(&jobs);
+        assert_eq!(results.len(), 1);
+        let r = &results[0].report;
+        assert_eq!(r.policy, report.policy);
+        assert_eq!(r.cpu_times, report.cpu_times);
+        assert_eq!(r.numa, report.numa);
+        assert_eq!(r.refs.local, report.refs.local);
+        assert_eq!(r.bus.total_bytes(), report.bus.total_bytes());
+        assert_eq!(r.faults.bus_timeouts, report.faults.bus_timeouts);
+        // The byte-identity guarantee, at its root: the sweep-level
+        // serialization of the reloaded report matches the original.
+        assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
+        cp.remove();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn a_checkpoint_from_a_different_grid_is_refused() {
+        let grid = small_grid();
+        let jobs = grid.jobs();
+        let report = jobs[0].run().unwrap();
+        let path = temp_path("gridmismatch");
+        let mut cp = Checkpoint::load_or_create(&path, &grid).unwrap();
+        cp.record(&jobs[0], &report).unwrap();
+        let mut other = grid.clone();
+        other.local_frames = vec![6];
+        let err = Checkpoint::load_or_create(&path, &other).unwrap_err();
+        assert!(err.contains("different grid"), "got: {err}");
+        cp.remove();
+    }
+
+    #[test]
+    fn garbage_checkpoints_are_typed_errors() {
+        let grid = small_grid();
+        let path = temp_path("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(Checkpoint::load_or_create(&path, &grid).is_err());
+        std::fs::write(&path, "{\"schema\":\"wrong/schema/v0\"}").unwrap();
+        let err = Checkpoint::load_or_create(&path, &grid).unwrap_err();
+        assert!(err.contains("schema"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_means_empty_start() {
+        let grid = small_grid();
+        let path = temp_path("fresh");
+        let cp = Checkpoint::load_or_create(&path, &grid).unwrap();
+        assert!(cp.completed_ids().is_empty());
+        assert!(!path.exists(), "load_or_create must not create the file eagerly");
+    }
+}

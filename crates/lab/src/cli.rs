@@ -16,14 +16,15 @@
 //! deterministic simulations); progress and wall-clock timing go to
 //! stderr, where nondeterminism belongs.
 
-use crate::farm::LabError;
+use crate::checkpoint::Checkpoint;
+use crate::farm::{FarmOptions, LabError};
 use crate::gate::{diff_documents, GateTolerances};
 use crate::grid::Grid;
 use crate::sweep::Sweep;
 use numa_metrics::baseline::BaselineDiff;
 use numa_metrics::{shared, validate, Event, EventKind, EventSink, SharedSink, Table};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const DEFAULT_FILE: &str = "BENCH_sweep.json";
 
@@ -47,6 +48,12 @@ OPTIONS:
     --path fast|slow   run/diff/gate: simulator access path (default: fast);
                        both produce byte-identical reports, slow is for
                        equivalence checks and timing comparisons
+    --resume           run: checkpoint completed cells next to the output
+                       file (<out>.partial) and skip them on the next
+                       --resume run; final output is byte-identical to an
+                       uninterrupted run
+    --timeout SECS     run: wall-clock watchdog per job — a wedged cell
+                       fails the sweep typed instead of hanging it
     --baseline FILE    diff/gate: committed baseline (default: BENCH_sweep.json)
     --current FILE     diff/gate: compare this file instead of running the grid
     --quiet            no progress output on stderr
@@ -74,6 +81,8 @@ struct Opts {
     tol: GateTolerances,
     strict: bool,
     fastpath: bool,
+    resume: bool,
+    timeout_secs: Option<u64>,
 }
 
 impl Default for Opts {
@@ -89,6 +98,8 @@ impl Default for Opts {
             tol: GateTolerances::default(),
             strict: false,
             fastpath: true,
+            resume: false,
+            timeout_secs: None,
         }
     }
 }
@@ -124,6 +135,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--current" => opts.current = Some(value(&mut it, "--current")?),
             "--quiet" => opts.quiet = true,
             "--strict" => opts.strict = true,
+            "--resume" => opts.resume = true,
+            "--timeout" => {
+                let v = value(&mut it, "--timeout")?;
+                opts.timeout_secs = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--timeout wants a positive number of seconds, got `{v}`"))?,
+                );
+            }
             "--path" => {
                 let v = value(&mut it, "--path")?;
                 opts.fastpath = match v.as_str() {
@@ -186,11 +207,43 @@ fn lookup_grid(opts: &Opts) -> Result<Grid, String> {
     Ok(grid)
 }
 
+fn farm_options(opts: &Opts) -> FarmOptions {
+    FarmOptions {
+        timeout: opts.timeout_secs.map(Duration::from_secs),
+        // A fault-injected cell that fails gets one deterministic
+        // re-run before its failure is reported (see FarmOptions).
+        retry_faulted: true,
+    }
+}
+
 fn run_sweep(grid: Grid, opts: &Opts) -> Result<(Sweep, f64), LabError> {
     let progress: Option<SharedSink> = (!opts.quiet)
         .then(|| shared(StderrProgress { done: 0, started: Instant::now() }) as SharedSink);
     let started = Instant::now();
-    let sweep = Sweep::run(grid, opts.jobs, progress.as_ref())?;
+    let sweep = Sweep::run_opts(grid, opts.jobs, progress.as_ref(), farm_options(opts))?;
+    Ok((sweep, started.elapsed().as_secs_f64()))
+}
+
+/// `run --resume`: load the sidecar checkpoint, run only the missing
+/// cells (recording each as it finishes), and delete the sidecar once
+/// the whole grid is in hand.
+fn run_sweep_resumable(grid: Grid, opts: &Opts) -> Result<(Sweep, f64), String> {
+    let path = Checkpoint::path_for(&opts.out);
+    let mut cp = Checkpoint::load_or_create(&path, &grid)?;
+    let skipped = cp.completed_ids().len();
+    if skipped > 0 && !opts.quiet {
+        eprintln!(
+            "resuming from {}: {skipped}/{} cells already done",
+            path.display(),
+            grid.jobs().len()
+        );
+    }
+    let progress: Option<SharedSink> = (!opts.quiet)
+        .then(|| shared(StderrProgress { done: 0, started: Instant::now() }) as SharedSink);
+    let started = Instant::now();
+    let sweep =
+        Sweep::run_resumable(grid, opts.jobs, progress.as_ref(), farm_options(opts), &mut cp)?;
+    cp.remove();
     Ok((sweep, started.elapsed().as_secs_f64()))
 }
 
@@ -252,7 +305,11 @@ fn write_report(sweep: &Sweep, path: &str) -> Result<usize, String> {
 
 fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
     let grid = lookup_grid(opts)?;
-    let (sweep, elapsed) = run_sweep(grid, opts).map_err(|e| e.to_string())?;
+    let (sweep, elapsed) = if opts.resume {
+        run_sweep_resumable(grid, opts)?
+    } else {
+        run_sweep(grid, opts).map_err(|e| e.to_string())?
+    };
     print_sweep_tables(&sweep);
     let bytes = write_report(&sweep, &opts.out)?;
     println!("Wrote {} ({bytes} bytes).", opts.out);
@@ -419,6 +476,17 @@ mod tests {
         assert!(parse_opts(&args(&["--path", "fast"])).unwrap().fastpath);
         let o = parse_opts(&args(&["--path", "slow"])).unwrap();
         assert!(!o.fastpath);
+    }
+
+    #[test]
+    fn resume_and_timeout_flags_parse() {
+        let o = parse_opts(&args(&["--resume", "--timeout", "30"])).unwrap();
+        assert!(o.resume);
+        assert_eq!(o.timeout_secs, Some(30));
+        assert!(!parse_opts(&args(&[])).unwrap().resume);
+        assert!(parse_opts(&args(&["--timeout", "0"])).is_err());
+        assert!(parse_opts(&args(&["--timeout", "soon"])).is_err());
+        assert!(parse_opts(&args(&["--timeout"])).is_err());
     }
 
     #[test]

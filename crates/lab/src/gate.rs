@@ -57,7 +57,9 @@ impl GateTolerances {
             }
             "alpha" | "beta" | "gamma" | "alpha_measured" => Tolerance::abs(self.model_abs),
             "replications" | "migrations" | "pins" | "syncs" | "shootdowns"
-            | "recovery_actions" => Tolerance { rel: self.count_rel, abs: self.count_abs },
+            | "recovery_actions" | "reclaims" | "degradations" | "pressure_ticks" => {
+                Tolerance { rel: self.count_rel, abs: self.count_abs }
+            }
             "bus_bytes" => Tolerance::rel(self.bytes_rel),
             // Identity: ids, axes, names, schema, paper constants.
             _ => Tolerance::EXACT,
@@ -199,7 +201,16 @@ mod tests {
     #[test]
     fn counter_class_has_ten_percent_relative_slack() {
         let tol = GateTolerances::default();
-        for leaf in ["replications", "migrations", "pins", "syncs", "shootdowns"] {
+        for leaf in [
+            "replications",
+            "migrations",
+            "pins",
+            "syncs",
+            "shootdowns",
+            "reclaims",
+            "degradations",
+            "pressure_ticks",
+        ] {
             assert!(gate_leaf(leaf, 1000u64, 1080u64, &tol).passes(), "{leaf}: 8% tripped");
             assert!(!gate_leaf(leaf, 1000u64, 1130u64, &tol).passes(), "{leaf}: 13% passed");
         }

@@ -14,7 +14,7 @@
 //! order, on any number of OS threads, and the merged results are the
 //! same.
 
-use ace_machine::{FaultConfig, PageSize};
+use ace_machine::{FaultConfig, Ns, PageSize};
 use ace_sim::{RunReport, SimConfig};
 use numa_apps::{
     App, DivisorDiscipline, Fft, Gfetch, IMatMult, ParMult, PlyTrace, Primes1, Primes2, Primes3,
@@ -176,6 +176,16 @@ pub struct Grid {
     pub fault_rates: Vec<f64>,
     /// Page-size axis, in bytes.
     pub page_sizes: Vec<usize>,
+    /// Local-frames axis: per-processor local-memory sizes in frames,
+    /// for memory-pressure sweeps. Empty — the default — means every
+    /// cell runs with the machine preset's local memory, and the axis
+    /// is absent from serialized grids and jobs (documents from grids
+    /// that predate the axis stay byte-identical).
+    pub local_frames: Vec<usize>,
+    /// Per-job virtual-time budget in nanoseconds (`None` = unbounded).
+    /// Not an axis: a safety net so a wedged cell fails typed instead
+    /// of hanging a sweep.
+    pub vt_budget: Option<u64>,
     /// Whether cells run with the simulator's batched-access fast path.
     /// Not an axis and not serialized: the two settings are
     /// observationally equivalent, so sweep documents from either must
@@ -198,6 +208,8 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
+            local_frames: vec![],
+            vt_budget: None,
             fastpath: true,
         }
     }
@@ -220,6 +232,8 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
+            local_frames: vec![],
+            vt_budget: None,
             fastpath: true,
         }
     }
@@ -236,6 +250,8 @@ impl Grid {
             thresholds: vec![0, 1, 2, 4, 8, 16],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
+            local_frames: vec![],
+            vt_budget: None,
             fastpath: true,
         }
     }
@@ -251,6 +267,8 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0],
             page_sizes: vec![256, 512, 2048, 8192],
+            local_frames: vec![],
+            vt_budget: None,
             fastpath: true,
         }
     }
@@ -267,13 +285,36 @@ impl Grid {
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
             fault_rates: vec![0.0, 0.001, 0.01],
             page_sizes: vec![2048],
+            local_frames: vec![],
+            vt_budget: None,
+            fastpath: true,
+        }
+    }
+
+    /// Memory-pressure sweep: one placement-sensitive application with
+    /// local memory shrunk from ample (64 frames per processor) down to
+    /// a few frames, with and without injected faults. Every cell
+    /// carries a virtual-time budget so a reclaim bug fails typed
+    /// instead of hanging CI.
+    pub fn pressure() -> Grid {
+        Grid {
+            name: "pressure".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::IMatMult],
+            placements: vec![Placement::Numa, Placement::NeverPin],
+            cpus: vec![4],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0, 0.01],
+            page_sizes: vec![2048],
+            local_frames: vec![64, 16, 4],
+            vt_budget: Some(Ns::from_ms(60_000).0),
             fastpath: true,
         }
     }
 
     /// Names of all built-in presets.
     pub fn preset_names() -> &'static [&'static str] {
-        &["paper", "paper-bench", "smoke", "threshold", "page-size", "faults"]
+        &["paper", "paper-bench", "smoke", "threshold", "page-size", "faults", "pressure"]
     }
 
     /// Looks up a preset by name.
@@ -285,6 +326,7 @@ impl Grid {
             "threshold" => Some(Grid::threshold()),
             "page-size" => Some(Grid::page_size()),
             "faults" => Some(Grid::faults()),
+            "pressure" => Some(Grid::pressure()),
             _ => None,
         }
     }
@@ -292,6 +334,13 @@ impl Grid {
     /// Expands the grid into jobs, in grid order, with inapplicable
     /// axes collapsed (no duplicate cells).
     pub fn jobs(&self) -> Vec<JobSpec> {
+        // An empty local-frames axis collapses to one "machine default"
+        // value so the cross product stays non-empty.
+        let local_frames: Vec<Option<usize>> = if self.local_frames.is_empty() {
+            vec![None]
+        } else {
+            self.local_frames.iter().map(|&f| Some(f)).collect()
+        };
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for &app in &self.apps {
@@ -300,34 +349,40 @@ impl Grid {
                     for &threshold in &self.thresholds {
                         for &fault_rate in &self.fault_rates {
                             for &page_size in &self.page_sizes {
-                                let (cpus, workers) = match placement {
-                                    Placement::Local => (1, 1),
-                                    _ => (cpus, cpus),
-                                };
-                                let threshold = placement.uses_threshold().then_some(threshold);
-                                let key = (
-                                    app,
-                                    placement,
-                                    cpus,
-                                    threshold,
-                                    fault_rate.to_bits(),
-                                    page_size,
-                                );
-                                if !seen.insert(key) {
-                                    continue;
+                                for &local_frames in &local_frames {
+                                    let (cpus, workers) = match placement {
+                                        Placement::Local => (1, 1),
+                                        _ => (cpus, cpus),
+                                    };
+                                    let threshold =
+                                        placement.uses_threshold().then_some(threshold);
+                                    let key = (
+                                        app,
+                                        placement,
+                                        cpus,
+                                        threshold,
+                                        fault_rate.to_bits(),
+                                        page_size,
+                                        local_frames,
+                                    );
+                                    if !seen.insert(key) {
+                                        continue;
+                                    }
+                                    out.push(JobSpec {
+                                        id: out.len(),
+                                        app,
+                                        placement,
+                                        cpus,
+                                        workers,
+                                        threshold,
+                                        fault_rate,
+                                        page_size,
+                                        local_frames,
+                                        scale: self.scale,
+                                        vt_budget: self.vt_budget,
+                                        fastpath: self.fastpath,
+                                    });
                                 }
-                                out.push(JobSpec {
-                                    id: out.len(),
-                                    app,
-                                    placement,
-                                    cpus,
-                                    workers,
-                                    threshold,
-                                    fault_rate,
-                                    page_size,
-                                    scale: self.scale,
-                                    fastpath: self.fastpath,
-                                });
                             }
                         }
                     }
@@ -339,7 +394,7 @@ impl Grid {
 
     /// The grid's axes as one deterministic JSON object.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut g = Json::obj()
             .field("name", self.name.as_str())
             .field("scale", scale_label(self.scale))
             .field(
@@ -362,8 +417,19 @@ impl Grid {
             .field(
                 "page_sizes",
                 Json::Arr(self.page_sizes.iter().map(|&p| Json::from(p)).collect()),
-            )
-            .field("jobs", self.jobs().len())
+            );
+        // The pressure axis and budget appear only when set, so grids
+        // that predate them serialize byte-identically.
+        if !self.local_frames.is_empty() {
+            g = g.field(
+                "local_frames",
+                Json::Arr(self.local_frames.iter().map(|&f| Json::from(f)).collect()),
+            );
+        }
+        if let Some(b) = self.vt_budget {
+            g = g.field("vt_budget_ns", b);
+        }
+        g.field("jobs", self.jobs().len())
     }
 }
 
@@ -387,8 +453,14 @@ pub struct JobSpec {
     pub fault_rate: f64,
     /// Page size in bytes.
     pub page_size: usize,
+    /// Per-processor local-memory size in frames (`None` = the machine
+    /// preset's default; only pressure sweeps set it).
+    pub local_frames: Option<usize>,
     /// Workload scale.
     pub scale: Scale,
+    /// Virtual-time budget in nanoseconds (`None` = unbounded). Not an
+    /// axis and not serialized: a safety net, never an observable.
+    pub vt_budget: Option<u64>,
     /// Whether the cell runs with the batched-access fast path (not a
     /// grid axis; carried so `sim_config` can set the knob, and excluded
     /// from `to_json` because the paths are observationally equivalent).
@@ -408,6 +480,9 @@ impl JobSpec {
         }
         if self.page_size != 2048 {
             s.push_str(&format!(" pg={}", self.page_size));
+        }
+        if let Some(lf) = self.local_frames {
+            s.push_str(&format!(" lf={lf}"));
         }
         s
     }
@@ -443,6 +518,10 @@ impl JobSpec {
                 ..FaultConfig::default()
             });
         }
+        if let Some(lf) = self.local_frames {
+            cfg.machine.local_frames = lf;
+        }
+        cfg.vt_budget = self.vt_budget.map(Ns);
         cfg
     }
 
@@ -462,7 +541,7 @@ impl JobSpec {
     /// The cell's coordinates as one deterministic JSON object (the
     /// metrics of a finished run are appended by the sweep layer).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut j = Json::obj()
             .field("id", self.id)
             .field("app", self.app.name())
             .field("placement", self.placement.label())
@@ -470,8 +549,13 @@ impl JobSpec {
             .field("workers", self.workers)
             .field("threshold", self.threshold.map(u64::from))
             .field("fault_rate", Json::Num(self.fault_rate))
-            .field("page_size", self.page_size)
-            .field("scale", scale_label(self.scale))
+            .field("page_size", self.page_size);
+        // Present only when the grid sets the pressure axis, so jobs
+        // from pre-pressure grids serialize byte-identically.
+        if let Some(lf) = self.local_frames {
+            j = j.field("local_frames", lf);
+        }
+        j.field("scale", scale_label(self.scale))
     }
 }
 
@@ -547,5 +631,42 @@ mod tests {
         let jobs = Grid::paper().jobs();
         assert_eq!(jobs[2].label(), "ParMult/numa t=4 p=7");
         assert!(jobs[0].label().contains("local"));
+    }
+
+    #[test]
+    fn pressure_preset_sweeps_local_frames() {
+        let g = Grid::pressure();
+        let jobs = g.jobs();
+        // 1 app x 2 placements x 2 fault rates x 3 frame counts.
+        assert_eq!(jobs.len(), 12);
+        assert!(jobs.iter().all(|j| j.local_frames.is_some()));
+        assert!(jobs.iter().all(|j| j.vt_budget.is_some()));
+        let j = jobs.iter().find(|j| j.local_frames == Some(4)).expect("tightest cell");
+        let cfg = j.sim_config();
+        assert_eq!(cfg.machine.local_frames, 4);
+        assert_eq!(cfg.vt_budget, Some(Ns(g.vt_budget.unwrap())));
+        assert!(j.label().contains("lf=4"));
+        // The axis shows up in both serialized forms.
+        let gj = g.to_json().to_string_flat();
+        assert!(gj.contains("\"local_frames\":[64,16,4]"));
+        assert!(gj.contains("\"vt_budget_ns\""));
+        assert!(j.to_json().to_string_flat().contains("\"local_frames\":4"));
+    }
+
+    #[test]
+    fn default_grids_do_not_mention_the_pressure_axis() {
+        // Byte-compatibility: grids that leave the axis empty must
+        // serialize exactly as they did before the axis existed.
+        for name in ["paper", "smoke", "threshold", "page-size", "faults"] {
+            let g = Grid::named(name).unwrap();
+            let s = g.to_json().to_string_flat();
+            assert!(!s.contains("local_frames"), "{name} grid mentions local_frames");
+            assert!(!s.contains("vt_budget"), "{name} grid mentions vt_budget");
+            for j in g.jobs() {
+                assert_eq!(j.local_frames, None);
+                assert_eq!(j.vt_budget, None);
+                assert!(!j.to_json().to_string_flat().contains("local_frames"));
+            }
+        }
     }
 }

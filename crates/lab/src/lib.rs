@@ -12,7 +12,11 @@
 //! * [`farm`] — run the jobs on a farm of OS threads (`std::thread` +
 //!   channels, nothing else) and merge results back **in grid order**,
 //!   so the output is byte-identical whatever `--jobs` is; worker
-//!   failures become typed [`LabError`]s, never hangs;
+//!   failures — including a wedged job, caught by the wall-clock
+//!   watchdog — become typed [`LabError`]s, never hangs;
+//! * [`checkpoint`] — the `--resume` sidecar: completed cells persisted
+//!   as exact integers next to the output file, so an interrupted sweep
+//!   restarts where it stopped and still emits byte-identical output;
 //! * [`sweep`] — aggregate a finished grid into one deterministic JSON
 //!   document (`BENCH_sweep.json`), solving the paper's analytic model
 //!   for every cell that has its baselines in-grid;
@@ -25,13 +29,15 @@
 //! farm emits one [`numa_metrics::EventKind::JobCompleted`] event per
 //! finished job into any [`numa_metrics::SharedSink`].
 
+pub mod checkpoint;
 pub mod cli;
 pub mod farm;
 pub mod gate;
 pub mod grid;
 pub mod sweep;
 
-pub use farm::{run_jobs, run_jobs_with, JobResult, LabError};
+pub use checkpoint::Checkpoint;
+pub use farm::{run_jobs, run_jobs_opts, run_jobs_with, FarmOptions, JobResult, LabError};
 pub use gate::{diff_documents, GateTolerances};
 pub use grid::{AppId, Grid, JobSpec, Placement};
 pub use sweep::{ModelRow, Sweep, SCHEMA};

@@ -11,7 +11,8 @@
 //! embeds the paper's published α/β/γ next to each solved row — the
 //! same side-by-side the bench harnesses print, but machine-readable.
 
-use crate::farm::{self, JobResult, LabError};
+use crate::checkpoint::Checkpoint;
+use crate::farm::{self, FarmOptions, JobResult, LabError};
 use crate::grid::{Grid, JobSpec, Placement};
 use numa_metrics::paper::{paper_alpha, paper_beta_gamma};
 use numa_metrics::{Json, Model, SharedSink};
@@ -56,7 +57,52 @@ impl Sweep {
         n_workers: usize,
         progress: Option<&SharedSink>,
     ) -> Result<Sweep, LabError> {
-        let results = farm::run_jobs(&grid.jobs(), n_workers, progress)?;
+        Sweep::run_opts(grid, n_workers, progress, FarmOptions::default())
+    }
+
+    /// [`Sweep::run`] with farm options (wall-clock watchdog, bounded
+    /// retry of fault-injected cells).
+    pub fn run_opts(
+        grid: Grid,
+        n_workers: usize,
+        progress: Option<&SharedSink>,
+        opts: FarmOptions,
+    ) -> Result<Sweep, LabError> {
+        let results =
+            farm::run_jobs_opts(&grid.jobs(), n_workers, progress, opts, JobSpec::run, |_, _| {})?;
+        Ok(Sweep { grid, results })
+    }
+
+    /// Resumable run: cells already in `checkpoint` are not re-run,
+    /// every newly finished cell is recorded as it completes, and the
+    /// merged results come back in grid order — so the final document
+    /// is byte-identical to an uninterrupted run of the same grid.
+    pub fn run_resumable(
+        grid: Grid,
+        n_workers: usize,
+        progress: Option<&SharedSink>,
+        opts: FarmOptions,
+        checkpoint: &mut Checkpoint,
+    ) -> Result<Sweep, String> {
+        let jobs = grid.jobs();
+        let done = checkpoint.completed_results(&jobs);
+        let have: std::collections::HashSet<usize> = done.iter().map(|r| r.spec.id).collect();
+        let todo: Vec<JobSpec> = jobs.iter().filter(|j| !have.contains(&j.id)).cloned().collect();
+        let mut io_err: Option<String> = None;
+        let fresh =
+            farm::run_jobs_opts(&todo, n_workers, progress, opts, JobSpec::run, |spec, report| {
+                if io_err.is_none() {
+                    io_err = checkpoint.record(spec, report).err();
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        if let Some(e) = io_err {
+            return Err(format!("sweep ran but checkpointing failed: {e}"));
+        }
+        let mut by_id: std::collections::BTreeMap<usize, JobResult> =
+            done.into_iter().chain(fresh).map(|r| (r.spec.id, r)).collect();
+        let results: Vec<JobResult> =
+            jobs.iter().map(|j| by_id.remove(&j.id).expect("every job has a result")).collect();
         Ok(Sweep { grid, results })
     }
 
@@ -70,6 +116,7 @@ impl Sweep {
                     && r.spec.app == spec.app
                     && r.spec.fault_rate.to_bits() == spec.fault_rate.to_bits()
                     && r.spec.page_size == spec.page_size
+                    && r.spec.local_frames == spec.local_frames
                     && (!same_cpus || r.spec.cpus == spec.cpus)
             })
         };
@@ -114,7 +161,8 @@ impl Sweep {
             .results
             .iter()
             .map(|r| {
-                r.spec
+                let mut j = r
+                    .spec
                     .to_json()
                     .field("user_s", r.report.user_secs())
                     .field("system_s", r.report.system_secs())
@@ -125,8 +173,17 @@ impl Sweep {
                     .field("pins", r.report.numa.pins)
                     .field("syncs", r.report.numa.syncs)
                     .field("shootdowns", r.report.numa.shootdowns)
-                    .field("recovery_actions", r.report.numa.recovery_actions())
-                    .field("bus_bytes", r.report.bus.total_bytes())
+                    .field("recovery_actions", r.report.numa.recovery_actions());
+                // Pressure counters ride along only on cells that sweep
+                // the local-frames axis; every other document's bytes
+                // are unchanged.
+                if r.spec.local_frames.is_some() {
+                    j = j
+                        .field("reclaims", r.report.numa.reclaims)
+                        .field("degradations", r.report.numa.degradations)
+                        .field("pressure_ticks", r.report.numa.pressure_ticks);
+                }
+                j.field("bus_bytes", r.report.bus.total_bytes())
             })
             .collect();
         let model: Vec<Json> = self
@@ -187,5 +244,50 @@ mod tests {
         let sweep = Sweep::run(Grid::threshold(), 2, None).unwrap();
         assert!(sweep.model_rows().is_empty());
         validate(&sweep.to_json().to_string_flat()).unwrap();
+    }
+
+    #[test]
+    fn pressure_cells_carry_pressure_counters() {
+        let mut g = Grid::pressure();
+        g.placements.truncate(1);
+        g.fault_rates.truncate(1);
+        g.local_frames = vec![4];
+        let sweep = Sweep::run(g, 2, None).unwrap();
+        let text = sweep.to_json().to_string_flat();
+        validate(&text).unwrap();
+        assert!(text.contains("\"reclaims\":"), "pressure cells report reclaims");
+        assert!(text.contains("\"degradations\":"));
+        assert!(text.contains("\"pressure_ticks\":"));
+        let total: u64 = sweep.results.iter().map(|r| r.report.numa.reclaims).sum();
+        assert!(total > 0, "4 local frames must force actual reclaim work");
+    }
+
+    #[test]
+    fn resumed_sweeps_are_byte_identical_to_uninterrupted_ones() {
+        let mut g = Grid::pressure();
+        g.placements.truncate(1);
+        g.fault_rates = vec![0.01];
+        g.local_frames = vec![16, 4];
+        let uninterrupted = Sweep::run(g.clone(), 2, None).unwrap();
+        let expected = uninterrupted.to_json().to_string_flat();
+
+        // Simulate a sweep killed after two cells: checkpoint those,
+        // then resume from the sidecar.
+        let path = std::env::temp_dir().join(format!(
+            "numa-lab-sweep-resume-{}.json.partial",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cp = Checkpoint::load_or_create(&path, &g).unwrap();
+        for r in &uninterrupted.results[..2] {
+            cp.record(&r.spec, &r.report).unwrap();
+        }
+        let mut cp = Checkpoint::load_or_create(&path, &g).unwrap();
+        assert_eq!(cp.completed_ids(), vec![0, 1]);
+        let resumed =
+            Sweep::run_resumable(g, 2, None, FarmOptions::default(), &mut cp).unwrap();
+        assert_eq!(resumed.to_json().to_string_flat(), expected);
+        cp.remove();
+        assert!(!path.exists());
     }
 }

@@ -1,0 +1,82 @@
+//! Exit-code and message contract of `numa-lab gate` for the pressure
+//! counter classes (`reclaims`, `degradations`, `pressure_ticks`),
+//! exercised through the real binary: CI scripts branch on these exact
+//! codes, so they are part of the public interface.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn doc(leaf: &str, value: u64) -> String {
+    format!("{{\"schema\":\"numa-repro/lab-sweep/v1\",\"{leaf}\":{value}}}")
+}
+
+fn temp_file(tag: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("numa-lab-cli-gate-{tag}-{}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn gate(baseline: &Path, current: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_numa-lab"))
+        .arg("gate")
+        .args(["--baseline", baseline.to_str().unwrap()])
+        .args(["--current", current.to_str().unwrap()])
+        .args(extra)
+        .output()
+        .expect("numa-lab binary runs")
+}
+
+#[test]
+fn pressure_counters_within_tolerance_gate_clean() {
+    for leaf in ["reclaims", "degradations", "pressure_ticks"] {
+        let base = temp_file(&format!("{leaf}-base-ok"), &doc(leaf, 100));
+        let cur = temp_file(&format!("{leaf}-cur-ok"), &doc(leaf, 105));
+        let out = gate(&base, &cur, &[]);
+        assert_eq!(out.status.code(), Some(0), "{leaf}: 5% drift must pass the 10% band");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("within tolerance"), "{leaf}: drift is reported: {stdout}");
+        assert!(stdout.contains("gate passed"), "{leaf}: {stdout}");
+        std::fs::remove_file(base).unwrap();
+        std::fs::remove_file(cur).unwrap();
+    }
+}
+
+#[test]
+fn pressure_counters_beyond_tolerance_fail_with_exit_1() {
+    for leaf in ["reclaims", "degradations"] {
+        let base = temp_file(&format!("{leaf}-base-bad"), &doc(leaf, 100));
+        let cur = temp_file(&format!("{leaf}-cur-bad"), &doc(leaf, 200));
+        let out = gate(&base, &cur, &[]);
+        assert_eq!(out.status.code(), Some(1), "{leaf}: 2x drift must fail the gate");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stdout.contains(leaf), "{leaf} named in the diff table: {stdout}");
+        assert!(stdout.contains("VIOLATION"), "{leaf}: {stdout}");
+        assert!(stderr.contains("gate FAILED"), "{leaf}: {stderr}");
+        std::fs::remove_file(base).unwrap();
+        std::fs::remove_file(cur).unwrap();
+    }
+}
+
+#[test]
+fn strict_mode_rejects_single_event_drift() {
+    let base = temp_file("strict-base", &doc("reclaims", 100));
+    let cur = temp_file("strict-cur", &doc("reclaims", 101));
+    // Default band absorbs one event...
+    assert_eq!(gate(&base, &cur, &[]).status.code(), Some(0));
+    // ...strict does not.
+    let out = gate(&base, &cur, &["--strict"]);
+    assert_eq!(out.status.code(), Some(1), "strict gate must reject any drift");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gate FAILED"));
+    std::fs::remove_file(base).unwrap();
+    std::fs::remove_file(cur).unwrap();
+}
+
+#[test]
+fn unreadable_baseline_is_a_usage_error_not_a_gate_verdict() {
+    let cur = temp_file("io-cur", &doc("reclaims", 100));
+    let missing = PathBuf::from("/nonexistent/numa-lab-no-such-baseline.json");
+    let out = gate(&missing, &cur, &[]);
+    assert_eq!(out.status.code(), Some(2), "I/O trouble is exit 2, distinct from regression");
+    std::fs::remove_file(cur).unwrap();
+}

@@ -195,6 +195,35 @@ pub enum EventKind {
         /// What was done.
         action: RecoveryAction,
     },
+    /// A request hit local-frame exhaustion and entered the synchronous
+    /// reclaim path.
+    ReclaimStarted {
+        /// The page whose placement triggered reclaim.
+        lpage: LPageId,
+    },
+    /// A victim page lost its copy in a local memory (synchronous
+    /// reclaim, or a pressure-daemon flush of a cold replica).
+    VictimFlushed {
+        /// The evicted page.
+        lpage: LPageId,
+        /// The processor whose local memory gave up the frame.
+        at: CpuId,
+    },
+    /// A request's reclaim budget ran out and the request was served
+    /// with a global-writable mapping instead (a typed outcome, not an
+    /// error).
+    DegradedToGlobal {
+        /// The page placed globally instead.
+        lpage: LPageId,
+    },
+    /// The pressure daemon found a processor below its free-frame low
+    /// watermark and started flushing cold replicas.
+    PressureTick {
+        /// The pressured processor.
+        at: CpuId,
+        /// Free frames in its local memory at scan time.
+        free: u64,
+    },
 
     /// A translation was entered into the requester's MMU (the end of
     /// one fault's journey through the stack).
@@ -357,6 +386,19 @@ impl Event {
                         },
                     ),
             ),
+            EventKind::ReclaimStarted { lpage } => {
+                ("reclaim-started", Json::obj().field("lpage", lpage.0 as u64))
+            }
+            EventKind::VictimFlushed { lpage, at } => (
+                "victim-flushed",
+                Json::obj().field("lpage", lpage.0 as u64).field("at", at.index()),
+            ),
+            EventKind::DegradedToGlobal { lpage } => {
+                ("degraded-to-global", Json::obj().field("lpage", lpage.0 as u64))
+            }
+            EventKind::PressureTick { at, free } => {
+                ("pressure-tick", Json::obj().field("at", at.index()).field("free", free))
+            }
             EventKind::MapEntered { lpage } => {
                 ("map-entered", Json::obj().field("lpage", lpage.0 as u64))
             }
@@ -485,6 +527,10 @@ mod tests {
             EventKind::Reconsidered { lpage: LPageId(1) },
             EventKind::Freed { lpage: LPageId(1) },
             EventKind::Recovery { lpage: None, action: RecoveryAction::BusRetry { attempt: 1 } },
+            EventKind::ReclaimStarted { lpage: LPageId(1) },
+            EventKind::VictimFlushed { lpage: LPageId(1), at: CpuId(2) },
+            EventKind::DegradedToGlobal { lpage: LPageId(1) },
+            EventKind::PressureTick { at: CpuId(0), free: 1 },
             EventKind::MapEntered { lpage: LPageId(1) },
             EventKind::DaemonTick,
             EventKind::JobCompleted { job: 3, of: 24 },

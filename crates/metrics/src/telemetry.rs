@@ -364,12 +364,22 @@ impl EventSink for Telemetry {
                     self.lifecycle(lpage.0).note(t, what);
                 }
             }
+            EventKind::ReclaimStarted { lpage } => {
+                self.lifecycle(lpage.0).note(t, "reclaim-started");
+            }
+            EventKind::VictimFlushed { lpage, .. } => {
+                self.lifecycle(lpage.0).note(t, "victim-flushed");
+            }
+            EventKind::DegradedToGlobal { lpage } => {
+                self.lifecycle(lpage.0).note(t, "degraded-to-global");
+            }
             EventKind::CopyAborted { .. }
             | EventKind::PageZeroed { .. }
             | EventKind::FaultOverhead
             | EventKind::Shootdown
             | EventKind::MapEntered { .. }
             | EventKind::DaemonTick
+            | EventKind::PressureTick { .. }
             | EventKind::JobCompleted { .. } => {}
         }
     }

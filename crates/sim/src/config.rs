@@ -65,6 +65,22 @@ pub struct SimConfig {
     /// per-reference path; `false` forces every reference through the
     /// per-reference path (differential testing, debugging).
     pub fastpath: bool,
+    /// Pressure-daemon low watermark: a processor whose local free list
+    /// drops below this many frames gets its cold read-only replicas
+    /// flushed on the next daemon tick. Zero disables the daemon.
+    pub pressure_low: usize,
+    /// Pressure-daemon high watermark: flushing stops once the free list
+    /// reaches this many frames (clamped up to `pressure_low`).
+    pub pressure_high: usize,
+    /// Victim evictions allowed per request when a LOCAL placement finds
+    /// the free list empty, before the request degrades to a
+    /// global-writable mapping. Zero disables synchronous reclaim.
+    pub max_reclaim_attempts: u32,
+    /// Virtual-time budget: the kernel stops scheduling once every
+    /// runnable thread's clock is past this bound and the run fails with
+    /// a typed error instead of spinning forever. `None` — the default —
+    /// means unbounded.
+    pub vt_budget: Option<Ns>,
 }
 
 impl SimConfig {
@@ -79,6 +95,10 @@ impl SimConfig {
             daemon_interval: Ns::from_ms(5),
             events: None,
             fastpath: true,
+            pressure_low: 2,
+            pressure_high: 4,
+            max_reclaim_attempts: numa_core::DEFAULT_MAX_RECLAIM_ATTEMPTS,
+            vt_budget: None,
         }
     }
 
@@ -93,6 +113,10 @@ impl SimConfig {
             daemon_interval: Ns::from_ms(1),
             events: None,
             fastpath: true,
+            pressure_low: 2,
+            pressure_high: 4,
+            max_reclaim_attempts: numa_core::DEFAULT_MAX_RECLAIM_ATTEMPTS,
+            vt_budget: None,
         }
     }
 
@@ -144,6 +168,25 @@ impl SimConfig {
         self.fastpath = on;
         self
     }
+
+    /// Sets the pressure-daemon watermarks (low = 0 disables it).
+    pub fn pressure_watermarks(mut self, low: usize, high: usize) -> SimConfig {
+        self.pressure_low = low;
+        self.pressure_high = high;
+        self
+    }
+
+    /// Sets the per-request reclaim budget (0 disables reclaim).
+    pub fn max_reclaim_attempts(mut self, attempts: u32) -> SimConfig {
+        self.max_reclaim_attempts = attempts;
+        self
+    }
+
+    /// Bounds the run in virtual time (`None` = unbounded).
+    pub fn vt_budget(mut self, budget: Option<Ns>) -> SimConfig {
+        self.vt_budget = budget;
+        self
+    }
 }
 
 impl fmt::Debug for SimConfig {
@@ -157,6 +200,10 @@ impl fmt::Debug for SimConfig {
             .field("daemon_interval", &self.daemon_interval)
             .field("events", &self.events.as_ref().map(|_| "<sink>"))
             .field("fastpath", &self.fastpath)
+            .field("pressure_low", &self.pressure_low)
+            .field("pressure_high", &self.pressure_high)
+            .field("max_reclaim_attempts", &self.max_reclaim_attempts)
+            .field("vt_budget", &self.vt_budget)
             .finish()
     }
 }

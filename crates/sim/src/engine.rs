@@ -36,8 +36,16 @@ pub fn run_one(
     policy: Box<dyn CachePolicy>,
     body: impl FnOnce(&mut Simulator) -> Result<(), String>,
 ) -> Result<RunReport, String> {
+    let budget = cfg.vt_budget;
     let mut sim = Simulator::new(cfg, policy);
-    body(&mut sim)?;
+    let result = body(&mut sim);
+    if sim.vt_exceeded() {
+        // The budget abort truncates the run, so any verification
+        // failure in `body` is a symptom; report the cause.
+        let b = budget.map(|n| n.0).unwrap_or(0);
+        return Err(format!("virtual-time budget of {b} ns exceeded"));
+    }
+    result?;
     Ok(sim.report())
 }
 
@@ -64,6 +72,8 @@ pub struct Simulator {
     pending: Vec<PendingThread>,
     /// Next processor for sequential affinity assignment.
     next_cpu: usize,
+    /// True once a run was cut short by the virtual-time budget.
+    vt_exceeded: bool,
 }
 
 impl Simulator {
@@ -83,8 +93,21 @@ impl Simulator {
             }));
             pmap.set_event_sink(Arc::clone(sink));
         }
+        pmap.set_max_reclaim_attempts(cfg.max_reclaim_attempts);
         let kernel = Kernel::new(machine, pmap);
-        Simulator { cfg, kernel: Arc::new(Mutex::new(kernel)), pending: Vec::new(), next_cpu: 0 }
+        Simulator {
+            cfg,
+            kernel: Arc::new(Mutex::new(kernel)),
+            pending: Vec::new(),
+            next_cpu: 0,
+            vt_exceeded: false,
+        }
+    }
+
+    /// True if any run so far was cut short by the configured
+    /// virtual-time budget (the report then covers a truncated run).
+    pub fn vt_exceeded(&self) -> bool {
+        self.vt_exceeded
     }
 
     /// The engine configuration.
@@ -137,6 +160,7 @@ impl Simulator {
             engine.next_cpu = self.next_cpu;
             engine.run(pending);
             self.next_cpu = engine.next_cpu;
+            self.vt_exceeded |= engine.vt_exceeded;
         }
         self.report()
     }
@@ -189,6 +213,10 @@ struct Engine {
     next_daemon_tick: Ns,
     page: ace_machine::PageSize,
     fastpath: bool,
+    pressure_low: usize,
+    pressure_high: usize,
+    vt_budget: Option<Ns>,
+    vt_exceeded: bool,
 }
 
 impl Engine {
@@ -213,6 +241,10 @@ impl Engine {
             next_daemon_tick: cfg.daemon_interval,
             page: cfg.machine.page_size,
             fastpath: cfg.fastpath,
+            pressure_low: cfg.pressure_low,
+            pressure_high: cfg.pressure_high,
+            vt_budget: cfg.vt_budget,
+            vt_exceeded: false,
         }
     }
 
@@ -365,8 +397,25 @@ impl Engine {
                     let mut k = self.kernel.lock();
                     let Kernel { machine, pmap, .. } = &mut *k;
                     pmap.timer_tick(machine);
+                    // Pressure scan rides the same tick: flush cold
+                    // replicas on processors below their low watermark.
+                    // Above the watermarks this reads one free count per
+                    // cpu and does nothing.
+                    if self.pressure_low > 0 {
+                        pmap.pressure_tick(machine, self.pressure_low, self.pressure_high);
+                    }
                     drop(k);
                     self.next_daemon_tick = Ns(t.0 + self.daemon_interval.0);
+                }
+                // A wedged application (spin-wait that can never be
+                // released, runaway loop) advances virtual time forever;
+                // the budget turns that into a truncated run the caller
+                // can type as an error instead of a hang.
+                if let Some(budget) = self.vt_budget {
+                    if t > budget {
+                        self.vt_exceeded = true;
+                        return None;
+                    }
                 }
             }
             let Some((clock, cpu)) = best else {
@@ -380,7 +429,7 @@ impl Engine {
                 .filter(|&c| c != cpu && self.cpus[c].current.is_some())
                 .map(|c| self.clock_of(c))
                 .min();
-            let budget_end = match others_min {
+            let mut budget_end = match others_min {
                 Some(om) => Ns(om.0.saturating_add(self.lookahead.0))
                     .min(self.cpus[cpu].quantum_end),
                 None => {
@@ -391,6 +440,12 @@ impl Engine {
                     }
                 }
             };
+            // Never grant past the virtual-time budget: a lone runaway
+            // thread would otherwise receive an unbounded budget and
+            // never yield back for the abort check above.
+            if let Some(b) = self.vt_budget {
+                budget_end = budget_end.min(Ns(b.0.saturating_add(1)));
+            }
             let _ = clock;
             let tid = self.cpus[cpu].current.expect("picked a runnable cpu");
             self.threads[tid]
@@ -624,6 +679,70 @@ mod tests {
             (r.cpu_times.clone(), r.refs, r.numa.requests, r.bus)
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn vt_budget_turns_runaway_threads_into_typed_errors() {
+        // A thread that computes forever can never finish; without the
+        // budget this would schedule endlessly. With it, run_one returns
+        // a typed error naming the budget instead of hanging.
+        let cfg = SimConfig::small(1).vt_budget(Some(Ns::from_ms(2)));
+        let res = run_one(cfg, Box::new(MoveLimitPolicy::default()), |sim| {
+            sim.spawn("spinner", |ctx| loop {
+                ctx.compute(Ns::from_us(50));
+            });
+            sim.run();
+            Ok(())
+        });
+        let err = res.expect_err("runaway thread must exceed the budget");
+        assert!(err.contains("virtual-time budget"), "got: {err}");
+    }
+
+    #[test]
+    fn vt_budget_does_not_disturb_completing_runs() {
+        let run = |budget: Option<Ns>| {
+            let cfg = SimConfig::small(2).vt_budget(budget);
+            let mut s = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+            let a = s.alloc(4096, Prot::READ_WRITE);
+            for t in 0..2u64 {
+                let base = a + t * 2048;
+                s.spawn(format!("t{t}"), move |ctx| {
+                    for i in 0..64u64 {
+                        ctx.write_u32(base + i * 4, i as u32);
+                    }
+                });
+            }
+            let r = s.run();
+            assert!(!s.vt_exceeded());
+            (r.cpu_times, r.refs, r.numa)
+        };
+        assert_eq!(run(None), run(Some(Ns::from_ms(500))));
+    }
+
+    #[test]
+    fn pressure_daemon_is_invisible_with_ample_frames() {
+        let run = |low: usize, high: usize| {
+            let mut cfg = SimConfig::small(2);
+            cfg.pressure_low = low;
+            cfg.pressure_high = high;
+            let mut s = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+            let a = s.alloc(8192, Prot::READ_WRITE);
+            for t in 0..2u64 {
+                let base = a + t * 4096;
+                s.spawn(format!("t{t}"), move |ctx| {
+                    for i in 0..256u64 {
+                        ctx.write_u32(base + i * 16, (i + t) as u32);
+                    }
+                    ctx.compute(Ns::from_ms(3)); // cross a daemon tick
+                });
+            }
+            let r = s.run();
+            (r.cpu_times, r.refs, r.numa, r.bus)
+        };
+        let with_daemon = run(2, 4);
+        let without_daemon = run(0, 0);
+        assert_eq!(with_daemon.2.pressure_ticks, 0, "no pressure on a roomy machine");
+        assert_eq!(with_daemon, without_daemon, "daemon must be free when idle");
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod report;
 pub use config::{SchedulerKind, SimConfig};
 pub use ctx::ThreadCtx;
 pub use engine::{run_one, Simulator};
-pub use kernel::{Kernel, RefEvent, RefSink};
+pub use kernel::{Kernel, RefCounters, RefEvent, RefSink};
 pub use report::RunReport;

@@ -84,9 +84,8 @@ impl RunReport {
                     .field("global", self.refs.global)
                     .field("remote", self.refs.remote),
             )
-            .field(
-                "numa",
-                Json::obj()
+            .field("numa", {
+                let mut numa = Json::obj()
                     .field("requests", self.numa.requests)
                     .field("read_requests", self.numa.read_requests)
                     .field("write_requests", self.numa.write_requests)
@@ -101,8 +100,21 @@ impl RunReport {
                     .field("zero_fill_local", self.numa.zero_fill_local)
                     .field("zero_fill_global", self.numa.zero_fill_global)
                     .field("local_pressure_fallbacks", self.numa.local_pressure_fallbacks)
-                    .field("recovery_actions", self.numa.recovery_actions()),
-            )
+                    .field("recovery_actions", self.numa.recovery_actions());
+                // Pressure counters appear only when pressure actually
+                // happened, so reports from runs with ample local frames
+                // serialize byte-identically to pre-reclaim reports.
+                if self.numa.reclaims > 0 {
+                    numa = numa.field("reclaims", self.numa.reclaims);
+                }
+                if self.numa.degradations > 0 {
+                    numa = numa.field("degradations", self.numa.degradations);
+                }
+                if self.numa.pressure_ticks > 0 {
+                    numa = numa.field("pressure_ticks", self.numa.pressure_ticks);
+                }
+                numa
+            })
             .field(
                 "bus",
                 Json::obj()
@@ -162,6 +174,18 @@ impl fmt::Display for RunReport {
                 self.numa.fault_global_fallbacks
             )?;
         }
+        // Likewise the pressure line: only under memory pressure.
+        if self.numa.reclaims > 0 || self.numa.degradations > 0 {
+            write!(
+                f,
+                "\n  pressure: {} reclaims, {} degradations, {} pressure ticks, \
+                 peak {} local frames",
+                self.numa.reclaims,
+                self.numa.degradations,
+                self.numa.pressure_ticks,
+                self.numa.local_peak_frames
+            )?;
+        }
         Ok(())
     }
 }
@@ -209,5 +233,33 @@ mod tests {
         assert!(a.starts_with("{\"policy\":\"test\","));
         assert!(a.contains("\"alpha_measured\":0.75"));
         assert!(a.contains("\"user_ns\":100"));
+    }
+
+    #[test]
+    fn pressure_counters_appear_only_under_pressure() {
+        let mut r = RunReport {
+            policy: "test",
+            cpu_times: vec![CpuTime { user: Ns(100), system: Ns(10) }],
+            refs: RefCounters { local: 3, global: 1, remote: 0 },
+            numa: NumaStats::default(),
+            bus: BusStats::default(),
+            faults: FaultStats::default(),
+        };
+        let idle = r.to_json().to_string_flat();
+        assert!(!idle.contains("reclaims"), "idle reports stay byte-identical");
+        assert!(!idle.contains("pressure_ticks"));
+        assert!(!format!("{r}").contains("pressure:"));
+        r.numa.reclaims = 2;
+        r.numa.degradations = 1;
+        r.numa.pressure_ticks = 3;
+        r.numa.local_peak_frames = 8;
+        let busy = r.to_json().to_string_flat();
+        assert!(busy.contains("\"reclaims\":2"));
+        assert!(busy.contains("\"degradations\":1"));
+        assert!(busy.contains("\"pressure_ticks\":3"));
+        assert!(!busy.contains("local_peak_frames"), "peak is display-only");
+        numa_metrics::validate(&busy).unwrap();
+        let shown = format!("{r}");
+        assert!(shown.contains("pressure: 2 reclaims, 1 degradations"));
     }
 }

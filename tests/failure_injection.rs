@@ -69,9 +69,9 @@ fn pageout_thrashing_preserves_application_data() {
     sim.with_kernel(|k| k.check_consistency()).unwrap();
 }
 
-/// Local memory pressure: with tiny local memories the policy falls
-/// back to global placement instead of failing, and results stay
-/// correct.
+/// Local memory pressure: with tiny local memories the manager evicts
+/// victims (reclaim) instead of failing, degrading to global placement
+/// only when even that runs dry — and results stay correct.
 #[test]
 fn local_memory_pressure_falls_back_to_global() {
     let mut cfg = SimConfig::small(2);
@@ -88,7 +88,11 @@ fn local_memory_pressure_falls_back_to_global() {
         }
     });
     let r = sim.run();
-    assert!(r.numa.local_pressure_fallbacks > 0, "pressure path exercised");
+    assert!(
+        r.numa.reclaims + r.numa.local_pressure_fallbacks > 0,
+        "pressure path exercised: {:?}",
+        r.numa
+    );
     sim.with_kernel(|k| k.check_consistency()).unwrap();
 }
 
@@ -301,6 +305,115 @@ fn zero_rates_change_nothing() {
     assert_eq!(baseline.1, zeroed.1);
     assert_eq!(baseline.2, zeroed.2, "virtual time must match exactly");
     assert_eq!(baseline.3, zeroed.3);
+}
+
+/// A fault storm during victim flush: every attempt to sync the victim
+/// back to global times out for good, so no eviction ever succeeds —
+/// the victim is left intact with its data, and once the reclaim
+/// budget is spent the original request completes via degrade-to-global
+/// instead of failing.
+#[test]
+fn faults_during_victim_flush_leave_the_victim_intact_and_degrade_the_request() {
+    let mut cfg = MachineConfig::small(2);
+    cfg.local_frames = 1;
+    let psize = cfg.page_size.bytes();
+    let mut m = Machine::new(cfg);
+    let mut mgr = NumaManager::new();
+    let mut pol = AllLocalPolicy;
+    let (a, b) = (LPageId(0), LPageId(1));
+    mgr.zero_page(a);
+    mgr.zero_page(b);
+    let cpu = CpuId(0);
+
+    // Dirty page `a` in cpu0's only local frame.
+    let g = mgr.request(&mut m, a, Access::Store, cpu, &mut pol).unwrap();
+    let pattern: Vec<u8> = (0..psize).map(|i| (i * 31 + 7) as u8).collect();
+    m.mem.write_bytes(g.frame, 0, &pattern);
+
+    // Each eviction attempt burns its full copy-retry budget on the
+    // victim's sync and fails; script enough timeouts to exhaust every
+    // reclaim attempt the request is allowed.
+    let sync_attempts = m.fault.config().max_copy_retries + 1;
+    let budget = mgr.max_reclaim_attempts();
+    for _ in 0..budget * sync_attempts {
+        m.fault.script_copy_fault(CopyFault::BusTimeout);
+    }
+
+    let grant = mgr.request(&mut m, b, Access::Store, cpu, &mut pol).unwrap();
+    let s = mgr.stats();
+    assert_eq!(s.reclaims, 0, "no eviction may be recorded as successful: {s:?}");
+    assert_eq!(s.bus_retries, u64::from(budget * sync_attempts), "every timeout retried: {s:?}");
+    assert_eq!(s.degradations, 1, "the request degrades exactly once: {s:?}");
+    assert_eq!(s.local_pressure_fallbacks, 1);
+    assert!(mgr.fault_events().contains(&FaultEvent::DegradedToGlobal { lpage: b, cpu }));
+
+    // The degraded grant is usable...
+    m.mem.write_u32(grant.frame, 0, 0xB00B);
+    assert_eq!(m.mem.read_u32(grant.frame, 0), 0xB00B);
+    // ...and the victim kept both its local copy and its bytes.
+    let g = mgr.request(&mut m, a, Access::Fetch, cpu, &mut pol).unwrap();
+    let mut got = vec![0u8; psize];
+    m.mem.read_bytes(g.frame, 0, &mut got);
+    assert_eq!(got, pattern, "the unsynced victim must be left intact");
+    mgr.check_invariants(&mut m, a).unwrap();
+    mgr.check_invariants(&mut m, b).unwrap();
+}
+
+/// The composite storm the pressure path must survive: the request's
+/// allocation trips over a bad frame (quarantined on its first scrub),
+/// reclaim steps in but every victim flush dies on the bus, and the
+/// request still completes — via degrade-to-global — with the victim
+/// and its data untouched.
+#[test]
+fn bad_frame_plus_flush_faults_quarantine_and_degrade_in_one_request() {
+    let mut cfg = MachineConfig::small(2);
+    cfg.local_frames = 2;
+    let psize = cfg.page_size.bytes();
+    let mut m = Machine::new(cfg);
+    let mut mgr = NumaManager::new();
+    let mut pol = AllLocalPolicy;
+    let (a, b) = (LPageId(0), LPageId(1));
+    mgr.zero_page(a);
+    mgr.zero_page(b);
+    let cpu = CpuId(0);
+
+    // The free list is a stack: after freeing in reverse order the
+    // manager's first allocation gets `good`, its second gets `doomed`
+    // — which fails its first ECC scrub, per the script below.
+    let good = m.mem.alloc(MemRegion::Local(cpu)).unwrap();
+    let doomed = m.mem.alloc(MemRegion::Local(cpu)).unwrap();
+    m.mem.free(doomed);
+    m.mem.free(good);
+    m.fault.script_bad_frame(doomed);
+
+    let g = mgr.request(&mut m, a, Access::Store, cpu, &mut pol).unwrap();
+    assert_eq!(g.frame, good);
+    let pattern: Vec<u8> = (0..psize).map(|i| (i * 13 + 5) as u8).collect();
+    m.mem.write_bytes(good, 0, &pattern);
+
+    // And every flush of the only reclaim candidate times out for good.
+    let sync_attempts = m.fault.config().max_copy_retries + 1;
+    for _ in 0..mgr.max_reclaim_attempts() * sync_attempts {
+        m.fault.script_copy_fault(CopyFault::BusTimeout);
+    }
+
+    mgr.request(&mut m, b, Access::Fetch, cpu, &mut pol).unwrap();
+    let s = mgr.stats();
+    assert_eq!(s.frame_quarantines, 1, "{s:?}");
+    assert!(m.mem.is_quarantined(doomed), "the bad frame is retired for good");
+    assert_eq!(s.reclaims, 0, "no victim flush may succeed: {s:?}");
+    assert_eq!(s.degradations, 1, "out of options, the request degrades: {s:?}");
+    assert!(mgr.fault_events().contains(&FaultEvent::FrameQuarantined { frame: doomed, cpu }));
+    assert!(mgr.fault_events().contains(&FaultEvent::DegradedToGlobal { lpage: b, cpu }));
+
+    // The victim kept its local copy and every byte of its data.
+    let g = mgr.request(&mut m, a, Access::Fetch, cpu, &mut pol).unwrap();
+    assert_eq!(g.frame, good, "the victim's local copy was never taken");
+    let mut got = vec![0u8; psize];
+    m.mem.read_bytes(g.frame, 0, &mut got);
+    assert_eq!(got, pattern);
+    mgr.check_invariants(&mut m, a).unwrap();
+    mgr.check_invariants(&mut m, b).unwrap();
 }
 
 /// End-to-end recovery: a scripted schedule of bus timeouts, one bad

@@ -136,10 +136,25 @@ fn expected_state(new_state: TableState, cpu: CpuId) -> StateKind {
 fn run_stream<P: CachePolicy>(
     seed: u64,
     faults: FaultConfig,
+    policy: Recording<P>,
+) -> (Machine, NumaManager, Recording<P>) {
+    run_stream_with_frames(seed, faults, policy, None)
+}
+
+/// [`run_stream`] on a machine whose per-processor local memory is
+/// shrunk to `local_frames` frames, so synchronous reclaim and
+/// degrade-to-global fire constantly under the same three properties.
+fn run_stream_with_frames<P: CachePolicy>(
+    seed: u64,
+    faults: FaultConfig,
     mut policy: Recording<P>,
+    local_frames: Option<usize>,
 ) -> (Machine, NumaManager, Recording<P>) {
     let mut cfg = MachineConfig::small(CPUS as usize);
     cfg.faults = faults;
+    if let Some(frames) = local_frames {
+        cfg.local_frames = frames;
+    }
     let psize = cfg.page_size.bytes();
     let mut m = Machine::new(cfg);
     let mut mgr = NumaManager::new();
@@ -236,6 +251,81 @@ fn random_ops_stay_coherent_and_inside_the_tables() {
         assert!(s.to_global > 0, "stream never went global: {s:?}");
         assert_eq!(s.local_pressure_fallbacks, 0, "small(4) has frames to spare");
     }
+}
+
+#[test]
+fn random_ops_stay_coherent_under_memory_pressure() {
+    // The same three properties on machines with only 2-4 local frames
+    // per processor: every LOCAL placement contends for frames, so
+    // synchronous reclaim (and, once the per-request budget runs out,
+    // degrade-to-global) fires constantly. Neither may ever surface
+    // stale bytes, land outside the tables, or break an invariant.
+    let mut total_reclaims = 0u64;
+    for (seed, frames) in [(0x0ACE_5EEDu64, 2usize), (1, 2), (2, 3), (3, 4)] {
+        let coin = CoinPolicy(Rng(seed ^ 0x5C4A_7C17_0000_0000));
+        let (_, mgr, _) = run_stream_with_frames(
+            seed,
+            FaultConfig::disabled(),
+            Recording::new(coin),
+            Some(frames),
+        );
+        let s = mgr.stats();
+        if frames == 2 {
+            assert!(
+                s.reclaims > 0,
+                "2 local frames for {PAGES} pages must force reclaim: {s:?}"
+            );
+        }
+        assert_eq!(
+            s.local_pressure_fallbacks, s.degradations,
+            "every pressure fallback is a typed degradation: {s:?}"
+        );
+        total_reclaims += s.reclaims;
+    }
+    assert!(total_reclaims > 0, "the pressure matrix never exercised reclaim");
+}
+
+#[test]
+fn reclaimed_then_refetched_pages_are_byte_identical() {
+    // Deterministic single-frame squeeze: with one local frame per
+    // processor, every new LOCAL placement must evict the previous
+    // tenant. A dirty victim is synced to global on the way out, so
+    // refetching it later returns exactly the written bytes.
+    use numa_repro::numa::AllLocalPolicy;
+    let mut cfg = MachineConfig::small(2);
+    cfg.local_frames = 1;
+    let psize = cfg.page_size.bytes();
+    let mut m = Machine::new(cfg);
+    let mut mgr = NumaManager::new();
+    let mut pol = AllLocalPolicy;
+    const A: LPageId = LPageId(0);
+    const B: LPageId = LPageId(1);
+    mgr.zero_page(A);
+    mgr.zero_page(B);
+    let cpu = CpuId(0);
+
+    // Dirty page A in cpu0's only local frame.
+    let g = mgr.request(&mut m, A, Access::Store, cpu, &mut pol).unwrap();
+    let pattern: Vec<u8> = (0..psize).map(|i| (i * 7 + 13) as u8).collect();
+    m.mem.write_bytes(g.frame, 0, &pattern);
+    mgr.check_invariants(&mut m, A).unwrap();
+
+    // Touching B forces A out: the writable victim must sync to global.
+    let syncs_before = mgr.stats().syncs;
+    mgr.request(&mut m, B, Access::Fetch, cpu, &mut pol).unwrap();
+    assert!(mgr.stats().reclaims > 0, "B's placement must evict A");
+    assert!(mgr.stats().syncs > syncs_before, "dirty victim must be synced, not dropped");
+    mgr.check_invariants(&mut m, A).unwrap();
+    mgr.check_invariants(&mut m, B).unwrap();
+
+    // Refetching A (evicting B in turn) returns the exact bytes.
+    let g = mgr.request(&mut m, A, Access::Fetch, cpu, &mut pol).unwrap();
+    let mut got = vec![0u8; psize];
+    m.mem.read_bytes(g.frame, 0, &mut got);
+    assert_eq!(got, pattern, "reclaimed-then-refetched page lost data");
+    assert!(mgr.stats().reclaims >= 2);
+    mgr.check_invariants(&mut m, A).unwrap();
+    mgr.check_invariants(&mut m, B).unwrap();
 }
 
 #[test]
