@@ -26,8 +26,56 @@
 
 use crate::mem::{Frame, MemRegion};
 use crate::time::Ns;
+use crate::types::CpuId;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+
+/// A scheduled **hard failure**: a whole component dies at a fixed
+/// virtual time. Unlike the stochastic channels above, hard failures
+/// are not drawn from the random stream — they are an explicit,
+/// deterministic schedule, so a run with a node loss at t=5 ms replays
+/// identically under any host parallelism.
+///
+/// The machine itself only records the schedule; the execution engine
+/// watches virtual time and fires each failure exactly once, and the
+/// NUMA layer runs the online recovery protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HardFault {
+    /// `cpu`'s entire local memory module goes offline at `vt`: every
+    /// frame in it is permanently lost. The processor itself keeps
+    /// executing, served by global and remote memory.
+    NodeOffline {
+        /// Processor whose local memory dies.
+        cpu: CpuId,
+        /// Virtual time of the failure.
+        vt: Ns,
+    },
+    /// `cpu` stops executing at `vt`; its runnable threads must drain
+    /// to the surviving processors. Its local memory stays reachable
+    /// over the bus.
+    CpuOffline {
+        /// Processor that dies.
+        cpu: CpuId,
+        /// Virtual time of the failure.
+        vt: Ns,
+    },
+}
+
+impl HardFault {
+    /// The virtual time the failure fires at.
+    pub fn vt(self) -> Ns {
+        match self {
+            HardFault::NodeOffline { vt, .. } | HardFault::CpuOffline { vt, .. } => vt,
+        }
+    }
+
+    /// The processor the failure strikes.
+    pub fn cpu(self) -> CpuId {
+        match self {
+            HardFault::NodeOffline { cpu, .. } | HardFault::CpuOffline { cpu, .. } => cpu,
+        }
+    }
+}
 
 /// Knobs controlling fault injection. All rates are probabilities in
 /// `[0, 1]` evaluated independently per opportunity; the default
@@ -55,6 +103,11 @@ pub struct FaultConfig {
     /// System time charged per retry, multiplied by the attempt number
     /// (linear backoff).
     pub retry_backoff: Ns,
+    /// Scheduled hard failures (node and processor deaths), fired by
+    /// the execution engine when virtual time reaches each entry's
+    /// `vt`. Empty — the default — leaves every code path byte-
+    /// identical to a machine that has no hard-failure support at all.
+    pub hard_faults: Vec<HardFault>,
 }
 
 impl FaultConfig {
@@ -69,6 +122,7 @@ impl FaultConfig {
             quarantine_threshold: 2,
             max_copy_retries: 4,
             retry_backoff: Ns(10_000),
+            hard_faults: Vec::new(),
         }
     }
 
@@ -93,6 +147,18 @@ impl FaultConfig {
         }
         if self.quarantine_threshold == 0 {
             return Err("quarantine_threshold must be at least 1".to_string());
+        }
+        // A component can die only once; a second schedule entry for
+        // the same (kind, cpu) is a script bug, not a fault model.
+        let mut seen = HashSet::new();
+        for hf in &self.hard_faults {
+            let key = match hf {
+                HardFault::NodeOffline { cpu, .. } => ("node", cpu.0),
+                HardFault::CpuOffline { cpu, .. } => ("cpu", cpu.0),
+            };
+            if !seen.insert(key) {
+                return Err(format!("duplicate hard fault scheduled: {hf:?}"));
+            }
         }
         Ok(())
     }
@@ -377,6 +443,26 @@ mod tests {
             assert!(off < 256);
             assert_ne!(mask, 0);
         }
+    }
+
+    #[test]
+    fn hard_fault_schedule_validates_and_stays_off_the_copy_path() {
+        let mut c = FaultConfig::disabled();
+        c.hard_faults = vec![
+            HardFault::NodeOffline { cpu: CpuId(1), vt: Ns(500) },
+            HardFault::CpuOffline { cpu: CpuId(1), vt: Ns(900) },
+        ];
+        assert!(c.validate().is_ok(), "node and cpu death of one processor may coexist");
+        assert_eq!(c.hard_faults[0].cpu(), CpuId(1));
+        assert_eq!(c.hard_faults[0].vt(), Ns(500));
+        // Hard failures are an engine-fired schedule, not a stochastic
+        // channel: the injector's copy path must stay inert.
+        let mut inj = FaultInjector::new(c.clone());
+        assert!(!inj.active(), "a pure hard-fault schedule must not perturb copies");
+        assert_eq!(inj.copy_fault(true), None);
+
+        c.hard_faults.push(HardFault::NodeOffline { cpu: CpuId(1), vt: Ns(700) });
+        assert!(c.validate().is_err(), "a node can only die once");
     }
 
     #[test]

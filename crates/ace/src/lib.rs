@@ -40,7 +40,7 @@ pub mod types;
 pub use bus::{BusQueue, BusStats};
 pub use clock::{CpuClocks, CpuTime};
 pub use config::{MachineConfig, PageSize};
-pub use fault::{BusTimeout, CopyFault, FaultConfig, FaultInjector, FaultStats};
+pub use fault::{BusTimeout, CopyFault, FaultConfig, FaultInjector, FaultStats, HardFault};
 pub use machine::{Machine, MachineEvent, MachineTap};
 pub use mem::{Frame, MemError, MemRegion, PhysMem};
 pub use mmu::{AccessKind, Mmu, MmuFault};

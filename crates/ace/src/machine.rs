@@ -331,6 +331,22 @@ impl Machine {
         }
     }
 
+    /// Takes `cpu`'s local memory module offline — a hard component
+    /// failure. Every frame it held is permanently lost; the list of
+    /// frames that were allocated at the moment of death is returned
+    /// (in index order) so the layer above can shoot down their
+    /// mappings and recover each page. The processor itself keeps
+    /// running; only its memory is gone. Idempotent.
+    pub fn offline_node(&mut self, cpu: CpuId) -> Vec<Frame> {
+        self.mem.offline_local(cpu)
+    }
+
+    /// True if `cpu`'s local memory module has gone offline.
+    #[inline]
+    pub fn node_offline(&self, cpu: CpuId) -> bool {
+        self.mem.is_offline(cpu)
+    }
+
     /// Charges the cost of removing a mapping on another processor.
     pub fn charge_shootdown(&mut self, cpu: CpuId) {
         let t = self.config.costs.shootdown;

@@ -110,6 +110,10 @@ pub struct PhysMem {
     /// Frames retired after failing an ECC scrub. A quarantined frame is
     /// never returned to a free list, so it can never be re-allocated.
     quarantined: HashSet<Frame>,
+    /// Per-processor flag: true once the module's local memory has gone
+    /// offline (a hard failure). A dead module allocates nothing and
+    /// tolerates frees of its lost frames.
+    offline: Vec<bool>,
 }
 
 impl PhysMem {
@@ -120,6 +124,7 @@ impl PhysMem {
             global: Module::new(cfg.global_frames),
             locals: (0..cfg.n_cpus).map(|_| Module::new(cfg.local_frames)).collect(),
             quarantined: HashSet::new(),
+            offline: vec![false; cfg.n_cpus],
         }
     }
 
@@ -175,8 +180,14 @@ impl PhysMem {
         }
     }
 
-    /// Returns a frame to its module's free list.
+    /// Returns a frame to its module's free list. Freeing a frame of an
+    /// offline module is a tolerated no-op: the frame is gone with its
+    /// module, and recovery or late release paths may still hold
+    /// references to it.
     pub fn free(&mut self, frame: Frame) {
+        if self.is_offline_frame(frame) {
+            return;
+        }
         debug_assert!(
             !self.quarantined.contains(&frame),
             "freeing quarantined frame {frame:?}"
@@ -187,6 +198,45 @@ impl PhysMem {
             "double free of {frame:?}"
         );
         m.free.push(frame.index);
+    }
+
+    /// Takes `cpu`'s entire local memory offline — a hard component
+    /// failure. The module's free list is emptied (nothing can ever be
+    /// allocated there again), every payload is dropped (the bytes are
+    /// permanently lost), and the frames that were allocated at the
+    /// moment of death are returned in index order so the NUMA layer
+    /// can walk its directory and recover each one. Quarantined frames
+    /// were already retired and are not reported again. Idempotent:
+    /// a second death of the same module reports nothing.
+    pub fn offline_local(&mut self, cpu: CpuId) -> Vec<Frame> {
+        if self.offline[cpu.index()] {
+            return Vec::new();
+        }
+        self.offline[cpu.index()] = true;
+        let m = &mut self.locals[cpu.index()];
+        let free: HashSet<u32> = m.free.drain(..).collect();
+        let mut lost = Vec::new();
+        for (index, payload) in m.frames.iter_mut().enumerate() {
+            *payload = None;
+            let frame = Frame::local(cpu, index as u32);
+            if !free.contains(&(index as u32)) && !self.quarantined.contains(&frame) {
+                lost.push(frame);
+            }
+        }
+        lost
+    }
+
+    /// True if `cpu`'s local memory module has gone offline.
+    pub fn is_offline(&self, cpu: CpuId) -> bool {
+        self.offline[cpu.index()]
+    }
+
+    /// True if `frame` belongs to an offline local module.
+    pub fn is_offline_frame(&self, frame: Frame) -> bool {
+        match frame.region {
+            MemRegion::Global => false,
+            MemRegion::Local(c) => self.offline[c.index()],
+        }
     }
 
     /// Permanently retires an *allocated* frame (a failed ECC scrub).
@@ -455,6 +505,36 @@ mod tests {
             seen.push(g);
         }
         assert_eq!(seen.len(), total - 1);
+    }
+
+    #[test]
+    fn offline_local_loses_every_frame_for_good() {
+        let mut m = mem();
+        let region = MemRegion::Local(CpuId(0));
+        let a = m.alloc(region).unwrap();
+        let b = m.alloc(region).unwrap();
+        let q = m.alloc(region).unwrap();
+        m.quarantine(q);
+        m.write_u32(a, 0, 0xfeed);
+        assert!(!m.is_offline(CpuId(0)));
+
+        let lost = m.offline_local(CpuId(0));
+        assert_eq!(lost, vec![a, b], "allocated, non-quarantined frames reported in order");
+        assert!(m.is_offline(CpuId(0)));
+        assert!(m.is_offline_frame(a));
+        assert!(!m.is_offline_frame(Frame::global(0)));
+        // Nothing can ever be allocated there again...
+        assert_eq!(m.free_frames(region), 0);
+        assert_eq!(m.alloc(region), Err(MemError::OutOfFrames(region)));
+        // ...the bytes are gone...
+        assert_eq!(m.read_u32(a, 0), 0, "payloads dropped with the module");
+        // ...freeing a dead frame is a tolerated no-op...
+        m.free(a);
+        assert_eq!(m.free_frames(region), 0);
+        // ...death is idempotent, and the other module is unaffected.
+        assert!(m.offline_local(CpuId(0)).is_empty());
+        assert!(!m.is_offline(CpuId(1)));
+        assert!(m.alloc(MemRegion::Local(CpuId(1))).is_ok());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::stats::{FaultEvent, NumaStats};
 use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Ns, Prot};
 use mach_vm::{LPageId, NumaError};
 use numa_metrics::events::{self, Event, EventKind, RecoveryAction, SharedSink};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Translates a directory state into the event schema's mirror enum.
 fn ev_state(s: StateKind) -> events::PageState {
@@ -162,6 +162,10 @@ pub struct NumaManager {
     /// Victim evictions allowed per request before it degrades to a
     /// global-writable mapping (0 disables reclaim entirely).
     max_reclaim_attempts: u32,
+    /// Local memories permanently lost to hard failures. LOCAL (and
+    /// remote-hosted) placements targeting these nodes degrade to
+    /// global service; the pressure daemon and reclaim skip them.
+    dead_nodes: BTreeSet<CpuId>,
 }
 
 impl NumaManager {
@@ -174,6 +178,7 @@ impl NumaManager {
             sink: None,
             reclaim: Box::new(LruReclaim),
             max_reclaim_attempts: DEFAULT_MAX_RECLAIM_ATTEMPTS,
+            dead_nodes: BTreeSet::new(),
         }
     }
 
@@ -311,6 +316,23 @@ impl NumaManager {
             cpu,
             EventKind::PolicyDecision { lpage, access, decision: ev_decision(decision) },
         );
+
+        // Graceful degradation after a hard node failure: a placement
+        // targeting a dead local memory is served globally instead,
+        // permanently — the memory is not coming back.
+        let placement_target = match decision {
+            Placement::Local => Some(cpu),
+            Placement::RemoteAt(host) => Some(host),
+            Placement::Global => None,
+        };
+        if let Some(target) = placement_target {
+            if self.dead_nodes.contains(&target) {
+                decision = Placement::Global;
+                self.stats.dead_node_fallbacks += 1;
+                self.events.push(FaultEvent::DeadNodeFallback { lpage, cpu: target });
+                self.emit(m, cpu, EventKind::DeadNodeFallback { lpage, at: target });
+            }
+        }
 
         // A LOCAL decision needs a scrubbed local frame (unless the
         // requester already holds a copy); the frame is reserved up front
@@ -833,6 +855,11 @@ impl NumaManager {
         let high = high.max(low);
         for i in 0..m.n_cpus() {
             let c = CpuId(i as u16);
+            // A dead node's free list is empty forever; scanning it
+            // would report pressure on every tick with nothing to free.
+            if self.dead_nodes.contains(&c) {
+                continue;
+            }
             if m.mem.free_frames(MemRegion::Local(c)) >= low {
                 continue;
             }
@@ -859,6 +886,164 @@ impl NumaManager {
                 self.emit(m, CpuId(0), EventKind::VictimFlushed { lpage: victim, at: c });
             }
         }
+    }
+
+    /// True if `cpu`'s local memory has been lost to a hard failure.
+    pub fn is_node_dead(&self, cpu: CpuId) -> bool {
+        self.dead_nodes.contains(&cpu)
+    }
+
+    /// The nodes lost to hard failures so far, in id order.
+    pub fn dead_nodes(&self) -> impl Iterator<Item = CpuId> + '_ {
+        self.dead_nodes.iter().copied()
+    }
+
+    /// The online recovery protocol for a hard node failure: `cpu`'s
+    /// local memory goes offline mid-run, every frame in it permanently
+    /// lost. The protocol walks the directory in page-id order (so
+    /// recovery is deterministic regardless of directory hash order)
+    /// and, for each page that held a copy there:
+    ///
+    /// * shoots down every mapping of the dead frame on every MMU —
+    ///   each removal bumps that MMU's epoch, so software TLBs
+    ///   invalidate on their next translation;
+    /// * drops read-only replicas whose truth survives elsewhere (the
+    ///   valid global frame, or a sibling replica) — a pure re-home;
+    /// * re-homes writable and remote-hosted copies to their valid
+    ///   global frame (the page becomes Global-Writable; the next
+    ///   LOCAL placement re-fetches it through the checksummed copy
+    ///   path);
+    /// * classifies pages whose *only* up-to-date copy died as
+    ///   [`FaultEvent::PageLost`]: the page is re-materialized as
+    ///   `Fresh` with a zero-fill pending, so the faulting access is
+    ///   degraded (deterministic data loss) rather than a panic.
+    ///
+    /// Afterwards the node is marked dead: LOCAL placements for it
+    /// degrade permanently, and the reclaim and pressure daemons skip
+    /// it. Runs in kernel context — events are stamped with the master
+    /// processor and no virtual time is charged, mirroring the pressure
+    /// daemon.
+    pub fn node_offline(&mut self, m: &mut Machine, cpu: CpuId) {
+        if !self.dead_nodes.insert(cpu) {
+            return;
+        }
+        let lost_frames = m.offline_node(cpu);
+        self.stats.nodes_offlined += 1;
+        self.events.push(FaultEvent::NodeOffline { cpu, lost_frames: lost_frames.len() as u32 });
+        self.emit(
+            m,
+            CpuId(0),
+            EventKind::NodeOffline { cpu, lost_frames: lost_frames.len() as u64 },
+        );
+        let mut affected: Vec<LPageId> = self
+            .pages
+            .iter()
+            .filter(|(_, info)| info.locals.contains_key(&cpu))
+            .map(|(&lp, _)| lp)
+            .collect();
+        affected.sort_by_key(|lp| lp.0);
+        for lpage in affected {
+            self.recover_page(m, lpage, cpu);
+        }
+    }
+
+    /// Recovers one page that held a copy on the dead node `dead`. See
+    /// [`NumaManager::node_offline`] for the protocol.
+    fn recover_page(&mut self, m: &mut Machine, lpage: LPageId, dead: CpuId) {
+        let frame = *self
+            .page(lpage)
+            .locals
+            .get(&dead)
+            .expect("recover_page only visits pages with a copy on the dead node");
+        // Shoot down every stale mapping of the dead frame. Each removal
+        // bumps the MMU's epoch, invalidating software TLBs.
+        for i in 0..m.n_cpus() {
+            if m.mmus[i].remove_frame(frame).is_some() {
+                self.stats.shootdowns += 1;
+            }
+        }
+        self.page(lpage).locals.remove(&dead);
+        let (prev, truth_survives) = {
+            let info = self.page(lpage);
+            let prev = info.state;
+            let survives = match prev {
+                // A replica's truth survives in the valid global frame,
+                // in a sibling replica (when the global is valid they
+                // are all byte-equal), or in a still-pending
+                // first-placement fill.
+                StateKind::ReadOnly => {
+                    info.global_valid || !info.locals.is_empty() || info.fill != Fill::None
+                }
+                // The dead node held the page's only data: it survives
+                // only if the global frame was still current.
+                StateKind::LocalWritable(owner) if owner == dead => info.global_valid,
+                StateKind::RemoteShared(host) if host == dead => info.global_valid,
+                // Fresh and Global-Writable pages hold no local copies,
+                // and a writable copy lives only on its owner — a copy
+                // on the dead node under any other state would already
+                // violate the directory invariants. Treat it as a
+                // recoverable drop.
+                _ => true,
+            };
+            (prev, survives)
+        };
+        if truth_survives {
+            self.stats.pages_rehomed += 1;
+            // A writable or hosted page re-homes to its global frame.
+            if matches!(prev, StateKind::LocalWritable(_) | StateKind::RemoteShared(_)) {
+                self.page(lpage).state = StateKind::GlobalWritable;
+                self.stats.to_global += 1;
+            }
+            let new = self.page(lpage).state;
+            self.events.push(FaultEvent::PageRehomed { lpage, cpu: dead });
+            self.emit(m, CpuId(0), EventKind::PageRehomed { lpage, at: dead });
+            if new != prev {
+                self.emit(
+                    m,
+                    CpuId(0),
+                    EventKind::StateChanged { lpage, from: ev_state(prev), to: ev_state(new) },
+                );
+            }
+        } else {
+            // The only up-to-date copy died with the node: typed data
+            // loss. The page re-materializes fresh with a zero-fill
+            // pending, so the next access observes deterministic zeros
+            // instead of the simulation panicking.
+            {
+                let info = self.page(lpage);
+                info.state = StateKind::Fresh;
+                info.fill = Fill::Zero;
+                info.global_valid = false;
+            }
+            self.stats.pages_lost += 1;
+            self.events.push(FaultEvent::PageLost { lpage, cpu: dead });
+            self.emit(m, CpuId(0), EventKind::PageLost { lpage, at: dead });
+            self.emit(
+                m,
+                CpuId(0),
+                EventKind::StateChanged {
+                    lpage,
+                    from: ev_state(prev),
+                    to: ev_state(StateKind::Fresh),
+                },
+            );
+        }
+    }
+
+    /// Records a hard processor failure: `cpu` stopped executing and the
+    /// scheduler drained `count` runnable threads off it to survivors.
+    /// The scheduler performs the drain; the manager keeps the books so
+    /// reports and tests see it. The processor's local memory stays
+    /// online — pages it owned remain reachable and migrate away on
+    /// their next access from a survivor.
+    pub fn note_cpu_offline(&mut self, m: &Machine, cpu: CpuId, count: u32) {
+        self.emit(m, CpuId(0), EventKind::CpuOffline { cpu });
+        if count == 0 {
+            return;
+        }
+        self.stats.threads_drained += u64::from(count);
+        self.events.push(FaultEvent::ThreadsDrained { cpu, count });
+        self.emit(m, CpuId(0), EventKind::ThreadsDrained { from: cpu, count: u64::from(count) });
     }
 
     /// Demotes a remote-shared page to global-writable (syncing the host
@@ -956,7 +1141,16 @@ impl NumaManager {
             .iter()
             .min_by_key(|(c, _)| c.index())
             .map(|(_, &f)| f);
-        let src = src.expect("an invalid global frame implies a local copy exists");
+        // An invalid global frame implies a local copy exists — unless a
+        // hard failure took the copy's node down between the directory
+        // update and this sync, in which case the loss is typed, not a
+        // panic. The recovery protocol normally reclassifies such pages
+        // before any request sees them, so this is a second line of
+        // defense.
+        let Some(src) = src else {
+            let cpu = self.dead_nodes.iter().next().copied().unwrap_or(cpu);
+            return Err(NumaError::PageLost { lpage, cpu });
+        };
         let dst = self.ensure_global_frame(m, lpage, cpu)?;
         self.checked_copy(m, lpage, cpu, src, dst)?;
         self.stats.syncs += 1;
@@ -1609,6 +1803,76 @@ mod tests {
         assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(1)));
         assert_eq!(mgr.view(L).copies, 1, "old host copy freed");
         mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn node_offline_rehomes_survivors_and_types_the_losses() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = AllLocalPolicy;
+        // Page A: replicated read-only on cpu1 and cpu2, global valid
+        // (the second read forces the sync).
+        let a = LPageId(0);
+        mgr.zero_page(a);
+        mgr.request(&mut m, a, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        mgr.request(&mut m, a, Access::Fetch, CpuId(2), &mut pol).unwrap();
+        // Page B: local-writable on cpu1, global stale — the dead node
+        // holds its only data.
+        let b = LPageId(1);
+        mgr.zero_page(b);
+        let gb = mgr.request(&mut m, b, Access::Store, CpuId(1), &mut pol).unwrap();
+        m.mem.write_u32(gb.frame, 0, 99);
+        mgr.node_offline(&mut m, CpuId(1));
+        assert!(mgr.is_node_dead(CpuId(1)));
+        assert_eq!(mgr.stats().nodes_offlined, 1);
+        assert_eq!(mgr.stats().pages_rehomed, 1, "A's replica dropped, truth survives");
+        assert_eq!(mgr.stats().pages_lost, 1, "B's only copy died with the node");
+        assert_eq!(mgr.view(a).state, StateKind::ReadOnly);
+        assert_eq!(mgr.view(a).copies, 1);
+        assert_eq!(mgr.view(b).state, StateKind::Fresh);
+        mgr.check_invariants(&mut m, a).unwrap();
+        mgr.check_invariants(&mut m, b).unwrap();
+        // A second offline of the same node is a no-op.
+        let before = mgr.stats();
+        mgr.node_offline(&mut m, CpuId(1));
+        assert_eq!(mgr.stats(), before);
+        // B's next access observes deterministic zeros, served off-node
+        // because cpu1's LOCAL placements degrade permanently.
+        let gb2 = mgr.request(&mut m, b, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        assert!(gb2.frame.is_global());
+        assert_eq!(m.mem.read_u32(gb2.frame, 0), 0, "lost page reads as zeros");
+        assert_eq!(mgr.stats().dead_node_fallbacks, 1);
+        assert_eq!(
+            mgr.fault_events().iter().filter(|e| matches!(e, FaultEvent::PageLost { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn node_offline_shoots_down_stale_mappings() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = AllLocalPolicy;
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(2), &mut pol).unwrap();
+        // Simulate the pmap layer having entered the translation.
+        m.mmus[2].enter(1, 0x10, g.frame, Prot::READ_WRITE);
+        let epoch_before = m.mmus[2].epoch();
+        mgr.node_offline(&mut m, CpuId(2));
+        assert!(m.mmus[2].probe(1, 0x10).is_none(), "stale mapping removed");
+        assert!(m.mmus[2].epoch() > epoch_before, "epoch bump invalidates TLBs");
+        assert!(mgr.stats().shootdowns >= 1);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn pressure_daemon_skips_dead_nodes() {
+        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        mgr.node_offline(&mut m, CpuId(0));
+        // cpu0's free list is empty forever; without the skip this would
+        // count a pressure tick on every scan with nothing to free.
+        mgr.pressure_tick(&mut m, 1, 1);
+        assert_eq!(mgr.stats().pressure_ticks, 0);
     }
 
     #[test]

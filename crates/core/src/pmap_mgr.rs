@@ -140,6 +140,23 @@ impl AcePmap {
         self.manager.pressure_tick(m, low, high);
     }
 
+    /// Runs the online recovery protocol for a hard node failure (see
+    /// [`NumaManager::node_offline`]).
+    pub fn node_offline(&mut self, m: &mut Machine, cpu: CpuId) {
+        self.manager.node_offline(m, cpu);
+    }
+
+    /// True if `cpu`'s local memory has been lost to a hard failure.
+    pub fn is_node_dead(&self, cpu: CpuId) -> bool {
+        self.manager.is_node_dead(cpu)
+    }
+
+    /// Records a hard processor failure and its thread drain (see
+    /// [`NumaManager::note_cpu_offline`]).
+    pub fn note_cpu_offline(&mut self, m: &Machine, cpu: CpuId, count: u32) {
+        self.manager.note_cpu_offline(m, cpu, count);
+    }
+
     /// Periodic daemon tick: lets the policy age its state and applies
     /// any pin reconsiderations it queues.
     pub fn timer_tick(&mut self, m: &mut Machine) {

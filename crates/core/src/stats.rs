@@ -71,6 +71,20 @@ pub struct NumaStats {
     /// local memory (observability for pressure experiments; not
     /// serialized into reports).
     pub local_peak_frames: u64,
+    /// Local memory modules taken offline by scheduled hard failures.
+    pub nodes_offlined: u64,
+    /// Pages whose copy on a dead node was recovered online: read-only
+    /// replicas dropped (the global copy still serves) and writable
+    /// copies re-homed to their valid global frame.
+    pub pages_rehomed: u64,
+    /// Pages whose *only* up-to-date copy died with its node. The page
+    /// was re-materialized zero-filled — a typed, degraded outcome.
+    pub pages_lost: u64,
+    /// Threads drained from dead processors to survivors.
+    pub threads_drained: u64,
+    /// LOCAL (or remote-hosted) placements degraded to global service
+    /// because the target node's local memory is permanently offline.
+    pub dead_node_fallbacks: u64,
 }
 
 impl NumaStats {
@@ -86,6 +100,18 @@ impl NumaStats {
             + self.frame_quarantines
             + self.replica_refetches
             + self.fault_global_fallbacks
+    }
+
+    /// Total hard-failure recovery work: nodes lost, pages re-homed or
+    /// lost with them, threads drained, placements permanently
+    /// degraded. Zero unless a hard failure was scheduled, so reports
+    /// from failure-free runs stay byte-identical.
+    pub fn hard_failure_actions(&self) -> u64 {
+        self.nodes_offlined
+            + self.pages_rehomed
+            + self.pages_lost
+            + self.threads_drained
+            + self.dead_node_fallbacks
     }
 }
 
@@ -126,6 +152,47 @@ pub enum FaultEvent {
         /// The page placed globally instead.
         lpage: LPageId,
         /// The processor whose local memory is failing.
+        cpu: CpuId,
+    },
+    /// A processor's local memory module went offline for good; the
+    /// online recovery protocol walked the directory and recovered
+    /// every page that had a copy there.
+    NodeOffline {
+        /// The processor whose local memory died.
+        cpu: CpuId,
+        /// Frames that were allocated in the dead module.
+        lost_frames: u32,
+    },
+    /// A page's copy on a dead node was recovered without data loss:
+    /// a read-only replica dropped, or a writable copy re-homed to its
+    /// valid global frame.
+    PageRehomed {
+        /// The recovered page.
+        lpage: LPageId,
+        /// The dead node the copy was on.
+        cpu: CpuId,
+    },
+    /// A page's only up-to-date copy died with its node; the page was
+    /// re-materialized zero-filled (typed data loss, not a panic).
+    PageLost {
+        /// The lost page.
+        lpage: LPageId,
+        /// The dead node the only copy was on.
+        cpu: CpuId,
+    },
+    /// Runnable threads were drained off a dead processor to survivors.
+    ThreadsDrained {
+        /// The processor that died.
+        cpu: CpuId,
+        /// How many threads were re-homed.
+        count: u32,
+    },
+    /// A placement was degraded to global service because the target
+    /// node's local memory is permanently offline.
+    DeadNodeFallback {
+        /// The page served globally instead.
+        lpage: LPageId,
+        /// The dead node the placement wanted.
         cpu: CpuId,
     },
 }

@@ -153,7 +153,7 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
         .map(|t| Json::obj().field("user_ns", t.user.0).field("system_ns", t.system.0))
         .collect();
     let n = &r.numa;
-    Json::obj()
+    let j = Json::obj()
         .field("id", id)
         .field("policy", r.policy)
         .field("cpu_times", Json::Arr(cpus))
@@ -190,7 +190,12 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
                 .field("reclaims", n.reclaims)
                 .field("degradations", n.degradations)
                 .field("pressure_ticks", n.pressure_ticks)
-                .field("local_peak_frames", n.local_peak_frames),
+                .field("local_peak_frames", n.local_peak_frames)
+                .field("nodes_offlined", n.nodes_offlined)
+                .field("pages_rehomed", n.pages_rehomed)
+                .field("pages_lost", n.pages_lost)
+                .field("threads_drained", n.threads_drained)
+                .field("dead_node_fallbacks", n.dead_node_fallbacks),
         )
         .field(
             "bus",
@@ -205,7 +210,13 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
                 .field("bus_timeouts", r.faults.bus_timeouts)
                 .field("bad_frames", r.faults.bad_frames)
                 .field("corruptions", r.faults.corruptions),
-        )
+        );
+    // Present only on degraded chaos cells, so checkpoints from healthy
+    // sweeps keep their exact pre-chaos shape.
+    match &r.degraded {
+        Some(d) => j.field("degraded", d.as_str()),
+        None => j,
+    }
 }
 
 /// Rebuilds a [`RunReport`] from a checkpoint entry. The policy string
@@ -283,6 +294,11 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
             degradations: get_u64(n, "degradations")?,
             pressure_ticks: get_u64(n, "pressure_ticks")?,
             local_peak_frames: get_u64(n, "local_peak_frames")?,
+            nodes_offlined: get_u64(n, "nodes_offlined")?,
+            pages_rehomed: get_u64(n, "pages_rehomed")?,
+            pages_lost: get_u64(n, "pages_lost")?,
+            threads_drained: get_u64(n, "threads_drained")?,
+            dead_node_fallbacks: get_u64(n, "dead_node_fallbacks")?,
         },
         bus: BusStats {
             global_word_transfers: get_u64(bus, "global_word_transfers")?,
@@ -293,6 +309,13 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
             bus_timeouts: get_u64(faults, "bus_timeouts")?,
             bad_frames: get_u64(faults, "bad_frames")?,
             corruptions: get_u64(faults, "corruptions")?,
+        },
+        degraded: match get(entry, "degraded") {
+            Some(Json::Str(d)) => Some(d.clone()),
+            Some(other) => {
+                return Err(format!("job #{}: degraded is not a string: {other:?}", spec.id))
+            }
+            None => None,
         },
     })
 }

@@ -57,9 +57,9 @@ impl GateTolerances {
             }
             "alpha" | "beta" | "gamma" | "alpha_measured" => Tolerance::abs(self.model_abs),
             "replications" | "migrations" | "pins" | "syncs" | "shootdowns"
-            | "recovery_actions" | "reclaims" | "degradations" | "pressure_ticks" => {
-                Tolerance { rel: self.count_rel, abs: self.count_abs }
-            }
+            | "recovery_actions" | "reclaims" | "degradations" | "pressure_ticks"
+            | "nodes_offlined" | "pages_rehomed" | "pages_lost" | "threads_drained"
+            | "dead_node_fallbacks" => Tolerance { rel: self.count_rel, abs: self.count_abs },
             "bus_bytes" => Tolerance::rel(self.bytes_rel),
             // Identity: ids, axes, names, schema, paper constants.
             _ => Tolerance::EXACT,

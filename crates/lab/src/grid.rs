@@ -14,7 +14,7 @@
 //! order, on any number of OS threads, and the merged results are the
 //! same.
 
-use ace_machine::{FaultConfig, Ns, PageSize};
+use ace_machine::{CpuId, FaultConfig, HardFault, Ns, PageSize};
 use ace_sim::{RunReport, SimConfig};
 use numa_apps::{
     App, DivisorDiscipline, Fft, Gfetch, IMatMult, ParMult, PlyTrace, Primes1, Primes2, Primes3,
@@ -182,6 +182,15 @@ pub struct Grid {
     /// is absent from serialized grids and jobs (documents from grids
     /// that predate the axis stay byte-identical).
     pub local_frames: Vec<usize>,
+    /// Hard-failure time axis: virtual times (ns) at which a scheduled
+    /// node loss fires. Empty — the default — means no hard failures,
+    /// and the axis is absent from serialized grids and jobs (documents
+    /// from grids that predate it stay byte-identical).
+    pub offline_at: Vec<u64>,
+    /// Hard-failure extent axis: how many nodes die at the scheduled
+    /// time (the highest-numbered processors' memories, never node 0's).
+    /// Collapses to one node when `offline_at` is set and this is empty.
+    pub offline_nodes: Vec<usize>,
     /// Per-job virtual-time budget in nanoseconds (`None` = unbounded).
     /// Not an axis: a safety net so a wedged cell fails typed instead
     /// of hanging a sweep.
@@ -209,6 +218,8 @@ impl Grid {
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
+            offline_at: vec![],
+            offline_nodes: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -233,6 +244,8 @@ impl Grid {
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
+            offline_at: vec![],
+            offline_nodes: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -251,6 +264,8 @@ impl Grid {
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
+            offline_at: vec![],
+            offline_nodes: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -268,6 +283,8 @@ impl Grid {
             fault_rates: vec![0.0],
             page_sizes: vec![256, 512, 2048, 8192],
             local_frames: vec![],
+            offline_at: vec![],
+            offline_nodes: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -286,6 +303,8 @@ impl Grid {
             fault_rates: vec![0.0, 0.001, 0.01],
             page_sizes: vec![2048],
             local_frames: vec![],
+            offline_at: vec![],
+            offline_nodes: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -307,6 +326,32 @@ impl Grid {
             fault_rates: vec![0.0, 0.01],
             page_sizes: vec![2048],
             local_frames: vec![64, 16, 4],
+            offline_at: vec![],
+            offline_nodes: vec![],
+            vt_budget: Some(Ns::from_ms(60_000).0),
+            fastpath: true,
+        }
+    }
+
+    /// Chaos sweep: hard component loss (whole nodes going offline
+    /// mid-run) crossed with failure time, failure extent, and soft
+    /// fault rates, on a read-dominated application. Cells whose data
+    /// is destroyed by the typed zero-fill (or wedged and cut by the
+    /// budget) come back as deterministic *degraded* rows rather than
+    /// sweep failures, so every outcome is a stable baseline row.
+    pub fn chaos() -> Grid {
+        Grid {
+            name: "chaos".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::Gfetch, AppId::Primes3],
+            placements: vec![Placement::Numa],
+            cpus: vec![4],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0, 0.01],
+            page_sizes: vec![2048],
+            local_frames: vec![],
+            offline_at: vec![Ns::from_ms(1).0, Ns::from_ms(5).0],
+            offline_nodes: vec![1, 2],
             vt_budget: Some(Ns::from_ms(60_000).0),
             fastpath: true,
         }
@@ -314,7 +359,16 @@ impl Grid {
 
     /// Names of all built-in presets.
     pub fn preset_names() -> &'static [&'static str] {
-        &["paper", "paper-bench", "smoke", "threshold", "page-size", "faults", "pressure"]
+        &[
+            "paper",
+            "paper-bench",
+            "smoke",
+            "threshold",
+            "page-size",
+            "faults",
+            "pressure",
+            "chaos",
+        ]
     }
 
     /// Looks up a preset by name.
@@ -327,6 +381,7 @@ impl Grid {
             "page-size" => Some(Grid::page_size()),
             "faults" => Some(Grid::faults()),
             "pressure" => Some(Grid::pressure()),
+            "chaos" => Some(Grid::chaos()),
             _ => None,
         }
     }
@@ -341,6 +396,16 @@ impl Grid {
         } else {
             self.local_frames.iter().map(|&f| Some(f)).collect()
         };
+        // The chaos axes collapse the same way; an extent axis without a
+        // time axis has nothing to schedule and collapses entirely, and
+        // a time axis without an extent kills one node per failure.
+        let offline_at: Vec<Option<u64>> = if self.offline_at.is_empty() {
+            vec![None]
+        } else {
+            self.offline_at.iter().map(|&t| Some(t)).collect()
+        };
+        let offline_nodes: Vec<usize> =
+            if self.offline_nodes.is_empty() { vec![1] } else { self.offline_nodes.clone() };
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for &app in &self.apps {
@@ -350,38 +415,51 @@ impl Grid {
                         for &fault_rate in &self.fault_rates {
                             for &page_size in &self.page_sizes {
                                 for &local_frames in &local_frames {
-                                    let (cpus, workers) = match placement {
-                                        Placement::Local => (1, 1),
-                                        _ => (cpus, cpus),
-                                    };
-                                    let threshold =
-                                        placement.uses_threshold().then_some(threshold);
-                                    let key = (
-                                        app,
-                                        placement,
-                                        cpus,
-                                        threshold,
-                                        fault_rate.to_bits(),
-                                        page_size,
-                                        local_frames,
-                                    );
-                                    if !seen.insert(key) {
-                                        continue;
+                                    for &offline_at in &offline_at {
+                                        for &n_offline in &offline_nodes {
+                                            let (cpus, workers) = match placement {
+                                                Placement::Local => (1, 1),
+                                                _ => (cpus, cpus),
+                                            };
+                                            let threshold =
+                                                placement.uses_threshold().then_some(threshold);
+                                            // A single-processor cell has no node to
+                                            // spare; the extent axis collapses there.
+                                            let offline_nodes = offline_at
+                                                .is_some()
+                                                .then_some(n_offline.min(cpus.saturating_sub(1)));
+                                            let key = (
+                                                app,
+                                                placement,
+                                                cpus,
+                                                threshold,
+                                                fault_rate.to_bits(),
+                                                page_size,
+                                                local_frames,
+                                                offline_at,
+                                                offline_nodes,
+                                            );
+                                            if !seen.insert(key) {
+                                                continue;
+                                            }
+                                            out.push(JobSpec {
+                                                id: out.len(),
+                                                app,
+                                                placement,
+                                                cpus,
+                                                workers,
+                                                threshold,
+                                                fault_rate,
+                                                page_size,
+                                                local_frames,
+                                                offline_at,
+                                                offline_nodes,
+                                                scale: self.scale,
+                                                vt_budget: self.vt_budget,
+                                                fastpath: self.fastpath,
+                                            });
+                                        }
                                     }
-                                    out.push(JobSpec {
-                                        id: out.len(),
-                                        app,
-                                        placement,
-                                        cpus,
-                                        workers,
-                                        threshold,
-                                        fault_rate,
-                                        page_size,
-                                        local_frames,
-                                        scale: self.scale,
-                                        vt_budget: self.vt_budget,
-                                        fastpath: self.fastpath,
-                                    });
                                 }
                             }
                         }
@@ -426,6 +504,18 @@ impl Grid {
                 Json::Arr(self.local_frames.iter().map(|&f| Json::from(f)).collect()),
             );
         }
+        if !self.offline_at.is_empty() {
+            g = g.field(
+                "offline_at_ns",
+                Json::Arr(self.offline_at.iter().map(|&t| Json::from(t)).collect()),
+            );
+            if !self.offline_nodes.is_empty() {
+                g = g.field(
+                    "offline_nodes",
+                    Json::Arr(self.offline_nodes.iter().map(|&n| Json::from(n)).collect()),
+                );
+            }
+        }
         if let Some(b) = self.vt_budget {
             g = g.field("vt_budget_ns", b);
         }
@@ -456,6 +546,12 @@ pub struct JobSpec {
     /// Per-processor local-memory size in frames (`None` = the machine
     /// preset's default; only pressure sweeps set it).
     pub local_frames: Option<usize>,
+    /// Virtual time (ns) at which the scheduled node loss fires
+    /// (`None` = no hard failures; only chaos sweeps set it).
+    pub offline_at: Option<u64>,
+    /// How many nodes die at that time (highest-numbered processors'
+    /// memories first; present exactly when `offline_at` is).
+    pub offline_nodes: Option<usize>,
     /// Workload scale.
     pub scale: Scale,
     /// Virtual-time budget in nanoseconds (`None` = unbounded). Not an
@@ -484,7 +580,25 @@ impl JobSpec {
         if let Some(lf) = self.local_frames {
             s.push_str(&format!(" lf={lf}"));
         }
+        if let (Some(at), Some(n)) = (self.offline_at, self.offline_nodes) {
+            s.push_str(&format!(" off={n}@{at}ns"));
+        }
         s
+    }
+
+    /// The scheduled hard failures of this cell: `offline_nodes` node
+    /// losses at `offline_at`, taking the highest-numbered processors'
+    /// memories first (node 0 always survives). Empty for healthy cells.
+    pub fn hard_schedule(&self) -> Vec<HardFault> {
+        let (Some(at), Some(n)) = (self.offline_at, self.offline_nodes) else {
+            return Vec::new();
+        };
+        (0..n.min(self.cpus.saturating_sub(1)))
+            .map(|k| HardFault::NodeOffline {
+                cpu: CpuId((self.cpus - 1 - k) as u16),
+                vt: Ns(at),
+            })
+            .collect()
     }
 
     /// The placement policy this cell runs under.
@@ -509,12 +623,14 @@ impl JobSpec {
             cfg.machine.global_frames = 16 * 1024 * 1024 / self.page_size;
             cfg.machine.local_frames = 8 * 1024 * 1024 / self.page_size;
         }
-        if self.fault_rate > 0.0 {
+        let hard_faults = self.hard_schedule();
+        if self.fault_rate > 0.0 || !hard_faults.is_empty() {
             cfg = cfg.faults(FaultConfig {
                 seed: FAULT_SEED,
                 bus_timeout_rate: self.fault_rate,
                 bad_frame_rate: self.fault_rate,
                 corruption_rate: self.fault_rate,
+                hard_faults,
                 ..FaultConfig::default()
             });
         }
@@ -534,8 +650,43 @@ impl JobSpec {
             .validate()
             .map_err(|e| format!("{}: bad machine config: {e}", self.label()))?;
         let app = self.app.make(self.scale);
-        ace_sim::run_one(self.sim_config(), self.policy(), |sim| app.run(sim, self.workers))
-            .map_err(|e| format!("{}: {e}", self.label()))
+        if self.hard_schedule().is_empty() {
+            return ace_sim::run_one(self.sim_config(), self.policy(), |sim| {
+                app.run(sim, self.workers)
+            })
+            .map_err(|e| format!("{}: {e}", self.label()));
+        }
+        // Chaos cells: a hard component loss may legitimately destroy
+        // the application's working data (the typed zero-fill of lost
+        // pages) or wedge it until the virtual-time budget cuts the run.
+        // Both outcomes are as deterministic as a verified completion,
+        // so they become typed *degraded* rows instead of sweep errors.
+        let cfg = self.sim_config();
+        let budget = cfg.vt_budget;
+        let mut sim = ace_sim::Simulator::new(cfg, self.policy());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            app.run(&mut sim, self.workers)
+        }));
+        let degraded = if sim.vt_exceeded() {
+            let b = budget.map(|n| n.0).unwrap_or(0);
+            Some(format!("virtual-time budget of {b} ns exceeded after component loss"))
+        } else {
+            match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(format!("verification failed after component loss: {e}")),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("opaque panic");
+                    Some(format!("workload aborted after component loss: {msg}"))
+                }
+            }
+        };
+        let mut report = sim.report();
+        report.degraded = degraded;
+        Ok(report)
     }
 
     /// The cell's coordinates as one deterministic JSON object (the
@@ -554,6 +705,10 @@ impl JobSpec {
         // from pre-pressure grids serialize byte-identically.
         if let Some(lf) = self.local_frames {
             j = j.field("local_frames", lf);
+        }
+        // Likewise the chaos axes: only chaos cells mention them.
+        if let (Some(at), Some(n)) = (self.offline_at, self.offline_nodes) {
+            j = j.field("offline_at_ns", at).field("offline_nodes", n);
         }
         j.field("scale", scale_label(self.scale))
     }
@@ -666,6 +821,71 @@ mod tests {
                 assert_eq!(j.local_frames, None);
                 assert_eq!(j.vt_budget, None);
                 assert!(!j.to_json().to_string_flat().contains("local_frames"));
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_preset_schedules_node_loss() {
+        let g = Grid::chaos();
+        let jobs = g.jobs();
+        // 2 apps x 2 fault rates x 2 offline times x 2 node counts.
+        assert_eq!(jobs.len(), 16);
+        assert!(jobs.iter().all(|j| j.offline_at.is_some() && j.offline_nodes.is_some()));
+        let j = jobs
+            .iter()
+            .find(|j| j.offline_nodes == Some(2) && j.offline_at == Some(Ns::from_ms(1).0))
+            .expect("two-node cell");
+        assert!(j.label().contains("off=2@1000000ns"), "label: {}", j.label());
+        // Highest-numbered nodes die first, never node 0, at the
+        // scheduled instant.
+        let sched = j.hard_schedule();
+        assert_eq!(sched.len(), 2);
+        assert!(matches!(sched[0], HardFault::NodeOffline { cpu: CpuId(3), vt } if vt == Ns::from_ms(1)));
+        assert!(matches!(sched[1], HardFault::NodeOffline { cpu: CpuId(2), vt } if vt == Ns::from_ms(1)));
+        // The schedule reaches the machine config and validates.
+        let cfg = j.sim_config();
+        assert_eq!(cfg.machine.faults.hard_faults.len(), 2);
+        cfg.machine.validate().unwrap();
+        // The axes show up in both serialized forms.
+        let gj = g.to_json().to_string_flat();
+        assert!(gj.contains("\"offline_at_ns\":[1000000,5000000]"));
+        assert!(gj.contains("\"offline_nodes\":[1,2]"));
+        let jj = j.to_json().to_string_flat();
+        assert!(jj.contains("\"offline_at_ns\":1000000"));
+        assert!(jj.contains("\"offline_nodes\":2"));
+    }
+
+    #[test]
+    fn offline_node_count_is_clamped_to_leave_a_survivor() {
+        let mut g = Grid::chaos();
+        g.cpus = vec![2];
+        g.offline_nodes = vec![1, 8];
+        let jobs = g.jobs();
+        // A request to kill 8 of 2 nodes clamps to 1 (node 0 always
+        // survives) and dedups against the explicit 1-node cell.
+        assert!(jobs.iter().all(|j| j.offline_nodes == Some(1)));
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        for j in &jobs {
+            let sched = j.hard_schedule();
+            assert_eq!(sched.len(), 1);
+            assert!(matches!(sched[0], HardFault::NodeOffline { cpu: CpuId(1), .. }));
+        }
+    }
+
+    #[test]
+    fn default_grids_do_not_mention_the_offline_axis() {
+        // Byte-compatibility: runs with no hard-failure schedule must
+        // serialize exactly as they did before the axis existed.
+        for name in ["paper", "smoke", "threshold", "page-size", "faults", "pressure"] {
+            let g = Grid::named(name).unwrap();
+            let s = g.to_json().to_string_flat();
+            assert!(!s.contains("offline"), "{name} grid mentions the offline axis");
+            for j in g.jobs() {
+                assert_eq!(j.offline_at, None);
+                assert_eq!(j.offline_nodes, None);
+                assert!(j.hard_schedule().is_empty());
+                assert!(!j.to_json().to_string_flat().contains("offline"));
             }
         }
     }

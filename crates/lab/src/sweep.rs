@@ -117,6 +117,8 @@ impl Sweep {
                     && r.spec.fault_rate.to_bits() == spec.fault_rate.to_bits()
                     && r.spec.page_size == spec.page_size
                     && r.spec.local_frames == spec.local_frames
+                    && r.spec.offline_at == spec.offline_at
+                    && r.spec.offline_nodes == spec.offline_nodes
                     && (!same_cpus || r.spec.cpus == spec.cpus)
             })
         };
@@ -182,6 +184,19 @@ impl Sweep {
                         .field("reclaims", r.report.numa.reclaims)
                         .field("degradations", r.report.numa.degradations)
                         .field("pressure_ticks", r.report.numa.pressure_ticks);
+                }
+                // Hard-failure counters ride along only on chaos cells;
+                // a degraded cell additionally carries its typed reason
+                // (deterministic, so it gates as an identity leaf).
+                if r.spec.offline_at.is_some() {
+                    j = j
+                        .field("nodes_offlined", r.report.numa.nodes_offlined)
+                        .field("pages_rehomed", r.report.numa.pages_rehomed)
+                        .field("pages_lost", r.report.numa.pages_lost)
+                        .field("dead_node_fallbacks", r.report.numa.dead_node_fallbacks);
+                    if let Some(d) = &r.report.degraded {
+                        j = j.field("degraded", d.as_str());
+                    }
                 }
                 j.field("bus_bytes", r.report.bus.total_bytes())
             })

@@ -33,5 +33,5 @@ pub use addr::VAddr;
 pub use map::{VmEntry, VmMap};
 pub use object::{VmObject, VmObjectId};
 pub use pmap::{FreeTag, NullPmap, NumaError, NumaPmap};
-pub use pool::{LPageId, LogicalPool};
+pub use pool::{LPageId, LogicalPool, PoolFreeError};
 pub use state::{TaskId, VmError, VmState};

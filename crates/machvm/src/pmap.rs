@@ -59,6 +59,17 @@ pub enum NumaError {
         /// The page whose global frame is missing.
         lpage: LPageId,
     },
+    /// The page's only up-to-date copy lived in a local memory module
+    /// that went offline (a hard node failure): its contents are
+    /// permanently gone. The NUMA layer reports this as a typed,
+    /// degraded outcome — the page is re-materialized zero-filled —
+    /// rather than panicking inside the protocol engine.
+    PageLost {
+        /// The page whose last copy died.
+        lpage: LPageId,
+        /// The processor whose local memory took the copy down.
+        cpu: CpuId,
+    },
 }
 
 impl fmt::Display for NumaError {
@@ -73,6 +84,9 @@ impl fmt::Display for NumaError {
             }
             NumaError::GlobalFrameUnavailable { lpage } => {
                 write!(f, "global frame for {lpage:?} unavailable")
+            }
+            NumaError::PageLost { lpage, cpu } => {
+                write!(f, "{lpage:?}'s only copy was lost with {cpu}'s local memory")
             }
         }
     }

@@ -64,6 +64,29 @@ impl fmt::Display for PoolExhausted {
 
 impl std::error::Error for PoolExhausted {}
 
+/// Error: a free of a page the pool does not consider allocated.
+/// Previously these were unchecked slot indexings that panicked on a
+/// stale or corrupt page id; the recovery paths exercised by hard
+/// failures want a typed answer instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoolFreeError {
+    /// The id does not name a slot of this pool at all.
+    OutOfRange(LPageId),
+    /// The slot exists but is already free (a double free).
+    NotAllocated(LPageId),
+}
+
+impl fmt::Display for PoolFreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolFreeError::OutOfRange(lp) => write!(f, "{lp:?} is outside the pool"),
+            PoolFreeError::NotAllocated(lp) => write!(f, "freeing unallocated {lp:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolFreeError {}
+
 impl LogicalPool {
     /// A pool of `n_pages` logical pages, all free.
     pub fn new(n_pages: usize) -> LogicalPool {
@@ -106,20 +129,26 @@ impl LogicalPool {
     }
 
     /// Frees a logical page. The caller must have already notified the
-    /// pmap layer via `pmap_free_page`.
-    pub fn free(&mut self, lpage: LPageId) {
-        debug_assert!(
-            matches!(self.slots[lpage.index()], Slot::Allocated(_)),
-            "freeing unallocated {lpage:?}"
-        );
-        self.slots[lpage.index()] = Slot::Free;
-        self.free.push(lpage.0);
+    /// pmap layer via `pmap_free_page`. An id that is out of range or
+    /// already free comes back as a typed error instead of an indexing
+    /// panic.
+    pub fn free(&mut self, lpage: LPageId) -> Result<(), PoolFreeError> {
+        match self.slots.get_mut(lpage.index()) {
+            None => Err(PoolFreeError::OutOfRange(lpage)),
+            Some(Slot::Free) => Err(PoolFreeError::NotAllocated(lpage)),
+            Some(slot @ Slot::Allocated(_)) => {
+                *slot = Slot::Free;
+                self.free.push(lpage.0);
+                Ok(())
+            }
+        }
     }
 
-    /// The owner of an allocated page.
+    /// The owner of an allocated page (`None` for a free slot or an id
+    /// outside the pool).
     pub fn owner(&self, lpage: LPageId) -> Option<PageOwner> {
-        match self.slots[lpage.index()] {
-            Slot::Allocated(o) => Some(o),
+        match self.slots.get(lpage.index())? {
+            Slot::Allocated(o) => Some(*o),
             Slot::Free => None,
         }
     }
@@ -141,7 +170,7 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(p.alloc(owner(2)), Err(PoolExhausted));
         assert_eq!(p.owner(a), Some(owner(0)));
-        p.free(a);
+        p.free(a).unwrap();
         assert_eq!(p.owner(a), None);
         assert_eq!(p.free_pages(), 1);
         let c = p.alloc(owner(3)).unwrap();
@@ -156,7 +185,18 @@ mod tests {
         assert_eq!(p.len(), 3);
         let a = p.alloc(owner(0)).unwrap();
         assert!(!p.is_empty());
-        p.free(a);
+        p.free(a).unwrap();
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn bad_frees_are_typed_not_panics() {
+        let mut p = LogicalPool::new(2);
+        assert_eq!(p.free(LPageId(9)), Err(PoolFreeError::OutOfRange(LPageId(9))));
+        assert_eq!(p.owner(LPageId(9)), None, "out-of-range owner probe is None");
+        let a = p.alloc(owner(0)).unwrap();
+        p.free(a).unwrap();
+        assert_eq!(p.free(a), Err(PoolFreeError::NotAllocated(a)));
+        assert_eq!(p.free_pages(), 2, "failed frees never grow the free list");
     }
 }

@@ -252,7 +252,7 @@ impl VmState {
             for (_, lpage) in o.resident_pages() {
                 let tag = pmap.pmap_free_page(m, lpage);
                 self.pending_free.insert(lpage, tag);
-                self.pool.free(lpage);
+                self.pool.free(lpage).expect("resident page is allocated in the pool");
             }
         }
         Ok(())
@@ -404,7 +404,7 @@ impl VmState {
             obj.swap_out(index, buf);
             let tag = pmap.pmap_free_page(m, lp);
             self.pending_free.insert(lp, tag);
-            self.pool.free(lp);
+            self.pool.free(lp).expect("pageout victim is allocated in the pool");
             self.pageouts += 1;
             return true;
         }

@@ -224,6 +224,54 @@ pub enum EventKind {
         /// Free frames in its local memory at scan time.
         free: u64,
     },
+    /// A processor's local memory module went offline for good (hard
+    /// failure); the online recovery protocol is about to walk the
+    /// directory.
+    NodeOffline {
+        /// The processor whose local memory died.
+        cpu: CpuId,
+        /// Frames that were allocated in the dead module.
+        lost_frames: u64,
+    },
+    /// A processor stopped executing for good (hard failure); its
+    /// runnable threads drain to survivors.
+    CpuOffline {
+        /// The processor that died.
+        cpu: CpuId,
+    },
+    /// A page's copy on a dead node was recovered without data loss: a
+    /// read-only replica dropped, or a writable copy re-homed to its
+    /// valid global frame.
+    PageRehomed {
+        /// The recovered page.
+        lpage: LPageId,
+        /// The dead node the copy was on.
+        at: CpuId,
+    },
+    /// A page's only up-to-date copy died with its node; the page was
+    /// re-materialized zero-filled (typed data loss).
+    PageLost {
+        /// The lost page.
+        lpage: LPageId,
+        /// The dead node the only copy was on.
+        at: CpuId,
+    },
+    /// Runnable threads were re-homed from a dead processor to
+    /// survivors.
+    ThreadsDrained {
+        /// The processor that died.
+        from: CpuId,
+        /// How many threads were re-homed.
+        count: u64,
+    },
+    /// A placement was degraded to global service because the target
+    /// node's local memory is permanently offline.
+    DeadNodeFallback {
+        /// The page served globally instead.
+        lpage: LPageId,
+        /// The dead node the placement wanted.
+        at: CpuId,
+    },
 
     /// A translation was entered into the requester's MMU (the end of
     /// one fault's journey through the stack).
@@ -399,6 +447,29 @@ impl Event {
             EventKind::PressureTick { at, free } => {
                 ("pressure-tick", Json::obj().field("at", at.index()).field("free", free))
             }
+            EventKind::NodeOffline { cpu, lost_frames } => (
+                "node-offline",
+                Json::obj().field("node", cpu.index()).field("lost_frames", lost_frames),
+            ),
+            EventKind::CpuOffline { cpu } => {
+                ("cpu-offline", Json::obj().field("node", cpu.index()))
+            }
+            EventKind::PageRehomed { lpage, at } => (
+                "page-rehomed",
+                Json::obj().field("lpage", lpage.0 as u64).field("at", at.index()),
+            ),
+            EventKind::PageLost { lpage, at } => (
+                "page-lost",
+                Json::obj().field("lpage", lpage.0 as u64).field("at", at.index()),
+            ),
+            EventKind::ThreadsDrained { from, count } => (
+                "threads-drained",
+                Json::obj().field("from", from.index()).field("count", count),
+            ),
+            EventKind::DeadNodeFallback { lpage, at } => (
+                "dead-node-fallback",
+                Json::obj().field("lpage", lpage.0 as u64).field("at", at.index()),
+            ),
             EventKind::MapEntered { lpage } => {
                 ("map-entered", Json::obj().field("lpage", lpage.0 as u64))
             }
@@ -531,6 +602,12 @@ mod tests {
             EventKind::VictimFlushed { lpage: LPageId(1), at: CpuId(2) },
             EventKind::DegradedToGlobal { lpage: LPageId(1) },
             EventKind::PressureTick { at: CpuId(0), free: 1 },
+            EventKind::NodeOffline { cpu: CpuId(1), lost_frames: 12 },
+            EventKind::CpuOffline { cpu: CpuId(2) },
+            EventKind::PageRehomed { lpage: LPageId(1), at: CpuId(1) },
+            EventKind::PageLost { lpage: LPageId(1), at: CpuId(1) },
+            EventKind::ThreadsDrained { from: CpuId(2), count: 3 },
+            EventKind::DeadNodeFallback { lpage: LPageId(1), at: CpuId(1) },
             EventKind::MapEntered { lpage: LPageId(1) },
             EventKind::DaemonTick,
             EventKind::JobCompleted { job: 3, of: 24 },

@@ -373,6 +373,15 @@ impl EventSink for Telemetry {
             EventKind::DegradedToGlobal { lpage } => {
                 self.lifecycle(lpage.0).note(t, "degraded-to-global");
             }
+            EventKind::PageRehomed { lpage, .. } => {
+                self.lifecycle(lpage.0).note(t, "page-rehomed");
+            }
+            EventKind::PageLost { lpage, .. } => {
+                self.lifecycle(lpage.0).note(t, "page-lost");
+            }
+            EventKind::DeadNodeFallback { lpage, .. } => {
+                self.lifecycle(lpage.0).note(t, "dead-node-fallback");
+            }
             EventKind::CopyAborted { .. }
             | EventKind::PageZeroed { .. }
             | EventKind::FaultOverhead
@@ -380,6 +389,9 @@ impl EventSink for Telemetry {
             | EventKind::MapEntered { .. }
             | EventKind::DaemonTick
             | EventKind::PressureTick { .. }
+            | EventKind::NodeOffline { .. }
+            | EventKind::CpuOffline { .. }
+            | EventKind::ThreadsDrained { .. }
             | EventKind::JobCompleted { .. } => {}
         }
     }

@@ -5,7 +5,7 @@ use crate::config::{SchedulerKind, SimConfig};
 use crate::ctx::{Grant, StopToken, ThreadCtx, YieldReason};
 use crate::kernel::Kernel;
 use crate::report::RunReport;
-use ace_machine::{CpuId, Machine, Ns, Prot};
+use ace_machine::{CpuId, HardFault, Machine, Ns, Prot};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use mach_vm::VAddr;
 use numa_core::{AcePmap, CachePolicy};
@@ -175,6 +175,7 @@ impl Simulator {
             numa: k.pmap.stats(),
             bus: k.machine.bus,
             faults: k.machine.fault.stats(),
+            degraded: None,
         }
     }
 }
@@ -217,11 +218,21 @@ struct Engine {
     pressure_high: usize,
     vt_budget: Option<Ns>,
     vt_exceeded: bool,
+    /// Scheduled hard failures not yet fired, ascending by (vt, cpu).
+    /// Fired between grants when the minimum runnable clock crosses the
+    /// failure's virtual time — the same deterministic trigger as the
+    /// daemon tick, so recovery is identical at any `--jobs`.
+    pending_hard: Vec<HardFault>,
 }
 
 impl Engine {
     fn new(cfg: &SimConfig, kernel: Arc<Mutex<Kernel>>, n_cpus: usize) -> Engine {
         let (yield_tx, yield_rx) = unbounded();
+        // Hard failures come from the machine's fault schedule. Sorted
+        // ascending so they fire in virtual-time order; already-fired
+        // ones (repeated `run()` calls) no-op at the kernel layer.
+        let mut pending_hard = kernel.lock().machine.fault.config().hard_faults.clone();
+        pending_hard.sort_by_key(|hf| (hf.vt().0, hf.cpu().0));
         Engine {
             kernel,
             scheduler: cfg.scheduler,
@@ -245,6 +256,59 @@ impl Engine {
             pressure_high: cfg.pressure_high,
             vt_budget: cfg.vt_budget,
             vt_exceeded: false,
+            pending_hard,
+        }
+    }
+
+    /// True if `cpu` was stopped by a `CpuOffline` hard failure.
+    fn cpu_dead(&self, cpu: usize) -> bool {
+        self.kernel.lock().dead_cpus[cpu]
+    }
+
+    /// Fires one scheduled hard failure. Runs between grants, so no
+    /// thread is mid-access when the machine changes under it.
+    fn fire_hard_fault(&mut self, hf: HardFault) {
+        match hf {
+            HardFault::NodeOffline { cpu, .. } => {
+                // The processor keeps executing; its local memory is
+                // gone. The kernel runs the online recovery protocol.
+                self.kernel.lock().node_offline(cpu);
+            }
+            HardFault::CpuOffline { cpu, .. } => {
+                let c = cpu.index();
+                if self.cpu_dead(c) {
+                    return;
+                }
+                // Drain the dead processor's runnable threads (its
+                // parked current thread plus its affinity queue) to
+                // survivors, round-robin in drain order — a
+                // deterministic re-home. Memory stays online: pages the
+                // processor owned migrate away on their next access.
+                let mut drained: Vec<usize> = Vec::new();
+                if let Some(tid) = self.cpus[c].current.take() {
+                    drained.push(tid);
+                }
+                drained.extend(self.cpus[c].runq.drain(..));
+                let mut k = self.kernel.lock();
+                k.dead_cpus[c] = true;
+                let survivors: Vec<usize> =
+                    (0..self.cpus.len()).filter(|&i| !k.dead_cpus[i]).collect();
+                assert!(
+                    !survivors.is_empty(),
+                    "a CpuOffline schedule may not kill every processor"
+                );
+                let Kernel { machine, pmap, .. } = &mut *k;
+                pmap.note_cpu_offline(machine, cpu, drained.len() as u32);
+                drop(k);
+                for (i, tid) in drained.into_iter().enumerate() {
+                    let dst = survivors[i % survivors.len()];
+                    self.threads[tid].home_cpu = dst;
+                    match self.scheduler {
+                        SchedulerKind::Affinity => self.cpus[dst].runq.push_back(tid),
+                        SchedulerKind::GlobalQueue => self.global_q.push_back(tid),
+                    }
+                }
+            }
         }
     }
 
@@ -334,11 +398,18 @@ impl Engine {
     }
 
     /// Sequential processor assignment for new threads (the paper's
-    /// affinity scheduler assigns "sequentially by processor number").
+    /// affinity scheduler assigns "sequentially by processor number"),
+    /// skipping processors stopped by hard failures.
     fn assign_cpu(&mut self) -> CpuId {
-        let c = self.next_cpu % self.cpus.len();
-        self.next_cpu += 1;
-        CpuId::from(c)
+        let dead = self.kernel.lock().dead_cpus.clone();
+        for _ in 0..self.cpus.len() {
+            let c = self.next_cpu % self.cpus.len();
+            self.next_cpu += 1;
+            if !dead[c] {
+                return CpuId::from(c);
+            }
+        }
+        panic!("no live processor left to assign threads to");
     }
 
     /// Adds a parked thread to the appropriate queue.
@@ -355,10 +426,12 @@ impl Engine {
         }
     }
 
-    /// Installs queued threads on idle processors.
+    /// Installs queued threads on idle processors (dead ones excluded —
+    /// granting a stopped processor would stall virtual time forever).
     fn fill_cpus(&mut self) {
-        for c in 0..self.cpus.len() {
-            if self.cpus[c].current.is_some() {
+        let dead = self.kernel.lock().dead_cpus.clone();
+        for (c, c_dead) in dead.iter().enumerate().take(self.cpus.len()) {
+            if *c_dead || self.cpus[c].current.is_some() {
                 continue;
             }
             let tid = match self.scheduler {
@@ -393,6 +466,17 @@ impl Engine {
             // its next deadline (measured on the minimum clock, so the
             // tick happens "before" any thread passes it).
             if let Some((t, _)) = best {
+                // Scheduled hard failures fire on the same deterministic
+                // trigger: when the minimum runnable clock crosses the
+                // failure's virtual time, between grants. A CpuOffline
+                // may drain the picked processor, so re-run selection.
+                if self.pending_hard.first().is_some_and(|hf| t >= hf.vt()) {
+                    while self.pending_hard.first().is_some_and(|hf| t >= hf.vt()) {
+                        let hf = self.pending_hard.remove(0);
+                        self.fire_hard_fault(hf);
+                    }
+                    continue;
+                }
                 if t >= self.next_daemon_tick {
                     let mut k = self.kernel.lock();
                     let Kernel { machine, pmap, .. } = &mut *k;
@@ -743,6 +827,115 @@ mod tests {
         let without_daemon = run(0, 0);
         assert_eq!(with_daemon.2.pressure_ticks, 0, "no pressure on a roomy machine");
         assert_eq!(with_daemon, without_daemon, "daemon must be free when idle");
+    }
+
+    /// A schedule with one `NodeOffline` against a machine where two
+    /// threads share pages across the dead node's boundary.
+    fn chaos_sim(hard: Vec<ace_machine::HardFault>) -> Simulator {
+        use ace_machine::FaultConfig;
+        let cfg = SimConfig::small(3)
+            .faults(FaultConfig { hard_faults: hard, ..FaultConfig::default() });
+        Simulator::new(cfg, Box::new(MoveLimitPolicy::default()))
+    }
+
+    fn chaos_workload(s: &mut Simulator) -> VAddr {
+        let a = s.alloc(8192, Prot::READ_WRITE);
+        for t in 0..3u64 {
+            let base = a + t * 2048;
+            s.spawn(format!("t{t}"), move |ctx| {
+                for i in 0..64u64 {
+                    ctx.write_u32(base + i * 4, (t * 1000 + i) as u32);
+                    // Everybody also re-reads a shared word so replicas
+                    // exist on the node that will die.
+                    let _ = ctx.read_u32(a);
+                    ctx.compute(Ns::from_us(40));
+                }
+            });
+        }
+        a
+    }
+
+    #[test]
+    fn node_offline_mid_run_completes_with_typed_degradation() {
+        let mut s = chaos_sim(vec![ace_machine::HardFault::NodeOffline {
+            cpu: CpuId(1),
+            vt: Ns::from_us(800),
+        }]);
+        let a = chaos_workload(&mut s);
+        let r = s.run();
+        assert_eq!(r.numa.nodes_offlined, 1);
+        assert!(
+            r.numa.pages_rehomed + r.numa.pages_lost > 0,
+            "the dead node held replicas that must be recovered"
+        );
+        assert!(r.numa.hard_failure_actions() > 0);
+        // Survivors' private pages are intact; the directory is legal.
+        for t in [0u64, 2] {
+            assert_eq!(
+                s.with_kernel(|k| k.peek_u32(a + t * 2048 + 63 * 4)),
+                (t * 1000 + 63) as u32
+            );
+        }
+        s.with_kernel(|k| k.check_consistency()).expect("directory legal after recovery");
+    }
+
+    #[test]
+    fn cpu_offline_drains_threads_to_survivors() {
+        let mut s = chaos_sim(vec![ace_machine::HardFault::CpuOffline {
+            cpu: CpuId(2),
+            vt: Ns::from_us(500),
+        }]);
+        let a = chaos_workload(&mut s);
+        let r = s.run();
+        assert_eq!(r.numa.threads_drained, 1, "t2 was running on the dead cpu");
+        // The drained thread still finished its writes on a survivor.
+        assert_eq!(s.with_kernel(|k| k.peek_u32(a + 2 * 2048 + 63 * 4)), 2063);
+        assert!(r.cpu_times[2].user < r.cpu_times[0].user);
+        s.with_kernel(|k| k.check_consistency()).expect("directory legal after drain");
+    }
+
+    #[test]
+    fn hard_failure_recovery_is_deterministic() {
+        let run = |_: ()| {
+            let mut s = chaos_sim(vec![
+                ace_machine::HardFault::NodeOffline { cpu: CpuId(1), vt: Ns::from_us(600) },
+                ace_machine::HardFault::CpuOffline { cpu: CpuId(2), vt: Ns::from_us(900) },
+            ]);
+            chaos_workload(&mut s);
+            let r = s.run();
+            (r.cpu_times.clone(), r.refs, r.numa, r.bus)
+        };
+        assert_eq!(run(()), run(()));
+    }
+
+    #[test]
+    fn dead_cpu_stays_dead_across_runs() {
+        let mut s = chaos_sim(vec![ace_machine::HardFault::CpuOffline {
+            cpu: CpuId(0),
+            vt: Ns(0),
+        }]);
+        let a = s.alloc(256, Prot::READ_WRITE);
+        s.spawn("one", move |ctx| ctx.write_u32(a, 1));
+        let r1 = s.run();
+        assert_eq!(r1.cpu_times[0].user, Ns::ZERO, "cpu 0 died before running");
+        // A second run re-arms the schedule; the offline is idempotent
+        // and new threads still avoid the dead processor.
+        s.spawn("two", move |ctx| ctx.write_u32(a + 4, 2));
+        let r2 = s.run();
+        assert_eq!(r2.cpu_times[0].user, Ns::ZERO);
+        assert_eq!(s.with_kernel(|k| k.peek_u32(a + 4)), 2);
+    }
+
+    #[test]
+    fn empty_hard_schedule_is_byte_invisible() {
+        let run = |hard: Vec<ace_machine::HardFault>| {
+            let mut s = chaos_sim(hard);
+            chaos_workload(&mut s);
+            let r = s.run();
+            (r.cpu_times.clone(), r.refs, r.numa, r.bus)
+        };
+        assert_eq!(run(Vec::new()), run(Vec::new()));
+        assert_eq!(run(Vec::new()).2.hard_failure_actions(), 0);
     }
 
     #[test]

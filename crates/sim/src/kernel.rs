@@ -66,6 +66,11 @@ pub struct Kernel {
     pub task: TaskId,
     /// Application reference counters.
     pub refs: RefCounters,
+    /// Processors stopped for good by a scheduled `CpuOffline` hard
+    /// failure. The engine drains their runnable threads to survivors
+    /// and never grants them again; the flag lives here (not in the
+    /// engine) so repeated `run()` calls see the same dead set.
+    pub dead_cpus: Vec<bool>,
     /// Optional trace sink.
     sink: Option<RefSink>,
 }
@@ -75,7 +80,8 @@ impl Kernel {
     pub fn new(machine: Machine, mut pmap: AcePmap) -> Kernel {
         let mut vm = VmState::new(machine.config.page_size, machine.config.global_frames);
         let task = vm.task_create(&mut pmap);
-        Kernel { machine, vm, pmap, task, refs: RefCounters::default(), sink: None }
+        let dead_cpus = vec![false; machine.n_cpus()];
+        Kernel { machine, vm, pmap, task, refs: RefCounters::default(), dead_cpus, sink: None }
     }
 
     /// Installs a trace sink receiving every application reference.
@@ -470,6 +476,16 @@ impl Kernel {
             }
         }
         Ok(true)
+    }
+
+    /// Takes `cpu`'s local memory offline for good and runs the online
+    /// recovery protocol (see `NumaManager::node_offline`): stale
+    /// mappings are shot down everywhere, surviving copies re-home, and
+    /// pages whose only copy died are typed as lost and re-materialized
+    /// zero-filled. The processor keeps executing; its LOCAL placements
+    /// degrade to global service permanently.
+    pub fn node_offline(&mut self, cpu: CpuId) {
+        self.pmap.node_offline(&mut self.machine, cpu);
     }
 
     /// Resets clocks, reference counters, bus and NUMA statistics while

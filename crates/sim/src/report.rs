@@ -21,6 +21,11 @@ pub struct RunReport {
     pub bus: BusStats,
     /// Hardware faults injected by the machine's fault injector.
     pub faults: FaultStats,
+    /// Typed reason the workload could not finish verified after a hard
+    /// component loss (data destroyed by a typed zero-fill, a wedged
+    /// run cut by the virtual-time budget). `None` — every healthy run —
+    /// keeps the serialized report byte-identical to pre-chaos reports.
+    pub degraded: Option<String>,
 }
 
 impl RunReport {
@@ -70,7 +75,7 @@ impl RunReport {
                     .field("system_ns", t.system.0)
             })
             .collect();
-        Json::obj()
+        let mut j = Json::obj()
             .field("policy", self.policy)
             .field("user_s", self.user_secs())
             .field("system_s", self.system_secs())
@@ -113,6 +118,17 @@ impl RunReport {
                 if self.numa.pressure_ticks > 0 {
                     numa = numa.field("pressure_ticks", self.numa.pressure_ticks);
                 }
+                // Hard-failure counters follow the same discipline: a run
+                // with no node or processor loss serializes byte-identically
+                // to every pre-chaos baseline.
+                if self.numa.hard_failure_actions() > 0 {
+                    numa = numa
+                        .field("nodes_offlined", self.numa.nodes_offlined)
+                        .field("pages_rehomed", self.numa.pages_rehomed)
+                        .field("pages_lost", self.numa.pages_lost)
+                        .field("threads_drained", self.numa.threads_drained)
+                        .field("dead_node_fallbacks", self.numa.dead_node_fallbacks);
+                }
                 numa
             })
             .field(
@@ -129,7 +145,11 @@ impl RunReport {
                     .field("bus_timeouts", self.faults.bus_timeouts)
                     .field("bad_frames", self.faults.bad_frames)
                     .field("corruptions", self.faults.corruptions),
-            )
+            );
+        if let Some(d) = &self.degraded {
+            j = j.field("degraded", d.as_str());
+        }
+        j
     }
 }
 
@@ -186,6 +206,22 @@ impl fmt::Display for RunReport {
                 self.numa.local_peak_frames
             )?;
         }
+        // And the degraded line: only after a hard component loss.
+        if self.numa.hard_failure_actions() > 0 {
+            write!(
+                f,
+                "\n  degraded: {} nodes offlined, {} pages rehomed, {} pages lost, \
+                 {} threads drained, {} dead-node fallbacks",
+                self.numa.nodes_offlined,
+                self.numa.pages_rehomed,
+                self.numa.pages_lost,
+                self.numa.threads_drained,
+                self.numa.dead_node_fallbacks
+            )?;
+        }
+        if let Some(d) = &self.degraded {
+            write!(f, "\n  DEGRADED: {d}")?;
+        }
         Ok(())
     }
 }
@@ -206,6 +242,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            degraded: None,
         };
         assert_eq!(r.total_user(), Ns(150));
         assert_eq!(r.total_system(), Ns(80));
@@ -225,6 +262,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            degraded: None,
         };
         let a = r.to_json().to_string_flat();
         let b = r.to_json().to_string_flat();
@@ -244,6 +282,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            degraded: None,
         };
         let idle = r.to_json().to_string_flat();
         assert!(!idle.contains("reclaims"), "idle reports stay byte-identical");
@@ -261,5 +300,38 @@ mod tests {
         numa_metrics::validate(&busy).unwrap();
         let shown = format!("{r}");
         assert!(shown.contains("pressure: 2 reclaims, 1 degradations"));
+    }
+
+    #[test]
+    fn hard_failure_counters_appear_only_after_component_loss() {
+        let mut r = RunReport {
+            policy: "test",
+            cpu_times: vec![CpuTime { user: Ns(100), system: Ns(10) }],
+            refs: RefCounters { local: 3, global: 1, remote: 0 },
+            numa: NumaStats::default(),
+            bus: BusStats::default(),
+            faults: FaultStats::default(),
+            degraded: None,
+        };
+        let healthy = r.to_json().to_string_flat();
+        assert!(!healthy.contains("nodes_offlined"), "healthy reports stay byte-identical");
+        assert!(!format!("{r}").contains("degraded:"));
+        r.numa.nodes_offlined = 1;
+        r.numa.pages_rehomed = 4;
+        r.numa.pages_lost = 2;
+        r.numa.threads_drained = 3;
+        r.numa.dead_node_fallbacks = 5;
+        let degraded = r.to_json().to_string_flat();
+        assert!(degraded.contains("\"nodes_offlined\":1"));
+        assert!(degraded.contains("\"pages_rehomed\":4"));
+        assert!(degraded.contains("\"pages_lost\":2"));
+        assert!(degraded.contains("\"threads_drained\":3"));
+        assert!(degraded.contains("\"dead_node_fallbacks\":5"));
+        numa_metrics::validate(&degraded).unwrap();
+        let shown = format!("{r}");
+        assert!(shown.contains(
+            "degraded: 1 nodes offlined, 4 pages rehomed, 2 pages lost, \
+             3 threads drained, 5 dead-node fallbacks"
+        ));
     }
 }

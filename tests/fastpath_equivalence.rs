@@ -136,6 +136,78 @@ fn every_app_is_equivalent_under_fault_injection() {
     }
 }
 
+/// Hard-failure schedules: a node's memory dies mid-run and a processor
+/// is stopped shortly after, under full observability. The software-TLB
+/// fast path caches translations precisely where node-offline shootdowns
+/// strike, so any staleness (a batched run charging a dead node's frame)
+/// diverges the reference log, the event stream, or the report. The MMU
+/// epoch bump on recovery must make both paths observationally
+/// identical.
+fn observe_hard_failure(fastpath: bool) -> Observation {
+    use numa_repro::machine::{CpuId, HardFault, Ns, Prot};
+    let sink = Arc::new(Mutex::new(VecSink::new()));
+    let cfg = SimConfig::small(CPUS).events(sink.clone()).fastpath(fastpath).faults(
+        FaultConfig {
+            hard_faults: vec![
+                HardFault::NodeOffline { cpu: CpuId(1), vt: Ns::from_us(700) },
+                HardFault::CpuOffline { cpu: CpuId(2), vt: Ns::from_ms(1) },
+            ],
+            ..FaultConfig::default()
+        },
+    );
+    let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+    let refs = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&refs);
+    sim.with_kernel(|k| {
+        k.set_sink(Box::new(move |e: &RefEvent| tap.lock().unwrap().push(*e)))
+    });
+    let page = 256u64;
+    let a = sim.alloc(16 * page, Prot::READ_WRITE);
+    for t in 0..CPUS as u64 {
+        sim.spawn(format!("mix-{t}"), move |ctx| {
+            for round in 0..4u64 {
+                for i in 0..16u64 {
+                    // Batched same-page runs keep the fast path's TLB hot
+                    // on shared pages every node replicates...
+                    let _ = ctx.read_run(a + i * page, 4, 8);
+                    // ...while interleaved writes keep ownership moving.
+                    if i % (CPUS as u64) == t {
+                        ctx.write_u32(a + i * page + 128 + t * 8, (round * 100 + i) as u32);
+                    }
+                    ctx.compute(Ns::from_us(25));
+                }
+            }
+        });
+    }
+    let report = sim.run();
+    let events = sink.lock().unwrap().events.clone();
+    let refs = refs.lock().unwrap().clone();
+    Observation {
+        report_json: report.to_json().to_string_flat(),
+        report_text: format!("{report}"),
+        events,
+        refs,
+    }
+}
+
+#[test]
+fn hard_failure_schedules_are_equivalent_across_paths() {
+    let slow = observe_hard_failure(false);
+    let fast = observe_hard_failure(true);
+    assert!(
+        slow.report_json.contains("\"nodes_offlined\":1"),
+        "the schedule must actually kill the node: {}",
+        slow.report_json
+    );
+    assert!(
+        slow.report_json.contains("\"threads_drained\":"),
+        "the stopped processor must drain its thread: {}",
+        slow.report_json
+    );
+    assert!(!slow.refs.is_empty(), "instrumentation captured no references");
+    assert_equivalent("hard-failure mix", &slow, &fast);
+}
+
 /// The fast path must actually engage: on a run-shaped workload the MMU
 /// translates far fewer times than the slow path, which is the whole
 /// point — and the only permitted difference.
