@@ -2,6 +2,7 @@
 
 use crate::fault::FaultConfig;
 use crate::time::CostModel;
+use crate::topology::{Topology, TopologyBuilder};
 
 /// Power-of-two page size, with helpers for address arithmetic.
 ///
@@ -71,18 +72,24 @@ impl Default for PageSize {
 }
 
 /// Static description of one simulated machine.
+///
+/// The machine's shape — processor count, memory nodes, per-node frame
+/// pools, and the inter-node cost structure — lives in
+/// [`Topology`]; this struct adds the machine-wide knobs (page size,
+/// global memory, the kernel cost model, contention, faults). Build one
+/// with [`TopologyBuilder::config`].
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
-    /// Number of processor modules.
-    pub n_cpus: usize,
+    /// Processor-and-node shape of the machine, with per-hop costs and
+    /// per-node local frame pools.
+    pub topology: Topology,
     /// Page size used by the MMUs and the memory pools.
     pub page_size: PageSize,
     /// Number of page frames of global memory (this also bounds the Mach
     /// logical page pool, which is the same size as global memory).
     pub global_frames: usize,
-    /// Number of page frames of local memory on each processor module.
-    pub local_frames: usize,
-    /// Access and kernel-operation costs.
+    /// Global-memory access and kernel-operation costs. Local-memory
+    /// access costs come from the topology's hop rows.
     pub costs: CostModel,
     /// Model bus contention with an FCFS queue on top of the fixed
     /// access costs (off by default: the paper's methodology assumes
@@ -96,31 +103,22 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// The "typical" ACE of the paper: 8 processor slots with 2 KB pages,
     /// 16 MB of global memory and 8 MB of local memory per processor.
+    #[deprecated(note = "use TopologyBuilder::flat_ace(n).config()")]
     pub fn ace(n_cpus: usize) -> MachineConfig {
-        let page_size = PageSize::default();
-        MachineConfig {
-            n_cpus,
-            page_size,
-            global_frames: 16 * 1024 * 1024 / page_size.bytes(),
-            local_frames: 8 * 1024 * 1024 / page_size.bytes(),
-            costs: CostModel::ace(),
-            bus_contention: false,
-            faults: FaultConfig::disabled(),
-        }
+        TopologyBuilder::flat_ace(n_cpus).config()
     }
 
     /// A small machine for unit tests: few frames so exhaustion paths are
     /// easy to exercise.
+    #[deprecated(note = "use TopologyBuilder::small(n).config()")]
     pub fn small(n_cpus: usize) -> MachineConfig {
-        MachineConfig {
-            n_cpus,
-            page_size: PageSize::new(256),
-            global_frames: 128,
-            local_frames: 64,
-            costs: CostModel::ace(),
-            bus_contention: false,
-            faults: FaultConfig::disabled(),
-        }
+        TopologyBuilder::small(n_cpus).config()
+    }
+
+    /// Number of processor modules.
+    #[inline]
+    pub fn n_cpus(&self) -> usize {
+        self.topology.n_cpus()
     }
 
     /// Total bytes of global memory.
@@ -130,14 +128,9 @@ impl MachineConfig {
 
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.n_cpus == 0 || self.n_cpus > crate::types::CpuId::MAX_CPUS {
-            return Err(format!("n_cpus {} out of range", self.n_cpus));
-        }
+        self.topology.validate()?;
         if self.global_frames == 0 {
             return Err("no global memory".to_string());
-        }
-        if self.local_frames == 0 {
-            return Err("no local memory".to_string());
         }
         self.faults.validate()?;
         Ok(())
@@ -146,7 +139,7 @@ impl MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig::ace(8)
+        TopologyBuilder::flat_ace(8).config()
     }
 }
 
@@ -177,23 +170,34 @@ mod tests {
 
     #[test]
     fn ace_config_sizes() {
-        let c = MachineConfig::ace(5);
-        assert_eq!(c.n_cpus, 5);
+        let c = TopologyBuilder::flat_ace(5).config();
+        assert_eq!(c.n_cpus(), 5);
         assert_eq!(c.global_bytes(), 16 * 1024 * 1024);
-        assert_eq!(c.local_frames * c.page_size.bytes(), 8 * 1024 * 1024);
+        assert_eq!(
+            c.topology.local_frames(crate::types::NodeId(0)) * c.page_size.bytes(),
+            8 * 1024 * 1024
+        );
         c.validate().unwrap();
     }
 
     #[test]
+    fn deprecated_shims_delegate_to_builder() {
+        #[allow(deprecated)]
+        let old = MachineConfig::ace(3);
+        let new = TopologyBuilder::flat_ace(3).config();
+        assert_eq!(old.topology, new.topology);
+        assert_eq!(old.global_frames, new.global_frames);
+        #[allow(deprecated)]
+        let old = MachineConfig::small(2);
+        assert_eq!(old.topology, TopologyBuilder::small(2).build());
+    }
+
+    #[test]
     fn validate_rejects_bad_configs() {
-        let mut c = MachineConfig::small(2);
-        c.n_cpus = 0;
-        assert!(c.validate().is_err());
-        let mut c = MachineConfig::small(2);
+        let mut c = TopologyBuilder::small(2).config();
         c.global_frames = 0;
         assert!(c.validate().is_err());
-        let mut c = MachineConfig::small(2);
-        c.local_frames = 0;
+        let c = TopologyBuilder::small(2).local_frames(0).config();
         assert!(c.validate().is_err());
     }
 }

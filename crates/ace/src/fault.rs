@@ -41,12 +41,12 @@ use std::fmt;
 /// NUMA layer runs the online recovery protocol.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HardFault {
-    /// `cpu`'s entire local memory module goes offline at `vt`: every
-    /// frame in it is permanently lost. The processor itself keeps
+    /// `node`'s entire local memory module goes offline at `vt`: every
+    /// frame in it is permanently lost. The node's processors keep
     /// executing, served by global and remote memory.
     NodeOffline {
-        /// Processor whose local memory dies.
-        cpu: CpuId,
+        /// Node whose local memory dies.
+        node: crate::types::NodeId,
         /// Virtual time of the failure.
         vt: Ns,
     },
@@ -69,10 +69,12 @@ impl HardFault {
         }
     }
 
-    /// The processor the failure strikes.
-    pub fn cpu(self) -> CpuId {
+    /// The component index the failure strikes — the node index for a
+    /// node death, the processor index for a processor death.
+    pub fn target_index(self) -> u16 {
         match self {
-            HardFault::NodeOffline { cpu, .. } | HardFault::CpuOffline { cpu, .. } => cpu,
+            HardFault::NodeOffline { node, .. } => node.0,
+            HardFault::CpuOffline { cpu, .. } => cpu.0,
         }
     }
 }
@@ -149,11 +151,11 @@ impl FaultConfig {
             return Err("quarantine_threshold must be at least 1".to_string());
         }
         // A component can die only once; a second schedule entry for
-        // the same (kind, cpu) is a script bug, not a fault model.
+        // the same (kind, index) is a script bug, not a fault model.
         let mut seen = HashSet::new();
         for hf in &self.hard_faults {
             let key = match hf {
-                HardFault::NodeOffline { cpu, .. } => ("node", cpu.0),
+                HardFault::NodeOffline { node, .. } => ("node", node.0),
                 HardFault::CpuOffline { cpu, .. } => ("cpu", cpu.0),
             };
             if !seen.insert(key) {
@@ -362,7 +364,7 @@ mod tests {
         assert!(!inj.active());
         for _ in 0..100 {
             assert_eq!(inj.copy_fault(true), None);
-            assert!(!inj.scrub_frame(Frame::local(CpuId(0), 3)));
+            assert!(!inj.scrub_frame(Frame::local(crate::types::NodeId(0), 3)));
         }
         assert!(!inj.stats().any());
     }
@@ -380,7 +382,7 @@ mod tests {
         let mut b = FaultInjector::new(cfg);
         for i in 0..200 {
             assert_eq!(a.copy_fault(true), b.copy_fault(true));
-            let f = Frame::local(CpuId(0), i);
+            let f = Frame::local(crate::types::NodeId(0), i);
             assert_eq!(a.scrub_frame(f), b.scrub_frame(f));
         }
         assert_eq!(a.stats(), b.stats());
@@ -407,7 +409,7 @@ mod tests {
     fn scrub_verdicts_are_memoized() {
         let cfg = FaultConfig { seed: 7, bad_frame_rate: 0.5, ..FaultConfig::disabled() };
         let mut inj = FaultInjector::new(cfg);
-        let frames: Vec<Frame> = (0..50).map(|i| Frame::local(CpuId(1), i)).collect();
+        let frames: Vec<Frame> = (0..50).map(|i| Frame::local(crate::types::NodeId(1), i)).collect();
         let first: Vec<bool> = frames.iter().map(|&f| inj.scrub_frame(f)).collect();
         let second: Vec<bool> = frames.iter().map(|&f| inj.scrub_frame(f)).collect();
         assert_eq!(first, second);
@@ -418,7 +420,7 @@ mod tests {
     #[test]
     fn scripted_bad_frame_fails_scrub_once_declared() {
         let mut inj = FaultInjector::new(FaultConfig::disabled());
-        let f = Frame::local(CpuId(0), 9);
+        let f = Frame::local(crate::types::NodeId(0), 9);
         inj.script_bad_frame(f);
         assert!(inj.scrub_frame(f));
         // Memoized: stays bad.
@@ -431,7 +433,7 @@ mod tests {
         let cfg = FaultConfig { seed: 3, bad_frame_rate: 1.0, ..FaultConfig::disabled() };
         let mut inj = FaultInjector::new(cfg);
         assert!(!inj.scrub_frame(Frame::global(0)));
-        assert!(inj.scrub_frame(Frame::local(CpuId(0), 0)));
+        assert!(inj.scrub_frame(Frame::local(crate::types::NodeId(0), 0)));
     }
 
     #[test]
@@ -449,11 +451,11 @@ mod tests {
     fn hard_fault_schedule_validates_and_stays_off_the_copy_path() {
         let mut c = FaultConfig::disabled();
         c.hard_faults = vec![
-            HardFault::NodeOffline { cpu: CpuId(1), vt: Ns(500) },
+            HardFault::NodeOffline { node: crate::types::NodeId(1), vt: Ns(500) },
             HardFault::CpuOffline { cpu: CpuId(1), vt: Ns(900) },
         ];
         assert!(c.validate().is_ok(), "node and cpu death of one processor may coexist");
-        assert_eq!(c.hard_faults[0].cpu(), CpuId(1));
+        assert_eq!(c.hard_faults[0].target_index(), 1);
         assert_eq!(c.hard_faults[0].vt(), Ns(500));
         // Hard failures are an engine-fired schedule, not a stochastic
         // channel: the injector's copy path must stay inert.
@@ -461,7 +463,7 @@ mod tests {
         assert!(!inj.active(), "a pure hard-fault schedule must not perturb copies");
         assert_eq!(inj.copy_fault(true), None);
 
-        c.hard_faults.push(HardFault::NodeOffline { cpu: CpuId(1), vt: Ns(700) });
+        c.hard_faults.push(HardFault::NodeOffline { node: crate::types::NodeId(1), vt: Ns(700) });
         assert!(c.validate().is_err(), "a node can only die once");
     }
 

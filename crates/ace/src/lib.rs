@@ -35,6 +35,7 @@ pub mod mem;
 pub mod mmu;
 pub mod prot;
 pub mod time;
+pub mod topology;
 pub mod types;
 
 pub use bus::{BusQueue, BusStats};
@@ -46,4 +47,5 @@ pub use mem::{Frame, MemError, MemRegion, PhysMem};
 pub use mmu::{AccessKind, Mmu, MmuFault};
 pub use prot::Prot;
 pub use time::{Access, CostModel, Distance, Ns};
-pub use types::{CpuId, CpuSet};
+pub use topology::{HopCost, Topology, TopologyBuilder};
+pub use types::{CpuId, CpuSet, NodeId};

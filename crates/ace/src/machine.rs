@@ -7,7 +7,7 @@ use crate::fault::{BusTimeout, CopyFault, FaultInjector};
 use crate::mem::{Frame, MemRegion, PhysMem};
 use crate::mmu::Mmu;
 use crate::time::{Access, Distance, Ns};
-use crate::types::CpuId;
+use crate::types::{CpuId, NodeId};
 
 /// A hardware-level occurrence, reported through the machine's tap (see
 /// [`Machine::set_tap`]). The machine speaks in frames and regions — it
@@ -121,8 +121,8 @@ impl Machine {
         }
         Machine {
             mem: PhysMem::new(&cfg),
-            mmus: (0..cfg.n_cpus).map(|_| Mmu::new()).collect(),
-            clocks: CpuClocks::new(cfg.n_cpus),
+            mmus: (0..cfg.n_cpus()).map(|_| Mmu::new()).collect(),
+            clocks: CpuClocks::new(cfg.n_cpus()),
             bus: BusStats::default(),
             bus_queue: BusQueue::default(),
             fault: FaultInjector::new(cfg.faults.clone()),
@@ -154,12 +154,12 @@ impl Machine {
     /// Number of processors.
     #[inline]
     pub fn n_cpus(&self) -> usize {
-        self.config.n_cpus
+        self.config.n_cpus()
     }
 
     /// Iterator over all processor ids.
     pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
-        (0..self.config.n_cpus).map(CpuId::from)
+        (0..self.config.n_cpus()).map(CpuId::from)
     }
 
     /// The MMU of one processor.
@@ -168,13 +168,38 @@ impl Machine {
         &mut self.mmus[cpu.index()]
     }
 
-    /// How far `region` is from `cpu`.
+    /// The node whose local memory serves `cpu`.
+    #[inline]
+    pub fn home_of(&self, cpu: CpuId) -> NodeId {
+        self.config.topology.home_of(cpu)
+    }
+
+    /// How far `region` is from `cpu` — the three-way classification the
+    /// observers and reference traces speak. Any local memory that is
+    /// not the processor's own node counts as remote, regardless of how
+    /// many hops away it sits; the hop matrix refines the *cost* of a
+    /// remote reference, not its class.
     #[inline]
     pub fn distance(&self, cpu: CpuId, region: MemRegion) -> Distance {
         match region {
             MemRegion::Global => Distance::Global,
-            MemRegion::Local(owner) if owner == cpu => Distance::Local,
+            MemRegion::Local(node) if node == self.home_of(cpu) => Distance::Local,
             MemRegion::Local(_) => Distance::Remote,
+        }
+    }
+
+    /// The cost of one 32-bit access of `kind` from `cpu` to memory in
+    /// `region`: global memory charges the cost model's bus constants,
+    /// local memory charges the topology's row for the hop count between
+    /// the processor's home node and the frame's node.
+    #[inline]
+    fn ref_cost(&self, cpu: CpuId, kind: Access, region: MemRegion) -> Ns {
+        match region {
+            MemRegion::Global => self.config.costs.access(kind, Distance::Global),
+            MemRegion::Local(node) => {
+                let hop = self.config.topology.hops(self.home_of(cpu), node);
+                self.config.topology.access_cost(kind, hop)
+            }
         }
     }
 
@@ -183,7 +208,7 @@ impl Machine {
     /// charged time.
     pub fn charge_access(&mut self, cpu: CpuId, kind: Access, frame: Frame, words: u64) -> Ns {
         let dist = self.distance(cpu, frame.region);
-        let mut t = self.config.costs.access(kind, dist) * words;
+        let mut t = self.ref_cost(cpu, kind, frame.region) * words;
         match dist {
             Distance::Global => self.bus.add_global(words),
             Distance::Remote => self.bus.add_remote(words),
@@ -209,11 +234,11 @@ impl Machine {
         self.tap.is_none() && !(self.config.bus_contention && dist != Distance::Local)
     }
 
-    /// The queueing-free cost of one `words`-word access of `kind` at
-    /// `dist` — the per-element step [`Machine::charge_access`] charges
-    /// when no bus queue applies.
-    pub fn access_cost(&self, kind: Access, dist: Distance, words: u64) -> Ns {
-        self.config.costs.access(kind, dist) * words
+    /// The queueing-free cost of one `words`-word access of `kind` by
+    /// `cpu` to memory in `region` — the per-element step
+    /// [`Machine::charge_access`] charges when no bus queue applies.
+    pub fn access_cost(&self, cpu: CpuId, kind: Access, region: MemRegion, words: u64) -> Ns {
+        self.ref_cost(cpu, kind, region) * words
     }
 
     /// Charges `n` identical accesses in one arithmetic step. Requires
@@ -235,7 +260,7 @@ impl Machine {
             Distance::Remote => self.bus.add_remote(words * n),
             Distance::Local => {}
         }
-        let t = self.access_cost(kind, dist, words) * n;
+        let t = self.access_cost(cpu, kind, frame.region, words) * n;
         self.clocks.charge_user(cpu, t);
         self.mem.touch(frame, self.clocks.cpu(cpu).total());
         t
@@ -251,7 +276,18 @@ impl Machine {
         if crosses_bus {
             self.bus.add_copy(words);
         }
-        let t = self.config.costs.page_copy(self.config.page_size.bytes());
+        // A copy between two local memories charges the topology's
+        // per-hop copy word (the flat presets pin every row to the cost
+        // model's word, reproducing the paper's uniform copy charge);
+        // any copy touching global memory crosses the IPC bus and
+        // charges the cost model directly.
+        let t = match (src.region, dst.region) {
+            (MemRegion::Local(a), MemRegion::Local(b)) => {
+                let hop = self.config.topology.hops(a, b);
+                self.config.costs.copy_setup + self.config.topology.hop_cost(hop).copy_word * words
+            }
+            _ => self.config.costs.page_copy(self.config.page_size.bytes()),
+        };
         self.clocks.charge_system(cpu, t);
         self.mem.touch(dst, self.clocks.cpu(cpu).total());
         if self.tap.is_some() {
@@ -310,8 +346,7 @@ impl Machine {
     pub fn kernel_zero_page(&mut self, cpu: CpuId, frame: Frame) -> Ns {
         self.mem.zero_page(frame);
         let words = (self.config.page_size.bytes() / 4) as u64;
-        let dist = self.distance(cpu, frame.region);
-        let t = self.config.costs.access(Access::Store, dist) * words;
+        let t = self.ref_cost(cpu, Access::Store, frame.region) * words;
         self.clocks.charge_system(cpu, t);
         self.mem.touch(frame, self.clocks.cpu(cpu).total());
         if self.tap.is_some() {
@@ -331,20 +366,20 @@ impl Machine {
         }
     }
 
-    /// Takes `cpu`'s local memory module offline — a hard component
+    /// Takes `node`'s local memory module offline — a hard component
     /// failure. Every frame it held is permanently lost; the list of
     /// frames that were allocated at the moment of death is returned
     /// (in index order) so the layer above can shoot down their
-    /// mappings and recover each page. The processor itself keeps
-    /// running; only its memory is gone. Idempotent.
-    pub fn offline_node(&mut self, cpu: CpuId) -> Vec<Frame> {
-        self.mem.offline_local(cpu)
+    /// mappings and recover each page. The node's processors keep
+    /// running; only their memory is gone. Idempotent.
+    pub fn offline_node(&mut self, node: NodeId) -> Vec<Frame> {
+        self.mem.offline_local(node)
     }
 
-    /// True if `cpu`'s local memory module has gone offline.
+    /// True if `node`'s local memory module has gone offline.
     #[inline]
-    pub fn node_offline(&self, cpu: CpuId) -> bool {
-        self.mem.is_offline(cpu)
+    pub fn node_offline(&self, node: NodeId) -> bool {
+        self.mem.is_offline(node)
     }
 
     /// Charges the cost of removing a mapping on another processor.
@@ -364,14 +399,14 @@ mod tests {
     use crate::prot::Prot;
 
     fn machine() -> Machine {
-        Machine::new(MachineConfig::small(2))
+        Machine::new(crate::topology::TopologyBuilder::small(2).config())
     }
 
     #[test]
     fn charge_paths_stamp_last_touch() {
         let mut m = machine();
         let g = m.mem.alloc(MemRegion::Global).unwrap();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         assert_eq!(m.mem.last_touch(g), Ns::ZERO);
         m.charge_access(CpuId(0), Access::Fetch, g, 1);
         let after_access = m.mem.last_touch(g);
@@ -390,8 +425,8 @@ mod tests {
     fn distance_classification() {
         let m = machine();
         assert_eq!(m.distance(CpuId(0), MemRegion::Global), Distance::Global);
-        assert_eq!(m.distance(CpuId(0), MemRegion::Local(CpuId(0))), Distance::Local);
-        assert_eq!(m.distance(CpuId(0), MemRegion::Local(CpuId(1))), Distance::Remote);
+        assert_eq!(m.distance(CpuId(0), MemRegion::Local(NodeId(0))), Distance::Local);
+        assert_eq!(m.distance(CpuId(0), MemRegion::Local(NodeId(1))), Distance::Remote);
     }
 
     #[test]
@@ -403,7 +438,7 @@ mod tests {
         assert_eq!(m.clocks.cpu(CpuId(0)).user, t);
         assert_eq!(m.bus.global_word_transfers, 3);
 
-        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         let t2 = m.charge_access(CpuId(0), Access::Store, l, 1);
         assert_eq!(t2, Ns(840));
         // Local access adds no bus traffic.
@@ -414,7 +449,7 @@ mod tests {
     fn kernel_copy_charges_system_time() {
         let mut m = machine();
         let g = m.mem.alloc(MemRegion::Global).unwrap();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(1))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(1))).unwrap();
         m.mem.write_u32(g, 0, 77);
         let t = m.kernel_copy_page(CpuId(1), g, l);
         assert_eq!(m.mem.read_u32(l, 0), 77);
@@ -426,8 +461,8 @@ mod tests {
     #[test]
     fn local_to_local_same_cpu_copy_skips_bus() {
         let mut m = machine();
-        let a = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
-        let b = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let a = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
+        let b = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         m.kernel_copy_page(CpuId(0), a, b);
         assert_eq!(m.bus.copy_word_transfers, 0);
     }
@@ -435,7 +470,7 @@ mod tests {
     #[test]
     fn zero_page_charges_and_zeroes() {
         let mut m = machine();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         m.mem.write_u32(l, 0, 5);
         m.kernel_zero_page(CpuId(0), l);
         assert_eq!(m.mem.read_u32(l, 0), 0);
@@ -446,7 +481,7 @@ mod tests {
     fn try_copy_without_faults_matches_plain_copy() {
         let mut m = machine();
         let g = m.mem.alloc(MemRegion::Global).unwrap();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         m.mem.write_u32(g, 0, 31);
         let t = m.try_kernel_copy_page(CpuId(0), g, l).unwrap();
         assert_eq!(t, m.config.costs.page_copy(m.config.page_size.bytes()));
@@ -457,7 +492,7 @@ mod tests {
     fn scripted_bus_timeout_leaves_destination_untouched() {
         let mut m = machine();
         let g = m.mem.alloc(MemRegion::Global).unwrap();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         m.mem.write_u32(g, 0, 7);
         m.mem.write_u32(l, 0, 99);
         m.fault.script_copy_fault(crate::fault::CopyFault::BusTimeout);
@@ -477,7 +512,7 @@ mod tests {
     fn scripted_corruption_flips_exactly_one_byte() {
         let mut m = machine();
         let g = m.mem.alloc(MemRegion::Global).unwrap();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(1))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(1))).unwrap();
         m.mem.write_u32(g, 0, 0x0101_0101);
         m.fault.script_copy_fault(crate::fault::CopyFault::Corruption);
         m.try_kernel_copy_page(CpuId(1), g, l).unwrap();
@@ -502,7 +537,7 @@ mod tests {
         tapped.set_tap(Box::new(move |e| events.lock().unwrap().push(e)));
         for m in [&mut plain, &mut tapped] {
             let g = m.mem.alloc(MemRegion::Global).unwrap();
-            let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+            let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
             m.charge_access(CpuId(0), Access::Fetch, g, 2);
             m.kernel_copy_page(CpuId(0), g, l);
             m.kernel_zero_page(CpuId(0), l);
@@ -526,7 +561,7 @@ mod tests {
     fn tap_sees_copy_timeouts() {
         let mut m = machine();
         let g = m.mem.alloc(MemRegion::Global).unwrap();
-        let l = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
         let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let events = log.clone();
         m.set_tap(Box::new(move |e| events.lock().unwrap().push(e)));

@@ -7,7 +7,7 @@
 
 use crate::config::MachineConfig;
 use crate::time::Ns;
-use crate::types::CpuId;
+use crate::types::NodeId;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -16,8 +16,11 @@ use std::fmt;
 pub enum MemRegion {
     /// The shared global memory cards on the IPC bus.
     Global,
-    /// The 8 MB local memory of one processor module.
-    Local(CpuId),
+    /// The local memory of one node. On the flat paper machine every
+    /// processor module carries its own node, so node *i* is cpu *i*'s
+    /// 8 MB local memory; hierarchical topologies pool several
+    /// processors onto one node.
+    Local(NodeId),
 }
 
 /// One physical page frame.
@@ -35,9 +38,9 @@ impl Frame {
         Frame { region: MemRegion::Global, index }
     }
 
-    /// Constructs a local frame on `cpu`.
-    pub fn local(cpu: CpuId, index: u32) -> Frame {
-        Frame { region: MemRegion::Local(cpu), index }
+    /// Constructs a local frame on `node`.
+    pub fn local(node: NodeId, index: u32) -> Frame {
+        Frame { region: MemRegion::Local(node), index }
     }
 
     /// True if the frame is in global memory.
@@ -50,7 +53,7 @@ impl fmt::Debug for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.region {
             MemRegion::Global => write!(f, "G#{}", self.index),
-            MemRegion::Local(c) => write!(f, "L{}#{}", c.0, self.index),
+            MemRegion::Local(n) => write!(f, "L{}#{}", n.0, self.index),
         }
     }
 }
@@ -110,21 +113,22 @@ pub struct PhysMem {
     /// Frames retired after failing an ECC scrub. A quarantined frame is
     /// never returned to a free list, so it can never be re-allocated.
     quarantined: HashSet<Frame>,
-    /// Per-processor flag: true once the module's local memory has gone
+    /// Per-node flag: true once the node's local memory has gone
     /// offline (a hard failure). A dead module allocates nothing and
     /// tolerates frees of its lost frames.
     offline: Vec<bool>,
 }
 
 impl PhysMem {
-    /// Builds the memory described by `cfg`, all frames free.
+    /// Builds the memory described by `cfg`: one global module plus one
+    /// local module per topology node, each sized by the node's pool.
     pub fn new(cfg: &MachineConfig) -> PhysMem {
         PhysMem {
             page_bytes: cfg.page_size.bytes(),
             global: Module::new(cfg.global_frames),
-            locals: (0..cfg.n_cpus).map(|_| Module::new(cfg.local_frames)).collect(),
+            locals: cfg.topology.node_frames().iter().map(|&n| Module::new(n)).collect(),
             quarantined: HashSet::new(),
-            offline: vec![false; cfg.n_cpus],
+            offline: vec![false; cfg.topology.n_nodes()],
         }
     }
 
@@ -136,14 +140,14 @@ impl PhysMem {
     fn module(&self, region: MemRegion) -> &Module {
         match region {
             MemRegion::Global => &self.global,
-            MemRegion::Local(c) => &self.locals[c.index()],
+            MemRegion::Local(n) => &self.locals[n.index()],
         }
     }
 
     fn module_mut(&mut self, region: MemRegion) -> &mut Module {
         match region {
             MemRegion::Global => &mut self.global,
-            MemRegion::Local(c) => &mut self.locals[c.index()],
+            MemRegion::Local(n) => &mut self.locals[n.index()],
         }
     }
 
@@ -200,7 +204,7 @@ impl PhysMem {
         m.free.push(frame.index);
     }
 
-    /// Takes `cpu`'s entire local memory offline — a hard component
+    /// Takes `node`'s entire local memory offline — a hard component
     /// failure. The module's free list is emptied (nothing can ever be
     /// allocated there again), every payload is dropped (the bytes are
     /// permanently lost), and the frames that were allocated at the
@@ -208,17 +212,17 @@ impl PhysMem {
     /// can walk its directory and recover each one. Quarantined frames
     /// were already retired and are not reported again. Idempotent:
     /// a second death of the same module reports nothing.
-    pub fn offline_local(&mut self, cpu: CpuId) -> Vec<Frame> {
-        if self.offline[cpu.index()] {
+    pub fn offline_local(&mut self, node: NodeId) -> Vec<Frame> {
+        if self.offline[node.index()] {
             return Vec::new();
         }
-        self.offline[cpu.index()] = true;
-        let m = &mut self.locals[cpu.index()];
+        self.offline[node.index()] = true;
+        let m = &mut self.locals[node.index()];
         let free: HashSet<u32> = m.free.drain(..).collect();
         let mut lost = Vec::new();
         for (index, payload) in m.frames.iter_mut().enumerate() {
             *payload = None;
-            let frame = Frame::local(cpu, index as u32);
+            let frame = Frame::local(node, index as u32);
             if !free.contains(&(index as u32)) && !self.quarantined.contains(&frame) {
                 lost.push(frame);
             }
@@ -226,16 +230,16 @@ impl PhysMem {
         lost
     }
 
-    /// True if `cpu`'s local memory module has gone offline.
-    pub fn is_offline(&self, cpu: CpuId) -> bool {
-        self.offline[cpu.index()]
+    /// True if `node`'s local memory module has gone offline.
+    pub fn is_offline(&self, node: NodeId) -> bool {
+        self.offline[node.index()]
     }
 
     /// True if `frame` belongs to an offline local module.
     pub fn is_offline_frame(&self, frame: Frame) -> bool {
         match frame.region {
             MemRegion::Global => false,
-            MemRegion::Local(c) => self.offline[c.index()],
+            MemRegion::Local(n) => self.offline[n.index()],
         }
     }
 
@@ -411,10 +415,10 @@ impl PhysMem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MachineConfig;
+    use crate::topology::TopologyBuilder;
 
     fn mem() -> PhysMem {
-        PhysMem::new(&MachineConfig::small(2))
+        PhysMem::new(&TopologyBuilder::small(2).config())
     }
 
     #[test]
@@ -432,14 +436,14 @@ mod tests {
     #[test]
     fn exhaustion_is_an_error() {
         let mut m = mem();
-        let region = MemRegion::Local(CpuId(1));
+        let region = MemRegion::Local(NodeId(1));
         let n = m.free_frames(region);
         for _ in 0..n {
             m.alloc(region).unwrap();
         }
         assert_eq!(m.alloc(region), Err(MemError::OutOfFrames(region)));
         // The other local module is unaffected.
-        assert!(m.alloc(MemRegion::Local(CpuId(0))).is_ok());
+        assert!(m.alloc(MemRegion::Local(NodeId(0))).is_ok());
     }
 
     #[test]
@@ -468,7 +472,7 @@ mod tests {
     fn copy_page_moves_bytes_across_regions() {
         let mut m = mem();
         let g = m.alloc(MemRegion::Global).unwrap();
-        let l = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let l = m.alloc(MemRegion::Local(NodeId(0))).unwrap();
         m.write_u32(g, 4, 123);
         m.copy_page(g, l);
         assert_eq!(m.read_u32(l, 4), 123);
@@ -490,7 +494,7 @@ mod tests {
     #[test]
     fn quarantined_frame_is_retired_for_good() {
         let mut m = mem();
-        let region = MemRegion::Local(CpuId(0));
+        let region = MemRegion::Local(NodeId(0));
         let total = m.free_frames(region);
         let f = m.alloc(region).unwrap();
         m.quarantine(f);
@@ -510,17 +514,17 @@ mod tests {
     #[test]
     fn offline_local_loses_every_frame_for_good() {
         let mut m = mem();
-        let region = MemRegion::Local(CpuId(0));
+        let region = MemRegion::Local(NodeId(0));
         let a = m.alloc(region).unwrap();
         let b = m.alloc(region).unwrap();
         let q = m.alloc(region).unwrap();
         m.quarantine(q);
         m.write_u32(a, 0, 0xfeed);
-        assert!(!m.is_offline(CpuId(0)));
+        assert!(!m.is_offline(NodeId(0)));
 
-        let lost = m.offline_local(CpuId(0));
+        let lost = m.offline_local(NodeId(0));
         assert_eq!(lost, vec![a, b], "allocated, non-quarantined frames reported in order");
-        assert!(m.is_offline(CpuId(0)));
+        assert!(m.is_offline(NodeId(0)));
         assert!(m.is_offline_frame(a));
         assert!(!m.is_offline_frame(Frame::global(0)));
         // Nothing can ever be allocated there again...
@@ -532,16 +536,16 @@ mod tests {
         m.free(a);
         assert_eq!(m.free_frames(region), 0);
         // ...death is idempotent, and the other module is unaffected.
-        assert!(m.offline_local(CpuId(0)).is_empty());
-        assert!(!m.is_offline(CpuId(1)));
-        assert!(m.alloc(MemRegion::Local(CpuId(1))).is_ok());
+        assert!(m.offline_local(NodeId(0)).is_empty());
+        assert!(!m.is_offline(NodeId(1)));
+        assert!(m.alloc(MemRegion::Local(NodeId(1))).is_ok());
     }
 
     #[test]
     fn page_checksum_tracks_contents() {
         let mut m = mem();
         let a = m.alloc(MemRegion::Global).unwrap();
-        let b = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let b = m.alloc(MemRegion::Local(NodeId(0))).unwrap();
         // Untouched frames checksum like explicit zero pages.
         let untouched = m.page_checksum(a);
         m.zero_page(b);
@@ -560,7 +564,7 @@ mod tests {
     #[test]
     fn last_touch_stamps_track_references_and_reset_on_alloc() {
         let mut m = mem();
-        let f = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let f = m.alloc(MemRegion::Local(NodeId(0))).unwrap();
         assert_eq!(m.last_touch(f), Ns::ZERO);
         m.touch(f, Ns(42));
         assert_eq!(m.last_touch(f), Ns(42));
@@ -568,7 +572,7 @@ mod tests {
         assert_eq!(m.last_touch(f), Ns(99));
         // Freeing and re-allocating the frame clears the stale stamp.
         m.free(f);
-        let g = m.alloc(MemRegion::Local(CpuId(0))).unwrap();
+        let g = m.alloc(MemRegion::Local(NodeId(0))).unwrap();
         assert_eq!(g, f, "LIFO free list hands the same frame back");
         assert_eq!(m.last_touch(g), Ns::ZERO);
         // alloc_global_at resets too.
@@ -580,7 +584,7 @@ mod tests {
     fn copy_of_untouched_page_is_zeros() {
         let mut m = mem();
         let g = m.alloc(MemRegion::Global).unwrap();
-        let l = m.alloc(MemRegion::Local(CpuId(1))).unwrap();
+        let l = m.alloc(MemRegion::Local(NodeId(1))).unwrap();
         m.write_u32(l, 0, 9);
         m.copy_page(g, l);
         assert_eq!(m.read_u32(l, 0), 0);

@@ -273,7 +273,7 @@ pub use crate::time::Access as AccessKind;
 mod tests {
     use super::*;
     use crate::mem::Frame;
-    use crate::types::CpuId;
+    use crate::types::NodeId;
 
     const AS: Asid = 1;
 
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn referenced_and_modified_bits() {
         let mut mmu = Mmu::new();
-        let f = Frame::local(CpuId(0), 1);
+        let f = Frame::local(NodeId(0), 1);
         mmu.enter(AS, 9, f, Prot::READ_WRITE);
         assert!(!mmu.probe(AS, 9).unwrap().referenced);
         mmu.translate(AS, 9, Access::Fetch).unwrap();
@@ -330,7 +330,7 @@ mod tests {
     fn re_enter_same_vpn_replaces_frame() {
         let mut mmu = Mmu::new();
         let f1 = Frame::global(1);
-        let f2 = Frame::local(CpuId(0), 2);
+        let f2 = Frame::local(NodeId(0), 2);
         mmu.enter(AS, 4, f1, Prot::READ);
         assert_eq!(mmu.enter(AS, 4, f2, Prot::READ_WRITE), None);
         assert_eq!(mmu.translate(AS, 4, Access::Store), Ok(f2));

@@ -1,0 +1,638 @@
+//! Machine topology as data.
+//!
+//! The paper's ACE is one bus, one global memory, and one local memory
+//! per processor — a shape the original `MachineConfig` hard-coded in
+//! two scalar fields (`n_cpus`, `local_frames`) and a three-valued
+//! [`Distance`] enum. A [`Topology`] generalizes that: processors are
+//! grouped into memory *nodes*, nodes carry their own frame pools, and a
+//! distance matrix of bus *hops* selects a per-hop cost row instead of
+//! the single local/global/remote split. The flat paper machine is the
+//! degenerate value (one node per processor, every off-diagonal hop 1,
+//! the hop-1 row equal to the remote-reference constants), so a flat
+//! topology reproduces the paper grid byte for byte while two-socket and
+//! mesh machines are just different values of the same type.
+//!
+//! [`Distance`]: crate::time::Distance
+
+use crate::config::{MachineConfig, PageSize};
+use crate::fault::FaultConfig;
+use crate::time::{Access, CostModel, Ns};
+use crate::types::{CpuId, NodeId};
+
+/// Per-hop access and copy costs: one row of the topology's cost table.
+///
+/// Row 0 is the processor's own node; row *h* is a reference crossing
+/// `h` bus hops to another node's memory. Global memory keeps its own
+/// costs in [`CostModel`] — it hangs off the bus itself and has no hop
+/// count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HopCost {
+    /// 32-bit fetch from memory this many hops away.
+    pub fetch: Ns,
+    /// 32-bit store to memory this many hops away.
+    pub store: Ns,
+    /// Cost per 32-bit word of a kernel page copy between two local
+    /// memories this many hops apart. The flat preset pins every row to
+    /// [`CostModel::copy_word`], reproducing the paper's uniform copy
+    /// charge; hierarchical presets make near copies cheaper.
+    pub copy_word: Ns,
+}
+
+/// The machine's memory topology: processors grouped into nodes, a hop
+/// matrix between nodes, per-node frame pools, and per-hop cost rows.
+///
+/// Built with [`TopologyBuilder`]; validated by [`Topology::validate`]
+/// (invoked from [`MachineConfig::validate`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Preset label, carried for reports ("flat", "two-socket", ...).
+    kind: &'static str,
+    /// Home node of each processor, indexed by cpu.
+    cpu_home: Vec<NodeId>,
+    /// Local page frames per node, indexed by node.
+    node_frames: Vec<usize>,
+    /// Row-major `n_nodes x n_nodes` hop matrix (diagonal zero).
+    hops: Vec<u8>,
+    /// Cost rows indexed by hop count; row 0 is the own-node row.
+    hop_rows: Vec<HopCost>,
+}
+
+impl Topology {
+    /// Preset label ("flat", "two-socket", "mesh", or "custom").
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn n_cpus(&self) -> usize {
+        self.cpu_home.len()
+    }
+
+    /// Number of memory nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.node_frames.len()
+    }
+
+    /// True if this is the degenerate paper machine: one node per
+    /// processor and a single off-diagonal hop.
+    pub fn is_flat(&self) -> bool {
+        self.n_nodes() == self.n_cpus() && self.max_hops() <= 1
+    }
+
+    /// The node whose local memory serves `cpu`.
+    #[inline]
+    pub fn home_of(&self, cpu: CpuId) -> NodeId {
+        self.cpu_home[cpu.index()]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes()).map(NodeId::from)
+    }
+
+    /// The processors homed on `node`, in increasing id order.
+    pub fn cpus_of(&self, node: NodeId) -> impl Iterator<Item = CpuId> + '_ {
+        self.cpu_home
+            .iter()
+            .enumerate()
+            .filter(move |(_, &h)| h == node)
+            .map(|(i, _)| CpuId::from(i))
+    }
+
+    /// The lowest-numbered processor homed on `node` (every valid
+    /// topology homes at least one processor per node).
+    pub fn first_cpu(&self, node: NodeId) -> CpuId {
+        self.cpus_of(node).next().expect("node with no processors")
+    }
+
+    /// Bus hops between two nodes (zero on the diagonal).
+    #[inline]
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u8 {
+        self.hops[from.index() * self.n_nodes() + to.index()]
+    }
+
+    /// The largest entry of the hop matrix.
+    pub fn max_hops(&self) -> u8 {
+        self.hops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The cost row for references crossing `hop` hops.
+    #[inline]
+    pub fn hop_cost(&self, hop: u8) -> HopCost {
+        self.hop_rows[hop as usize]
+    }
+
+    /// Cost of one 32-bit access of `kind` to memory `hop` hops away.
+    #[inline]
+    pub fn access_cost(&self, kind: Access, hop: u8) -> Ns {
+        let row = self.hop_rows[hop as usize];
+        match kind {
+            Access::Fetch => row.fetch,
+            Access::Store => row.store,
+        }
+    }
+
+    /// Local page frames on `node`.
+    #[inline]
+    pub fn local_frames(&self, node: NodeId) -> usize {
+        self.node_frames[node.index()]
+    }
+
+    /// The per-node frame counts, indexed by node.
+    pub fn node_frames(&self) -> &[usize] {
+        &self.node_frames
+    }
+
+    /// Resizes every node's frame pool to `frames` (the sweep axis that
+    /// used to poke `MachineConfig::local_frames`).
+    pub fn set_uniform_local_frames(&mut self, frames: usize) {
+        for f in &mut self.node_frames {
+            *f = frames;
+        }
+    }
+
+    /// Surviving nodes ordered by distance from `from` (then by id, for
+    /// determinism), excluding `from` itself. `alive` filters out dead
+    /// nodes; the recovery walk passes the directory's dead set.
+    pub fn nodes_by_distance<'a>(
+        &'a self,
+        from: NodeId,
+        mut alive: impl FnMut(NodeId) -> bool + 'a,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let mut order: Vec<NodeId> =
+            self.nodes().filter(|&n| n != from && alive(n)).collect();
+        order.sort_by_key(|&n| (self.hops(from, n), n));
+        order.into_iter()
+    }
+
+    /// Checks internal consistency: at least one cpu and node, every
+    /// node populated and given frames, a square hop matrix with a zero
+    /// diagonal, symmetric hops, and a cost row for every hop used.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_nodes();
+        if self.n_cpus() == 0 || self.n_cpus() > CpuId::MAX_CPUS {
+            return Err(format!("n_cpus {} out of range", self.n_cpus()));
+        }
+        if n == 0 || n > NodeId::MAX_NODES {
+            return Err(format!("n_nodes {n} out of range"));
+        }
+        if self.hops.len() != n * n {
+            return Err(format!("hop matrix is {} entries, want {}", self.hops.len(), n * n));
+        }
+        for &h in &self.cpu_home {
+            if h.index() >= n {
+                return Err(format!("cpu homed on nonexistent {h}"));
+            }
+        }
+        for node in self.nodes() {
+            if self.cpus_of(node).next().is_none() {
+                return Err(format!("{node} has no processors"));
+            }
+            if self.local_frames(node) == 0 {
+                return Err(format!("{node} has no local memory"));
+            }
+        }
+        for i in 0..n {
+            if self.hops[i * n + i] != 0 {
+                return Err(format!("nonzero hop on the diagonal at node {i}"));
+            }
+            for j in 0..n {
+                let (ij, ji) = (self.hops[i * n + j], self.hops[j * n + i]);
+                if ij != ji {
+                    return Err(format!("asymmetric hops between nodes {i} and {j}"));
+                }
+                if i != j && ij == 0 {
+                    return Err(format!("distinct nodes {i} and {j} at hop 0"));
+                }
+            }
+        }
+        if self.hop_rows.len() <= self.max_hops() as usize {
+            return Err(format!(
+                "{} cost rows but hops go up to {}",
+                self.hop_rows.len(),
+                self.max_hops()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Topology`] and, via [`TopologyBuilder::config`],
+/// for a whole [`MachineConfig`]. Presets replace the old
+/// `MachineConfig::{ace,small}` constructors and the field-poking that
+/// tests used to do on top of them.
+///
+/// # Examples
+///
+/// ```
+/// use ace_machine::TopologyBuilder;
+///
+/// // The paper machine, 4 processors:
+/// let cfg = TopologyBuilder::flat_ace(4).config();
+/// assert_eq!(cfg.n_cpus(), 4);
+/// assert!(cfg.topology.is_flat());
+///
+/// // A small test machine with one local frame per node:
+/// let cfg = TopologyBuilder::small(2).local_frames(1).config();
+/// assert_eq!(cfg.topology.local_frames(ace_machine::NodeId(0)), 1);
+///
+/// // A 2-socket machine: 2 nodes, 2 hops apart.
+/// let t = TopologyBuilder::two_socket(8).build();
+/// assert_eq!(t.n_nodes(), 2);
+/// assert_eq!(t.max_hops(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    kind: &'static str,
+    cpu_home: Vec<NodeId>,
+    node_frames: Vec<usize>,
+    hops: Vec<u8>,
+    hop_rows: Vec<HopCost>,
+    page_size: PageSize,
+    global_frames: usize,
+    costs: CostModel,
+    bus_contention: bool,
+    faults: FaultConfig,
+}
+
+impl TopologyBuilder {
+    /// The degenerate paper machine: one node per processor, every
+    /// off-diagonal entry one hop, the hop-1 row equal to the remote
+    /// constants, 2 KB pages, 16 MB global and 8 MB local per node.
+    /// `TopologyBuilder::flat_ace(n).config()` is value-identical to the
+    /// old `MachineConfig::ace(n)`.
+    pub fn flat_ace(n_cpus: usize) -> TopologyBuilder {
+        let page_size = PageSize::default();
+        Self::flat(
+            "flat",
+            n_cpus,
+            8 * 1024 * 1024 / page_size.bytes(),
+            page_size,
+            16 * 1024 * 1024 / page_size.bytes(),
+        )
+    }
+
+    /// The small flat test machine the unit suites use: 256-byte pages,
+    /// 128 global frames, 64 local frames per node. Replaces
+    /// `MachineConfig::small(n)`.
+    pub fn small(n_cpus: usize) -> TopologyBuilder {
+        Self::flat("flat", n_cpus, 64, PageSize::new(256), 128)
+    }
+
+    fn flat(
+        kind: &'static str,
+        n_cpus: usize,
+        local_frames: usize,
+        page_size: PageSize,
+        global_frames: usize,
+    ) -> TopologyBuilder {
+        let costs = CostModel::ace();
+        let n = n_cpus.max(1);
+        let mut hops = vec![1u8; n * n];
+        for i in 0..n {
+            hops[i * n + i] = 0;
+        }
+        TopologyBuilder {
+            kind,
+            cpu_home: (0..n_cpus).map(NodeId::from).collect(),
+            node_frames: vec![local_frames; n_cpus],
+            hops,
+            hop_rows: Self::default_rows(&costs, 1),
+            page_size,
+            global_frames,
+            costs,
+            bus_contention: false,
+            faults: FaultConfig::disabled(),
+        }
+    }
+
+    /// A two-socket machine: processors split evenly across two nodes
+    /// (the first half on node 0), sockets two bus hops apart. Each
+    /// node's pool holds 8 MB per processor it serves. The cross-socket
+    /// row costs the flat remote constants, so the protocol sees the
+    /// same latency cliff as the paper machine but with pooled frames.
+    pub fn two_socket(n_cpus: usize) -> TopologyBuilder {
+        let page_size = PageSize::default();
+        let per_cpu = 8 * 1024 * 1024 / page_size.bytes();
+        let split = n_cpus.div_ceil(2);
+        let cpu_home: Vec<NodeId> =
+            (0..n_cpus).map(|i| NodeId::from(usize::from(i >= split))).collect();
+        let costs = CostModel::ace();
+        let mut b = TopologyBuilder {
+            kind: "two-socket",
+            node_frames: vec![
+                per_cpu * split.max(1),
+                per_cpu * (n_cpus.saturating_sub(split)).max(1),
+            ],
+            cpu_home,
+            hops: vec![0, 2, 2, 0],
+            hop_rows: Self::default_rows(&costs, 2),
+            page_size,
+            global_frames: 16 * 1024 * 1024 / page_size.bytes(),
+            costs,
+            bus_contention: false,
+            faults: FaultConfig::disabled(),
+        };
+        // Cross-socket (hop 2) costs exactly the flat remote constants.
+        b.hop_rows[2] = HopCost {
+            fetch: b.costs.remote_fetch,
+            store: b.costs.remote_store,
+            copy_word: b.costs.copy_word,
+        };
+        b
+    }
+
+    /// A grid of `n_nodes` nodes with `cpus_per_node` processors each,
+    /// laid out on a near-square 2-D mesh with Manhattan-distance hops.
+    /// Nearest neighbours (hop 1) are *cheaper* than global memory —
+    /// the fast inter-node links that make replicate-from-nearest and
+    /// re-home-to-nearest worthwhile — and each extra hop adds a fixed
+    /// increment.
+    pub fn mesh(n_nodes: usize, cpus_per_node: usize) -> TopologyBuilder {
+        let page_size = PageSize::default();
+        let per_cpu = 8 * 1024 * 1024 / page_size.bytes();
+        let n = n_nodes.max(1);
+        let side = (1..).find(|s| s * s >= n).unwrap_or(1);
+        let mut hops = vec![0u8; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let (xi, yi) = (i % side, i / side);
+                let (xj, yj) = (j % side, j / side);
+                hops[i * n + j] = (xi.abs_diff(xj) + yi.abs_diff(yj)) as u8;
+            }
+        }
+        let costs = CostModel::ace();
+        let max_hop = hops.iter().copied().max().unwrap_or(0);
+        TopologyBuilder {
+            kind: "mesh",
+            cpu_home: (0..n * cpus_per_node.max(1)).map(|i| NodeId::from(i / cpus_per_node.max(1))).collect(),
+            node_frames: vec![per_cpu * cpus_per_node.max(1); n],
+            hops,
+            hop_rows: Self::mesh_rows(&costs, max_hop),
+            page_size,
+            global_frames: 16 * 1024 * 1024 / page_size.bytes(),
+            costs,
+            bus_contention: false,
+            faults: FaultConfig::disabled(),
+        }
+    }
+
+    /// Default rows: row 0 is the local constants; rows 1.. are the flat
+    /// remote constants (one bus crossing each way), with each hop past
+    /// the first adding the same increment again. Copies charge the flat
+    /// copy word everywhere, reproducing the paper's uniform copy cost.
+    fn default_rows(costs: &CostModel, max_hop: u8) -> Vec<HopCost> {
+        let mut rows = vec![HopCost {
+            fetch: costs.local_fetch,
+            store: costs.local_store,
+            copy_word: costs.copy_word,
+        }];
+        let step_f = costs.remote_fetch.0.saturating_sub(costs.global_fetch.0);
+        let step_s = costs.remote_store.0.saturating_sub(costs.global_store.0);
+        for h in 1..=max_hop as u64 {
+            rows.push(HopCost {
+                fetch: Ns(costs.remote_fetch.0 + step_f * (h - 1)),
+                store: Ns(costs.remote_store.0 + step_s * (h - 1)),
+                copy_word: costs.copy_word,
+            });
+        }
+        rows
+    }
+
+    /// Mesh rows: nearest neighbours beat global memory (fast point-to-
+    /// point links), with a fixed increment per extra hop; copies over a
+    /// fast link are cheaper than a bus copy in the same proportion.
+    fn mesh_rows(costs: &CostModel, max_hop: u8) -> Vec<HopCost> {
+        let mut rows = vec![HopCost {
+            fetch: costs.local_fetch,
+            store: costs.local_store,
+            copy_word: costs.copy_word,
+        }];
+        for h in 1..=max_hop as u64 {
+            let fetch = Ns(1_100 + 500 * (h - 1));
+            let store = Ns(1_050 + 475 * (h - 1));
+            rows.push(HopCost {
+                fetch,
+                store,
+                // A kernel copy over the link: one far fetch plus one
+                // local store per word, mirroring CostModel::copy_word.
+                copy_word: fetch + costs.local_store,
+            });
+        }
+        rows
+    }
+
+    /// Overrides the page size in bytes.
+    pub fn page_bytes(mut self, bytes: usize) -> Self {
+        self.page_size = PageSize::new(bytes);
+        self
+    }
+
+    /// Overrides the number of global frames.
+    pub fn global_frames(mut self, frames: usize) -> Self {
+        self.global_frames = frames;
+        self
+    }
+
+    /// Sets every node's local frame pool to `frames`.
+    pub fn local_frames(mut self, frames: usize) -> Self {
+        for f in &mut self.node_frames {
+            *f = frames;
+        }
+        self
+    }
+
+    /// Sets one node's local frame pool.
+    pub fn node_local_frames(mut self, node: NodeId, frames: usize) -> Self {
+        self.node_frames[node.index()] = frames;
+        self
+    }
+
+    /// Overrides one hop row's access costs (the copy word follows the
+    /// fetch cost plus a local store, like the defaults).
+    pub fn hop_cost(mut self, hop: u8, fetch: Ns, store: Ns) -> Self {
+        let row = &mut self.hop_rows[hop as usize];
+        row.fetch = fetch;
+        row.store = store;
+        if hop > 0 {
+            row.copy_word = fetch + self.costs.local_store;
+        }
+        self
+    }
+
+    /// Replaces the cost model (global and kernel-operation costs; the
+    /// hop rows are left as the preset built them).
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Enables or disables the FCFS bus-contention queue.
+    pub fn bus_contention(mut self, on: bool) -> Self {
+        self.bus_contention = on;
+        self
+    }
+
+    /// Installs a fault-injection configuration.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Finishes the topology alone.
+    pub fn build(self) -> Topology {
+        Topology {
+            kind: self.kind,
+            cpu_home: self.cpu_home,
+            node_frames: self.node_frames,
+            hops: self.hops,
+            hop_rows: self.hop_rows,
+        }
+    }
+
+    /// Finishes a whole machine configuration.
+    pub fn config(self) -> MachineConfig {
+        MachineConfig {
+            page_size: self.page_size,
+            global_frames: self.global_frames,
+            costs: self.costs.clone(),
+            bus_contention: self.bus_contention,
+            faults: self.faults.clone(),
+            topology: Topology {
+                kind: self.kind,
+                cpu_home: self.cpu_home,
+                node_frames: self.node_frames,
+                hops: self.hops,
+                hop_rows: self.hop_rows,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Distance;
+
+    #[test]
+    fn flat_preset_matches_the_paper_machine() {
+        let cfg = TopologyBuilder::flat_ace(5).config();
+        let t = &cfg.topology;
+        assert_eq!(t.n_cpus(), 5);
+        assert_eq!(t.n_nodes(), 5);
+        assert!(t.is_flat());
+        assert_eq!(t.max_hops(), 1);
+        assert_eq!(cfg.global_bytes(), 16 * 1024 * 1024);
+        assert_eq!(t.local_frames(NodeId(0)) * cfg.page_size.bytes(), 8 * 1024 * 1024);
+        // Hop rows reproduce the three-valued cost model exactly.
+        let c = &cfg.costs;
+        assert_eq!(t.access_cost(Access::Fetch, 0), c.access(Access::Fetch, Distance::Local));
+        assert_eq!(t.access_cost(Access::Store, 0), c.access(Access::Store, Distance::Local));
+        assert_eq!(t.access_cost(Access::Fetch, 1), c.access(Access::Fetch, Distance::Remote));
+        assert_eq!(t.access_cost(Access::Store, 1), c.access(Access::Store, Distance::Remote));
+        assert_eq!(t.hop_cost(1).copy_word, c.copy_word);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn small_preset_matches_old_small_machine() {
+        let cfg = TopologyBuilder::small(2).config();
+        assert_eq!(cfg.page_size.bytes(), 256);
+        assert_eq!(cfg.global_frames, 128);
+        assert_eq!(cfg.topology.local_frames(NodeId(1)), 64);
+        assert!(cfg.topology.is_flat());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn two_socket_splits_cpus_and_doubles_hops() {
+        let t = TopologyBuilder::two_socket(6).build();
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.n_cpus(), 6);
+        assert!(!t.is_flat());
+        assert_eq!(t.home_of(CpuId(0)), NodeId(0));
+        assert_eq!(t.home_of(CpuId(2)), NodeId(0));
+        assert_eq!(t.home_of(CpuId(3)), NodeId(1));
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 2);
+        assert_eq!(t.max_hops(), 2);
+        assert_eq!(t.first_cpu(NodeId(1)), CpuId(3));
+        assert_eq!(t.cpus_of(NodeId(0)).count(), 3);
+        // The pooled node holds its processors' combined local memory.
+        assert_eq!(t.local_frames(NodeId(0)), 3 * 8 * 1024 * 1024 / 2048);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_uses_manhattan_hops_and_fast_near_links() {
+        let t = TopologyBuilder::mesh(4, 2).build();
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.n_cpus(), 8);
+        // 2x2 grid: diagonal corners are 2 hops apart.
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 2);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.max_hops(), 2);
+        // Fast near link: hop 1 beats global memory.
+        let c = CostModel::ace();
+        assert!(t.access_cost(Access::Fetch, 1) < c.global_fetch);
+        assert!(t.access_cost(Access::Fetch, 2) > t.access_cost(Access::Fetch, 1));
+        assert!(t.hop_cost(1).copy_word < c.copy_word);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn nodes_by_distance_orders_deterministically() {
+        let t = TopologyBuilder::mesh(4, 1).build();
+        let order: Vec<NodeId> = t.nodes_by_distance(NodeId(0), |_| true).collect();
+        // From corner 0 of a 2x2 grid: neighbours 1 and 2 (1 hop, id
+        // order), then diagonal 3 (2 hops).
+        assert_eq!(order, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        // A dead neighbour is skipped.
+        let order: Vec<NodeId> = t.nodes_by_distance(NodeId(0), |n| n != NodeId(1)).collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let cfg = TopologyBuilder::small(2)
+            .local_frames(3)
+            .node_local_frames(NodeId(1), 7)
+            .global_frames(9)
+            .page_bytes(512)
+            .hop_cost(1, Ns(900), Ns(880))
+            .config();
+        assert_eq!(cfg.topology.local_frames(NodeId(0)), 3);
+        assert_eq!(cfg.topology.local_frames(NodeId(1)), 7);
+        assert_eq!(cfg.global_frames, 9);
+        assert_eq!(cfg.page_size.bytes(), 512);
+        assert_eq!(cfg.topology.access_cost(Access::Fetch, 1), Ns(900));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_malformed_topologies() {
+        let mut t = TopologyBuilder::small(2).build();
+        t.node_frames[0] = 0;
+        assert!(t.validate().is_err(), "node without memory");
+
+        let mut t = TopologyBuilder::small(2).build();
+        t.hops[1] = 0;
+        assert!(t.validate().is_err(), "distinct nodes at hop 0 / asymmetric");
+
+        let mut t = TopologyBuilder::small(2).build();
+        t.hops[1] = 9;
+        assert!(t.validate().is_err(), "hop without a cost row");
+
+        let mut t = TopologyBuilder::two_socket(4).build();
+        t.cpu_home = vec![NodeId(0); 4];
+        assert!(t.validate().is_err(), "node 1 left without processors");
+    }
+
+    #[test]
+    fn set_uniform_local_frames_resizes_every_pool() {
+        let mut t = TopologyBuilder::two_socket(4).build();
+        t.set_uniform_local_frames(11);
+        assert_eq!(t.node_frames(), &[11, 11]);
+    }
+}

@@ -34,6 +34,42 @@ impl From<usize> for CpuId {
     }
 }
 
+/// Identifies one memory node (one local-memory module) of the machine.
+///
+/// On the paper's flat ACE every processor module carries its own local
+/// memory, so nodes and processors coincide one-to-one and a `NodeId`
+/// equals the index of the `CpuId` it serves. Hierarchical topologies
+/// (two-socket, mesh) break that identity: several processors share one
+/// node, and the distance matrix is indexed by node, not processor. The
+/// newtype keeps the two index spaces apart at compile time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Upper bound on memory nodes per machine (a node can never
+    /// outnumber the processors it serves).
+    pub const MAX_NODES: usize = CpuId::MAX_CPUS;
+
+    /// Returns the id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v < Self::MAX_NODES);
+        NodeId(v as u16)
+    }
+}
+
 /// A set of processors, used by the NUMA directory to track which local
 /// memories hold replicas of a page.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]

@@ -6,7 +6,7 @@
 //! they exist to keep the reproduction fast enough to run the big
 //! tables, and to catch accidental slowdowns in the request path.
 
-use ace_machine::{Access, CpuId, Machine, MachineConfig, Prot};
+use ace_machine::{Access, CpuId, Machine, Prot, TopologyBuilder};
 use ace_sim::{SimConfig, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mach_vm::LPageId;
@@ -16,7 +16,7 @@ use std::hint::black_box;
 fn bench_manager_transitions(c: &mut Criterion) {
     c.bench_function("manager/fresh_write_request", |b| {
         b.iter_batched(
-            || (Machine::new(MachineConfig::small(4)), NumaManager::new()),
+            || (Machine::new(TopologyBuilder::small(4).config()), NumaManager::new()),
             |(mut m, mut mgr)| {
                 let mut pol = MoveLimitPolicy::default();
                 mgr.zero_page(LPageId(1));
@@ -28,7 +28,7 @@ fn bench_manager_transitions(c: &mut Criterion) {
     c.bench_function("manager/migration_ping_pong", |b| {
         b.iter_batched(
             || {
-                let mut m = Machine::new(MachineConfig::small(2));
+                let mut m = Machine::new(TopologyBuilder::small(2).config());
                 let mut mgr = NumaManager::new();
                 let mut pol = AllLocalPolicy;
                 mgr.zero_page(LPageId(1));
@@ -46,7 +46,7 @@ fn bench_manager_transitions(c: &mut Criterion) {
 
 fn bench_mmu(c: &mut Criterion) {
     c.bench_function("mmu/translate_hit", |b| {
-        let mut m = Machine::new(MachineConfig::small(1));
+        let mut m = Machine::new(TopologyBuilder::small(1).config());
         let f = m.mem.alloc(ace_machine::MemRegion::Global).unwrap();
         m.mmu(CpuId(0)).enter(1, 42, f, Prot::READ_WRITE);
         b.iter(|| black_box(m.mmu(CpuId(0)).translate(1, 42, Access::Fetch)))

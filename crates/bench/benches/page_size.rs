@@ -20,7 +20,7 @@ fn run(page: usize) -> ace_sim::RunReport {
     let mut cfg = SimConfig::ace(EVAL_CPUS);
     cfg.machine.page_size = PageSize::new(page);
     cfg.machine.global_frames = 16 * 1024 * 1024 / page;
-    cfg.machine.local_frames = 8 * 1024 * 1024 / page;
+    cfg.machine.topology.set_uniform_local_frames(8 * 1024 * 1024 / page);
     let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
     let app = Primes2::new(Scale::Bench, DivisorDiscipline::SharedVector);
     app.run(&mut sim, EVAL_CPUS).expect("primes2 verifies");

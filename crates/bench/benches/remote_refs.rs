@@ -57,7 +57,7 @@ fn run(mode: Mode, consumer_period: u64) -> ace_sim::RunReport {
                     k.set_pragma_region(
                         table,
                         TABLE_WORDS * 4,
-                        Placement::RemoteAt(ace_machine::CpuId(0)),
+                        Placement::RemoteAt(ace_machine::NodeId(0)),
                     )
                 })
                 .unwrap();

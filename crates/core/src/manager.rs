@@ -15,7 +15,7 @@ use crate::policy::CachePolicy;
 use crate::protocol::{plan, Cleanup, Placement, TableState};
 use crate::reclaim::{LruReclaim, ReclaimCandidate, ReclaimPolicy, DEFAULT_MAX_RECLAIM_ATTEMPTS};
 use crate::stats::{FaultEvent, NumaStats};
-use ace_machine::{Access, CpuId, Frame, Machine, MemRegion, Ns, Prot};
+use ace_machine::{Access, CpuId, Distance, Frame, Machine, MemRegion, NodeId, Ns, Prot};
 use mach_vm::{LPageId, NumaError};
 use numa_metrics::events::{self, Event, EventKind, RecoveryAction, SharedSink};
 use std::collections::{BTreeSet, HashMap};
@@ -50,13 +50,13 @@ pub enum StateKind {
     /// Replicated read-only in zero or more local memories.
     ReadOnly,
     /// Writable in exactly one local memory.
-    LocalWritable(CpuId),
+    LocalWritable(NodeId),
     /// In global memory, accessed directly by all processors.
     GlobalWritable,
-    /// Extension (section 4.4): hosted writable in the given processor's
+    /// Extension (section 4.4): hosted writable in the given node's
     /// local memory; every processor maps the host frame directly (the
-    /// host at local speed, the rest at remote speed).
-    RemoteShared(CpuId),
+    /// host's own processors at local speed, the rest at remote speed).
+    RemoteShared(NodeId),
 }
 
 /// Pending first-placement contents (the lazy-fill generalization of
@@ -78,7 +78,7 @@ enum Fill {
 struct PageInfo {
     state: StateKind,
     /// Local frames holding copies (RO replicas, or the LW copy).
-    locals: HashMap<CpuId, Frame>,
+    locals: HashMap<NodeId, Frame>,
     /// The page's reserved global frame, once materialized.
     global: Option<Frame>,
     /// True if the global frame holds current data.
@@ -87,8 +87,8 @@ struct PageInfo {
     fill: Fill,
     /// Write-induced ownership transfers so far.
     move_count: u32,
-    /// Last processor that held the page local-writable.
-    last_owner: Option<CpuId>,
+    /// Last node that held the page local-writable.
+    last_owner: Option<NodeId>,
 }
 
 impl PageInfo {
@@ -165,7 +165,7 @@ pub struct NumaManager {
     /// Local memories permanently lost to hard failures. LOCAL (and
     /// remote-hosted) placements targeting these nodes degrade to
     /// global service; the pressure daemon and reclaim skip them.
-    dead_nodes: BTreeSet<CpuId>,
+    dead_nodes: BTreeSet<NodeId>,
 }
 
 impl NumaManager {
@@ -320,8 +320,9 @@ impl NumaManager {
         // Graceful degradation after a hard node failure: a placement
         // targeting a dead local memory is served globally instead,
         // permanently — the memory is not coming back.
+        let home = m.home_of(cpu);
         let placement_target = match decision {
-            Placement::Local => Some(cpu),
+            Placement::Local => Some(home),
             Placement::RemoteAt(host) => Some(host),
             Placement::Global => None,
         };
@@ -329,7 +330,7 @@ impl NumaManager {
             if self.dead_nodes.contains(&target) {
                 decision = Placement::Global;
                 self.stats.dead_node_fallbacks += 1;
-                self.events.push(FaultEvent::DeadNodeFallback { lpage, cpu: target });
+                self.events.push(FaultEvent::DeadNodeFallback { lpage, node: target });
                 self.emit(m, cpu, EventKind::DeadNodeFallback { lpage, at: target });
             }
         }
@@ -346,16 +347,16 @@ impl NumaManager {
             let has_copy = self
                 .pages
                 .get(&lpage)
-                .is_some_and(|p| p.locals.contains_key(&cpu));
+                .is_some_and(|p| p.locals.contains_key(&home));
             if !has_copy {
-                match self.alloc_local_scrubbed(m, cpu) {
+                match self.alloc_local_scrubbed(m, home, cpu) {
                     LocalAlloc::Frame(f) => prealloc = Some(f),
                     LocalAlloc::NoFrames => {
                         // Exhaustion is not failure: evict a victim page
                         // (a legal Table-1/2 downgrade) and retry. Only
                         // when the reclaim budget runs out does the
                         // request degrade to a global-writable mapping.
-                        match self.try_reclaim_local_frame(m, cpu, lpage) {
+                        match self.try_reclaim_local_frame(m, home, cpu, lpage) {
                             Some(f) => prealloc = Some(f),
                             None => {
                                 decision = Placement::Global;
@@ -401,7 +402,7 @@ impl NumaManager {
         let table_state = match info.state {
             StateKind::Fresh | StateKind::ReadOnly => TableState::ReadOnly,
             StateKind::GlobalWritable => TableState::GlobalWritable,
-            StateKind::LocalWritable(owner) if owner == cpu => TableState::LocalWritableOwn,
+            StateKind::LocalWritable(owner) if owner == home => TableState::LocalWritableOwn,
             StateKind::LocalWritable(_) => TableState::LocalWritableOther,
             StateKind::RemoteShared(_) => unreachable!("demoted above"),
         };
@@ -450,13 +451,13 @@ impl NumaManager {
         let new_state = match p.new_state {
             TableState::ReadOnly => StateKind::ReadOnly,
             TableState::GlobalWritable => StateKind::GlobalWritable,
-            TableState::LocalWritableOwn => StateKind::LocalWritable(cpu),
+            TableState::LocalWritableOwn => StateKind::LocalWritable(home),
             TableState::LocalWritableOther | TableState::RemoteShared => {
                 unreachable!("plans never target another node or the extension state")
             }
         };
         let prev_state = info.state;
-        let mut moved: Option<(CpuId, u32)> = None;
+        let mut moved: Option<(NodeId, u32)> = None;
         let mut pinned_moves: Option<u32> = None;
         if let StateKind::LocalWritable(owner) = new_state {
             if info.last_owner.is_some() && info.last_owner != Some(owner) {
@@ -501,7 +502,7 @@ impl NumaManager {
                 let frame = *self
                     .pages
                     .get(&lpage)
-                    .and_then(|p| p.locals.get(&cpu))
+                    .and_then(|p| p.locals.get(&home))
                     .expect("copy_to_local ensured a replica");
                 Ok(Grant { frame, prot_ceiling: Prot::READ })
             }
@@ -509,7 +510,7 @@ impl NumaManager {
                 let frame = *self
                     .pages
                     .get(&lpage)
-                    .and_then(|p| p.locals.get(&cpu))
+                    .and_then(|p| p.locals.get(&home))
                     .expect("copy_to_local ensured the owner copy");
                 Ok(Grant { frame, prot_ceiling: Prot::READ_WRITE })
             }
@@ -523,19 +524,19 @@ impl NumaManager {
         }
     }
 
-    /// Allocates a frame in `cpu`'s local memory, scrubbing it (the ECC
+    /// Allocates a frame in `node`'s local memory, scrubbing it (the ECC
     /// check-at-allocation model) and quarantining frames that fail.
     /// Stops after the configured threshold of consecutive bad frames:
     /// at that point the memory itself is suspect, not the frame.
-    fn alloc_local_scrubbed(&mut self, m: &mut Machine, cpu: CpuId) -> LocalAlloc {
+    fn alloc_local_scrubbed(&mut self, m: &mut Machine, node: NodeId, cpu: CpuId) -> LocalAlloc {
         let threshold = m.fault.config().quarantine_threshold.max(1);
         let mut consecutive_bad = 0u32;
         loop {
-            let Ok(f) = m.mem.alloc(MemRegion::Local(cpu)) else {
+            let Ok(f) = m.mem.alloc(MemRegion::Local(node)) else {
                 return LocalAlloc::NoFrames;
             };
             if !m.fault.scrub_frame(f) {
-                let used = m.mem.used_frames(MemRegion::Local(cpu)) as u64;
+                let used = m.mem.used_frames(MemRegion::Local(node)) as u64;
                 if used > self.stats.local_peak_frames {
                     self.stats.local_peak_frames = used;
                 }
@@ -544,7 +545,7 @@ impl NumaManager {
             // The frame failed its scrub: retire it for good.
             m.mem.quarantine(f);
             self.stats.frame_quarantines += 1;
-            self.events.push(FaultEvent::FrameQuarantined { frame: f, cpu });
+            self.events.push(FaultEvent::FrameQuarantined { frame: f, node });
             self.emit(
                 m,
                 cpu,
@@ -626,10 +627,10 @@ impl NumaManager {
 
     /// The directory's frame ownership map, for whole-machine audits:
     /// every frame any page holds, with the page it belongs to and — for
-    /// a local copy private to one processor — the only processor that
+    /// a local copy private to one node — the only node whose processors
     /// may map it. `None` means any processor may map the frame (global
     /// frames, and a remote-shared page's host frame).
-    pub fn frame_owners(&self) -> HashMap<Frame, (LPageId, Option<CpuId>)> {
+    pub fn frame_owners(&self) -> HashMap<Frame, (LPageId, Option<NodeId>)> {
         let mut owners = HashMap::new();
         for (&lp, info) in &self.pages {
             for (&c, &f) in &info.locals {
@@ -656,9 +657,10 @@ impl NumaManager {
         &mut self,
         m: &mut Machine,
         lpage: LPageId,
-        host: CpuId,
+        host: NodeId,
         cpu: CpuId,
     ) -> Result<Grant, NumaError> {
+        let host_cpu = m.config.topology.first_cpu(host);
         let state = self.page(lpage).state;
         match state {
             StateKind::RemoteShared(h) if h == host => {
@@ -669,16 +671,16 @@ impl NumaManager {
                 // local or remote-hosted copy), then a fresh host copy.
                 if self.page(lpage).fill_pending() {
                     // Fill straight into the host's local memory.
-                    self.flush(m, lpage, host, true);
-                    let frame = self.alloc_host_frame(m, lpage, host)?;
+                    self.flush(m, lpage, host_cpu, true);
+                    let frame = self.alloc_host_frame(m, lpage, host, host_cpu)?;
                     self.apply_fill(m, lpage, frame, cpu);
                     self.page(lpage).locals.insert(host, frame);
                 } else {
                     self.ensure_global_valid(m, lpage, cpu)?;
-                    self.flush(m, lpage, host, true);
+                    self.flush(m, lpage, host_cpu, true);
                     self.unmap_global(m, lpage, cpu);
                     if !self.page(lpage).locals.contains_key(&host) {
-                        let frame = self.alloc_host_frame(m, lpage, host)?;
+                        let frame = self.alloc_host_frame(m, lpage, host, host_cpu)?;
                         let src = self.page(lpage).global.expect("validated above");
                         if let Err(e) = self.checked_copy(m, lpage, cpu, src, frame) {
                             m.mem.free(frame);
@@ -718,18 +720,19 @@ impl NumaManager {
         &mut self,
         m: &mut Machine,
         lpage: LPageId,
-        host: CpuId,
+        host: NodeId,
+        cpu: CpuId,
     ) -> Result<Frame, NumaError> {
-        match self.alloc_local_scrubbed(m, host) {
+        match self.alloc_local_scrubbed(m, host, cpu) {
             LocalAlloc::Frame(f) => Ok(f),
             LocalAlloc::NoFrames => self
-                .try_reclaim_local_frame(m, host, lpage)
+                .try_reclaim_local_frame(m, host, cpu, lpage)
                 .ok_or(NumaError::OutOfFrames(MemRegion::Local(host))),
-            LocalAlloc::BadMemory => Err(NumaError::LocalMemoryFailing { cpu: host }),
+            LocalAlloc::BadMemory => Err(NumaError::LocalMemoryFailing { node: host }),
         }
     }
 
-    /// Pages that could legally lose their copy in `cpu`'s local memory:
+    /// Pages that could legally lose their copy in `node`'s local memory:
     /// every page holding a frame there except the faulting page itself,
     /// a remote-shared host copy (it is the page's only data, mapped by
     /// every processor), and — defensively — quarantined frames. Sorted
@@ -738,7 +741,7 @@ impl NumaManager {
     fn reclaim_candidates(
         &self,
         m: &Machine,
-        cpu: CpuId,
+        node: NodeId,
         exclude: LPageId,
     ) -> Vec<ReclaimCandidate> {
         let mut out: Vec<ReclaimCandidate> = self
@@ -748,7 +751,7 @@ impl NumaManager {
                 lp != exclude && !matches!(info.state, StateKind::RemoteShared(_))
             })
             .filter_map(|(&lp, info)| {
-                let &frame = info.locals.get(&cpu)?;
+                let &frame = info.locals.get(&node)?;
                 if m.mem.is_quarantined(frame) {
                     return None;
                 }
@@ -756,7 +759,7 @@ impl NumaManager {
                     lpage: lp,
                     frame,
                     last_touch: m.mem.last_touch(frame),
-                    writable: info.state == StateKind::LocalWritable(cpu),
+                    writable: info.state == StateKind::LocalWritable(node),
                 })
             })
             .collect();
@@ -764,7 +767,7 @@ impl NumaManager {
         out
     }
 
-    /// Evicts the victim's copy from `cpu`'s local memory via the legal
+    /// Evicts the victim's copy from `node`'s local memory via the legal
     /// Table-1/2 downgrade: a writable copy is synced back to global
     /// first (the page becomes Global-Writable), a read-only replica is
     /// simply dropped (zero replicas is a legal RO state). On error the
@@ -773,6 +776,7 @@ impl NumaManager {
         &mut self,
         m: &mut Machine,
         victim: LPageId,
+        node: NodeId,
         cpu: CpuId,
     ) -> Result<(), NumaError> {
         if !self.page(victim).global_valid {
@@ -781,16 +785,16 @@ impl NumaManager {
         let frame = *self
             .page(victim)
             .locals
-            .get(&cpu)
-            .expect("candidate holds a copy on the pressured cpu");
+            .get(&node)
+            .expect("candidate holds a copy on the pressured node");
         for i in 0..m.n_cpus() {
             m.mmus[i].remove_frame(frame);
         }
         m.mem.free(frame);
-        self.page(victim).locals.remove(&cpu);
+        self.page(victim).locals.remove(&node);
         self.stats.flushes += 1;
         let prev = self.page(victim).state;
-        if prev == StateKind::LocalWritable(cpu) {
+        if prev == StateKind::LocalWritable(node) {
             self.page(victim).state = StateKind::GlobalWritable;
             self.stats.to_global += 1;
             self.emit(
@@ -806,7 +810,7 @@ impl NumaManager {
         Ok(())
     }
 
-    /// The synchronous reclaim path: `cpu`'s free list is empty while
+    /// The synchronous reclaim path: `node`'s free list is empty while
     /// placing `exclude`, so evict victims (picked by the reclaim
     /// policy) until an allocation succeeds or the per-request budget
     /// runs out. `None` means the caller should degrade: no victim was
@@ -814,6 +818,7 @@ impl NumaManager {
     fn try_reclaim_local_frame(
         &mut self,
         m: &mut Machine,
+        node: NodeId,
         cpu: CpuId,
         exclude: LPageId,
     ) -> Option<Frame> {
@@ -822,16 +827,16 @@ impl NumaManager {
         }
         self.emit(m, cpu, EventKind::ReclaimStarted { lpage: exclude });
         for _ in 0..self.max_reclaim_attempts {
-            let candidates = self.reclaim_candidates(m, cpu, exclude);
+            let candidates = self.reclaim_candidates(m, node, exclude);
             let victim = self.reclaim.pick_victim(&candidates)?;
-            if self.evict_local_copy(m, victim, cpu).is_err() {
+            if self.evict_local_copy(m, victim, node, cpu).is_err() {
                 // The victim's sync failed under injected faults; it is
                 // intact, and the failed eviction consumed one attempt.
                 continue;
             }
             self.stats.reclaims += 1;
-            self.emit(m, cpu, EventKind::VictimFlushed { lpage: victim, at: cpu });
-            match self.alloc_local_scrubbed(m, cpu) {
+            self.emit(m, cpu, EventKind::VictimFlushed { lpage: victim, at: node });
+            match self.alloc_local_scrubbed(m, node, cpu) {
                 LocalAlloc::Frame(f) => return Some(f),
                 LocalAlloc::NoFrames => continue,
                 LocalAlloc::BadMemory => return None,
@@ -840,7 +845,7 @@ impl NumaManager {
         None
     }
 
-    /// One scan of the background pressure daemon: for every processor
+    /// One scan of the background pressure daemon: for every node
     /// whose local free list is below the `low` watermark, drop cold
     /// read-only replicas (cheapest legal eviction — the global frame is
     /// already valid, so the drop is pure bookkeeping) until the free
@@ -853,8 +858,8 @@ impl NumaManager {
             return;
         }
         let high = high.max(low);
-        for i in 0..m.n_cpus() {
-            let c = CpuId(i as u16);
+        for i in 0..m.config.topology.n_nodes() {
+            let c = NodeId(i as u16);
             // A dead node's free list is empty forever; scanning it
             // would report pressure on every tick with nothing to free.
             if self.dead_nodes.contains(&c) {
@@ -880,7 +885,7 @@ impl NumaManager {
                 let Some(victim) = victim else {
                     break;
                 };
-                self.evict_local_copy(m, victim, c)
+                self.evict_local_copy(m, victim, c, m.config.topology.first_cpu(c))
                     .expect("dropping a valid-global RO replica cannot fail");
                 self.stats.reclaims += 1;
                 self.emit(m, CpuId(0), EventKind::VictimFlushed { lpage: victim, at: c });
@@ -888,17 +893,17 @@ impl NumaManager {
         }
     }
 
-    /// True if `cpu`'s local memory has been lost to a hard failure.
-    pub fn is_node_dead(&self, cpu: CpuId) -> bool {
-        self.dead_nodes.contains(&cpu)
+    /// True if `node`'s local memory has been lost to a hard failure.
+    pub fn is_node_dead(&self, node: NodeId) -> bool {
+        self.dead_nodes.contains(&node)
     }
 
     /// The nodes lost to hard failures so far, in id order.
-    pub fn dead_nodes(&self) -> impl Iterator<Item = CpuId> + '_ {
+    pub fn dead_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.dead_nodes.iter().copied()
     }
 
-    /// The online recovery protocol for a hard node failure: `cpu`'s
+    /// The online recovery protocol for a hard node failure: `node`'s
     /// local memory goes offline mid-run, every frame in it permanently
     /// lost. The protocol walks the directory in page-id order (so
     /// recovery is deterministic regardless of directory hash order)
@@ -909,10 +914,12 @@ impl NumaManager {
     ///   invalidate on their next translation;
     /// * drops read-only replicas whose truth survives elsewhere (the
     ///   valid global frame, or a sibling replica) — a pure re-home;
-    /// * re-homes writable and remote-hosted copies to their valid
-    ///   global frame (the page becomes Global-Writable; the next
-    ///   LOCAL placement re-fetches it through the checksummed copy
-    ///   path);
+    /// * re-homes writable and remote-hosted copies: to the nearest
+    ///   surviving node, when that node's memory is faster than global
+    ///   memory for the dead node's processors (possible only on
+    ///   hierarchical machines), else to their valid global frame (the
+    ///   page becomes Global-Writable; the next LOCAL placement
+    ///   re-fetches it through the checksummed copy path);
     /// * classifies pages whose *only* up-to-date copy died as
     ///   [`FaultEvent::PageLost`]: the page is re-materialized as
     ///   `Fresh` with a zero-fill pending, so the faulting access is
@@ -923,33 +930,33 @@ impl NumaManager {
     /// it. Runs in kernel context — events are stamped with the master
     /// processor and no virtual time is charged, mirroring the pressure
     /// daemon.
-    pub fn node_offline(&mut self, m: &mut Machine, cpu: CpuId) {
-        if !self.dead_nodes.insert(cpu) {
+    pub fn node_offline(&mut self, m: &mut Machine, node: NodeId) {
+        if !self.dead_nodes.insert(node) {
             return;
         }
-        let lost_frames = m.offline_node(cpu);
+        let lost_frames = m.offline_node(node);
         self.stats.nodes_offlined += 1;
-        self.events.push(FaultEvent::NodeOffline { cpu, lost_frames: lost_frames.len() as u32 });
+        self.events.push(FaultEvent::NodeOffline { node, lost_frames: lost_frames.len() as u32 });
         self.emit(
             m,
             CpuId(0),
-            EventKind::NodeOffline { cpu, lost_frames: lost_frames.len() as u64 },
+            EventKind::NodeOffline { node, lost_frames: lost_frames.len() as u64 },
         );
         let mut affected: Vec<LPageId> = self
             .pages
             .iter()
-            .filter(|(_, info)| info.locals.contains_key(&cpu))
+            .filter(|(_, info)| info.locals.contains_key(&node))
             .map(|(&lp, _)| lp)
             .collect();
         affected.sort_by_key(|lp| lp.0);
         for lpage in affected {
-            self.recover_page(m, lpage, cpu);
+            self.recover_page(m, lpage, node);
         }
     }
 
     /// Recovers one page that held a copy on the dead node `dead`. See
     /// [`NumaManager::node_offline`] for the protocol.
-    fn recover_page(&mut self, m: &mut Machine, lpage: LPageId, dead: CpuId) {
+    fn recover_page(&mut self, m: &mut Machine, lpage: LPageId, dead: NodeId) {
         let frame = *self
             .page(lpage)
             .locals
@@ -989,13 +996,27 @@ impl NumaManager {
         };
         if truth_survives {
             self.stats.pages_rehomed += 1;
-            // A writable or hosted page re-homes to its global frame.
+            // A writable or hosted page re-homes off the dead node: to
+            // the nearest surviving node when that node's memory is
+            // faster than global memory for the dead node's processors
+            // (possible only on hierarchical machines), else — always,
+            // on the flat ACE — to its valid global frame.
             if matches!(prev, StateKind::LocalWritable(_) | StateKind::RemoteShared(_)) {
-                self.page(lpage).state = StateKind::GlobalWritable;
-                self.stats.to_global += 1;
+                match self.rehome_target(m, dead) {
+                    Some(host) if self.rehost_to(m, lpage, host).is_ok() => {
+                        let info = self.page(lpage);
+                        info.state = StateKind::RemoteShared(host);
+                        info.global_valid = false;
+                        self.stats.to_remote += 1;
+                    }
+                    _ => {
+                        self.page(lpage).state = StateKind::GlobalWritable;
+                        self.stats.to_global += 1;
+                    }
+                }
             }
             let new = self.page(lpage).state;
-            self.events.push(FaultEvent::PageRehomed { lpage, cpu: dead });
+            self.events.push(FaultEvent::PageRehomed { lpage, node: dead });
             self.emit(m, CpuId(0), EventKind::PageRehomed { lpage, at: dead });
             if new != prev {
                 self.emit(
@@ -1016,7 +1037,7 @@ impl NumaManager {
                 info.global_valid = false;
             }
             self.stats.pages_lost += 1;
-            self.events.push(FaultEvent::PageLost { lpage, cpu: dead });
+            self.events.push(FaultEvent::PageLost { lpage, node: dead });
             self.emit(m, CpuId(0), EventKind::PageLost { lpage, at: dead });
             self.emit(
                 m,
@@ -1028,6 +1049,35 @@ impl NumaManager {
                 },
             );
         }
+    }
+
+    /// The node nearest to `dead` whose surviving local memory would
+    /// serve the dead node's processors faster than a global reference,
+    /// if any. On the flat ACE a remote fetch always costs more than a
+    /// global one, so there is never such a node and re-homing falls
+    /// back to the global frame.
+    fn rehome_target(&self, m: &Machine, dead: NodeId) -> Option<NodeId> {
+        let topo = &m.config.topology;
+        let global = m.config.costs.access(Access::Fetch, Distance::Global);
+        topo.nodes_by_distance(dead, |n| !self.dead_nodes.contains(&n))
+            .into_iter()
+            .find(|&n| topo.access_cost(Access::Fetch, topo.hops(dead, n)) < global)
+    }
+
+    /// Copies the page's valid global image into a fresh frame on
+    /// `host`, making it the page's hosted copy (the copy half of
+    /// nearest-node re-homing). On failure the caller falls back to the
+    /// global frame; nothing is left half-done.
+    fn rehost_to(&mut self, m: &mut Machine, lpage: LPageId, host: NodeId) -> Result<(), NumaError> {
+        let cpu = m.config.topology.first_cpu(host);
+        let frame = self.alloc_host_frame(m, lpage, host, cpu)?;
+        let src = self.page(lpage).global.expect("re-homing starts from a valid global frame");
+        if let Err(e) = self.checked_copy(m, lpage, cpu, src, frame) {
+            m.mem.free(frame);
+            return Err(e);
+        }
+        self.page(lpage).locals.insert(host, frame);
+        Ok(())
     }
 
     /// Records a hard processor failure: `cpu` stopped executing and the
@@ -1052,7 +1102,7 @@ impl NumaManager {
         &mut self,
         m: &mut Machine,
         lpage: LPageId,
-        host: CpuId,
+        host: NodeId,
         cpu: CpuId,
     ) -> Result<(), NumaError> {
         let _ = host;
@@ -1148,8 +1198,9 @@ impl NumaManager {
         // before any request sees them, so this is a second line of
         // defense.
         let Some(src) = src else {
-            let cpu = self.dead_nodes.iter().next().copied().unwrap_or(cpu);
-            return Err(NumaError::PageLost { lpage, cpu });
+            let node =
+                self.dead_nodes.iter().next().copied().unwrap_or_else(|| m.home_of(cpu));
+            return Err(NumaError::PageLost { lpage, node });
         };
         let dst = self.ensure_global_frame(m, lpage, cpu)?;
         self.checked_copy(m, lpage, cpu, src, dst)?;
@@ -1170,12 +1221,13 @@ impl NumaManager {
         access: Access,
         prealloc: &mut Option<Frame>,
     ) -> Result<(), NumaError> {
-        if self.page(lpage).locals.contains_key(&cpu) {
+        let home = m.home_of(cpu);
+        if self.page(lpage).locals.contains_key(&home) {
             return Ok(());
         }
         let frame = match prealloc.take() {
             Some(f) => f,
-            None => self.alloc_host_frame(m, lpage, cpu)?,
+            None => self.alloc_host_frame(m, lpage, home, cpu)?,
         };
         if self.page(lpage).fill_pending() {
             // Lazy fill straight into local memory: the optimization of
@@ -1186,19 +1238,49 @@ impl NumaManager {
             }
             self.apply_fill(m, lpage, frame, cpu);
         } else {
-            let src = self.page(lpage).global.expect("global data validated");
             debug_assert!(self.page(lpage).global_valid);
+            // A close sibling replica can beat the global frame as the
+            // copy source on hierarchical machines; on the flat ACE a
+            // remote fetch always costs more than a global one, so the
+            // global frame always wins there.
+            let src = match self.nearest_replica_source(m, lpage, home) {
+                Some(f) => {
+                    self.stats.near_replications += 1;
+                    f
+                }
+                None => self.page(lpage).global.expect("global data validated"),
+            };
             if let Err(e) = self.checked_copy(m, lpage, cpu, src, frame) {
                 m.mem.free(frame);
                 return Err(e);
             }
             if access == Access::Fetch {
                 self.stats.replications += 1;
-                self.emit(m, cpu, EventKind::Replicated { lpage, at: cpu });
+                self.emit(m, cpu, EventKind::Replicated { lpage, at: home });
             }
         }
-        self.page(lpage).locals.insert(cpu, frame);
+        self.page(lpage).locals.insert(home, frame);
         Ok(())
+    }
+
+    /// The closest sibling replica that is a cheaper copy source than
+    /// the global frame, if any: possible only on hierarchical machines
+    /// (on the flat ACE a remote fetch always costs more than a global
+    /// one). Only a read-only page's replicas qualify — with the global
+    /// frame valid they are all byte-identical to it.
+    fn nearest_replica_source(&self, m: &Machine, lpage: LPageId, to: NodeId) -> Option<Frame> {
+        let topo = &m.config.topology;
+        let global = m.config.costs.access(Access::Fetch, Distance::Global);
+        let info = self.pages.get(&lpage)?;
+        if info.state != StateKind::ReadOnly {
+            return None;
+        }
+        info.locals
+            .iter()
+            .filter(|&(&n, _)| n != to && !self.dead_nodes.contains(&n))
+            .filter(|&(&n, _)| topo.access_cost(Access::Fetch, topo.hops(to, n)) < global)
+            .min_by_key(|&(&n, _)| (topo.hops(to, n), n.index()))
+            .map(|(_, &f)| f)
     }
 
     /// Drops local copies (and their mappings): the paper's "flush". If
@@ -1206,11 +1288,12 @@ impl NumaManager {
     /// (Table 2's "flush other" keeps the replica that becomes the
     /// writable copy).
     fn flush(&mut self, m: &mut Machine, lpage: LPageId, requester: CpuId, include_requester: bool) {
-        let victims: Vec<(CpuId, Frame)> = self
+        let home = m.home_of(requester);
+        let victims: Vec<(NodeId, Frame)> = self
             .page(lpage)
             .locals
             .iter()
-            .filter(|(c, _)| include_requester || **c != requester)
+            .filter(|(c, _)| include_requester || **c != home)
             .map(|(&c, &f)| (c, f))
             .collect();
         for (c, f) in victims {
@@ -1222,7 +1305,7 @@ impl NumaManager {
             m.mem.free(f);
             self.page(lpage).locals.remove(&c);
             self.stats.flushes += 1;
-            if c != requester {
+            if c != home {
                 m.charge_shootdown(requester);
                 self.stats.shootdowns += 1;
             }
@@ -1416,12 +1499,12 @@ impl Default for NumaManager {
 mod tests {
     use super::*;
     use crate::policy::{AllGlobalPolicy, AllLocalPolicy, MoveLimitPolicy};
-    use ace_machine::MachineConfig;
+    use ace_machine::TopologyBuilder;
 
     const L: LPageId = LPageId(3);
 
     fn setup() -> (Machine, NumaManager) {
-        (Machine::new(MachineConfig::small(4)), NumaManager::new())
+        (Machine::new(TopologyBuilder::small(4).config()), NumaManager::new())
     }
 
     #[test]
@@ -1431,12 +1514,12 @@ mod tests {
         mgr.zero_page(L);
         let g = mgr.request(&mut m, L, Access::Fetch, CpuId(0), &mut pol).unwrap();
         assert_eq!(g.prot_ceiling, Prot::READ);
-        assert!(matches!(g.frame.region, MemRegion::Local(CpuId(0))));
+        assert!(matches!(g.frame.region, MemRegion::Local(NodeId(0))));
         assert_eq!(mgr.view(L).state, StateKind::ReadOnly);
         assert_eq!(mgr.stats().zero_fill_local, 1);
         // Second processor reads: replica, and global gets synced first.
         let g2 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
-        assert!(matches!(g2.frame.region, MemRegion::Local(CpuId(1))));
+        assert!(matches!(g2.frame.region, MemRegion::Local(NodeId(1))));
         assert_eq!(mgr.view(L).copies, 2);
         mgr.check_invariants(&mut m, L).unwrap();
     }
@@ -1448,7 +1531,7 @@ mod tests {
         mgr.zero_page(L);
         let g = mgr.request(&mut m, L, Access::Store, CpuId(2), &mut pol).unwrap();
         assert_eq!(g.prot_ceiling, Prot::READ_WRITE);
-        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(2)));
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(NodeId(2)));
         assert_eq!(mgr.view(L).move_count, 0, "first placement is not a move");
         mgr.check_invariants(&mut m, L).unwrap();
     }
@@ -1539,9 +1622,9 @@ mod tests {
         }
         assert_eq!(mgr.view(L).copies, 3);
         let g = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
-        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(NodeId(1)));
         assert_eq!(mgr.view(L).copies, 1, "other replicas flushed");
-        assert!(matches!(g.frame.region, MemRegion::Local(CpuId(1))));
+        assert!(matches!(g.frame.region, MemRegion::Local(NodeId(1))));
         assert!(mgr.stats().flushes >= 2);
         assert!(mgr.stats().shootdowns >= 2);
         mgr.check_invariants(&mut m, L).unwrap();
@@ -1549,7 +1632,7 @@ mod tests {
 
     #[test]
     fn local_pressure_reclaims_a_victim_instead_of_degrading() {
-        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let cfg = TopologyBuilder::small(2).local_frames(1).config();
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
         let mut pol = AllLocalPolicy;
@@ -1581,7 +1664,7 @@ mod tests {
 
     #[test]
     fn exhausted_reclaim_budget_degrades_to_global() {
-        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let cfg = TopologyBuilder::small(2).local_frames(1).config();
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
         mgr.set_max_reclaim_attempts(0);
@@ -1603,14 +1686,14 @@ mod tests {
             &[FaultEvent::DegradedToGlobal { lpage: b, cpu: CpuId(0) }]
         );
         // The victim kept its frame untouched.
-        assert_eq!(mgr.view(a).state, StateKind::LocalWritable(CpuId(0)));
+        assert_eq!(mgr.view(a).state, StateKind::LocalWritable(NodeId(0)));
         mgr.check_invariants(&mut m, a).unwrap();
         mgr.check_invariants(&mut m, b).unwrap();
     }
 
     #[test]
     fn reclaim_prefers_the_coldest_replica() {
-        let cfg = MachineConfig { local_frames: 2, ..MachineConfig::small(2) };
+        let cfg = TopologyBuilder::small(2).local_frames(2).config();
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
         let mut pol = AllLocalPolicy;
@@ -1636,7 +1719,7 @@ mod tests {
 
     #[test]
     fn pressure_tick_flushes_cold_replicas_down_to_the_watermark() {
-        let cfg = MachineConfig { local_frames: 4, ..MachineConfig::small(2) };
+        let cfg = TopologyBuilder::small(2).local_frames(4).config();
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
         let mut pol = AllLocalPolicy;
@@ -1647,13 +1730,13 @@ mod tests {
             mgr.request(&mut m, LPageId(p), Access::Fetch, CpuId(0), &mut pol).unwrap();
             mgr.request(&mut m, LPageId(p), Access::Fetch, CpuId(1), &mut pol).unwrap();
         }
-        assert_eq!(m.mem.free_frames(MemRegion::Local(CpuId(0))), 0);
+        assert_eq!(m.mem.free_frames(MemRegion::Local(NodeId(0))), 0);
         // Watermarks low=1, high=3: the daemon frees until 3 frames are
         // free on each pressured cpu, evicting the coldest replicas
         // first (the lowest page ids — they were placed earliest).
         mgr.pressure_tick(&mut m, 1, 3);
-        assert_eq!(m.mem.free_frames(MemRegion::Local(CpuId(0))), 3);
-        assert_eq!(m.mem.free_frames(MemRegion::Local(CpuId(1))), 3);
+        assert_eq!(m.mem.free_frames(MemRegion::Local(NodeId(0))), 3);
+        assert_eq!(m.mem.free_frames(MemRegion::Local(NodeId(1))), 3);
         assert_eq!(mgr.stats().pressure_ticks, 2);
         assert_eq!(mgr.stats().reclaims, 6);
         assert_eq!(mgr.view(LPageId(3)).copies, 2, "hottest page kept both replicas");
@@ -1668,7 +1751,7 @@ mod tests {
 
     #[test]
     fn pressure_tick_never_drops_the_only_copy_of_dirty_data() {
-        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let cfg = TopologyBuilder::small(2).local_frames(1).config();
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
         let mut pol = AllLocalPolicy;
@@ -1681,7 +1764,7 @@ mod tests {
         mgr.pressure_tick(&mut m, 1, 1);
         assert_eq!(mgr.stats().pressure_ticks, 1);
         assert_eq!(mgr.stats().reclaims, 0);
-        assert_eq!(mgr.view(a).state, StateKind::LocalWritable(CpuId(0)));
+        assert_eq!(mgr.view(a).state, StateKind::LocalWritable(NodeId(0)));
         assert_eq!(m.mem.read_u32(ga.frame, 0), 7);
     }
 
@@ -1692,10 +1775,10 @@ mod tests {
         mgr.zero_page(L);
         mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
-        let free_l0 = m.mem.free_frames(MemRegion::Local(CpuId(0)));
+        let free_l0 = m.mem.free_frames(MemRegion::Local(NodeId(0)));
         let free_g = m.mem.free_frames(MemRegion::Global);
         mgr.release_page(&mut m, L);
-        assert!(m.mem.free_frames(MemRegion::Local(CpuId(0))) >= free_l0);
+        assert!(m.mem.free_frames(MemRegion::Local(NodeId(0))) >= free_l0);
         assert!(m.mem.free_frames(MemRegion::Global) > free_g);
         assert_eq!(mgr.view(L).state, StateKind::Fresh);
         assert_eq!(mgr.view(L).move_count, 0);
@@ -1713,7 +1796,7 @@ mod tests {
         let l = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut AllLocalPolicy).unwrap();
         assert!(!l.frame.is_global());
         assert_eq!(m.mem.read_u32(l.frame, 0), 9);
-        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(NodeId(1)));
         mgr.check_invariants(&mut m, L).unwrap();
     }
 
@@ -1722,7 +1805,7 @@ mod tests {
         // The section 4.4 extension: a pragma-style RemoteAt decision
         // hosts the page in one processor's local memory; everyone maps
         // the host frame directly.
-        struct RemotePol(CpuId);
+        struct RemotePol(NodeId);
         impl CachePolicy for RemotePol {
             fn name(&self) -> &'static str {
                 "remote-test"
@@ -1732,15 +1815,15 @@ mod tests {
             }
         }
         let (mut m, mut mgr) = setup();
-        let mut pol = RemotePol(CpuId(2));
+        let mut pol = RemotePol(NodeId(2));
         mgr.zero_page(L);
         let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
-        assert_eq!(g0.frame.region, MemRegion::Local(CpuId(2)));
+        assert_eq!(g0.frame.region, MemRegion::Local(NodeId(2)));
         m.mem.write_u32(g0.frame, 0, 123);
         let g1 = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
         assert_eq!(g1.frame, g0.frame, "everyone maps the host frame");
         assert_eq!(m.mem.read_u32(g1.frame, 0), 123);
-        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(2)));
+        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(NodeId(2)));
         assert_eq!(mgr.stats().to_remote, 1);
         mgr.check_invariants(&mut m, L).unwrap();
         // Charging from cpu1 to the host frame is a *remote* reference.
@@ -1760,7 +1843,7 @@ mod tests {
             }
             fn decide(&mut self, _: LPageId, _: Access, _: CpuId) -> Placement {
                 if std::mem::take(&mut self.first) {
-                    Placement::RemoteAt(CpuId(3))
+                    Placement::RemoteAt(NodeId(3))
                 } else {
                     Placement::Local
                 }
@@ -1771,13 +1854,13 @@ mod tests {
         mgr.zero_page(L);
         let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(g.frame, 4, 77);
-        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(3)));
+        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(NodeId(3)));
         // Next request decides Local: the page leaves the extension
         // state (host copy synced) and migrates to the requester.
         let g2 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
-        assert_eq!(g2.frame.region, MemRegion::Local(CpuId(1)));
+        assert_eq!(g2.frame.region, MemRegion::Local(NodeId(1)));
         assert_eq!(m.mem.read_u32(g2.frame, 4), 77, "host copy synced");
-        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(mgr.view(L).state, StateKind::LocalWritable(NodeId(1)));
         mgr.check_invariants(&mut m, L).unwrap();
     }
 
@@ -1789,7 +1872,7 @@ mod tests {
                 "rehost"
             }
             fn decide(&mut self, _: LPageId, _: Access, cpu: CpuId) -> Placement {
-                Placement::RemoteAt(cpu)
+                Placement::RemoteAt(NodeId(cpu.0))
             }
         }
         let (mut m, mut mgr) = setup();
@@ -1798,9 +1881,9 @@ mod tests {
         let g0 = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
         m.mem.write_u32(g0.frame, 0, 5);
         let g1 = mgr.request(&mut m, L, Access::Store, CpuId(1), &mut pol).unwrap();
-        assert_eq!(g1.frame.region, MemRegion::Local(CpuId(1)));
+        assert_eq!(g1.frame.region, MemRegion::Local(NodeId(1)));
         assert_eq!(m.mem.read_u32(g1.frame, 0), 5, "content follows the host");
-        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(CpuId(1)));
+        assert_eq!(mgr.view(L).state, StateKind::RemoteShared(NodeId(1)));
         assert_eq!(mgr.view(L).copies, 1, "old host copy freed");
         mgr.check_invariants(&mut m, L).unwrap();
     }
@@ -1821,8 +1904,8 @@ mod tests {
         mgr.zero_page(b);
         let gb = mgr.request(&mut m, b, Access::Store, CpuId(1), &mut pol).unwrap();
         m.mem.write_u32(gb.frame, 0, 99);
-        mgr.node_offline(&mut m, CpuId(1));
-        assert!(mgr.is_node_dead(CpuId(1)));
+        mgr.node_offline(&mut m, NodeId(1));
+        assert!(mgr.is_node_dead(NodeId(1)));
         assert_eq!(mgr.stats().nodes_offlined, 1);
         assert_eq!(mgr.stats().pages_rehomed, 1, "A's replica dropped, truth survives");
         assert_eq!(mgr.stats().pages_lost, 1, "B's only copy died with the node");
@@ -1833,7 +1916,7 @@ mod tests {
         mgr.check_invariants(&mut m, b).unwrap();
         // A second offline of the same node is a no-op.
         let before = mgr.stats();
-        mgr.node_offline(&mut m, CpuId(1));
+        mgr.node_offline(&mut m, NodeId(1));
         assert_eq!(mgr.stats(), before);
         // B's next access observes deterministic zeros, served off-node
         // because cpu1's LOCAL placements degrade permanently.
@@ -1856,7 +1939,7 @@ mod tests {
         // Simulate the pmap layer having entered the translation.
         m.mmus[2].enter(1, 0x10, g.frame, Prot::READ_WRITE);
         let epoch_before = m.mmus[2].epoch();
-        mgr.node_offline(&mut m, CpuId(2));
+        mgr.node_offline(&mut m, NodeId(2));
         assert!(m.mmus[2].probe(1, 0x10).is_none(), "stale mapping removed");
         assert!(m.mmus[2].epoch() > epoch_before, "epoch bump invalidates TLBs");
         assert!(mgr.stats().shootdowns >= 1);
@@ -1865,10 +1948,10 @@ mod tests {
 
     #[test]
     fn pressure_daemon_skips_dead_nodes() {
-        let cfg = MachineConfig { local_frames: 1, ..MachineConfig::small(2) };
+        let cfg = TopologyBuilder::small(2).local_frames(1).config();
         let mut m = Machine::new(cfg);
         let mut mgr = NumaManager::new();
-        mgr.node_offline(&mut m, CpuId(0));
+        mgr.node_offline(&mut m, NodeId(0));
         // cpu0's free list is empty forever; without the skip this would
         // count a pressure tick on every scan with nothing to free.
         mgr.pressure_tick(&mut m, 1, 1);

@@ -17,7 +17,7 @@ use crate::manager::{NumaManager, PageView};
 use crate::policy::CachePolicy;
 use crate::stats::{FaultEvent, NumaStats};
 use ace_machine::mmu::Asid;
-use ace_machine::{Access, CpuId, Machine, Prot};
+use ace_machine::{Access, CpuId, Machine, NodeId, Prot};
 use mach_vm::{FreeTag, LPageId, NumaError, NumaPmap};
 use numa_metrics::events::EventKind;
 use std::collections::HashMap;
@@ -142,13 +142,13 @@ impl AcePmap {
 
     /// Runs the online recovery protocol for a hard node failure (see
     /// [`NumaManager::node_offline`]).
-    pub fn node_offline(&mut self, m: &mut Machine, cpu: CpuId) {
-        self.manager.node_offline(m, cpu);
+    pub fn node_offline(&mut self, m: &mut Machine, node: NodeId) {
+        self.manager.node_offline(m, node);
     }
 
-    /// True if `cpu`'s local memory has been lost to a hard failure.
-    pub fn is_node_dead(&self, cpu: CpuId) -> bool {
-        self.manager.is_node_dead(cpu)
+    /// True if `node`'s local memory has been lost to a hard failure.
+    pub fn is_node_dead(&self, node: NodeId) -> bool {
+        self.manager.is_node_dead(node)
     }
 
     /// Records a hard processor failure and its thread drain (see
@@ -296,7 +296,7 @@ mod tests {
     use crate::manager::StateKind;
     use crate::policy::{AllGlobalPolicy, MoveLimitPolicy, PragmaPolicy, ReconsiderPolicy};
     use crate::protocol::Placement;
-    use ace_machine::{MachineConfig, MemRegion};
+    use ace_machine::{MemRegion, TopologyBuilder};
     use mach_vm::{TaskId, VAddr, VmState};
 
     struct Rig {
@@ -307,7 +307,7 @@ mod tests {
     }
 
     fn rig(policy: Box<dyn CachePolicy>, n_cpus: usize) -> Rig {
-        let cfg = MachineConfig::small(n_cpus);
+        let cfg = TopologyBuilder::small(n_cpus).config();
         let m = Machine::new(cfg.clone());
         let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
         let mut pmap = AcePmap::new(policy);
@@ -357,7 +357,7 @@ mod tests {
         r.fault(addr, Prot::READ, CpuId(1));
         r.fault(addr, Prot::READ_WRITE, CpuId(1));
         let lp = r.lpage(addr);
-        assert_eq!(r.pmap.view(lp).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(r.pmap.view(lp).state, StateKind::LocalWritable(NodeId(1)));
         let asid = r.vm.task_asid(r.task).unwrap();
         let vpn = r.vm.page_size().page_of(addr.0);
         assert!(r.m.mmus[0].probe(asid, vpn).is_none(), "cpu0 replica flushed");
@@ -385,14 +385,14 @@ mod tests {
         let mut r = rig(Box::new(MoveLimitPolicy::default()), 2);
         let addr = r.vm.vm_allocate(r.task, 64, Prot::READ_WRITE).unwrap();
         r.fault(addr, Prot::READ_WRITE, CpuId(0));
-        let used_before = r.m.mem.used_frames(MemRegion::Local(CpuId(0)));
+        let used_before = r.m.mem.used_frames(MemRegion::Local(NodeId(0)));
         assert_eq!(used_before, 1);
         let lp = r.lpage(addr);
         let tag = r.pmap.pmap_free_page(&mut r.m, lp);
         // Mappings gone immediately, frames still held (lazy).
-        assert_eq!(r.m.mem.used_frames(MemRegion::Local(CpuId(0))), 1);
+        assert_eq!(r.m.mem.used_frames(MemRegion::Local(NodeId(0))), 1);
         r.pmap.pmap_free_page_sync(&mut r.m, tag);
-        assert_eq!(r.m.mem.used_frames(MemRegion::Local(CpuId(0))), 0);
+        assert_eq!(r.m.mem.used_frames(MemRegion::Local(NodeId(0))), 0);
         assert_eq!(r.pmap.stats().lazy_free_syncs, 1);
     }
 
@@ -413,7 +413,7 @@ mod tests {
         r.fault(addr2, Prot::READ_WRITE, CpuId(1));
         let lp2 = r.lpage(addr2);
         assert_eq!(lp2, lp, "pool reuses the freed slot");
-        assert_eq!(r.pmap.view(lp2).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(r.pmap.view(lp2).state, StateKind::LocalWritable(NodeId(1)));
     }
 
     #[test]
@@ -453,7 +453,7 @@ mod tests {
             "reconsideration must drop the pinned page's mappings"
         );
         r.fault(addr, Prot::READ_WRITE, CpuId(1));
-        assert_eq!(r.pmap.view(lp).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(r.pmap.view(lp).state, StateKind::LocalWritable(NodeId(1)));
     }
 
     #[test]
@@ -464,7 +464,7 @@ mod tests {
         let lp = r.lpage(addr);
         let _tag = r.pmap.pmap_free_page(&mut r.m, lp);
         r.pmap.drain_pending_frees(&mut r.m);
-        assert_eq!(r.m.mem.used_frames(MemRegion::Local(CpuId(0))), 0);
+        assert_eq!(r.m.mem.used_frames(MemRegion::Local(NodeId(0))), 0);
         assert_eq!(r.m.mem.used_frames(MemRegion::Global), 0);
     }
 }

@@ -20,14 +20,14 @@ pub enum Placement {
     Local,
     /// Keep the page in global memory.
     Global,
-    /// Host the page in the local memory of the given processor and let
-    /// every other processor reference it *remotely* — the section 4.4
+    /// Host the page in the given node's local memory and let
+    /// processors on every other node reference it *remotely* — the section 4.4
     /// extension. The paper implemented only Local/Global; it notes the
     /// transition rules for remote references are "a straightforward
     /// extension of the algorithm presented in Section 2", and that
     /// choosing the host needs pragmas. This variant is produced only by
     /// pragma hints.
-    RemoteAt(ace_machine::CpuId),
+    RemoteAt(ace_machine::NodeId),
 }
 
 /// A page state as seen from the requesting processor — the column

@@ -72,12 +72,12 @@ impl ReclaimPolicy for LruReclaim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_machine::CpuId;
+    use ace_machine::NodeId;
 
     fn cand(lpage: u32, touch: u64) -> ReclaimCandidate {
         ReclaimCandidate {
             lpage: LPageId(lpage),
-            frame: Frame::local(CpuId(0), lpage),
+            frame: Frame::local(NodeId(0), lpage),
             last_touch: Ns(touch),
             writable: false,
         }

@@ -1,6 +1,6 @@
 //! Counters kept by the NUMA layer.
 
-use ace_machine::{CpuId, Frame};
+use ace_machine::{CpuId, Frame, NodeId};
 use mach_vm::LPageId;
 
 /// Aggregate statistics of the NUMA manager and pmap manager.
@@ -71,6 +71,11 @@ pub struct NumaStats {
     /// local memory (observability for pressure experiments; not
     /// serialized into reports).
     pub local_peak_frames: u64,
+    /// Replicas copied from a nearby sibling replica instead of the
+    /// global frame. Possible only on hierarchical machines, so reports
+    /// serialize it only when nonzero (flat reports keep their exact
+    /// pre-topology bytes).
+    pub near_replications: u64,
     /// Local memory modules taken offline by scheduled hard failures.
     pub nodes_offlined: u64,
     /// Pages whose copy on a dead node was recovered online: read-only
@@ -135,8 +140,8 @@ pub enum FaultEvent {
     FrameQuarantined {
         /// The retired frame.
         frame: Frame,
-        /// The processor whose local memory lost the frame.
-        cpu: CpuId,
+        /// The node whose local memory lost the frame.
+        node: NodeId,
     },
     /// A copied replica failed its checksum and was re-fetched from the
     /// authoritative copy.
@@ -158,8 +163,8 @@ pub enum FaultEvent {
     /// online recovery protocol walked the directory and recovered
     /// every page that had a copy there.
     NodeOffline {
-        /// The processor whose local memory died.
-        cpu: CpuId,
+        /// The node whose local memory died.
+        node: NodeId,
         /// Frames that were allocated in the dead module.
         lost_frames: u32,
     },
@@ -170,7 +175,7 @@ pub enum FaultEvent {
         /// The recovered page.
         lpage: LPageId,
         /// The dead node the copy was on.
-        cpu: CpuId,
+        node: NodeId,
     },
     /// A page's only up-to-date copy died with its node; the page was
     /// re-materialized zero-filled (typed data loss, not a panic).
@@ -178,7 +183,7 @@ pub enum FaultEvent {
         /// The lost page.
         lpage: LPageId,
         /// The dead node the only copy was on.
-        cpu: CpuId,
+        node: NodeId,
     },
     /// Runnable threads were drained off a dead processor to survivors.
     ThreadsDrained {
@@ -193,7 +198,7 @@ pub enum FaultEvent {
         /// The page served globally instead.
         lpage: LPageId,
         /// The dead node the placement wanted.
-        cpu: CpuId,
+        node: NodeId,
     },
 }
 

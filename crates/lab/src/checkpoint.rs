@@ -191,6 +191,7 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
                 .field("degradations", n.degradations)
                 .field("pressure_ticks", n.pressure_ticks)
                 .field("local_peak_frames", n.local_peak_frames)
+                .field("near_replications", n.near_replications)
                 .field("nodes_offlined", n.nodes_offlined)
                 .field("pages_rehomed", n.pages_rehomed)
                 .field("pages_lost", n.pages_lost)
@@ -294,6 +295,7 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
             degradations: get_u64(n, "degradations")?,
             pressure_ticks: get_u64(n, "pressure_ticks")?,
             local_peak_frames: get_u64(n, "local_peak_frames")?,
+            near_replications: get_u64(n, "near_replications")?,
             nodes_offlined: get_u64(n, "nodes_offlined")?,
             pages_rehomed: get_u64(n, "pages_rehomed")?,
             pages_lost: get_u64(n, "pages_lost")?,

@@ -14,7 +14,7 @@
 //! order, on any number of OS threads, and the merged results are the
 //! same.
 
-use ace_machine::{CpuId, FaultConfig, HardFault, Ns, PageSize};
+use ace_machine::{FaultConfig, HardFault, NodeId, Ns, PageSize, TopologyBuilder};
 use ace_sim::{RunReport, SimConfig};
 use numa_apps::{
     App, DivisorDiscipline, Fft, Gfetch, IMatMult, ParMult, PlyTrace, Primes1, Primes2, Primes3,
@@ -147,6 +147,69 @@ impl Placement {
     }
 }
 
+/// One value of the topology axis: a named machine shape, built at the
+/// cell's processor count. The default — an empty axis — is the paper's
+/// flat ACE, where every processor is its own node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TopologyAxis {
+    /// One node per processor: the flat ACE (identical to leaving the
+    /// axis empty; useful for putting the baseline in a sweep).
+    Flat,
+    /// Two sockets splitting the processors evenly, one hop apart.
+    TwoSocket,
+    /// A 2-D mesh of `nodes` memory nodes, processors spread evenly.
+    Mesh {
+        /// Number of memory nodes in the mesh.
+        nodes: usize,
+    },
+}
+
+impl TopologyAxis {
+    /// Stable label used in job listings and serialized reports.
+    pub fn label(self) -> String {
+        match self {
+            TopologyAxis::Flat => "flat".to_string(),
+            TopologyAxis::TwoSocket => "two-socket".to_string(),
+            TopologyAxis::Mesh { nodes } => format!("mesh-{nodes}"),
+        }
+    }
+
+    /// Case-insensitive lookup, for CLI arguments (`flat`, `two-socket`,
+    /// `mesh-N`).
+    pub fn from_name(s: &str) -> Option<TopologyAxis> {
+        let s = s.to_ascii_lowercase();
+        match s.as_str() {
+            "flat" => Some(TopologyAxis::Flat),
+            "two-socket" | "two_socket" => Some(TopologyAxis::TwoSocket),
+            _ => {
+                let n = s.strip_prefix("mesh-").or_else(|| s.strip_prefix("mesh_"))?;
+                n.parse().ok().map(|nodes| TopologyAxis::Mesh { nodes })
+            }
+        }
+    }
+
+    /// The machine this shape describes at `cpus` processors, with the
+    /// evaluation ACE's page size, memory sizes and cost constants.
+    pub fn builder(self, cpus: usize) -> TopologyBuilder {
+        match self {
+            TopologyAxis::Flat => TopologyBuilder::flat_ace(cpus),
+            TopologyAxis::TwoSocket => TopologyBuilder::two_socket(cpus),
+            TopologyAxis::Mesh { nodes } => {
+                TopologyBuilder::mesh(nodes, cpus.div_ceil(nodes.max(1)))
+            }
+        }
+    }
+
+    /// Node count of this shape at `cpus` processors.
+    fn n_nodes(self, cpus: usize) -> usize {
+        match self {
+            TopologyAxis::Flat => cpus,
+            TopologyAxis::TwoSocket => 2,
+            TopologyAxis::Mesh { nodes } => nodes.max(1),
+        }
+    }
+}
+
 /// Workload-scale label for serialized reports.
 fn scale_label(scale: Scale) -> &'static str {
     match scale {
@@ -191,6 +254,11 @@ pub struct Grid {
     /// time (the highest-numbered processors' memories, never node 0's).
     /// Collapses to one node when `offline_at` is set and this is empty.
     pub offline_nodes: Vec<usize>,
+    /// Topology axis: machine shapes every cell runs on. Empty — the
+    /// default — means the flat ACE, and the axis is absent from
+    /// serialized grids and jobs (documents from grids that predate the
+    /// axis stay byte-identical).
+    pub topologies: Vec<TopologyAxis>,
     /// Per-job virtual-time budget in nanoseconds (`None` = unbounded).
     /// Not an axis: a safety net so a wedged cell fails typed instead
     /// of hanging a sweep.
@@ -220,6 +288,7 @@ impl Grid {
             local_frames: vec![],
             offline_at: vec![],
             offline_nodes: vec![],
+            topologies: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -246,6 +315,7 @@ impl Grid {
             local_frames: vec![],
             offline_at: vec![],
             offline_nodes: vec![],
+            topologies: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -266,6 +336,7 @@ impl Grid {
             local_frames: vec![],
             offline_at: vec![],
             offline_nodes: vec![],
+            topologies: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -285,6 +356,7 @@ impl Grid {
             local_frames: vec![],
             offline_at: vec![],
             offline_nodes: vec![],
+            topologies: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -305,6 +377,7 @@ impl Grid {
             local_frames: vec![],
             offline_at: vec![],
             offline_nodes: vec![],
+            topologies: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -328,6 +401,7 @@ impl Grid {
             local_frames: vec![64, 16, 4],
             offline_at: vec![],
             offline_nodes: vec![],
+            topologies: vec![],
             vt_budget: Some(Ns::from_ms(60_000).0),
             fastpath: true,
         }
@@ -352,7 +426,31 @@ impl Grid {
             local_frames: vec![],
             offline_at: vec![Ns::from_ms(1).0, Ns::from_ms(5).0],
             offline_nodes: vec![1, 2],
+            topologies: vec![],
             vt_budget: Some(Ns::from_ms(60_000).0),
+            fastpath: true,
+        }
+    }
+
+    /// Hierarchical-machine smoke sweep: the CI-gating applications on
+    /// machines where memory forms real nodes — a two-socket split and a
+    /// 2x2 mesh (two hops corner to corner) — under the global and NUMA
+    /// placements. This is the grid behind `BENCH_topology.json`.
+    pub fn topology() -> Grid {
+        Grid {
+            name: "topology".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::IMatMult, AppId::Gfetch],
+            placements: vec![Placement::Global, Placement::Numa],
+            cpus: vec![4],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            fault_rates: vec![0.0],
+            page_sizes: vec![2048],
+            local_frames: vec![],
+            offline_at: vec![],
+            offline_nodes: vec![],
+            topologies: vec![TopologyAxis::TwoSocket, TopologyAxis::Mesh { nodes: 4 }],
+            vt_budget: None,
             fastpath: true,
         }
     }
@@ -368,6 +466,7 @@ impl Grid {
             "faults",
             "pressure",
             "chaos",
+            "topology",
         ]
     }
 
@@ -382,6 +481,7 @@ impl Grid {
             "faults" => Some(Grid::faults()),
             "pressure" => Some(Grid::pressure()),
             "chaos" => Some(Grid::chaos()),
+            "topology" => Some(Grid::topology()),
             _ => None,
         }
     }
@@ -406,6 +506,12 @@ impl Grid {
         };
         let offline_nodes: Vec<usize> =
             if self.offline_nodes.is_empty() { vec![1] } else { self.offline_nodes.clone() };
+        // An empty topology axis collapses to the flat default.
+        let topologies: Vec<Option<TopologyAxis>> = if self.topologies.is_empty() {
+            vec![None]
+        } else {
+            self.topologies.iter().map(|&t| Some(t)).collect()
+        };
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for &app in &self.apps {
@@ -417,6 +523,7 @@ impl Grid {
                                 for &local_frames in &local_frames {
                                     for &offline_at in &offline_at {
                                         for &n_offline in &offline_nodes {
+                                          for &topology in &topologies {
                                             let (cpus, workers) = match placement {
                                                 Placement::Local => (1, 1),
                                                 _ => (cpus, cpus),
@@ -438,6 +545,7 @@ impl Grid {
                                                 local_frames,
                                                 offline_at,
                                                 offline_nodes,
+                                                topology,
                                             );
                                             if !seen.insert(key) {
                                                 continue;
@@ -454,10 +562,12 @@ impl Grid {
                                                 local_frames,
                                                 offline_at,
                                                 offline_nodes,
+                                                topology,
                                                 scale: self.scale,
                                                 vt_budget: self.vt_budget,
                                                 fastpath: self.fastpath,
                                             });
+                                          }
                                         }
                                     }
                                 }
@@ -516,6 +626,12 @@ impl Grid {
                 );
             }
         }
+        if !self.topologies.is_empty() {
+            g = g.field(
+                "topologies",
+                Json::Arr(self.topologies.iter().map(|t| Json::Str(t.label())).collect()),
+            );
+        }
         if let Some(b) = self.vt_budget {
             g = g.field("vt_budget_ns", b);
         }
@@ -552,6 +668,9 @@ pub struct JobSpec {
     /// How many nodes die at that time (highest-numbered processors'
     /// memories first; present exactly when `offline_at` is).
     pub offline_nodes: Option<usize>,
+    /// Machine shape the cell runs on (`None` = the flat ACE; only
+    /// topology sweeps set it).
+    pub topology: Option<TopologyAxis>,
     /// Workload scale.
     pub scale: Scale,
     /// Virtual-time budget in nanoseconds (`None` = unbounded). Not an
@@ -583,7 +702,15 @@ impl JobSpec {
         if let (Some(at), Some(n)) = (self.offline_at, self.offline_nodes) {
             s.push_str(&format!(" off={n}@{at}ns"));
         }
+        if let Some(t) = self.topology {
+            s.push_str(&format!(" topo={}", t.label()));
+        }
         s
+    }
+
+    /// Memory-node count of the cell's machine.
+    fn n_nodes(&self) -> usize {
+        self.topology.map_or(self.cpus, |t| t.n_nodes(self.cpus))
     }
 
     /// The scheduled hard failures of this cell: `offline_nodes` node
@@ -593,9 +720,10 @@ impl JobSpec {
         let (Some(at), Some(n)) = (self.offline_at, self.offline_nodes) else {
             return Vec::new();
         };
-        (0..n.min(self.cpus.saturating_sub(1)))
+        let nodes = self.n_nodes();
+        (0..n.min(nodes.saturating_sub(1)))
             .map(|k| HardFault::NodeOffline {
-                cpu: CpuId((self.cpus - 1 - k) as u16),
+                node: NodeId((nodes - 1 - k) as u16),
                 vt: Ns(at),
             })
             .collect()
@@ -618,10 +746,13 @@ impl JobSpec {
     /// 8 MB local memory) and fault rate.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::ace(self.cpus).fastpath(self.fastpath);
+        if let Some(t) = self.topology {
+            cfg = cfg.machine(t.builder(self.cpus).config());
+        }
         if self.page_size != cfg.machine.page_size.bytes() {
             cfg.machine.page_size = PageSize::new(self.page_size);
             cfg.machine.global_frames = 16 * 1024 * 1024 / self.page_size;
-            cfg.machine.local_frames = 8 * 1024 * 1024 / self.page_size;
+            cfg.machine.topology.set_uniform_local_frames(8 * 1024 * 1024 / self.page_size);
         }
         let hard_faults = self.hard_schedule();
         if self.fault_rate > 0.0 || !hard_faults.is_empty() {
@@ -635,7 +766,7 @@ impl JobSpec {
             });
         }
         if let Some(lf) = self.local_frames {
-            cfg.machine.local_frames = lf;
+            cfg.machine.topology.set_uniform_local_frames(lf);
         }
         cfg.vt_budget = self.vt_budget.map(Ns);
         cfg
@@ -710,6 +841,10 @@ impl JobSpec {
         if let (Some(at), Some(n)) = (self.offline_at, self.offline_nodes) {
             j = j.field("offline_at_ns", at).field("offline_nodes", n);
         }
+        // And the topology axis: only topology cells mention it.
+        if let Some(t) = self.topology {
+            j = j.field("topology", t.label());
+        }
         j.field("scale", scale_label(self.scale))
     }
 }
@@ -776,6 +911,7 @@ mod tests {
         let cfg = j.sim_config();
         assert_eq!(cfg.machine.page_size.bytes(), 256);
         assert_eq!(cfg.machine.global_frames * 256, 16 * 1024 * 1024);
+        assert_eq!(cfg.machine.topology.local_frames(NodeId(0)) * 256, 8 * 1024 * 1024);
         assert!(cfg.machine.faults.bus_timeout_rate > 0.0);
         assert_eq!(j.policy().name(), "move-limit");
         cfg.machine.validate().unwrap();
@@ -798,7 +934,7 @@ mod tests {
         assert!(jobs.iter().all(|j| j.vt_budget.is_some()));
         let j = jobs.iter().find(|j| j.local_frames == Some(4)).expect("tightest cell");
         let cfg = j.sim_config();
-        assert_eq!(cfg.machine.local_frames, 4);
+        assert_eq!(cfg.machine.topology.local_frames(NodeId(0)), 4);
         assert_eq!(cfg.vt_budget, Some(Ns(g.vt_budget.unwrap())));
         assert!(j.label().contains("lf=4"));
         // The axis shows up in both serialized forms.
@@ -841,8 +977,8 @@ mod tests {
         // scheduled instant.
         let sched = j.hard_schedule();
         assert_eq!(sched.len(), 2);
-        assert!(matches!(sched[0], HardFault::NodeOffline { cpu: CpuId(3), vt } if vt == Ns::from_ms(1)));
-        assert!(matches!(sched[1], HardFault::NodeOffline { cpu: CpuId(2), vt } if vt == Ns::from_ms(1)));
+        assert!(matches!(sched[0], HardFault::NodeOffline { node: NodeId(3), vt } if vt == Ns::from_ms(1)));
+        assert!(matches!(sched[1], HardFault::NodeOffline { node: NodeId(2), vt } if vt == Ns::from_ms(1)));
         // The schedule reaches the machine config and validates.
         let cfg = j.sim_config();
         assert_eq!(cfg.machine.faults.hard_faults.len(), 2);
@@ -869,7 +1005,49 @@ mod tests {
         for j in &jobs {
             let sched = j.hard_schedule();
             assert_eq!(sched.len(), 1);
-            assert!(matches!(sched[0], HardFault::NodeOffline { cpu: CpuId(1), .. }));
+            assert!(matches!(sched[0], HardFault::NodeOffline { node: NodeId(1), .. }));
+        }
+    }
+
+    #[test]
+    fn topology_preset_sweeps_machine_shapes() {
+        let g = Grid::topology();
+        let jobs = g.jobs();
+        // 2 apps x 2 placements x 2 topologies.
+        assert_eq!(jobs.len(), 8);
+        assert!(jobs.iter().all(|j| j.topology.is_some()));
+        let j = jobs.iter().find(|j| j.topology == Some(TopologyAxis::Mesh { nodes: 4 })).unwrap();
+        assert!(j.label().contains("topo=mesh-4"), "label: {}", j.label());
+        let cfg = j.sim_config();
+        assert_eq!(cfg.machine.n_cpus(), 4);
+        assert_eq!(cfg.machine.topology.n_nodes(), 4);
+        assert!(cfg.machine.topology.max_hops() >= 2, "the mesh spans at least two hops");
+        cfg.machine.validate().unwrap();
+        // The axis shows up in both serialized forms.
+        assert!(g.to_json().to_string_flat().contains("\"topologies\":[\"two-socket\",\"mesh-4\"]"));
+        assert!(j.to_json().to_string_flat().contains("\"topology\":\"mesh-4\""));
+    }
+
+    #[test]
+    fn topology_axis_names_round_trip() {
+        for t in [TopologyAxis::Flat, TopologyAxis::TwoSocket, TopologyAxis::Mesh { nodes: 6 }] {
+            assert_eq!(TopologyAxis::from_name(&t.label()), Some(t));
+        }
+        assert_eq!(TopologyAxis::from_name("MESH-3"), Some(TopologyAxis::Mesh { nodes: 3 }));
+        assert!(TopologyAxis::from_name("ring").is_none());
+    }
+
+    #[test]
+    fn default_grids_do_not_mention_the_topology_axis() {
+        // Byte-compatibility: grids that leave the axis empty must
+        // serialize exactly as they did before the axis existed.
+        for name in ["paper", "smoke", "threshold", "page-size", "faults", "pressure", "chaos"] {
+            let g = Grid::named(name).unwrap();
+            assert!(!g.to_json().to_string_flat().contains("topolog"), "{name} grid");
+            for j in g.jobs() {
+                assert_eq!(j.topology, None);
+                assert!(!j.to_json().to_string_flat().contains("topolog"));
+            }
         }
     }
 

@@ -198,6 +198,12 @@ impl Sweep {
                         j = j.field("degraded", d.as_str());
                     }
                 }
+                // The nearest-replica counter rides along only on cells
+                // that sweep the topology axis; flat documents keep
+                // their exact pre-topology bytes.
+                if r.spec.topology.is_some() {
+                    j = j.field("near_replications", r.report.numa.near_replications);
+                }
                 j.field("bus_bytes", r.report.bus.total_bytes())
             })
             .collect();

@@ -22,7 +22,7 @@
 
 use crate::pool::LPageId;
 use ace_machine::mmu::Asid;
-use ace_machine::{CpuId, Machine, MemRegion, Prot};
+use ace_machine::{CpuId, Machine, MemRegion, NodeId, Prot};
 use std::fmt;
 
 /// Opaque token returned by `pmap_free_page`, consumed by
@@ -48,11 +48,11 @@ pub enum NumaError {
         /// Attempts made before giving up.
         attempts: u32,
     },
-    /// A processor's local memory produced bad frames past the
+    /// A node's local memory produced bad frames past the
     /// quarantine threshold and no fallback placement was possible.
     LocalMemoryFailing {
-        /// The processor whose local memory is failing.
-        cpu: CpuId,
+        /// The node whose local memory is failing.
+        node: NodeId,
     },
     /// The page's reserved global frame could not be materialized.
     GlobalFrameUnavailable {
@@ -67,8 +67,8 @@ pub enum NumaError {
     PageLost {
         /// The page whose last copy died.
         lpage: LPageId,
-        /// The processor whose local memory took the copy down.
-        cpu: CpuId,
+        /// The node whose local memory took the copy down.
+        node: NodeId,
     },
 }
 
@@ -79,14 +79,14 @@ impl fmt::Display for NumaError {
             NumaError::CopyUnrecoverable { lpage, attempts } => {
                 write!(f, "copy of {lpage:?} failed after {attempts} attempts")
             }
-            NumaError::LocalMemoryFailing { cpu } => {
-                write!(f, "{cpu}'s local memory keeps failing ECC scrub")
+            NumaError::LocalMemoryFailing { node } => {
+                write!(f, "{node}'s local memory keeps failing ECC scrub")
             }
             NumaError::GlobalFrameUnavailable { lpage } => {
                 write!(f, "global frame for {lpage:?} unavailable")
             }
-            NumaError::PageLost { lpage, cpu } => {
-                write!(f, "{lpage:?}'s only copy was lost with {cpu}'s local memory")
+            NumaError::PageLost { lpage, node } => {
+                write!(f, "{lpage:?}'s only copy was lost with {node}'s local memory")
             }
         }
     }
@@ -351,11 +351,11 @@ impl NumaPmap for NullPmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_machine::{Access, MachineConfig};
+    use ace_machine::Access;
 
     #[test]
     fn null_pmap_maps_global_frames() {
-        let mut m = Machine::new(MachineConfig::small(2));
+        let mut m = Machine::new(ace_machine::TopologyBuilder::small(2).config());
         let mut p = NullPmap::new();
         let asid = p.pmap_create();
         let lp = LPageId(5);
@@ -371,7 +371,7 @@ mod tests {
 
     #[test]
     fn null_pmap_free_releases_frame() {
-        let mut m = Machine::new(MachineConfig::small(1));
+        let mut m = Machine::new(ace_machine::TopologyBuilder::small(1).config());
         let mut p = NullPmap::new();
         let asid = p.pmap_create();
         let lp = LPageId(3);

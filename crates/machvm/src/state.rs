@@ -435,10 +435,10 @@ impl VmState {
 mod tests {
     use super::*;
     use crate::pmap::NullPmap;
-    use ace_machine::{Access, CpuId, MachineConfig};
+    use ace_machine::{Access, CpuId, MachineConfig, TopologyBuilder};
 
     fn setup() -> (Machine, VmState, NullPmap, TaskId) {
-        let cfg = MachineConfig::small(2);
+        let cfg = TopologyBuilder::small(2).config();
         let m = Machine::new(cfg.clone());
         let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
         let mut pmap = NullPmap::new();
@@ -499,7 +499,7 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_reported_without_pageout() {
-        let cfg = MachineConfig { global_frames: 2, ..MachineConfig::small(1) };
+        let cfg = MachineConfig { global_frames: 2, ..TopologyBuilder::small(1).config() };
         let mut m = Machine::new(cfg.clone());
         let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
         vm.set_pageout(false);
@@ -517,7 +517,7 @@ mod tests {
     fn pageout_survives_pool_exhaustion_and_preserves_data() {
         // A 2-page pool backing a 6-page working set: the pageout daemon
         // shuffles pages to swap and back, and every value survives.
-        let cfg = MachineConfig { global_frames: 2, ..MachineConfig::small(1) };
+        let cfg = MachineConfig { global_frames: 2, ..TopologyBuilder::small(1).config() };
         let mut m = Machine::new(cfg.clone());
         let mut vm = VmState::new(cfg.page_size, cfg.global_frames);
         let mut pmap = NullPmap::new();

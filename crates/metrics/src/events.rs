@@ -17,7 +17,7 @@
 //! converted at the emission sites.
 
 use crate::json::Json;
-use ace_machine::{Access, CpuId, Distance, Frame, MachineEvent, MemRegion, Ns};
+use ace_machine::{Access, CpuId, Distance, Frame, MachineEvent, MemRegion, NodeId, Ns};
 use mach_vm::LPageId;
 use std::sync::{Arc, Mutex};
 
@@ -30,12 +30,12 @@ pub enum PageState {
     /// Replicated read-only in zero or more local memories.
     ReadOnly,
     /// Writable in exactly one local memory.
-    LocalWritable(CpuId),
+    LocalWritable(NodeId),
     /// In global memory, accessed directly by all processors.
     GlobalWritable,
-    /// Hosted writable in one processor's local memory (section 4.4
+    /// Hosted writable in one node's local memory (section 4.4
     /// extension).
-    RemoteShared(CpuId),
+    RemoteShared(NodeId),
 }
 
 impl PageState {
@@ -59,8 +59,8 @@ pub enum Decision {
     Local,
     /// Keep in global memory.
     Global,
-    /// Host in the given processor's local memory.
-    RemoteAt(CpuId),
+    /// Host in the given node's local memory.
+    RemoteAt(NodeId),
 }
 
 impl Decision {
@@ -156,8 +156,8 @@ pub enum EventKind {
     Moved {
         /// The page.
         lpage: LPageId,
-        /// The new owner.
-        to: CpuId,
+        /// The node that now owns the copy.
+        to: NodeId,
         /// Cumulative moves for this page, including this one.
         moves: u32,
     },
@@ -165,8 +165,8 @@ pub enum EventKind {
     Replicated {
         /// The page.
         lpage: LPageId,
-        /// The processor that gained a replica.
-        at: CpuId,
+        /// The node that gained a replica.
+        at: NodeId,
     },
     /// The policy pinned the page in global memory (move budget
     /// exhausted).
@@ -206,8 +206,8 @@ pub enum EventKind {
     VictimFlushed {
         /// The evicted page.
         lpage: LPageId,
-        /// The processor whose local memory gave up the frame.
-        at: CpuId,
+        /// The node whose local memory gave up the frame.
+        at: NodeId,
     },
     /// A request's reclaim budget ran out and the request was served
     /// with a global-writable mapping instead (a typed outcome, not an
@@ -219,8 +219,8 @@ pub enum EventKind {
     /// The pressure daemon found a processor below its free-frame low
     /// watermark and started flushing cold replicas.
     PressureTick {
-        /// The pressured processor.
-        at: CpuId,
+        /// The pressured node.
+        at: NodeId,
         /// Free frames in its local memory at scan time.
         free: u64,
     },
@@ -228,8 +228,8 @@ pub enum EventKind {
     /// failure); the online recovery protocol is about to walk the
     /// directory.
     NodeOffline {
-        /// The processor whose local memory died.
-        cpu: CpuId,
+        /// The node whose local memory died.
+        node: NodeId,
         /// Frames that were allocated in the dead module.
         lost_frames: u64,
     },
@@ -246,7 +246,7 @@ pub enum EventKind {
         /// The recovered page.
         lpage: LPageId,
         /// The dead node the copy was on.
-        at: CpuId,
+        at: NodeId,
     },
     /// A page's only up-to-date copy died with its node; the page was
     /// re-materialized zero-filled (typed data loss).
@@ -254,7 +254,7 @@ pub enum EventKind {
         /// The lost page.
         lpage: LPageId,
         /// The dead node the only copy was on.
-        at: CpuId,
+        at: NodeId,
     },
     /// Runnable threads were re-homed from a dead processor to
     /// survivors.
@@ -270,7 +270,7 @@ pub enum EventKind {
         /// The page served globally instead.
         lpage: LPageId,
         /// The dead node the placement wanted.
-        at: CpuId,
+        at: NodeId,
     },
 
     /// A translation was entered into the requester's MMU (the end of
@@ -447,9 +447,9 @@ impl Event {
             EventKind::PressureTick { at, free } => {
                 ("pressure-tick", Json::obj().field("at", at.index()).field("free", free))
             }
-            EventKind::NodeOffline { cpu, lost_frames } => (
+            EventKind::NodeOffline { node, lost_frames } => (
                 "node-offline",
-                Json::obj().field("node", cpu.index()).field("lost_frames", lost_frames),
+                Json::obj().field("node", node.index()).field("lost_frames", lost_frames),
             ),
             EventKind::CpuOffline { cpu } => {
                 ("cpu-offline", Json::obj().field("node", cpu.index()))
@@ -567,7 +567,7 @@ mod tests {
             kind: EventKind::StateChanged {
                 lpage: LPageId(7),
                 from: PageState::ReadOnly,
-                to: PageState::LocalWritable(CpuId(2)),
+                to: PageState::LocalWritable(NodeId(2)),
             },
         };
         let s = e.to_json().to_string_flat();
@@ -582,32 +582,32 @@ mod tests {
     fn every_kind_serializes_to_valid_json() {
         let kinds = [
             EventKind::Reference { access: Access::Fetch, dist: Distance::Remote, words: 2 },
-            EventKind::PageCopied { from: MemRegion::Global, to: MemRegion::Local(CpuId(1)) },
-            EventKind::CopyAborted { from: MemRegion::Global, to: MemRegion::Local(CpuId(0)) },
+            EventKind::PageCopied { from: MemRegion::Global, to: MemRegion::Local(NodeId(1)) },
+            EventKind::CopyAborted { from: MemRegion::Global, to: MemRegion::Local(NodeId(0)) },
             EventKind::PageZeroed { region: MemRegion::Global },
             EventKind::FaultOverhead,
             EventKind::Shootdown,
             EventKind::PolicyDecision {
                 lpage: LPageId(1),
                 access: Access::Store,
-                decision: Decision::RemoteAt(CpuId(3)),
+                decision: Decision::RemoteAt(NodeId(3)),
             },
-            EventKind::Moved { lpage: LPageId(1), to: CpuId(0), moves: 4 },
-            EventKind::Replicated { lpage: LPageId(1), at: CpuId(1) },
+            EventKind::Moved { lpage: LPageId(1), to: NodeId(0), moves: 4 },
+            EventKind::Replicated { lpage: LPageId(1), at: NodeId(1) },
             EventKind::Pinned { lpage: LPageId(1), moves: 5 },
             EventKind::Reconsidered { lpage: LPageId(1) },
             EventKind::Freed { lpage: LPageId(1) },
             EventKind::Recovery { lpage: None, action: RecoveryAction::BusRetry { attempt: 1 } },
             EventKind::ReclaimStarted { lpage: LPageId(1) },
-            EventKind::VictimFlushed { lpage: LPageId(1), at: CpuId(2) },
+            EventKind::VictimFlushed { lpage: LPageId(1), at: NodeId(2) },
             EventKind::DegradedToGlobal { lpage: LPageId(1) },
-            EventKind::PressureTick { at: CpuId(0), free: 1 },
-            EventKind::NodeOffline { cpu: CpuId(1), lost_frames: 12 },
+            EventKind::PressureTick { at: NodeId(0), free: 1 },
+            EventKind::NodeOffline { node: NodeId(1), lost_frames: 12 },
             EventKind::CpuOffline { cpu: CpuId(2) },
-            EventKind::PageRehomed { lpage: LPageId(1), at: CpuId(1) },
-            EventKind::PageLost { lpage: LPageId(1), at: CpuId(1) },
+            EventKind::PageRehomed { lpage: LPageId(1), at: NodeId(1) },
+            EventKind::PageLost { lpage: LPageId(1), at: NodeId(1) },
             EventKind::ThreadsDrained { from: CpuId(2), count: 3 },
-            EventKind::DeadNodeFallback { lpage: LPageId(1), at: CpuId(1) },
+            EventKind::DeadNodeFallback { lpage: LPageId(1), at: NodeId(1) },
             EventKind::MapEntered { lpage: LPageId(1) },
             EventKind::DaemonTick,
             EventKind::JobCompleted { job: 3, of: 24 },

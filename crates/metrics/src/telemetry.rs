@@ -402,7 +402,7 @@ mod tests {
     use super::*;
     use crate::events::{Decision, PageState};
     use crate::json::validate;
-    use ace_machine::{Access, CpuId};
+    use ace_machine::{Access, CpuId, NodeId};
     use mach_vm::LPageId;
 
     fn ev(t: u64, cpu: u16, kind: EventKind) -> Event {
@@ -438,9 +438,9 @@ mod tests {
             access: Access::Fetch,
             decision: Decision::Local,
         }));
-        t.record(&ev(20, 0, EventKind::Replicated { lpage: p, at: CpuId(0) }));
-        t.record(&ev(30, 1, EventKind::Moved { lpage: p, to: CpuId(1), moves: 1 }));
-        t.record(&ev(40, 0, EventKind::Moved { lpage: p, to: CpuId(0), moves: 2 }));
+        t.record(&ev(20, 0, EventKind::Replicated { lpage: p, at: NodeId(0) }));
+        t.record(&ev(30, 1, EventKind::Moved { lpage: p, to: NodeId(1), moves: 1 }));
+        t.record(&ev(40, 0, EventKind::Moved { lpage: p, to: NodeId(0), moves: 2 }));
         t.record(&ev(50, 0, EventKind::Pinned { lpage: p, moves: 2 }));
         t.record(&ev(60, 0, EventKind::Freed { lpage: p }));
         let lc = t.page(3).unwrap();
@@ -468,7 +468,7 @@ mod tests {
         }));
         t.record(&ev(400, 2, EventKind::PageCopied {
             from: ace_machine::MemRegion::Global,
-            to: ace_machine::MemRegion::Local(CpuId(2)),
+            to: ace_machine::MemRegion::Local(NodeId(2)),
         }));
         assert_eq!(t.recovery_latency().samples(), 1);
         assert_eq!(t.recovery_latency().max(), 300);

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use ace_machine::{FaultConfig, MachineConfig, Ns};
+use ace_machine::{FaultConfig, MachineConfig, Ns, Topology, TopologyBuilder};
 use numa_metrics::events::SharedSink;
 use std::fmt;
 
@@ -30,7 +30,7 @@ pub enum SchedulerKind {
 ///     .quantum(Ns::from_ms(5))
 ///     .lookahead(Ns::from_us(20))
 ///     .scheduler(SchedulerKind::GlobalQueue);
-/// assert_eq!(cfg.machine.n_cpus, 8);
+/// assert_eq!(cfg.machine.n_cpus(), 8);
 /// assert_eq!(cfg.quantum, Ns::from_ms(5));
 /// ```
 #[derive(Clone)]
@@ -87,7 +87,7 @@ impl SimConfig {
     /// An ACE with `n_cpus` processors and default engine parameters.
     pub fn ace(n_cpus: usize) -> SimConfig {
         SimConfig {
-            machine: MachineConfig::ace(n_cpus),
+            machine: TopologyBuilder::flat_ace(n_cpus).config(),
             scheduler: SchedulerKind::Affinity,
             quantum: Ns::from_ms(10),
             lookahead: Ns::from_us(500),
@@ -105,7 +105,7 @@ impl SimConfig {
     /// A small machine for tests, with exact interleaving.
     pub fn small(n_cpus: usize) -> SimConfig {
         SimConfig {
-            machine: MachineConfig::small(n_cpus),
+            machine: TopologyBuilder::small(n_cpus).config(),
             scheduler: SchedulerKind::Affinity,
             quantum: Ns::from_ms(1),
             lookahead: Ns::ZERO,
@@ -118,6 +118,29 @@ impl SimConfig {
             max_reclaim_attempts: numa_core::DEFAULT_MAX_RECLAIM_ATTEMPTS,
             vt_budget: None,
         }
+    }
+
+    /// Replaces the whole machine description (the topology axis of a
+    /// sweep): processors, nodes, hop costs and frame pools all come
+    /// from the given config.
+    ///
+    /// ```
+    /// use ace_machine::TopologyBuilder;
+    /// use ace_sim::SimConfig;
+    ///
+    /// let cfg = SimConfig::ace(8).machine(TopologyBuilder::two_socket(8).config());
+    /// assert_eq!(cfg.machine.topology.n_nodes(), 2);
+    /// ```
+    pub fn machine(mut self, machine: MachineConfig) -> SimConfig {
+        self.machine = machine;
+        self
+    }
+
+    /// Swaps the machine's shape while keeping the preset's page size,
+    /// global memory, cost model and fault plan.
+    pub fn topology(mut self, topology: Topology) -> SimConfig {
+        self.machine.topology = topology;
+        self
     }
 
     /// Sets the scheduler flavour.
@@ -215,7 +238,7 @@ mod tests {
     #[test]
     fn presets() {
         let c = SimConfig::ace(5);
-        assert_eq!(c.machine.n_cpus, 5);
+        assert_eq!(c.machine.n_cpus(), 5);
         assert_eq!(c.scheduler, SchedulerKind::Affinity);
         assert!(c.lookahead > Ns::ZERO);
         assert_eq!(SimConfig::small(2).lookahead, Ns::ZERO);
@@ -237,6 +260,10 @@ mod tests {
         assert_eq!(cfg.daemon_interval, Ns::from_ms(7));
         assert_eq!(cfg.machine.faults.seed, 42);
         assert!(cfg.events.is_none());
+        let hier = cfg.clone().topology(TopologyBuilder::mesh(4, 2).build());
+        assert_eq!(hier.machine.n_cpus(), 8);
+        assert_eq!(hier.machine.topology.n_nodes(), 4);
+        assert!(hier.machine.topology.max_hops() >= 2);
         assert!(cfg.fastpath, "fast path is on by default");
         assert!(!cfg.clone().fastpath(false).fastpath);
         // Debug must not require the sink to be Debug.

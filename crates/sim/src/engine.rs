@@ -155,7 +155,7 @@ impl Simulator {
     pub fn run(&mut self) -> RunReport {
         let pending = std::mem::take(&mut self.pending);
         if !pending.is_empty() {
-            let n_cpus = self.cfg.machine.n_cpus;
+            let n_cpus = self.cfg.machine.n_cpus();
             let mut engine = Engine::new(&self.cfg, Arc::clone(&self.kernel), n_cpus);
             engine.next_cpu = self.next_cpu;
             engine.run(pending);
@@ -232,7 +232,7 @@ impl Engine {
         // ascending so they fire in virtual-time order; already-fired
         // ones (repeated `run()` calls) no-op at the kernel layer.
         let mut pending_hard = kernel.lock().machine.fault.config().hard_faults.clone();
-        pending_hard.sort_by_key(|hf| (hf.vt().0, hf.cpu().0));
+        pending_hard.sort_by_key(|hf| (hf.vt().0, hf.target_index()));
         Engine {
             kernel,
             scheduler: cfg.scheduler,
@@ -269,10 +269,11 @@ impl Engine {
     /// thread is mid-access when the machine changes under it.
     fn fire_hard_fault(&mut self, hf: HardFault) {
         match hf {
-            HardFault::NodeOffline { cpu, .. } => {
-                // The processor keeps executing; its local memory is
-                // gone. The kernel runs the online recovery protocol.
-                self.kernel.lock().node_offline(cpu);
+            HardFault::NodeOffline { node, .. } => {
+                // The node's processors keep executing; their local
+                // memory is gone. The kernel runs the online recovery
+                // protocol.
+                self.kernel.lock().node_offline(node);
             }
             HardFault::CpuOffline { cpu, .. } => {
                 let c = cpu.index();
@@ -858,7 +859,7 @@ mod tests {
     #[test]
     fn node_offline_mid_run_completes_with_typed_degradation() {
         let mut s = chaos_sim(vec![ace_machine::HardFault::NodeOffline {
-            cpu: CpuId(1),
+            node: ace_machine::NodeId(1),
             vt: Ns::from_us(800),
         }]);
         let a = chaos_workload(&mut s);
@@ -898,7 +899,7 @@ mod tests {
     fn hard_failure_recovery_is_deterministic() {
         let run = |_: ()| {
             let mut s = chaos_sim(vec![
-                ace_machine::HardFault::NodeOffline { cpu: CpuId(1), vt: Ns::from_us(600) },
+                ace_machine::HardFault::NodeOffline { node: ace_machine::NodeId(1), vt: Ns::from_us(600) },
                 ace_machine::HardFault::CpuOffline { cpu: CpuId(2), vt: Ns::from_us(900) },
             ]);
             chaos_workload(&mut s);

@@ -1,7 +1,7 @@
 //! The simulated kernel: machine + VM + NUMA pmap layer, with the
 //! reference path application threads go through.
 
-use ace_machine::{Access, CpuId, Distance, Machine, Ns, Prot};
+use ace_machine::{Access, CpuId, Distance, Machine, NodeId, Ns, Prot};
 use mach_vm::{TaskId, VAddr, VmError, VmState};
 use numa_core::AcePmap;
 
@@ -201,7 +201,7 @@ impl Kernel {
         // would leave them.
         if self.sink.is_none() && self.machine.batchable(dist) && max_n > 0 {
             let clock0 = self.clock_of(cpu);
-            let t = self.machine.access_cost(kind, dist, words).0;
+            let t = self.machine.access_cost(cpu, kind, frame.region, words).0;
             let fit = if t == 0 || budget_end.0 <= clock0.0 {
                 if t == 0 { max_n } else { 1 }
             } else {
@@ -385,9 +385,8 @@ impl Kernel {
         for _ in 0..MAX_FAULT_RETRIES {
             match self.machine.mmus[cpu.index()].translate(asid, vpn, Access::Store) {
                 Ok(frame) => {
-                    let dist = self.machine.distance(cpu, frame.region);
-                    let cost = self.machine.config.costs.access(Access::Store, dist)
-                        + self.machine.config.costs.access(Access::Fetch, dist);
+                    let cost = self.machine.access_cost(cpu, Access::Store, frame.region, 1)
+                        + self.machine.access_cost(cpu, Access::Fetch, frame.region, 1);
                     self.machine.clocks.charge_system(cpu, cost);
                     return Ok((frame, offset));
                 }
@@ -478,14 +477,14 @@ impl Kernel {
         Ok(true)
     }
 
-    /// Takes `cpu`'s local memory offline for good and runs the online
+    /// Takes `node`'s local memory offline for good and runs the online
     /// recovery protocol (see `NumaManager::node_offline`): stale
     /// mappings are shot down everywhere, surviving copies re-home, and
     /// pages whose only copy died are typed as lost and re-materialized
-    /// zero-filled. The processor keeps executing; its LOCAL placements
-    /// degrade to global service permanently.
-    pub fn node_offline(&mut self, cpu: CpuId) {
-        self.pmap.node_offline(&mut self.machine, cpu);
+    /// zero-filled. The node's processors keep executing; their LOCAL
+    /// placements degrade to global service permanently.
+    pub fn node_offline(&mut self, node: NodeId) {
+        self.pmap.node_offline(&mut self.machine, node);
     }
 
     /// Resets clocks, reference counters, bus and NUMA statistics while
@@ -527,7 +526,9 @@ impl Kernel {
                              unknown to the NUMA directory"
                         ));
                     }
-                    Some(&(lpage, Some(owner))) if owner.index() != i => {
+                    Some(&(lpage, Some(owner)))
+                        if owner != self.machine.home_of(CpuId(i as u16)) =>
+                    {
                         return Err(format!(
                             "cpu{i} maps {lpage:?}'s private copy {f:?} owned by {owner}"
                         ));
@@ -543,11 +544,11 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_machine::MachineConfig;
+    use ace_machine::TopologyBuilder;
     use numa_core::{MoveLimitPolicy, StateKind};
 
     fn kernel(n_cpus: usize) -> Kernel {
-        let cfg = MachineConfig::small(n_cpus);
+        let cfg = TopologyBuilder::small(n_cpus).config();
         let machine = Machine::new(cfg);
         let pmap = AcePmap::new(Box::new(MoveLimitPolicy::default()));
         Kernel::new(machine, pmap)
@@ -635,10 +636,10 @@ mod tests {
         // Thread on cpu1 owns its "stack" page.
         k.store_u32(CpuId(1), a, 5).unwrap();
         let lp = k.vm.resident_lpage(k.task, a).unwrap();
-        assert_eq!(k.pmap.view(lp).state, StateKind::LocalWritable(CpuId(1)));
+        assert_eq!(k.pmap.view(lp).state, StateKind::LocalWritable(NodeId(1)));
         // A syscall touches the page from the master processor.
         k.unix_syscall(Ns::from_us(100), &[a]).unwrap();
-        assert_eq!(k.pmap.view(lp).state, StateKind::LocalWritable(CpuId(0)));
+        assert_eq!(k.pmap.view(lp).state, StateKind::LocalWritable(NodeId(0)));
         assert_eq!(k.peek_u32(a), 5, "syscall write preserved the value");
         assert!(k.machine.clocks.cpu(CpuId(0)).system >= Ns::from_us(100));
     }

@@ -118,6 +118,12 @@ impl RunReport {
                 if self.numa.pressure_ticks > 0 {
                     numa = numa.field("pressure_ticks", self.numa.pressure_ticks);
                 }
+                // Likewise the hierarchical counter: a flat machine can
+                // never replicate from a sibling node, so flat reports
+                // serialize byte-identically to pre-topology baselines.
+                if self.numa.near_replications > 0 {
+                    numa = numa.field("near_replications", self.numa.near_replications);
+                }
                 // Hard-failure counters follow the same discipline: a run
                 // with no node or processor loss serializes byte-identically
                 // to every pre-chaos baseline.

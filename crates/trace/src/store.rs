@@ -198,6 +198,57 @@ mod tests {
     }
 
     #[test]
+    fn remote_hops_reach_the_disk_format() {
+        // On a hierarchical machine a page hosted in another node's
+        // local memory is charged at Remote distance. The flat paper
+        // machine never produces that arm, so exercise it end to end:
+        // the recorder must capture 'M' events and the disk format must
+        // round-trip them.
+        use crate::record::Recorder;
+        use ace_machine::{NodeId, Prot, TopologyBuilder};
+        use ace_sim::{SimConfig, Simulator};
+        use mach_vm::LPageId;
+        use numa_core::{CachePolicy, Placement};
+
+        struct HostOnNode1;
+        impl CachePolicy for HostOnNode1 {
+            fn name(&self) -> &'static str {
+                "host-on-node1"
+            }
+            fn decide(&mut self, _lpage: LPageId, _access: Access, _cpu: CpuId) -> Placement {
+                Placement::RemoteAt(NodeId(1))
+            }
+        }
+
+        let cfg = SimConfig::small(2).topology(TopologyBuilder::two_socket(2).build());
+        let mut sim = Simulator::new(cfg, Box::new(HostOnNode1));
+        let a = sim.alloc(512, Prot::READ_WRITE);
+        let rec = Recorder::install(&sim);
+        // Two threads, one per socket: the thread homed on node 0
+        // references node 1's frames remotely.
+        for t in 0..2u64 {
+            sim.spawn(format!("t{t}"), move |ctx| {
+                for i in 0..20u64 {
+                    ctx.write_u32(a + ((t * 20 + i) % 64) * 4, i as u32);
+                    ctx.read_u32(a + ((t * 20 + i) % 64) * 4);
+                }
+            });
+        }
+        sim.run();
+        let trace = rec.take(&sim);
+        assert!(
+            trace.events.iter().any(|e| e.dist == Distance::Remote),
+            "a cross-socket host never produced a Remote reference"
+        );
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.lines().any(|l| l.split_whitespace().nth(4) == Some("M")));
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
     fn captured_trace_roundtrips_through_disk_format() {
         use crate::record::Recorder;
         use ace_machine::Prot;

@@ -1,7 +1,7 @@
 //! Failure injection: exhaustion, protection violations, and wild
 //! references must fail loudly and precisely, never corrupt state.
 
-use numa_repro::machine::{CpuId, Machine, MachineConfig, Prot};
+use numa_repro::machine::{CpuId, Machine, NodeId, Prot, TopologyBuilder};
 use numa_repro::numa::{AcePmap, AllLocalPolicy, MoveLimitPolicy};
 use numa_repro::sim::{Kernel, SimConfig, Simulator};
 use numa_repro::vm::{VAddr, VmError};
@@ -11,7 +11,7 @@ use numa_repro::vm::{VAddr, VmError};
 /// exhausting it surfaces as a clean error.
 #[test]
 fn logical_pool_exhaustion_without_pageout() {
-    let mut cfg = MachineConfig::small(1);
+    let mut cfg = TopologyBuilder::small(1).config();
     cfg.global_frames = 4;
     let machine = Machine::new(cfg);
     let pmap = AcePmap::new(Box::new(MoveLimitPolicy::default()));
@@ -75,7 +75,7 @@ fn pageout_thrashing_preserves_application_data() {
 #[test]
 fn local_memory_pressure_falls_back_to_global() {
     let mut cfg = SimConfig::small(2);
-    cfg.machine.local_frames = 2;
+    cfg.machine.topology.set_uniform_local_frames(2);
     let mut sim = Simulator::new(cfg, Box::new(AllLocalPolicy));
     let page = 256u64;
     let a = sim.alloc(16 * page, Prot::READ_WRITE);
@@ -212,12 +212,12 @@ fn bus_timeouts_are_transparent_to_applications() {
 /// again, no matter how much allocation pressure follows.
 #[test]
 fn quarantined_frame_is_never_reallocated() {
-    let mut m = Machine::new(MachineConfig::small(2));
+    let mut m = Machine::new(TopologyBuilder::small(2).config());
     let mut mgr = NumaManager::new();
     let mut pol = numa_repro::numa::AllLocalPolicy;
     // Find the frame the first local allocation would return, and
     // declare it bad.
-    let bad = m.mem.alloc(MemRegion::Local(CpuId(0))).unwrap();
+    let bad = m.mem.alloc(MemRegion::Local(NodeId(0))).unwrap();
     m.mem.free(bad);
     m.fault.script_bad_frame(bad);
     let lp = LPageId(3);
@@ -228,10 +228,10 @@ fn quarantined_frame_is_never_reallocated() {
     assert_eq!(mgr.stats().frame_quarantines, 1);
     assert!(mgr
         .fault_events()
-        .contains(&FaultEvent::FrameQuarantined { frame: bad, cpu: CpuId(0) }));
+        .contains(&FaultEvent::FrameQuarantined { frame: bad, node: NodeId(0) }));
     // Drain the entire free list: the quarantined frame never reappears.
     let mut drained = Vec::new();
-    while let Ok(f) = m.mem.alloc(MemRegion::Local(CpuId(0))) {
+    while let Ok(f) = m.mem.alloc(MemRegion::Local(NodeId(0))) {
         drained.push(f);
     }
     assert!(!drained.contains(&bad), "quarantined frame was re-allocated");
@@ -314,8 +314,7 @@ fn zero_rates_change_nothing() {
 /// instead of failing.
 #[test]
 fn faults_during_victim_flush_leave_the_victim_intact_and_degrade_the_request() {
-    let mut cfg = MachineConfig::small(2);
-    cfg.local_frames = 1;
+    let cfg = TopologyBuilder::small(2).local_frames(1).config();
     let psize = cfg.page_size.bytes();
     let mut m = Machine::new(cfg);
     let mut mgr = NumaManager::new();
@@ -366,8 +365,7 @@ fn faults_during_victim_flush_leave_the_victim_intact_and_degrade_the_request() 
 /// and its data untouched.
 #[test]
 fn bad_frame_plus_flush_faults_quarantine_and_degrade_in_one_request() {
-    let mut cfg = MachineConfig::small(2);
-    cfg.local_frames = 2;
+    let cfg = TopologyBuilder::small(2).local_frames(2).config();
     let psize = cfg.page_size.bytes();
     let mut m = Machine::new(cfg);
     let mut mgr = NumaManager::new();
@@ -380,8 +378,9 @@ fn bad_frame_plus_flush_faults_quarantine_and_degrade_in_one_request() {
     // The free list is a stack: after freeing in reverse order the
     // manager's first allocation gets `good`, its second gets `doomed`
     // — which fails its first ECC scrub, per the script below.
-    let good = m.mem.alloc(MemRegion::Local(cpu)).unwrap();
-    let doomed = m.mem.alloc(MemRegion::Local(cpu)).unwrap();
+    let node = NodeId(0);
+    let good = m.mem.alloc(MemRegion::Local(node)).unwrap();
+    let doomed = m.mem.alloc(MemRegion::Local(node)).unwrap();
     m.mem.free(doomed);
     m.mem.free(good);
     m.fault.script_bad_frame(doomed);
@@ -403,7 +402,7 @@ fn bad_frame_plus_flush_faults_quarantine_and_degrade_in_one_request() {
     assert!(m.mem.is_quarantined(doomed), "the bad frame is retired for good");
     assert_eq!(s.reclaims, 0, "no victim flush may succeed: {s:?}");
     assert_eq!(s.degradations, 1, "out of options, the request degrades: {s:?}");
-    assert!(mgr.fault_events().contains(&FaultEvent::FrameQuarantined { frame: doomed, cpu }));
+    assert!(mgr.fault_events().contains(&FaultEvent::FrameQuarantined { frame: doomed, node }));
     assert!(mgr.fault_events().contains(&FaultEvent::DegradedToGlobal { lpage: b, cpu }));
 
     // The victim kept its local copy and every byte of its data.
@@ -433,9 +432,9 @@ use numa_repro::machine::{HardFault, Ns};
 #[test]
 fn node_offline_racing_reclaim_sweep_recovers_cleanly() {
     let mut cfg = SimConfig::small(2);
-    cfg.machine.local_frames = 3;
+    cfg.machine.topology.set_uniform_local_frames(3);
     cfg.machine.faults = FaultConfig {
-        hard_faults: vec![HardFault::NodeOffline { cpu: CpuId(1), vt: Ns::from_us(400) }],
+        hard_faults: vec![HardFault::NodeOffline { node: NodeId(1), vt: Ns::from_us(400) }],
         ..FaultConfig::disabled()
     };
     let mut sim = Simulator::new(cfg, Box::new(AllLocalPolicy));
@@ -484,10 +483,10 @@ fn node_offline_racing_reclaim_sweep_recovers_cleanly() {
 fn node_offline_racing_pressure_daemon_is_deterministic() {
     let run = |_: ()| {
         let mut cfg = SimConfig::small(3);
-        cfg.machine.local_frames = 4;
+        cfg.machine.topology.set_uniform_local_frames(4);
         cfg.machine.faults = FaultConfig {
             hard_faults: vec![HardFault::NodeOffline {
-                cpu: CpuId(1),
+                node: NodeId(1),
                 // Just past the first daemon tick (1 ms in the small
                 // preset) so flush and recovery genuinely interleave.
                 vt: Ns::from_us(1100),
@@ -550,8 +549,8 @@ fn scripted_fault_storm_recovers_end_to_end() {
     sim.with_kernel(|k| {
         k.machine.fault.script_copy_fault(CopyFault::BusTimeout);
         k.machine.fault.script_copy_fault(CopyFault::Corruption);
-        let c1 = CpuId(1);
-        let bad = k.machine.mem.alloc(MemRegion::Local(c1)).unwrap();
+        let n1 = NodeId(1);
+        let bad = k.machine.mem.alloc(MemRegion::Local(n1)).unwrap();
         k.machine.mem.free(bad);
         k.machine.fault.script_bad_frame(bad);
     });

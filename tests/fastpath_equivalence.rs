@@ -144,12 +144,12 @@ fn every_app_is_equivalent_under_fault_injection() {
 /// epoch bump on recovery must make both paths observationally
 /// identical.
 fn observe_hard_failure(fastpath: bool) -> Observation {
-    use numa_repro::machine::{CpuId, HardFault, Ns, Prot};
+    use numa_repro::machine::{CpuId, HardFault, NodeId, Ns, Prot};
     let sink = Arc::new(Mutex::new(VecSink::new()));
     let cfg = SimConfig::small(CPUS).events(sink.clone()).fastpath(fastpath).faults(
         FaultConfig {
             hard_faults: vec![
-                HardFault::NodeOffline { cpu: CpuId(1), vt: Ns::from_us(700) },
+                HardFault::NodeOffline { node: NodeId(1), vt: Ns::from_us(700) },
                 HardFault::CpuOffline { cpu: CpuId(2), vt: Ns::from_ms(1) },
             ],
             ..FaultConfig::default()

@@ -2,7 +2,7 @@
 //! model, protocol invariants under arbitrary request sequences, and
 //! model algebra.
 
-use numa_repro::machine::{Access, CpuId, Machine, MachineConfig, Prot};
+use numa_repro::machine::{Access, CpuId, Machine, NodeId, Prot, TopologyBuilder};
 use numa_repro::metrics::{parse, validate, Json, Model};
 use numa_repro::numa::{
     AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy, NumaManager, Placement,
@@ -29,8 +29,8 @@ impl CachePolicy for ScriptedPolicy {
         match pick % 4 {
             0 => Placement::Local,
             1 => Placement::Global,
-            2 => Placement::RemoteAt(cpu),
-            _ => Placement::RemoteAt(CpuId((pick % 3) as u16)),
+            2 => Placement::RemoteAt(NodeId(cpu.0)),
+            _ => Placement::RemoteAt(NodeId((pick % 3) as u16)),
         }
     }
 }
@@ -123,7 +123,7 @@ proptest! {
             (0u32..6, 0u16..4, any::<bool>(), any::<u32>()), 1..120),
         threshold in 0u32..6,
     ) {
-        let mut m = Machine::new(MachineConfig::small(4));
+        let mut m = Machine::new(TopologyBuilder::small(4).config());
         let mut mgr = NumaManager::new();
         let mut pol = MoveLimitPolicy::new(threshold);
         // Shadow content per page: last value written to offset 0.
@@ -181,7 +181,7 @@ proptest! {
             (0u32..4, 0u16..4, any::<bool>(), any::<u32>()), 1..100),
         script in proptest::collection::vec(any::<u8>(), 1..16),
     ) {
-        let mut m = Machine::new(MachineConfig::small(4));
+        let mut m = Machine::new(TopologyBuilder::small(4).config());
         let mut mgr = NumaManager::new();
         let mut pol = ScriptedPolicy { script, i: 0 };
         let mut shadow: std::collections::HashMap<u32, u32> =
@@ -257,7 +257,7 @@ proptest! {
         ops in proptest::collection::vec(any::<bool>(), 1..200)
     ) {
         use numa_repro::machine::MemRegion;
-        let cfg = MachineConfig::small(1);
+        let cfg = TopologyBuilder::small(1).config();
         let total = cfg.global_frames;
         let mut m = numa_repro::machine::PhysMem::new(&cfg);
         let mut held = Vec::new();

@@ -22,7 +22,7 @@
 //! The generator is a hand-rolled SplitMix64 so failures reproduce from
 //! the printed seed alone.
 
-use numa_repro::machine::{Access, CpuId, FaultConfig, Machine, MachineConfig};
+use numa_repro::machine::{Access, CpuId, FaultConfig, Machine, NodeId, TopologyBuilder};
 use numa_repro::numa::{
     plan, CachePolicy, MoveLimitPolicy, NumaManager, Placement, StateKind, TableState,
 };
@@ -105,27 +105,28 @@ impl CachePolicy for CoinPolicy {
     }
 }
 
-/// Maps the directory state to the Table 1/2 row seen by `cpu`, or
-/// `None` where the tables don't apply (first touch of a fresh page;
-/// the remote-reference extension bypasses the tables entirely).
-fn table_row(state: StateKind, cpu: CpuId) -> Option<TableState> {
+/// Maps the directory state to the Table 1/2 row seen by a processor
+/// whose local memory is `home`, or `None` where the tables don't apply
+/// (first touch of a fresh page; the remote-reference extension
+/// bypasses the tables entirely).
+fn table_row(state: StateKind, home: NodeId) -> Option<TableState> {
     match state {
         StateKind::Fresh => None,
         StateKind::ReadOnly => Some(TableState::ReadOnly),
         StateKind::GlobalWritable => Some(TableState::GlobalWritable),
-        StateKind::LocalWritable(owner) if owner == cpu => Some(TableState::LocalWritableOwn),
+        StateKind::LocalWritable(owner) if owner == home => Some(TableState::LocalWritableOwn),
         StateKind::LocalWritable(_) => Some(TableState::LocalWritableOther),
         StateKind::RemoteShared(_) => None,
     }
 }
 
 /// Maps a Table 1/2 `new_state` back to the directory state it implies
-/// for the requesting processor.
-fn expected_state(new_state: TableState, cpu: CpuId) -> StateKind {
+/// for a requesting processor homed on `home`.
+fn expected_state(new_state: TableState, home: NodeId) -> StateKind {
     match new_state {
         TableState::ReadOnly => StateKind::ReadOnly,
         TableState::GlobalWritable => StateKind::GlobalWritable,
-        TableState::LocalWritableOwn => StateKind::LocalWritable(cpu),
+        TableState::LocalWritableOwn => StateKind::LocalWritable(home),
         other => panic!("plan() produced impossible new_state {other:?}"),
     }
 }
@@ -150,10 +151,10 @@ fn run_stream_with_frames<P: CachePolicy>(
     mut policy: Recording<P>,
     local_frames: Option<usize>,
 ) -> (Machine, NumaManager, Recording<P>) {
-    let mut cfg = MachineConfig::small(CPUS as usize);
+    let mut cfg = TopologyBuilder::small(CPUS as usize).config();
     cfg.faults = faults;
     if let Some(frames) = local_frames {
-        cfg.local_frames = frames;
+        cfg.topology.set_uniform_local_frames(frames);
     }
     let psize = cfg.page_size.bytes();
     let mut m = Machine::new(cfg);
@@ -208,12 +209,12 @@ fn run_stream_with_frames<P: CachePolicy>(
         let stats1 = mgr.stats();
         let degraded = stats1.local_pressure_fallbacks != stats0.local_pressure_fallbacks
             || stats1.fault_global_fallbacks != stats0.fault_global_fallbacks;
-        if let Some(row) = table_row(prior, cpu) {
+        if let Some(row) = table_row(prior, m.home_of(cpu)) {
             if !degraded {
                 let cell = plan(access, decision, row);
                 assert_eq!(
                     mgr.view(page).state,
-                    expected_state(cell.new_state, cpu),
+                    expected_state(cell.new_state, m.home_of(cpu)),
                     "{tag}: landed outside the Table 1/2 cell (prior {row:?}, {decision:?})"
                 );
             }
@@ -292,8 +293,7 @@ fn reclaimed_then_refetched_pages_are_byte_identical() {
     // tenant. A dirty victim is synced to global on the way out, so
     // refetching it later returns exactly the written bytes.
     use numa_repro::numa::AllLocalPolicy;
-    let mut cfg = MachineConfig::small(2);
-    cfg.local_frames = 1;
+    let cfg = TopologyBuilder::small(2).local_frames(1).config();
     let psize = cfg.page_size.bytes();
     let mut m = Machine::new(cfg);
     let mut mgr = NumaManager::new();
@@ -368,10 +368,10 @@ fn random_ops_stay_coherent_under_fault_injection() {
 fn run_chaos_stream(
     seed: u64,
     offline_step: usize,
-    dead: CpuId,
+    dead: NodeId,
 ) -> (numa_repro::numa::NumaStats, Vec<Vec<u8>>, Vec<numa_repro::numa::FaultEvent>) {
     use numa_repro::numa::FaultEvent;
-    let cfg = MachineConfig::small(CPUS as usize);
+    let cfg = TopologyBuilder::small(CPUS as usize).config();
     let psize = cfg.page_size.bytes();
     let mut m = Machine::new(cfg);
     let mut mgr = NumaManager::new();
@@ -436,12 +436,12 @@ fn run_chaos_stream(
         let degraded = stats1.local_pressure_fallbacks != stats0.local_pressure_fallbacks
             || stats1.fault_global_fallbacks != stats0.fault_global_fallbacks
             || stats1.dead_node_fallbacks != stats0.dead_node_fallbacks;
-        if let Some(row) = table_row(prior, cpu) {
+        if let Some(row) = table_row(prior, m.home_of(cpu)) {
             if !degraded {
                 let cell = plan(access, decision, row);
                 assert_eq!(
                     mgr.view(page).state,
-                    expected_state(cell.new_state, cpu),
+                    expected_state(cell.new_state, m.home_of(cpu)),
                     "{tag}: landed outside the Table 1/2 cell (prior {row:?}, {decision:?})"
                 );
             }
@@ -466,7 +466,7 @@ fn run_chaos_stream(
 fn post_recovery_state_satisfies_the_tables_and_the_oracle() {
     let mut total_recovered = 0u64;
     for seed in [0x0ACE_5EED, 11, 12] {
-        let (stats, _, events) = run_chaos_stream(seed, OPS / 3, CpuId(1));
+        let (stats, _, events) = run_chaos_stream(seed, OPS / 3, NodeId(1));
         assert_eq!(stats.nodes_offlined, 1, "seed {seed:#x}: the node must die once");
         total_recovered += stats.pages_rehomed + stats.pages_lost;
         assert!(
@@ -476,7 +476,7 @@ fn post_recovery_state_satisfies_the_tables_and_the_oracle() {
         assert!(
             events.iter().any(|e| matches!(
                 e,
-                numa_repro::numa::FaultEvent::NodeOffline { cpu: CpuId(1), .. }
+                numa_repro::numa::FaultEvent::NodeOffline { node: NodeId(1), .. }
             )),
             "seed {seed:#x}: the loss must be a typed fault event"
         );
@@ -493,8 +493,8 @@ fn post_recovery_state_satisfies_the_tables_and_the_oracle() {
 #[test]
 fn recovery_runs_byte_identical_across_reruns() {
     for seed in [0x0ACE_5EED, 21] {
-        let first = run_chaos_stream(seed, OPS / 2, CpuId(2));
-        let second = run_chaos_stream(seed, OPS / 2, CpuId(2));
+        let first = run_chaos_stream(seed, OPS / 2, NodeId(2));
+        let second = run_chaos_stream(seed, OPS / 2, NodeId(2));
         assert_eq!(first.0, second.0, "seed {seed:#x}: recovery stats diverged across reruns");
         assert_eq!(first.1, second.1, "seed {seed:#x}: final page bytes diverged across reruns");
         assert_eq!(first.2, second.2, "seed {seed:#x}: fault-event log diverged across reruns");
@@ -522,7 +522,7 @@ fn move_limit_migrates_then_pins() {
     // to one page. Each store steals ownership (a migration) until the
     // move budget is spent; after that the page is pinned global and
     // never moves again.
-    let mut m = Machine::new(MachineConfig::small(2));
+    let mut m = Machine::new(TopologyBuilder::small(2).config());
     let mut mgr = NumaManager::new();
     let mut pol = MoveLimitPolicy::new(2);
     const L: LPageId = LPageId(0);
@@ -546,7 +546,7 @@ fn move_limit_migrates_then_pins() {
         } else {
             assert_eq!(
                 mgr.view(L).state,
-                StateKind::LocalWritable(cpu),
+                StateKind::LocalWritable(m.home_of(cpu)),
                 "before pinning, each store steals ownership"
             );
         }
