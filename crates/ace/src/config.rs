@@ -101,20 +101,6 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
-    /// The "typical" ACE of the paper: 8 processor slots with 2 KB pages,
-    /// 16 MB of global memory and 8 MB of local memory per processor.
-    #[deprecated(note = "use TopologyBuilder::flat_ace(n).config()")]
-    pub fn ace(n_cpus: usize) -> MachineConfig {
-        TopologyBuilder::flat_ace(n_cpus).config()
-    }
-
-    /// A small machine for unit tests: few frames so exhaustion paths are
-    /// easy to exercise.
-    #[deprecated(note = "use TopologyBuilder::small(n).config()")]
-    pub fn small(n_cpus: usize) -> MachineConfig {
-        TopologyBuilder::small(n_cpus).config()
-    }
-
     /// Number of processor modules.
     #[inline]
     pub fn n_cpus(&self) -> usize {
@@ -181,15 +167,15 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_delegate_to_builder() {
-        #[allow(deprecated)]
-        let old = MachineConfig::ace(3);
-        let new = TopologyBuilder::flat_ace(3).config();
-        assert_eq!(old.topology, new.topology);
-        assert_eq!(old.global_frames, new.global_frames);
-        #[allow(deprecated)]
-        let old = MachineConfig::small(2);
-        assert_eq!(old.topology, TopologyBuilder::small(2).build());
+    fn builder_configs_are_plain_values() {
+        // Two independently built descriptions of the same machine are
+        // equal values — the description is data, with no hidden
+        // constructor state to diverge on.
+        let a = TopologyBuilder::flat_ace(3).config();
+        let b = TopologyBuilder::flat_ace(3).config();
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.global_frames, b.global_frames);
+        assert_eq!(TopologyBuilder::small(2).config().topology, TopologyBuilder::small(2).build());
     }
 
     #[test]

@@ -261,8 +261,6 @@ impl TopologyBuilder {
     /// The degenerate paper machine: one node per processor, every
     /// off-diagonal entry one hop, the hop-1 row equal to the remote
     /// constants, 2 KB pages, 16 MB global and 8 MB local per node.
-    /// `TopologyBuilder::flat_ace(n).config()` is value-identical to the
-    /// old `MachineConfig::ace(n)`.
     pub fn flat_ace(n_cpus: usize) -> TopologyBuilder {
         let page_size = PageSize::default();
         Self::flat(
@@ -275,8 +273,7 @@ impl TopologyBuilder {
     }
 
     /// The small flat test machine the unit suites use: 256-byte pages,
-    /// 128 global frames, 64 local frames per node. Replaces
-    /// `MachineConfig::small(n)`.
+    /// 128 global frames, 64 local frames per node.
     pub fn small(n_cpus: usize) -> TopologyBuilder {
         Self::flat("flat", n_cpus, 64, PageSize::new(256), 128)
     }

@@ -20,6 +20,7 @@
 //!   component on top of ~95% private scratch references.
 
 use crate::app::App;
+use crate::params::ParamError;
 use crate::Scale;
 use ace_machine::{Ns, Prot};
 use ace_sim::{Simulator, ThreadCtx};
@@ -53,10 +54,16 @@ impl Fft {
         }
     }
 
-    /// Explicit dimension (must be a power of two).
-    pub fn with_dim(n: usize) -> Fft {
-        assert!(n.is_power_of_two());
-        Fft { n }
+    /// Explicit dimension; the iterative butterfly network needs a
+    /// positive power of two.
+    pub fn with_dim(n: usize) -> Result<Fft, ParamError> {
+        if n == 0 {
+            return Err(ParamError::EmptyDomain { what: "FFT dimension" });
+        }
+        if !n.is_power_of_two() {
+            return Err(ParamError::NotPowerOfTwo { what: "FFT dimension", got: n });
+        }
+        Ok(Fft { n })
     }
 
     /// Deterministic input signal.

@@ -18,6 +18,7 @@
 //! different processors and output pages pin in global memory.
 
 use crate::app::App;
+use crate::params::ParamError;
 use crate::Scale;
 use ace_machine::{Ns, Prot};
 use ace_sim::Simulator;
@@ -45,9 +46,12 @@ impl IMatMult {
         }
     }
 
-    /// With an explicit dimension.
-    pub fn with_dim(n: usize) -> IMatMult {
-        IMatMult { n }
+    /// With an explicit dimension (must be positive).
+    pub fn with_dim(n: usize) -> Result<IMatMult, ParamError> {
+        if n == 0 {
+            return Err(ParamError::EmptyDomain { what: "matrix dimension" });
+        }
+        Ok(IMatMult { n })
     }
 
     /// Deterministic input values.
@@ -170,7 +174,7 @@ mod tests {
 
     #[test]
     fn output_pages_are_pinned_global() {
-        let app = IMatMult::with_dim(32);
+        let app = IMatMult::with_dim(32).expect("valid dimension");
         let r = measure_once(
             &app,
             SimConfig::small(4),

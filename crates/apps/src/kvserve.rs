@@ -1,0 +1,522 @@
+//! KvServe: a sharded in-memory KV store under open-loop request load.
+//!
+//! The eight paper applications are batch kernels: they reference
+//! memory as fast as the machine allows and finish. Serving traffic is
+//! the opposite regime — requests *arrive* on the time axis whether or
+//! not the store keeps up — and it is where NUMA placement gets hard:
+//! a zipfian hot set concentrates references on a few pages, reads
+//! want those pages replicated near every processor, and writes want
+//! them pinned where the owner runs.
+//!
+//! The store is `shards` page-aligned regions (one allocation each, so
+//! shards never share a page). Each key lives in shard `key % shards`
+//! at slot `key / shards`, holding one word that encodes
+//! `(version << 12) | key` — every write bumps the version, so any
+//! read can be checked for *which* write it observed.
+//!
+//! The load is generated host-side from one seeded stream before the
+//! simulation starts: arrival times (uniform-jitter open loop at the
+//! configured rate), tenants (zipf-skewed across `tenants` equal key
+//! ranges), keys (zipfian within the tenant, exponent `zipf_s`, hot
+//! set shifted halfway through the run), and the get/put mix. Workers
+//! pace themselves with [`ace_sim::ThreadCtx::wait_until`]: a request
+//! is served no earlier than its arrival, and latency is completion
+//! minus scheduled arrival — so queueing delay under overload is part
+//! of the tail, exactly as in a real open-loop benchmark.
+//!
+//! Routing keeps verification exact under any worker count: puts for a
+//! shard always go to one worker (shard-affine, in arrival order), so
+//! the final value of every key equals a host-side replay; gets are
+//! sprayed round-robin across workers (that is what makes hot pages
+//! *read-shared* and the placement policy's life interesting) and are
+//! checked for coherence instead — a get must observe a version that
+//! was actually written, never more than the key's total puts, and
+//! never going backwards within one worker.
+
+use crate::app::App;
+use crate::params::ParamError;
+use crate::zipf::{Rng, Zipf};
+use crate::Scale;
+use ace_machine::{Ns, Prot};
+use ace_sim::Simulator;
+use cthreads::Barrier;
+use mach_vm::VAddr;
+use numa_metrics::{LatencyHistogram, ServingReport};
+use std::sync::{Arc, Mutex};
+
+/// Fixed generator seed: every run of the same parameters sees the
+/// same request stream.
+const SERVE_SEED: u64 = 0x0ACE_CAFE;
+
+/// Key bits in a stored word (keys are validated to fit).
+const KEY_BITS: u32 = 12;
+const KEY_MASK: u32 = (1 << KEY_BITS) - 1;
+
+/// Pure compute charged per request before the memory operation
+/// (parsing, lookup bookkeeping).
+const GET_WORK: Ns = Ns(500);
+const PUT_WORK: Ns = Ns(800);
+
+/// Serving-workload parameters. Grids and command lines feed these, so
+/// every field is validated into a typed [`ParamError`] instead of a
+/// panic.
+#[derive(Clone, Debug)]
+pub struct ServeParams {
+    /// Total keyspace size (at most 4096: keys share their word with a
+    /// 20-bit version counter).
+    pub keys: usize,
+    /// Shard count — fixed independent of the worker count, so every
+    /// cell of a sweep does the same total work (section 3.1's
+    /// methodology).
+    pub shards: usize,
+    /// Total requests in the run.
+    pub requests: usize,
+    /// Open-loop arrival rate in requests per second of virtual time.
+    pub rate: u64,
+    /// Zipf exponent of key popularity within a tenant (a non-negative
+    /// multiple of 0.5, see [`crate::zipf`]).
+    pub zipf_s: f64,
+    /// Number of tenants; the keyspace splits into `tenants` equal
+    /// ranges and traffic across tenants is itself zipf(1.0)-skewed.
+    pub tenants: usize,
+    /// Puts per thousand requests (the rest are gets).
+    pub put_permille: u32,
+    /// Virtual-time grace before the first arrival, covering store
+    /// initialization.
+    pub start_ns: u64,
+}
+
+impl ServeParams {
+    /// Parameters at the given workload scale.
+    pub fn for_scale(scale: Scale) -> ServeParams {
+        match scale {
+            Scale::Test => ServeParams {
+                keys: 512,
+                shards: 8,
+                requests: 1536,
+                rate: 1_000,
+                zipf_s: 1.0,
+                tenants: 1,
+                put_permille: 250,
+                start_ns: 500_000,
+            },
+            Scale::Bench => ServeParams {
+                keys: 4096,
+                shards: 16,
+                requests: 16384,
+                rate: 1_000,
+                zipf_s: 1.0,
+                tenants: 1,
+                put_permille: 250,
+                start_ns: 2_000_000,
+            },
+        }
+    }
+
+    /// Validates every field; the first offense comes back typed.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.keys == 0 {
+            return Err(ParamError::EmptyDomain { what: "keys" });
+        }
+        if self.keys > (KEY_MASK as usize + 1) {
+            return Err(ParamError::Exceeds {
+                what: "keys",
+                got: self.keys,
+                limit: KEY_MASK as usize + 1,
+                bound: "the stored-word key field",
+            });
+        }
+        if self.shards == 0 {
+            return Err(ParamError::EmptyDomain { what: "shards" });
+        }
+        if self.shards > self.keys {
+            return Err(ParamError::Exceeds {
+                what: "shards",
+                got: self.shards,
+                limit: self.keys,
+                bound: "keys",
+            });
+        }
+        if self.requests == 0 {
+            return Err(ParamError::EmptyDomain { what: "requests" });
+        }
+        if self.requests > (1 << 20) {
+            return Err(ParamError::Exceeds {
+                what: "requests",
+                got: self.requests,
+                limit: 1 << 20,
+                bound: "the stored-word version field",
+            });
+        }
+        if self.rate == 0 {
+            return Err(ParamError::EmptyDomain { what: "request rate" });
+        }
+        if self.rate > 1_000_000_000 {
+            return Err(ParamError::Exceeds {
+                what: "request rate",
+                got: self.rate as usize,
+                limit: 1_000_000_000,
+                bound: "one request per nanosecond",
+            });
+        }
+        if self.tenants == 0 {
+            return Err(ParamError::EmptyDomain { what: "tenants" });
+        }
+        if self.tenants > self.keys {
+            return Err(ParamError::Exceeds {
+                what: "tenants",
+                got: self.tenants,
+                limit: self.keys,
+                bound: "keys",
+            });
+        }
+        if self.put_permille > 1000 {
+            return Err(ParamError::Exceeds {
+                what: "put rate",
+                got: self.put_permille as usize,
+                limit: 1000,
+                bound: "per-mille",
+            });
+        }
+        // Exercises the exponent check too.
+        Zipf::new(self.keys, self.zipf_s).map(|_| ())
+    }
+}
+
+/// One generated request.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    /// Scheduled arrival instant (virtual time, ns).
+    at: u64,
+    /// The key addressed.
+    key: u32,
+    /// `Some(stored word)` for a put, `None` for a get.
+    put: Option<u32>,
+}
+
+/// The pre-generated workload: the request stream plus the host-side
+/// ground truth verification needs.
+struct Workload {
+    requests: Vec<Request>,
+    /// Total puts per key == the final version of that key.
+    puts_per_key: Vec<u32>,
+    gets: u64,
+    puts: u64,
+}
+
+/// Generates the whole request stream from one seeded RNG. Arrival
+/// times are monotone, so the stream is already in arrival order.
+fn generate(p: &ServeParams) -> Result<Workload, ParamError> {
+    let mut rng = Rng::new(SERVE_SEED);
+    let tenant_pick = Zipf::new(p.tenants, 1.0)?;
+    let range_of = |t: usize| {
+        let base = t * p.keys / p.tenants;
+        let end = (t + 1) * p.keys / p.tenants;
+        (base, end - base)
+    };
+    let tenant_keys: Vec<Zipf> = (0..p.tenants)
+        .map(|t| Zipf::new(range_of(t).1, p.zipf_s))
+        .collect::<Result<_, _>>()?;
+    let gap = 1_000_000_000 / p.rate;
+    let mut at = p.start_ns;
+    let mut versions = vec![0u32; p.keys];
+    let mut requests = Vec::with_capacity(p.requests);
+    let (mut gets, mut puts) = (0u64, 0u64);
+    for i in 0..p.requests {
+        // Uniform jitter around the mean inter-arrival gap keeps the
+        // stream open-loop but aperiodic.
+        at += gap / 2 + rng.next_below(gap.max(1));
+        let tenant = tenant_pick.sample(&mut rng);
+        let (base, span) = range_of(tenant);
+        let rank = tenant_keys[tenant].sample(&mut rng);
+        // Phase change: halfway through the run every tenant's hot set
+        // rotates to the far side of its range, so placement decisions
+        // made for the first phase go stale.
+        let rank = if i >= p.requests / 2 { (rank + span / 2) % span } else { rank };
+        let key = (base + rank) as u32;
+        let put = rng.next_below(1000) < p.put_permille as u64;
+        let put = if put {
+            versions[key as usize] += 1;
+            puts += 1;
+            Some((versions[key as usize] << KEY_BITS) | (key & KEY_MASK))
+        } else {
+            gets += 1;
+            None
+        };
+        requests.push(Request { at, key, put });
+    }
+    Ok(Workload { requests, puts_per_key: versions, gets, puts })
+}
+
+/// What one worker brings home.
+#[derive(Default)]
+struct WorkerOut {
+    latency: LatencyHistogram,
+    gets: u64,
+    puts: u64,
+    /// First coherence violation observed, if any.
+    error: Option<String>,
+}
+
+/// The serving application.
+pub struct KvServe {
+    params: ServeParams,
+}
+
+impl KvServe {
+    /// A store/generator pair with explicit parameters (validated when
+    /// the app runs, so a bad grid axis fails its one cell, typed).
+    pub fn new(params: ServeParams) -> KvServe {
+        KvServe { params }
+    }
+
+    /// KvServe at the given scale's default parameters.
+    pub fn at_scale(scale: Scale) -> KvServe {
+        KvServe::new(ServeParams::for_scale(scale))
+    }
+}
+
+impl App for KvServe {
+    fn name(&self) -> &'static str {
+        "KvServe"
+    }
+
+    fn run(&self, sim: &mut Simulator, workers: usize) -> Result<(), String> {
+        let p = self.params.clone();
+        p.validate().map_err(|e| format!("KvServe parameters: {e}"))?;
+        let wl = generate(&p).map_err(|e| format!("KvServe generator: {e}"))?;
+        let slots = p.keys.div_ceil(p.shards);
+        // One allocation per shard: allocations are page-granular, so
+        // shards are page-aligned and never share a page.
+        let shard_base: Vec<VAddr> =
+            (0..p.shards).map(|_| sim.alloc(slots as u64 * 4, Prot::READ_WRITE)).collect();
+        let ctl = sim.alloc(64, Prot::READ_WRITE);
+        let bar = Barrier::new(ctl, workers as u32);
+        let addr_of = |key: u32, shard_base: &[VAddr]| {
+            shard_base[key as usize % p.shards] + (key as u64 / p.shards as u64) * 4
+        };
+        // Route: puts shard-affine (per-key arrival order preserved),
+        // gets round-robin (hot pages become read-shared).
+        let mut queues: Vec<Vec<Request>> = vec![Vec::new(); workers];
+        let mut rr = 0usize;
+        for r in &wl.requests {
+            let w = match r.put {
+                Some(_) => (r.key as usize % p.shards) % workers,
+                None => {
+                    rr += 1;
+                    (rr - 1) % workers
+                }
+            };
+            queues[w].push(*r);
+        }
+        let puts_per_key = Arc::new(wl.puts_per_key.clone());
+        let outs: Vec<Arc<Mutex<WorkerOut>>> =
+            (0..workers).map(|_| Arc::new(Mutex::new(WorkerOut::default()))).collect();
+        for (w, queue) in queues.into_iter().enumerate() {
+            let bases = shard_base.clone();
+            let bound = Arc::clone(&puts_per_key);
+            let out = Arc::clone(&outs[w]);
+            let (keys, shards) = (p.keys, p.shards);
+            sim.spawn(format!("kvserve-{w}"), move |ctx| {
+                // Initialization: worker w writes version-0 values into
+                // the shards whose puts it owns — a single writer per
+                // shard, so pages start out homed with their put owner.
+                for s in (0..shards).filter(|s| s % workers == w) {
+                    let vals: Vec<u32> = (0..)
+                        .map(|j| j * shards + s)
+                        .take_while(|&k| k < keys)
+                        .map(|k| k as u32 & KEY_MASK)
+                        .collect();
+                    ctx.write_run(bases[s], 4, &vals);
+                }
+                bar.wait(ctx);
+                let mut o = WorkerOut::default();
+                // Last version this worker observed per key, for the
+                // monotonicity half of the coherence check.
+                let mut seen = vec![0u32; keys];
+                for req in &queue {
+                    ctx.wait_until(Ns(req.at));
+                    let addr = bases[req.key as usize % shards]
+                        + (req.key as u64 / shards as u64) * 4;
+                    match req.put {
+                        Some(word) => {
+                            ctx.compute(PUT_WORK);
+                            ctx.write_u32(addr, word);
+                            o.puts += 1;
+                        }
+                        None => {
+                            ctx.compute(GET_WORK);
+                            let word = ctx.read_u32(addr);
+                            o.gets += 1;
+                            let (k, v) = (word & KEY_MASK, word >> KEY_BITS);
+                            if o.error.is_none() {
+                                if k != req.key & KEY_MASK {
+                                    o.error = Some(format!(
+                                        "get of key {} read a word tagged {k}",
+                                        req.key
+                                    ));
+                                } else if v > bound[req.key as usize] {
+                                    o.error = Some(format!(
+                                        "get of key {} saw version {v}, only {} were written",
+                                        req.key, bound[req.key as usize]
+                                    ));
+                                } else if v < seen[req.key as usize] {
+                                    o.error = Some(format!(
+                                        "get of key {} went backwards: {v} after {}",
+                                        req.key, seen[req.key as usize]
+                                    ));
+                                }
+                            }
+                            seen[req.key as usize] = v;
+                        }
+                    }
+                    let done = ctx.now().0;
+                    o.latency.record(done.saturating_sub(req.at));
+                }
+                *out.lock().expect("worker out poisoned") = o;
+            });
+        }
+        sim.run();
+        // Exact final-state verification: every key's word must equal
+        // the host-side replay of its puts (shard-affine routing made
+        // per-key put order the arrival order).
+        for key in 0..p.keys as u32 {
+            let expect = (wl.puts_per_key[key as usize] << KEY_BITS) | (key & KEY_MASK);
+            let got = sim.with_kernel(|k| k.peek_u32(addr_of(key, &shard_base)));
+            if got != expect {
+                return Err(format!("key {key}: final word {got:#x}, expected {expect:#x}"));
+            }
+        }
+        let mut report = ServingReport {
+            requests: wl.requests.len() as u64,
+            gets: 0,
+            puts: 0,
+            latency: LatencyHistogram::new(),
+        };
+        for out in &outs {
+            let o = out.lock().expect("worker out poisoned");
+            if let Some(e) = &o.error {
+                return Err(format!("coherence violation: {e}"));
+            }
+            report.gets += o.gets;
+            report.puts += o.puts;
+            report.latency.merge(&o.latency);
+        }
+        if (report.gets, report.puts) != (wl.gets, wl.puts) {
+            return Err(format!(
+                "served {}/{} gets/puts, generated {}/{}",
+                report.gets, report.puts, wl.gets, wl.puts
+            ));
+        }
+        sim.attach_serving(report);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_sim::SimConfig;
+    use numa_core::{AllGlobalPolicy, MoveLimitPolicy};
+
+    fn run_with(params: ServeParams, cpus: usize, workers: usize) -> ace_sim::RunReport {
+        let app = KvServe::new(params);
+        let mut sim =
+            Simulator::new(SimConfig::ace(cpus), Box::new(MoveLimitPolicy::default()));
+        app.run(&mut sim, workers).expect("kvserve verifies");
+        sim.report()
+    }
+
+    fn quick() -> ServeParams {
+        ServeParams { requests: 384, ..ServeParams::for_scale(Scale::Test) }
+    }
+
+    #[test]
+    fn serves_verifies_and_attaches_latency() {
+        let r = run_with(quick(), 3, 3);
+        let s = r.serving.as_ref().expect("serving report attached");
+        assert_eq!(s.requests, 384);
+        assert_eq!(s.gets + s.puts, 384);
+        assert!(s.puts > 0 && s.gets > s.puts, "mixed ratio: {}/{}", s.gets, s.puts);
+        assert_eq!(s.latency.total(), 384);
+        assert!(s.latency.p50() > 0);
+        assert!(s.latency.p999() >= s.latency.p50());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_with(quick(), 3, 3).to_json().to_string_flat();
+        let b = run_with(quick(), 3, 3).to_json().to_string_flat();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn final_state_is_worker_count_invariant() {
+        // The verification inside `run` replays puts host-side; passing
+        // under 1, 2 and 4 workers proves per-key order is preserved by
+        // the shard-affine routing.
+        for (cpus, workers) in [(1, 1), (2, 2), (4, 4)] {
+            run_with(quick(), cpus, workers);
+        }
+    }
+
+    #[test]
+    fn overload_blows_up_the_tail() {
+        let light = run_with(ServeParams { rate: 500, ..quick() }, 2, 2);
+        let heavy = run_with(ServeParams { rate: 50_000, ..quick() }, 2, 2);
+        let (pl, ph) = (
+            light.serving.as_ref().unwrap().latency.p99(),
+            heavy.serving.as_ref().unwrap().latency.p99(),
+        );
+        assert!(
+            ph > pl.saturating_mul(4),
+            "open loop must queue under overload: p99 {ph} vs {pl}"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_and_phase_shift_stay_verified() {
+        let mut p = quick();
+        p.tenants = 3;
+        p.zipf_s = 1.5;
+        let r = run_with(p, 3, 3);
+        assert!(r.serving.is_some());
+    }
+
+    #[test]
+    fn works_under_the_all_global_policy() {
+        let app = KvServe::new(quick());
+        let mut sim = Simulator::new(SimConfig::ace(2), Box::new(AllGlobalPolicy));
+        app.run(&mut sim, 2).expect("kvserve verifies under all-global placement");
+        assert!(sim.report().serving.is_some());
+    }
+
+    #[test]
+    fn malformed_parameters_fail_typed_not_panicking() {
+        let cases: Vec<(ServeParams, &str)> = vec![
+            (ServeParams { keys: 0, ..quick() }, "keys must be positive"),
+            (ServeParams { keys: 8192, ..quick() }, "keys (8192)"),
+            (ServeParams { shards: 0, ..quick() }, "shards must be positive"),
+            (ServeParams { shards: 1024, ..quick() }, "shards (1024)"),
+            (ServeParams { rate: 0, ..quick() }, "request rate must be positive"),
+            (ServeParams { tenants: 0, ..quick() }, "tenants must be positive"),
+            (ServeParams { tenants: 513, ..quick() }, "tenants (513)"),
+            (ServeParams { put_permille: 1001, ..quick() }, "put rate (1001)"),
+            (ServeParams { zipf_s: 0.7, ..quick() }, "zipf exponent"),
+        ];
+        for (params, needle) in cases {
+            let app = KvServe::new(params);
+            let mut sim =
+                Simulator::new(SimConfig::small(2), Box::new(MoveLimitPolicy::default()));
+            let err = app.run(&mut sim, 2).expect_err("invalid params must fail");
+            assert!(err.contains(needle), "error `{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn default_params_validate_at_both_scales() {
+        ServeParams::for_scale(Scale::Test).validate().unwrap();
+        ServeParams::for_scale(Scale::Bench).validate().unwrap();
+    }
+}
+

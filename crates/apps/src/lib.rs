@@ -17,23 +17,33 @@
 //! bug in the NUMA protocol shows up as a wrong answer, not just a wrong
 //! time. Every app does the same total work regardless of worker count
 //! (the measurement methodology of section 3.1 requires it).
+//!
+//! Beyond the paper's batch kernels, [`KvServe`] adds a *serving*
+//! workload: a sharded KV store under seeded open-loop zipfian load,
+//! measured by tail latency instead of completion time (see
+//! [`kvserve`]).
 
 pub mod app;
 pub mod eval;
 pub mod fft;
 pub mod gfetch;
 pub mod imatmult;
+pub mod kvserve;
+pub mod params;
 pub mod parmult;
 pub mod plytrace;
 pub mod primes1;
 pub mod primes2;
 pub mod primes3;
+pub mod zipf;
 
 pub use app::App;
 pub use eval::{measure_once, table3_row, table4_row, Table3Row, Table4Row};
 pub use fft::Fft;
 pub use gfetch::Gfetch;
 pub use imatmult::IMatMult;
+pub use kvserve::{KvServe, ServeParams};
+pub use params::ParamError;
 pub use parmult::ParMult;
 pub use plytrace::PlyTrace;
 pub use primes1::Primes1;

@@ -1,0 +1,85 @@
+//! Typed errors for malformed application parameters.
+//!
+//! Applications built from the fixed [`crate::Scale`] presets are
+//! valid by construction, but the serving workload (and the explicit
+//! geometry constructors) accept parameters from grids and command
+//! lines. Those used to be `assert!`s; a bad axis value in a sweep
+//! would tear down the whole farm with a panic instead of failing the
+//! one cell. This module is the apps-crate counterpart of the earlier
+//! ace/machvm unwrap audits: every malformed parameter is a typed,
+//! printable error the caller can route.
+
+use std::fmt;
+
+/// A rejected application parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamError {
+    /// A count that must be positive was zero.
+    EmptyDomain {
+        /// Which count.
+        what: &'static str,
+    },
+    /// A size that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Which size.
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+    },
+    /// The zipf exponent is outside the platform-stable set (multiples
+    /// of 0.5 in `[0, 4]`; see [`crate::zipf`]).
+    BadZipfExponent {
+        /// The offending exponent.
+        s: f64,
+    },
+    /// One value must not exceed another (tenants vs keys, shards vs
+    /// keys, ...).
+    Exceeds {
+        /// The constrained quantity.
+        what: &'static str,
+        /// Its value.
+        got: usize,
+        /// The bound it violated.
+        limit: usize,
+        /// What the bound is.
+        bound: &'static str,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::EmptyDomain { what } => write!(f, "{what} must be positive"),
+            ParamError::NotPowerOfTwo { what, got } => {
+                write!(f, "{what} must be a power of two, got {got}")
+            }
+            ParamError::BadZipfExponent { s } => write!(
+                f,
+                "zipf exponent must be a multiple of 0.5 in [0, 4] \
+                 (platform-stable weights), got {s}"
+            ),
+            ParamError::Exceeds { what, got, limit, bound } => {
+                write!(f, "{what} ({got}) must not exceed {bound} ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_print_their_context() {
+        assert_eq!(ParamError::EmptyDomain { what: "keys" }.to_string(), "keys must be positive");
+        assert_eq!(
+            ParamError::NotPowerOfTwo { what: "FFT dimension", got: 12 }.to_string(),
+            "FFT dimension must be a power of two, got 12"
+        );
+        assert!(ParamError::BadZipfExponent { s: 0.3 }.to_string().contains("0.3"));
+        let e = ParamError::Exceeds { what: "tenants", got: 9, limit: 8, bound: "keys" };
+        assert_eq!(e.to_string(), "tenants (9) must not exceed keys (8)");
+    }
+}

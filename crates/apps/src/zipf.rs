@@ -1,0 +1,181 @@
+//! Seeded, platform-stable randomness for the serving workload: a
+//! SplitMix64 stream and an exact inverse-CDF zipfian sampler.
+//!
+//! Everything the load generator draws must be byte-reproducible on
+//! every platform, so this module restricts itself to operations with
+//! exactly specified results: integer arithmetic, and the IEEE 754
+//! correctly-rounded float operations (`+`, `*`, `/`, `sqrt`). In
+//! particular there is no `powf` (not correctly rounded, so different
+//! libm versions could reshuffle the hot set) — which is why the zipf
+//! exponent is restricted to multiples of 0.5: `r^s` then factors into
+//! integer powers and one square root.
+
+use crate::params::ParamError;
+
+/// SplitMix64: the 64-bit mixing generator. Tiny state, full period,
+/// and — unlike library RNGs — a fixed algorithm this crate owns, so
+/// committed baselines can never be invalidated by a dependency bump.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `0..n` (`n > 0`). Uses the high bits via a
+    /// 128-bit multiply, so small moduli do not bias toward low values
+    /// the way a plain `%` would.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 random bits (exact in f64).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// An exact zipfian sampler over ranks `0..n`: rank `r` is drawn with
+/// probability proportional to `1 / (r+1)^s`. The cumulative weights
+/// are precomputed once and each draw is a binary search — no
+/// rejection loop, so one draw consumes exactly one `u64` of the
+/// stream regardless of the outcome.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative weights; `cum[r]` is the total mass of ranks `0..=r`.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s`. `s` must be a
+    /// non-negative multiple of 0.5 no larger than 4 (see the module
+    /// docs for why), and `n` must be positive.
+    pub fn new(n: usize, s: f64) -> Result<Zipf, ParamError> {
+        if n == 0 {
+            return Err(ParamError::EmptyDomain { what: "zipf rank count" });
+        }
+        let half_steps = s * 2.0;
+        if !(0.0..=8.0).contains(&half_steps) || half_steps.fract() != 0.0 {
+            return Err(ParamError::BadZipfExponent { s });
+        }
+        let half_steps = half_steps as u32;
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 1..=n as u64 {
+            // r^s via integer powers and one sqrt: all exactly rounded.
+            let mut w = 1.0f64;
+            for _ in 0..half_steps / 2 {
+                w *= r as f64;
+            }
+            if half_steps % 2 == 1 {
+                w *= (r as f64).sqrt();
+            }
+            total += 1.0 / w;
+            cum.push(total);
+        }
+        Ok(Zipf { cum })
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cum.last().expect("n > 0");
+        let u = rng.unit_f64() * total;
+        // First rank whose cumulative weight exceeds the draw.
+        self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// True when the sampler has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(n: usize, s: f64, seed: u64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = Rng::new(seed);
+        let mut c = vec![0u64; n];
+        for _ in 0..draws {
+            c[z.sample(&mut rng)] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_reruns() {
+        let a = counts(64, 1.0, 42, 10_000);
+        let b = counts(64, 1.0, 42, 10_000);
+        assert_eq!(a, b);
+        let c = counts(64, 1.0, 43, 10_000);
+        assert_ne!(a, c, "a different seed must reshuffle the draws");
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_on_low_ranks() {
+        let c = counts(100, 1.0, 7, 50_000);
+        // Under s=1 over 100 ranks, rank 0 carries ~1/H(100) ≈ 19% of
+        // the mass; the shape assertions are loose enough to be stable.
+        assert!(c[0] > c[9] && c[9] > c[49], "head ordering: {:?}", &c[..10]);
+        assert!(c[0] as f64 > 0.15 * 50_000.0, "rank 0 = {}", c[0]);
+        let tail: u64 = c[50..].iter().sum();
+        assert!(c[0] > tail / 4, "head {} vs tail {}", c[0], tail);
+    }
+
+    #[test]
+    fn steeper_exponents_sharpen_the_head() {
+        let flat = counts(100, 0.5, 11, 50_000);
+        let steep = counts(100, 1.5, 11, 50_000);
+        assert!(steep[0] > flat[0], "s=1.5 head {} vs s=0.5 head {}", steep[0], flat[0]);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let c = counts(16, 0.0, 3, 64_000);
+        let (min, max) = (c.iter().min().unwrap(), c.iter().max().unwrap());
+        // 4000 expected per rank; allow generous sampling noise.
+        assert!(*min > 3_000 && *max < 5_000, "uniform draw skewed: {c:?}");
+    }
+
+    #[test]
+    fn invalid_exponents_are_typed_errors() {
+        assert!(matches!(Zipf::new(10, 0.75), Err(ParamError::BadZipfExponent { .. })));
+        assert!(matches!(Zipf::new(10, -0.5), Err(ParamError::BadZipfExponent { .. })));
+        assert!(matches!(Zipf::new(10, 4.5), Err(ParamError::BadZipfExponent { .. })));
+        assert!(matches!(Zipf::new(0, 1.0), Err(ParamError::EmptyDomain { .. })));
+        for s in [0.0, 0.5, 1.0, 1.5, 2.0, 4.0] {
+            assert!(Zipf::new(10, s).is_ok(), "s={s} should be accepted");
+        }
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_varies() {
+        let mut rng = Rng::new(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = rng.next_below(7);
+            assert!(v < 7);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 7, "all residues should appear");
+    }
+}

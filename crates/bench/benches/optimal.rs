@@ -25,10 +25,10 @@ fn main() {
     // real reference volume (as at full scale), small enough to hold the
     // whole trace in memory.
     let apps: Vec<Box<dyn App>> = vec![
-        Box::new(IMatMult::with_dim(64)),
+        Box::new(IMatMult::with_dim(64).expect("valid dimension")),
         Box::new(Primes2::with_limit(20_000, DivisorDiscipline::PrivateCopy)),
         Box::new(Primes3::with_limit(60_000)),
-        Box::new(Fft::with_dim(32)),
+        Box::new(Fft::with_dim(32).expect("valid dimension")),
     ];
     let costs = CostModel::ace();
     let mut t = Table::new(&[

@@ -52,8 +52,8 @@ fn main() {
         "Ablation A8: elapsed-time speedup under NUMA vs all-global placement",
         "section 3.1 (the view the paper deliberately set aside)",
     );
-    sweep(&IMatMult::with_dim(64));
-    sweep(&Fft::with_dim(64));
+    sweep(&IMatMult::with_dim(64).expect("valid dimension"));
+    sweep(&Fft::with_dim(64).expect("valid dimension"));
     println!("Expected shape: both placements scale (the apps are");
     println!("embarrassingly parallel), with the NUMA policy's elapsed time");
     println!("consistently below all-global by roughly its Table 3 gamma gap.");

@@ -25,7 +25,7 @@ use crate::grid::{Grid, JobSpec};
 use ace_machine::{BusStats, CpuTime, FaultStats, Ns};
 use ace_sim::{RefCounters, RunReport};
 use numa_core::NumaStats;
-use numa_metrics::{parse, Json};
+use numa_metrics::{parse, Json, LatencyHistogram, ServingReport};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -212,6 +212,29 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
                 .field("bad_frames", r.faults.bad_frames)
                 .field("corruptions", r.faults.corruptions),
         );
+    // Present only on serving cells: counts, the exact maximum, and the
+    // sparse bucket table — the integers every percentile is re-derived
+    // from, so a resumed sweep reports the same tail byte-for-byte.
+    let j = match &r.serving {
+        Some(s) => {
+            let buckets: Vec<Json> = s
+                .latency
+                .to_sparse()
+                .into_iter()
+                .map(|(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+                .collect();
+            j.field(
+                "serving",
+                Json::obj()
+                    .field("requests", s.requests)
+                    .field("gets", s.gets)
+                    .field("puts", s.puts)
+                    .field("max_ns", s.latency.max_ns())
+                    .field("buckets", Json::Arr(buckets)),
+            )
+        }
+        None => j,
+    };
     // Present only on degraded chaos cells, so checkpoints from healthy
     // sweeps keep their exact pre-chaos shape.
     match &r.degraded {
@@ -312,6 +335,10 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
             bad_frames: get_u64(faults, "bad_frames")?,
             corruptions: get_u64(faults, "corruptions")?,
         },
+        serving: match get(entry, "serving") {
+            Some(s) => Some(serving_from_json(as_obj(s, "serving")?, spec.id)?),
+            None => None,
+        },
         degraded: match get(entry, "degraded") {
             Some(Json::Str(d)) => Some(d.clone()),
             Some(other) => {
@@ -319,6 +346,33 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
             }
             None => None,
         },
+    })
+}
+
+/// Rebuilds a [`ServingReport`] from its exact-integer checkpoint form.
+fn serving_from_json(s: &[(String, Json)], id: usize) -> Result<ServingReport, String> {
+    let Some(Json::Arr(entries)) = get(s, "buckets") else {
+        return Err(format!("job #{id}: serving entry has no buckets array"));
+    };
+    let mut pairs = Vec::with_capacity(entries.len());
+    for pair in entries {
+        match pair {
+            Json::Arr(p) => match (p.first(), p.get(1), p.len()) {
+                (Some(Json::Int(i)), Some(Json::Int(c)), 2) if *i >= 0 && *c >= 0 => {
+                    pairs.push((*i as usize, *c as u64));
+                }
+                _ => return Err(format!("job #{id}: malformed latency bucket {pair:?}")),
+            },
+            other => return Err(format!("job #{id}: latency bucket is not a pair: {other:?}")),
+        }
+    }
+    let latency = LatencyHistogram::from_sparse(&pairs, get_u64(s, "max_ns")?)
+        .map_err(|e| format!("job #{id}: {e}"))?;
+    Ok(ServingReport {
+        requests: get_u64(s, "requests")?,
+        gets: get_u64(s, "gets")?,
+        puts: get_u64(s, "puts")?,
+        latency,
     })
 }
 
@@ -384,6 +438,29 @@ mod tests {
         assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
         cp.remove();
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn serving_reports_round_trip_exactly() {
+        let mut grid = Grid::serving();
+        grid.placements.truncate(1);
+        grid.req_rates = vec![500];
+        grid.zipf_exponents = vec![1.0];
+        grid.tenant_counts = vec![1];
+        let jobs = grid.jobs();
+        assert_eq!(jobs.len(), 1);
+        let report = jobs[0].run().unwrap();
+        assert!(report.serving.is_some(), "serving cell must attach a ServingReport");
+        let path = temp_path("serving");
+        let mut cp = Checkpoint::load_or_create(&path, &grid).unwrap();
+        cp.record(&jobs[0], &report).unwrap();
+        let reloaded = Checkpoint::load_or_create(&path, &grid).unwrap();
+        let r = &reloaded.completed_results(&jobs)[0].report;
+        // The whole distribution survives, not just the headline
+        // percentiles: the reloaded histogram is structurally equal.
+        assert_eq!(r.serving, report.serving);
+        assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
+        cp.remove();
     }
 
     #[test]

@@ -52,9 +52,8 @@ impl GateTolerances {
     pub fn for_path(&self, path: &str) -> Tolerance {
         let leaf = path.rsplit('.').next().unwrap_or(path);
         match leaf {
-            "user_s" | "system_s" | "makespan_ns" | "t_local_s" | "t_global_s" | "t_numa_s" => {
-                Tolerance::rel(self.time_rel)
-            }
+            "user_s" | "system_s" | "makespan_ns" | "t_local_s" | "t_global_s" | "t_numa_s"
+            | "p50_ns" | "p95_ns" | "p99_ns" | "p999_ns" => Tolerance::rel(self.time_rel),
             "alpha" | "beta" | "gamma" | "alpha_measured" => Tolerance::abs(self.model_abs),
             "replications" | "migrations" | "pins" | "syncs" | "shootdowns"
             | "recovery_actions" | "reclaims" | "degradations" | "pressure_ticks"
@@ -182,6 +181,22 @@ mod tests {
         for leaf in ["user_s", "system_s", "makespan_ns", "t_local_s", "t_global_s", "t_numa_s"] {
             assert!(gate_leaf(leaf, 100.0, 101.5, &tol).passes(), "{leaf}: 1.5% tripped");
             assert!(!gate_leaf(leaf, 100.0, 103.0, &tol).passes(), "{leaf}: 3% passed");
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_share_the_time_class() {
+        // Tail latencies are virtual times, so they drift (if at all)
+        // with the same cost-model shifts that move user_s — they get
+        // the same relative band. Request counts stay identity-exact:
+        // a served-request delta is a different workload, not drift.
+        let tol = GateTolerances::default();
+        for leaf in ["p50_ns", "p95_ns", "p99_ns", "p999_ns"] {
+            assert!(gate_leaf(leaf, 1_000_000u64, 1_015_000u64, &tol).passes(), "{leaf}: 1.5% tripped");
+            assert!(!gate_leaf(leaf, 1_000_000u64, 1_030_000u64, &tol).passes(), "{leaf}: 3% passed");
+        }
+        for leaf in ["requests_served", "gets", "puts"] {
+            assert!(!gate_leaf(leaf, 1000u64, 1001u64, &tol).passes(), "{leaf}: not exact");
         }
     }
 

@@ -15,7 +15,7 @@ use crate::checkpoint::Checkpoint;
 use crate::farm::{self, FarmOptions, JobResult, LabError};
 use crate::grid::{Grid, JobSpec, Placement};
 use numa_metrics::paper::{paper_alpha, paper_beta_gamma};
-use numa_metrics::{Json, Model, SharedSink};
+use numa_metrics::{Json, Model, ServingReport, SharedSink};
 
 /// Schema tag of the sweep document.
 pub const SCHEMA: &str = "numa-repro/lab-sweep/v1";
@@ -48,6 +48,10 @@ pub struct ModelRow {
     pub gamma: f64,
     /// Ground-truth local-reference fraction of the `numa` run.
     pub alpha_measured: f64,
+    /// The `numa` cell's serving report, when the cell is a serving
+    /// workload: its latency tail is published next to the model
+    /// columns.
+    pub serving: Option<ServingReport>,
 }
 
 impl Sweep {
@@ -119,6 +123,9 @@ impl Sweep {
                     && r.spec.local_frames == spec.local_frames
                     && r.spec.offline_at == spec.offline_at
                     && r.spec.offline_nodes == spec.offline_nodes
+                    && r.spec.req_rate == spec.req_rate
+                    && r.spec.zipf_s.map(f64::to_bits) == spec.zipf_s.map(f64::to_bits)
+                    && r.spec.tenants == spec.tenants
                     && (!same_cpus || r.spec.cpus == spec.cpus)
             })
         };
@@ -152,6 +159,7 @@ impl Sweep {
                 beta,
                 gamma,
                 alpha_measured: result.report.alpha_measured(),
+                serving: result.report.serving.clone(),
             });
         }
         rows
@@ -204,6 +212,19 @@ impl Sweep {
                 if r.spec.topology.is_some() {
                     j = j.field("near_replications", r.report.numa.near_replications);
                 }
+                // Serving cells carry the request ledger and the
+                // virtual-time latency tail; batch documents keep
+                // their exact pre-serving bytes.
+                if let Some(s) = &r.report.serving {
+                    j = j
+                        .field("requests_served", s.requests)
+                        .field("gets", s.gets)
+                        .field("puts", s.puts)
+                        .field("p50_ns", s.latency.p50())
+                        .field("p95_ns", s.latency.p95())
+                        .field("p99_ns", s.latency.p99())
+                        .field("p999_ns", s.latency.p999());
+                }
                 j.field("bus_bytes", r.report.bus.total_bytes())
             })
             .collect();
@@ -212,12 +233,24 @@ impl Sweep {
             .iter()
             .map(|m| {
                 let (paper_beta, paper_gamma) = paper_beta_gamma(m.spec.app.name());
-                Json::obj()
+                let mut j = Json::obj()
                     .field("app", m.spec.app.name())
                     .field("cpus", m.spec.cpus)
                     .field("threshold", m.spec.threshold.map(u64::from))
                     .field("fault_rate", Json::Num(m.spec.fault_rate))
-                    .field("page_size", m.spec.page_size)
+                    .field("page_size", m.spec.page_size);
+                // Serving model rows name the cell's load point, so
+                // rows stay distinguishable across the serving axes.
+                if let Some(r) = m.spec.req_rate {
+                    j = j.field("req_rate", r);
+                }
+                if let Some(z) = m.spec.zipf_s {
+                    j = j.field("zipf_s", Json::Num(z));
+                }
+                if let Some(t) = m.spec.tenants {
+                    j = j.field("tenants", t);
+                }
+                j = j
                     .field("t_local_s", m.t_local)
                     .field("t_global_s", m.t_global)
                     .field("t_numa_s", m.t_numa)
@@ -227,7 +260,17 @@ impl Sweep {
                     .field("alpha_measured", m.alpha_measured)
                     .field("paper_alpha", paper_alpha(m.spec.app.name()))
                     .field("paper_beta", paper_beta)
-                    .field("paper_gamma", paper_gamma)
+                    .field("paper_gamma", paper_gamma);
+                // The tail of the numa cell rides alongside alpha/beta/
+                // gamma on serving rows; batch documents are unchanged.
+                if let Some(s) = &m.serving {
+                    j = j
+                        .field("p50_ns", s.latency.p50())
+                        .field("p95_ns", s.latency.p95())
+                        .field("p99_ns", s.latency.p99())
+                        .field("p999_ns", s.latency.p999());
+                }
+                j
             })
             .collect();
         Json::obj()
@@ -281,6 +324,48 @@ mod tests {
         assert!(text.contains("\"pressure_ticks\":"));
         let total: u64 = sweep.results.iter().map(|r| r.report.numa.reclaims).sum();
         assert!(total > 0, "4 local frames must force actual reclaim work");
+    }
+
+    #[test]
+    fn serving_sweep_reports_the_latency_tail_next_to_the_model() {
+        // A cut-down serving grid: one load point, all three placements
+        // so the model solves.
+        let mut g = Grid::serving();
+        g.req_rates = vec![500];
+        g.zipf_exponents = vec![1.0];
+        g.tenant_counts = vec![1];
+        let sweep = Sweep::run(g, 2, None).unwrap();
+        assert_eq!(sweep.results.len(), 3);
+        for r in &sweep.results {
+            let s = r.report.serving.as_ref().expect("every serving cell attaches a report");
+            assert_eq!(s.requests, s.gets + s.puts);
+            assert!(s.latency.p999() >= s.latency.p50());
+        }
+        let rows = sweep.model_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].serving.is_some());
+        let text = sweep.to_json().to_string_flat();
+        validate(&text).unwrap();
+        // Job rows carry the ledger and the tail...
+        assert!(text.contains("\"requests_served\":1536"));
+        assert!(text.contains("\"p50_ns\":"));
+        assert!(text.contains("\"p999_ns\":"));
+        // ...and the model row names the load point next to the model
+        // columns.
+        assert!(text.contains("\"req_rate\":500"));
+        assert!(text.contains("\"zipf_s\":1.0"));
+        let model_part = text.split("\"model\":").nth(1).unwrap();
+        assert!(model_part.contains("\"p99_ns\":"));
+        assert!(model_part.contains("\"gamma\":"));
+    }
+
+    #[test]
+    fn batch_sweep_documents_never_mention_serving_fields() {
+        let sweep = Sweep::run(Grid::smoke(), 2, None).unwrap();
+        let text = sweep.to_json().to_string_flat();
+        for needle in ["requests_served", "p50_ns", "p95_ns", "p99_ns", "p999_ns", "serving"] {
+            assert!(!text.contains(needle), "smoke document mentions {needle}");
+        }
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Tail latency: per-request virtual-time latencies captured in a
+//! fixed-bucket log-scale histogram with deterministic percentile
+//! extraction.
+//!
+//! Serving workloads care about the *distribution* of request latency,
+//! not its mean: an overloaded shard shows up as a p99/p999 blow-up
+//! long before it moves the average. The histogram here is sized for
+//! that question and for this repository's byte-identity discipline:
+//!
+//! * **Fixed buckets.** Bucket boundaries are a pure function of the
+//!   bucket index — no adaptive resizing, no stored samples — so two
+//!   runs recording the same latencies produce the same counts in the
+//!   same buckets, and the serialized form is byte-identical.
+//! * **Log scale with sub-buckets.** Each power-of-two octave is split
+//!   into [`SUB_BUCKETS`] linear sub-buckets (the HDR-histogram idea),
+//!   bounding the relative quantization error at `1/SUB_BUCKETS`
+//!   (12.5%) across the full `u64` nanosecond range while keeping the
+//!   table a few hundred counters.
+//! * **Deterministic percentiles.** `percentile(q)` walks the
+//!   cumulative counts to the bucket containing the rank-`ceil(q*n)`
+//!   sample and reports that bucket's inclusive upper bound — integer
+//!   arithmetic on integer counts, identical on every platform.
+
+use crate::json::Json;
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 8;
+
+/// Values below `SUB_BUCKETS` get one exact bucket each; every octave
+/// above contributes `SUB_BUCKETS` buckets up to 2^64.
+const N_BUCKETS: usize = SUB_BUCKETS + 61 * SUB_BUCKETS;
+
+/// A fixed-bucket log-scale histogram of nanosecond latencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    /// Largest recorded value, kept exactly (the histogram itself
+    /// quantizes; the true maximum is worth one extra integer).
+    max_ns: u64,
+}
+
+/// The bucket a value falls into.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    // v >= 8: octave o = floor(log2 v) >= 3; the three bits below the
+    // leading one select the sub-bucket.
+    let o = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (o - 3)) & 0x7) as usize;
+    SUB_BUCKETS + (o - 3) * SUB_BUCKETS + sub
+}
+
+/// The inclusive upper bound of a bucket (what percentiles report).
+fn bucket_hi(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let g = (idx - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((idx - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    // (base+1)*2^g - 1; the topmost bucket's bound is exactly 2^64 - 1,
+    // so the addition must wrap rather than widen.
+    ((SUB_BUCKETS as u64 + sub) << g).wrapping_add(1u64 << g).wrapping_sub(1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { counts: vec![0; N_BUCKETS], total: 0, max_ns: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one (order-insensitive: counts
+    /// add, the maximum is the maximum of maxima).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value, exact.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: the inclusive upper
+    /// bound of the bucket holding the sample of rank `ceil(q * total)`
+    /// (clamped to at least rank 1), so ties and repeated samples
+    /// resolve to one deterministic answer. An empty histogram reports
+    /// zero. The true maximum caps the answer, so a one-sample
+    /// histogram reports that sample's value at every quantile.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // ceil(q * total) without floating-point rounding surprises:
+        // q is one of a handful of exact constants, but the product is
+        // computed in integer space scaled by 2^20.
+        let scaled = (q.clamp(0.0, 1.0) * (1u64 << 20) as f64) as u128;
+        let rank = (scaled * self.total as u128).div_ceil(1u128 << 20).max(1) as u64;
+        let rank = rank.min(self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_hi(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs, ascending — the
+    /// exact-integer form checkpoints persist.
+    pub fn to_sparse(&self) -> Vec<(usize, u64)> {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+
+    /// Rebuilds a histogram from its sparse form and exact maximum.
+    /// Out-of-range bucket indices are typed errors (a corrupt
+    /// checkpoint, not a panic).
+    pub fn from_sparse(pairs: &[(usize, u64)], max_ns: u64) -> Result<LatencyHistogram, String> {
+        let mut h = LatencyHistogram::new();
+        for &(i, c) in pairs {
+            if i >= N_BUCKETS {
+                return Err(format!("latency bucket index {i} out of range"));
+            }
+            h.counts[i] += c;
+            h.total += c;
+        }
+        h.max_ns = max_ns;
+        Ok(h)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+/// Everything a serving workload measures: request counts and the
+/// latency distribution. Attached to a run report only by serving
+/// applications, so batch runs serialize byte-identically to reports
+/// that predate this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServingReport {
+    /// Total requests served.
+    pub requests: u64,
+    /// Read requests among them.
+    pub gets: u64,
+    /// Write requests among them.
+    pub puts: u64,
+    /// Per-request virtual-time latency (completion minus scheduled
+    /// arrival, so queueing delay under overload is part of it).
+    pub latency: LatencyHistogram,
+}
+
+impl ServingReport {
+    /// The report as one deterministic JSON object: counts, the four
+    /// headline percentiles, the exact maximum, and the sparse buckets
+    /// (so a consumer can re-derive any other quantile).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .latency
+            .to_sparse()
+            .into_iter()
+            .map(|(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+            .collect();
+        Json::obj()
+            .field("requests", self.requests)
+            .field("gets", self.gets)
+            .field("puts", self.puts)
+            .field("p50_ns", self.latency.p50())
+            .field("p95_ns", self.latency.p95())
+            .field("p99_ns", self.latency.p99())
+            .field("p999_ns", self.latency.p999())
+            .field("max_ns", self.latency.max_ns())
+            .field("buckets", Json::Arr(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert!(h.to_sparse().is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 12_345, "q={q}");
+        }
+    }
+
+    #[test]
+    fn tiny_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0 / 8.0), 0, "rank 1 is the zero sample");
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn ties_resolve_to_one_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        // All mass in one bucket: every quantile reports it, capped by
+        // the exact maximum.
+        assert_eq!(h.p50(), 100);
+        assert_eq!(h.p999(), 100);
+    }
+
+    #[test]
+    fn bucket_boundaries_round_up_within_an_octave() {
+        // 1000 falls in octave [512, 1024) whose sub-buckets are 64
+        // wide; its bucket is [960, 1023].
+        assert_eq!(bucket_hi(bucket_of(1000)), 1023);
+        // Exact powers of two start their own sub-bucket.
+        assert_eq!(bucket_hi(bucket_of(1024)), 1151);
+        // Octave [8, 16) still has unit-width sub-buckets, so every
+        // value below 16 is exact; the first multi-value bucket is
+        // [16, 17].
+        assert_eq!(bucket_hi(bucket_of(8)), 8);
+        assert_eq!(bucket_hi(bucket_of(16)), 17);
+        assert_eq!(bucket_of(17), bucket_of(16));
+        assert_ne!(bucket_of(18), bucket_of(17));
+        // Quantization error stays within 12.5%.
+        for v in [17u64, 1000, 123_456, 7_000_000_000] {
+            let hi = bucket_hi(bucket_of(v));
+            assert!(hi >= v && (hi - v) as f64 <= v as f64 * 0.125, "v={v} hi={hi}");
+        }
+        // Huge values neither panic nor leave the table.
+        assert!(bucket_of(u64::MAX) < N_BUCKETS);
+        assert_eq!(bucket_hi(bucket_of(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 900 fast samples, 90 slow, 10 very slow.
+        for _ in 0..900 {
+            h.record(1_000);
+        }
+        for _ in 0..90 {
+            h.record(50_000);
+        }
+        for _ in 0..10 {
+            h.record(3_000_000);
+        }
+        assert!(h.p50() < 1_200, "p50 = {}", h.p50());
+        assert!(h.p95() >= 50_000 && h.p95() < 60_000, "p95 = {}", h.p95());
+        assert!(h.p999() >= 3_000_000, "p999 = {}", h.p999());
+        assert_eq!(h.max_ns(), 3_000_000);
+    }
+
+    #[test]
+    fn merge_is_the_sum_of_parts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in [5u64, 17, 99, 1_000, 64_000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [3u64, 250_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn sparse_form_round_trips_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 7, 8, 1_000, 1_001, 250_000, 250_000] {
+            h.record(v);
+        }
+        let back = LatencyHistogram::from_sparse(&h.to_sparse(), h.max_ns()).unwrap();
+        assert_eq!(back, h);
+        assert!(LatencyHistogram::from_sparse(&[(N_BUCKETS, 1)], 0).is_err());
+    }
+
+    #[test]
+    fn serving_report_serializes_deterministically() {
+        let mut latency = LatencyHistogram::new();
+        latency.record(1_000);
+        latency.record(9_000);
+        let r = ServingReport { requests: 2, gets: 1, puts: 1, latency };
+        let s = r.to_json().to_string_flat();
+        assert_eq!(s, r.to_json().to_string_flat());
+        crate::json::validate(&s).unwrap();
+        assert!(s.starts_with("{\"requests\":2,\"gets\":1,\"puts\":1,\"p50_ns\":"));
+        assert!(s.contains("\"max_ns\":9000"));
+        assert!(s.contains("\"buckets\":[["));
+    }
+}

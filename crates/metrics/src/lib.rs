@@ -28,6 +28,9 @@
 //!   per-page lifecycles, histograms, and per-CPU reference timelines;
 //! * [`json`] — the dependency-free [`Json`] serializer, [`validate`]
 //!   checker and [`parse`] reader behind every machine-readable report;
+//! * [`latency`] — fixed-bucket log-scale [`LatencyHistogram`]s with
+//!   deterministic p50/p95/p99/p999 extraction, and the
+//!   [`ServingReport`] serving workloads attach to run reports;
 //! * [`baseline`] — tolerance-based structural diffing of two report
 //!   documents, the engine of `numa-lab diff`/`gate`;
 //! * [`paper`] — the paper's published Table 3/4 values, the single
@@ -36,6 +39,7 @@
 pub mod baseline;
 pub mod events;
 pub mod json;
+pub mod latency;
 pub mod model;
 pub mod paper;
 pub mod table;
@@ -45,6 +49,7 @@ pub use baseline::{compare, BaselineDiff, Delta, Tolerance};
 pub use events::{Decision, Event, EventKind, EventSink, PageState, RecoveryAction, SharedSink,
                  VecSink, shared};
 pub use json::{Json, parse, validate};
+pub use latency::{LatencyHistogram, ServingReport};
 pub use model::{Model, ModelError};
 pub use table::Table;
 pub use telemetry::{Histogram, PageLifecycle, Telemetry};

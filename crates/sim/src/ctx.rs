@@ -535,6 +535,38 @@ impl ThreadCtx {
         }
     }
 
+    /// This thread's current virtual-time instant: the scheduling clock
+    /// of the processor it runs on. Reading the clock charges no time;
+    /// if the budget is already spent the thread rendezvouses first, so
+    /// the answer is the instant it would next be allowed to run at.
+    pub fn now(&mut self) -> Ns {
+        self.pre();
+        let cpu = self.cpu;
+        self.kernel.lock().clock_of(cpu)
+    }
+
+    /// Idles until this processor's clock reaches `t`, charging pure
+    /// compute in engine-visible chunks; returns immediately when the
+    /// clock is already past `t`. Open-loop workloads use this to pace
+    /// request arrivals on the virtual-time axis: the schedule is a
+    /// pure function of the arrival times, so runs are byte-identical
+    /// across worker counts and access paths.
+    ///
+    /// The wait is re-checked one chunk at a time because the processor
+    /// clock is shared: another thread scheduled onto the same
+    /// processor advances it too, and a single large charge would
+    /// overshoot the target by that thread's time.
+    pub fn wait_until(&mut self, t: Ns) {
+        loop {
+            let now = self.now();
+            if now >= t {
+                return;
+            }
+            let chunk = self.compute_chunk.0.max(1);
+            self.compute(Ns((t.0 - now.0).min(chunk)));
+        }
+    }
+
     /// Executes a Unix system call on the master processor (section 4.6):
     /// `compute` of system time on cpu 0 plus read-modify-writes of the
     /// given user addresses *from cpu 0*.

@@ -74,6 +74,9 @@ pub struct Simulator {
     next_cpu: usize,
     /// True once a run was cut short by the virtual-time budget.
     vt_exceeded: bool,
+    /// Serving-workload measurements attached by the application (see
+    /// [`Simulator::attach_serving`]); `None` for every batch workload.
+    serving: Option<numa_metrics::ServingReport>,
 }
 
 impl Simulator {
@@ -101,7 +104,16 @@ impl Simulator {
             pending: Vec::new(),
             next_cpu: 0,
             vt_exceeded: false,
+            serving: None,
         }
+    }
+
+    /// Attaches serving-workload measurements (request counts, tail
+    /// latency) to every subsequent [`Simulator::report`]. Only serving
+    /// applications call this, so batch runs keep the exact report
+    /// shape they had before the serving subsystem existed.
+    pub fn attach_serving(&mut self, serving: numa_metrics::ServingReport) {
+        self.serving = Some(serving);
     }
 
     /// True if any run so far was cut short by the configured
@@ -175,6 +187,7 @@ impl Simulator {
             numa: k.pmap.stats(),
             bus: k.machine.bus,
             faults: k.machine.fault.stats(),
+            serving: self.serving.clone(),
             degraded: None,
         }
     }

@@ -3,7 +3,7 @@
 use crate::kernel::RefCounters;
 use ace_machine::{BusStats, CpuTime, FaultStats, Ns};
 use numa_core::NumaStats;
-use numa_metrics::Json;
+use numa_metrics::{Json, ServingReport};
 use std::fmt;
 
 /// Everything measured during one run.
@@ -21,6 +21,11 @@ pub struct RunReport {
     pub bus: BusStats,
     /// Hardware faults injected by the machine's fault injector.
     pub faults: FaultStats,
+    /// Request counts and tail latency, attached only by serving
+    /// workloads ([`crate::Simulator::attach_serving`]). `None` — every
+    /// batch workload — keeps the serialized report byte-identical to
+    /// pre-serving reports.
+    pub serving: Option<ServingReport>,
     /// Typed reason the workload could not finish verified after a hard
     /// component loss (data destroyed by a typed zero-fill, a wedged
     /// run cut by the virtual-time budget). `None` — every healthy run —
@@ -152,6 +157,11 @@ impl RunReport {
                     .field("bad_frames", self.faults.bad_frames)
                     .field("corruptions", self.faults.corruptions),
             );
+        // The serving block appears only when a serving application
+        // attached one, so batch reports keep their exact prior bytes.
+        if let Some(s) = &self.serving {
+            j = j.field("serving", s.to_json());
+        }
         if let Some(d) = &self.degraded {
             j = j.field("degraded", d.as_str());
         }
@@ -225,6 +235,22 @@ impl fmt::Display for RunReport {
                 self.numa.dead_node_fallbacks
             )?;
         }
+        // And the serving line: only when a serving workload attached
+        // its measurements.
+        if let Some(s) = &self.serving {
+            write!(
+                f,
+                "\n  serving: {} requests ({} gets / {} puts), \
+                 p50 {} ns, p95 {} ns, p99 {} ns, p999 {} ns",
+                s.requests,
+                s.gets,
+                s.puts,
+                s.latency.p50(),
+                s.latency.p95(),
+                s.latency.p99(),
+                s.latency.p999()
+            )?;
+        }
         if let Some(d) = &self.degraded {
             write!(f, "\n  DEGRADED: {d}")?;
         }
@@ -248,6 +274,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            serving: None,
             degraded: None,
         };
         assert_eq!(r.total_user(), Ns(150));
@@ -268,6 +295,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            serving: None,
             degraded: None,
         };
         let a = r.to_json().to_string_flat();
@@ -288,6 +316,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            serving: None,
             degraded: None,
         };
         let idle = r.to_json().to_string_flat();
@@ -317,6 +346,7 @@ mod tests {
             numa: NumaStats::default(),
             bus: BusStats::default(),
             faults: FaultStats::default(),
+            serving: None,
             degraded: None,
         };
         let healthy = r.to_json().to_string_flat();

@@ -36,7 +36,7 @@ fn policies() -> Vec<(&'static str, PolicyCtor)> {
 }
 
 fn apps() -> Vec<Box<dyn App>> {
-    vec![Box::new(IMatMult::with_dim(48)), Box::new(Gfetch::new(Scale::Test))]
+    vec![Box::new(IMatMult::with_dim(48).expect("valid dimension")), Box::new(Gfetch::new(Scale::Test))]
 }
 
 /// One run with no event sink: the placement-model baselines don't need

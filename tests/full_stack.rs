@@ -134,7 +134,7 @@ fn derived_alpha_tracks_measured_alpha() {
 fn invariants_survive_sequential_workloads() {
     let mut sim =
         Simulator::new(SimConfig::small(3), Box::new(MoveLimitPolicy::default()));
-    let a = IMatMult::with_dim(12);
+    let a = IMatMult::with_dim(12).expect("valid dimension");
     a.run(&mut sim, 3).expect("first app");
     let b = Primes3::with_limit(500);
     b.run(&mut sim, 3).expect("second app");

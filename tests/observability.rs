@@ -14,7 +14,7 @@ fn run_with_sink(policy: Box<dyn CachePolicy>) -> (RunReport, Vec<numa_repro::me
     let sink = Arc::new(Mutex::new(VecSink::new()));
     let cfg = SimConfig::small(CPUS).events(sink.clone());
     let mut sim = Simulator::new(cfg, policy);
-    IMatMult::with_dim(12).run(&mut sim, CPUS).expect("verified");
+    IMatMult::with_dim(12).expect("valid dimension").run(&mut sim, CPUS).expect("verified");
     let report = sim.report();
     let events = sink.lock().unwrap().events.clone();
     (report, events)
@@ -22,7 +22,7 @@ fn run_with_sink(policy: Box<dyn CachePolicy>) -> (RunReport, Vec<numa_repro::me
 
 fn run_without_sink(policy: Box<dyn CachePolicy>) -> RunReport {
     let mut sim = Simulator::new(SimConfig::small(CPUS), policy);
-    IMatMult::with_dim(12).run(&mut sim, CPUS).expect("verified");
+    IMatMult::with_dim(12).expect("valid dimension").run(&mut sim, CPUS).expect("verified");
     sim.report()
 }
 
@@ -63,7 +63,7 @@ fn telemetry_aggregates_a_real_run() {
     let telemetry = Arc::new(Mutex::new(Telemetry::new()));
     let cfg = SimConfig::small(CPUS).events(telemetry.clone());
     let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
-    IMatMult::with_dim(12).run(&mut sim, CPUS).expect("verified");
+    IMatMult::with_dim(12).expect("valid dimension").run(&mut sim, CPUS).expect("verified");
     let report = sim.report();
     let tel = telemetry.lock().unwrap();
     assert!(tel.events_seen() > 0);

@@ -33,7 +33,7 @@ fn fft_references_are_mostly_private() {
 #[test]
 fn imatmult_fetch_to_store_ratio() {
     let n = 32usize;
-    let app = IMatMult::with_dim(n);
+    let app = IMatMult::with_dim(n).expect("valid dimension");
     let mut sim = Simulator::new(SimConfig::ace(4), Box::new(MoveLimitPolicy::default()));
     app.run(&mut sim, 4).expect("product verifies");
     let r = sim.report();

@@ -4,9 +4,8 @@
 //! The ACE of the paper — one bus, one global memory, flat per-CPU
 //! local memories — is now just `TopologyBuilder::flat_ace(n)`, a
 //! degenerate value of the general machine description. Nothing a user
-//! can observe may move when the description is spelled through the
-//! deprecated `MachineConfig::ace` shim, the fluent builder, or either
-//! simulator access path:
+//! can observe may move between two independently built descriptions
+//! of that machine, or between the simulator's two access paths:
 //!
 //! * the `RunReport`, compared as byte-identical JSON *and* as the
 //!   human rendering;
@@ -86,24 +85,22 @@ fn assert_equivalent(tag: &str, a: &Observation, b: &Observation) {
     }
 }
 
-/// The deprecated `MachineConfig::ace` shim and the fluent builder
-/// must describe the same machine, observably, on both access paths —
-/// and the two paths must agree with each other on the flat machine.
+/// Two independently built flat descriptions must be the same machine,
+/// observably, on both access paths — and the two paths must agree
+/// with each other on the flat machine.
 #[test]
-fn flat_runs_are_identical_across_shim_builder_and_paths() {
+fn flat_runs_are_identical_across_builds_and_paths() {
     for app in [&Gfetch::new(Scale::Test) as &dyn App, &IMatMult::new(Scale::Test)] {
-        #[allow(deprecated)]
-        let shim = || MachineConfig::ace(CPUS);
         let builder = || TopologyBuilder::flat_ace(CPUS).config();
 
-        let shim_fast = observe(app, shim(), true);
+        let first_fast = observe(app, builder(), true);
         let built_fast = observe(app, builder(), true);
-        let shim_slow = observe(app, shim(), false);
+        let first_slow = observe(app, builder(), false);
         let built_slow = observe(app, builder(), false);
 
         assert!(!built_fast.refs.is_empty(), "{}: no references captured", app.name());
-        assert_equivalent(&format!("{} shim-vs-builder (fast)", app.name()), &shim_fast, &built_fast);
-        assert_equivalent(&format!("{} shim-vs-builder (slow)", app.name()), &shim_slow, &built_slow);
+        assert_equivalent(&format!("{} rebuild (fast)", app.name()), &first_fast, &built_fast);
+        assert_equivalent(&format!("{} rebuild (slow)", app.name()), &first_slow, &built_slow);
         assert_equivalent(&format!("{} fast-vs-slow (builder)", app.name()), &built_fast, &built_slow);
     }
 }
