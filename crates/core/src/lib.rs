@@ -40,6 +40,12 @@
 //!   over another policy (section 4.3).
 //! * [`policy::ReconsiderPolicy`] — periodically reconsiders pinning
 //!   decisions (the future-work item of section 5, footnote 4).
+//! * [`policy::FlushLimitPolicy`] — the write-invalidation dual of the
+//!   move limit: pins (or re-homes) pages whose cached copies keep
+//!   getting flushed by coherence cleanups, the traffic the move counter
+//!   cannot see (single-writer pages never change owner).
+//! * [`policy::MoveOrFlushLimitPolicy`] — both budgets layered; a page
+//!   is pinned when either trips.
 
 pub mod manager;
 pub mod pmap_mgr;
@@ -51,8 +57,8 @@ pub mod stats;
 pub use manager::{NumaManager, PageView, StateKind};
 pub use pmap_mgr::AcePmap;
 pub use policy::{
-    AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy, PragmaPolicy,
-    ReconsiderPolicy,
+    AllGlobalPolicy, AllLocalPolicy, CachePolicy, FlushLimitPolicy, MoveLimitPolicy,
+    MoveOrFlushLimitPolicy, PinReason, PragmaPolicy, ReconsiderPolicy,
 };
 pub use protocol::{plan, ActionPlan, Cleanup, Placement, TableState};
 pub use reclaim::{LruReclaim, ReclaimCandidate, ReclaimPolicy, DEFAULT_MAX_RECLAIM_ATTEMPTS};

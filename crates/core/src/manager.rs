@@ -11,7 +11,7 @@
 //! the machine: copying pages, dropping mappings, and charging the
 //! kernel time involved to the requesting processor's system clock.
 
-use crate::policy::CachePolicy;
+use crate::policy::{CachePolicy, PinReason};
 use crate::protocol::{plan, Cleanup, Placement, TableState};
 use crate::reclaim::{LruReclaim, ReclaimCandidate, ReclaimPolicy, DEFAULT_MAX_RECLAIM_ATTEMPTS};
 use crate::stats::{FaultEvent, NumaStats};
@@ -87,6 +87,10 @@ struct PageInfo {
     fill: Fill,
     /// Write-induced ownership transfers so far.
     move_count: u32,
+    /// Cached copies invalidated by coherence cleanups so far (the raw,
+    /// undecayed mirror of the flush-aware policy's budget; see
+    /// [`CachePolicy::on_invalidation`]).
+    invalidations: u32,
     /// Last node that held the page local-writable.
     last_owner: Option<NodeId>,
 }
@@ -100,6 +104,7 @@ impl PageInfo {
             global_valid: false,
             fill: Fill::None,
             move_count: 0,
+            invalidations: 0,
             last_owner: None,
         }
     }
@@ -119,6 +124,8 @@ pub struct PageView {
     pub copies: usize,
     /// Ownership moves so far.
     pub move_count: u32,
+    /// Copies invalidated by coherence cleanups so far.
+    pub invalidations: u32,
     /// Whether the global frame holds current data.
     pub global_valid: bool,
 }
@@ -247,12 +254,14 @@ impl NumaManager {
                 state: StateKind::Fresh,
                 copies: 0,
                 move_count: 0,
+                invalidations: 0,
                 global_valid: false,
             },
             Some(p) => PageView {
                 state: p.state,
                 copies: p.locals.len(),
                 move_count: p.move_count,
+                invalidations: p.invalidations,
                 global_valid: p.global_valid,
             },
         }
@@ -418,18 +427,30 @@ impl NumaManager {
         }
 
         // 1. Cleanup of previous cache state (top line of the cell).
+        // Copies dropped here are *coherence* invalidations — the traffic
+        // a flush-aware policy budgets against — unlike capacity
+        // evictions (reclaim, pressure daemon), which are not reported.
+        let mut invalidated: u32 = 0;
         match p.cleanup {
             Cleanup::None => {}
-            Cleanup::FlushAll => self.flush(m, lpage, cpu, /* include_requester = */ true),
-            Cleanup::FlushOther => self.flush(m, lpage, cpu, false),
+            Cleanup::FlushAll => {
+                invalidated = self.flush(m, lpage, cpu, /* include_requester = */ true);
+            }
+            Cleanup::FlushOther => invalidated = self.flush(m, lpage, cpu, false),
             Cleanup::UnmapAll => self.unmap_global(m, lpage, cpu),
             Cleanup::SyncFlushOwn | Cleanup::SyncFlushOther => {
                 self.ensure_global_valid(m, lpage, cpu)?;
-                self.flush(m, lpage, cpu, true);
+                invalidated = self.flush(m, lpage, cpu, true);
             }
             Cleanup::SyncFlushHost | Cleanup::FlushNonHost => {
                 unreachable!("extension cleanups are executed by execute_remote")
             }
+        }
+        if invalidated > 0 {
+            self.stats.coherence_invalidations += u64::from(invalidated);
+            let info = self.pages.get_mut(&lpage).expect("entry created above");
+            info.invalidations = info.invalidations.saturating_add(invalidated);
+            policy.on_invalidation(lpage, invalidated, home);
         }
 
         // 2. Copy to local (middle line), satisfied for free if the
@@ -459,6 +480,7 @@ impl NumaManager {
         let prev_state = info.state;
         let mut moved: Option<(NodeId, u32)> = None;
         let mut pinned_moves: Option<u32> = None;
+        let mut pinned_flushes: Option<u32> = None;
         if let StateKind::LocalWritable(owner) = new_state {
             if info.last_owner.is_some() && info.last_owner != Some(owner) {
                 info.move_count += 1;
@@ -472,9 +494,16 @@ impl NumaManager {
         }
         if new_state == StateKind::GlobalWritable && info.state != StateKind::GlobalWritable {
             self.stats.to_global += 1;
-            if decision == Placement::Global && info.move_count > 0 {
-                self.stats.pins += 1;
-                pinned_moves = Some(info.move_count);
+            if decision == Placement::Global {
+                // Attribute the pin: a flush-budget pin is counted (and
+                // evented) separately from the paper's move-budget pin.
+                if policy.pin_reason(lpage) == Some(PinReason::Flushes) {
+                    self.stats.flush_pins += 1;
+                    pinned_flushes = Some(info.invalidations);
+                } else if info.move_count > 0 {
+                    self.stats.pins += 1;
+                    pinned_moves = Some(info.move_count);
+                }
             }
         }
         info.state = new_state;
@@ -483,6 +512,9 @@ impl NumaManager {
         }
         if let Some(moves) = pinned_moves {
             self.emit(m, cpu, EventKind::Pinned { lpage, moves });
+        }
+        if let Some(flushes) = pinned_flushes {
+            self.emit(m, cpu, EventKind::FlushPinned { lpage, flushes });
         }
         if prev_state != new_state {
             self.emit(
@@ -1286,8 +1318,15 @@ impl NumaManager {
     /// Drops local copies (and their mappings): the paper's "flush". If
     /// `include_requester` is false the requester's own copy survives
     /// (Table 2's "flush other" keeps the replica that becomes the
-    /// writable copy).
-    fn flush(&mut self, m: &mut Machine, lpage: LPageId, requester: CpuId, include_requester: bool) {
+    /// writable copy). Returns the number of copies dropped, so callers
+    /// on the coherence path can account invalidations.
+    fn flush(
+        &mut self,
+        m: &mut Machine,
+        lpage: LPageId,
+        requester: CpuId,
+        include_requester: bool,
+    ) -> u32 {
         let home = m.home_of(requester);
         let victims: Vec<(NodeId, Frame)> = self
             .page(lpage)
@@ -1296,6 +1335,7 @@ impl NumaManager {
             .filter(|(c, _)| include_requester || **c != home)
             .map(|(&c, &f)| (c, f))
             .collect();
+        let dropped = victims.len() as u32;
         for (c, f) in victims {
             // A local frame is normally mapped only on its own processor,
             // but a remote-hosted frame may be mapped anywhere.
@@ -1310,6 +1350,7 @@ impl NumaManager {
                 self.stats.shootdowns += 1;
             }
         }
+        dropped
     }
 
     /// Drops global-frame mappings on every processor: the paper's
@@ -1498,7 +1539,7 @@ impl Default for NumaManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{AllGlobalPolicy, AllLocalPolicy, MoveLimitPolicy};
+    use crate::policy::{AllGlobalPolicy, AllLocalPolicy, FlushLimitPolicy, MoveLimitPolicy};
     use ace_machine::TopologyBuilder;
 
     const L: LPageId = LPageId(3);
@@ -1609,6 +1650,101 @@ mod tests {
         assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
         assert!(pol.is_pinned(L));
         assert_eq!(mgr.stats().pins, 1);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn flush_limit_pins_single_writer_thrasher() {
+        // The scenario the move limit is blind to: one writer, many
+        // readers. Ownership never moves, but every round flushes
+        // copies; the flush limit pins the page and the thrash stops.
+        let (mut m, mut mgr) = setup();
+        let mut pol = FlushLimitPolicy::new(2, 0);
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        m.mem.write_u32(g.frame, 0, 1);
+        // Readers replicate (sync&flush of the writer copy: 1 copy).
+        mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        mgr.request(&mut m, L, Access::Fetch, CpuId(2), &mut pol).unwrap();
+        // Writer again: flush-other drops both replicas (2 copies).
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        m.mem.write_u32(g.frame, 0, 2);
+        assert_eq!(mgr.view(L).move_count, 0, "single-writer pages never move");
+        assert_eq!(pol.invalidations(L), 3);
+        // Budget passed (3 > 2): the next request pins the page global.
+        let g = mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        assert!(g.frame.is_global());
+        assert_eq!(m.mem.read_u32(g.frame, 0), 2, "data synced to global");
+        assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
+        assert!(pol.is_pinned(L));
+        assert_eq!(mgr.stats().flush_pins, 1);
+        assert_eq!(mgr.stats().pins, 0, "the move-budget counter is untouched");
+        assert_eq!(mgr.stats().migrations, 0);
+        assert_eq!(mgr.stats().coherence_invalidations, 4);
+        assert_eq!(mgr.view(L).invalidations, 4);
+        mgr.check_invariants(&mut m, L).unwrap();
+        // Pinned: further traffic is served globally with no new flushes.
+        let flushes = mgr.stats().flushes;
+        mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        mgr.request(&mut m, L, Access::Fetch, CpuId(3), &mut pol).unwrap();
+        assert_eq!(mgr.stats().flushes, flushes, "thrash has converged");
+        assert_eq!(mgr.stats().coherence_invalidations, 4);
+    }
+
+    #[test]
+    fn zero_flush_threshold_pins_after_first_invalidation() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = FlushLimitPolicy::new(0, 0);
+        mgr.zero_page(L);
+        mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        // First coherence invalidation: the reader's sync&flush drops
+        // the writer's copy.
+        mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        assert_eq!(pol.invalidations(L), 1);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        assert!(g.frame.is_global(), "threshold 0 pins on the first flush");
+        assert_eq!(mgr.stats().flush_pins, 1);
+        mgr.check_invariants(&mut m, L).unwrap();
+    }
+
+    #[test]
+    fn capacity_evictions_are_not_coherence_invalidations() {
+        // A reclaim under frame pressure flushes a victim, but that is
+        // capacity traffic, not coherence traffic: the flush budget and
+        // the invalidation counters must not see it.
+        let cfg = TopologyBuilder::small(2).local_frames(1).config();
+        let mut m = Machine::new(cfg);
+        let mut mgr = NumaManager::new();
+        let mut pol = FlushLimitPolicy::new(0, 0);
+        let a = LPageId(0);
+        let b = LPageId(1);
+        mgr.zero_page(a);
+        mgr.zero_page(b);
+        mgr.request(&mut m, a, Access::Store, CpuId(0), &mut pol).unwrap();
+        let gb = mgr.request(&mut m, b, Access::Store, CpuId(0), &mut pol).unwrap();
+        assert!(!gb.frame.is_global(), "reclaim served the request locally");
+        assert_eq!(mgr.stats().reclaims, 1);
+        assert_eq!(mgr.stats().coherence_invalidations, 0);
+        assert_eq!(mgr.view(a).invalidations, 0);
+        assert_eq!(pol.invalidations(a), 0);
+        assert_eq!(pol.invalidations(b), 0);
+        assert!(!pol.is_pinned(a), "victim page is not charged for its eviction");
+    }
+
+    #[test]
+    fn freed_page_forgets_its_invalidation_history() {
+        let (mut m, mut mgr) = setup();
+        let mut pol = FlushLimitPolicy::new(0, 0);
+        mgr.zero_page(L);
+        mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        mgr.request(&mut m, L, Access::Fetch, CpuId(1), &mut pol).unwrap();
+        pol.on_free(L);
+        mgr.release_page(&mut m, L);
+        assert_eq!(mgr.view(L).invalidations, 0, "directory entry forgotten");
+        // Reallocated: starts cacheable again.
+        mgr.zero_page(L);
+        let g = mgr.request(&mut m, L, Access::Store, CpuId(0), &mut pol).unwrap();
+        assert!(!g.frame.is_global());
         mgr.check_invariants(&mut m, L).unwrap();
     }
 

@@ -32,6 +32,18 @@ pub struct NumaStats {
     /// Pages pinned in global memory by the policy (move budget
     /// exhausted).
     pub pins: u64,
+    /// Pages pinned in global memory (or re-homed) by a flush-aware
+    /// policy: the *invalidation* budget was exhausted, not the move
+    /// budget. Always zero under the paper's move-limit policy, so
+    /// reports serialize it only when nonzero and every pre-existing
+    /// baseline keeps its exact bytes.
+    pub flush_pins: u64,
+    /// Cached copies invalidated by coherence cleanups (the flush/
+    /// sync-flush entries of Tables 1 and 2). Excludes capacity
+    /// evictions and pressure-daemon flushes — this is exactly the
+    /// traffic a flush-aware policy accounts against its budget.
+    /// Serialized only alongside `flush_pins` (see above).
+    pub coherence_invalidations: u64,
     /// Zero-fills performed directly into local memory (the lazy
     /// zero-fill optimization).
     pub zero_fill_local: u64,

@@ -177,6 +177,8 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
                 .field("shootdowns", n.shootdowns)
                 .field("to_global", n.to_global)
                 .field("pins", n.pins)
+                .field("flush_pins", n.flush_pins)
+                .field("coherence_invalidations", n.coherence_invalidations)
                 .field("zero_fill_local", n.zero_fill_local)
                 .field("zero_fill_global", n.zero_fill_global)
                 .field("local_pressure_fallbacks", n.local_pressure_fallbacks)
@@ -304,6 +306,8 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
             shootdowns: get_u64(n, "shootdowns")?,
             to_global: get_u64(n, "to_global")?,
             pins: get_u64(n, "pins")?,
+            flush_pins: get_u64(n, "flush_pins")?,
+            coherence_invalidations: get_u64(n, "coherence_invalidations")?,
             zero_fill_local: get_u64(n, "zero_fill_local")?,
             zero_fill_global: get_u64(n, "zero_fill_global")?,
             local_pressure_fallbacks: get_u64(n, "local_pressure_fallbacks")?,
@@ -459,6 +463,36 @@ mod tests {
         // The whole distribution survives, not just the headline
         // percentiles: the reloaded histogram is structurally equal.
         assert_eq!(r.serving, report.serving);
+        assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
+        cp.remove();
+    }
+
+    #[test]
+    fn flush_limit_cells_round_trip_with_their_pin_counters() {
+        use crate::grid::{Placement, PolicyAxis};
+        let mut grid = Grid::serving();
+        grid.placements = vec![Placement::Numa];
+        grid.policies = vec![PolicyAxis::FlushLimit];
+        grid.req_rates = vec![2_000];
+        grid.zipf_exponents = vec![1.5];
+        grid.tenant_counts = vec![1];
+        let jobs = grid.jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].policy().name(), "flush-limit");
+        let report = jobs[0].run().unwrap();
+        assert!(
+            report.numa.coherence_invalidations > 0,
+            "a hot single-writer serving cell must observe invalidations"
+        );
+        let path = temp_path("flushlimit");
+        let mut cp = Checkpoint::load_or_create(&path, &grid).unwrap();
+        cp.record(&jobs[0], &report).unwrap();
+        let reloaded = Checkpoint::load_or_create(&path, &grid).unwrap();
+        let r = &reloaded.completed_results(&jobs)[0].report;
+        // The new counters are part of the exact-integer round trip, and
+        // the policy cross-check accepts the flush-limit label.
+        assert_eq!(r.numa.flush_pins, report.numa.flush_pins);
+        assert_eq!(r.numa.coherence_invalidations, report.numa.coherence_invalidations);
         assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
         cp.remove();
     }

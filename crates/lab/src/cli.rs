@@ -330,15 +330,21 @@ fn cmd_list(opts: &Opts) -> Result<ExitCode, String> {
                 g.name.clone(),
                 format!("{:?}", g.scale).to_lowercase(),
                 g.jobs().len().to_string(),
-                format!(
-                    "{} apps x {} placements x {} cpus x {} thresholds x {} faults x {} pages",
-                    g.apps.len(),
-                    g.placements.len(),
-                    g.cpus.len(),
-                    g.thresholds.len(),
-                    g.fault_rates.len(),
-                    g.page_sizes.len()
-                ),
+                {
+                    let mut axes = format!(
+                        "{} apps x {} placements x {} cpus x {} thresholds x {} faults x {} pages",
+                        g.apps.len(),
+                        g.placements.len(),
+                        g.cpus.len(),
+                        g.thresholds.len(),
+                        g.fault_rates.len(),
+                        g.page_sizes.len()
+                    );
+                    if !g.policies.is_empty() {
+                        axes.push_str(&format!(" x {} policies", g.policies.len()));
+                    }
+                    axes
+                },
             ]);
         }
         println!("{t}");
@@ -346,8 +352,9 @@ fn cmd_list(opts: &Opts) -> Result<ExitCode, String> {
     }
     let grid = lookup_grid(opts)?;
     let jobs = grid.jobs();
-    let mut t = Table::new(&["id", "app", "placement", "cpus", "threshold", "fault", "page"])
-        .with_title(format!("grid `{}`: {} jobs, grid order", grid.name, jobs.len()));
+    let mut t =
+        Table::new(&["id", "app", "placement", "cpus", "threshold", "policy", "fault", "page"])
+            .with_title(format!("grid `{}`: {} jobs, grid order", grid.name, jobs.len()));
     for j in &jobs {
         t.row(vec![
             j.id.to_string(),
@@ -355,6 +362,7 @@ fn cmd_list(opts: &Opts) -> Result<ExitCode, String> {
             j.placement.label(),
             j.cpus.to_string(),
             j.threshold.map_or("-".to_string(), |x| x.to_string()),
+            j.policy.map_or("-".to_string(), |p| p.label().to_string()),
             format!("{}", j.fault_rate),
             j.page_size.to_string(),
         ]);

@@ -55,10 +55,12 @@ impl GateTolerances {
             "user_s" | "system_s" | "makespan_ns" | "t_local_s" | "t_global_s" | "t_numa_s"
             | "p50_ns" | "p95_ns" | "p99_ns" | "p999_ns" => Tolerance::rel(self.time_rel),
             "alpha" | "beta" | "gamma" | "alpha_measured" => Tolerance::abs(self.model_abs),
-            "replications" | "migrations" | "pins" | "syncs" | "shootdowns"
-            | "recovery_actions" | "reclaims" | "degradations" | "pressure_ticks"
-            | "nodes_offlined" | "pages_rehomed" | "pages_lost" | "threads_drained"
-            | "dead_node_fallbacks" => Tolerance { rel: self.count_rel, abs: self.count_abs },
+            "replications" | "migrations" | "pins" | "flush_pins" | "coherence_invalidations"
+            | "syncs" | "shootdowns" | "recovery_actions" | "reclaims" | "degradations"
+            | "pressure_ticks" | "nodes_offlined" | "pages_rehomed" | "pages_lost"
+            | "threads_drained" | "dead_node_fallbacks" => {
+                Tolerance { rel: self.count_rel, abs: self.count_abs }
+            }
             "bus_bytes" => Tolerance::rel(self.bytes_rel),
             // Identity: ids, axes, names, schema, paper constants.
             _ => Tolerance::EXACT,
@@ -220,6 +222,8 @@ mod tests {
             "replications",
             "migrations",
             "pins",
+            "flush_pins",
+            "coherence_invalidations",
             "syncs",
             "shootdowns",
             "reclaims",
@@ -229,6 +233,16 @@ mod tests {
             assert!(gate_leaf(leaf, 1000u64, 1080u64, &tol).passes(), "{leaf}: 8% tripped");
             assert!(!gate_leaf(leaf, 1000u64, 1130u64, &tol).passes(), "{leaf}: 13% passed");
         }
+    }
+
+    #[test]
+    fn flush_pin_counters_share_the_counter_floor_and_policy_stays_exact() {
+        // A handful of flush pins may wobble by the floor's two events;
+        // the policy label on a model row is identity, never drift.
+        let tol = GateTolerances::default();
+        assert!(gate_leaf("flush_pins", 3u64, 5u64, &tol).passes());
+        assert!(!gate_leaf("flush_pins", 3u64, 6u64, &tol).passes());
+        assert!(!gate_leaf("policy", "flush-limit", "move-limit", &tol).passes());
     }
 
     #[test]

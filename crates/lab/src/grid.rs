@@ -20,7 +20,10 @@ use numa_apps::{
     App, DivisorDiscipline, Fft, Gfetch, IMatMult, KvServe, ParMult, PlyTrace, Primes1, Primes2,
     Primes3, Scale, ServeParams,
 };
-use numa_core::{AllGlobalPolicy, AllLocalPolicy, CachePolicy, MoveLimitPolicy, ReconsiderPolicy};
+use numa_core::{
+    AllGlobalPolicy, AllLocalPolicy, CachePolicy, FlushLimitPolicy, MoveLimitPolicy,
+    MoveOrFlushLimitPolicy, ReconsiderPolicy,
+};
 use numa_metrics::paper::EVAL_CPUS;
 use numa_metrics::Json;
 use std::collections::HashSet;
@@ -159,6 +162,40 @@ impl Placement {
     }
 }
 
+/// One value of the policy axis: which pinning rule a NUMA-placement
+/// cell runs under. The axis applies to [`Placement::Numa`] cells only
+/// (the baselines and wrappers fix their own policy); other placements
+/// collapse it. The grid's `thresholds` axis remains the *move* budget;
+/// flush-aware policies use their own boot-time invalidation budget.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PolicyAxis {
+    /// The paper's move-limit rule (the default when the axis is empty).
+    MoveLimit,
+    /// The write-invalidation dual: pin once the flush budget trips.
+    FlushLimit,
+    /// Both budgets layered; a page pins when either trips.
+    MoveOrFlush,
+}
+
+impl PolicyAxis {
+    /// Stable label used in job listings and serialized reports
+    /// (matches the policy's `CachePolicy::name`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyAxis::MoveLimit => "move-limit",
+            PolicyAxis::FlushLimit => "flush-limit",
+            PolicyAxis::MoveOrFlush => "move-or-flush",
+        }
+    }
+
+    /// Case-insensitive lookup, for CLI arguments.
+    pub fn from_name(s: &str) -> Option<PolicyAxis> {
+        [PolicyAxis::MoveLimit, PolicyAxis::FlushLimit, PolicyAxis::MoveOrFlush]
+            .into_iter()
+            .find(|p| p.label().eq_ignore_ascii_case(s))
+    }
+}
+
 /// One value of the topology axis: a named machine shape, built at the
 /// cell's processor count. The default — an empty axis — is the paper's
 /// flat ACE, where every processor is its own node.
@@ -246,6 +283,11 @@ pub struct Grid {
     /// Move-limit threshold axis (applies to threshold-bearing
     /// placements only).
     pub thresholds: Vec<u32>,
+    /// Policy axis: which pinning rule NUMA-placement cells run under.
+    /// Empty — the default — means the paper's move-limit rule, and the
+    /// axis is absent from serialized grids and jobs (documents from
+    /// grids that predate the axis stay byte-identical).
+    pub policies: Vec<PolicyAxis>,
     /// Fault-rate axis (applied to bus-timeout, bad-frame and
     /// corruption channels alike, with a fixed seed).
     pub fault_rates: Vec<f64>,
@@ -308,6 +350,7 @@ impl Grid {
             placements: vec![Placement::Local, Placement::Global, Placement::Numa],
             cpus: vec![EVAL_CPUS],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
@@ -338,6 +381,7 @@ impl Grid {
             placements: vec![Placement::Local, Placement::Global, Placement::Numa],
             cpus: vec![4],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
@@ -362,6 +406,7 @@ impl Grid {
             placements: vec![Placement::Numa],
             cpus: vec![EVAL_CPUS],
             thresholds: vec![0, 1, 2, 4, 8, 16],
+            policies: vec![],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
@@ -385,6 +430,7 @@ impl Grid {
             placements: vec![Placement::Numa],
             cpus: vec![EVAL_CPUS],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0],
             page_sizes: vec![256, 512, 2048, 8192],
             local_frames: vec![],
@@ -409,6 +455,7 @@ impl Grid {
             placements: vec![Placement::Numa],
             cpus: vec![EVAL_CPUS],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0, 0.001, 0.01],
             page_sizes: vec![2048],
             local_frames: vec![],
@@ -436,6 +483,7 @@ impl Grid {
             placements: vec![Placement::Numa, Placement::NeverPin],
             cpus: vec![4],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0, 0.01],
             page_sizes: vec![2048],
             local_frames: vec![64, 16, 4],
@@ -464,6 +512,7 @@ impl Grid {
             placements: vec![Placement::Numa],
             cpus: vec![4],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0, 0.01],
             page_sizes: vec![2048],
             local_frames: vec![],
@@ -490,6 +539,7 @@ impl Grid {
             placements: vec![Placement::Global, Placement::Numa],
             cpus: vec![4],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![],
@@ -508,9 +558,14 @@ impl Grid {
     /// crossed with request rate (below and above the thrash-bound
     /// capacity of the NUMA placement), key-popularity skew, and tenant
     /// count, with local memory tight enough (pressure machinery) that
-    /// hot-set replication competes for frames. This is the grid behind
-    /// `BENCH_serving.json`; its rows carry p50/p95/p99/p999 virtual-
-    /// time latencies next to the model columns.
+    /// hot-set replication competes for frames. The NUMA cells are
+    /// additionally swept over the policy axis — move-limit (which
+    /// never pins the single-writer shard pages and thrashes),
+    /// flush-limit, and the layered move-or-flush rule — so the
+    /// committed document compares the pinning rules head to head.
+    /// This is the grid behind `BENCH_serving.json`; its rows carry
+    /// p50/p95/p99/p999 virtual-time latencies next to the model
+    /// columns.
     pub fn serving() -> Grid {
         Grid {
             name: "serving".to_string(),
@@ -519,6 +574,7 @@ impl Grid {
             placements: vec![Placement::Local, Placement::Global, Placement::Numa],
             cpus: vec![4],
             thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![PolicyAxis::MoveLimit, PolicyAxis::FlushLimit, PolicyAxis::MoveOrFlush],
             fault_rates: vec![0.0],
             page_sizes: vec![2048],
             local_frames: vec![12],
@@ -576,6 +632,12 @@ impl Grid {
         } else {
             self.local_frames.iter().map(|&f| Some(f)).collect()
         };
+        // An empty policy axis collapses to the default move-limit rule.
+        let policies: Vec<Option<PolicyAxis>> = if self.policies.is_empty() {
+            vec![None]
+        } else {
+            self.policies.iter().map(|&p| Some(p)).collect()
+        };
         // The chaos axes collapse the same way; an extent axis without a
         // time axis has nothing to schedule and collapses entirely, and
         // a time axis without an extent kills one node per failure.
@@ -615,6 +677,7 @@ impl Grid {
             for &placement in &self.placements {
                 for &cpus in &self.cpus {
                     for &threshold in &self.thresholds {
+                      for &policy in &policies {
                         for &fault_rate in &self.fault_rates {
                             for &page_size in &self.page_sizes {
                                 for &local_frames in &local_frames {
@@ -630,6 +693,12 @@ impl Grid {
                                             };
                                             let threshold =
                                                 placement.uses_threshold().then_some(threshold);
+                                            // The policy axis only distinguishes NUMA
+                                            // cells; the baselines and wrappers fix
+                                            // their own policy and collapse it.
+                                            let policy = (placement == Placement::Numa)
+                                                .then_some(policy)
+                                                .flatten();
                                             // A single-processor cell has no node to
                                             // spare; the extent axis collapses there.
                                             let offline_nodes = offline_at
@@ -648,6 +717,7 @@ impl Grid {
                                                 placement,
                                                 cpus,
                                                 threshold,
+                                                policy,
                                                 fault_rate.to_bits(),
                                                 page_size,
                                                 local_frames,
@@ -666,6 +736,7 @@ impl Grid {
                                                 cpus,
                                                 workers,
                                                 threshold,
+                                                policy,
                                                 fault_rate,
                                                 page_size,
                                                 local_frames,
@@ -688,6 +759,7 @@ impl Grid {
                                 }
                             }
                         }
+                      }
                     }
                 }
             }
@@ -721,6 +793,16 @@ impl Grid {
                 "page_sizes",
                 Json::Arr(self.page_sizes.iter().map(|&p| Json::from(p)).collect()),
             );
+        // The policy axis appears only when set, keeping pre-policy
+        // grid documents byte-identical.
+        if !self.policies.is_empty() {
+            g = g.field(
+                "policies",
+                Json::Arr(
+                    self.policies.iter().map(|p| Json::Str(p.label().to_string())).collect(),
+                ),
+            );
+        }
         // The pressure axis and budget appear only when set, so grids
         // that predate them serialize byte-identically.
         if !self.local_frames.is_empty() {
@@ -790,6 +872,9 @@ pub struct JobSpec {
     pub workers: usize,
     /// Move-limit threshold, when the placement takes one.
     pub threshold: Option<u32>,
+    /// Pinning rule of a NUMA-placement cell (`None` = the paper's
+    /// move-limit rule; only policy sweeps set it).
+    pub policy: Option<PolicyAxis>,
     /// Injected fault rate on all three fault channels.
     pub fault_rate: f64,
     /// Page size in bytes.
@@ -832,6 +917,9 @@ impl JobSpec {
         let mut s = format!("{}/{}", self.app.name(), self.placement.label());
         if let Some(t) = self.threshold {
             s.push_str(&format!(" t={t}"));
+        }
+        if let Some(p) = self.policy {
+            s.push_str(&format!(" pol={}", p.label()));
         }
         s.push_str(&format!(" p={}", self.cpus));
         if self.fault_rate > 0.0 {
@@ -907,7 +995,15 @@ impl JobSpec {
         match self.placement {
             Placement::Local => Box::new(MoveLimitPolicy::default()),
             Placement::Global => Box::new(AllGlobalPolicy),
-            Placement::Numa => Box::new(MoveLimitPolicy::new(threshold)),
+            Placement::Numa => match self.policy.unwrap_or(PolicyAxis::MoveLimit) {
+                PolicyAxis::MoveLimit => Box::new(MoveLimitPolicy::new(threshold)),
+                PolicyAxis::FlushLimit => Box::new(FlushLimitPolicy::default()),
+                PolicyAxis::MoveOrFlush => Box::new(MoveOrFlushLimitPolicy::new(
+                    threshold,
+                    FlushLimitPolicy::DEFAULT_THRESHOLD,
+                    FlushLimitPolicy::DEFAULT_DECAY_PERIOD,
+                )),
+            },
             Placement::NeverPin => Box::new(AllLocalPolicy),
             Placement::Reconsider { period } => Box::new(ReconsiderPolicy::new(threshold, period)),
         }
@@ -1004,6 +1100,11 @@ impl JobSpec {
             .field("threshold", self.threshold.map(u64::from))
             .field("fault_rate", Json::Num(self.fault_rate))
             .field("page_size", self.page_size);
+        // Present only when the grid sets the policy axis, so jobs from
+        // pre-policy grids serialize byte-identically.
+        if let Some(p) = self.policy {
+            j = j.field("policy", p.label());
+        }
         // Present only when the grid sets the pressure axis, so jobs
         // from pre-pressure grids serialize byte-identically.
         if let Some(lf) = self.local_frames {
@@ -1237,36 +1338,87 @@ mod tests {
     fn serving_preset_sweeps_rate_skew_and_tenants() {
         let g = Grid::serving();
         let jobs = g.jobs();
-        // 3 placements x 2 rates x 2 exponents x 2 tenant counts; no
-        // collapse, because the serving axes are app parameters and
-        // apply to every placement (including single-cpu local).
-        assert_eq!(jobs.len(), 24);
+        // The serving axes (2 rates x 2 exponents x 2 tenant counts)
+        // are app parameters and apply to every placement, including
+        // single-cpu local; the policy axis applies to NUMA cells only.
+        // local 8 + global 8 + numa 8x3 policies = 40 cells.
+        assert_eq!(jobs.len(), 40);
         assert!(jobs.iter().all(|j| j.app == AppId::KvServe));
         assert!(jobs
             .iter()
             .all(|j| j.req_rate.is_some() && j.zipf_s.is_some() && j.tenants.is_some()));
         assert!(jobs.iter().all(|j| j.local_frames == Some(12) && j.vt_budget.is_some()));
+        assert!(jobs
+            .iter()
+            .all(|j| (j.placement == Placement::Numa) == j.policy.is_some()));
         let j = jobs
             .iter()
             .find(|j| {
                 j.placement == Placement::Numa
+                    && j.policy == Some(PolicyAxis::FlushLimit)
                     && j.req_rate == Some(2_000)
                     && j.zipf_s == Some(1.5)
                     && j.tenants == Some(3)
             })
-            .expect("hot numa cell");
+            .expect("hot flush-limit numa cell");
+        assert!(j.label().contains("pol=flush-limit"), "label: {}", j.label());
         assert!(j.label().contains("r=2000"), "label: {}", j.label());
         assert!(j.label().contains("zs=1.5"), "label: {}", j.label());
         assert!(j.label().contains("ten=3"), "label: {}", j.label());
         // The axes show up in both serialized forms.
         let gj = g.to_json().to_string_flat();
+        assert!(gj.contains("\"policies\":[\"move-limit\",\"flush-limit\",\"move-or-flush\"]"));
         assert!(gj.contains("\"req_rates\":[500,2000]"));
         assert!(gj.contains("\"zipf_exponents\":[0.5,1.5]"));
         assert!(gj.contains("\"tenant_counts\":[1,3]"));
         let jj = j.to_json().to_string_flat();
+        assert!(jj.contains("\"policy\":\"flush-limit\""));
         assert!(jj.contains("\"req_rate\":2000"));
         assert!(jj.contains("\"zipf_s\":1.5"));
         assert!(jj.contains("\"tenants\":3"));
+    }
+
+    #[test]
+    fn policy_axis_names_round_trip() {
+        for p in [PolicyAxis::MoveLimit, PolicyAxis::FlushLimit, PolicyAxis::MoveOrFlush] {
+            assert_eq!(PolicyAxis::from_name(p.label()), Some(p));
+            assert_eq!(PolicyAxis::from_name(&p.label().to_uppercase()), Some(p));
+        }
+        assert!(PolicyAxis::from_name("lru").is_none());
+    }
+
+    #[test]
+    fn policy_axis_selects_the_cell_policy() {
+        let jobs = Grid::serving().jobs();
+        let by = |pol| {
+            jobs.iter()
+                .find(move |j| j.placement == Placement::Numa && j.policy == Some(pol))
+                .expect("numa cell for policy")
+        };
+        assert_eq!(by(PolicyAxis::MoveLimit).policy().name(), "move-limit");
+        assert_eq!(by(PolicyAxis::FlushLimit).policy().name(), "flush-limit");
+        assert_eq!(by(PolicyAxis::MoveOrFlush).policy().name(), "move-or-flush");
+        // Baselines keep their fixed policies regardless of the axis.
+        let global = jobs.iter().find(|j| j.placement == Placement::Global).unwrap();
+        assert_eq!(global.policy, None);
+        assert_eq!(global.policy().name(), "all-global");
+    }
+
+    #[test]
+    fn default_grids_do_not_mention_the_policy_axis() {
+        // Byte-compatibility: grids that leave the policy axis empty
+        // must serialize exactly as they did before the axis existed.
+        for name in
+            ["paper", "smoke", "threshold", "page-size", "faults", "pressure", "chaos", "topology"]
+        {
+            let g = Grid::named(name).unwrap();
+            assert!(!g.to_json().to_string_flat().contains("polic"), "{name} grid");
+            for j in g.jobs() {
+                assert_eq!(j.policy, None);
+                assert!(!j.to_json().to_string_flat().contains("\"policy\""));
+                assert!(!j.label().contains("pol="));
+            }
+        }
     }
 
     #[test]
@@ -1277,7 +1429,9 @@ mod tests {
         g.apps = vec![AppId::Gfetch, AppId::KvServe];
         let jobs = g.jobs();
         let batch: Vec<_> = jobs.iter().filter(|j| j.app == AppId::Gfetch).collect();
-        assert_eq!(batch.len(), 3, "one Gfetch cell per placement");
+        // One Gfetch cell per placement, except numa — the policy axis
+        // is a placement property, so its three values still apply.
+        assert_eq!(batch.len(), 5);
         assert!(batch.iter().all(|j| j.req_rate.is_none() && j.zipf_s.is_none()));
     }
 

@@ -184,6 +184,18 @@ impl Sweep {
                     .field("syncs", r.report.numa.syncs)
                     .field("shootdowns", r.report.numa.shootdowns)
                     .field("recovery_actions", r.report.numa.recovery_actions());
+                // Flush-pin counters ride along only on cells that
+                // sweep the policy axis (the spec drives the shape, so
+                // the column set is uniform across a policy sweep);
+                // every other document's bytes are unchanged.
+                if r.spec.policy.is_some() {
+                    j = j
+                        .field("flush_pins", r.report.numa.flush_pins)
+                        .field(
+                            "coherence_invalidations",
+                            r.report.numa.coherence_invalidations,
+                        );
+                }
                 // Pressure counters ride along only on cells that sweep
                 // the local-frames axis; every other document's bytes
                 // are unchanged.
@@ -239,6 +251,11 @@ impl Sweep {
                     .field("threshold", m.spec.threshold.map(u64::from))
                     .field("fault_rate", Json::Num(m.spec.fault_rate))
                     .field("page_size", m.spec.page_size);
+                // Policy-sweep model rows name the pinning rule, so the
+                // three numa rows of one load point stay distinct.
+                if let Some(p) = m.spec.policy {
+                    j = j.field("policy", p.label());
+                }
                 // Serving model rows name the cell's load point, so
                 // rows stay distinguishable across the serving axes.
                 if let Some(r) = m.spec.req_rate {
@@ -335,26 +352,33 @@ mod tests {
         g.zipf_exponents = vec![1.0];
         g.tenant_counts = vec![1];
         let sweep = Sweep::run(g, 2, None).unwrap();
-        assert_eq!(sweep.results.len(), 3);
+        // local + global + one numa cell per policy-axis value.
+        assert_eq!(sweep.results.len(), 5);
         for r in &sweep.results {
             let s = r.report.serving.as_ref().expect("every serving cell attaches a report");
             assert_eq!(s.requests, s.gets + s.puts);
             assert!(s.latency.p999() >= s.latency.p50());
         }
         let rows = sweep.model_rows();
-        assert_eq!(rows.len(), 1);
-        assert!(rows[0].serving.is_some());
+        assert_eq!(rows.len(), 3, "one model row per policy-axis value");
+        assert!(rows.iter().all(|r| r.serving.is_some()));
         let text = sweep.to_json().to_string_flat();
         validate(&text).unwrap();
         // Job rows carry the ledger and the tail...
         assert!(text.contains("\"requests_served\":1536"));
         assert!(text.contains("\"p50_ns\":"));
         assert!(text.contains("\"p999_ns\":"));
-        // ...and the model row names the load point next to the model
-        // columns.
+        // ...policy cells carry the flush-pin counters...
+        assert!(text.contains("\"flush_pins\":"));
+        assert!(text.contains("\"coherence_invalidations\":"));
+        // ...and the model rows name the load point and the pinning
+        // rule next to the model columns.
         assert!(text.contains("\"req_rate\":500"));
         assert!(text.contains("\"zipf_s\":1.0"));
         let model_part = text.split("\"model\":").nth(1).unwrap();
+        assert!(model_part.contains("\"policy\":\"move-limit\""));
+        assert!(model_part.contains("\"policy\":\"flush-limit\""));
+        assert!(model_part.contains("\"policy\":\"move-or-flush\""));
         assert!(model_part.contains("\"p99_ns\":"));
         assert!(model_part.contains("\"gamma\":"));
     }
@@ -363,7 +387,17 @@ mod tests {
     fn batch_sweep_documents_never_mention_serving_fields() {
         let sweep = Sweep::run(Grid::smoke(), 2, None).unwrap();
         let text = sweep.to_json().to_string_flat();
-        for needle in ["requests_served", "p50_ns", "p95_ns", "p99_ns", "p999_ns", "serving"] {
+        for needle in [
+            "requests_served",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+            "p999_ns",
+            "serving",
+            "\"policy\"",
+            "flush_pins",
+            "coherence_invalidations",
+        ] {
             assert!(!text.contains(needle), "smoke document mentions {needle}");
         }
     }

@@ -176,6 +176,15 @@ pub enum EventKind {
         /// Moves recorded when the pin happened.
         moves: u32,
     },
+    /// A flush-aware policy pinned the page in global memory (or
+    /// re-homed it): its write-invalidation budget was exhausted, not
+    /// its move budget.
+    FlushPinned {
+        /// The page.
+        lpage: LPageId,
+        /// Coherence invalidations recorded when the pin happened.
+        flushes: u32,
+    },
     /// A pinning decision was released for reconsideration; the page's
     /// mappings were dropped so its next access re-runs the policy.
     Reconsidered {
@@ -411,6 +420,10 @@ impl Event {
                 "pinned",
                 Json::obj().field("lpage", lpage.0 as u64).field("moves", u64::from(moves)),
             ),
+            EventKind::FlushPinned { lpage, flushes } => (
+                "flush_pinned",
+                Json::obj().field("lpage", lpage.0 as u64).field("flushes", u64::from(flushes)),
+            ),
             EventKind::Reconsidered { lpage } => {
                 ("reconsidered", Json::obj().field("lpage", lpage.0 as u64))
             }
@@ -595,6 +608,7 @@ mod tests {
             EventKind::Moved { lpage: LPageId(1), to: NodeId(0), moves: 4 },
             EventKind::Replicated { lpage: LPageId(1), at: NodeId(1) },
             EventKind::Pinned { lpage: LPageId(1), moves: 5 },
+            EventKind::FlushPinned { lpage: LPageId(1), flushes: 9 },
             EventKind::Reconsidered { lpage: LPageId(1) },
             EventKind::Freed { lpage: LPageId(1) },
             EventKind::Recovery { lpage: None, action: RecoveryAction::BusRetry { attempt: 1 } },

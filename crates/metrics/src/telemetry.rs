@@ -341,6 +341,13 @@ impl EventSink for Telemetry {
                 }
                 lc.note(t, "pinned");
             }
+            EventKind::FlushPinned { lpage, .. } => {
+                let lc = self.lifecycle(lpage.0);
+                if lc.pinned_at.is_none() {
+                    lc.pinned_at = Some(t);
+                }
+                lc.note(t, "flush-pinned");
+            }
             EventKind::Reconsidered { lpage } => {
                 let lc = self.lifecycle(lpage.0);
                 lc.reconsidered += 1;

@@ -123,6 +123,15 @@ impl RunReport {
                 if self.numa.pressure_ticks > 0 {
                     numa = numa.field("pressure_ticks", self.numa.pressure_ticks);
                 }
+                // Flush-pin counters appear only when a flush-aware
+                // policy actually pinned something; the paper's
+                // move-limit policy never does, so every pre-existing
+                // baseline keeps its exact bytes.
+                if self.numa.flush_pins > 0 {
+                    numa = numa
+                        .field("flush_pins", self.numa.flush_pins)
+                        .field("coherence_invalidations", self.numa.coherence_invalidations);
+                }
                 // Likewise the hierarchical counter: a flat machine can
                 // never replicate from a sibling node, so flat reports
                 // serialize byte-identically to pre-topology baselines.
@@ -208,6 +217,15 @@ impl fmt::Display for RunReport {
                 self.numa.frame_quarantines,
                 self.numa.replica_refetches,
                 self.numa.fault_global_fallbacks
+            )?;
+        }
+        // The flush-pin line only appears when a flush-aware policy
+        // pinned something; move-limit runs print exactly as before.
+        if self.numa.flush_pins > 0 {
+            write!(
+                f,
+                "\n  flush-pins: {} pages pinned after {} coherence invalidations",
+                self.numa.flush_pins, self.numa.coherence_invalidations
             )?;
         }
         // Likewise the pressure line: only under memory pressure.
@@ -335,6 +353,34 @@ mod tests {
         numa_metrics::validate(&busy).unwrap();
         let shown = format!("{r}");
         assert!(shown.contains("pressure: 2 reclaims, 1 degradations"));
+    }
+
+    #[test]
+    fn flush_pin_counters_appear_only_when_a_flush_policy_pinned() {
+        let mut r = RunReport {
+            policy: "flush-limit",
+            cpu_times: vec![CpuTime { user: Ns(100), system: Ns(10) }],
+            refs: RefCounters { local: 3, global: 1, remote: 0 },
+            numa: NumaStats::default(),
+            bus: BusStats::default(),
+            faults: FaultStats::default(),
+            serving: None,
+            degraded: None,
+        };
+        // Invalidations happen under every policy; without a flush pin
+        // the report must keep its exact pre-flush-policy bytes.
+        r.numa.coherence_invalidations = 40;
+        let unpinned = r.to_json().to_string_flat();
+        assert!(!unpinned.contains("flush_pins"), "pin-free reports stay byte-identical");
+        assert!(!unpinned.contains("coherence_invalidations"));
+        assert!(!format!("{r}").contains("flush-pins:"));
+        r.numa.flush_pins = 3;
+        let pinned = r.to_json().to_string_flat();
+        assert!(pinned.contains("\"flush_pins\":3"));
+        assert!(pinned.contains("\"coherence_invalidations\":40"));
+        numa_metrics::validate(&pinned).unwrap();
+        assert!(format!("{r}")
+            .contains("flush-pins: 3 pages pinned after 40 coherence invalidations"));
     }
 
     #[test]

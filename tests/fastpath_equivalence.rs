@@ -19,10 +19,10 @@
 //! hit-rate bookkeeping (it skips redundant hardware translations).
 //! Nothing reported, streamed, or gated may move.
 
-use numa_repro::apps::{paper_mix, App, Scale};
+use numa_repro::apps::{paper_mix, App, KvServe, Scale};
 use numa_repro::machine::FaultConfig;
 use numa_repro::metrics::{Event, VecSink};
-use numa_repro::numa::MoveLimitPolicy;
+use numa_repro::numa::{CachePolicy, FlushLimitPolicy, MoveLimitPolicy, MoveOrFlushLimitPolicy};
 use numa_repro::sim::{RefEvent, SimConfig, Simulator};
 use std::sync::{Arc, Mutex};
 
@@ -206,6 +206,81 @@ fn hard_failure_schedules_are_equivalent_across_paths() {
     );
     assert!(!slow.refs.is_empty(), "instrumentation captured no references");
     assert_equivalent("hard-failure mix", &slow, &fast);
+}
+
+/// The serving workload under one placement policy, with full
+/// observability plus the per-request latency histogram.
+fn observe_kvserve(fastpath: bool, policy: Box<dyn CachePolicy>) -> Observation {
+    let sink = Arc::new(Mutex::new(VecSink::new()));
+    let cfg = SimConfig::small(CPUS).events(sink.clone()).fastpath(fastpath);
+    let mut sim = Simulator::new(cfg, policy);
+    let refs = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&refs);
+    sim.with_kernel(|k| {
+        k.set_sink(Box::new(move |e: &RefEvent| tap.lock().unwrap().push(*e)))
+    });
+    KvServe::at_scale(Scale::Test)
+        .run(&mut sim, CPUS)
+        .unwrap_or_else(|e| panic!("KvServe failed verification: {e}"));
+    let report = sim.report();
+    assert!(report.serving.is_some(), "the serving workload must attach its histogram");
+    let events = sink.lock().unwrap().events.clone();
+    let refs = refs.lock().unwrap().clone();
+    Observation {
+        report_json: report.to_json().to_string_flat(),
+        report_text: format!("{report}"),
+        events,
+        refs,
+    }
+}
+
+/// The serving workload under the flush-aware policies: open-loop
+/// arrivals, the per-request latency histogram, and the new flush-pin
+/// accounting (counters and `flush_pinned` events alike) must be
+/// byte-identical across access paths for every policy on the serving
+/// grid's axis.
+#[test]
+fn kvserve_is_equivalent_across_paths_under_every_policy() {
+    type MakePolicy = fn() -> Box<dyn CachePolicy>;
+    let policies: [(&str, MakePolicy); 3] = [
+        ("move-limit", || Box::new(MoveLimitPolicy::default())),
+        ("flush-limit", || Box::new(FlushLimitPolicy::default())),
+        ("move-or-flush", || Box::new(MoveOrFlushLimitPolicy::default())),
+    ];
+    for (name, make) in policies {
+        let slow = observe_kvserve(false, make());
+        let fast = observe_kvserve(true, make());
+        assert!(!slow.refs.is_empty(), "KvServe/{name}: no references captured");
+        assert_equivalent(&format!("KvServe/{name}"), &slow, &fast);
+    }
+    // The flush-aware runs must actually exercise the new machinery —
+    // otherwise the equivalence above proves nothing about it.
+    let flush = observe_kvserve(true, Box::new(FlushLimitPolicy::default()));
+    assert!(
+        flush.report_json.contains("\"flush_pins\":"),
+        "the flush budget never tripped on the serving workload: {}",
+        flush.report_json
+    );
+}
+
+/// The policy-comparison serving sweep at several worker counts: the
+/// whole document — placements, policies, counters, percentiles — is
+/// byte-identical whether cells run serially or on 4 or 8 farm threads.
+#[test]
+fn serving_policy_sweep_is_byte_identical_across_worker_counts() {
+    let mut grid = numa_lab::Grid::serving();
+    grid.req_rates = vec![2_000];
+    grid.zipf_exponents = vec![1.5];
+    grid.tenant_counts = vec![1];
+    let jobs = grid.jobs();
+    assert_eq!(jobs.len(), 5, "local + global + one numa cell per policy");
+    let j1 = numa_lab::Sweep::run(grid.clone(), 1, None).unwrap().to_json().to_string_flat();
+    let j4 = numa_lab::Sweep::run(grid.clone(), 4, None).unwrap().to_json().to_string_flat();
+    let j8 = numa_lab::Sweep::run(grid, 8, None).unwrap().to_json().to_string_flat();
+    assert_eq!(j1, j4, "--jobs 1 vs --jobs 4 diverged");
+    assert_eq!(j1, j8, "--jobs 1 vs --jobs 8 diverged");
+    assert!(j1.contains("\"policy\":\"flush-limit\""));
+    assert!(j1.contains("\"coherence_invalidations\":"));
 }
 
 /// The fast path must actually engage: on a run-shaped workload the MMU

@@ -24,7 +24,8 @@
 
 use numa_repro::machine::{Access, CpuId, FaultConfig, Machine, NodeId, TopologyBuilder};
 use numa_repro::numa::{
-    plan, CachePolicy, MoveLimitPolicy, NumaManager, Placement, StateKind, TableState,
+    plan, CachePolicy, FlushLimitPolicy, MoveLimitPolicy, NumaManager, PinReason, Placement,
+    StateKind, TableState,
 };
 use numa_repro::vm::LPageId;
 use std::collections::HashMap;
@@ -78,12 +79,24 @@ impl<P: CachePolicy> CachePolicy for Recording<P> {
         self.inner.on_move(lpage);
     }
 
+    fn on_invalidation(&mut self, lpage: LPageId, copies: u32, writer: NodeId) {
+        self.inner.on_invalidation(lpage, copies, writer);
+    }
+
     fn on_free(&mut self, lpage: LPageId) {
         self.inner.on_free(lpage);
     }
 
+    fn on_tick(&mut self) {
+        self.inner.on_tick();
+    }
+
     fn take_reconsiderations(&mut self) -> Vec<LPageId> {
         self.inner.take_reconsiderations()
+    }
+
+    fn pin_reason(&self, lpage: LPageId) -> Option<PinReason> {
+        self.inner.pin_reason(lpage)
     }
 }
 
@@ -514,6 +527,148 @@ fn random_ops_with_the_paper_policy_pin_hot_pages() {
         policy.inner.pinned_count() > 0,
         "random cross-CPU writes must trip the move limit"
     );
+}
+
+#[test]
+fn random_ops_with_the_flush_policy_stay_coherent_and_pin() {
+    // FlushLimitPolicy under the full property harness: sequential
+    // consistency, Table 1/2 legality and the structural invariants
+    // hold on every step, and read-write sharing (which never trips
+    // the move limit) trips the flush budget instead.
+    for seed in [0x0ACE_5EED, 31] {
+        let (_, mgr, policy) = run_stream(
+            seed,
+            FaultConfig::disabled(),
+            Recording::new(FlushLimitPolicy::new(2, 0)),
+        );
+        let s = mgr.stats();
+        assert!(
+            policy.inner.pinned_pages().count() > 0,
+            "seed {seed:#x}: random sharing must trip a flush budget of 2: {s:?}"
+        );
+        assert!(s.coherence_invalidations > 0, "seed {seed:#x}: no invalidations: {s:?}");
+        assert!(s.flush_pins > 0, "seed {seed:#x}: pins must be attributed to flushes: {s:?}");
+        assert_eq!(s.pins, 0, "seed {seed:#x}: the move-limit pin path must not fire: {s:?}");
+    }
+}
+
+#[test]
+fn random_ops_with_the_flush_policy_stay_coherent_under_faults() {
+    // The same harness with the fault clock running: recovery may
+    // reroute placements, but the flush accounting still only counts
+    // coherence invalidations and the properties all hold.
+    let faults = FaultConfig {
+        seed: 0x0ACE_5EED,
+        bus_timeout_rate: 0.05,
+        bad_frame_rate: 0.05,
+        corruption_rate: 0.05,
+        ..FaultConfig::disabled()
+    };
+    let (_, mgr, policy) =
+        run_stream(0x0ACE_5EED, faults, Recording::new(FlushLimitPolicy::new(2, 0)));
+    let s = mgr.stats();
+    assert!(
+        policy.inner.pinned_pages().count() > 0,
+        "random sharing must trip the flush budget under faults too: {s:?}"
+    );
+    assert!(s.coherence_invalidations > 0, "no invalidations under faults: {s:?}");
+}
+
+/// One reader-writer thrash round: the writer stores, every reader
+/// fetches and checks the value. Returns the value written.
+fn thrash_round(
+    m: &mut Machine,
+    mgr: &mut NumaManager,
+    pol: &mut FlushLimitPolicy,
+    page: LPageId,
+    round: u32,
+) -> u32 {
+    let g = mgr.request(m, page, Access::Store, CpuId(0), pol).unwrap();
+    let val = round + 1;
+    m.mem.write_u32(g.frame, 0, val);
+    for r in 1..CPUS {
+        let g = mgr.request(m, page, Access::Fetch, CpuId(r), pol).unwrap();
+        assert_eq!(m.mem.read_u32(g.frame, 0), val, "round {round}: reader {r} saw stale data");
+    }
+    mgr.check_invariants(m, page).unwrap();
+    val
+}
+
+#[test]
+fn flush_limit_converges_the_single_writer_thrash() {
+    // The serving-shard pathology, distilled: one writer, three readers,
+    // one page. Ownership never changes hands, so the move limit is
+    // blind to it — but every round invalidates copies, so the flush
+    // budget trips, the page pins global, and from then on the
+    // invalidation count is provably frozen: the thrash has converged.
+    let mut m = Machine::new(TopologyBuilder::small(CPUS as usize).config());
+    let mut mgr = NumaManager::new();
+    let mut pol = FlushLimitPolicy::new(3, 0);
+    const L: LPageId = LPageId(0);
+    mgr.zero_page(L);
+
+    let mut frozen: Option<u64> = None;
+    for round in 0..16u32 {
+        thrash_round(&mut m, &mut mgr, &mut pol, L, round);
+        assert_eq!(mgr.view(L).move_count, 0, "a single-writer stream never migrates");
+        let s = mgr.stats();
+        if let Some(f) = frozen {
+            assert_eq!(
+                s.coherence_invalidations, f,
+                "round {round}: invalidations past the pin — the thrash did not converge"
+            );
+            assert_eq!(mgr.view(L).state, StateKind::GlobalWritable, "round {round}");
+        } else if pol.is_pinned(L) && mgr.view(L).state == StateKind::GlobalWritable {
+            frozen = Some(s.coherence_invalidations);
+        }
+    }
+    assert!(frozen.is_some(), "a flush budget of 3 must trip under reader-writer thrash");
+    let s = mgr.stats();
+    assert_eq!(s.migrations, 0, "nothing to migrate: {s:?}");
+    assert_eq!(s.pins, 0, "the move-limit pin path must stay silent: {s:?}");
+    assert_eq!(s.flush_pins, 1, "exactly one page pinned, attributed to flushes: {s:?}");
+    assert!(
+        pol.invalidations(L) > pol.threshold(),
+        "pinning requires the budget to be exceeded, not met"
+    );
+}
+
+#[test]
+fn flush_limit_converges_the_single_writer_thrash_under_faults() {
+    // Same pathology with all three fault channels firing: recovery may
+    // degrade individual placements along the way, but the flush budget
+    // still trips, readers never see stale bytes, and once the page is
+    // pinned in global memory the coherence-invalidation count freezes.
+    let mut cfg = TopologyBuilder::small(CPUS as usize).config();
+    cfg.faults = FaultConfig {
+        seed: 0x0ACE_5EED,
+        bus_timeout_rate: 0.05,
+        bad_frame_rate: 0.05,
+        corruption_rate: 0.05,
+        ..FaultConfig::disabled()
+    };
+    let mut m = Machine::new(cfg);
+    let mut mgr = NumaManager::new();
+    let mut pol = FlushLimitPolicy::new(3, 0);
+    const L: LPageId = LPageId(0);
+    mgr.zero_page(L);
+
+    let mut frozen: Option<u64> = None;
+    for round in 0..24u32 {
+        thrash_round(&mut m, &mut mgr, &mut pol, L, round);
+        assert_eq!(mgr.view(L).move_count, 0, "a single-writer stream never migrates");
+        let s = mgr.stats();
+        if let Some(f) = frozen {
+            assert_eq!(
+                s.coherence_invalidations, f,
+                "round {round}: invalidations past the pin under faults"
+            );
+        } else if pol.is_pinned(L) && mgr.view(L).state == StateKind::GlobalWritable {
+            frozen = Some(s.coherence_invalidations);
+        }
+    }
+    assert!(frozen.is_some(), "the flush budget must trip under fault injection too");
+    assert_eq!(mgr.view(L).state, StateKind::GlobalWritable);
 }
 
 #[test]
