@@ -32,6 +32,37 @@
 //! checked for coherence instead — a get must observe a version that
 //! was actually written, never more than the key's total puts, and
 //! never going backwards within one worker.
+//!
+//! # Overload robustness
+//!
+//! An open loop above service capacity grows queues without bound, so
+//! the unprotected tail is an artifact of an infinite queue. Three
+//! independently-switchable knobs bound it, each shedding with a typed
+//! [`ShedReason`] and never mutating KV state:
+//!
+//! * **Bounded queues** (`queue_depth`, 0 = unbounded): a request that
+//!   arrives while `queue_depth` earlier requests are waiting (admitted
+//!   but not yet dequeued) at its worker is shed `QueueFull`.
+//! * **Deadlines** (`deadline_ns`, 0 = none): a request that waits past
+//!   its deadline is shed `DeadlineExpired` at dequeue — it occupied
+//!   queue space while waiting but costs no service time. This is also
+//!   how a drained processor's backlog sheds under a `CpuOffline` hard
+//!   fault: the pause while its threads re-home blows the deadline.
+//! * **Per-tenant quotas** (`tenant_quota` requests/second, 0 =
+//!   unlimited): a token bucket per tenant in virtual time, refilled at
+//!   the quota rate with a quarter-second burst, judged at arrival —
+//!   one hot tenant cannot starve the rest. Rejections are shed
+//!   `QuotaExceeded` before reaching any worker queue.
+//!
+//! Every generated request lands in exactly one ledger slot —
+//! `generated == admitted + shed_queue_full + shed_deadline +
+//! shed_quota` — and verification stays exact under shedding: workers
+//! report the last word they actually wrote per key, and the host
+//! checks final memory against those (cross-checked against the full
+//! replay when no knob is engaged). All admission bookkeeping is pure
+//! host-side integer arithmetic with zero virtual-time cost, so runs
+//! with every knob disabled are byte-identical to the unprotected
+//! serving stack.
 
 use crate::app::App;
 use crate::params::ParamError;
@@ -41,7 +72,8 @@ use ace_machine::{Ns, Prot};
 use ace_sim::Simulator;
 use cthreads::Barrier;
 use mach_vm::VAddr;
-use numa_metrics::{LatencyHistogram, ServingReport};
+use numa_metrics::{LatencyHistogram, ServingReport, ShedReason};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 /// Fixed generator seed: every run of the same parameters sees the
@@ -84,6 +116,19 @@ pub struct ServeParams {
     /// Virtual-time grace before the first arrival, covering store
     /// initialization.
     pub start_ns: u64,
+    /// Per-worker bound on waiting requests; an arrival past the bound
+    /// is shed [`ShedReason::QueueFull`]. Zero disables the bound
+    /// (pre-admission behavior, byte-identical).
+    pub queue_depth: usize,
+    /// Per-request deadline: a request that waits longer than this
+    /// before dequeue is shed [`ShedReason::DeadlineExpired`] unserved,
+    /// and only served requests within it count toward goodput. Zero
+    /// disables deadlines.
+    pub deadline_ns: u64,
+    /// Per-tenant admission quota in requests per second of virtual
+    /// time (token bucket, quarter-second burst); rejections are shed
+    /// [`ShedReason::QuotaExceeded`]. Zero disables quotas.
+    pub tenant_quota: u64,
 }
 
 impl ServeParams {
@@ -99,6 +144,9 @@ impl ServeParams {
                 tenants: 1,
                 put_permille: 250,
                 start_ns: 500_000,
+                queue_depth: 0,
+                deadline_ns: 0,
+                tenant_quota: 0,
             },
             Scale::Bench => ServeParams {
                 keys: 4096,
@@ -109,6 +157,9 @@ impl ServeParams {
                 tenants: 1,
                 put_permille: 250,
                 start_ns: 2_000_000,
+                queue_depth: 0,
+                deadline_ns: 0,
+                tenant_quota: 0,
             },
         }
     }
@@ -178,6 +229,14 @@ impl ServeParams {
                 bound: "per-mille",
             });
         }
+        if self.tenant_quota > 1_000_000_000 {
+            return Err(ParamError::Exceeds {
+                what: "tenant quota",
+                got: self.tenant_quota as usize,
+                limit: 1_000_000_000,
+                bound: "one request per nanosecond",
+            });
+        }
         // Exercises the exponent check too.
         Zipf::new(self.keys, self.zipf_s).map(|_| ())
     }
@@ -190,6 +249,8 @@ struct Request {
     at: u64,
     /// The key addressed.
     key: u32,
+    /// The tenant issuing it (admission quotas are per tenant).
+    tenant: u32,
     /// `Some(stored word)` for a put, `None` for a get.
     put: Option<u32>,
 }
@@ -243,7 +304,7 @@ fn generate(p: &ServeParams) -> Result<Workload, ParamError> {
             gets += 1;
             None
         };
-        requests.push(Request { at, key, put });
+        requests.push(Request { at, key, tenant: tenant as u32, put });
     }
     Ok(Workload { requests, puts_per_key: versions, gets, puts })
 }
@@ -252,8 +313,18 @@ fn generate(p: &ServeParams) -> Result<Workload, ParamError> {
 #[derive(Default)]
 struct WorkerOut {
     latency: LatencyHistogram,
+    /// Latency of served requests that also met their deadline.
+    goodput: LatencyHistogram,
     gets: u64,
     puts: u64,
+    /// Requests shed at arrival: the worker's waiting queue was full.
+    shed_queue_full: u64,
+    /// Requests shed at dequeue: they waited past their deadline.
+    shed_deadline: u64,
+    /// `(key, word)` of every put actually served, in service order —
+    /// the host rebuilds expected final state from these, so shed puts
+    /// (which never touch memory) drop out of verification exactly.
+    served_puts: Vec<(u32, u32)>,
     /// First coherence violation observed, if any.
     error: Option<String>,
 }
@@ -295,11 +366,35 @@ impl App for KvServe {
         let addr_of = |key: u32, shard_base: &[VAddr]| {
             shard_base[key as usize % p.shards] + (key as u64 / p.shards as u64) * 4
         };
+        // Per-tenant admission: a token bucket in virtual time, judged
+        // at arrival before routing, so a rejected request never
+        // reaches a worker queue. Tokens are scaled by 1e9 (the bucket
+        // refills `tenant_quota` tokens per second and arrival times
+        // are nanoseconds), and the bucket starts full with a
+        // quarter-second burst. Pure host-side integer arithmetic: it
+        // costs no virtual time and with the quota disabled the stream
+        // reaches routing untouched.
+        const TOKEN: u128 = 1_000_000_000;
+        let burst = TOKEN * 1.max(p.tenant_quota / 4) as u128;
+        let mut tokens = vec![burst; p.tenants];
+        let mut refilled_at = vec![p.start_ns; p.tenants];
+        let mut shed_quota = 0u64;
         // Route: puts shard-affine (per-key arrival order preserved),
         // gets round-robin (hot pages become read-shared).
         let mut queues: Vec<Vec<Request>> = vec![Vec::new(); workers];
         let mut rr = 0usize;
         for r in &wl.requests {
+            if p.tenant_quota > 0 {
+                let t = r.tenant as usize;
+                let refill = (r.at - refilled_at[t]) as u128 * p.tenant_quota as u128;
+                tokens[t] = burst.min(tokens[t] + refill);
+                refilled_at[t] = r.at;
+                if tokens[t] < TOKEN {
+                    shed_quota += 1;
+                    continue;
+                }
+                tokens[t] -= TOKEN;
+            }
             let w = match r.put {
                 Some(_) => (r.key as usize % p.shards) % workers,
                 None => {
@@ -317,6 +412,7 @@ impl App for KvServe {
             let bound = Arc::clone(&puts_per_key);
             let out = Arc::clone(&outs[w]);
             let (keys, shards) = (p.keys, p.shards);
+            let (depth, deadline) = (p.queue_depth, p.deadline_ns);
             sim.spawn(format!("kvserve-{w}"), move |ctx| {
                 // Initialization: worker w writes version-0 values into
                 // the shards whose puts it owns — a single writer per
@@ -334,8 +430,40 @@ impl App for KvServe {
                 // Last version this worker observed per key, for the
                 // monotonicity half of the coherence check.
                 let mut seen = vec![0u32; keys];
+                // Dequeue instants of admitted requests that may still
+                // be waiting, for the queue-occupancy bound. The worker
+                // serves strictly in arrival order, so every earlier
+                // request's dequeue time is known when the next one is
+                // judged. Only live when a bound or deadline is set:
+                // the unprotected loop must stay instruction-identical.
+                let bounded = depth > 0 || deadline > 0;
+                let mut waiting: VecDeque<u64> = VecDeque::new();
                 for req in &queue {
+                    if depth > 0 {
+                        // Occupancy at this request's arrival: earlier
+                        // admitted requests not yet dequeued. A request
+                        // in service (dequeued, not finished) has left
+                        // the queue and does not count.
+                        while waiting.front().is_some_and(|&d| d <= req.at) {
+                            waiting.pop_front();
+                        }
+                        if waiting.len() >= depth {
+                            o.shed_queue_full += 1;
+                            continue;
+                        }
+                    }
                     ctx.wait_until(Ns(req.at));
+                    if bounded {
+                        // Reading the clock charges no virtual time.
+                        let dequeued = ctx.now().0;
+                        if depth > 0 {
+                            waiting.push_back(dequeued);
+                        }
+                        if deadline > 0 && dequeued.saturating_sub(req.at) > deadline {
+                            o.shed_deadline += 1;
+                            continue;
+                        }
+                    }
                     let addr = bases[req.key as usize % shards]
                         + (req.key as u64 / shards as u64) * 4;
                     match req.put {
@@ -343,6 +471,7 @@ impl App for KvServe {
                             ctx.compute(PUT_WORK);
                             ctx.write_u32(addr, word);
                             o.puts += 1;
+                            o.served_puts.push((req.key, word));
                         }
                         None => {
                             ctx.compute(GET_WORK);
@@ -371,44 +500,109 @@ impl App for KvServe {
                         }
                     }
                     let done = ctx.now().0;
-                    o.latency.record(done.saturating_sub(req.at));
+                    let lat = done.saturating_sub(req.at);
+                    o.latency.record(lat);
+                    if deadline == 0 || lat <= deadline {
+                        o.goodput.record(lat);
+                    }
                 }
-                *out.lock().expect("worker out poisoned") = o;
+                // A panic elsewhere may have poisoned the mutex; the
+                // measurements are still good, so store them either way
+                // instead of compounding one panic with another.
+                match out.lock() {
+                    Ok(mut g) => *g = o,
+                    Err(poisoned) => *poisoned.into_inner() = o,
+                }
             });
         }
         sim.run();
+        let limited = p.queue_depth > 0 || p.deadline_ns > 0 || p.tenant_quota > 0;
+        let mut report = ServingReport {
+            requests: wl.requests.len() as u64,
+            gets: 0,
+            puts: 0,
+            admitted: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            shed_quota: 0,
+            limited,
+            latency: LatencyHistogram::new(),
+            goodput: LatencyHistogram::new(),
+        };
+        report.shed(ShedReason::QuotaExceeded, shed_quota);
+        // Expected final state: the version-0 initialization overridden
+        // by every put a worker actually served, in service order. Each
+        // key's puts are confined to one worker in arrival order, so
+        // this is exact under any shedding pattern.
+        let mut expected: Vec<u32> = (0..p.keys as u32).map(|k| k & KEY_MASK).collect();
+        let mut errors: Vec<String> = Vec::new();
+        for out in &outs {
+            // A panicked worker poisons the mutex; take the data anyway
+            // (the chaos harness needs a deterministic report, not a
+            // second panic).
+            let o = match out.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for &(key, word) in &o.served_puts {
+                expected[key as usize] = word;
+            }
+            if let Some(e) = &o.error {
+                errors.push(e.clone());
+            }
+            report.gets += o.gets;
+            report.puts += o.puts;
+            report.shed(ShedReason::QueueFull, o.shed_queue_full);
+            report.shed(ShedReason::DeadlineExpired, o.shed_deadline);
+            report.latency.merge(&o.latency);
+            report.goodput.merge(&o.goodput);
+        }
+        report.admitted = report.gets + report.puts;
+        let balanced = report.ledger_balanced();
+        let (gets, puts) = (report.gets, report.puts);
+        let shed_total = report.shed_total();
+        // Attach before the verdicts: a run that fails verification
+        // (a chaos cell that lost pages) still reports its measured
+        // counters deterministically alongside the typed error.
+        sim.attach_serving(report);
         // Exact final-state verification: every key's word must equal
-        // the host-side replay of its puts (shard-affine routing made
-        // per-key put order the arrival order).
+        // the host-side replay of its served puts. With no knob engaged
+        // every generated put was served, so the replay must also match
+        // the generator's version count — a self-check that no request
+        // was silently dropped.
         for key in 0..p.keys as u32 {
-            let expect = (wl.puts_per_key[key as usize] << KEY_BITS) | (key & KEY_MASK);
+            let expect = expected[key as usize];
+            if !limited {
+                let full = (wl.puts_per_key[key as usize] << KEY_BITS) | (key & KEY_MASK);
+                if expect != full {
+                    return Err(format!(
+                        "key {key}: a generated put was never served (word {expect:#x}, \
+                         replay {full:#x})"
+                    ));
+                }
+            }
             let got = sim.with_kernel(|k| k.peek_u32(addr_of(key, &shard_base)));
             if got != expect {
                 return Err(format!("key {key}: final word {got:#x}, expected {expect:#x}"));
             }
         }
-        let mut report = ServingReport {
-            requests: wl.requests.len() as u64,
-            gets: 0,
-            puts: 0,
-            latency: LatencyHistogram::new(),
-        };
-        for out in &outs {
-            let o = out.lock().expect("worker out poisoned");
-            if let Some(e) = &o.error {
-                return Err(format!("coherence violation: {e}"));
-            }
-            report.gets += o.gets;
-            report.puts += o.puts;
-            report.latency.merge(&o.latency);
+        if let Some(e) = errors.first() {
+            return Err(format!("coherence violation: {e}"));
         }
-        if (report.gets, report.puts) != (wl.gets, wl.puts) {
+        if !limited && (gets, puts) != (wl.gets, wl.puts) {
             return Err(format!(
                 "served {}/{} gets/puts, generated {}/{}",
-                report.gets, report.puts, wl.gets, wl.puts
+                gets, puts, wl.gets, wl.puts
             ));
         }
-        sim.attach_serving(report);
+        if !balanced {
+            return Err(format!(
+                "shed ledger out of balance: {} generated, {} admitted + {} shed",
+                wl.requests.len(),
+                gets + puts,
+                shed_total
+            ));
+        }
         Ok(())
     }
 }
@@ -472,6 +666,122 @@ mod tests {
             ph > pl.saturating_mul(4),
             "open loop must queue under overload: p99 {ph} vs {pl}"
         );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_and_balances_the_ledger() {
+        let r = run_with(
+            ServeParams { rate: 50_000, queue_depth: 4, ..quick() },
+            2,
+            2,
+        );
+        let s = r.serving.as_ref().unwrap();
+        assert!(s.limited);
+        assert!(s.shed_queue_full > 0, "a 50k req/s burst must overflow depth-4 queues");
+        assert_eq!(s.shed_deadline + s.shed_quota, 0);
+        assert!(s.ledger_balanced(), "ledger: {} != {} + {}", s.requests, s.admitted, s.shed_total());
+        // Only admitted requests are measured, and every admitted
+        // request was actually served (run_with verifies final state).
+        assert_eq!(s.latency.total(), s.admitted);
+        assert_eq!(s.gets + s.puts, s.admitted);
+    }
+
+    #[test]
+    fn deadline_sheds_late_requests_and_caps_goodput() {
+        let r = run_with(
+            ServeParams { rate: 50_000, deadline_ns: 100_000, ..quick() },
+            2,
+            2,
+        );
+        let s = r.serving.as_ref().unwrap();
+        assert!(s.limited);
+        assert!(s.shed_deadline > 0, "stale queue entries must shed at dequeue");
+        assert_eq!(s.shed_queue_full + s.shed_quota, 0);
+        assert!(s.ledger_balanced());
+        // Goodput counts only admitted-and-on-time completions, so it
+        // can never exceed the admitted distribution.
+        assert!(s.goodput.total() <= s.latency.total());
+        assert!(s.goodput.max_ns() <= s.latency.max_ns());
+    }
+
+    #[test]
+    fn tenant_quota_sheds_in_admission_before_the_workers() {
+        let mut p = quick();
+        p.rate = 50_000;
+        p.tenants = 3;
+        p.tenant_quota = 200;
+        let r = run_with(p, 2, 2);
+        let s = r.serving.as_ref().unwrap();
+        assert!(s.limited);
+        assert!(s.shed_quota > 0, "a 50k req/s burst must exhaust 200 req/s buckets");
+        assert_eq!(s.shed_queue_full + s.shed_deadline, 0);
+        assert!(s.ledger_balanced());
+        // Quota-shed requests never reach a worker queue: everything
+        // that passed admission was served and measured.
+        assert_eq!(s.latency.total(), s.admitted);
+    }
+
+    #[test]
+    fn queue_depth_boundaries_are_sane() {
+        // Depth 0 is the unbounded sentinel: nothing sheds, the report
+        // keeps its legacy unlimited shape.
+        let r = run_with(ServeParams { rate: 50_000, queue_depth: 0, ..quick() }, 2, 2);
+        let s = r.serving.as_ref().unwrap();
+        assert!(!s.limited);
+        assert_eq!(s.shed_total(), 0);
+        assert_eq!(s.admitted, s.requests);
+        // Depth 1 is the harshest bound: one waiter only; under a hard
+        // burst most requests shed, yet the ledger still balances and
+        // served state still verifies.
+        let r = run_with(ServeParams { rate: 50_000, queue_depth: 1, ..quick() }, 2, 2);
+        let s = r.serving.as_ref().unwrap();
+        assert!(s.shed_queue_full > s.admitted, "depth 1 must shed most of a hard burst");
+        assert!(s.admitted > 0, "the in-service slot still drains work");
+        assert!(s.ledger_balanced());
+    }
+
+    #[test]
+    fn deadline_boundaries_are_sane() {
+        // Deadline 0 is the disabled sentinel.
+        let r = run_with(ServeParams { rate: 50_000, deadline_ns: 0, ..quick() }, 2, 2);
+        let s = r.serving.as_ref().unwrap();
+        assert!(!s.limited);
+        assert_eq!(s.shed_total(), 0);
+        // Deadline u64::MAX never expires: the knob is engaged (the
+        // report is limited) but nothing sheds and every completion is
+        // on time, so goodput equals the admitted distribution.
+        let r = run_with(ServeParams { rate: 50_000, deadline_ns: u64::MAX, ..quick() }, 2, 2);
+        let s = r.serving.as_ref().unwrap();
+        assert!(s.limited);
+        assert_eq!(s.shed_total(), 0);
+        assert_eq!(s.goodput, s.latency);
+    }
+
+    #[test]
+    fn protection_keeps_the_served_tail_within_four_times_baseline() {
+        // The acceptance bar: drive the open loop 4x past saturation;
+        // bounded queues plus deadline shedding must keep the p99 of
+        // requests actually admitted within 4x the unsaturated p99,
+        // with the shed ledger exactly accounting for the difference.
+        let baseline = run_with(ServeParams { rate: 500, ..quick() }, 2, 2);
+        let bp99 = baseline.serving.as_ref().unwrap().latency.p99();
+        let protected = run_with(
+            ServeParams { rate: 50_000, queue_depth: 4, deadline_ns: 200_000, ..quick() },
+            2,
+            2,
+        );
+        let s = protected.serving.as_ref().unwrap();
+        assert!(s.shed_total() > 0, "4x saturation must shed");
+        assert!(s.ledger_balanced());
+        assert_eq!(s.requests, s.admitted + s.shed_queue_full + s.shed_deadline + s.shed_quota);
+        assert!(
+            s.latency.p99() <= bp99.saturating_mul(4),
+            "protected p99 {} vs unsaturated p99 {}",
+            s.latency.p99(),
+            bp99
+        );
+        // Contrast: the same burst unprotected blows far past that bar
+        // (see overload_blows_up_the_tail).
     }
 
     #[test]

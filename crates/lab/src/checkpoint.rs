@@ -219,21 +219,37 @@ fn report_to_json(id: usize, r: &RunReport) -> Json {
     // from, so a resumed sweep reports the same tail byte-for-byte.
     let j = match &r.serving {
         Some(s) => {
-            let buckets: Vec<Json> = s
-                .latency
-                .to_sparse()
-                .into_iter()
-                .map(|(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
-                .collect();
-            j.field(
-                "serving",
-                Json::obj()
-                    .field("requests", s.requests)
-                    .field("gets", s.gets)
-                    .field("puts", s.puts)
-                    .field("max_ns", s.latency.max_ns())
-                    .field("buckets", Json::Arr(buckets)),
-            )
+            let sparse = |h: &numa_metrics::LatencyHistogram| {
+                Json::Arr(
+                    h.to_sparse()
+                        .into_iter()
+                        .map(|(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+                        .collect(),
+                )
+            };
+            let mut entry = Json::obj()
+                .field("requests", s.requests)
+                .field("gets", s.gets)
+                .field("puts", s.puts);
+            // The overload ledger and goodput distribution exist only
+            // on admission-controlled cells; unprotected serving cells
+            // keep their exact pre-overload checkpoint shape.
+            if s.limited {
+                entry = entry
+                    .field("admitted", s.admitted)
+                    .field("shed_queue_full", s.shed_queue_full)
+                    .field("shed_deadline", s.shed_deadline)
+                    .field("shed_quota", s.shed_quota);
+            }
+            entry = entry
+                .field("max_ns", s.latency.max_ns())
+                .field("buckets", sparse(&s.latency));
+            if s.limited {
+                entry = entry
+                    .field("goodput_max_ns", s.goodput.max_ns())
+                    .field("goodput_buckets", sparse(&s.goodput));
+            }
+            j.field("serving", entry)
         }
         None => j,
     };
@@ -353,10 +369,16 @@ fn report_from_json(entry: &[(String, Json)], spec: &JobSpec) -> Result<RunRepor
     })
 }
 
-/// Rebuilds a [`ServingReport`] from its exact-integer checkpoint form.
-fn serving_from_json(s: &[(String, Json)], id: usize) -> Result<ServingReport, String> {
-    let Some(Json::Arr(entries)) = get(s, "buckets") else {
-        return Err(format!("job #{id}: serving entry has no buckets array"));
+/// Parses one sparse bucket table (`[[index, count], ...]`) back into a
+/// histogram with its exact maximum.
+fn histogram_from_json(
+    s: &[(String, Json)],
+    buckets_key: &str,
+    max_key: &str,
+    id: usize,
+) -> Result<LatencyHistogram, String> {
+    let Some(Json::Arr(entries)) = get(s, buckets_key) else {
+        return Err(format!("job #{id}: serving entry has no {buckets_key} array"));
     };
     let mut pairs = Vec::with_capacity(entries.len());
     for pair in entries {
@@ -370,13 +392,33 @@ fn serving_from_json(s: &[(String, Json)], id: usize) -> Result<ServingReport, S
             other => return Err(format!("job #{id}: latency bucket is not a pair: {other:?}")),
         }
     }
-    let latency = LatencyHistogram::from_sparse(&pairs, get_u64(s, "max_ns")?)
-        .map_err(|e| format!("job #{id}: {e}"))?;
+    LatencyHistogram::from_sparse(&pairs, get_u64(s, max_key)?)
+        .map_err(|e| format!("job #{id}: {e}"))
+}
+
+/// Rebuilds a [`ServingReport`] from its exact-integer checkpoint form.
+/// The overload fields are optional: checkpoints written by unprotected
+/// serving cells carry neither ledger nor goodput, and rebuild with the
+/// ledger in its trivially-balanced form.
+fn serving_from_json(s: &[(String, Json)], id: usize) -> Result<ServingReport, String> {
+    let latency = histogram_from_json(s, "buckets", "max_ns", id)?;
+    let limited = get(s, "admitted").is_some();
+    let (requests, gets, puts) =
+        (get_u64(s, "requests")?, get_u64(s, "gets")?, get_u64(s, "puts")?);
+    if !limited {
+        return Ok(ServingReport::unlimited(requests, gets, puts, latency));
+    }
     Ok(ServingReport {
-        requests: get_u64(s, "requests")?,
-        gets: get_u64(s, "gets")?,
-        puts: get_u64(s, "puts")?,
+        requests,
+        gets,
+        puts,
+        admitted: get_u64(s, "admitted")?,
+        shed_queue_full: get_u64(s, "shed_queue_full")?,
+        shed_deadline: get_u64(s, "shed_deadline")?,
+        shed_quota: get_u64(s, "shed_quota")?,
+        limited,
         latency,
+        goodput: histogram_from_json(s, "goodput_buckets", "goodput_max_ns", id)?,
     })
 }
 
@@ -462,6 +504,34 @@ mod tests {
         let r = &reloaded.completed_results(&jobs)[0].report;
         // The whole distribution survives, not just the headline
         // percentiles: the reloaded histogram is structurally equal.
+        assert_eq!(r.serving, report.serving);
+        assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
+        cp.remove();
+    }
+
+    #[test]
+    fn limited_serving_cells_round_trip_ledger_and_goodput_exactly() {
+        // An overload cell checkpoints the admission ledger and the
+        // sparse goodput distribution; the reload rebuilds both without
+        // losing a single bucket.
+        let mut grid = Grid::overload();
+        grid.policies.truncate(1);
+        grid.offline_at = vec![0];
+        grid.req_rates = vec![32_000];
+        grid.queue_depths = vec![8];
+        grid.deadlines_ns = vec![400_000];
+        grid.tenant_quotas = vec![800];
+        let jobs = grid.jobs();
+        assert_eq!(jobs.len(), 1);
+        let report = jobs[0].run().unwrap();
+        let s = report.serving.as_ref().expect("overload cell attaches a ServingReport");
+        assert!(s.limited && s.shed_total() > 0, "the saturated cell must shed");
+        assert!(s.ledger_balanced());
+        let path = temp_path("overload");
+        let mut cp = Checkpoint::load_or_create(&path, &grid).unwrap();
+        cp.record(&jobs[0], &report).unwrap();
+        let reloaded = Checkpoint::load_or_create(&path, &grid).unwrap();
+        let r = &reloaded.completed_results(&jobs)[0].report;
         assert_eq!(r.serving, report.serving);
         assert_eq!(r.to_json().to_string_flat(), report.to_json().to_string_flat());
         cp.remove();

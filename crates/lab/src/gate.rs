@@ -53,12 +53,17 @@ impl GateTolerances {
         let leaf = path.rsplit('.').next().unwrap_or(path);
         match leaf {
             "user_s" | "system_s" | "makespan_ns" | "t_local_s" | "t_global_s" | "t_numa_s"
-            | "p50_ns" | "p95_ns" | "p99_ns" | "p999_ns" => Tolerance::rel(self.time_rel),
+            | "p50_ns" | "p95_ns" | "p99_ns" | "p999_ns" | "goodput_p50_ns" | "goodput_p95_ns"
+            | "goodput_p99_ns" | "goodput_p999_ns" => Tolerance::rel(self.time_rel),
             "alpha" | "beta" | "gamma" | "alpha_measured" => Tolerance::abs(self.model_abs),
+            // Admission outcomes hinge on virtual dequeue times, so a
+            // cost-model shift moves them like any protocol counter;
+            // the generated request count itself stays identity-exact.
             "replications" | "migrations" | "pins" | "flush_pins" | "coherence_invalidations"
             | "syncs" | "shootdowns" | "recovery_actions" | "reclaims" | "degradations"
             | "pressure_ticks" | "nodes_offlined" | "pages_rehomed" | "pages_lost"
-            | "threads_drained" | "dead_node_fallbacks" => {
+            | "threads_drained" | "dead_node_fallbacks" | "admitted" | "shed_queue_full"
+            | "shed_deadline" | "shed_quota" => {
                 Tolerance { rel: self.count_rel, abs: self.count_abs }
             }
             "bus_bytes" => Tolerance::rel(self.bytes_rel),
@@ -252,6 +257,40 @@ mod tests {
         let tol = GateTolerances::default();
         assert!(gate_leaf("pins", 3u64, 5u64, &tol).passes(), "floor did not absorb 2 events");
         assert!(!gate_leaf("pins", 3u64, 6u64, &tol).passes(), "3 events slipped under the floor");
+    }
+
+    #[test]
+    fn overload_ledger_counters_share_the_counter_class() {
+        // Shed counts wobble with the same cost-model shifts that move
+        // any protocol counter; the floor absorbs a couple of requests
+        // on near-empty ledgers.
+        let tol = GateTolerances::default();
+        for leaf in ["admitted", "shed_queue_full", "shed_deadline", "shed_quota"] {
+            assert!(gate_leaf(leaf, 1000u64, 1080u64, &tol).passes(), "{leaf}: 8% tripped");
+            assert!(!gate_leaf(leaf, 1000u64, 1130u64, &tol).passes(), "{leaf}: 13% passed");
+            assert!(gate_leaf(leaf, 3u64, 5u64, &tol).passes(), "{leaf}: floor missing");
+            assert!(!gate_leaf(leaf, 3u64, 6u64, &tol).passes(), "{leaf}: floor too wide");
+        }
+    }
+
+    #[test]
+    fn goodput_percentiles_share_the_time_class() {
+        let tol = GateTolerances::default();
+        for leaf in ["goodput_p50_ns", "goodput_p95_ns", "goodput_p99_ns", "goodput_p999_ns"] {
+            assert!(
+                gate_leaf(leaf, 1_000_000u64, 1_015_000u64, &tol).passes(),
+                "{leaf}: 1.5% tripped"
+            );
+            assert!(
+                !gate_leaf(leaf, 1_000_000u64, 1_030_000u64, &tol).passes(),
+                "{leaf}: 3% passed"
+            );
+        }
+        // The knob axes themselves are identity: a different queue
+        // depth or deadline is a different experiment, not drift.
+        for leaf in ["queue_depth", "deadline_ns", "tenant_quota"] {
+            assert!(!gate_leaf(leaf, 8u64, 9u64, &tol).passes(), "{leaf}: not exact");
+        }
     }
 
     #[test]

@@ -302,7 +302,9 @@ pub struct Grid {
     /// Hard-failure time axis: virtual times (ns) at which a scheduled
     /// node loss fires. Empty — the default — means no hard failures,
     /// and the axis is absent from serialized grids and jobs (documents
-    /// from grids that predate it stay byte-identical).
+    /// from grids that predate it stay byte-identical). A `0` entry is
+    /// the healthy sentinel — that cell schedules nothing — so one grid
+    /// can hold failure-free and mid-failure cells side by side.
     pub offline_at: Vec<u64>,
     /// Hard-failure extent axis: how many nodes die at the scheduled
     /// time (the highest-numbered processors' memories, never node 0's).
@@ -326,6 +328,17 @@ pub struct Grid {
     /// Serving tenant-count axis. Same collapse and serialization
     /// rules as `req_rates`.
     pub tenant_counts: Vec<usize>,
+    /// Serving queue-depth axis: per-worker bounds on waiting requests
+    /// (0 = unbounded). Same collapse and serialization rules as
+    /// `req_rates`.
+    pub queue_depths: Vec<usize>,
+    /// Serving deadline axis in nanoseconds (0 = no deadline). Same
+    /// collapse and serialization rules as `req_rates`.
+    pub deadlines_ns: Vec<u64>,
+    /// Serving per-tenant admission-quota axis in requests per second
+    /// (0 = unlimited). Same collapse and serialization rules as
+    /// `req_rates`.
+    pub tenant_quotas: Vec<u64>,
     /// Per-job virtual-time budget in nanoseconds (`None` = unbounded).
     /// Not an axis: a safety net so a wedged cell fails typed instead
     /// of hanging a sweep.
@@ -360,6 +373,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -391,6 +407,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -416,6 +435,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -440,6 +462,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -465,6 +490,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -493,6 +521,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: Some(Ns::from_ms(60_000).0),
             fastpath: true,
         }
@@ -522,6 +553,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: Some(Ns::from_ms(60_000).0),
             fastpath: true,
         }
@@ -549,6 +583,9 @@ impl Grid {
             req_rates: vec![],
             zipf_exponents: vec![],
             tenant_counts: vec![],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
             vt_budget: None,
             fastpath: true,
         }
@@ -584,6 +621,45 @@ impl Grid {
             req_rates: vec![500, 2_000],
             zipf_exponents: vec![0.5, 1.5],
             tenant_counts: vec![1, 3],
+            queue_depths: vec![],
+            deadlines_ns: vec![],
+            tenant_quotas: vec![],
+            vt_budget: Some(Ns::from_ms(60_000).0),
+            fastpath: true,
+        }
+    }
+
+    /// Overload sweep: the KV store under the NUMA placement, driven
+    /// through and past its saturation rate, crossed with the three
+    /// admission knobs (queue bound, deadline, per-tenant quota, each
+    /// off and on) and the move-limit/flush-limit policy pair — so the
+    /// committed document shows the unprotected queueing collapse and
+    /// the bounded tail side by side. The hard-failure axis rides
+    /// along with its 0-sentinel healthy cell: half the grid also
+    /// loses a node mid-serve, proving the serving stack composes with
+    /// the chaos machinery (re-homed shard pages, typed degraded rows)
+    /// deterministically. This is the grid behind `BENCH_overload.json`.
+    pub fn overload() -> Grid {
+        Grid {
+            name: "overload".to_string(),
+            scale: Scale::Test,
+            apps: vec![AppId::KvServe],
+            placements: vec![Placement::Numa],
+            cpus: vec![4],
+            thresholds: vec![MoveLimitPolicy::DEFAULT_THRESHOLD],
+            policies: vec![PolicyAxis::MoveLimit, PolicyAxis::FlushLimit],
+            fault_rates: vec![0.0],
+            page_sizes: vec![2048],
+            local_frames: vec![12],
+            offline_at: vec![0, Ns::from_ms(2).0],
+            offline_nodes: vec![1],
+            topologies: vec![],
+            req_rates: vec![2_000, 32_000],
+            zipf_exponents: vec![1.0],
+            tenant_counts: vec![3],
+            queue_depths: vec![0, 8],
+            deadlines_ns: vec![0, 400_000],
+            tenant_quotas: vec![0, 800],
             vt_budget: Some(Ns::from_ms(60_000).0),
             fastpath: true,
         }
@@ -602,6 +678,7 @@ impl Grid {
             "chaos",
             "topology",
             "serving",
+            "overload",
         ]
     }
 
@@ -618,6 +695,7 @@ impl Grid {
             "chaos" => Some(Grid::chaos()),
             "topology" => Some(Grid::topology()),
             "serving" => Some(Grid::serving()),
+            "overload" => Some(Grid::overload()),
             _ => None,
         }
     }
@@ -640,11 +718,13 @@ impl Grid {
         };
         // The chaos axes collapse the same way; an extent axis without a
         // time axis has nothing to schedule and collapses entirely, and
-        // a time axis without an extent kills one node per failure.
+        // a time axis without an extent kills one node per failure. A
+        // zero entry is the healthy sentinel: that cell schedules no
+        // failure, exactly as if the axis were empty.
         let offline_at: Vec<Option<u64>> = if self.offline_at.is_empty() {
             vec![None]
         } else {
-            self.offline_at.iter().map(|&t| Some(t)).collect()
+            self.offline_at.iter().map(|&t| (t > 0).then_some(t)).collect()
         };
         let offline_nodes: Vec<usize> =
             if self.offline_nodes.is_empty() { vec![1] } else { self.offline_nodes.clone() };
@@ -671,6 +751,21 @@ impl Grid {
         } else {
             self.tenant_counts.iter().map(|&t| Some(t)).collect()
         };
+        let queue_depths: Vec<Option<usize>> = if self.queue_depths.is_empty() {
+            vec![None]
+        } else {
+            self.queue_depths.iter().map(|&d| Some(d)).collect()
+        };
+        let deadlines_ns: Vec<Option<u64>> = if self.deadlines_ns.is_empty() {
+            vec![None]
+        } else {
+            self.deadlines_ns.iter().map(|&d| Some(d)).collect()
+        };
+        let tenant_quotas: Vec<Option<u64>> = if self.tenant_quotas.is_empty() {
+            vec![None]
+        } else {
+            self.tenant_quotas.iter().map(|&q| Some(q)).collect()
+        };
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for &app in &self.apps {
@@ -687,6 +782,9 @@ impl Grid {
                                            for &req_rate in &req_rates {
                                             for &zipf_s in &zipf_exponents {
                                              for &tenants in &tenant_counts {
+                                              for &queue_depth in &queue_depths {
+                                               for &deadline_ns in &deadlines_ns {
+                                                for &tenant_quota in &tenant_quotas {
                                             let (cpus, workers) = match placement {
                                                 Placement::Local => (1, 1),
                                                 _ => (cpus, cpus),
@@ -712,6 +810,12 @@ impl Grid {
                                                 } else {
                                                     (None, None, None)
                                                 };
+                                            let (queue_depth, deadline_ns, tenant_quota) =
+                                                if app == AppId::KvServe {
+                                                    (queue_depth, deadline_ns, tenant_quota)
+                                                } else {
+                                                    (None, None, None)
+                                                };
                                             let key = (
                                                 app,
                                                 placement,
@@ -724,7 +828,8 @@ impl Grid {
                                                 offline_at,
                                                 offline_nodes,
                                                 topology,
-                                                (req_rate, zipf_s.map(f64::to_bits), tenants),
+                                                (req_rate, zipf_s.map(f64::to_bits), tenants,
+                                                 queue_depth, deadline_ns, tenant_quota),
                                             );
                                             if !seen.insert(key) {
                                                 continue;
@@ -746,10 +851,16 @@ impl Grid {
                                                 req_rate,
                                                 zipf_s,
                                                 tenants,
+                                                queue_depth,
+                                                deadline_ns,
+                                                tenant_quota,
                                                 scale: self.scale,
                                                 vt_budget: self.vt_budget,
                                                 fastpath: self.fastpath,
                                             });
+                                                }
+                                               }
+                                              }
                                              }
                                             }
                                            }
@@ -849,6 +960,26 @@ impl Grid {
                 Json::Arr(self.tenant_counts.iter().map(|&t| Json::from(t)).collect()),
             );
         }
+        // The overload axes appear only when set, keeping pre-overload
+        // grid documents byte-identical.
+        if !self.queue_depths.is_empty() {
+            g = g.field(
+                "queue_depths",
+                Json::Arr(self.queue_depths.iter().map(|&d| Json::from(d)).collect()),
+            );
+        }
+        if !self.deadlines_ns.is_empty() {
+            g = g.field(
+                "deadlines_ns",
+                Json::Arr(self.deadlines_ns.iter().map(|&d| Json::from(d)).collect()),
+            );
+        }
+        if !self.tenant_quotas.is_empty() {
+            g = g.field(
+                "tenant_quotas",
+                Json::Arr(self.tenant_quotas.iter().map(|&q| Json::from(q)).collect()),
+            );
+        }
         if let Some(b) = self.vt_budget {
             g = g.field("vt_budget_ns", b);
         }
@@ -900,6 +1031,16 @@ pub struct JobSpec {
     /// Serving tenant-count override (`None` = the scale default; set
     /// only for serving cells).
     pub tenants: Option<usize>,
+    /// Serving per-worker queue bound (`None` = the scale default; set
+    /// only for overload sweeps; the value 0 means unbounded).
+    pub queue_depth: Option<usize>,
+    /// Serving deadline override in nanoseconds (`None` = the scale
+    /// default; set only for overload sweeps; the value 0 disables).
+    pub deadline_ns: Option<u64>,
+    /// Serving per-tenant quota override in requests per second
+    /// (`None` = the scale default; set only for overload sweeps; the
+    /// value 0 means unlimited).
+    pub tenant_quota: Option<u64>,
     /// Workload scale.
     pub scale: Scale,
     /// Virtual-time budget in nanoseconds (`None` = unbounded). Not an
@@ -946,6 +1087,15 @@ impl JobSpec {
         if let Some(t) = self.tenants {
             s.push_str(&format!(" ten={t}"));
         }
+        if let Some(d) = self.queue_depth {
+            s.push_str(&format!(" qd={d}"));
+        }
+        if let Some(d) = self.deadline_ns {
+            s.push_str(&format!(" dl={d}"));
+        }
+        if let Some(q) = self.tenant_quota {
+            s.push_str(&format!(" tq={q}"));
+        }
         s
     }
 
@@ -962,6 +1112,15 @@ impl JobSpec {
             }
             if let Some(t) = self.tenants {
                 p.tenants = t;
+            }
+            if let Some(d) = self.queue_depth {
+                p.queue_depth = d;
+            }
+            if let Some(d) = self.deadline_ns {
+                p.deadline_ns = d;
+            }
+            if let Some(q) = self.tenant_quota {
+                p.tenant_quota = q;
             }
             return Box::new(KvServe::new(p));
         }
@@ -1127,6 +1286,16 @@ impl JobSpec {
         }
         if let Some(t) = self.tenants {
             j = j.field("tenants", t);
+        }
+        // And the overload axes: only overload sweeps mention them.
+        if let Some(d) = self.queue_depth {
+            j = j.field("queue_depth", d);
+        }
+        if let Some(d) = self.deadline_ns {
+            j = j.field("deadline_ns", d);
+        }
+        if let Some(q) = self.tenant_quota {
+            j = j.field("tenant_quota", q);
         }
         j.field("scale", scale_label(self.scale))
     }
@@ -1473,6 +1642,92 @@ mod tests {
                 assert_eq!(j.tenants, None);
                 let jj = j.to_json().to_string_flat();
                 assert!(!jj.contains("req_rate") && !jj.contains("zipf") && !jj.contains("tenant"));
+            }
+        }
+    }
+
+    #[test]
+    fn overload_preset_sweeps_protection_knobs_through_saturation() {
+        let g = Grid::overload();
+        let jobs = g.jobs();
+        // 2 policies x 2 offline (healthy + node-loss) x 2 rates
+        // x 2 depths x 2 deadlines x 2 quotas, numa placement only.
+        assert_eq!(jobs.len(), 64);
+        assert!(jobs.iter().all(|j| j.app == AppId::KvServe && j.placement == Placement::Numa));
+        assert!(jobs.iter().all(|j| {
+            j.queue_depth.is_some() && j.deadline_ns.is_some() && j.tenant_quota.is_some()
+        }));
+        // The healthy sentinel: a zero offline_at entry schedules nothing.
+        let healthy = jobs.iter().filter(|j| j.offline_at.is_none()).count();
+        assert_eq!(healthy, 32);
+        assert!(jobs
+            .iter()
+            .filter(|j| j.offline_at.is_none())
+            .all(|j| j.hard_schedule().is_empty()));
+        assert!(jobs
+            .iter()
+            .filter(|j| j.offline_at.is_some())
+            .all(|j| j.hard_schedule().len() == 1));
+        let j = jobs
+            .iter()
+            .find(|j| {
+                j.req_rate == Some(32_000)
+                    && j.queue_depth == Some(8)
+                    && j.deadline_ns == Some(400_000)
+                    && j.tenant_quota == Some(800)
+            })
+            .expect("fully protected saturated cell");
+        assert!(j.label().contains("qd=8"), "label: {}", j.label());
+        assert!(j.label().contains("dl=400000"), "label: {}", j.label());
+        assert!(j.label().contains("tq=800"), "label: {}", j.label());
+        let jj = j.to_json().to_string_flat();
+        assert!(jj.contains("\"queue_depth\":8"));
+        assert!(jj.contains("\"deadline_ns\":400000"));
+        assert!(jj.contains("\"tenant_quota\":800"));
+        let gj = g.to_json().to_string_flat();
+        assert!(gj.contains("\"queue_depths\":[0,8]"));
+        assert!(gj.contains("\"deadlines_ns\":[0,400000]"));
+        assert!(gj.contains("\"tenant_quotas\":[0,800]"));
+    }
+
+    #[test]
+    fn overload_knobs_reach_the_serving_app_and_collapse_for_batch() {
+        // The knobs reach ServeParams through make_app (instantiation
+        // succeeds with them applied) and collapse for batch apps.
+        let g = Grid::overload();
+        let j = g.jobs().into_iter().find(|j| j.queue_depth == Some(8)).unwrap();
+        assert_eq!(j.make_app().name(), "KvServe");
+        let mut mixed = Grid::overload();
+        mixed.apps = vec![AppId::Gfetch, AppId::KvServe];
+        let batch: Vec<_> =
+            mixed.jobs().into_iter().filter(|j| j.app == AppId::Gfetch).collect();
+        // Gfetch keeps only the policy x offline axes: 2 x 2 = 4 cells.
+        assert_eq!(batch.len(), 4);
+        assert!(batch.iter().all(|j| {
+            j.queue_depth.is_none() && j.deadline_ns.is_none() && j.tenant_quota.is_none()
+        }));
+    }
+
+    #[test]
+    fn default_grids_do_not_mention_the_overload_axes() {
+        // Byte-compatibility: grids that leave the overload axes empty
+        // must serialize exactly as they did before the axes existed —
+        // including the serving preset, whose baseline predates them.
+        for name in Grid::preset_names().iter().filter(|&&n| n != "overload") {
+            let g = Grid::named(name).unwrap();
+            let s = g.to_json().to_string_flat();
+            assert!(!s.contains("queue_depth"), "{name} grid mentions queue_depths");
+            assert!(!s.contains("deadline"), "{name} grid mentions deadlines_ns");
+            assert!(!s.contains("quota"), "{name} grid mentions tenant_quotas");
+            for j in g.jobs() {
+                assert_eq!(j.queue_depth, None);
+                assert_eq!(j.deadline_ns, None);
+                assert_eq!(j.tenant_quota, None);
+                let jj = j.to_json().to_string_flat();
+                assert!(!jj.contains("queue_depth") && !jj.contains("deadline"));
+                assert!(!jj.contains("quota"));
+                let l = j.label();
+                assert!(!l.contains("qd=") && !l.contains("dl=") && !l.contains("tq="));
             }
         }
     }

@@ -126,6 +126,9 @@ impl Sweep {
                     && r.spec.req_rate == spec.req_rate
                     && r.spec.zipf_s.map(f64::to_bits) == spec.zipf_s.map(f64::to_bits)
                     && r.spec.tenants == spec.tenants
+                    && r.spec.queue_depth == spec.queue_depth
+                    && r.spec.deadline_ns == spec.deadline_ns
+                    && r.spec.tenant_quota == spec.tenant_quota
                     && (!same_cpus || r.spec.cpus == spec.cpus)
             })
         };
@@ -236,6 +239,21 @@ impl Sweep {
                         .field("p95_ns", s.latency.p95())
                         .field("p99_ns", s.latency.p99())
                         .field("p999_ns", s.latency.p999());
+                    // The admission ledger and goodput tail ride along
+                    // only on cells that engage an overload knob; the
+                    // serving baseline keeps its exact pre-overload
+                    // bytes.
+                    if s.limited {
+                        j = j
+                            .field("admitted", s.admitted)
+                            .field("shed_queue_full", s.shed_queue_full)
+                            .field("shed_deadline", s.shed_deadline)
+                            .field("shed_quota", s.shed_quota)
+                            .field("goodput_p50_ns", s.goodput.p50())
+                            .field("goodput_p95_ns", s.goodput.p95())
+                            .field("goodput_p99_ns", s.goodput.p99())
+                            .field("goodput_p999_ns", s.goodput.p999());
+                    }
                 }
                 j.field("bus_bytes", r.report.bus.total_bytes())
             })
@@ -266,6 +284,17 @@ impl Sweep {
                 }
                 if let Some(t) = m.spec.tenants {
                     j = j.field("tenants", t);
+                }
+                // Overload model rows name the protection knobs, so
+                // rows stay distinguishable across an overload sweep.
+                if let Some(d) = m.spec.queue_depth {
+                    j = j.field("queue_depth", d);
+                }
+                if let Some(d) = m.spec.deadline_ns {
+                    j = j.field("deadline_ns", d);
+                }
+                if let Some(q) = m.spec.tenant_quota {
+                    j = j.field("tenant_quota", q);
                 }
                 j = j
                     .field("t_local_s", m.t_local)
@@ -301,6 +330,7 @@ impl Sweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::PolicyAxis;
     use numa_metrics::validate;
 
     #[test]
@@ -375,12 +405,45 @@ mod tests {
         // rule next to the model columns.
         assert!(text.contains("\"req_rate\":500"));
         assert!(text.contains("\"zipf_s\":1.0"));
+        // ...but an unprotected serving sweep never mentions the
+        // overload ledger (byte-compatibility with its baseline).
+        assert!(!text.contains("admitted") && !text.contains("goodput"), "overload leak");
         let model_part = text.split("\"model\":").nth(1).unwrap();
         assert!(model_part.contains("\"policy\":\"move-limit\""));
         assert!(model_part.contains("\"policy\":\"flush-limit\""));
         assert!(model_part.contains("\"policy\":\"move-or-flush\""));
         assert!(model_part.contains("\"p99_ns\":"));
         assert!(model_part.contains("\"gamma\":"));
+    }
+
+    #[test]
+    fn overload_sweep_balances_the_shed_ledger() {
+        // A cut-down overload grid: one saturated load point with every
+        // protection knob engaged, plus healthy/chaos contrast.
+        let mut g = Grid::overload();
+        g.policies = vec![PolicyAxis::MoveLimit];
+        g.offline_at = vec![0];
+        g.req_rates = vec![32_000];
+        g.queue_depths = vec![8];
+        g.deadlines_ns = vec![400_000];
+        g.tenant_quotas = vec![800];
+        let sweep = Sweep::run(g, 2, None).unwrap();
+        assert_eq!(sweep.results.len(), 1);
+        let s = sweep.results[0].report.serving.as_ref().expect("serving report attaches");
+        assert!(s.limited, "engaged knobs mark the report limited");
+        assert!(s.ledger_balanced(), "requests == admitted + shed_*");
+        assert!(s.shed_total() > 0, "a 32k req/s burst against protection must shed");
+        let text = sweep.to_json().to_string_flat();
+        validate(&text).unwrap();
+        for needle in [
+            "\"admitted\":",
+            "\"shed_queue_full\":",
+            "\"shed_deadline\":",
+            "\"shed_quota\":",
+            "\"goodput_p99_ns\":",
+        ] {
+            assert!(text.contains(needle), "overload document lacks {needle}");
+        }
     }
 
     #[test]
@@ -397,6 +460,12 @@ mod tests {
             "\"policy\"",
             "flush_pins",
             "coherence_invalidations",
+            "admitted",
+            "shed_",
+            "goodput",
+            "queue_depth",
+            "deadline",
+            "quota",
         ] {
             assert!(!text.contains(needle), "smoke document mentions {needle}");
         }

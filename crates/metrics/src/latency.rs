@@ -152,11 +152,14 @@ impl LatencyHistogram {
     /// Rebuilds a histogram from its sparse form and exact maximum.
     /// Out-of-range bucket indices are typed errors (a corrupt
     /// checkpoint, not a panic).
-    pub fn from_sparse(pairs: &[(usize, u64)], max_ns: u64) -> Result<LatencyHistogram, String> {
+    pub fn from_sparse(
+        pairs: &[(usize, u64)],
+        max_ns: u64,
+    ) -> Result<LatencyHistogram, HistogramError> {
         let mut h = LatencyHistogram::new();
         for &(i, c) in pairs {
             if i >= N_BUCKETS {
-                return Err(format!("latency bucket index {i} out of range"));
+                return Err(HistogramError::BucketOutOfRange { index: i, limit: N_BUCKETS });
             }
             h.counts[i] += c;
             h.total += c;
@@ -166,50 +169,179 @@ impl LatencyHistogram {
     }
 }
 
+/// What can go wrong rebuilding a histogram from persisted form. Typed
+/// so checkpoint and report loaders can distinguish corruption from IO
+/// problems instead of string-matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistogramError {
+    /// A sparse pair named a bucket index past the fixed table.
+    BucketOutOfRange { index: usize, limit: usize },
+}
+
+impl std::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistogramError::BucketOutOfRange { index, limit } => {
+                write!(f, "latency bucket index {index} out of range (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
 impl Default for LatencyHistogram {
     fn default() -> LatencyHistogram {
         LatencyHistogram::new()
     }
 }
 
-/// Everything a serving workload measures: request counts and the
-/// latency distribution. Attached to a run report only by serving
-/// applications, so batch runs serialize byte-identically to reports
-/// that predate this type.
+/// Why a request was turned away instead of served. The serving stack
+/// counts each reason separately so the ledger
+/// `generated == admitted + shed_queue_full + shed_deadline + shed_quota`
+/// accounts for every generated request exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The worker's bounded request queue was at capacity when the
+    /// request arrived.
+    QueueFull,
+    /// The request waited past its deadline before the worker dequeued
+    /// it (this is also how a drained processor's backlog sheds: the
+    /// pause while its threads re-home blows the deadline).
+    DeadlineExpired,
+    /// The tenant's admission token bucket was empty at arrival.
+    QuotaExceeded,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::DeadlineExpired => "deadline-expired",
+            ShedReason::QuotaExceeded => "quota-exceeded",
+        })
+    }
+}
+
+/// Everything a serving workload measures: request counts, the latency
+/// distribution, and — when admission control or deadlines are engaged
+/// — the shed ledger and the goodput distribution. Attached to a run
+/// report only by serving applications, so batch runs serialize
+/// byte-identically to reports that predate this type; the overload
+/// fields serialize only when `limited` is set, so serving runs with
+/// every knob disabled stay byte-identical too.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServingReport {
-    /// Total requests served.
+    /// Total requests generated (every arrival, served or shed).
     pub requests: u64,
-    /// Read requests among them.
+    /// Read requests served.
     pub gets: u64,
-    /// Write requests among them.
+    /// Write requests served.
     pub puts: u64,
+    /// Requests admitted and served (`gets + puts`).
+    pub admitted: u64,
+    /// Requests shed because a worker queue was at capacity.
+    pub shed_queue_full: u64,
+    /// Requests shed because they waited past their deadline.
+    pub shed_deadline: u64,
+    /// Requests rejected by per-tenant admission control.
+    pub shed_quota: u64,
+    /// True when any overload knob (queue bound, deadline, quota) was
+    /// engaged; gates serialization of the overload fields.
+    pub limited: bool,
     /// Per-request virtual-time latency (completion minus scheduled
-    /// arrival, so queueing delay under overload is part of it).
+    /// arrival, so queueing delay under overload is part of it) of
+    /// served requests.
     pub latency: LatencyHistogram,
+    /// Latency of requests that were served *and* met their deadline —
+    /// the goodput distribution. With no deadline configured it equals
+    /// `latency`.
+    pub goodput: LatencyHistogram,
 }
 
 impl ServingReport {
+    /// A report with every overload knob disabled — the pre-admission
+    /// shape where every generated request is served.
+    pub fn unlimited(requests: u64, gets: u64, puts: u64, latency: LatencyHistogram) -> Self {
+        ServingReport {
+            requests,
+            gets,
+            puts,
+            admitted: gets + puts,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            shed_quota: 0,
+            limited: false,
+            goodput: latency.clone(),
+            latency,
+        }
+    }
+
+    /// Adds `n` requests to the shed ledger under the given reason.
+    pub fn shed(&mut self, reason: ShedReason, n: u64) {
+        match reason {
+            ShedReason::QueueFull => self.shed_queue_full += n,
+            ShedReason::DeadlineExpired => self.shed_deadline += n,
+            ShedReason::QuotaExceeded => self.shed_quota += n,
+        }
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_quota
+    }
+
+    /// True when every generated request is accounted for:
+    /// `requests == admitted + shed_queue_full + shed_deadline + shed_quota`.
+    pub fn ledger_balanced(&self) -> bool {
+        self.requests == self.admitted + self.shed_total()
+    }
+
     /// The report as one deterministic JSON object: counts, the four
     /// headline percentiles, the exact maximum, and the sparse buckets
-    /// (so a consumer can re-derive any other quantile).
+    /// (so a consumer can re-derive any other quantile). When `limited`
+    /// is set the shed ledger, goodput percentiles, and goodput buckets
+    /// appear too; when clear the layout is byte-identical to reports
+    /// that predate admission control.
     pub fn to_json(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .latency
-            .to_sparse()
-            .into_iter()
-            .map(|(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
-            .collect();
-        Json::obj()
+        let sparse = |h: &LatencyHistogram| {
+            Json::Arr(
+                h.to_sparse()
+                    .into_iter()
+                    .map(|(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+                    .collect(),
+            )
+        };
+        let mut j = Json::obj()
             .field("requests", self.requests)
             .field("gets", self.gets)
-            .field("puts", self.puts)
+            .field("puts", self.puts);
+        if self.limited {
+            j = j
+                .field("admitted", self.admitted)
+                .field("shed_queue_full", self.shed_queue_full)
+                .field("shed_deadline", self.shed_deadline)
+                .field("shed_quota", self.shed_quota);
+        }
+        j = j
             .field("p50_ns", self.latency.p50())
             .field("p95_ns", self.latency.p95())
             .field("p99_ns", self.latency.p99())
             .field("p999_ns", self.latency.p999())
-            .field("max_ns", self.latency.max_ns())
-            .field("buckets", Json::Arr(buckets))
+            .field("max_ns", self.latency.max_ns());
+        if self.limited {
+            j = j
+                .field("goodput_p50_ns", self.goodput.p50())
+                .field("goodput_p95_ns", self.goodput.p95())
+                .field("goodput_p99_ns", self.goodput.p99())
+                .field("goodput_p999_ns", self.goodput.p999())
+                .field("goodput_max_ns", self.goodput.max_ns());
+        }
+        j = j.field("buckets", sparse(&self.latency));
+        if self.limited {
+            j = j.field("goodput_buckets", sparse(&self.goodput));
+        }
+        j
     }
 }
 
@@ -335,12 +467,77 @@ mod tests {
         let mut latency = LatencyHistogram::new();
         latency.record(1_000);
         latency.record(9_000);
-        let r = ServingReport { requests: 2, gets: 1, puts: 1, latency };
+        let r = ServingReport::unlimited(2, 1, 1, latency);
         let s = r.to_json().to_string_flat();
         assert_eq!(s, r.to_json().to_string_flat());
         crate::json::validate(&s).unwrap();
         assert!(s.starts_with("{\"requests\":2,\"gets\":1,\"puts\":1,\"p50_ns\":"));
         assert!(s.contains("\"max_ns\":9000"));
         assert!(s.contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn unlimited_report_hides_every_overload_field() {
+        let mut latency = LatencyHistogram::new();
+        latency.record(500);
+        let r = ServingReport::unlimited(1, 1, 0, latency);
+        let s = r.to_json().to_string_flat();
+        for hidden in ["admitted", "shed_", "goodput"] {
+            assert!(!s.contains(hidden), "`{hidden}` must not serialize unlimited: {s}");
+        }
+        assert!(r.ledger_balanced());
+    }
+
+    #[test]
+    fn limited_report_carries_ledger_and_goodput() {
+        let mut latency = LatencyHistogram::new();
+        latency.record(1_000);
+        latency.record(700_000);
+        let mut goodput = LatencyHistogram::new();
+        goodput.record(1_000);
+        let mut r = ServingReport {
+            requests: 5,
+            gets: 1,
+            puts: 1,
+            admitted: 2,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            shed_quota: 0,
+            limited: true,
+            latency,
+            goodput,
+        };
+        r.shed(ShedReason::QueueFull, 1);
+        r.shed(ShedReason::DeadlineExpired, 1);
+        r.shed(ShedReason::QuotaExceeded, 1);
+        assert_eq!(r.shed_total(), 3);
+        assert!(r.ledger_balanced());
+        let s = r.to_json().to_string_flat();
+        crate::json::validate(&s).unwrap();
+        assert!(s.contains(
+            "\"admitted\":2,\"shed_queue_full\":1,\"shed_deadline\":1,\"shed_quota\":1"
+        ));
+        assert!(s.contains("\"goodput_p50_ns\":"));
+        assert!(s.contains("\"goodput_max_ns\":1000"));
+        assert!(s.contains("\"goodput_buckets\":[["));
+        // Field order is fixed: the ledger sits between the counts and
+        // the latency percentiles.
+        let ledger = s.find("\"admitted\"").unwrap();
+        assert!(s.find("\"puts\"").unwrap() < ledger);
+        assert!(ledger < s.find("\"p50_ns\"").unwrap());
+    }
+
+    #[test]
+    fn shed_reasons_name_themselves() {
+        assert_eq!(ShedReason::QueueFull.to_string(), "queue-full");
+        assert_eq!(ShedReason::DeadlineExpired.to_string(), "deadline-expired");
+        assert_eq!(ShedReason::QuotaExceeded.to_string(), "quota-exceeded");
+    }
+
+    #[test]
+    fn from_sparse_error_is_typed() {
+        let err = LatencyHistogram::from_sparse(&[(N_BUCKETS, 1)], 0).unwrap_err();
+        assert_eq!(err, HistogramError::BucketOutOfRange { index: N_BUCKETS, limit: N_BUCKETS });
+        assert!(err.to_string().contains("out of range"));
     }
 }

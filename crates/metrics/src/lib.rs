@@ -49,7 +49,7 @@ pub use baseline::{compare, BaselineDiff, Delta, Tolerance};
 pub use events::{Decision, Event, EventKind, EventSink, PageState, RecoveryAction, SharedSink,
                  VecSink, shared};
 pub use json::{Json, parse, validate};
-pub use latency::{LatencyHistogram, ServingReport};
+pub use latency::{HistogramError, LatencyHistogram, ServingReport, ShedReason};
 pub use model::{Model, ModelError};
 pub use table::Table;
 pub use telemetry::{Histogram, PageLifecycle, Telemetry};

@@ -268,6 +268,20 @@ impl fmt::Display for RunReport {
                 s.latency.p99(),
                 s.latency.p999()
             )?;
+            // The admission line only appears when an overload knob was
+            // engaged; unprotected serving runs print exactly as before.
+            if s.limited {
+                write!(
+                    f,
+                    "\n  admission: {} admitted, shed {} queue-full / {} deadline / \
+                     {} quota, goodput p99 {} ns",
+                    s.admitted,
+                    s.shed_queue_full,
+                    s.shed_deadline,
+                    s.shed_quota,
+                    s.goodput.p99()
+                )?;
+            }
         }
         if let Some(d) = &self.degraded {
             write!(f, "\n  DEGRADED: {d}")?;
@@ -381,6 +395,43 @@ mod tests {
         numa_metrics::validate(&pinned).unwrap();
         assert!(format!("{r}")
             .contains("flush-pins: 3 pages pinned after 40 coherence invalidations"));
+    }
+
+    #[test]
+    fn admission_line_appears_only_when_limited() {
+        let mut latency = numa_metrics::LatencyHistogram::new();
+        latency.record(1_000);
+        latency.record(900_000);
+        let mut r = RunReport {
+            policy: "test",
+            cpu_times: vec![CpuTime { user: Ns(100), system: Ns(10) }],
+            refs: RefCounters { local: 3, global: 1, remote: 0 },
+            numa: NumaStats::default(),
+            bus: BusStats::default(),
+            faults: FaultStats::default(),
+            serving: Some(ServingReport::unlimited(2, 1, 1, latency)),
+            degraded: None,
+        };
+        let unlimited = r.to_json().to_string_flat();
+        assert!(!unlimited.contains("admitted"), "unlimited serving stays byte-identical");
+        assert!(!unlimited.contains("goodput"));
+        assert!(!format!("{r}").contains("admission:"));
+        {
+            let s = r.serving.as_mut().expect("attached above");
+            s.limited = true;
+            s.admitted = 2;
+            s.requests = 5;
+            s.shed(numa_metrics::ShedReason::QueueFull, 1);
+            s.shed(numa_metrics::ShedReason::DeadlineExpired, 2);
+        }
+        let limited = r.to_json().to_string_flat();
+        assert!(limited.contains("\"admitted\":2"));
+        assert!(limited.contains("\"shed_queue_full\":1"));
+        assert!(limited.contains("\"goodput_buckets\":[["));
+        numa_metrics::validate(&limited).unwrap();
+        let shown = format!("{r}");
+        assert!(shown
+            .contains("admission: 2 admitted, shed 1 queue-full / 2 deadline / 0 quota"));
     }
 
     #[test]

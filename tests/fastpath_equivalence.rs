@@ -19,7 +19,7 @@
 //! hit-rate bookkeeping (it skips redundant hardware translations).
 //! Nothing reported, streamed, or gated may move.
 
-use numa_repro::apps::{paper_mix, App, KvServe, Scale};
+use numa_repro::apps::{paper_mix, App, KvServe, Scale, ServeParams};
 use numa_repro::machine::FaultConfig;
 use numa_repro::metrics::{Event, VecSink};
 use numa_repro::numa::{CachePolicy, FlushLimitPolicy, MoveLimitPolicy, MoveOrFlushLimitPolicy};
@@ -263,6 +263,111 @@ fn kvserve_is_equivalent_across_paths_under_every_policy() {
     );
 }
 
+/// The serving workload under explicit parameters and an optional
+/// hard-failure schedule. Verification may legitimately fail once a
+/// node's memory dies (shards homed there zero-fill); what matters is
+/// that both paths observe the *same* outcome, so the run verdict is
+/// part of the observation rather than a panic.
+fn observe_kvserve_under(
+    fastpath: bool,
+    params: ServeParams,
+    hard: bool,
+) -> (Observation, Result<(), String>) {
+    use numa_repro::machine::{CpuId, HardFault, NodeId, Ns};
+    let sink = Arc::new(Mutex::new(VecSink::new()));
+    let mut cfg = SimConfig::small(CPUS).events(sink.clone()).fastpath(fastpath);
+    if hard {
+        cfg = cfg.faults(FaultConfig {
+            hard_faults: vec![
+                HardFault::NodeOffline { node: NodeId(1), vt: Ns::from_ms(5) },
+                HardFault::CpuOffline { cpu: CpuId(2), vt: Ns::from_ms(10) },
+            ],
+            ..FaultConfig::default()
+        });
+    }
+    let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+    let refs = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&refs);
+    sim.with_kernel(|k| {
+        k.set_sink(Box::new(move |e: &RefEvent| tap.lock().unwrap().push(*e)))
+    });
+    let verdict = KvServe::new(params).run(&mut sim, CPUS);
+    let report = sim.report();
+    let events = sink.lock().unwrap().events.clone();
+    let refs = refs.lock().unwrap().clone();
+    let obs = Observation {
+        report_json: report.to_json().to_string_flat(),
+        report_text: format!("{report}"),
+        events,
+        refs,
+    };
+    (obs, verdict)
+}
+
+/// Overload parameters hot enough to shed through every knob: a burst
+/// far past what three processors serve, bounded queues, tight
+/// deadlines, and a throttled tenant mix.
+fn overload_params() -> ServeParams {
+    ServeParams {
+        requests: 384,
+        rate: 20_000,
+        tenants: 3,
+        queue_depth: 6,
+        deadline_ns: 300_000,
+        tenant_quota: 2_000,
+        ..ServeParams::for_scale(Scale::Test)
+    }
+}
+
+/// The serving workload with every overload knob engaged must shed
+/// deterministically and identically across access paths: same ledger,
+/// same goodput tail, same event stream, same reference log.
+#[test]
+fn kvserve_overload_is_equivalent_across_paths() {
+    let (slow, sv) = observe_kvserve_under(false, overload_params(), false);
+    let (fast, fv) = observe_kvserve_under(true, overload_params(), false);
+    sv.as_ref().expect("overload without hard faults still verifies");
+    assert_eq!(sv, fv, "run verdict diverged between paths");
+    assert!(
+        slow.report_json.contains("\"shed_queue_full\":"),
+        "the overload knobs never engaged: {}",
+        slow.report_json
+    );
+    assert!(slow.report_json.contains("\"goodput_p99_ns\":"));
+    assert!(slow.report_text.contains("admission:"), "report rendering lacks the admission line");
+    assert_equivalent("KvServe/overload", &slow, &fast);
+}
+
+/// The serving workload while a node's memory dies and a processor is
+/// stopped mid-serve: drained queues shed by deadline, recovery re-homes
+/// what it can, and whatever the outcome — verified or degraded — both
+/// paths must tell the same story byte for byte.
+#[test]
+fn kvserve_hard_failure_is_equivalent_across_paths() {
+    let (slow, sv) = observe_kvserve_under(false, overload_params(), true);
+    let (fast, fv) = observe_kvserve_under(true, overload_params(), true);
+    assert_eq!(sv, fv, "run verdict diverged between paths");
+    assert!(
+        slow.report_json.contains("\"nodes_offlined\":1"),
+        "the schedule must actually kill the node: {}",
+        slow.report_json
+    );
+    assert!(
+        slow.report_json.contains("\"threads_drained\":"),
+        "the stopped processor must drain its worker: {}",
+        slow.report_json
+    );
+    // The serving report still attaches with its deterministic ledger,
+    // even when recovery could not save every shard.
+    assert!(slow.report_json.contains("\"admitted\":"));
+    assert_equivalent("KvServe/hard-failure", &slow, &fast);
+    // And the whole composition is deterministic, not merely
+    // path-equivalent: a rerun reproduces the exact bytes.
+    let (again, av) = observe_kvserve_under(true, overload_params(), true);
+    assert_eq!(av, fv);
+    assert_eq!(again.report_json, fast.report_json, "rerun diverged");
+}
+
 /// The policy-comparison serving sweep at several worker counts: the
 /// whole document — placements, policies, counters, percentiles — is
 /// byte-identical whether cells run serially or on 4 or 8 farm threads.
@@ -281,6 +386,34 @@ fn serving_policy_sweep_is_byte_identical_across_worker_counts() {
     assert_eq!(j1, j8, "--jobs 1 vs --jobs 8 diverged");
     assert!(j1.contains("\"policy\":\"flush-limit\""));
     assert!(j1.contains("\"coherence_invalidations\":"));
+}
+
+/// A cut-down overload sweep — saturated load, every protection knob,
+/// healthy and node-loss cells — is byte-identical across farm worker
+/// counts and across access paths.
+#[test]
+fn overload_sweep_is_byte_identical_across_workers_and_paths() {
+    let mut grid = numa_lab::Grid::overload();
+    grid.policies.truncate(1);
+    grid.req_rates = vec![32_000];
+    grid.queue_depths = vec![8];
+    grid.deadlines_ns = vec![400_000];
+    grid.tenant_quotas = vec![800];
+    let jobs = grid.jobs();
+    assert_eq!(jobs.len(), 2, "one healthy and one node-loss cell");
+    let j1 = numa_lab::Sweep::run(grid.clone(), 1, None).unwrap().to_json().to_string_flat();
+    let j4 = numa_lab::Sweep::run(grid.clone(), 4, None).unwrap().to_json().to_string_flat();
+    let j8 = numa_lab::Sweep::run(grid.clone(), 8, None).unwrap().to_json().to_string_flat();
+    assert_eq!(j1, j4, "--jobs 1 vs --jobs 4 diverged");
+    assert_eq!(j1, j8, "--jobs 1 vs --jobs 8 diverged");
+    let mut slow_grid = grid;
+    slow_grid.fastpath = false;
+    let slow = numa_lab::Sweep::run(slow_grid, 4, None).unwrap().to_json().to_string_flat();
+    // Sweep documents never stamp the access path, so observational
+    // equivalence means the slow-path document is the same bytes.
+    assert_eq!(j1, slow, "fast vs slow path diverged");
+    assert!(j1.contains("\"shed_queue_full\":"));
+    assert!(j1.contains("\"nodes_offlined\":1"), "the chaos cell must kill its node");
 }
 
 /// The fast path must actually engage: on a run-shaped workload the MMU

@@ -514,6 +514,85 @@ fn recovery_runs_byte_identical_across_reruns() {
     }
 }
 
+/// Overload shedding as a protocol property. A seeded matrix of
+/// protection knobs (bounded queues, deadlines, tenant quotas) drives
+/// the serving workload through admission, with and without the fault
+/// clock running. Three things must hold for every combination:
+///
+/// 1. **Shed requests leave the store untouched** — `KvServe::run`
+///    verifies the final KV words against a host-side replay of exactly
+///    the served puts, so a shed request that mutated any word fails
+///    the run outright;
+/// 2. **the ledger is exact** — every generated request is accounted
+///    admitted or shed with a typed reason, nothing double-counted;
+/// 3. **the directory stays Table-legal** — `check_consistency` walks
+///    every page's Table 1/2 invariants after the last request, faults
+///    or not.
+///
+/// And the whole composition reproduces byte-for-byte from the seed.
+#[test]
+fn shed_requests_never_mutate_state_with_and_without_faults() {
+    use numa_repro::apps::{App, KvServe, Scale, ServeParams};
+    use numa_repro::sim::{SimConfig, Simulator};
+    const SERVE_SEED: u64 = 0x0ACE_CAFE;
+    let mut rng = Rng(SERVE_SEED);
+    for case in 0..6u32 {
+        let params = ServeParams {
+            requests: 256,
+            rate: 4_000 + rng.below(60_000),
+            tenants: 1 + rng.below(4) as usize,
+            queue_depth: rng.below(3) as usize * 3,
+            deadline_ns: [0, 150_000, 400_000][rng.below(3) as usize],
+            tenant_quota: [0, 500, 2_000][rng.below(3) as usize],
+            ..ServeParams::for_scale(Scale::Test)
+        };
+        for faults in [false, true] {
+            let tag = format!("seed {SERVE_SEED:#x} case {case} faults={faults}");
+            let observe = |p: ServeParams| {
+                let mut cfg = SimConfig::small(3);
+                if faults {
+                    cfg = cfg.faults(FaultConfig {
+                        seed: 0x0ACE_5EED,
+                        bus_timeout_rate: 0.01,
+                        bad_frame_rate: 0.01,
+                        corruption_rate: 0.01,
+                        ..FaultConfig::default()
+                    });
+                }
+                let mut sim = Simulator::new(cfg, Box::new(MoveLimitPolicy::default()));
+                KvServe::new(p)
+                    .run(&mut sim, 3)
+                    .unwrap_or_else(|e| panic!("{tag}: a shed request corrupted state: {e}"));
+                sim.with_kernel(|k| k.check_consistency())
+                    .unwrap_or_else(|e| panic!("{tag}: directory illegal after serving: {e}"));
+                sim.report()
+            };
+            let report = observe(params.clone());
+            let s = report.serving.as_ref().expect("serving report attached");
+            assert_eq!(
+                s.requests,
+                s.admitted + s.shed_queue_full + s.shed_deadline + s.shed_quota,
+                "{tag}: ledger out of balance: {s:?}"
+            );
+            assert_eq!(s.admitted, s.gets + s.puts, "{tag}: admitted != served");
+            assert_eq!(s.latency.total(), s.admitted, "{tag}: unmeasured admissions");
+            let limited =
+                params.queue_depth > 0 || params.deadline_ns > 0 || params.tenant_quota > 0;
+            assert_eq!(s.limited, limited, "{tag}: limited flag disagrees with the knobs");
+            if !limited {
+                assert_eq!(s.shed_total(), 0, "{tag}: unprotected runs never shed");
+            }
+            // Byte-identical reproduction from the same seed and knobs.
+            let again = observe(params.clone());
+            assert_eq!(
+                report.to_json().to_string_flat(),
+                again.to_json().to_string_flat(),
+                "{tag}: rerun diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn random_ops_with_the_paper_policy_pin_hot_pages() {
     // MoveLimitPolicy under the same harness: the protocol properties
